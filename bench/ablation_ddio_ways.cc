@@ -1,0 +1,74 @@
+// Ablation: how the DDIO way-partition size affects tail latency at
+// 100 Gbps. The paper repeatedly points at DDIO's default 2-of-20-way limit
+// (§5.2, §8) as a contention source for large packets; this bench sweeps it.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/nfv_experiment.h"
+#include "src/hash/presets.h"
+#include "src/nfv/chain.h"
+#include "src/nfv/elements.h"
+#include "src/nfv/runtime.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+PercentileRow Measure(std::size_t ddio_ways, bool cache_director) {
+  MachineSpec spec = HaswellXeonE52667V3();
+  spec.ddio_ways = ddio_ways;
+  MemoryHierarchy hierarchy(spec, HaswellSliceHash(), 5);
+  SlicePlacement placement(hierarchy);
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  CacheDirector director(HaswellSliceHash(), placement, cache_director);
+  Mempool pool(backing, 8192, director);
+  SimNic::Config nic_config;
+  nic_config.num_queues = 8;
+  nic_config.steering = NicSteering::kFlowDirector;
+  SimNic nic(nic_config, hierarchy, memory, pool, director);
+
+  ServiceChain chain;
+  IpRouter::Params router;
+  router.hw_offloaded = true;
+  chain.Append(std::make_unique<IpRouter>(hierarchy, memory, backing, router));
+  chain.Append(std::make_unique<Napt>(hierarchy, memory, backing, Napt::Params{}));
+  chain.Append(
+      std::make_unique<LoadBalancer>(hierarchy, memory, backing, LoadBalancer::Params{}));
+  NfvRuntime runtime(NfvRuntime::Config{}, hierarchy, nic, chain);
+
+  TrafficConfig traffic;
+  traffic.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  traffic.rate_gbps = 100.0;
+  traffic.seed = 17;
+  TrafficGenerator gen(traffic);
+  runtime.Run(gen.Generate(4000), nullptr);
+  LatencyRecorder recorder;
+  runtime.Run(gen.Generate(20000), &recorder);
+  return SummarizePercentiles(recorder.latencies_us());
+}
+
+void Run() {
+  PrintBanner("Ablation", "DDIO way-partition size vs chain tail latency @ 100 Gbps");
+  std::printf("%-10s  %-12s %-12s  %-12s %-12s\n", "DDIO ways", "DPDK p95", "DPDK p99",
+              "+CD p95", "+CD p99");
+  PrintSectionRule();
+  for (const std::size_t ways : {1u, 2u, 4u, 8u, 16u}) {
+    const PercentileRow base = Measure(ways, false);
+    const PercentileRow cd = Measure(ways, true);
+    std::printf("%-10zu  %-12.2f %-12.2f  %-12.2f %-12.2f\n", ways, base.p95, base.p99,
+                cd.p95, cd.p99);
+  }
+  PrintSectionRule();
+  std::printf("expectation: very small partitions thrash under MTU frames (24 lines\n");
+  std::printf("per packet), extra ways help until core latency dominates\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation (paper §8, "The impact of H/W prefetching"): slice-aware memory
+// is non-contiguous, so the next-line prefetcher cannot help it — for
+// *sequential* access patterns normal allocation plus prefetching can beat
+// slice-awareness, while random patterns keep the slice-aware win. This
+// bench quantifies both quadrants.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/random_access.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/slice/slice_allocator.h"
+
+namespace cachedir {
+namespace {
+
+constexpr std::size_t kWorkingSetBytes = 1408 * 1024;  // 1.375 MB (Fig. 6 size)
+constexpr std::size_t kOps = 20000;
+
+double MeasureCyclesPerOp(bool slice_aware, bool prefetch, bool sequential) {
+  MachineSpec spec = HaswellXeonE52667V3();
+  spec.l2_next_line_prefetch = prefetch;
+  MemoryHierarchy hierarchy(spec, HaswellSliceHash(), 3);
+  HugepageAllocator backing;
+
+  std::unique_ptr<MemoryBuffer> buffer;
+  if (slice_aware) {
+    SliceAwareAllocator alloc(backing, HaswellSliceHash());
+    buffer = std::make_unique<SliceBuffer>(alloc.AllocateBytes(0, kWorkingSetBytes));
+  } else {
+    buffer = std::make_unique<ContiguousBuffer>(
+        backing.Allocate(kWorkingSetBytes, PageSize::k1G).pa, kWorkingSetBytes);
+  }
+
+  const std::size_t lines = buffer->size_bytes() / kCacheLineSize;
+  Cycles total = 0;
+  if (sequential) {
+    // Stream the buffer repeatedly; flush between passes so every pass pays
+    // the memory system (this is where the prefetcher shines).
+    std::size_t done = 0;
+    while (done < kOps) {
+      hierarchy.FlushAll();
+      for (std::size_t i = 0; i < lines && done < kOps; ++i, ++done) {
+        total += hierarchy.Read(0, buffer->PaForOffset(i * kCacheLineSize)).cycles;
+      }
+    }
+  } else {
+    RandomAccessParams params;
+    params.ops = kOps;
+    params.seed = 9;
+    params.warmup_lines_cap = 1 << 20;
+    total = RunRandomAccess(hierarchy, *buffer, 0, params);
+  }
+  return static_cast<double>(total) / kOps;
+}
+
+void Run() {
+  PrintBanner("Ablation", "H/W next-line prefetching vs slice-aware layout (Haswell)");
+  std::printf("%-12s  %-10s  %-16s  %-16s\n", "Pattern", "Prefetch", "Normal (cyc/op)",
+              "Slice-0 (cyc/op)");
+  PrintSectionRule();
+  for (const bool sequential : {false, true}) {
+    for (const bool prefetch : {false, true}) {
+      const double normal = MeasureCyclesPerOp(false, prefetch, sequential);
+      const double aware = MeasureCyclesPerOp(true, prefetch, sequential);
+      std::printf("%-12s  %-10s  %-16.1f  %-16.1f\n", sequential ? "sequential" : "random",
+                  prefetch ? "on" : "off", normal, aware);
+    }
+  }
+  PrintSectionRule();
+  std::printf("expectation (paper §8): slice-aware keeps its win for random access;\n");
+  std::printf("for sequential access the prefetcher rescues normal allocation, and\n");
+  std::printf("slice-aware non-contiguity forfeits that help\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

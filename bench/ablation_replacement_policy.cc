@@ -1,0 +1,73 @@
+// Ablation: does the slice-aware speedup (Fig. 6 setup) survive under
+// different LLC replacement policies? The paper's reasoning only relies on
+// hot lines staying resident; this checks LRU vs tree-PLRU vs random.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/random_access.h"
+#include "src/cache/replacement.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/slice/slice_allocator.h"
+
+namespace cachedir {
+namespace {
+
+constexpr std::size_t kWorkingSetBytes = 1408 * 1024;
+constexpr std::size_t kOps = 10000;
+constexpr int kRuns = 10;
+
+double MeasureMs(ReplacementKind kind, bool slice_aware, std::uint64_t seed) {
+  MachineSpec spec = HaswellXeonE52667V3();
+  spec.replacement = kind;
+  MemoryHierarchy hierarchy(spec, HaswellSliceHash(), seed);
+  HugepageAllocator backing;
+  RandomAccessParams params;
+  params.ops = kOps;
+  params.seed = seed;
+  params.warmup_lines_cap = 1 << 20;
+  Cycles cycles = 0;
+  if (slice_aware) {
+    SliceAwareAllocator alloc(backing, HaswellSliceHash());
+    const SliceBuffer buf = alloc.AllocateBytes(0, kWorkingSetBytes);
+    cycles = RunRandomAccess(hierarchy, buf, 0, params);
+  } else {
+    const ContiguousBuffer buf(backing.Allocate(kWorkingSetBytes, PageSize::k1G).pa,
+                               kWorkingSetBytes);
+    cycles = RunRandomAccess(hierarchy, buf, 0, params);
+  }
+  return hierarchy.spec().frequency.ToNanoseconds(cycles) / 1e6;
+}
+
+void Run() {
+  PrintBanner("Ablation", "slice-aware read speedup under different replacement policies");
+  std::printf("%-10s  %-14s  %-14s  %-10s\n", "Policy", "Normal (ms)", "Slice-0 (ms)",
+              "Speedup");
+  PrintSectionRule();
+  for (const auto& [label, kind] :
+       {std::pair{"LRU", ReplacementKind::kLru}, std::pair{"PLRU", ReplacementKind::kTreePlru},
+        std::pair{"Random", ReplacementKind::kRandom}}) {
+    double normal = 0;
+    double aware = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      normal += MeasureMs(kind, false, 100 + run);
+      aware += MeasureMs(kind, true, 100 + run);
+    }
+    normal /= kRuns;
+    aware /= kRuns;
+    std::printf("%-10s  %-14.3f  %-14.3f  %+8.2f%%\n", label, normal, aware,
+                100.0 * (normal - aware) / normal);
+  }
+  PrintSectionRule();
+  std::printf("expectation: the speedup is a latency effect, not a replacement\n");
+  std::printf("effect — it survives all three policies\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation (paper §4.2): driver-level dynamic headroom (CacheDirector) vs
+// application-level sorted per-core mempools. Both steer packet headers to
+// the consuming core's slice; sorted pools eliminate the per-packet headroom
+// write and the 832 B reservation, at the cost of unequal pool sizes.
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.h"
+#include "bench/nfv_experiment.h"
+#include "src/hash/presets.h"
+#include "src/netio/sorted_mempool.h"
+#include "src/nfv/chain.h"
+#include "src/nfv/elements.h"
+#include "src/nfv/runtime.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+enum class PoolMode { kShared, kCacheDirector, kSorted };
+
+PercentileRow Measure(PoolMode mode) {
+  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), 8);
+  SlicePlacement placement(hierarchy);
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  CacheDirector director(HaswellSliceHash(), placement,
+                         /*enabled=*/mode == PoolMode::kCacheDirector);
+
+  std::unique_ptr<MbufSource> source;
+  if (mode == PoolMode::kSorted) {
+    source = std::make_unique<SortedMempoolSet>(backing, 8192, HaswellSliceHash(), placement);
+  } else {
+    source = std::make_unique<Mempool>(backing, 8192, director);
+  }
+
+  SimNic::Config nic_config;
+  nic_config.num_queues = 8;
+  nic_config.steering = NicSteering::kFlowDirector;
+  SimNic nic(nic_config, hierarchy, memory, *source, director);
+
+  ServiceChain chain;
+  IpRouter::Params router;
+  router.hw_offloaded = true;
+  chain.Append(std::make_unique<IpRouter>(hierarchy, memory, backing, router));
+  chain.Append(std::make_unique<Napt>(hierarchy, memory, backing, Napt::Params{}));
+  chain.Append(
+      std::make_unique<LoadBalancer>(hierarchy, memory, backing, LoadBalancer::Params{}));
+  NfvRuntime runtime(NfvRuntime::Config{}, hierarchy, nic, chain);
+
+  TrafficConfig traffic;
+  traffic.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  traffic.rate_gbps = 100.0;
+  traffic.seed = 23;
+  TrafficGenerator gen(traffic);
+  runtime.Run(gen.Generate(4000), nullptr);
+  LatencyRecorder recorder;
+  runtime.Run(gen.Generate(20000), &recorder);
+  return SummarizePercentiles(recorder.latencies_us());
+}
+
+void Run() {
+  PrintBanner("Ablation", "shared pool vs CacheDirector vs sorted per-core pools");
+  std::printf("%-22s  %-10s %-10s %-10s %-10s\n", "Buffer strategy", "p75", "p90", "p99",
+              "mean");
+  PrintSectionRule();
+  const struct {
+    const char* label;
+    PoolMode mode;
+  } rows[] = {
+      {"shared (DPDK)", PoolMode::kShared},
+      {"CacheDirector", PoolMode::kCacheDirector},
+      {"sorted pools", PoolMode::kSorted},
+  };
+  for (const auto& row : rows) {
+    const PercentileRow r = Measure(row.mode);
+    std::printf("%-22s  %-10.2f %-10.2f %-10.2f %-10.2f\n", row.label, r.p75, r.p90, r.p99,
+                r.mean);
+  }
+  PrintSectionRule();
+  std::printf("expectation (§4.2): sorted pools match CacheDirector's latency while\n");
+  std::printf("eliminating the per-packet headroom step; both beat the shared pool\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

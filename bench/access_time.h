@@ -1,0 +1,29 @@
+// The paper's §2.2 access-time experiment, reusable for Fig. 5 (Haswell)
+// and Fig. 16 (Skylake): fill one LLC set of one slice with 20 lines from a
+// 1 GB hugepage, flush, re-read all 20 (the first 12 fall out of the 8-way
+// L1/L2 again), then time reads of the first 8 — which are pure LLC-slice
+// hits — and writes to the same (now L1-resident) lines.
+#ifndef CACHEDIRECTOR_BENCH_ACCESS_TIME_H_
+#define CACHEDIRECTOR_BENCH_ACCESS_TIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hash/slice_hash.h"
+#include "src/sim/machine.h"
+
+namespace cachedir {
+
+struct AccessTimeResult {
+  // Average cycles per read / per write, indexed by slice.
+  std::vector<double> read_cycles;
+  std::vector<double> write_cycles;
+};
+
+AccessTimeResult MeasureSliceAccessTimes(const MachineSpec& spec,
+                                         std::shared_ptr<const SliceHash> hash, CoreId core,
+                                         int repetitions);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_BENCH_ACCESS_TIME_H_

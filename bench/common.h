@@ -1,0 +1,24 @@
+// Shared console-output helpers for the figure/table benches. Every bench
+// prints the rows/series of the corresponding paper artifact in a uniform,
+// greppable format.
+#ifndef CACHEDIRECTOR_BENCH_COMMON_H_
+#define CACHEDIRECTOR_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace cachedir {
+
+inline void PrintBanner(const std::string& artifact, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintSectionRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_BENCH_COMMON_H_

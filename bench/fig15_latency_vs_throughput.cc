@@ -1,0 +1,88 @@
+// Fig. 15: 99th-percentile latency vs offered throughput for the stateful
+// chain, with the paper's piecewise fit (linear below the knee, quadratic
+// above) and R^2 for both pieces and both configurations.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/nfv_experiment.h"
+#include "src/stats/fit.h"
+
+namespace cachedir {
+namespace {
+
+NfvExperiment Experiment(bool cache_director, double gbps) {
+  NfvExperiment e;
+  e.app = NfvExperiment::App::kRouterNaptLb;
+  e.cache_director = cache_director;
+  e.steering = NicSteering::kFlowDirector;
+  e.hw_offload_router = true;
+  e.traffic.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  e.traffic.rate_mode = TrafficConfig::RateMode::kGbps;
+  e.traffic.rate_gbps = gbps;
+  e.warmup_packets = 3000;
+  e.measured_packets = 12000;
+  e.num_runs = 7;
+  return e;
+}
+
+void Run() {
+  PrintBanner("Fig 15", "99th-percentile latency vs throughput, stateful chain");
+  const std::vector<double> rates = {5,  10, 15, 20, 25, 30, 35, 40,
+                                     45, 50, 55, 60, 65, 70, 75, 80};
+  std::vector<double> x_dpdk;
+  std::vector<double> y_dpdk;
+  std::vector<double> x_cd;
+  std::vector<double> y_cd;
+
+  std::printf("%-10s  %-12s %-12s  %-12s %-12s\n", "Offered", "DPDK-Tput", "DPDK-p99",
+              "CD-Tput", "CD-p99");
+  std::printf("%-10s  %-12s %-12s  %-12s %-12s\n", "(Gbps)", "(Gbps)", "(us)", "(Gbps)",
+              "(us)");
+  PrintSectionRule();
+  for (const double rate : rates) {
+    const NfvAggregate dpdk = RunNfvMany(Experiment(false, rate));
+    const NfvAggregate cd = RunNfvMany(Experiment(true, rate));
+    x_dpdk.push_back(dpdk.median_throughput_gbps);
+    y_dpdk.push_back(dpdk.median.p99);
+    x_cd.push_back(cd.median_throughput_gbps);
+    y_cd.push_back(cd.median.p99);
+    std::printf("%-10.0f  %-12.2f %-12.2f  %-12.2f %-12.2f\n", rate,
+                dpdk.median_throughput_gbps, dpdk.median.p99, cd.median_throughput_gbps,
+                cd.median.p99);
+  }
+  PrintSectionRule();
+
+  // The paper fits linear below 37 Gbps and quadratic above; our knee sits
+  // where the simulated cores approach saturation. Use the same convention
+  // with the knee at the midpoint of the sweep that brackets the bend. The
+  // 5 Gbps point is excluded from the fit: at that rate per-flow state goes
+  // cold between packets, lifting the tail (a real effect, but not part of
+  // the queueing curve being fitted).
+  const auto drop_first = [](std::vector<double>& xs, std::vector<double>& ys) {
+    xs.erase(xs.begin());
+    ys.erase(ys.begin());
+  };
+  drop_first(x_dpdk, y_dpdk);
+  drop_first(x_cd, y_cd);
+  const double knee = 45.0;
+  const PiecewiseKneeFit fit_dpdk = FitPiecewiseKnee(x_dpdk, y_dpdk, knee);
+  const PiecewiseKneeFit fit_cd = FitPiecewiseKnee(x_cd, y_cd, knee);
+  std::printf("DPDK fit : below %.0fG: %.2f + %.4f*X (R2=%.3f); above: %.1f %+.2f*X "
+              "%+.4f*X^2 (R2=%.3f)\n",
+              knee, fit_dpdk.below.intercept, fit_dpdk.below.slope, fit_dpdk.below.r2,
+              fit_dpdk.above.c0, fit_dpdk.above.c1, fit_dpdk.above.c2, fit_dpdk.above.r2);
+  std::printf("CD fit   : below %.0fG: %.2f + %.4f*X (R2=%.3f); above: %.1f %+.2f*X "
+              "%+.4f*X^2 (R2=%.3f)\n",
+              knee, fit_cd.below.intercept, fit_cd.below.slope, fit_cd.below.r2,
+              fit_cd.above.c0, fit_cd.above.c1, fit_cd.above.c2, fit_cd.above.r2);
+  std::printf("paper shape: knee where tails take off; CacheDirector shifts it right\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench/nfv_experiment.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/hash/presets.h"
+#include "src/nfv/chain.h"
+#include "src/nfv/elements.h"
+#include "src/nfv/runtime.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+ServiceChain BuildChain(const NfvExperiment& experiment, MemoryHierarchy& hierarchy,
+                        PhysicalMemory& memory, HugepageAllocator& backing,
+                        std::uint64_t seed) {
+  ServiceChain chain;
+  switch (experiment.app) {
+    case NfvExperiment::App::kForwarding:
+      chain.Append(std::make_unique<MacSwap>(hierarchy, memory));
+      break;
+    case NfvExperiment::App::kRouterNaptLb: {
+      IpRouter::Params router;
+      router.num_routes = 3120;  // the paper's routing-table size
+      router.hw_offloaded = experiment.hw_offload_router;
+      router.seed = seed;
+      chain.Append(std::make_unique<IpRouter>(hierarchy, memory, backing, router));
+      chain.Append(std::make_unique<Napt>(hierarchy, memory, backing, Napt::Params{}));
+      chain.Append(
+          std::make_unique<LoadBalancer>(hierarchy, memory, backing, LoadBalancer::Params{}));
+      break;
+    }
+  }
+  return chain;
+}
+
+}  // namespace
+
+NfvRunStats RunNfvOnce(const NfvExperiment& experiment, std::uint64_t run_index) {
+  const std::uint64_t seed = experiment.base_seed + 7919 * run_index;
+
+  const bool skylake = experiment.machine == NfvExperiment::Machine::kSkylake;
+  const MachineSpec spec = skylake ? SkylakeXeonGold6134() : HaswellXeonE52667V3();
+  const std::shared_ptr<const SliceHash> hash =
+      skylake ? SkylakeSliceHash() : HaswellSliceHash();
+  MemoryHierarchy hierarchy(spec, hash, seed);
+  SlicePlacement placement(hierarchy);
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  CacheDirector director(hash, placement, experiment.cache_director);
+  Mempool pool(backing, experiment.mempool_mbufs, director);
+
+  SimNic::Config nic_config;
+  nic_config.num_queues = experiment.num_queues;
+  nic_config.steering = experiment.steering;
+  SimNic nic(nic_config, hierarchy, memory, pool, director);
+
+  ServiceChain chain = BuildChain(experiment, hierarchy, memory, backing, seed);
+  NfvRuntime runtime(NfvRuntime::Config{}, hierarchy, nic, chain);
+
+  TrafficConfig traffic = experiment.traffic;
+  traffic.seed = seed;
+  TrafficGenerator gen(traffic);
+
+  // Warm-up: caches, flow tables, NIC steering state — unrecorded.
+  runtime.Run(gen.Generate(experiment.warmup_packets), nullptr);
+
+  LatencyRecorder recorder;
+  runtime.Run(gen.Generate(experiment.measured_packets), &recorder);
+
+  NfvRunStats stats;
+  stats.latency_us = SummarizePercentiles(recorder.latencies_us());
+  stats.latencies_us = recorder.latencies_us();
+  stats.throughput_gbps = recorder.ThroughputGbps();
+  stats.delivered = recorder.delivered();
+  stats.drops = recorder.drops();
+  return stats;
+}
+
+NfvAggregate RunNfvMany(const NfvExperiment& experiment) {
+  Samples p75;
+  Samples p90;
+  Samples p95;
+  Samples p99;
+  Samples mean;
+  Samples throughput;
+  NfvAggregate agg;
+
+  for (std::uint64_t run = 0; run < experiment.num_runs; ++run) {
+    const NfvRunStats stats = RunNfvOnce(experiment, run);
+    p75.Add(stats.latency_us.p75);
+    p90.Add(stats.latency_us.p90);
+    p95.Add(stats.latency_us.p95);
+    p99.Add(stats.latency_us.p99);
+    mean.Add(stats.latency_us.mean);
+    throughput.Add(stats.throughput_gbps);
+    agg.total_delivered += stats.delivered;
+    agg.total_drops += stats.drops;
+    agg.p99_per_run.Add(stats.latency_us.p99);
+    agg.mean_per_run.Add(stats.latency_us.mean);
+    for (const double v : stats.latencies_us.values()) {
+      agg.pooled_latencies_us.Add(v);
+    }
+  }
+
+  agg.median = PercentileRow{p75.Median(), p90.Median(), p95.Median(), p99.Median(),
+                             mean.Median()};
+  agg.q1 = PercentileRow{p75.Percentile(25), p90.Percentile(25), p95.Percentile(25),
+                         p99.Percentile(25), mean.Percentile(25)};
+  agg.q3 = PercentileRow{p75.Percentile(75), p90.Percentile(75), p95.Percentile(75),
+                         p99.Percentile(75), mean.Percentile(75)};
+  agg.median_throughput_gbps = throughput.Median();
+  return agg;
+}
+
+void PrintComparisonRows(const NfvAggregate& dpdk, const NfvAggregate& cd) {
+  struct Entry {
+    const char* label;
+    double base;
+    double with_cd;
+  };
+  const Entry entries[] = {
+      {"75th", dpdk.median.p75, cd.median.p75}, {"90th", dpdk.median.p90, cd.median.p90},
+      {"95th", dpdk.median.p95, cd.median.p95}, {"99th", dpdk.median.p99, cd.median.p99},
+      {"Mean", dpdk.median.mean, cd.median.mean},
+  };
+  std::printf("%-6s  %14s  %18s  %14s  %10s\n", "Pctl", "DPDK (us)", "DPDK+CD (us)",
+              "Improv (us)", "Speedup %");
+  for (const Entry& e : entries) {
+    const double improvement = e.base - e.with_cd;
+    std::printf("%-6s  %14.3f  %18.3f  %14.3f  %9.2f%%\n", e.label, e.base, e.with_cd,
+                improvement, e.base == 0 ? 0.0 : 100.0 * improvement / e.base);
+  }
+  // Is the difference real or run-to-run noise? Rank test on per-run tails.
+  if (dpdk.p99_per_run.size() >= 4 && cd.p99_per_run.size() >= 4) {
+    const MannWhitneyResult mw =
+        MannWhitneyU(cd.p99_per_run.values(), dpdk.p99_per_run.values());
+    std::printf("per-run p99 Mann-Whitney: P(CD < DPDK) = %.2f, two-sided p = %.4f%s\n",
+                mw.prob_a_less, mw.p_value,
+                mw.p_value < 0.05 ? " (significant at 0.05)" : "");
+  }
+}
+
+}  // namespace cachedir

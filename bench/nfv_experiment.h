@@ -1,0 +1,77 @@
+// Reusable NFV experiment driver shared by the Figs. 1/12/13/14/15 and
+// Table 3 benches: builds the full DuT (hierarchy, mempool, NIC, chain,
+// runtime), replays a fresh trace per run, and aggregates percentile rows
+// across runs the way the paper reports them (medians of N runs, quartile
+// error bars).
+#ifndef CACHEDIRECTOR_BENCH_NFV_EXPERIMENT_H_
+#define CACHEDIRECTOR_BENCH_NFV_EXPERIMENT_H_
+
+#include <cstdint>
+
+#include "src/netio/nic.h"
+#include "src/stats/significance.h"
+#include "src/stats/summary.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+
+struct NfvExperiment {
+  enum class App {
+    kForwarding,    // MacSwap (paper §5.1)
+    kRouterNaptLb,  // stateful chain (paper §5.2)
+  };
+  enum class Machine {
+    kHaswell,  // the paper's DuT
+    kSkylake,  // §6 porting claim: still beneficial, smaller gains
+  };
+
+  App app = App::kForwarding;
+  Machine machine = Machine::kHaswell;
+  bool cache_director = false;
+  NicSteering steering = NicSteering::kRss;
+  bool hw_offload_router = false;  // Metron FlowDirector offloading
+  TrafficConfig traffic;
+  std::size_t warmup_packets = 4000;
+  std::size_t measured_packets = 20000;
+  std::size_t num_runs = 15;
+  std::size_t num_queues = 8;
+  std::size_t mempool_mbufs = 8192;
+  std::uint64_t base_seed = 1;
+};
+
+struct NfvRunStats {
+  PercentileRow latency_us;
+  Samples latencies_us;
+  double throughput_gbps = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops = 0;
+};
+
+NfvRunStats RunNfvOnce(const NfvExperiment& experiment, std::uint64_t run_index);
+
+struct NfvAggregate {
+  // Median across runs, per percentile (the paper's reporting convention).
+  PercentileRow median;
+  // First/third quartiles of each percentile across runs (error bars).
+  PercentileRow q1;
+  PercentileRow q3;
+  double median_throughput_gbps = 0;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_drops = 0;
+  // Pooled latency samples of ALL runs (for the Fig. 14a CDF).
+  Samples pooled_latencies_us;
+  // Per-run tail/mean observations, for significance testing across configs.
+  Samples p99_per_run;
+  Samples mean_per_run;
+};
+
+NfvAggregate RunNfvMany(const NfvExperiment& experiment);
+
+// Prints the standard DPDK vs DPDK+CacheDirector comparison block used by
+// the Figs. 1/12/13/14 benches: per-percentile medians, improvement in us
+// and per cent.
+void PrintComparisonRows(const NfvAggregate& dpdk, const NfvAggregate& cd);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_BENCH_NFV_EXPERIMENT_H_

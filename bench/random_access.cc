@@ -1,0 +1,70 @@
+#include "bench/random_access.h"
+
+#include <algorithm>
+
+namespace cachedir {
+namespace {
+
+void Warmup(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
+            std::size_t cap) {
+  const std::size_t lines = buffer.size_bytes() / kCacheLineSize;
+  const std::size_t n = cap == 0 ? 0 : std::min(lines, cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)hierarchy.Read(core, buffer.PaForOffset(i * kCacheLineSize));
+  }
+}
+
+Cycles OneAccess(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
+                 bool write, Rng& rng) {
+  const std::size_t lines = buffer.size_bytes() / kCacheLineSize;
+  const std::size_t off = rng.UniformIndex(lines) * kCacheLineSize;
+  const PhysAddr pa = buffer.PaForOffset(off);
+  return write ? hierarchy.Write(core, pa).cycles : hierarchy.Read(core, pa).cycles;
+}
+
+}  // namespace
+
+Cycles RunRandomAccess(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
+                       const RandomAccessParams& params) {
+  Warmup(hierarchy, buffer, core, params.warmup_lines_cap);
+  Rng rng(params.seed);
+  Cycles total = 0;
+  for (std::size_t i = 0; i < params.ops; ++i) {
+    total += OneAccess(hierarchy, buffer, core, params.write, rng);
+  }
+  return total;
+}
+
+std::vector<Cycles> RunRandomAccessMultiCore(MemoryHierarchy& hierarchy,
+                                             const std::vector<const MemoryBuffer*>& buffers,
+                                             const RandomAccessParams& params,
+                                             std::size_t batch) {
+  const std::size_t cores = buffers.size();
+  std::vector<Rng> rngs;
+  rngs.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    rngs.emplace_back(params.seed + 31 * c);
+  }
+  // Interleaved warm-up.
+  for (std::size_t c = 0; c < cores; ++c) {
+    Warmup(hierarchy, *buffers[c], static_cast<CoreId>(c), params.warmup_lines_cap);
+  }
+  std::vector<Cycles> totals(cores, 0);
+  std::vector<std::size_t> done(cores, 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t c = 0; c < cores; ++c) {
+      const std::size_t quota = std::min(batch, params.ops - done[c]);
+      for (std::size_t i = 0; i < quota; ++i) {
+        totals[c] += OneAccess(hierarchy, *buffers[c], static_cast<CoreId>(c), params.write,
+                               rngs[c]);
+      }
+      done[c] += quota;
+      any = any || done[c] < params.ops;
+    }
+  }
+  return totals;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,39 @@
+// Random-access workload driver for the Figs. 6/7/17 benches: uniform random
+// reads or writes over a MemoryBuffer (contiguous or slice-aware), charged
+// through the simulated hierarchy.
+#ifndef CACHEDIRECTOR_BENCH_RANDOM_ACCESS_H_
+#define CACHEDIRECTOR_BENCH_RANDOM_ACCESS_H_
+
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/sim/rng.h"
+#include "src/slice/buffers.h"
+
+namespace cachedir {
+
+struct RandomAccessParams {
+  std::size_t ops = 10000;
+  bool write = false;
+  std::uint64_t seed = 1;
+  // One sequential warm-up pass over the buffer, capped at this many lines
+  // (0 = no warm-up). Uncapped warm-up on 128 MB arrays dominates wall time
+  // without changing the result (they don't fit in any cache anyway).
+  std::size_t warmup_lines_cap = 1 << 19;
+};
+
+// Total cycles consumed by the measured ops (warm-up excluded).
+Cycles RunRandomAccess(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
+                       const RandomAccessParams& params);
+
+// All cores run the same params over their own buffer, interleaved in
+// batches so LLC contention is concurrent, as in the paper's Fig. 7 setup.
+// Returns per-core measured cycles.
+std::vector<Cycles> RunRandomAccessMultiCore(MemoryHierarchy& hierarchy,
+                                             const std::vector<const MemoryBuffer*>& buffers,
+                                             const RandomAccessParams& params,
+                                             std::size_t batch = 64);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_BENCH_RANDOM_ACCESS_H_

@@ -1,0 +1,42 @@
+// Table 1: cache specification of the simulated Intel Xeon E5-2667 v3.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/sim/machine.h"
+
+namespace cachedir {
+namespace {
+
+void PrintRow(const char* level, const CacheGeometry& g) {
+  // Index bits: [6 + log2(sets) - 1 .. 6], as the paper reports them.
+  unsigned top = kCacheLineBits - 1;
+  for (std::size_t sets = g.num_sets(); sets > 1; sets /= 2) {
+    ++top;
+  }
+  std::printf("%-10s  %8zu kB  %5zu  %6zu  %u-%u\n", level, g.size_bytes / 1024, g.ways,
+              g.num_sets(), top, kCacheLineBits);
+}
+
+void Run() {
+  const MachineSpec m = HaswellXeonE52667V3();
+  PrintBanner("Table 1", "Intel Xeon E5-2667 v3 — cache specification");
+  std::printf("%-10s  %11s  %5s  %6s  %s\n", "Cache", "Size", "#Ways", "#Sets",
+              "Index-bits[range]");
+  PrintSectionRule();
+  PrintRow("LLC-Slice", m.llc_slice);
+  PrintRow("L2", m.l2);
+  PrintRow("L1", m.l1);
+  PrintSectionRule();
+  std::printf("Cores: %zu   LLC slices: %zu   Frequency: %.1f GHz   DDIO ways: %zu/%zu\n",
+              m.num_cores, m.num_slices, m.frequency.ghz(), m.ddio_ways, m.llc_slice.ways);
+  std::printf("Paper reference: slice 2.5 MB/20 ways/2048 sets [16-6], "
+              "L2 256 kB/8/512 [14-6], L1 32 kB/8/64 [11-6]\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

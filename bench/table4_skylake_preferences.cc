@@ -1,0 +1,43 @@
+// Table 4: preferable (primary + secondary) LLC slices per core on the
+// Skylake model, derived from measured latencies by the placement library.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+void Run() {
+  PrintBanner("Table 4", "preferable slices per core, Xeon Gold 6134 (Skylake)");
+  MemoryHierarchy hierarchy(SkylakeXeonGold6134(), SkylakeSliceHash());
+  SlicePlacement placement(hierarchy);
+
+  std::printf("%-6s  %-14s  %-20s\n", "Core", "Primary", "Secondary");
+  PrintSectionRule();
+  for (CoreId core = 0; core < 8; ++core) {
+    std::string primary;
+    for (const SliceId s : placement.PrimarySlices(core)) {
+      primary += "S" + std::to_string(s) + " ";
+    }
+    std::string secondary;
+    for (const SliceId s : placement.SecondarySlices(core)) {
+      secondary += "S" + std::to_string(s) + " ";
+    }
+    std::printf("C%-5u  %-14s  %-20s\n", core, primary.c_str(), secondary.c_str());
+  }
+  PrintSectionRule();
+  std::printf("paper: primaries S0 S4 S8 S12 S10 S14 S3 S15; secondaries\n");
+  std::printf("{S2,S6} {S1} {S11} {S13} {S7,S9} {S16} {S5} {S17}\n");
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

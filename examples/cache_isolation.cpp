@@ -1,0 +1,106 @@
+// Example: protecting a latency-critical application from a noisy neighbor
+// with slice isolation (paper §7).
+//
+// Runs a small working set next to a streaming neighbor on the Skylake
+// model three ways — shared LLC, CAT way-isolation, slice isolation — and
+// prints the main application's average access latency under each.
+//
+//   $ ./build/examples/cache_isolation
+#include <cstdio>
+#include <memory>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+#include "src/slice/buffers.h"
+#include "src/slice/slice_mapper.h"
+
+using namespace cachedir;
+
+namespace {
+
+constexpr std::size_t kMainBytes = 2u << 20;
+constexpr std::size_t kNoisyBytes = 48u << 20;
+constexpr CoreId kMainCore = 0;
+constexpr CoreId kNoisyCore = 5;
+
+double RunScenario(const char* label, bool use_cat, bool use_slices) {
+  MemoryHierarchy hierarchy(SkylakeXeonGold6134(), SkylakeSliceHash(), 2);
+  HugepageAllocator backing;
+  const auto hash = SkylakeSliceHash();
+
+  std::unique_ptr<MemoryBuffer> main_buf;
+  std::unique_ptr<MemoryBuffer> noisy_buf;
+  if (use_slices) {
+    // Main app in slice 0; the neighbor's memory avoids slice 0 entirely.
+    main_buf = std::make_unique<SliceBuffer>(
+        GatherSliceLines(backing, *hash, 0, kMainBytes / kCacheLineSize));
+    std::vector<SliceLine> noisy_lines;
+    while (noisy_lines.size() < kNoisyBytes / kCacheLineSize) {
+      const Mapping m = backing.Allocate(std::size_t{1} << 30, PageSize::k1G);
+      for (std::size_t off = 0; off + kCacheLineSize <= m.size &&
+                                noisy_lines.size() < kNoisyBytes / kCacheLineSize;
+           off += kCacheLineSize) {
+        if (hash->SliceFor(m.pa + off) != 0) {
+          noisy_lines.push_back(SliceLine{m.va + off, m.pa + off});
+        }
+      }
+    }
+    noisy_buf = std::make_unique<SliceBuffer>(std::move(noisy_lines));
+  } else {
+    main_buf = std::make_unique<ContiguousBuffer>(
+        backing.Allocate(kMainBytes, PageSize::k1G).pa, kMainBytes);
+    noisy_buf = std::make_unique<ContiguousBuffer>(
+        backing.Allocate(kNoisyBytes, PageSize::k1G).pa, kNoisyBytes);
+    if (use_cat) {
+      hierarchy.llc().SetCosWayMask(1, 0b00000000011);  // main: 2 of 11 ways
+      hierarchy.llc().SetCosWayMask(2, 0b11111111100);  // neighbor: the rest
+      hierarchy.llc().AssignCoreToCos(kMainCore, 1);
+      hierarchy.llc().AssignCoreToCos(kNoisyCore, 2);
+    }
+  }
+
+  // Warm, pollute, then measure under sustained interference.
+  const std::size_t main_lines = kMainBytes / kCacheLineSize;
+  const std::size_t noisy_lines = kNoisyBytes / kCacheLineSize;
+  for (std::size_t i = 0; i < main_lines; ++i) {
+    (void)hierarchy.Read(kMainCore, main_buf->PaForOffset(i * kCacheLineSize));
+  }
+  for (std::size_t i = 0; i < noisy_lines; i += 2) {
+    (void)hierarchy.Read(kNoisyCore, noisy_buf->PaForOffset(i * kCacheLineSize));
+  }
+
+  Rng main_rng(1);
+  Rng noisy_rng(2);
+  Cycles total = 0;
+  const std::size_t ops = 60000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    total += hierarchy
+                 .Read(kMainCore, main_buf->PaForOffset(main_rng.UniformIndex(main_lines) *
+                                                        kCacheLineSize))
+                 .cycles;
+    for (int k = 0; k < 12; ++k) {
+      (void)hierarchy.Read(kNoisyCore, noisy_buf->PaForOffset(
+                                           noisy_rng.UniformIndex(noisy_lines) *
+                                           kCacheLineSize));
+    }
+  }
+  const double avg = static_cast<double>(total) / static_cast<double>(ops);
+  std::printf("  %-24s %6.1f cycles/access\n", label, avg);
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2 MB app vs a 48 MB streaming neighbor (Xeon Gold 6134 model)\n\n");
+  const double shared = RunScenario("shared LLC (NoCAT)", false, false);
+  const double cat = RunScenario("CAT, 2 of 11 ways", true, false);
+  const double sliced = RunScenario("slice-0 isolation", false, true);
+  std::printf("\nslice isolation is %.1f%% faster than CAT and %.1f%% faster than "
+              "no isolation\n",
+              100.0 * (cat - sliced) / cat, 100.0 * (shared - sliced) / shared);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Example: hypervisor-style slice partitioning between tenants (paper §7).
+//
+// Two tenants share the simulated Skylake socket. The SliceIsolationManager
+// grants each a disjoint set of LLC slices near its cores; each tenant's
+// allocations stay inside its grant, so one tenant streaming over a huge
+// buffer cannot evict the other's working set.
+//
+//   $ ./build/examples/tenant_isolation
+#include <cstdio>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+#include "src/slice/isolation.h"
+#include "src/slice/placement.h"
+
+using namespace cachedir;
+
+namespace {
+
+double MeasureTenantA(MemoryHierarchy& hierarchy, const MemoryBuffer& a_buf,
+                      const MemoryBuffer& b_buf, CoreId a_core, CoreId b_core) {
+  const std::size_t a_lines = a_buf.size_bytes() / kCacheLineSize;
+  const std::size_t b_lines = b_buf.size_bytes() / kCacheLineSize;
+  // Warm tenant A, then run both concurrently; B is a streaming hog.
+  for (std::size_t i = 0; i < a_lines; ++i) {
+    (void)hierarchy.Read(a_core, a_buf.PaForOffset(i * kCacheLineSize));
+  }
+  Rng a_rng(1);
+  Rng b_rng(2);
+  Cycles a_cycles = 0;
+  const std::size_t ops = 80000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    a_cycles += hierarchy
+                    .Read(a_core, a_buf.PaForOffset(a_rng.UniformIndex(a_lines) *
+                                                    kCacheLineSize))
+                    .cycles;
+    for (int k = 0; k < 8; ++k) {
+      (void)hierarchy.Read(b_core,
+                           b_buf.PaForOffset(b_rng.UniformIndex(b_lines) * kCacheLineSize));
+    }
+  }
+  return static_cast<double>(a_cycles) / ops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two tenants on the Skylake model: A (latency-sensitive, 1.5 MB)\n");
+  std::printf("vs B (streaming, 48 MB), with and without slice partitioning\n\n");
+
+  // --- Without isolation: both tenants in ordinary contiguous memory.
+  {
+    MemoryHierarchy hierarchy(SkylakeXeonGold6134(), SkylakeSliceHash(), 4);
+    HugepageAllocator backing;
+    const ContiguousBuffer a(backing.Allocate(1536 * 1024, PageSize::k1G).pa, 1536 * 1024);
+    const ContiguousBuffer b(backing.Allocate(48u << 20, PageSize::k1G).pa, 48u << 20);
+    std::printf("shared LLC           : tenant A averages %.1f cycles/access\n",
+                MeasureTenantA(hierarchy, a, b, 0, 4));
+  }
+
+  // --- With isolation: the manager grants disjoint slice sets.
+  {
+    MemoryHierarchy hierarchy(SkylakeXeonGold6134(), SkylakeSliceHash(), 4);
+    HugepageAllocator backing;
+    SlicePlacement placement(hierarchy);
+    SliceAwareAllocator allocator(backing, SkylakeSliceHash());
+    SliceIsolationManager manager(placement, allocator);
+
+    const auto a_slices = manager.RegisterTenant("tenant-a", {0, 1}, 2);
+    const auto b_slices = manager.RegisterTenant("tenant-b", {4, 5}, 12);
+    std::printf("slice partitioning   : A granted slices");
+    for (const SliceId s : a_slices) {
+      std::printf(" S%u", s);
+    }
+    std::printf("; B granted %zu slices\n", b_slices.size());
+
+    const SliceBuffer a = manager.Allocate("tenant-a", 1536 * 1024);
+    const SliceBuffer b = manager.Allocate("tenant-b", 48u << 20);
+    std::printf("slice partitioning   : tenant A averages %.1f cycles/access\n",
+                MeasureTenantA(hierarchy, a, b, 0, 4));
+  }
+
+  std::printf("\nisolated tenant A keeps its working set in its own nearby slices,\n");
+  std::printf("untouched by B's streaming (paper §7's hypervisor proposal)\n");
+  return 0;
+}

@@ -1,0 +1,364 @@
+#include "src/cache/hierarchy.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
+                                 std::shared_ptr<const SliceHash> hash, std::uint64_t seed)
+    : spec_(spec),
+      llc_(
+          [&] {
+            SlicedLlc::Config c;
+            c.num_sets = spec.llc_slice.num_sets();
+            c.num_ways = spec.llc_slice.ways;
+            c.replacement = spec.replacement;
+            c.ddio_ways = spec.ddio_ways;
+            c.seed = seed;
+            return c;
+          }(),
+          hash) {
+  if (hash == nullptr) {
+    throw std::invalid_argument("MemoryHierarchy: null slice hash");
+  }
+  if (hash->num_slices() != spec.num_slices) {
+    throw std::invalid_argument("MemoryHierarchy: hash slice count != machine slice count");
+  }
+  SetAssocCache::Config l1c;
+  l1c.num_sets = spec.l1.num_sets();
+  l1c.num_ways = spec.l1.ways;
+  l1c.replacement = spec.replacement;
+  SetAssocCache::Config l2c;
+  l2c.num_sets = spec.l2.num_sets();
+  l2c.num_ways = spec.l2.ways;
+  l2c.replacement = spec.replacement;
+  l1_.reserve(spec.num_cores);
+  l2_.reserve(spec.num_cores);
+  for (std::size_t i = 0; i < spec.num_cores; ++i) {
+    l1c.seed = seed + 1000 + i;
+    l2c.seed = seed + 2000 + i;
+    l1_.emplace_back(l1c);
+    l2_.emplace_back(l2c);
+  }
+}
+
+AccessResult MemoryHierarchy::Read(CoreId core, PhysAddr addr) {
+  return Access(core, addr, /*is_write=*/false);
+}
+
+AccessResult MemoryHierarchy::Write(CoreId core, PhysAddr addr) {
+  return Access(core, addr, /*is_write=*/true);
+}
+
+AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) {
+  const PhysAddr line = LineBase(addr);
+  const LatencyModel& lat = spec_.latency;
+  const SliceId slice = llc_.SliceOf(line);
+  AccessResult result;
+  result.slice = slice;
+
+  // L1.
+  if (l1_[core].Touch(line)) {
+    ++stats_.l1_hits;
+    if (is_write) {
+      result.cycles = lat.store_commit;
+      if (!l1_[core].IsDirty(line) && HeldElsewhere(core, line)) {
+        // Store to a Shared line: bus upgrade invalidates the other copies.
+        ++stats_.upgrades;
+        InvalidateElsewhere(core, line);
+        result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
+      }
+      l1_[core].MarkDirty(line);
+    } else {
+      result.cycles = lat.l1_hit;
+    }
+    result.level = ServedBy::kL1;
+    return result;
+  }
+  ++stats_.l1_misses;
+
+  // L2.
+  if (l2_[core].Touch(line)) {
+    ++stats_.l2_hits;
+    if (!prefetched_.empty() && prefetched_.erase(line) != 0) {
+      ++stats_.prefetch_hits;
+    }
+    result.cycles = lat.l2_hit;
+    if (is_write && !l2_[core].IsDirty(line) && HeldElsewhere(core, line)) {
+      ++stats_.upgrades;
+      InvalidateElsewhere(core, line);
+      result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
+    }
+    result.level = ServedBy::kL2;
+    FillL1(core, line, /*dirty=*/is_write);
+    return result;
+  }
+  ++stats_.l2_misses;
+
+  // Coherence snoop: another core may hold the line Modified; if so it
+  // forwards the data cache-to-cache (faster than DRAM, slower than a plain
+  // LLC hit).
+  if (DirtyElsewhere(core, line)) {
+    ++stats_.remote_forwards;
+    Cycles cycles = LlcHitLatency(core, slice) + lat.snoop_transfer;
+    bool fill_dirty;
+    if (is_write) {
+      // RFO: the remote Modified copy dies; its dirt transfers to us.
+      InvalidateElsewhere(core, line);
+      fill_dirty = true;
+    } else {
+      // Read: the owner downgrades to clean Shared; the dirt moves into the
+      // LLC if the line is resident there, otherwise it rides on our copy.
+      DowngradeElsewhere(core, line);
+      fill_dirty = !llc_.MarkDirty(line);
+    }
+    // The forward also refreshes the (inclusive) LLC copy's recency.
+    if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+      llc_.LookupAndTouch(line);
+    }
+    FillL2(core, line, fill_dirty && !is_write, &cycles);
+    FillL1(core, line, /*dirty=*/is_write || fill_dirty);
+    result.cycles = cycles;
+    result.level = ServedBy::kRemoteCache;
+    return result;
+  }
+
+  // LLC.
+  Cycles cycles = LlcHitLatency(core, slice);
+  const bool llc_hit = llc_.LookupAndTouch(line);
+  bool fill_dirty = false;
+  if (llc_hit) {
+    ++stats_.llc_hits;
+    result.level = ServedBy::kLlc;
+    if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
+      // Exclusive victim behaviour: the line moves to L2 rather than being
+      // duplicated (so L2 + LLC capacities add up — without this, a working
+      // set of slice-size + L2, the paper's Fig. 17 sizing, would thrash).
+      const auto inv = llc_.Invalidate(line);
+      fill_dirty = inv.was_dirty;
+    }
+  } else {
+    ++stats_.llc_misses;
+    cycles += lat.dram;
+    result.level = ServedBy::kDram;
+    if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+      // Demand fill allocates in the LLC too.
+      HandleLlcEviction(llc_.InsertForCore(core, line, /*dirty=*/false));
+    }
+    // Victim mode: the line bypasses the LLC on a demand fill and will enter
+    // it when evicted from L2.
+  }
+  if (is_write) {
+    // RFO: clean Shared copies elsewhere are invalidated (no forward needed,
+    // the cost is part of the miss round trip already paid).
+    InvalidateElsewhere(core, line);
+  }
+
+  FillL2(core, line, fill_dirty, &cycles);
+  FillL1(core, line, /*dirty=*/is_write);
+  if (spec_.l2_next_line_prefetch) {
+    PrefetchNextLine(core, line);
+  }
+  result.cycles = cycles;
+  return result;
+}
+
+bool MemoryHierarchy::HeldElsewhere(CoreId core, PhysAddr line) const {
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    if (c == core) {
+      continue;
+    }
+    if (l1_[c].Contains(line) || l2_[c].Contains(line)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MemoryHierarchy::DirtyElsewhere(CoreId core, PhysAddr line) const {
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    if (c == core) {
+      continue;
+    }
+    if (l1_[c].IsDirty(line) || l2_[c].IsDirty(line)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line) {
+  bool dirty = false;
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    if (c == core) {
+      continue;
+    }
+    const auto r1 = l1_[c].Invalidate(line);
+    const auto r2 = l2_[c].Invalidate(line);
+    if (r1.was_present || r2.was_present) {
+      ++stats_.invalidations_sent;
+    }
+    dirty = dirty || r1.was_dirty || r2.was_dirty;
+  }
+  return dirty;
+}
+
+void MemoryHierarchy::DowngradeElsewhere(CoreId core, PhysAddr line) {
+  for (std::size_t c = 0; c < l1_.size(); ++c) {
+    if (c == core) {
+      continue;
+    }
+    (void)l1_[c].MarkClean(line);
+    (void)l2_[c].MarkClean(line);
+  }
+}
+
+void MemoryHierarchy::PrefetchNextLine(CoreId core, PhysAddr line) {
+  const PhysAddr next = line + kCacheLineSize;
+  if (l2_[core].Contains(next) || l1_[core].Contains(next)) {
+    return;
+  }
+  ++stats_.prefetches_issued;
+  prefetched_.insert(next);
+  // The prefetch engine walks the same path as a demand fill, but in the
+  // background: its latency is not charged to the core.
+  bool dirty = false;
+  if (llc_.LookupAndTouch(next)) {
+    if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
+      dirty = llc_.Invalidate(next).was_dirty;  // exclusive move to L2
+    }
+  } else if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+    HandleLlcEviction(llc_.InsertForCore(core, next, /*dirty=*/false));
+  }
+  Cycles uncharged = 0;
+  FillL2(core, next, dirty, &uncharged);
+}
+
+void MemoryHierarchy::FillL1(CoreId core, PhysAddr line, bool dirty) {
+  const auto evicted = l1_[core].Insert(line, dirty);
+  if (dirty) {
+    l1_[core].MarkDirty(line);
+  }
+  if (evicted.has_value() && evicted->dirty) {
+    // L1 victims land in L2 (which contains them by construction; if a race
+    // with an L2 eviction removed the copy, push the dirt to the LLC).
+    if (!l2_[core].MarkDirty(evicted->line)) {
+      if (!llc_.MarkDirty(evicted->line)) {
+        // Line is nowhere below: the write-back goes straight to DRAM.
+        ++stats_.dirty_writebacks;
+      }
+    }
+  }
+}
+
+void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* extra_cycles) {
+  const auto evicted = l2_[core].Insert(line, dirty);
+  if (!evicted.has_value()) {
+    return;
+  }
+  // Keep L1 subset of L2: the victim leaves L1 as well, carrying its dirt.
+  const auto l1_state = l1_[core].Invalidate(evicted->line);
+  const bool victim_dirty = evicted->dirty || l1_state.was_dirty;
+
+  if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+    // The victim is still resident in the (inclusive) LLC; just mark dirt.
+    if (victim_dirty) {
+      ++stats_.dirty_writebacks;
+      llc_.MarkDirty(evicted->line);
+      *extra_cycles += spec_.latency.writeback_busy +
+                       SlicePenalty(core, llc_.SliceOf(evicted->line));
+    }
+    return;
+  }
+
+  // Victim (Skylake) mode: L2 evictions fill the LLC.
+  if (!llc_.Contains(evicted->line)) {
+    HandleLlcEviction(llc_.InsertForCore(core, evicted->line, victim_dirty));
+  } else if (victim_dirty) {
+    llc_.MarkDirty(evicted->line);
+  }
+  if (victim_dirty) {
+    ++stats_.dirty_writebacks;
+    *extra_cycles += spec_.latency.writeback_busy +
+                     SlicePenalty(core, llc_.SliceOf(evicted->line));
+  }
+}
+
+void MemoryHierarchy::BackInvalidate(PhysAddr line) {
+  for (std::size_t core = 0; core < l1_.size(); ++core) {
+    l1_[core].Invalidate(line);
+    l2_[core].Invalidate(line);
+  }
+}
+
+void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicted) {
+  if (!evicted.has_value()) {
+    return;
+  }
+  if (evicted->dirty) {
+    ++stats_.dirty_writebacks;  // written to DRAM by the LLC, off the core path
+  }
+  if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+    BackInvalidate(evicted->line);
+  }
+}
+
+Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  ++stats_.dma_line_writes;
+  // DMA takes ownership: stale copies leave the core caches.
+  BackInvalidate(line);
+  const SliceId slice = llc_.SliceOf(line);
+  if (llc_.Contains(line)) {
+    llc_.MarkDirty(line);
+    llc_.LookupAndTouch(line);
+  } else {
+    HandleLlcEviction(llc_.InsertForDma(line));
+  }
+  return spec_.latency.llc_base + spec_.interconnect->SlicePenalty(0, slice);
+}
+
+Cycles MemoryHierarchy::DmaWrite(PhysAddr addr, std::size_t bytes) {
+  Cycles total = 0;
+  const PhysAddr first = LineBase(addr);
+  const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+    total += DmaWriteLine(line);
+  }
+  return total;
+}
+
+Cycles MemoryHierarchy::DmaReadLine(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  ++stats_.dma_line_reads;
+  if (llc_.LookupAndTouch(line)) {
+    return spec_.latency.llc_base;
+  }
+  return spec_.latency.llc_base + spec_.latency.dram;
+}
+
+Cycles MemoryHierarchy::DmaRead(PhysAddr addr, std::size_t bytes) {
+  Cycles total = 0;
+  const PhysAddr first = LineBase(addr);
+  const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+    total += DmaReadLine(line);
+  }
+  return total;
+}
+
+void MemoryHierarchy::FlushLine(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  BackInvalidate(line);
+  llc_.Invalidate(line);
+}
+
+void MemoryHierarchy::FlushAll() {
+  for (std::size_t core = 0; core < l1_.size(); ++core) {
+    l1_[core].Clear();
+    l2_[core].Clear();
+  }
+  llc_.Clear();
+}
+
+}  // namespace cachedir

@@ -1,0 +1,147 @@
+// The full simulated memory hierarchy of one socket: per-core L1d and L2,
+// a shared sliced LLC, and DRAM — with cycle-cost accounting per access.
+//
+// Two organisations are modelled, selected by MachineSpec::inclusion:
+//  * kInclusive (Haswell): LLC is inclusive of all L1/L2; demand fills
+//    allocate at every level; an LLC eviction back-invalidates the core
+//    caches.
+//  * kVictim (Skylake-SP): demand fills go to L2/L1 only; lines enter the
+//    LLC when evicted from an L2; an LLC hit moves the line (back) into L2
+//    — exclusive behaviour, so L2 and LLC capacities add. (The paper's §6
+//    notes a line *can* remain in the LLC on Skylake; we model the
+//    capacity-exclusive common case, which the paper's own Fig. 17 working
+//    set sizing — three quarters of a slice plus L2 — relies on.)
+//
+// Stores use write-back + write-allocate semantics: a store that hits L1
+// retires in ~1 cycle regardless of where the line lives (the paper's flat
+// Fig. 5b); a store miss pays the read-for-ownership latency of wherever the
+// line is found, and dirty L2 victims pay a write-back busy cost to their
+// destination slice — which is how slice distance becomes visible to
+// sustained write workloads (Fig. 6b).
+//
+// DMA traffic models DDIO: writes allocate directly in the LLC but only
+// within the DDIO way partition; reads are served from LLC or DRAM without
+// allocating.
+#ifndef CACHEDIRECTOR_SRC_CACHE_HIERARCHY_H_
+#define CACHEDIRECTOR_SRC_CACHE_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cache/set_assoc_cache.h"
+#include "src/cache/sliced_llc.h"
+#include "src/hash/slice_hash.h"
+#include "src/sim/machine.h"
+
+namespace cachedir {
+
+enum class ServedBy {
+  kL1,
+  kL2,
+  kLlc,
+  kDram,
+  kRemoteCache,  // cache-to-cache forward from another core's Modified copy
+};
+
+struct AccessResult {
+  Cycles cycles = 0;
+  ServedBy level = ServedBy::kL1;
+  SliceId slice = 0;  // meaningful when the access reached the LLC
+};
+
+struct HierarchyStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t dirty_writebacks = 0;
+  std::uint64_t dma_line_writes = 0;
+  std::uint64_t dma_line_reads = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetch_hits = 0;  // demand accesses served by a prefetch
+  std::uint64_t remote_forwards = 0;   // reads served from another core's M copy
+  std::uint64_t invalidations_sent = 0;  // copies killed by stores (coherence)
+  std::uint64_t upgrades = 0;            // stores that hit Shared lines
+};
+
+class MemoryHierarchy {
+ public:
+  // `hash` routes lines to LLC slices; its slice count must match the spec.
+  MemoryHierarchy(const MachineSpec& spec, std::shared_ptr<const SliceHash> hash,
+                  std::uint64_t seed = 1);
+
+  const MachineSpec& spec() const { return spec_; }
+
+  AccessResult Read(CoreId core, PhysAddr addr);
+  AccessResult Write(CoreId core, PhysAddr addr);
+
+  // DDIO write of one cache line by the NIC. Returns the modelled LLC-side
+  // occupancy cost (charged to the NIC's DMA engine, never to a core).
+  Cycles DmaWriteLine(PhysAddr addr);
+  // DDIO write of an arbitrary byte range (every overlapped line).
+  Cycles DmaWrite(PhysAddr addr, std::size_t bytes);
+
+  // NIC TX read; served from LLC or DRAM, never allocates.
+  Cycles DmaReadLine(PhysAddr addr);
+  Cycles DmaRead(PhysAddr addr, std::size_t bytes);
+
+  // clflush: removes the line from every cache (contents reach DRAM).
+  void FlushLine(PhysAddr addr);
+  // Flushes everything (wbinvd-style; used between experiment repetitions).
+  void FlushAll();
+
+  SlicedLlc& llc() { return llc_; }
+  const SlicedLlc& llc() const { return llc_; }
+
+  const HierarchyStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = HierarchyStats{}; }
+
+  // NUCA penalty between a core and a slice (exposed for placement logic).
+  Cycles SlicePenalty(CoreId core, SliceId slice) const {
+    return spec_.interconnect->SlicePenalty(core, slice);
+  }
+
+  Cycles LlcHitLatency(CoreId core, SliceId slice) const {
+    return spec_.latency.llc_base + SlicePenalty(core, slice);
+  }
+
+ private:
+  AccessResult Access(CoreId core, PhysAddr addr, bool is_write);
+
+  // Fills `line` into core's L1, propagating any displaced dirty victim.
+  void FillL1(CoreId core, PhysAddr line, bool dirty);
+  // Fills `line` into core's L2; may trigger an L2 victim write-back whose
+  // cost is added to *extra_cycles (dirty victims only).
+  void FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* extra_cycles);
+  // Inclusive mode: LLC eviction invalidates the line in every core cache.
+  void BackInvalidate(PhysAddr line);
+  void HandleLlcEviction(const std::optional<EvictedLine>& evicted);
+  // Background next-line prefetch into L2 (no cycles charged to the core).
+  void PrefetchNextLine(CoreId core, PhysAddr line);
+
+  // Coherence (write-invalidate, MESI-flavoured):
+  // True if any core other than `core` holds the line in L1 or L2.
+  bool HeldElsewhere(CoreId core, PhysAddr line) const;
+  // True if any core other than `core` holds the line dirty (Modified).
+  bool DirtyElsewhere(CoreId core, PhysAddr line) const;
+  // Invalidates the line in every core but `core`; returns true if any
+  // displaced copy was dirty (the dirt transfers to the requester).
+  bool InvalidateElsewhere(CoreId core, PhysAddr line);
+  // Downgrades remote Modified copies to clean Shared (read snooping).
+  void DowngradeElsewhere(CoreId core, PhysAddr line);
+
+  MachineSpec spec_;
+  std::vector<SetAssocCache> l1_;
+  std::vector<SetAssocCache> l2_;
+  SlicedLlc llc_;
+  HierarchyStats stats_;
+  std::unordered_set<PhysAddr> prefetched_;  // issued but not yet demanded
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_HIERARCHY_H_

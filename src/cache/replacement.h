@@ -1,0 +1,47 @@
+// Per-set replacement policies.
+//
+// Real parts use LRU approximations; the simulator offers true LRU (default,
+// matching the paper's description of the eviction behaviour it relies on),
+// tree-PLRU (closer to shipped silicon) and random (a pessimistic baseline
+// for ablation benches).
+#ifndef CACHEDIRECTOR_SRC_CACHE_REPLACEMENT_H_
+#define CACHEDIRECTOR_SRC_CACHE_REPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/replacement_kind.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+
+// Replacement metadata for one cache set. One instance per set; ways are
+// addressed by index. The caller guarantees way indices are < num_ways.
+class ReplacementState {
+ public:
+  ReplacementState(ReplacementKind kind, std::uint32_t num_ways);
+
+  // Promote `way` to most-recently-used.
+  void OnAccess(std::uint32_t way);
+
+  // Pick a victim among the ways enabled in `candidate_mask` (bit i = way i).
+  // `candidate_mask` is never zero. `rng` is used only by kRandom.
+  std::uint32_t ChooseVictim(std::uint64_t candidate_mask, Rng& rng) const;
+
+  ReplacementKind kind() const { return kind_; }
+
+ private:
+  std::uint32_t LruVictim(std::uint64_t candidate_mask) const;
+  std::uint32_t PlruVictim(std::uint64_t candidate_mask) const;
+  void PlruTouch(std::uint32_t way);
+
+  ReplacementKind kind_;
+  std::uint32_t num_ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> stamps_;  // LRU: last-access tick per way
+  std::uint64_t plru_bits_ = 0;        // tree-PLRU node bits
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_REPLACEMENT_H_

@@ -1,0 +1,140 @@
+#include "src/cache/set_assoc_cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cachedir {
+
+SetAssocCache::SetAssocCache(const Config& config)
+    : ways_(config.num_ways), set_mask_(config.num_sets - 1), rng_(config.seed) {
+  if (config.num_sets == 0 || !std::has_single_bit(config.num_sets)) {
+    throw std::invalid_argument("SetAssocCache: num_sets must be a power of two");
+  }
+  if (config.num_ways == 0 || config.num_ways > 64) {
+    throw std::invalid_argument("SetAssocCache: num_ways must be in 1..64");
+  }
+  sets_.reserve(config.num_sets);
+  for (std::size_t i = 0; i < config.num_sets; ++i) {
+    sets_.emplace_back(config.replacement, static_cast<std::uint32_t>(config.num_ways));
+  }
+}
+
+const SetAssocCache::Way* SetAssocCache::FindWay(PhysAddr line, std::size_t* way_out) const {
+  const Set& set = sets_[SetIndexOf(line)];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (set.ways[w].valid && set.ways[w].line == line) {
+      if (way_out != nullptr) {
+        *way_out = w;
+      }
+      return &set.ways[w];
+    }
+  }
+  return nullptr;
+}
+
+bool SetAssocCache::Contains(PhysAddr addr) const {
+  return FindWay(LineBase(addr), nullptr) != nullptr;
+}
+
+bool SetAssocCache::Touch(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  std::size_t way = 0;
+  if (FindWay(line, &way) == nullptr) {
+    return false;
+  }
+  sets_[SetIndexOf(line)].repl.OnAccess(static_cast<std::uint32_t>(way));
+  return true;
+}
+
+bool SetAssocCache::MarkDirty(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  std::size_t way = 0;
+  if (FindWay(line, &way) == nullptr) {
+    return false;
+  }
+  sets_[SetIndexOf(line)].ways[way].dirty = true;
+  return true;
+}
+
+bool SetAssocCache::MarkClean(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  std::size_t way = 0;
+  if (FindWay(line, &way) == nullptr) {
+    return false;
+  }
+  Set& set = sets_[SetIndexOf(line)];
+  const bool was_dirty = set.ways[way].dirty;
+  set.ways[way].dirty = false;
+  return was_dirty;
+}
+
+bool SetAssocCache::IsDirty(PhysAddr addr) const {
+  const PhysAddr line = LineBase(addr);
+  std::size_t way = 0;
+  const Way* w = FindWay(line, &way);
+  return w != nullptr && w->dirty;
+}
+
+std::optional<EvictedLine> SetAssocCache::Insert(PhysAddr addr, bool dirty,
+                                                 std::uint64_t way_mask) {
+  const PhysAddr line = LineBase(addr);
+  if (Contains(line)) {
+    throw std::logic_error("SetAssocCache::Insert: line already present");
+  }
+  const std::uint64_t usable = ways_ >= 64 ? way_mask
+                                           : (way_mask & ((std::uint64_t{1} << ways_) - 1));
+  if (usable == 0) {
+    throw std::invalid_argument("SetAssocCache::Insert: empty way mask");
+  }
+  Set& set = sets_[SetIndexOf(line)];
+
+  // Prefer an invalid way inside the partition.
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (((usable >> w) & 1) != 0 && !set.ways[w].valid) {
+      set.ways[w] = Way{line, true, dirty};
+      set.repl.OnAccess(static_cast<std::uint32_t>(w));
+      ++resident_;
+      return std::nullopt;
+    }
+  }
+
+  const std::uint32_t victim = set.repl.ChooseVictim(usable, rng_);
+  EvictedLine evicted{set.ways[victim].line, set.ways[victim].dirty};
+  set.ways[victim] = Way{line, true, dirty};
+  set.repl.OnAccess(victim);
+  return evicted;
+}
+
+SetAssocCache::InvalidateResult SetAssocCache::Invalidate(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  std::size_t way = 0;
+  if (FindWay(line, &way) == nullptr) {
+    return InvalidateResult{};
+  }
+  Set& set = sets_[SetIndexOf(line)];
+  const bool dirty = set.ways[way].dirty;
+  set.ways[way] = Way{};
+  --resident_;
+  return InvalidateResult{true, dirty};
+}
+
+void SetAssocCache::Clear() {
+  for (Set& set : sets_) {
+    for (Way& way : set.ways) {
+      way = Way{};
+    }
+  }
+  resident_ = 0;
+}
+
+std::vector<EvictedLine> SetAssocCache::LinesInSet(std::size_t set_index) const {
+  std::vector<EvictedLine> out;
+  for (const Way& way : sets_[set_index].ways) {
+    if (way.valid) {
+      out.push_back(EvictedLine{way.line, way.dirty});
+    }
+  }
+  return out;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,108 @@
+// A single set-associative cache array (tag store only — data lives in the
+// simulated PhysicalMemory; the caches track presence, recency and dirtiness,
+// which is all that latency accounting needs).
+#ifndef CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
+#define CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/cache/replacement.h"
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// Outcome of inserting a line: the displaced victim, if any.
+struct EvictedLine {
+  PhysAddr line = 0;
+  bool dirty = false;
+};
+
+class SetAssocCache {
+ public:
+  struct Config {
+    std::size_t num_sets = 0;   // power of two
+    std::size_t num_ways = 0;   // 1..64
+    ReplacementKind replacement = ReplacementKind::kLru;
+    std::uint64_t seed = 1;     // for kRandom only
+  };
+
+  explicit SetAssocCache(const Config& config);
+
+  std::size_t num_sets() const { return sets_.size(); }
+  std::size_t num_ways() const { return ways_; }
+  std::size_t capacity_bytes() const { return num_sets() * ways_ * kCacheLineSize; }
+
+  std::size_t SetIndexOf(PhysAddr addr) const {
+    return (addr >> kCacheLineBits) & set_mask_;
+  }
+
+  // Presence test without touching replacement state.
+  bool Contains(PhysAddr addr) const;
+
+  // Lookup that promotes the line on hit. Returns true on hit.
+  bool Touch(PhysAddr addr);
+
+  // Marks a present line dirty (no-op if absent). Returns true if present.
+  bool MarkDirty(PhysAddr addr);
+
+  // Clears the dirty bit of a present line (coherence downgrade M -> S).
+  // Returns true if the line was present and dirty.
+  bool MarkClean(PhysAddr addr);
+
+  // Returns whether the line is present AND dirty.
+  bool IsDirty(PhysAddr addr) const;
+
+  // Inserts the line (must not already be present — call Touch first).
+  // Allocation and victim choice are restricted to the ways enabled in
+  // `way_mask` (used for CAT / DDIO partitions). Returns the displaced line,
+  // if one had to be evicted.
+  std::optional<EvictedLine> Insert(PhysAddr addr, bool dirty,
+                                    std::uint64_t way_mask = ~std::uint64_t{0});
+
+  // Removes the line if present; reports whether it was present and dirty.
+  struct InvalidateResult {
+    bool was_present = false;
+    bool was_dirty = false;
+  };
+  InvalidateResult Invalidate(PhysAddr addr);
+
+  // Drops every line (clflush of the whole array). Dirty contents are
+  // considered written back to memory (data already lives there).
+  void Clear();
+
+  // All currently-resident lines of one set, as (line address, dirty) pairs;
+  // used by inclusive back-invalidation and by tests.
+  std::vector<EvictedLine> LinesInSet(std::size_t set_index) const;
+
+  std::size_t resident_lines() const { return resident_; }
+
+ private:
+  struct Way {
+    PhysAddr line = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  struct Set {
+    std::vector<Way> ways;
+    ReplacementState repl;
+
+    Set(ReplacementKind kind, std::uint32_t num_ways)
+        : ways(num_ways), repl(kind, num_ways) {}
+  };
+
+  const Way* FindWay(PhysAddr line, std::size_t* way_out) const;
+
+  std::size_t ways_;
+  std::size_t set_mask_;
+  std::vector<Set> sets_;
+  mutable Rng rng_;
+  std::size_t resident_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_

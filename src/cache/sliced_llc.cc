@@ -1,0 +1,96 @@
+#include "src/cache/sliced_llc.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+namespace {
+
+std::shared_ptr<const SliceHash> RequireHash(std::shared_ptr<const SliceHash> hash) {
+  if (hash == nullptr) {
+    throw std::invalid_argument("SlicedLlc: null slice hash");
+  }
+  return hash;
+}
+
+}  // namespace
+
+SlicedLlc::SlicedLlc(const Config& config, std::shared_ptr<const SliceHash> hash)
+    : hash_(RequireHash(std::move(hash))),
+      num_ways_(config.num_ways),
+      ddio_mask_((std::uint64_t{1} << config.ddio_ways) - 1),
+      cos_masks_(kMaxCos, (std::uint64_t{1} << config.num_ways) - 1),
+      cbo_(hash_->num_slices()) {
+  if (config.ddio_ways == 0 || config.ddio_ways > config.num_ways) {
+    throw std::invalid_argument("SlicedLlc: ddio_ways must be in 1..num_ways");
+  }
+  SetAssocCache::Config slice_config;
+  slice_config.num_sets = config.num_sets;
+  slice_config.num_ways = config.num_ways;
+  slice_config.replacement = config.replacement;
+  slices_.reserve(hash_->num_slices());
+  for (std::size_t i = 0; i < hash_->num_slices(); ++i) {
+    slice_config.seed = config.seed + i;
+    slices_.emplace_back(slice_config);
+  }
+}
+
+bool SlicedLlc::LookupAndTouch(PhysAddr addr) {
+  const SliceId s = SliceOf(addr);
+  const bool hit = slices_[s].Touch(addr);
+  cbo_.RecordLookup(s, /*miss=*/!hit);
+  return hit;
+}
+
+bool SlicedLlc::Contains(PhysAddr addr) const { return slices_[SliceOf(addr)].Contains(addr); }
+
+bool SlicedLlc::MarkDirty(PhysAddr addr) { return slices_[SliceOf(addr)].MarkDirty(addr); }
+
+bool SlicedLlc::IsDirty(PhysAddr addr) const { return slices_[SliceOf(addr)].IsDirty(addr); }
+
+std::optional<EvictedLine> SlicedLlc::InsertForCore(CoreId core, PhysAddr addr, bool dirty) {
+  return slices_[SliceOf(addr)].Insert(addr, dirty, WayMaskForCore(core));
+}
+
+std::optional<EvictedLine> SlicedLlc::InsertForDma(PhysAddr addr) {
+  const SliceId s = SliceOf(addr);
+  cbo_.RecordDmaFill(s);
+  return slices_[s].Insert(addr, /*dirty=*/true, ddio_mask_);
+}
+
+SetAssocCache::InvalidateResult SlicedLlc::Invalidate(PhysAddr addr) {
+  return slices_[SliceOf(addr)].Invalidate(addr);
+}
+
+void SlicedLlc::Clear() {
+  for (SetAssocCache& s : slices_) {
+    s.Clear();
+  }
+}
+
+void SlicedLlc::SetCosWayMask(std::uint32_t cos, std::uint64_t way_mask) {
+  if (cos >= kMaxCos) {
+    throw std::invalid_argument("SlicedLlc: COS id out of range");
+  }
+  const std::uint64_t full = (std::uint64_t{1} << num_ways_) - 1;
+  if ((way_mask & full) == 0) {
+    throw std::invalid_argument("SlicedLlc: COS way mask selects no ways");
+  }
+  cos_masks_[cos] = way_mask & full;
+}
+
+void SlicedLlc::AssignCoreToCos(CoreId core, std::uint32_t cos) {
+  if (cos >= kMaxCos) {
+    throw std::invalid_argument("SlicedLlc: COS id out of range");
+  }
+  if (core_cos_.size() <= core) {
+    core_cos_.resize(core + 1, 0);
+  }
+  core_cos_[core] = cos;
+}
+
+std::uint64_t SlicedLlc::WayMaskForCore(CoreId core) const {
+  const std::uint32_t cos = core < core_cos_.size() ? core_cos_[core] : 0;
+  return cos_masks_[cos];
+}
+
+}  // namespace cachedir

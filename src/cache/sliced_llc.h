@@ -1,0 +1,81 @@
+// The sliced Last Level Cache.
+//
+// One SetAssocCache per slice; the Complex Addressing hash routes each line
+// to its slice. Allocation can be restricted to way partitions: per-core CAT
+// classes of service, and the fixed DDIO partition used by NIC DMA (2 of 20
+// ways by default — the "10% of LLC" limit the paper discusses).
+#ifndef CACHEDIRECTOR_SRC_CACHE_SLICED_LLC_H_
+#define CACHEDIRECTOR_SRC_CACHE_SLICED_LLC_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cache/set_assoc_cache.h"
+#include "src/hash/slice_hash.h"
+#include "src/uncore/cbo.h"
+
+namespace cachedir {
+
+class SlicedLlc {
+ public:
+  struct Config {
+    std::size_t num_sets = 0;   // per slice
+    std::size_t num_ways = 0;   // per slice
+    ReplacementKind replacement = ReplacementKind::kLru;
+    std::size_t ddio_ways = 2;  // ways NIC DMA may allocate into
+    std::uint64_t seed = 1;
+  };
+
+  SlicedLlc(const Config& config, std::shared_ptr<const SliceHash> hash);
+
+  std::size_t num_slices() const { return slices_.size(); }
+  std::size_t num_ways() const { return num_ways_; }
+  const SliceHash& hash() const { return *hash_; }
+
+  SliceId SliceOf(PhysAddr addr) const { return hash_->SliceFor(addr); }
+
+  // Core-side lookup: records a CBo lookup event on the target slice and
+  // promotes the line on hit.
+  bool LookupAndTouch(PhysAddr addr);
+
+  bool Contains(PhysAddr addr) const;
+  bool MarkDirty(PhysAddr addr);
+  bool IsDirty(PhysAddr addr) const;
+
+  // Fill on behalf of `core`, honouring the core's CAT way mask.
+  std::optional<EvictedLine> InsertForCore(CoreId core, PhysAddr addr, bool dirty);
+
+  // Fill on behalf of NIC DMA, honouring the DDIO way partition.
+  std::optional<EvictedLine> InsertForDma(PhysAddr addr);
+
+  SetAssocCache::InvalidateResult Invalidate(PhysAddr addr);
+  void Clear();
+
+  // ---- Cache Allocation Technology ----
+  // Classes of service; every core starts in COS 0 whose mask is all ways.
+  void SetCosWayMask(std::uint32_t cos, std::uint64_t way_mask);
+  void AssignCoreToCos(CoreId core, std::uint32_t cos);
+  std::uint64_t WayMaskForCore(CoreId core) const;
+  std::uint64_t ddio_way_mask() const { return ddio_mask_; }
+
+  CboCounterBank& cbo() { return cbo_; }
+  const CboCounterBank& cbo() const { return cbo_; }
+
+  const SetAssocCache& slice(SliceId s) const { return slices_[s]; }
+
+ private:
+  static constexpr std::size_t kMaxCos = 16;
+
+  std::shared_ptr<const SliceHash> hash_;
+  std::vector<SetAssocCache> slices_;
+  std::size_t num_ways_;
+  std::uint64_t ddio_mask_;
+  std::vector<std::uint64_t> cos_masks_;
+  std::vector<std::uint32_t> core_cos_;  // grown on demand
+  CboCounterBank cbo_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_SLICED_LLC_H_

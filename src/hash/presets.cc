@@ -1,0 +1,62 @@
+#include "src/hash/presets.h"
+
+#include <initializer_list>
+#include <vector>
+
+namespace cachedir {
+
+std::uint64_t MaskOfBits(std::initializer_list<unsigned> bits) {
+  std::uint64_t mask = 0;
+  for (const unsigned b : bits) {
+    mask |= std::uint64_t{1} << b;
+  }
+  return mask;
+}
+
+std::shared_ptr<const SliceHash> HaswellSliceHash() {
+  // The three parity functions published by Maurice et al. for 8-slice parts,
+  // truncated to PA bits <= 37 (a 256 GB physical space, ample for the
+  // simulated 128 GB socket).
+  std::vector<std::uint64_t> masks;
+  masks.push_back(
+      MaskOfBits({6, 10, 12, 14, 16, 17, 18, 20, 22, 24, 25, 26, 27, 28, 30, 32, 33, 35, 36}));
+  masks.push_back(
+      MaskOfBits({7, 11, 13, 15, 17, 19, 20, 21, 22, 23, 24, 26, 28, 29, 31, 33, 34, 35, 37}));
+  masks.push_back(MaskOfBits({8, 12, 13, 16, 19, 22, 23, 26, 27, 30, 31, 34, 35, 36, 37}));
+  return std::make_shared<XorSliceHash>(std::move(masks));
+}
+
+std::shared_ptr<const SliceHash> SandyBridgeSliceHash() {
+  std::vector<std::uint64_t> masks;
+  masks.push_back(
+      MaskOfBits({6, 10, 12, 14, 16, 17, 18, 20, 22, 24, 25, 26, 27, 28, 30, 32, 33, 35, 36}));
+  masks.push_back(
+      MaskOfBits({7, 11, 13, 15, 17, 19, 20, 21, 22, 23, 24, 26, 28, 29, 31, 33, 34, 35, 37}));
+  return std::make_shared<XorSliceHash>(std::move(masks));
+}
+
+std::shared_ptr<const SliceHash> SkylakeSliceHash() {
+  // Six parity functions over a wider bit range feed a 64-entry LUT. 64 is
+  // not divisible by 18, so ten slices own four entries and eight own three —
+  // the small residual imbalance the paper notes for real parts (§8).
+  std::vector<std::uint64_t> masks;
+  masks.push_back(MaskOfBits({6, 11, 13, 16, 19, 21, 24, 27, 30, 33, 36}));
+  masks.push_back(MaskOfBits({7, 12, 14, 17, 20, 22, 25, 28, 31, 34, 37}));
+  masks.push_back(MaskOfBits({8, 13, 15, 18, 21, 23, 26, 29, 32, 35}));
+  masks.push_back(MaskOfBits({9, 14, 16, 19, 22, 24, 27, 30, 33, 36}));
+  masks.push_back(MaskOfBits({10, 15, 17, 20, 23, 25, 28, 31, 34, 37}));
+  masks.push_back(MaskOfBits({11, 16, 18, 21, 24, 26, 29, 32, 35}));
+
+  // Fixed pseudo-random permutation of slice ids across the 64 entries
+  // (generated once with a Fisher-Yates shuffle, then frozen here so the
+  // mapping is part of the machine definition, as on silicon).
+  const std::vector<SliceId> lut = {
+      7,  12, 3,  16, 9,  0,  14, 5,  11, 2,  17, 8,  13, 4,  10, 1,   //
+      15, 6,  0,  12, 7,  17, 2,  9,  14, 5,  11, 16, 3,  8,  13, 10,  //
+      1,  6,  15, 4,  9,  0,  17, 12, 5,  14, 2,  7,  16, 11, 3,  8,   //
+      13, 1,  10, 6,  15, 4,  0,  9,  17, 2,  12, 7,  5,  14, 16, 11,
+  };
+  return std::make_shared<XorLutSliceHash>(std::move(masks), lut, 18);
+}
+
+}  // namespace cachedir

@@ -1,0 +1,30 @@
+// Concrete Complex Addressing instances for the two modelled CPUs.
+#ifndef CACHEDIRECTOR_SRC_HASH_PRESETS_H_
+#define CACHEDIRECTOR_SRC_HASH_PRESETS_H_
+
+#include <memory>
+
+#include "src/hash/slice_hash.h"
+
+namespace cachedir {
+
+// Builds a bit mask selecting the listed physical-address bit positions.
+std::uint64_t MaskOfBits(std::initializer_list<unsigned> bits);
+
+// Haswell-EP 8-slice hash (the paper's Fig. 4 form): three XOR parity
+// functions over PA bits 6..37.
+std::shared_ptr<const SliceHash> HaswellSliceHash();
+
+// Skylake-SP 18-slice hash: six parity functions selecting into a fixed
+// 64-entry LUT of slice ids. Deterministic; near-uniform (each slice owns
+// 3 or 4 of the 64 LUT entries).
+std::shared_ptr<const SliceHash> SkylakeSliceHash();
+
+// Sandy Bridge-class 4-slice hash: the first two parity functions of the
+// family (Maurice et al. showed the 2^n-slice hashes nest: the k-slice-bit
+// variant uses the first k functions).
+std::shared_ptr<const SliceHash> SandyBridgeSliceHash();
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_HASH_PRESETS_H_

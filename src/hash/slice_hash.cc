@@ -1,0 +1,36 @@
+#include "src/hash/slice_hash.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+XorSliceHash::XorSliceHash(std::vector<std::uint64_t> masks) : masks_(std::move(masks)) {
+  if (masks_.empty() || masks_.size() > 6) {
+    throw std::invalid_argument("XorSliceHash: need 1..6 mask bits");
+  }
+  for (const std::uint64_t mask : masks_) {
+    if ((mask & ((std::uint64_t{1} << kCacheLineBits) - 1)) != 0) {
+      throw std::invalid_argument("XorSliceHash: masks must not select line-offset bits");
+    }
+  }
+}
+
+XorLutSliceHash::XorLutSliceHash(std::vector<std::uint64_t> masks, std::vector<SliceId> lut,
+                                 std::size_t num_slices)
+    : masks_(std::move(masks)), lut_(std::move(lut)), num_slices_(num_slices) {
+  if (lut_.size() != (std::size_t{1} << masks_.size())) {
+    throw std::invalid_argument("XorLutSliceHash: LUT size must be 2^num_masks");
+  }
+  for (const SliceId s : lut_) {
+    if (s >= num_slices_) {
+      throw std::invalid_argument("XorLutSliceHash: LUT entry out of range");
+    }
+  }
+  for (const std::uint64_t mask : masks_) {
+    if ((mask & ((std::uint64_t{1} << kCacheLineBits) - 1)) != 0) {
+      throw std::invalid_argument("XorLutSliceHash: masks must not select line-offset bits");
+    }
+  }
+}
+
+}  // namespace cachedir

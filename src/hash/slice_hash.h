@@ -1,0 +1,109 @@
+// Models of Intel's "Complex Addressing": the undocumented hash that maps a
+// physical cache-line address to an LLC slice.
+//
+// Maurice et al. (RAID '15) showed the hash for 2^n-core parts is a set of
+// XOR parity functions over physical-address bits; the paper reproduces that
+// result (its Fig. 4) and this module implements the same functional form.
+// For parts whose slice count is not a power of two (Skylake-SP, 18 slices)
+// we model a two-stage hash: parity bits select an entry in a fixed lookup
+// table of slice ids, which matches the behaviour observed by follow-on
+// reverse-engineering work (near-uniform with a small residual imbalance —
+// an imbalance the paper itself discusses in §8).
+#ifndef CACHEDIRECTOR_SRC_HASH_SLICE_HASH_H_
+#define CACHEDIRECTOR_SRC_HASH_SLICE_HASH_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// Parity of the bits of `value` selected by `mask`.
+constexpr std::uint32_t ParityOf(std::uint64_t value, std::uint64_t mask) {
+  return static_cast<std::uint32_t>(std::popcount(value & mask) & 1);
+}
+
+class SliceHash {
+ public:
+  virtual ~SliceHash() = default;
+
+  virtual std::size_t num_slices() const = 0;
+
+  // Slice holding the cache line that contains `addr`. Only bits >= 6 may
+  // influence the result (all bytes of a line live in one slice).
+  virtual SliceId SliceFor(PhysAddr addr) const = 0;
+};
+
+// Pure XOR hash: output bit i is the parity of (addr & masks[i]). Number of
+// slices is 2^masks.size(). This is the documented Haswell-class form.
+class XorSliceHash final : public SliceHash {
+ public:
+  explicit XorSliceHash(std::vector<std::uint64_t> masks);
+
+  std::size_t num_slices() const override { return std::size_t{1} << masks_.size(); }
+
+  SliceId SliceFor(PhysAddr addr) const override {
+    const PhysAddr line = LineBase(addr);
+    SliceId slice = 0;
+    for (std::size_t i = 0; i < masks_.size(); ++i) {
+      slice |= ParityOf(line, masks_[i]) << i;
+    }
+    return slice;
+  }
+
+  std::span<const std::uint64_t> masks() const { return masks_; }
+
+ private:
+  std::vector<std::uint64_t> masks_;
+};
+
+// Two-stage hash: parity bits index a lookup table of slice ids. Supports any
+// slice count; table entries are as balanced as 2^k mod num_slices permits.
+class XorLutSliceHash final : public SliceHash {
+ public:
+  XorLutSliceHash(std::vector<std::uint64_t> masks, std::vector<SliceId> lut,
+                  std::size_t num_slices);
+
+  std::size_t num_slices() const override { return num_slices_; }
+
+  SliceId SliceFor(PhysAddr addr) const override {
+    const PhysAddr line = LineBase(addr);
+    std::uint32_t index = 0;
+    for (std::size_t i = 0; i < masks_.size(); ++i) {
+      index |= ParityOf(line, masks_[i]) << i;
+    }
+    return lut_[index];
+  }
+
+  std::span<const std::uint64_t> masks() const { return masks_; }
+  std::span<const SliceId> lut() const { return lut_; }
+
+ private:
+  std::vector<std::uint64_t> masks_;
+  std::vector<SliceId> lut_;
+  std::size_t num_slices_;
+};
+
+// Naive baseline used by tests and ablations: slice = line index mod n.
+// Real hardware does NOT do this (it would make all lines of a page-strided
+// array collide); comparing against it shows why the XOR form matters.
+class ModuloSliceHash final : public SliceHash {
+ public:
+  explicit ModuloSliceHash(std::size_t num_slices) : num_slices_(num_slices) {}
+
+  std::size_t num_slices() const override { return num_slices_; }
+
+  SliceId SliceFor(PhysAddr addr) const override {
+    return static_cast<SliceId>((addr >> kCacheLineBits) % num_slices_);
+  }
+
+ private:
+  std::size_t num_slices_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_HASH_SLICE_HASH_H_

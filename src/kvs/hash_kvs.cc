@@ -1,0 +1,165 @@
+#include "src/kvs/hash_kvs.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "src/slice/slice_mapper.h"
+
+namespace cachedir {
+
+HashKvs::HashKvs(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+                 HugepageAllocator& backing, const Config& config)
+    : hierarchy_(hierarchy), memory_(memory), config_(config) {
+  if (!std::has_single_bit(config_.num_buckets)) {
+    throw std::invalid_argument("HashKvs: num_buckets must be a power of two");
+  }
+  if (config_.max_values == 0 || config_.max_values > config_.num_buckets / 2) {
+    // Cap load factor at 0.5 so linear probing stays short.
+    throw std::invalid_argument("HashKvs: max_values must be in 1..num_buckets/2");
+  }
+  if (config_.value_bytes == 0 || config_.value_bytes > 4096) {
+    throw std::invalid_argument("HashKvs: value_bytes must be in 1..4096");
+  }
+  lines_per_value_ = (config_.value_bytes + kCacheLineSize - 1) / kCacheLineSize;
+
+  index_ = backing.Allocate(config_.num_buckets * kBucketBytes, PageSize::k2M);
+  const std::size_t value_bytes_total =
+      config_.max_values * lines_per_value_ * kCacheLineSize;
+  if (config_.slice_aware) {
+    if (config_.target_slice >= hierarchy.spec().num_slices) {
+      throw std::invalid_argument("HashKvs: target slice out of range");
+    }
+    values_ = std::make_unique<SliceBuffer>(
+        GatherSliceLines(backing, hierarchy.llc().hash(), config_.target_slice,
+                         config_.max_values * lines_per_value_,
+                         value_bytes_total >= (std::size_t{1} << 27) ? PageSize::k1G
+                                                                     : PageSize::k2M));
+  } else {
+    values_ = std::make_unique<ContiguousBuffer>(
+        backing.Allocate(value_bytes_total, PageSize::k2M).pa, value_bytes_total);
+  }
+}
+
+std::uint64_t HashKvs::HashKey(std::uint64_t key) {
+  // Fibonacci-style 64-bit mixer; deterministic and well spread.
+  std::uint64_t h = key * 0x9E37'79B9'7F4A'7C15ull;
+  h ^= h >> 32;
+  h *= 0xD6E8'FEB8'6659'FD93ull;
+  h ^= h >> 32;
+  return h;
+}
+
+HashKvs::ProbeResult HashKvs::Probe(CoreId core, std::uint64_t key, Cycles* cycles) {
+  const std::size_t mask = config_.num_buckets - 1;
+  std::size_t index = HashKey(key) & mask;
+  std::size_t first_insertable = config_.num_buckets;  // "none yet"
+  ++operations_;
+  for (std::size_t step = 0; step < config_.num_buckets; ++step) {
+    ++probes_;
+    const PhysAddr pa = BucketPa(index);
+    *cycles += hierarchy_.Read(core, pa).cycles;
+    const std::uint64_t stored = memory_.ReadU64(pa);
+    if (stored == kEmpty) {
+      ProbeResult r;
+      r.bucket = first_insertable != config_.num_buckets ? first_insertable : index;
+      r.found = false;
+      return r;
+    }
+    if (stored == kTombstone) {
+      if (first_insertable == config_.num_buckets) {
+        first_insertable = index;
+      }
+    } else if (stored == key + 1) {
+      return ProbeResult{index, true, false};
+    }
+    index = (index + 1) & mask;
+  }
+  ProbeResult r;
+  r.full = first_insertable == config_.num_buckets;
+  r.bucket = r.full ? 0 : first_insertable;
+  return r;
+}
+
+HashKvs::OpResult HashKvs::Set(CoreId core, std::uint64_t key,
+                               std::span<const std::uint8_t> value) {
+  OpResult result;
+  result.cycles = config_.fixed_request_cycles;
+  const ProbeResult probe = Probe(core, key, &result.cycles);
+  if (probe.full) {
+    return result;  // index exhausted
+  }
+
+  std::uint64_t slot = 0;
+  const PhysAddr bucket_pa = BucketPa(probe.bucket);
+  if (probe.found) {
+    slot = memory_.ReadU64(bucket_pa + 8) - 1;  // overwrite in place
+  } else {
+    if (next_slot_ >= config_.max_values) {
+      return result;  // value store exhausted
+    }
+    slot = next_slot_++;
+    memory_.WriteU64(bucket_pa, key + 1);
+    memory_.WriteU64(bucket_pa + 8, slot + 1);
+    result.cycles += hierarchy_.Write(core, bucket_pa).cycles;
+    ++size_;
+  }
+
+  // Write the value bytes, zero-padded to value_bytes, line by line.
+  std::uint8_t line_buf[kCacheLineSize];
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < lines_per_value_; ++i) {
+    const std::size_t line_bytes =
+        std::min(kCacheLineSize, config_.value_bytes - i * kCacheLineSize);
+    for (std::size_t b = 0; b < line_bytes; ++b) {
+      line_buf[b] = written < value.size() ? value[written] : 0;
+      ++written;
+    }
+    const PhysAddr pa = ValueSlotPa(slot, i * kCacheLineSize);
+    memory_.Write(pa, std::span<const std::uint8_t>(line_buf, line_bytes));
+    result.cycles += hierarchy_.Write(core, pa).cycles;
+  }
+  result.ok = true;
+  return result;
+}
+
+HashKvs::OpResult HashKvs::Get(CoreId core, std::uint64_t key, std::span<std::uint8_t> out) {
+  OpResult result;
+  result.cycles = config_.fixed_request_cycles;
+  const ProbeResult probe = Probe(core, key, &result.cycles);
+  if (!probe.found) {
+    return result;
+  }
+  const std::uint64_t slot = memory_.ReadU64(BucketPa(probe.bucket) + 8) - 1;
+  std::size_t read = 0;
+  for (std::size_t i = 0; i < lines_per_value_ && read < out.size(); ++i) {
+    const std::size_t line_bytes =
+        std::min({kCacheLineSize, config_.value_bytes - i * kCacheLineSize,
+                  out.size() - read});
+    const PhysAddr pa = ValueSlotPa(slot, i * kCacheLineSize);
+    memory_.Read(pa, out.subspan(read, line_bytes));
+    result.cycles += hierarchy_.Read(core, pa).cycles;
+    read += line_bytes;
+  }
+  result.ok = true;
+  return result;
+}
+
+HashKvs::OpResult HashKvs::Erase(CoreId core, std::uint64_t key) {
+  OpResult result;
+  result.cycles = config_.fixed_request_cycles;
+  const ProbeResult probe = Probe(core, key, &result.cycles);
+  if (!probe.found) {
+    return result;
+  }
+  const PhysAddr bucket_pa = BucketPa(probe.bucket);
+  memory_.WriteU64(bucket_pa, kTombstone);
+  result.cycles += hierarchy_.Write(core, bucket_pa).cycles;
+  --size_;
+  // The value slot is leaked until a rebuild — documented simplification
+  // (MICA-style log stores reclaim in bulk too).
+  result.ok = true;
+  return result;
+}
+
+}  // namespace cachedir

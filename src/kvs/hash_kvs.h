@@ -1,0 +1,100 @@
+// A complete (non-emulated) key-value store over simulated memory — the
+// "more complete implementation and evaluation of slice-aware KVS" the paper
+// leaves as future work (§3.1).
+//
+// Unlike EmulatedKvs (dense keys, latency-only), HashKvs is a real store:
+// an open-addressing index in simulated memory maps arbitrary 64-bit keys
+// to value slots; SET writes the value bytes into simulated physical memory
+// and GET reads them back, with every index probe and value line charged
+// through the cache hierarchy. The value store can be slice-aware
+// (scattered lines in the serving core's slice, any value size — the §8
+// extension) or a normal contiguous region.
+#ifndef CACHEDIRECTOR_SRC_KVS_HASH_KVS_H_
+#define CACHEDIRECTOR_SRC_KVS_HASH_KVS_H_
+
+#include <memory>
+#include <span>
+
+#include "src/cache/hierarchy.h"
+#include "src/mem/hugepage.h"
+#include "src/mem/physical_memory.h"
+#include "src/slice/buffers.h"
+
+namespace cachedir {
+
+class HashKvs {
+ public:
+  struct Config {
+    std::size_t num_buckets = std::size_t{1} << 16;  // power of two
+    std::size_t max_values = std::size_t{1} << 15;   // value-store capacity
+    std::size_t value_bytes = 64;                    // rounded up to lines
+    bool slice_aware = false;
+    SliceId target_slice = 0;
+    Cycles fixed_request_cycles = 48;  // parse/dispatch per request
+  };
+
+  struct OpResult {
+    Cycles cycles = 0;
+    bool ok = false;  // GET/ERASE: key existed; SET: stored
+  };
+
+  HashKvs(MemoryHierarchy& hierarchy, PhysicalMemory& memory, HugepageAllocator& backing,
+          const Config& config);
+
+  // Stores `value` (truncated/zero-padded to value_bytes) under `key`.
+  // Fails (ok = false) when the value store or index is full.
+  OpResult Set(CoreId core, std::uint64_t key, std::span<const std::uint8_t> value);
+
+  // Reads the value into `out` (up to value_bytes).
+  OpResult Get(CoreId core, std::uint64_t key, std::span<std::uint8_t> out);
+
+  // Removes the key (tombstone).
+  OpResult Erase(CoreId core, std::uint64_t key);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return config_.max_values; }
+  std::size_t lines_per_value() const { return lines_per_value_; }
+
+  // Average index probes per operation so far (hash quality / load metric).
+  double AverageProbes() const {
+    return operations_ == 0 ? 0.0
+                            : static_cast<double>(probes_) / static_cast<double>(operations_);
+  }
+
+ private:
+  // One bucket is 16 B: [key+1 | 0 empty | ~0 tombstone][value slot + 1].
+  static constexpr std::size_t kBucketBytes = 16;
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+  PhysAddr BucketPa(std::size_t index) const { return index_.pa + index * kBucketBytes; }
+  static std::uint64_t HashKey(std::uint64_t key);
+
+  // Probes for `key`. Returns the bucket index holding it, or the first
+  // insertable slot (empty/tombstone) when absent; accumulates access cost.
+  struct ProbeResult {
+    std::size_t bucket = 0;
+    bool found = false;
+    bool full = false;
+  };
+  ProbeResult Probe(CoreId core, std::uint64_t key, Cycles* cycles);
+
+  PhysAddr ValueSlotPa(std::uint64_t slot, std::size_t offset) const {
+    return values_->PaForOffset((slot * lines_per_value_) * kCacheLineSize + offset);
+  }
+
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+  Config config_;
+  std::size_t lines_per_value_;
+  Mapping index_;
+  std::unique_ptr<MemoryBuffer> values_;
+  std::uint64_t next_slot_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_KVS_HASH_KVS_H_

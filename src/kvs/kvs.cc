@@ -1,0 +1,56 @@
+#include "src/kvs/kvs.h"
+
+#include <stdexcept>
+
+#include "src/slice/slice_mapper.h"
+
+namespace cachedir {
+
+EmulatedKvs::EmulatedKvs(MemoryHierarchy& hierarchy, HugepageAllocator& backing,
+                         const Config& config)
+    : hierarchy_(hierarchy), config_(config) {
+  if (config_.num_values == 0) {
+    throw std::invalid_argument("EmulatedKvs: need at least one value");
+  }
+  if (config_.value_bytes == 0 || config_.value_bytes > 4096) {
+    throw std::invalid_argument("EmulatedKvs: value_bytes must be in 1..4096");
+  }
+  lines_per_value_ = (config_.value_bytes + kCacheLineSize - 1) / kCacheLineSize;
+  const std::size_t bytes = config_.num_values * lines_per_value_ * kCacheLineSize;
+  if (config_.slice_aware) {
+    if (config_.target_slice >= hierarchy.spec().num_slices) {
+      throw std::invalid_argument("EmulatedKvs: target slice out of range");
+    }
+    const PageSize page = bytes >= (std::size_t{1} << 27) ? PageSize::k1G : PageSize::k2M;
+    values_ = std::make_unique<SliceBuffer>(
+        GatherSliceLines(backing, hierarchy.llc().hash(), config_.target_slice,
+                         config_.num_values * lines_per_value_, page));
+  } else {
+    const PageSize page = bytes > (std::size_t{1} << 21) ? PageSize::k1G : PageSize::k2M;
+    values_ = std::make_unique<ContiguousBuffer>(backing.Allocate(bytes, page).pa, bytes);
+  }
+}
+
+Cycles EmulatedKvs::Get(CoreId core, std::uint64_t key) {
+  if (key >= config_.num_values) {
+    throw std::out_of_range("EmulatedKvs::Get: key out of range");
+  }
+  Cycles cycles = config_.fixed_request_cycles;
+  for (std::size_t i = 0; i < lines_per_value_; ++i) {
+    cycles += hierarchy_.Read(core, ValuePa(key, i * kCacheLineSize)).cycles;
+  }
+  return cycles;
+}
+
+Cycles EmulatedKvs::Set(CoreId core, std::uint64_t key) {
+  if (key >= config_.num_values) {
+    throw std::out_of_range("EmulatedKvs::Set: key out of range");
+  }
+  Cycles cycles = config_.fixed_request_cycles;
+  for (std::size_t i = 0; i < lines_per_value_; ++i) {
+    cycles += hierarchy_.Write(core, ValuePa(key, i * kCacheLineSize)).cycles;
+  }
+  return cycles;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,31 @@
+#include "src/kvs/server.h"
+
+#include "src/sim/rng.h"
+
+namespace cachedir {
+
+KvsResult KvsServer::Run(const KvsWorkload& workload) {
+  ZipfGenerator keys(kvs_.num_values(), workload.zipf_theta, workload.seed);
+  Rng ops(workload.seed + 0x9E3779B97F4A7C15ull);
+
+  KvsResult result;
+  result.requests = workload.requests;
+  std::uint64_t cycles = 0;
+  for (std::uint64_t i = 0; i < workload.requests; ++i) {
+    const std::uint64_t key = keys.Next();
+    if (ops.Bernoulli(workload.get_fraction)) {
+      cycles += kvs_.Get(core_, key);
+    } else {
+      cycles += kvs_.Set(core_, key);
+    }
+  }
+  result.total_cycles = static_cast<double>(cycles);
+  result.avg_cycles_per_request =
+      result.total_cycles / static_cast<double>(workload.requests);
+  // TPS = f / cycles-per-request, at the simulated core frequency.
+  const double hz = kvs_.hierarchy().spec().frequency.ghz() * 1e9;
+  result.tps_millions = hz / result.avg_cycles_per_request / 1e6;
+  return result;
+}
+
+}  // namespace cachedir

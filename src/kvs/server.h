@@ -1,0 +1,41 @@
+// Single-core KVS request-serving loop and TPS measurement (the paper's
+// Fig. 8 methodology: server-side transactions per second, networking
+// bottlenecks excluded).
+#ifndef CACHEDIRECTOR_SRC_KVS_SERVER_H_
+#define CACHEDIRECTOR_SRC_KVS_SERVER_H_
+
+#include <cstdint>
+
+#include "src/kvs/kvs.h"
+#include "src/stats/zipf.h"
+
+namespace cachedir {
+
+struct KvsWorkload {
+  double get_fraction = 1.0;   // 1.0 / 0.95 / 0.50 in Fig. 8
+  double zipf_theta = 0.99;    // 0 for the uniform workload
+  std::uint64_t requests = 1'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct KvsResult {
+  std::uint64_t requests = 0;
+  double total_cycles = 0;
+  double avg_cycles_per_request = 0;
+  double tps_millions = 0;  // at the simulated core frequency
+};
+
+class KvsServer {
+ public:
+  KvsServer(EmulatedKvs& kvs, CoreId core) : kvs_(kvs), core_(core) {}
+
+  KvsResult Run(const KvsWorkload& workload);
+
+ private:
+  EmulatedKvs& kvs_;
+  CoreId core_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_KVS_SERVER_H_

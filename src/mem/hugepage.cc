@@ -1,0 +1,67 @@
+#include "src/mem/hugepage.h"
+
+#include <new>
+
+namespace cachedir {
+
+void Pagemap::Add(const Mapping& m) { by_va_.emplace(m.va, m); }
+
+PhysAddr Pagemap::Translate(VirtAddr va) const {
+  PhysAddr pa = 0;
+  if (!TryTranslate(va, &pa)) {
+    throw std::out_of_range("Pagemap::Translate: unmapped virtual address");
+  }
+  return pa;
+}
+
+bool Pagemap::TryTranslate(VirtAddr va, PhysAddr* out) const {
+  auto it = by_va_.upper_bound(va);
+  if (it == by_va_.begin()) {
+    return false;
+  }
+  --it;
+  const Mapping& m = it->second;
+  if (!m.ContainsVa(va)) {
+    return false;
+  }
+  *out = m.pa + (va - m.va);
+  return true;
+}
+
+HugepageAllocator::HugepageAllocator() : HugepageAllocator(Params{}) {}
+
+HugepageAllocator::HugepageAllocator(const Params& params)
+    : params_(params), next_pa_(params.phys_base), next_va_(params.virt_base) {}
+
+namespace {
+
+std::uint64_t RoundUp(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+}  // namespace
+
+Mapping HugepageAllocator::Allocate(std::size_t bytes, PageSize page_size) {
+  const std::uint64_t page = static_cast<std::uint64_t>(page_size);
+  const std::uint64_t size = RoundUp(bytes == 0 ? 1 : bytes, page);
+
+  const PhysAddr pa = RoundUp(next_pa_, page);
+  if (pa + size > params_.phys_limit) {
+    throw std::bad_alloc();
+  }
+  const VirtAddr va = RoundUp(next_va_, page);
+
+  next_pa_ = pa + size;
+  next_va_ = va + size;
+  bytes_allocated_ += size;
+
+  Mapping m;
+  m.va = va;
+  m.pa = pa;
+  m.size = size;
+  m.page_size = page_size;
+  pagemap_.Add(m);
+  return m;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,91 @@
+// Simulated hugepage allocation and virtual -> physical translation.
+//
+// The paper's slice-aware allocator works by (1) mmap-ing a buffer backed by a
+// 1 GB hugepage, (2) reading the page's physical address from
+// /proc/self/pagemap, and (3) picking the cache lines inside it that hash to
+// the wanted slice. This module provides the equivalents: HugepageAllocator
+// hands out physically-contiguous regions of the simulated address space, and
+// Pagemap translates simulated virtual addresses back to physical ones.
+#ifndef CACHEDIRECTOR_SRC_MEM_HUGEPAGE_H_
+#define CACHEDIRECTOR_SRC_MEM_HUGEPAGE_H_
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+enum class PageSize : std::uint64_t {
+  k4K = 4ull * 1024,
+  k2M = 2ull * 1024 * 1024,
+  k1G = 1024ull * 1024 * 1024,
+};
+
+// A mapped, physically-contiguous region.
+struct Mapping {
+  VirtAddr va = 0;
+  PhysAddr pa = 0;
+  std::size_t size = 0;
+  PageSize page_size = PageSize::k4K;
+
+  VirtAddr va_end() const { return va + size; }
+  bool ContainsVa(VirtAddr a) const { return a >= va && a < va_end(); }
+};
+
+// Translates simulated virtual addresses to physical ones; the stand-in for
+// /proc/self/pagemap.
+class Pagemap {
+ public:
+  void Add(const Mapping& m);
+
+  // Throws std::out_of_range for unmapped addresses (a segfault, were this
+  // real memory).
+  PhysAddr Translate(VirtAddr va) const;
+
+  // Translation when the caller is unsure whether the address is mapped.
+  bool TryTranslate(VirtAddr va, PhysAddr* out) const;
+
+  std::size_t num_mappings() const { return by_va_.size(); }
+
+ private:
+  std::map<VirtAddr, Mapping> by_va_;  // keyed by mapping start
+};
+
+// Hands out hugepage-backed mappings from a simulated zone of free physical
+// memory. Physical placement is deliberately *not* at address zero and not
+// consecutive across allocations of different page sizes, so tests cannot
+// accidentally rely on trivial PA == VA behaviour.
+class HugepageAllocator {
+ public:
+  struct Params {
+    PhysAddr phys_base = 0x1'8000'0000;  // 6 GB: above the simulated DMA zone
+    PhysAddr phys_limit = 0x20'0000'0000;  // 128 GB socket
+    VirtAddr virt_base = 0x7f00'0000'0000;
+  };
+
+  HugepageAllocator();
+  explicit HugepageAllocator(const Params& params);
+
+  // Allocates `bytes` rounded up to whole pages of `page_size`, physically
+  // contiguous, aligned to the page size. Throws std::bad_alloc when the
+  // simulated zone is exhausted.
+  Mapping Allocate(std::size_t bytes, PageSize page_size);
+
+  const Pagemap& pagemap() const { return pagemap_; }
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  Params params_;
+  PhysAddr next_pa_;
+  VirtAddr next_va_;
+  std::size_t bytes_allocated_ = 0;
+  Pagemap pagemap_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_MEM_HUGEPAGE_H_

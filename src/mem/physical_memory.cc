@@ -1,0 +1,87 @@
+#include "src/mem/physical_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cachedir {
+
+PhysicalMemory::Page& PhysicalMemory::PageFor(PhysAddr addr) {
+  const std::uint64_t frame = addr / kPageSize;
+  auto& slot = pages_[frame];
+  if (slot == nullptr) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const PhysicalMemory::Page* PhysicalMemory::PageForIfPresent(PhysAddr addr) const {
+  const std::uint64_t frame = addr / kPageSize;
+  const auto it = pages_.find(frame);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void PhysicalMemory::Write(PhysAddr addr, std::span<const std::uint8_t> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const PhysAddr cur = addr + written;
+    const std::size_t offset = cur % kPageSize;
+    const std::size_t chunk = std::min(data.size() - written, kPageSize - offset);
+    Page& page = PageFor(cur);
+    std::memcpy(page.data() + offset, data.data() + written, chunk);
+    written += chunk;
+  }
+}
+
+void PhysicalMemory::Read(PhysAddr addr, std::span<std::uint8_t> out) const {
+  std::size_t read = 0;
+  while (read < out.size()) {
+    const PhysAddr cur = addr + read;
+    const std::size_t offset = cur % kPageSize;
+    const std::size_t chunk = std::min(out.size() - read, kPageSize - offset);
+    if (const Page* page = PageForIfPresent(cur)) {
+      std::memcpy(out.data() + read, page->data() + offset, chunk);
+    } else {
+      std::memset(out.data() + read, 0, chunk);
+    }
+    read += chunk;
+  }
+}
+
+void PhysicalMemory::WriteU64(PhysAddr addr, std::uint64_t value) {
+  std::uint8_t buf[sizeof(value)];
+  std::memcpy(buf, &value, sizeof(value));
+  Write(addr, buf);
+}
+
+std::uint64_t PhysicalMemory::ReadU64(PhysAddr addr) const {
+  std::uint8_t buf[sizeof(std::uint64_t)] = {};
+  Read(addr, buf);
+  std::uint64_t value = 0;
+  std::memcpy(&value, buf, sizeof(value));
+  return value;
+}
+
+void PhysicalMemory::WriteU32(PhysAddr addr, std::uint32_t value) {
+  std::uint8_t buf[sizeof(value)];
+  std::memcpy(buf, &value, sizeof(value));
+  Write(addr, buf);
+}
+
+std::uint32_t PhysicalMemory::ReadU32(PhysAddr addr) const {
+  std::uint8_t buf[sizeof(std::uint32_t)] = {};
+  Read(addr, buf);
+  std::uint32_t value = 0;
+  std::memcpy(&value, buf, sizeof(value));
+  return value;
+}
+
+void PhysicalMemory::WriteU8(PhysAddr addr, std::uint8_t value) { Write(addr, {&value, 1}); }
+
+std::uint8_t PhysicalMemory::ReadU8(PhysAddr addr) const {
+  std::uint8_t value = 0;
+  Read(addr, {&value, 1});
+  return value;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,57 @@
+// Sparse simulated physical memory.
+//
+// Backing storage for everything the simulated applications touch (KVS
+// values, packet bytes, routing tables). Pages are materialised on first
+// write; reads of untouched memory return zeroes, like freshly faulted
+// anonymous pages.
+#ifndef CACHEDIRECTOR_SRC_MEM_PHYSICAL_MEMORY_H_
+#define CACHEDIRECTOR_SRC_MEM_PHYSICAL_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+class PhysicalMemory {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+
+  PhysicalMemory() = default;
+
+  // Non-copyable: a machine has one physical memory.
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  void Write(PhysAddr addr, std::span<const std::uint8_t> data);
+  void Read(PhysAddr addr, std::span<std::uint8_t> out) const;
+
+  void WriteU64(PhysAddr addr, std::uint64_t value);
+  std::uint64_t ReadU64(PhysAddr addr) const;
+
+  void WriteU32(PhysAddr addr, std::uint32_t value);
+  std::uint32_t ReadU32(PhysAddr addr) const;
+
+  void WriteU8(PhysAddr addr, std::uint8_t value);
+  std::uint8_t ReadU8(PhysAddr addr) const;
+
+  // Number of 4 kB pages materialised so far (for tests / footprint checks).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  Page& PageFor(PhysAddr addr);
+  const Page* PageForIfPresent(PhysAddr addr) const;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_MEM_PHYSICAL_MEMORY_H_

@@ -1,0 +1,93 @@
+#include "src/netio/cache_director.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cachedir {
+
+CacheDirector::CacheDirector(std::shared_ptr<const SliceHash> hash,
+                             const SlicePlacement& placement, bool enabled)
+    : CacheDirector(std::move(hash), placement, Options{enabled, 0}) {}
+
+CacheDirector::CacheDirector(std::shared_ptr<const SliceHash> hash,
+                             const SlicePlacement& placement, const Options& options)
+    : hash_(std::move(hash)), placement_(&placement), options_(options) {
+  if (hash_ == nullptr) {
+    throw std::invalid_argument("CacheDirector: null slice hash");
+  }
+  if (placement_->num_cores() > kMaxCores) {
+    // udata64 holds 16 nibbles; the paper notes this bounds one-CPU scaling.
+    throw std::invalid_argument("CacheDirector: more cores than udata64 nibbles");
+  }
+}
+
+std::uint32_t CacheDirector::BestHeadroomLines(PhysAddr buf_pa, CoreId core) const {
+  std::uint32_t best_lines = 0;
+  Cycles best_latency = std::numeric_limits<Cycles>::max();
+  for (std::uint32_t k = 0; k <= kMaxHeadroomLines; ++k) {
+    const SliceId s = hash_->SliceFor(buf_pa + k * kCacheLineSize);
+    const Cycles lat = placement_->Latency(core, s);
+    if (lat < best_latency) {
+      best_latency = lat;
+      best_lines = k;
+    }
+  }
+  return best_lines;
+}
+
+std::uint32_t CacheDirector::SpreadHeadroomLines(PhysAddr buf_pa, CoreId core) const {
+  // Collect the near-slice set: everything within near_tolerance of the
+  // closest. On the Haswell ring with the default tolerance this is the
+  // whole cheap parity band (4 slices), quartering the per-slice DDIO
+  // pressure that single-slice steering concentrates.
+  const SliceId closest = placement_->ClosestSlice(core);
+  const Cycles best = placement_->Latency(core, closest);
+  std::vector<SliceId> near;
+  for (SliceId s = 0; s < placement_->num_slices(); ++s) {
+    if (placement_->Latency(core, s) <= best + options_.near_tolerance) {
+      near.push_back(s);
+    }
+  }
+  // Deterministic per-mbuf rotation spreads consecutive buffers over the set.
+  const SliceId target = near[(buf_pa / kMbufElementBytes) % near.size()];
+  for (std::uint32_t k = 0; k <= kMaxHeadroomLines; ++k) {
+    if (hash_->SliceFor(buf_pa + k * kCacheLineSize) == target) {
+      return k;
+    }
+  }
+  // Rotation target unreachable in this buffer's window: fall back to the
+  // best reachable slice.
+  return BestHeadroomLines(buf_pa, core);
+}
+
+void CacheDirector::PrepareMbuf(Mbuf& mbuf) const {
+  if (!options_.enabled) {
+    return;
+  }
+  std::uint64_t packed = 0;
+  for (CoreId core = 0; core < placement_->num_cores(); ++core) {
+    const std::uint64_t lines = options_.near_tolerance == 0
+                                    ? BestHeadroomLines(mbuf.buf_pa, core)
+                                    : SpreadHeadroomLines(mbuf.buf_pa, core);
+    packed |= lines << (4 * core);
+  }
+  mbuf.udata64 = packed;
+}
+
+void CacheDirector::ApplyHeadroom(Mbuf& mbuf, CoreId core) const {
+  if (!options_.enabled) {
+    mbuf.headroom = kDefaultHeadroomBytes;
+    return;
+  }
+  const std::uint32_t lines = (mbuf.udata64 >> (4 * core)) & 0xF;
+  mbuf.headroom = lines * kCacheLineSize;
+}
+
+SliceId CacheDirector::DataSliceFor(const Mbuf& mbuf, CoreId core) const {
+  Mbuf copy = mbuf;
+  ApplyHeadroom(copy, core);
+  return hash_->SliceFor(copy.data_pa());
+}
+
+}  // namespace cachedir

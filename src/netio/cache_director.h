@@ -1,0 +1,70 @@
+// CacheDirector (paper §4): slice-aware placement of packet headers.
+//
+// At mempool-initialisation time, PrepareMbuf computes — for every possible
+// consuming core — how many cache lines of headroom make the mbuf's data
+// start address land in the best LLC slice that core can reach within the
+// headroom window, and packs those counts into udata64 (4 bits per core).
+// At descriptor-refill time the NIC driver calls ApplyHeadroom with the
+// core that owns the RX queue, which is a single shifted nibble load — the
+// paper's "mitigating calculation overhead" design.
+#ifndef CACHEDIRECTOR_SRC_NETIO_CACHE_DIRECTOR_H_
+#define CACHEDIRECTOR_SRC_NETIO_CACHE_DIRECTOR_H_
+
+#include <memory>
+
+#include "src/hash/slice_hash.h"
+#include "src/netio/mbuf.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+
+class CacheDirector {
+ public:
+  // Maximum cores encodable in udata64 (4 bits each).
+  static constexpr std::size_t kMaxCores = 16;
+  // Headroom search window in lines: 0..13 (832 B).
+  static constexpr std::uint32_t kMaxHeadroomLines = kMaxHeadroomBytes / kCacheLineSize;
+
+  struct Options {
+    bool enabled = true;
+    // 0: steer every packet to the single closest slice (the paper's main
+    // design). >0: spread packets across ALL slices within `near_tolerance`
+    // cycles of the closest — §8's mitigation for DDIO-partition eviction
+    // under MTU traffic ("one can use multiple slices for memory allocation
+    // as LLC access times are bimodal").
+    Cycles near_tolerance = 0;
+  };
+
+  // `enabled` false gives a pass-through director (traditional DPDK):
+  // headroom is pinned to the 128 B default and udata64 is untouched.
+  CacheDirector(std::shared_ptr<const SliceHash> hash, const SlicePlacement& placement,
+                bool enabled);
+  CacheDirector(std::shared_ptr<const SliceHash> hash, const SlicePlacement& placement,
+                const Options& options);
+
+  bool enabled() const { return options_.enabled; }
+  const Options& options() const { return options_; }
+
+  // Initialisation-time precomputation (called once per mbuf by the pool).
+  void PrepareMbuf(Mbuf& mbuf) const;
+
+  // Driver hook: set the actual headroom for the core about to receive into
+  // this mbuf. Runtime cost is one nibble extract.
+  void ApplyHeadroom(Mbuf& mbuf, CoreId core) const;
+
+  // The slice the mbuf's data start will occupy for `core` (for tests and
+  // the headroom-distribution bench).
+  SliceId DataSliceFor(const Mbuf& mbuf, CoreId core) const;
+
+ private:
+  std::uint32_t BestHeadroomLines(PhysAddr buf_pa, CoreId core) const;
+  std::uint32_t SpreadHeadroomLines(PhysAddr buf_pa, CoreId core) const;
+
+  std::shared_ptr<const SliceHash> hash_;
+  const SlicePlacement* placement_;
+  Options options_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NETIO_CACHE_DIRECTOR_H_

@@ -1,0 +1,56 @@
+// Simulated DPDK packet buffers (rte_mbuf).
+//
+// Layout in simulated physical memory mirrors DPDK (paper Fig. 9/10): a
+// 128 B metadata struct (two cache lines, one of which holds udata64), then
+// a buffer region of headroom + data. Traditional DPDK uses a fixed 128 B
+// headroom; CacheDirector reserves up to 832 B (the maximum it measured on
+// a campus trace) and slides the data start line-by-line so the packet's
+// first 64 B land in the desired LLC slice.
+#ifndef CACHEDIRECTOR_SRC_NETIO_MBUF_H_
+#define CACHEDIRECTOR_SRC_NETIO_MBUF_H_
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+#include "src/trace/packet.h"
+
+namespace cachedir {
+
+// Metadata struct size: two cache lines, like rte_mbuf.
+inline constexpr std::size_t kMbufStructBytes = 128;
+// Traditional DPDK default headroom (RTE_PKTMBUF_HEADROOM).
+inline constexpr std::size_t kDefaultHeadroomBytes = 128;
+// CacheDirector's reserved headroom: 13 cache lines (832 B), the maximum
+// observed need in the paper's §4.2 trace experiment.
+inline constexpr std::size_t kMaxHeadroomBytes = 832;
+// Data area preserved after the largest possible headroom.
+inline constexpr std::size_t kMbufDataBytes = 2048;
+// Full element stride inside a mempool.
+inline constexpr std::size_t kMbufElementBytes =
+    kMbufStructBytes + kMaxHeadroomBytes + kMbufDataBytes;
+
+struct Mbuf {
+  // First byte of the metadata struct (2 lines) in simulated memory.
+  PhysAddr struct_pa = 0;
+  // First byte of the buffer region (headroom + data).
+  PhysAddr buf_pa = 0;
+  // Current headroom: data starts at buf_pa + headroom.
+  std::uint32_t headroom = kDefaultHeadroomBytes;
+  // Bytes of packet data currently stored.
+  std::uint32_t data_len = 0;
+  // DPDK's spare 64-bit user field; CacheDirector packs one 4-bit headroom
+  // line count per core here (16 cores max — the paper's scalability note).
+  std::uint64_t udata64 = 0;
+  // The logical wire packet carried by this buffer (simulation side-car).
+  WirePacket wire;
+  // When the frame reached the DuT port (after any PAUSE throttling) and
+  // when its DMA completed — the reference points for DuT-side latency.
+  Nanoseconds nic_rx_start_ns = 0;
+  Nanoseconds rx_ready_ns = 0;
+
+  PhysAddr data_pa() const { return buf_pa + headroom; }
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NETIO_MBUF_H_

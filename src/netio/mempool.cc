@@ -1,0 +1,49 @@
+#include "src/netio/mempool.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+Mempool::Mempool(HugepageAllocator& backing, std::size_t num_mbufs,
+                 const CacheDirector& director) {
+  if (num_mbufs == 0) {
+    throw std::invalid_argument("Mempool: need at least one mbuf");
+  }
+  const std::size_t bytes = num_mbufs * kMbufElementBytes;
+  const PageSize page =
+      bytes > (512u << 20) ? PageSize::k1G : (bytes > (1u << 21) ? PageSize::k2M : PageSize::k4K);
+  const Mapping m = backing.Allocate(bytes, page);
+
+  mbufs_.resize(num_mbufs);
+  free_.reserve(num_mbufs);
+  for (std::size_t i = 0; i < num_mbufs; ++i) {
+    Mbuf& mbuf = mbufs_[i];
+    mbuf.struct_pa = m.pa + i * kMbufElementBytes;
+    mbuf.buf_pa = mbuf.struct_pa + kMbufStructBytes;
+    mbuf.headroom = kDefaultHeadroomBytes;
+    director.PrepareMbuf(mbuf);
+  }
+  // LIFO: hand out low addresses first.
+  for (std::size_t i = num_mbufs; i-- > 0;) {
+    free_.push_back(&mbufs_[i]);
+  }
+}
+
+Mbuf* Mempool::Alloc() {
+  if (free_.empty()) {
+    return nullptr;
+  }
+  Mbuf* mbuf = free_.back();
+  free_.pop_back();
+  return mbuf;
+}
+
+void Mempool::Free(Mbuf* mbuf) {
+  if (mbuf == nullptr) {
+    throw std::invalid_argument("Mempool::Free: null mbuf");
+  }
+  mbuf->data_len = 0;
+  free_.push_back(mbuf);
+}
+
+}  // namespace cachedir

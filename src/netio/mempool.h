@@ -1,0 +1,58 @@
+// Fixed-size mbuf pool carved out of hugepage memory (librte_mempool).
+//
+// All elements are laid out contiguously inside one hugepage-backed mapping;
+// CacheDirector's per-mbuf precomputation runs once here, at pool-creation
+// time, so the data path never searches for slices.
+#ifndef CACHEDIRECTOR_SRC_NETIO_MEMPOOL_H_
+#define CACHEDIRECTOR_SRC_NETIO_MEMPOOL_H_
+
+#include <vector>
+
+#include "src/mem/hugepage.h"
+#include "src/netio/cache_director.h"
+#include "src/netio/mbuf.h"
+
+namespace cachedir {
+
+// Source of RX buffers for the NIC driver. Implementations: Mempool (one
+// shared pool, paper's application-agnostic design) and SortedMempoolSet
+// (per-core pools pre-sorted by slice, the paper's §4.2 alternative).
+class MbufSource {
+ public:
+  virtual ~MbufSource() = default;
+
+  // An mbuf suitable for a packet that core `core` will consume, or nullptr
+  // when exhausted.
+  virtual Mbuf* AllocFor(CoreId core) = 0;
+
+  virtual void Free(Mbuf* mbuf) = 0;
+};
+
+class Mempool : public MbufSource {
+ public:
+  // `director` may be a disabled pass-through; it must outlive the pool.
+  Mempool(HugepageAllocator& backing, std::size_t num_mbufs, const CacheDirector& director);
+
+  // Pops a free mbuf or nullptr when the pool is exhausted.
+  Mbuf* Alloc();
+
+  // Returns an mbuf to the pool. Resets data_len; headroom is re-applied by
+  // the driver on the next descriptor post.
+  void Free(Mbuf* mbuf) override;
+
+  Mbuf* AllocFor(CoreId /*core*/) override { return Alloc(); }
+
+  std::size_t capacity() const { return mbufs_.size(); }
+  std::size_t available() const { return free_.size(); }
+
+  // Direct element access for tests and pool-level tools.
+  const Mbuf& element(std::size_t i) const { return mbufs_[i]; }
+
+ private:
+  std::vector<Mbuf> mbufs_;
+  std::vector<Mbuf*> free_;  // LIFO free list, like rte_mempool's cache
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NETIO_MEMPOOL_H_

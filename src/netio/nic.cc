@@ -1,0 +1,142 @@
+#include "src/netio/nic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/trace/traffic_gen.h"  // kWireOverheadBytes
+
+namespace cachedir {
+
+SimNic::SimNic(const Config& config, MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+               MbufSource& pool, const CacheDirector& director)
+    : config_(config),
+      hierarchy_(hierarchy),
+      memory_(memory),
+      pool_(pool),
+      director_(director),
+      rx_(config.num_queues),
+      stats_(config.num_queues),
+      queue_load_(config.num_queues, 0) {
+  if (config_.num_queues == 0 || config_.num_queues > hierarchy.spec().num_cores) {
+    throw std::invalid_argument("SimNic: queues must be 1..num_cores");
+  }
+  if (config_.ring_size == 0) {
+    throw std::invalid_argument("SimNic: ring_size must be positive");
+  }
+}
+
+std::size_t SimNic::QueueForPacket(const WirePacket& packet) {
+  if (config_.steering == NicSteering::kRss) {
+    return FlowKeyHash{}(packet.flow) % config_.num_queues;
+  }
+  // FlowDirector: a matched rule pins the flow; new flows get the currently
+  // least-loaded queue (modelling the better balance the paper observed).
+  const auto it = flow_rules_.find(packet.flow);
+  if (it != flow_rules_.end()) {
+    ++queue_load_[it->second];
+    return it->second;
+  }
+  const std::size_t queue =
+      std::min_element(queue_load_.begin(), queue_load_.end()) - queue_load_.begin();
+  flow_rules_.emplace(packet.flow, queue);
+  ++queue_load_[queue];
+  return queue;
+}
+
+bool SimNic::Deliver(const WirePacket& packet) {
+  // NIC RX engine serialisation: one packet at a time, bounded rate.
+  const Nanoseconds start = std::max(nic_time_ns_, packet.tx_time_ns);
+
+  const std::size_t queue = QueueForPacket(packet);
+  if (start - packet.tx_time_ns > config_.max_ingress_delay_ns) {
+    // The RX engine is too far behind the wire: the MAC FIFO overflowed.
+    ++stats_[queue].dropped_ingress;
+    return false;
+  }
+  nic_time_ns_ = start + config_.min_packet_gap_ns;
+  if (rx_[queue].size() >= config_.ring_size) {
+    ++stats_[queue].dropped_ring_full;
+    return false;
+  }
+  Mbuf* mbuf = pool_.AllocFor(CoreForQueue(queue));
+  if (mbuf == nullptr) {
+    ++stats_[queue].dropped_no_mbuf;
+    return false;
+  }
+
+  // The driver posted this descriptor with the headroom pre-set for the
+  // queue's owning core (paper: "just before giving the address to the NIC").
+  director_.ApplyHeadroom(*mbuf, CoreForQueue(queue));
+
+  mbuf->wire = packet;
+  mbuf->nic_rx_start_ns = start;
+  mbuf->rx_ready_ns = nic_time_ns_ + config_.rx_pipeline_latency_ns;
+  mbuf->data_len = std::min<std::uint32_t>(packet.size_bytes, kMbufDataBytes);
+  WritePacketHeader(memory_, mbuf->data_pa(), packet);
+
+  // DDIO: every line of the frame is written into the LLC.
+  hierarchy_.DmaWrite(mbuf->data_pa(), mbuf->data_len);
+
+  rx_[queue].push_back(RxEntry{mbuf, mbuf->rx_ready_ns});
+  ++stats_[queue].delivered;
+  return true;
+}
+
+Mbuf* SimNic::RxPop(std::size_t queue) {
+  if (rx_[queue].empty()) {
+    return nullptr;
+  }
+  Mbuf* mbuf = rx_[queue].front().mbuf;
+  rx_[queue].pop_front();
+  return mbuf;
+}
+
+void SimNic::Transmit(Mbuf* mbuf) {
+  if (mbuf == nullptr) {
+    throw std::invalid_argument("SimNic::Transmit: null mbuf");
+  }
+  hierarchy_.DmaRead(mbuf->data_pa(), mbuf->data_len);
+  pool_.Free(mbuf);
+}
+
+Nanoseconds SimNic::TransmitAt(Mbuf* mbuf, Nanoseconds now) {
+  if (mbuf == nullptr) {
+    throw std::invalid_argument("SimNic::TransmitAt: null mbuf");
+  }
+  ReclaimTx(now);
+  hierarchy_.DmaRead(mbuf->data_pa(), mbuf->data_len);
+  const double wire_ns =
+      (static_cast<double>(mbuf->data_len) + kWireOverheadBytes) * 8.0 /
+      config_.tx_line_rate_gbps;
+  const Nanoseconds start = std::max(tx_time_ns_, now);
+  tx_time_ns_ = start + wire_ns;
+  tx_pending_.push_back(TxEntry{mbuf, tx_time_ns_});
+  return tx_time_ns_;
+}
+
+void SimNic::ReclaimTx(Nanoseconds now) {
+  while (!tx_pending_.empty() && tx_pending_.front().done_ns <= now) {
+    pool_.Free(tx_pending_.front().mbuf);
+    tx_pending_.pop_front();
+  }
+}
+
+void SimNic::FlushTx() {
+  while (!tx_pending_.empty()) {
+    pool_.Free(tx_pending_.front().mbuf);
+    tx_pending_.pop_front();
+  }
+}
+
+NicQueueStats SimNic::TotalStats() const {
+  NicQueueStats total;
+  for (const NicQueueStats& s : stats_) {
+    total.delivered += s.delivered;
+    total.dropped_ring_full += s.dropped_ring_full;
+    total.dropped_no_mbuf += s.dropped_no_mbuf;
+    total.dropped_ingress += s.dropped_ingress;
+  }
+  return total;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,95 @@
+#include "src/netio/sorted_mempool.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cachedir {
+
+SortedMempoolSet::SortedMempoolSet(HugepageAllocator& backing, std::size_t total_mbufs,
+                                   std::shared_ptr<const SliceHash> hash,
+                                   const SlicePlacement& placement) {
+  if (total_mbufs == 0) {
+    throw std::invalid_argument("SortedMempoolSet: need at least one mbuf");
+  }
+  if (hash == nullptr) {
+    throw std::invalid_argument("SortedMempoolSet: null slice hash");
+  }
+  const std::size_t cores = placement.num_cores();
+  pools_.resize(cores);
+  pool_slice_.resize(cores);
+  for (CoreId c = 0; c < cores; ++c) {
+    pool_slice_[c] = placement.ClosestSlice(c);
+  }
+
+  // For any slice, the core that should receive mbufs landing there: the
+  // core with the lowest latency to it (lowest id breaks ties).
+  const std::size_t slices = placement.num_slices();
+  std::vector<CoreId> core_for_slice(slices, 0);
+  for (SliceId s = 0; s < slices; ++s) {
+    Cycles best = std::numeric_limits<Cycles>::max();
+    for (CoreId c = 0; c < cores; ++c) {
+      if (placement.Latency(c, s) < best) {
+        best = placement.Latency(c, s);
+        core_for_slice[s] = c;
+      }
+    }
+  }
+
+  // Allocate the one big mempool and sort its mbufs (the element layout
+  // matches Mempool's so buffers are interchangeable).
+  const Mapping m = backing.Allocate(total_mbufs * kMbufElementBytes,
+                                     total_mbufs * kMbufElementBytes > (512u << 20)
+                                         ? PageSize::k1G
+                                         : PageSize::k2M);
+  mbufs_.resize(total_mbufs);
+  for (std::size_t i = 0; i < total_mbufs; ++i) {
+    Mbuf& mbuf = mbufs_[i];
+    mbuf.struct_pa = m.pa + i * kMbufElementBytes;
+    mbuf.buf_pa = mbuf.struct_pa + kMbufStructBytes;
+    mbuf.headroom = kDefaultHeadroomBytes;  // fixed forever: that's the point
+    const SliceId data_slice = hash->SliceFor(mbuf.data_pa());
+    const CoreId home = core_for_slice[data_slice];
+    pools_[home].push_back(&mbuf);
+    home_.emplace(&mbuf, home);
+  }
+
+  // Fallback order per core: other pools by ascending latency from this
+  // core to *their* slice (used only when a pool runs dry).
+  fallback_.resize(cores);
+  for (CoreId c = 0; c < cores; ++c) {
+    std::vector<CoreId> order(cores);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](CoreId a, CoreId b) {
+      return placement.Latency(c, pool_slice_[a]) < placement.Latency(c, pool_slice_[b]);
+    });
+    fallback_[c] = std::move(order);
+  }
+}
+
+Mbuf* SortedMempoolSet::AllocFor(CoreId core) {
+  if (core >= pools_.size()) {
+    throw std::invalid_argument("SortedMempoolSet::AllocFor: core out of range");
+  }
+  for (const CoreId candidate : fallback_[core]) {
+    auto& pool = pools_[candidate];
+    if (!pool.empty()) {
+      Mbuf* mbuf = pool.back();
+      pool.pop_back();
+      return mbuf;
+    }
+  }
+  return nullptr;
+}
+
+void SortedMempoolSet::Free(Mbuf* mbuf) {
+  if (mbuf == nullptr) {
+    throw std::invalid_argument("SortedMempoolSet::Free: null mbuf");
+  }
+  mbuf->data_len = 0;
+  mbuf->headroom = kDefaultHeadroomBytes;
+  pools_[home_.at(mbuf)].push_back(mbuf);
+}
+
+}  // namespace cachedir

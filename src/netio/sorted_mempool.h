@@ -1,0 +1,56 @@
+// Application-level sorted mempools — the paper's §4.2 alternative to the
+// driver-level dynamic headroom:
+//
+//   "an application can allocate one large mempool containing mbufs. Then,
+//    it can sort mbufs across multiple mempools, each of which is dedicated
+//    to one CPU core, based on their LLC slice mappings."
+//
+// With a FIXED default headroom, each mbuf's data start already lands in
+// some slice; this class bins every mbuf into the pool of the core that
+// prefers that slice, so the NIC driver's per-packet headroom write is
+// eliminated and no headroom memory is wasted (trade-off: pool sizes follow
+// the hash's slice distribution rather than being equal).
+#ifndef CACHEDIRECTOR_SRC_NETIO_SORTED_MEMPOOL_H_
+#define CACHEDIRECTOR_SRC_NETIO_SORTED_MEMPOOL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hash/slice_hash.h"
+#include "src/mem/hugepage.h"
+#include "src/netio/mbuf.h"
+#include "src/netio/mempool.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+
+class SortedMempoolSet final : public MbufSource {
+ public:
+  SortedMempoolSet(HugepageAllocator& backing, std::size_t total_mbufs,
+                   std::shared_ptr<const SliceHash> hash, const SlicePlacement& placement);
+
+  // An mbuf whose data start (at the fixed 128 B headroom) maps to the best
+  // slice available for `core`; exact-match pools first, then the fallback
+  // order established at construction.
+  Mbuf* AllocFor(CoreId core) override;
+
+  void Free(Mbuf* mbuf) override;
+
+  std::size_t available(CoreId core) const { return pools_[core].size(); }
+  std::size_t capacity() const { return mbufs_.size(); }
+
+  // The slice each core's pool serves (== the core's closest slice).
+  SliceId PoolSlice(CoreId core) const { return pool_slice_[core]; }
+
+ private:
+  std::vector<Mbuf> mbufs_;
+  std::vector<std::vector<Mbuf*>> pools_;          // per core
+  std::vector<SliceId> pool_slice_;                // per core
+  std::vector<std::vector<CoreId>> fallback_;      // per core: theft order
+  std::unordered_map<const Mbuf*, CoreId> home_;   // mbuf -> owning pool
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NETIO_SORTED_MEMPOOL_H_

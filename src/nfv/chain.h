@@ -1,0 +1,52 @@
+// Service chain: an ordered list of elements a packet traverses on one core.
+#ifndef CACHEDIRECTOR_SRC_NFV_CHAIN_H_
+#define CACHEDIRECTOR_SRC_NFV_CHAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nfv/element.h"
+
+namespace cachedir {
+
+class ServiceChain {
+ public:
+  ServiceChain() = default;
+
+  void Append(std::unique_ptr<Element> element) { elements_.push_back(std::move(element)); }
+
+  std::size_t size() const { return elements_.size(); }
+
+  // Total chain cost for one packet; stops early on a drop verdict.
+  ProcessResult Process(CoreId core, Mbuf& mbuf) {
+    ProcessResult total;
+    for (const auto& element : elements_) {
+      const ProcessResult r = element->Process(core, mbuf);
+      total.cycles += r.cycles;
+      if (r.drop) {
+        total.drop = true;
+        break;
+      }
+    }
+    return total;
+  }
+
+  std::string Describe() const {
+    std::string out;
+    for (const auto& element : elements_) {
+      if (!out.empty()) {
+        out += "-";
+      }
+      out += element->name();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NFV_CHAIN_H_

@@ -1,0 +1,36 @@
+// Packet-processing element interface (FastClick/Metron style).
+//
+// Elements run to completion on the core that polled the packet. Every
+// element reports the simulated cycles it consumed; memory-induced cycles
+// come from MemoryHierarchy accesses (so cache behaviour — and therefore
+// CacheDirector — shows up in service time), plus a small fixed
+// instruction cost per element.
+#ifndef CACHEDIRECTOR_SRC_NFV_ELEMENT_H_
+#define CACHEDIRECTOR_SRC_NFV_ELEMENT_H_
+
+#include <string>
+
+#include "src/netio/mbuf.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+struct ProcessResult {
+  Cycles cycles = 0;
+  bool drop = false;
+};
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  virtual std::string name() const = 0;
+
+  // Processes one packet on `core`, mutating header bytes in simulated
+  // memory as needed.
+  virtual ProcessResult Process(CoreId core, Mbuf& mbuf) = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NFV_ELEMENT_H_

@@ -1,0 +1,138 @@
+#include "src/nfv/elements.h"
+
+namespace cachedir {
+
+// ---- MacSwap ----
+
+ProcessResult MacSwap::Process(CoreId core, Mbuf& mbuf) {
+  ProcessResult r;
+  // Parse: the header is the first 64 B of the data area — one line.
+  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;
+  SwapMacAddresses(memory_, mbuf.data_pa());
+  // The swap writes the same line (now present in L1).
+  r.cycles += hierarchy_.Write(core, mbuf.data_pa()).cycles;
+  r.cycles += kFixedCycles;
+  return r;
+}
+
+// ---- IpRouter ----
+
+IpRouter::IpRouter(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+                   HugepageAllocator& backing, const Params& params)
+    : hierarchy_(hierarchy), memory_(memory), hw_offloaded_(params.hw_offloaded) {
+  // 2^24 two-byte entries = 32 MB; only entries for installed routes are
+  // materialised in the sparse simulated memory.
+  tbl24_ = backing.Allocate(std::size_t{2} << 24, PageSize::k2M);
+  Rng rng(params.seed);
+  for (std::size_t i = 0; i < params.num_routes; ++i) {
+    const auto prefix24 = static_cast<std::uint32_t>(rng.UniformU64(0, (1u << 24) - 1));
+    const auto next_hop = static_cast<std::uint16_t>(rng.UniformU64(1, 255));
+    InstallRoute(prefix24, next_hop);
+  }
+}
+
+void IpRouter::InstallRoute(std::uint32_t prefix24, std::uint16_t next_hop) {
+  memory_.WriteU32(tbl24_.pa + 2 * static_cast<PhysAddr>(prefix24),
+                   (memory_.ReadU32(tbl24_.pa + 2 * static_cast<PhysAddr>(prefix24)) &
+                    0xFFFF'0000u) |
+                       next_hop);
+}
+
+std::uint16_t IpRouter::LookupNextHopForTest(std::uint32_t dst_ip) const {
+  return static_cast<std::uint16_t>(memory_.ReadU32(EntryPa(dst_ip)) & 0xFFFF);
+}
+
+ProcessResult IpRouter::Process(CoreId core, Mbuf& mbuf) {
+  ProcessResult r;
+  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse header
+  const std::uint32_t dst_ip = memory_.ReadU32(mbuf.data_pa() + kDstIpOffset);
+  if (!hw_offloaded_) {
+    // Software LPM: one tbl24 probe (next_hop 0 means the default route).
+    r.cycles += hierarchy_.Read(core, EntryPa(dst_ip)).cycles;
+  }
+  DecrementTtl(memory_, mbuf.data_pa());
+  SwapMacAddresses(memory_, mbuf.data_pa());  // rewrite L2 for the next hop
+  r.cycles += hierarchy_.Write(core, mbuf.data_pa()).cycles;
+  r.cycles += hw_offloaded_ ? kOffloadedFixedCycles : kFixedCycles;
+  // A TTL that reaches zero drops the packet.
+  if (memory_.ReadU8(mbuf.data_pa() + kTtlOffset) == 0) {
+    r.drop = true;
+  }
+  return r;
+}
+
+// ---- NAPT ----
+
+Napt::Napt(MemoryHierarchy& hierarchy, PhysicalMemory& memory, HugepageAllocator& backing,
+           const Params& params)
+    : hierarchy_(hierarchy),
+      memory_(memory),
+      num_buckets_(params.num_buckets),
+      public_ip_(params.public_ip) {
+  table_ = backing.Allocate(num_buckets_ * kCacheLineSize, PageSize::k2M);
+}
+
+ProcessResult Napt::Process(CoreId core, Mbuf& mbuf) {
+  ProcessResult r;
+  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse
+  const ParsedHeader h = ReadPacketHeader(memory_, mbuf.data_pa());
+  const PhysAddr bucket = BucketPa(h.flow);
+
+  r.cycles += hierarchy_.Read(core, bucket).cycles;  // flow-table probe
+  std::uint16_t mapped_port = static_cast<std::uint16_t>(memory_.ReadU32(bucket) & 0xFFFF);
+  const bool present = (memory_.ReadU32(bucket) >> 16) == 1;
+  if (!present) {
+    // New flow: allocate a translation and write the entry back.
+    mapped_port = next_port_;
+    next_port_ = next_port_ == 65535 ? 1024 : static_cast<std::uint16_t>(next_port_ + 1);
+    memory_.WriteU32(bucket, (1u << 16) | mapped_port);
+    r.cycles += hierarchy_.Write(core, bucket).cycles;
+    ++flows_created_;
+  }
+
+  RewriteIpAndPort(memory_, mbuf.data_pa(), public_ip_, mapped_port, /*rewrite_source=*/true);
+  r.cycles += hierarchy_.Write(core, mbuf.data_pa()).cycles;
+  r.cycles += kFixedCycles;
+  return r;
+}
+
+// ---- LoadBalancer ----
+
+LoadBalancer::LoadBalancer(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+                           HugepageAllocator& backing, const Params& params)
+    : hierarchy_(hierarchy),
+      memory_(memory),
+      num_buckets_(params.num_buckets),
+      num_backends_(params.num_backends),
+      backend_base_ip_(params.backend_base_ip) {
+  table_ = backing.Allocate(num_buckets_ * kCacheLineSize, PageSize::k2M);
+  rr_counter_ = backing.Allocate(kCacheLineSize, PageSize::k4K);
+}
+
+ProcessResult LoadBalancer::Process(CoreId core, Mbuf& mbuf) {
+  ProcessResult r;
+  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse
+  const ParsedHeader h = ReadPacketHeader(memory_, mbuf.data_pa());
+  const PhysAddr bucket = BucketPa(h.flow);
+
+  r.cycles += hierarchy_.Read(core, bucket).cycles;
+  std::uint32_t backend = memory_.ReadU32(bucket);
+  if (backend == 0) {
+    // New flow: round-robin assignment (shared cursor line).
+    r.cycles += hierarchy_.Read(core, rr_counter_.pa).cycles;
+    const std::uint32_t cursor = memory_.ReadU32(rr_counter_.pa);
+    memory_.WriteU32(rr_counter_.pa, cursor + 1);
+    r.cycles += hierarchy_.Write(core, rr_counter_.pa).cycles;
+    backend = 1 + (cursor % num_backends_);
+    memory_.WriteU32(bucket, backend);
+    r.cycles += hierarchy_.Write(core, bucket).cycles;
+  }
+
+  RewriteIpAndPort(memory_, mbuf.data_pa(), backend_base_ip_ + backend - 1,
+                   h.flow.dst_port, /*rewrite_source=*/false);
+  r.cycles += hierarchy_.Write(core, mbuf.data_pa()).cycles;
+  r.cycles += kFixedCycles;
+  return r;
+}
+
+}  // namespace cachedir

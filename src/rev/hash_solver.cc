@@ -1,0 +1,112 @@
+#include "src/rev/hash_solver.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace cachedir {
+
+RecoveredXorHash HashSolver::Solve() {
+  if (!std::has_single_bit(num_slices_)) {
+    // Non-power-of-two slice counts cannot be XOR-linear over slice ids.
+    RecoveredXorHash out;
+    out.linear = false;
+    return out;
+  }
+  const auto out_bits = static_cast<unsigned>(std::countr_zero(num_slices_));
+  Rng rng(params_.seed);
+
+  const auto random_base = [&] {
+    const PhysAddr off = LineBase(rng.UniformU64(0, params_.region_size - kCacheLineSize));
+    return params_.region_base + off;
+  };
+
+  RecoveredXorHash result;
+
+  // Flip deltas at the canonical base.
+  const PhysAddr base = params_.region_base;
+  const SliceId base_slice = poller_.FindSlice(base);
+  std::vector<std::uint32_t> delta(params_.max_bit + 1, 0);
+  for (unsigned bit = params_.min_bit; bit <= params_.max_bit; ++bit) {
+    const PhysAddr flipped = base ^ (PhysAddr{1} << bit);
+    delta[bit] = poller_.FindSlice(flipped) ^ base_slice;
+  }
+
+  // Linearity cross-check: the same flip must produce the same delta at
+  // other bases.
+  bool linear = true;
+  for (int i = 0; i < params_.linearity_bases && linear; ++i) {
+    const PhysAddr b = random_base();
+    const SliceId s = poller_.FindSlice(b);
+    for (unsigned bit = params_.min_bit; bit <= params_.max_bit; ++bit) {
+      const PhysAddr flipped = b ^ (PhysAddr{1} << bit);
+      // Keep flips inside the probed region so the address stays valid.
+      if (flipped < params_.region_base ||
+          flipped >= params_.region_base + params_.region_size) {
+        continue;
+      }
+      if ((poller_.FindSlice(flipped) ^ s) != delta[bit]) {
+        linear = false;
+        break;
+      }
+    }
+  }
+  result.linear = linear;
+  if (!linear) {
+    result.polls = poller_.polls();
+    return result;
+  }
+
+  // Assemble masks. Bits of the *base* itself also contribute a constant
+  // term; for the published hashes the constant is zero when all
+  // participating bits of the base are zero. Recover the constant from the
+  // base slice and fold it in by checking the predicted value.
+  result.masks.assign(out_bits, 0);
+  for (unsigned bit = params_.min_bit; bit <= params_.max_bit; ++bit) {
+    for (unsigned o = 0; o < out_bits; ++o) {
+      if ((delta[bit] >> o) & 1) {
+        result.masks[o] |= PhysAddr{1} << bit;
+      }
+    }
+  }
+
+  // Verify against fresh random addresses.
+  int correct = 0;
+  for (int i = 0; i < params_.verify_samples; ++i) {
+    const PhysAddr addr = random_base();
+    SliceId predicted = 0;
+    for (unsigned o = 0; o < out_bits; ++o) {
+      predicted |= ParityOf(addr, result.masks[o]) << o;
+    }
+    // The constant term: parity contribution of bits above max_bit shared by
+    // all addresses in the region, captured via the base measurement.
+    SliceId base_pred = 0;
+    for (unsigned o = 0; o < out_bits; ++o) {
+      base_pred |= ParityOf(base, result.masks[o]) << o;
+    }
+    const SliceId constant = base_pred ^ base_slice;
+    predicted ^= constant;
+    if (poller_.FindSlice(addr) == predicted) {
+      ++correct;
+    }
+  }
+  result.verification_accuracy =
+      static_cast<double>(correct) / static_cast<double>(params_.verify_samples);
+  result.polls = poller_.polls();
+  return result;
+}
+
+std::vector<std::string> FormatHashMatrix(const std::vector<std::uint64_t>& masks,
+                                          unsigned min_bit, unsigned max_bit) {
+  std::vector<std::string> rows;
+  for (std::size_t o = 0; o < masks.size(); ++o) {
+    std::string row = "o" + std::to_string(o) + " ";
+    for (unsigned bit = max_bit + 1; bit-- > min_bit;) {
+      row += ((masks[o] >> bit) & 1) != 0 ? 'X' : '.';
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,67 @@
+// Reconstruction of the Complex Addressing hash (paper §2.1, "Constructing
+// the hash function").
+//
+// For 2^n-slice parts the hash is XOR-linear: flipping one physical-address
+// bit XORs a constant pattern into the slice id. The solver therefore flips
+// each candidate bit against a base address, records the slice-id deltas,
+// assembles the per-output-bit masks, and verifies the recovered function
+// against fresh polled addresses. It also *detects* non-linearity (as on
+// 18-slice Skylake parts, where only polling works — paper §6) by checking
+// flip deltas at several bases.
+#ifndef CACHEDIRECTOR_SRC_REV_HASH_SOLVER_H_
+#define CACHEDIRECTOR_SRC_REV_HASH_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rev/polling.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+
+struct RecoveredXorHash {
+  // True when flip deltas were consistent across bases (XOR-linear hash).
+  bool linear = false;
+  // masks[i] = PA bits feeding output bit i; empty when !linear.
+  std::vector<std::uint64_t> masks;
+  // Fraction of verification addresses where the recovered function matches
+  // the polled slice (1.0 expected for linear hashes).
+  double verification_accuracy = 0.0;
+  // Number of polled addresses consumed.
+  std::uint64_t polls = 0;
+};
+
+class HashSolver {
+ public:
+  struct Params {
+    PhysAddr region_base = 0x1'8000'0000;  // a 1 GB hugepage's PA
+    std::size_t region_size = std::size_t{1} << 30;
+    unsigned min_bit = 6;   // line-offset bits cannot matter
+    unsigned max_bit = 29;  // flips must stay inside the probed region
+    int linearity_bases = 4;     // extra bases to cross-check flip deltas
+    int verify_samples = 256;    // random addresses for final verification
+    std::uint64_t seed = 42;
+  };
+
+  HashSolver(SlicePoller& poller, std::size_t num_slices)
+      : HashSolver(poller, num_slices, Params{}) {}
+  HashSolver(SlicePoller& poller, std::size_t num_slices, const Params& params)
+      : poller_(poller), num_slices_(num_slices), params_(params) {}
+
+  RecoveredXorHash Solve();
+
+ private:
+  SlicePoller& poller_;
+  std::size_t num_slices_;
+  Params params_;
+};
+
+// Renders masks as the paper's Fig. 4 matrix: one row per output bit, one
+// column per PA bit, 'X' where the bit participates.
+std::vector<std::string> FormatHashMatrix(const std::vector<std::uint64_t>& masks,
+                                          unsigned min_bit, unsigned max_bit);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_REV_HASH_SOLVER_H_

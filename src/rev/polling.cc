@@ -1,0 +1,29 @@
+#include "src/rev/polling.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachedir {
+
+SliceId SlicePoller::FindSlice(PhysAddr addr) {
+  ++polls_;
+  CboCounterBank& cbo = hierarchy_.llc().cbo();
+  const auto before = cbo.Snapshot();
+
+  for (int i = 0; i < params_.repetitions; ++i) {
+    // Flush first so the read cannot be served by L1/L2 and must perform an
+    // LLC lookup (which is what the counters see).
+    hierarchy_.FlushLine(addr);
+    hierarchy_.Read(params_.core, addr);
+  }
+
+  const auto after = cbo.Snapshot();
+  const auto delta = CboCounterBank::LookupDelta(before, after);
+  const auto it = std::max_element(delta.begin(), delta.end());
+  if (it == delta.end() || *it == 0) {
+    throw std::logic_error("SlicePoller::FindSlice: no counter advanced");
+  }
+  return static_cast<SliceId>(it - delta.begin());
+}
+
+}  // namespace cachedir

@@ -1,0 +1,40 @@
+// Polling-based slice discovery (paper §2.1, "Polling").
+//
+// Program the per-slice CBo counters to count LLC lookups, access one
+// physical address many times in a way that forces each access to reach the
+// LLC, and attribute the address to the slice whose counter advanced. Works
+// for any slice count and any hash — it treats the hardware as a black box,
+// exactly like the real method.
+#ifndef CACHEDIRECTOR_SRC_REV_POLLING_H_
+#define CACHEDIRECTOR_SRC_REV_POLLING_H_
+
+#include "src/cache/hierarchy.h"
+
+namespace cachedir {
+
+class SlicePoller {
+ public:
+  struct Params {
+    CoreId core = 0;
+    int repetitions = 16;  // accesses per polled address
+  };
+
+  explicit SlicePoller(MemoryHierarchy& hierarchy) : SlicePoller(hierarchy, Params{}) {}
+  SlicePoller(MemoryHierarchy& hierarchy, const Params& params)
+      : hierarchy_(hierarchy), params_(params) {}
+
+  // Returns the slice serving `addr`, discovered via counters only.
+  SliceId FindSlice(PhysAddr addr);
+
+  // Number of polled addresses so far (cost accounting for the bench).
+  std::uint64_t polls() const { return polls_; }
+
+ private:
+  MemoryHierarchy& hierarchy_;
+  Params params_;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_REV_POLLING_H_

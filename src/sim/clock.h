@@ -1,0 +1,43 @@
+// Per-core cycle clocks.
+//
+// The simulator is not event-driven at instruction granularity: each core owns
+// a monotonically increasing cycle counter that is advanced by the latency of
+// every simulated memory access (plus fixed instruction costs charged by the
+// application models). Queueing behaviour emerges by synchronising a core's
+// clock with packet arrival timestamps (see nfv/runtime.h).
+#ifndef CACHEDIRECTOR_SRC_SIM_CLOCK_H_
+#define CACHEDIRECTOR_SRC_SIM_CLOCK_H_
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+class CoreClock {
+ public:
+  CoreClock() = default;
+
+  Cycles now() const { return now_; }
+
+  // Advances the clock by `delta` cycles and returns the new time.
+  Cycles Advance(Cycles delta) {
+    now_ += delta;
+    return now_;
+  }
+
+  // Moves the clock forward to `t` if `t` is in the future (e.g. an idle core
+  // waiting for the next packet arrival). Never moves backwards.
+  void AdvanceTo(Cycles t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  Cycles now_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_CLOCK_H_

@@ -1,0 +1,107 @@
+// On-die interconnect models: the NUCA latency between a core and an LLC slice.
+//
+// Haswell-class parts place cores and LLC slices on a bi-directional ring;
+// Skylake-SP parts use a 2D mesh with more slices than active cores. Both are
+// modelled as a pure function (core, slice) -> extra cycles on top of the base
+// LLC pipeline latency. The parameters are calibrated so that the access-time
+// benches reproduce the shape of the paper's Fig. 5a (bimodal ring, ~20-cycle
+// spread) and Fig. 16 (mesh, wider spread, multiple near slices per core).
+#ifndef CACHEDIRECTOR_SRC_SIM_INTERCONNECT_H_
+#define CACHEDIRECTOR_SRC_SIM_INTERCONNECT_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  virtual std::size_t num_cores() const = 0;
+  virtual std::size_t num_slices() const = 0;
+
+  // Extra cycles incurred when `core` accesses LLC slice `slice`, on top of
+  // the slice-local pipeline latency. Deterministic.
+  virtual Cycles SlicePenalty(CoreId core, SliceId slice) const = 0;
+};
+
+// Bi-directional ring with one stop per (core, slice) pair, as on Haswell-EP.
+//
+// The penalty combines hop distance on the ring with a parity term that models
+// the dual-ring polarity (requests whose source and destination stops have
+// different parity must cross to the other ring direction at a cost). This
+// yields the bimodal per-slice latency the paper measures from core 0: even
+// slices cheap, odd slices expensive.
+class RingInterconnect final : public Interconnect {
+ public:
+  struct Params {
+    std::size_t num_stops = 8;      // cores == slices == stops
+    Cycles hop_cost = 2;            // cycles per ring hop
+    Cycles parity_penalty = 10;     // ring-direction crossing cost
+    // With 8 stops the worst same-parity distance is 4 hops (8 cycles), so a
+    // crossing penalty of 10 keeps every cross-parity slice strictly slower
+    // than every same-parity one — the clean bimodal split of Fig. 5a.
+  };
+
+  explicit RingInterconnect(const Params& params) : params_(params) {}
+
+  std::size_t num_cores() const override { return params_.num_stops; }
+  std::size_t num_slices() const override { return params_.num_stops; }
+
+  Cycles SlicePenalty(CoreId core, SliceId slice) const override {
+    const std::size_t n = params_.num_stops;
+    const std::size_t a = core % n;
+    const std::size_t b = slice % n;
+    const std::size_t forward = (b + n - a) % n;
+    const std::size_t hops = forward < n - forward ? forward : n - forward;
+    const Cycles parity = ((a + b) & 1) != 0 ? params_.parity_penalty : 0;
+    return params_.hop_cost * hops + parity;
+  }
+
+ private:
+  Params params_;
+};
+
+// 2D mesh with explicit tile coordinates, as on Skylake-SP.
+//
+// Slices occupy fixed grid positions; each active core is co-located with one
+// tile. The number of slices may exceed the number of cores (Xeon Gold 6134:
+// 8 cores, 18 slices). Penalty is hop_cost * Manhattan distance.
+class MeshInterconnect final : public Interconnect {
+ public:
+  struct Coord {
+    int row = 0;
+    int col = 0;
+  };
+
+  struct Params {
+    std::vector<Coord> core_pos;   // indexed by CoreId
+    std::vector<Coord> slice_pos;  // indexed by SliceId
+    Cycles hop_cost = 2;
+  };
+
+  explicit MeshInterconnect(Params params) : params_(std::move(params)) {}
+
+  std::size_t num_cores() const override { return params_.core_pos.size(); }
+  std::size_t num_slices() const override { return params_.slice_pos.size(); }
+
+  Cycles SlicePenalty(CoreId core, SliceId slice) const override {
+    const Coord c = params_.core_pos[core];
+    const Coord s = params_.slice_pos[slice];
+    const int dist = Abs(c.row - s.row) + Abs(c.col - s.col);
+    return params_.hop_cost * static_cast<Cycles>(dist);
+  }
+
+ private:
+  static constexpr int Abs(int v) { return v < 0 ? -v : v; }
+
+  Params params_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_INTERCONNECT_H_

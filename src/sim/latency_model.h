@@ -1,0 +1,39 @@
+// Fixed latency parameters of the simulated memory hierarchy.
+//
+// Values are calibrated against the paper's test machines: Intel documents
+// 4-cycle L1 and ~12-cycle L2 hits; the paper measures 34-54 cycles to LLC
+// slices (Fig. 5a) and quotes ~60 ns DRAM (~192 cycles at 3.2 GHz). The
+// per-slice component comes from the Interconnect model, not from here.
+#ifndef CACHEDIRECTOR_SRC_SIM_LATENCY_MODEL_H_
+#define CACHEDIRECTOR_SRC_SIM_LATENCY_MODEL_H_
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+struct LatencyModel {
+  Cycles l1_hit = 4;
+  Cycles l2_hit = 12;
+  // Slice-local LLC pipeline latency; Interconnect::SlicePenalty is added.
+  Cycles llc_base = 34;
+  // Full DRAM round trip, charged on an LLC miss (on top of the LLC lookup
+  // that discovered the miss).
+  Cycles dram = 192;
+  // Retiring a store that hits the store buffer / L1 (write-back policy makes
+  // stores complete at L1 regardless of where the line lives — Fig. 5b).
+  Cycles store_commit = 1;
+  // Cost charged to the core when a dirty line must be written back on the
+  // miss path (models write-buffer backpressure under sustained stores; this
+  // is what makes slice distance visible to write workloads in Fig. 6b).
+  Cycles writeback_busy = 4;
+  // Extra cycles for a cache-to-cache transfer when another core holds the
+  // line Modified (snoop + forward, on top of the LLC path).
+  Cycles snoop_transfer = 26;
+  // Extra cycles for a store that hits a Shared line: the bus upgrade that
+  // invalidates the other copies (paid on top of the LLC round trip).
+  Cycles upgrade = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_LATENCY_MODEL_H_

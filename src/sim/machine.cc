@@ -1,0 +1,110 @@
+#include "src/sim/machine.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cachedir {
+namespace {
+
+// Skylake mesh floorplan. Eight active cores are each co-located with one LLC
+// tile; the remaining tiles host slices only. Tile clusters are laid out so
+// that the *measured* nearest/next-nearest slices per core match the paper's
+// Table 4 (e.g. core 0 -> primary S0, secondaries S2 & S6). Clusters are
+// separated by >= 3 hops so no foreign slice ties with a listed secondary.
+MeshInterconnect::Params SkylakeMeshParams() {
+  using Coord = MeshInterconnect::Coord;
+  MeshInterconnect::Params p;
+  p.hop_cost = 2;
+  p.slice_pos.resize(18);
+  // Cluster for core 0: S0 primary, S2 & S6 secondary.
+  p.slice_pos[0] = Coord{0, 0};
+  p.slice_pos[2] = Coord{0, 1};
+  p.slice_pos[6] = Coord{1, 0};
+  // Core 1: S4 primary, S1 secondary.
+  p.slice_pos[4] = Coord{0, 4};
+  p.slice_pos[1] = Coord{0, 5};
+  // Core 2: S8 primary, S11 secondary.
+  p.slice_pos[8] = Coord{0, 8};
+  p.slice_pos[11] = Coord{0, 9};
+  // Core 3: S12 primary, S13 secondary.
+  p.slice_pos[12] = Coord{4, 0};
+  p.slice_pos[13] = Coord{4, 1};
+  // Core 4: S10 primary, S7 & S9 secondary.
+  p.slice_pos[10] = Coord{4, 4};
+  p.slice_pos[7] = Coord{4, 5};
+  p.slice_pos[9] = Coord{5, 4};
+  // Core 5: S14 primary, S16 secondary.
+  p.slice_pos[14] = Coord{4, 8};
+  p.slice_pos[16] = Coord{4, 9};
+  // Core 6: S3 primary, S5 secondary.
+  p.slice_pos[3] = Coord{8, 0};
+  p.slice_pos[5] = Coord{8, 1};
+  // Core 7: S15 primary, S17 secondary.
+  p.slice_pos[15] = Coord{8, 4};
+  p.slice_pos[17] = Coord{8, 5};
+
+  p.core_pos = {
+      p.slice_pos[0],  p.slice_pos[4],  p.slice_pos[8],  p.slice_pos[12],
+      p.slice_pos[10], p.slice_pos[14], p.slice_pos[3],  p.slice_pos[15],
+  };
+  return p;
+}
+
+}  // namespace
+
+MachineSpec HaswellXeonE52667V3() {
+  MachineSpec m;
+  m.name = "Intel Xeon E5-2667 v3 (Haswell)";
+  m.num_cores = 8;
+  m.num_slices = 8;
+  m.frequency = CpuFrequency(3.2);
+  m.l1 = CacheGeometry{32 * 1024, 8};           // 64 sets
+  m.l2 = CacheGeometry{256 * 1024, 8};          // 512 sets
+  m.llc_slice = CacheGeometry{2560 * 1024, 20};  // 2048 sets per slice
+  m.inclusion = LlcInclusionPolicy::kInclusive;
+  m.ddio_ways = 2;
+  RingInterconnect::Params ring;
+  ring.num_stops = 8;
+  ring.hop_cost = 2;
+  ring.parity_penalty = 10;
+  m.interconnect = std::make_shared<RingInterconnect>(ring);
+  return m;
+}
+
+MachineSpec SandyBridgeXeonQuad() {
+  MachineSpec m;
+  m.name = "Intel Xeon E5 quad (Sandy Bridge)";
+  m.num_cores = 4;
+  m.num_slices = 4;
+  m.frequency = CpuFrequency(2.4);
+  m.l1 = CacheGeometry{32 * 1024, 8};
+  m.l2 = CacheGeometry{256 * 1024, 8};
+  m.llc_slice = CacheGeometry{2560 * 1024, 20};
+  m.inclusion = LlcInclusionPolicy::kInclusive;
+  m.ddio_ways = 2;
+  RingInterconnect::Params ring;
+  ring.num_stops = 4;
+  ring.hop_cost = 2;
+  ring.parity_penalty = 8;
+  m.interconnect = std::make_shared<RingInterconnect>(ring);
+  return m;
+}
+
+MachineSpec SkylakeXeonGold6134() {
+  MachineSpec m;
+  m.name = "Intel Xeon Gold 6134 (Skylake-SP)";
+  m.num_cores = 8;
+  m.num_slices = 18;
+  m.frequency = CpuFrequency(3.2);
+  m.l1 = CacheGeometry{32 * 1024, 8};
+  m.l2 = CacheGeometry{1024 * 1024, 16};
+  m.llc_slice = CacheGeometry{1408 * 1024, 11};  // 1.375 MB, 11-way, 2048 sets
+  m.inclusion = LlcInclusionPolicy::kVictim;
+  m.ddio_ways = 2;
+  m.latency.llc_base = 40;  // mesh LLC is slower than the ring's best case
+  m.interconnect = std::make_shared<MeshInterconnect>(SkylakeMeshParams());
+  return m;
+}
+
+}  // namespace cachedir

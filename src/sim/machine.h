@@ -1,0 +1,78 @@
+// Machine presets: geometry + interconnect + latency for the two CPUs the
+// paper evaluates.
+#ifndef CACHEDIRECTOR_SRC_SIM_MACHINE_H_
+#define CACHEDIRECTOR_SRC_SIM_MACHINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/sim/interconnect.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/replacement_kind.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// How L2 and LLC interact.
+enum class LlcInclusionPolicy {
+  // Haswell: LLC is inclusive of L2/L1; fills allocate in LLC and L2/L1.
+  kInclusive,
+  // Skylake-SP: LLC is a non-inclusive victim cache; demand fills go to L2
+  // and lines enter LLC only on L2 eviction (DDIO still writes into LLC).
+  kVictim,
+};
+
+struct CacheGeometry {
+  std::size_t size_bytes = 0;
+  std::size_t ways = 0;
+
+  std::size_t num_sets() const { return size_bytes / (ways * kCacheLineSize); }
+};
+
+// Full description of a simulated socket.
+struct MachineSpec {
+  std::string name;
+  std::size_t num_cores = 0;
+  std::size_t num_slices = 0;
+  CpuFrequency frequency{3.2};
+
+  CacheGeometry l1;
+  CacheGeometry l2;
+  CacheGeometry llc_slice;  // geometry of ONE slice
+
+  LlcInclusionPolicy inclusion = LlcInclusionPolicy::kInclusive;
+  LatencyModel latency;
+  // Replacement policy used by every cache level (varied by ablations).
+  ReplacementKind replacement = ReplacementKind::kLru;
+  // L2 next-line hardware prefetcher (Intel's "L2 adjacent cache line /
+  // streamer" family, simplified): on an L2 demand miss, the following line
+  // is fetched into L2 in the background. Off by default so experiments
+  // isolate the slice effects; the prefetcher ablation turns it on (§8
+  // discusses how prefetching interacts with slice-aware layouts).
+  bool l2_next_line_prefetch = false;
+
+  // Number of LLC ways DDIO may allocate into (Intel default: 2 of 20).
+  std::size_t ddio_ways = 2;
+
+  std::shared_ptr<const Interconnect> interconnect;
+};
+
+// Intel Xeon E5-2667 v3 (Haswell): 8 cores @ 3.2 GHz, 8 x 2.5 MB 20-way LLC
+// slices on a ring, 256 kB 8-way L2, 32 kB 8-way L1d, inclusive LLC.
+MachineSpec HaswellXeonE52667V3();
+
+// Intel Xeon Gold 6134 (Skylake-SP): 8 cores @ 3.2 GHz, 18 x 1.375 MB 11-way
+// LLC slices on a mesh, 1 MB 16-way L2, 32 kB 8-way L1d, victim LLC.
+MachineSpec SkylakeXeonGold6134();
+
+// A Sandy Bridge-class quad core (the generation where sliced LLCs and
+// Complex Addressing first shipped; Maurice et al. reverse-engineered the
+// 2-output-bit variant there): 4 cores @ 2.4 GHz, 4 x 2.5 MB 20-way slices
+// on a ring, inclusive LLC. Included to demonstrate the method generalises
+// across generations.
+MachineSpec SandyBridgeXeonQuad();
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_MACHINE_H_

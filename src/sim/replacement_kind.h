@@ -1,0 +1,16 @@
+// Replacement-policy selector. Lives in sim (not cache) so MachineSpec can
+// carry the socket's policy without a layering cycle.
+#ifndef CACHEDIRECTOR_SRC_SIM_REPLACEMENT_KIND_H_
+#define CACHEDIRECTOR_SRC_SIM_REPLACEMENT_KIND_H_
+
+namespace cachedir {
+
+enum class ReplacementKind {
+  kLru,       // true LRU (default; what the paper's reasoning assumes)
+  kTreePlru,  // binary-tree pseudo-LRU (closer to shipped silicon)
+  kRandom,    // pessimistic baseline for ablations
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_REPLACEMENT_KIND_H_

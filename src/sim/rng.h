@@ -1,0 +1,49 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// Every stochastic component in the simulator takes an Rng (or a seed) as a
+// constructor argument; there is no global random state, so every experiment
+// in bench/ is reproducible bit-for-bit.
+#ifndef CACHEDIRECTOR_SRC_SIM_RNG_H_
+#define CACHEDIRECTOR_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace cachedir {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t UniformU64(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  std::size_t UniformIndex(std::size_t n) { return UniformU64(0, n - 1); }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponentially distributed value with the given mean (for Poisson arrivals).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Derives an independent child generator; used to give each simulated core
+  // or run its own stream without correlation.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_RNG_H_

@@ -1,0 +1,71 @@
+// Fundamental simulation types shared by every module.
+//
+// The simulator models time in CPU cycles of the simulated machine; wall-clock
+// quantities (nanoseconds) are derived through CpuFrequency. Identifiers are
+// plain integer aliases: strong enough for readability, cheap enough for the
+// hot paths of the cache simulator.
+#ifndef CACHEDIRECTOR_SRC_SIM_TYPES_H_
+#define CACHEDIRECTOR_SRC_SIM_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cachedir {
+
+// Simulated CPU cycles. All latency accounting in the repo uses this unit.
+using Cycles = std::uint64_t;
+
+// Simulated wall-clock time in nanoseconds (derived from Cycles via
+// CpuFrequency; kept as double to represent sub-cycle-resolution times such as
+// packet inter-arrival gaps at 100 Gbps).
+using Nanoseconds = double;
+
+// Index of a CPU core on the simulated socket.
+using CoreId = std::uint32_t;
+
+// Index of an LLC slice.
+using SliceId = std::uint32_t;
+
+// A simulated physical address.
+using PhysAddr = std::uint64_t;
+
+// A simulated virtual address (process address space of the simulated app).
+using VirtAddr = std::uint64_t;
+
+// Size of one cache line in bytes on every modelled micro-architecture.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// log2(kCacheLineSize); number of offset bits inside a line.
+inline constexpr std::uint32_t kCacheLineBits = 6;
+
+// Returns the physical address of the cache line containing `addr`.
+constexpr PhysAddr LineBase(PhysAddr addr) { return addr & ~PhysAddr{kCacheLineSize - 1}; }
+
+// Returns true if `addr` is the first byte of a cache line.
+constexpr bool IsLineAligned(PhysAddr addr) { return (addr & (kCacheLineSize - 1)) == 0; }
+
+// Clock frequency of the simulated CPU; converts between cycles and ns.
+class CpuFrequency {
+ public:
+  constexpr explicit CpuFrequency(double ghz) : ghz_(ghz) {}
+
+  constexpr double ghz() const { return ghz_; }
+
+  constexpr Nanoseconds ToNanoseconds(Cycles cycles) const {
+    return static_cast<double>(cycles) / ghz_;
+  }
+
+  constexpr Cycles ToCycles(Nanoseconds ns) const {
+    // Round up: an event that takes any fraction of a cycle occupies it fully.
+    const double cycles = ns * ghz_;
+    const auto whole = static_cast<Cycles>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+  }
+
+ private:
+  double ghz_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_TYPES_H_

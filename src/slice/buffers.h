@@ -1,0 +1,74 @@
+// Buffer abstractions over simulated memory.
+//
+// Slice-aware allocation yields *non-contiguous* physical lines that all hash
+// to the chosen slice(s); normal allocation yields one contiguous region.
+// Applications (KVS, the array benches) address both through the same
+// logical-offset interface so the two layouts are drop-in interchangeable.
+#ifndef CACHEDIRECTOR_SRC_SLICE_BUFFERS_H_
+#define CACHEDIRECTOR_SRC_SLICE_BUFFERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/mem/hugepage.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// One usable cache line handed out by the allocator.
+struct SliceLine {
+  VirtAddr va = 0;
+  PhysAddr pa = 0;
+};
+
+// Logical byte-addressable buffer; implementations map logical offsets to
+// simulated physical addresses.
+class MemoryBuffer {
+ public:
+  virtual ~MemoryBuffer() = default;
+
+  virtual std::size_t size_bytes() const = 0;
+
+  // Physical address backing logical offset `off` (off < size_bytes()).
+  virtual PhysAddr PaForOffset(std::size_t off) const = 0;
+};
+
+// Contiguous buffer: ordinary allocation from a hugepage. Deliberately
+// takes an explicit size — mappings are page-rounded, and a 1.375 MB
+// working set backed by a 1 GB hugepage must not become a 1 GB sweep.
+class ContiguousBuffer final : public MemoryBuffer {
+ public:
+  ContiguousBuffer(PhysAddr base, std::size_t size) : base_(base), size_(size) {}
+
+  std::size_t size_bytes() const override { return size_; }
+  PhysAddr PaForOffset(std::size_t off) const override { return base_ + off; }
+
+ private:
+  PhysAddr base_;
+  std::size_t size_;
+};
+
+// Slice-aware buffer: an ordered list of 64 B lines, all mapped to the
+// desired slice(s); logical offsets stride across them.
+class SliceBuffer final : public MemoryBuffer {
+ public:
+  SliceBuffer() = default;
+  explicit SliceBuffer(std::vector<SliceLine> lines) : lines_(std::move(lines)) {}
+
+  std::size_t size_bytes() const override { return lines_.size() * kCacheLineSize; }
+
+  PhysAddr PaForOffset(std::size_t off) const override {
+    return lines_[off / kCacheLineSize].pa + off % kCacheLineSize;
+  }
+
+  std::size_t num_lines() const { return lines_.size(); }
+  const SliceLine& line(std::size_t i) const { return lines_[i]; }
+  const std::vector<SliceLine>& lines() const { return lines_; }
+
+ private:
+  std::vector<SliceLine> lines_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SLICE_BUFFERS_H_

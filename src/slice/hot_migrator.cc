@@ -1,0 +1,130 @@
+#include "src/slice/hot_migrator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cachedir {
+namespace {
+
+constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
+
+ContiguousBuffer MakeColdStore(HugepageAllocator& backing, std::size_t num_objects) {
+  const std::size_t bytes = num_objects * kCacheLineSize;
+  const PageSize page = bytes > (1u << 21) ? PageSize::k1G : PageSize::k2M;
+  return ContiguousBuffer(backing.Allocate(bytes, page).pa, bytes);
+}
+
+}  // namespace
+
+HotDataMigrator::HotDataMigrator(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+                                 HugepageAllocator& backing,
+                                 SliceAwareAllocator& slice_allocator, const Params& params)
+    : hierarchy_(hierarchy),
+      memory_(memory),
+      params_(params),
+      cold_store_(MakeColdStore(backing, params.num_objects)),
+      hot_store_(slice_allocator.AllocateLines(params.target_slice, params.hot_capacity)),
+      epoch_counts_(params.num_objects, 0),
+      hot_slot_owner_(params.hot_capacity, kNoOwner) {
+  if (params_.num_objects == 0 || params_.hot_capacity == 0) {
+    throw std::invalid_argument("HotDataMigrator: need objects and hot capacity");
+  }
+  if (params_.hot_capacity > params_.num_objects) {
+    throw std::invalid_argument("HotDataMigrator: hot capacity exceeds object count");
+  }
+  if (params_.epoch_accesses == 0) {
+    throw std::invalid_argument("HotDataMigrator: epoch must be positive");
+  }
+}
+
+PhysAddr HotDataMigrator::HomeOf(std::uint64_t id) const {
+  const auto it = promoted_.find(id);
+  if (it != promoted_.end()) {
+    return hot_store_.line(it->second).pa;
+  }
+  return cold_store_.PaForOffset(id * kCacheLineSize);
+}
+
+Cycles HotDataMigrator::CopyObject(CoreId core, PhysAddr from, PhysAddr to) {
+  std::uint8_t buf[kCacheLineSize];
+  memory_.Read(from, buf);
+  memory_.Write(to, buf);
+  if (!params_.charge_migration) {
+    return 0;
+  }
+  return hierarchy_.Read(core, from).cycles + hierarchy_.Write(core, to).cycles;
+}
+
+Cycles HotDataMigrator::RunEpochMigration(CoreId core) {
+  // Rank this epoch's objects by access count.
+  std::vector<std::uint64_t> order;
+  order.reserve(256);
+  for (std::uint64_t id = 0; id < epoch_counts_.size(); ++id) {
+    if (epoch_counts_[id] > 0) {
+      order.push_back(id);
+    }
+  }
+  const std::size_t want = std::min(params_.hot_capacity, order.size());
+  std::partial_sort(order.begin(), order.begin() + want, order.end(),
+                    [this](std::uint64_t a, std::uint64_t b) {
+                      return epoch_counts_[a] > epoch_counts_[b];
+                    });
+  order.resize(want);
+
+  Cycles cycles = 0;
+  // Demote promoted objects that fell out of the new hot set.
+  std::vector<bool> keep(hot_slot_owner_.size(), false);
+  for (const std::uint64_t id : order) {
+    const auto it = promoted_.find(id);
+    if (it != promoted_.end()) {
+      keep[it->second] = true;
+    }
+  }
+  for (std::size_t slot = 0; slot < hot_slot_owner_.size(); ++slot) {
+    if (hot_slot_owner_[slot] != kNoOwner && !keep[slot]) {
+      const std::uint64_t id = hot_slot_owner_[slot];
+      cycles += CopyObject(core, hot_store_.line(slot).pa,
+                           cold_store_.PaForOffset(id * kCacheLineSize));
+      promoted_.erase(id);
+      hot_slot_owner_[slot] = kNoOwner;
+      ++migrations_;
+    }
+  }
+  // Promote new hot objects into free slots.
+  std::size_t next_free = 0;
+  for (const std::uint64_t id : order) {
+    if (promoted_.count(id) != 0) {
+      continue;
+    }
+    while (next_free < hot_slot_owner_.size() && hot_slot_owner_[next_free] != kNoOwner) {
+      ++next_free;
+    }
+    if (next_free == hot_slot_owner_.size()) {
+      break;
+    }
+    cycles += CopyObject(core, cold_store_.PaForOffset(id * kCacheLineSize),
+                         hot_store_.line(next_free).pa);
+    promoted_.emplace(id, next_free);
+    hot_slot_owner_[next_free] = id;
+    ++migrations_;
+  }
+
+  std::fill(epoch_counts_.begin(), epoch_counts_.end(), 0);
+  return cycles;
+}
+
+Cycles HotDataMigrator::Access(CoreId core, std::uint64_t id, bool write) {
+  if (id >= epoch_counts_.size()) {
+    throw std::out_of_range("HotDataMigrator::Access: object id out of range");
+  }
+  ++epoch_counts_[id];
+  const PhysAddr pa = HomeOf(id);
+  Cycles cycles = write ? hierarchy_.Write(core, pa).cycles : hierarchy_.Read(core, pa).cycles;
+  if (++accesses_in_epoch_ >= params_.epoch_accesses) {
+    accesses_in_epoch_ = 0;
+    cycles += RunEpochMigration(core);
+  }
+  return cycles;
+}
+
+}  // namespace cachedir

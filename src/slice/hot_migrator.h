@@ -1,0 +1,73 @@
+// Hot-data monitoring and migration (paper §8):
+//
+//   "applications which only use slice-aware memory management for the
+//    'hot' data due to their very large working set should employ
+//    monitoring/migration techniques to deal with variability of hot data."
+//
+// HotDataMigrator fronts an object store whose objects live in ordinary
+// (contiguous) memory; it counts accesses per object in epochs, and at each
+// epoch boundary promotes the hottest objects into cache lines of the
+// consuming core's slice (copying the bytes and switching an indirection
+// entry) while demoting objects that went cold. Applications address
+// objects by id; the migrator resolves the current physical home.
+#ifndef CACHEDIRECTOR_SRC_SLICE_HOT_MIGRATOR_H_
+#define CACHEDIRECTOR_SRC_SLICE_HOT_MIGRATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/mem/physical_memory.h"
+#include "src/slice/buffers.h"
+#include "src/slice/slice_allocator.h"
+
+namespace cachedir {
+
+class HotDataMigrator {
+ public:
+  struct Params {
+    std::size_t num_objects = 0;        // object id space; each one line
+    SliceId target_slice = 0;           // where hot objects are promoted
+    std::size_t hot_capacity = 1024;    // max promoted objects (slice lines)
+    std::uint64_t epoch_accesses = 10000;  // accesses between migrations
+    // Charge the copy cost of each migration to the core (a real system
+    // pays it; set false to model an idle-time/DMA-engine migrator).
+    bool charge_migration = true;
+  };
+
+  HotDataMigrator(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
+                  HugepageAllocator& backing, SliceAwareAllocator& slice_allocator,
+                  const Params& params);
+
+  // Access object `id` on `core` (read or write); returns cycles including
+  // any epoch migration work triggered by this access.
+  Cycles Access(CoreId core, std::uint64_t id, bool write);
+
+  // Current physical home of the object (for tests).
+  PhysAddr HomeOf(std::uint64_t id) const;
+  bool IsPromoted(std::uint64_t id) const { return promoted_.count(id) != 0; }
+
+  std::uint64_t migrations() const { return migrations_; }
+  std::size_t promoted_count() const { return promoted_.size(); }
+
+ private:
+  Cycles RunEpochMigration(CoreId core);
+  Cycles CopyObject(CoreId core, PhysAddr from, PhysAddr to);
+
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+  Params params_;
+
+  ContiguousBuffer cold_store_;
+  SliceBuffer hot_store_;
+  std::vector<std::uint32_t> epoch_counts_;      // per object, this epoch
+  std::unordered_map<std::uint64_t, std::size_t> promoted_;  // id -> hot slot
+  std::vector<std::uint64_t> hot_slot_owner_;    // slot -> id (or ~0)
+  std::uint64_t accesses_in_epoch_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SLICE_HOT_MIGRATOR_H_

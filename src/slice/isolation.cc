@@ -1,0 +1,132 @@
+#include "src/slice/isolation.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cachedir {
+
+SliceIsolationManager::SliceIsolationManager(const SlicePlacement& placement,
+                                             SliceAwareAllocator& allocator)
+    : placement_(&placement),
+      allocator_(&allocator),
+      slice_taken_(placement.num_slices(), false),
+      core_taken_(placement.num_cores(), false) {}
+
+std::vector<SliceId> SliceIsolationManager::RegisterTenant(const std::string& name,
+                                                           const std::vector<CoreId>& cores,
+                                                           std::size_t num_slices) {
+  if (tenants_.count(name) != 0) {
+    throw std::invalid_argument("SliceIsolationManager: tenant name already registered");
+  }
+  if (cores.empty() || num_slices == 0) {
+    throw std::invalid_argument("SliceIsolationManager: need at least one core and slice");
+  }
+  for (const CoreId c : cores) {
+    if (c >= core_taken_.size()) {
+      throw std::invalid_argument("SliceIsolationManager: core id out of range");
+    }
+    if (core_taken_[c]) {
+      throw std::invalid_argument("SliceIsolationManager: core already owned by a tenant");
+    }
+  }
+  const std::size_t free_slices =
+      std::count(slice_taken_.begin(), slice_taken_.end(), false);
+  if (num_slices > free_slices) {
+    throw std::invalid_argument("SliceIsolationManager: not enough free slices");
+  }
+
+  // Greedy: repeatedly grant the free slice with the lowest worst-case
+  // latency over the tenant's cores.
+  Tenant tenant;
+  tenant.cores = cores;
+  for (std::size_t granted = 0; granted < num_slices; ++granted) {
+    SliceId best_slice = 0;
+    Cycles best_cost = std::numeric_limits<Cycles>::max();
+    for (SliceId s = 0; s < slice_taken_.size(); ++s) {
+      if (slice_taken_[s]) {
+        continue;
+      }
+      Cycles worst = 0;
+      for (const CoreId c : cores) {
+        worst = std::max(worst, placement_->Latency(c, s));
+      }
+      if (worst < best_cost) {
+        best_cost = worst;
+        best_slice = s;
+      }
+    }
+    slice_taken_[best_slice] = true;
+    tenant.slices.push_back(best_slice);
+  }
+  for (const CoreId c : cores) {
+    core_taken_[c] = true;
+  }
+  const auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
+  (void)inserted;
+  return it->second.slices;
+}
+
+SliceBuffer SliceIsolationManager::Allocate(const std::string& name, std::size_t bytes) {
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument("SliceIsolationManager: unknown tenant");
+  }
+  Tenant& tenant = it->second;
+  const std::size_t lines = (bytes + kCacheLineSize - 1) / kCacheLineSize;
+
+  // Round-robin across the tenant's slices, interleaving lines so the load
+  // (and the LLC footprint) spreads evenly over the granted slices.
+  std::vector<std::vector<SliceLine>> per_slice(tenant.slices.size());
+  const std::size_t base = lines / tenant.slices.size();
+  const std::size_t extra = lines % tenant.slices.size();
+  for (std::size_t i = 0; i < tenant.slices.size(); ++i) {
+    const std::size_t want = base + (i < extra ? 1 : 0);
+    if (want == 0) {
+      continue;
+    }
+    const SliceBuffer chunk = allocator_->AllocateLines(tenant.slices[i], want);
+    per_slice[i] = chunk.lines();
+  }
+  std::vector<SliceLine> interleaved;
+  interleaved.reserve(lines);
+  for (std::size_t round = 0; interleaved.size() < lines; ++round) {
+    for (std::size_t i = 0; i < per_slice.size(); ++i) {
+      if (round < per_slice[i].size()) {
+        interleaved.push_back(per_slice[i][round]);
+      }
+    }
+  }
+  // Rotate the starting slice so successive allocations balance.
+  tenant.next_slice_cursor = (tenant.next_slice_cursor + 1) % tenant.slices.size();
+  return SliceBuffer(std::move(interleaved));
+}
+
+const SliceIsolationManager::Tenant& SliceIsolationManager::Find(
+    const std::string& name) const {
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument("SliceIsolationManager: unknown tenant");
+  }
+  return it->second;
+}
+
+const std::vector<SliceId>& SliceIsolationManager::SlicesOf(const std::string& name) const {
+  return Find(name).slices;
+}
+
+const std::vector<CoreId>& SliceIsolationManager::CoresOf(const std::string& name) const {
+  return Find(name).cores;
+}
+
+std::vector<SliceId> SliceIsolationManager::UnassignedSlices() const {
+  std::vector<SliceId> out;
+  for (SliceId s = 0; s < slice_taken_.size(); ++s) {
+    if (!slice_taken_[s]) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,61 @@
+#include "src/slice/page_color.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+namespace {
+constexpr std::size_t kPage = 4096;
+}  // namespace
+
+PageColorAllocator::PageColorAllocator(HugepageAllocator& backing,
+                                       std::uint32_t set_index_bits)
+    : backing_(backing) {
+  if (set_index_bits <= 6 || set_index_bits > 20) {
+    throw std::invalid_argument("PageColorAllocator: set_index_bits must be in 7..20");
+  }
+  // Bits [12, 6 + set_index_bits) are both page-number and set-index bits.
+  num_colors_ = std::uint32_t{1} << (6 + set_index_bits - 12);
+  pools_.resize(num_colors_);
+}
+
+void PageColorAllocator::Refill() {
+  if (current_.size == 0 || scan_offset_ >= current_.size) {
+    current_ = backing_.Allocate(std::size_t{2} << 20, PageSize::k2M);
+    scan_offset_ = 0;
+  }
+  const std::size_t end = std::min(current_.size, scan_offset_ + (std::size_t{1} << 20));
+  for (; scan_offset_ < end; scan_offset_ += kPage) {
+    Mapping page;
+    page.va = current_.va + scan_offset_;
+    page.pa = current_.pa + scan_offset_;
+    page.size = kPage;
+    page.page_size = PageSize::k4K;
+    pools_[ColorOf(page.pa)].push_back(page);
+  }
+}
+
+SliceBuffer PageColorAllocator::AllocateBytes(std::uint32_t color, std::size_t bytes) {
+  if (color >= num_colors_) {
+    throw std::invalid_argument("PageColorAllocator: color out of range");
+  }
+  const std::size_t lines_needed = (bytes + kCacheLineSize - 1) / kCacheLineSize;
+  std::vector<SliceLine> lines;
+  lines.reserve(lines_needed);
+  while (lines.size() < lines_needed) {
+    auto& pool = pools_[color];
+    if (pool.empty()) {
+      Refill();
+      continue;
+    }
+    const Mapping page = pool.back();
+    pool.pop_back();
+    for (std::size_t off = 0; off < kPage && lines.size() < lines_needed;
+         off += kCacheLineSize) {
+      lines.push_back(SliceLine{page.va + off, page.pa + off});
+    }
+  }
+  return SliceBuffer(std::move(lines));
+}
+
+}  // namespace cachedir

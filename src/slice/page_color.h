@@ -1,0 +1,54 @@
+// Classic page-coloring allocation — the pre-Complex-Addressing partitioning
+// technique the paper's related work discusses (§9: traditional coloring
+// "will not be as effective ... on newer architectures, as the mapping
+// between LLC slices and physical addresses changes at a finer granularity
+// than 4k-pages").
+//
+// A page's color is the overlap of its physical page number with the cache
+// set index; allocating disjoint colors to different applications used to
+// partition a physically-indexed cache. This allocator implements that
+// faithfully so benches can show WHY it stopped working on sliced LLCs:
+// within any 4 kB page, Complex Addressing scatters the 64 lines over all
+// slices, so colors no longer confine anything slice-wise.
+#ifndef CACHEDIRECTOR_SRC_SLICE_PAGE_COLOR_H_
+#define CACHEDIRECTOR_SRC_SLICE_PAGE_COLOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/hugepage.h"
+#include "src/slice/buffers.h"
+
+namespace cachedir {
+
+class PageColorAllocator {
+ public:
+  // `set_index_bits` is log2(sets) of the cache being partitioned (for an
+  // LLC slice with 2048 sets: 11). Colors are the set-index bits above the
+  // page offset: bits [12, 6 + set_index_bits).
+  PageColorAllocator(HugepageAllocator& backing, std::uint32_t set_index_bits);
+
+  std::uint32_t num_colors() const { return num_colors_; }
+
+  // Color of the 4 kB page containing `pa`.
+  std::uint32_t ColorOf(PhysAddr pa) const {
+    return static_cast<std::uint32_t>((pa >> 12) & (num_colors_ - 1));
+  }
+
+  // Allocates `bytes` using only 4 kB pages of the given color. The result
+  // is page-granular and non-contiguous (like a recolored page table).
+  SliceBuffer AllocateBytes(std::uint32_t color, std::size_t bytes);
+
+ private:
+  void Refill();
+
+  HugepageAllocator& backing_;
+  std::uint32_t num_colors_;
+  std::vector<std::vector<Mapping>> pools_;  // 4 kB page descriptors by color
+  Mapping current_{};
+  std::size_t scan_offset_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SLICE_PAGE_COLOR_H_

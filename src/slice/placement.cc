@@ -1,0 +1,82 @@
+#include "src/slice/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cachedir {
+
+SlicePlacement::SlicePlacement(const MemoryHierarchy& hierarchy) {
+  const std::size_t cores = hierarchy.spec().num_cores;
+  const std::size_t slices = hierarchy.spec().num_slices;
+  latency_.assign(cores, std::vector<Cycles>(slices, 0));
+  for (CoreId c = 0; c < cores; ++c) {
+    for (SliceId s = 0; s < slices; ++s) {
+      latency_[c][s] = hierarchy.LlcHitLatency(c, s);
+    }
+  }
+}
+
+SliceId SlicePlacement::ClosestSlice(CoreId core) const {
+  const auto& row = latency_[core];
+  return static_cast<SliceId>(std::min_element(row.begin(), row.end()) - row.begin());
+}
+
+std::vector<SliceId> SlicePlacement::RankedSlices(CoreId core) const {
+  std::vector<SliceId> order(num_slices());
+  std::iota(order.begin(), order.end(), 0);
+  const auto& row = latency_[core];
+  std::stable_sort(order.begin(), order.end(),
+                   [&row](SliceId a, SliceId b) { return row[a] < row[b]; });
+  return order;
+}
+
+std::vector<SliceId> SlicePlacement::PrimarySlices(CoreId core) const {
+  const auto& row = latency_[core];
+  const Cycles best = *std::min_element(row.begin(), row.end());
+  std::vector<SliceId> out;
+  for (SliceId s = 0; s < row.size(); ++s) {
+    if (row[s] == best) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<SliceId> SlicePlacement::SecondarySlices(CoreId core, Cycles tolerance) const {
+  const auto& row = latency_[core];
+  const Cycles best = *std::min_element(row.begin(), row.end());
+  std::vector<SliceId> out;
+  for (SliceId s = 0; s < row.size(); ++s) {
+    if (row[s] > best && row[s] <= best + tolerance) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+SliceId SlicePlacement::CompromiseSlice(const std::vector<CoreId>& cores) const {
+  if (cores.empty()) {
+    throw std::invalid_argument("SlicePlacement::CompromiseSlice: empty core group");
+  }
+  SliceId best_slice = 0;
+  Cycles best_max = std::numeric_limits<Cycles>::max();
+  Cycles best_sum = std::numeric_limits<Cycles>::max();
+  for (SliceId s = 0; s < num_slices(); ++s) {
+    Cycles max_lat = 0;
+    Cycles sum = 0;
+    for (const CoreId c : cores) {
+      max_lat = std::max(max_lat, latency_[c][s]);
+      sum += latency_[c][s];
+    }
+    if (max_lat < best_max || (max_lat == best_max && sum < best_sum)) {
+      best_max = max_lat;
+      best_sum = sum;
+      best_slice = s;
+    }
+  }
+  return best_slice;
+}
+
+}  // namespace cachedir

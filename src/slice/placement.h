@@ -1,0 +1,48 @@
+// Slice placement policy: which LLC slice(s) should a core's hot data live in?
+//
+// On the ring (Haswell) each core has one best slice (its own stop); on the
+// mesh (Skylake, 18 slices / 8 cores) each core has a primary slice and one
+// or two secondaries (paper Table 4). The ranking is derived from measured
+// (here: modelled) LLC hit latencies, exactly as an application using the
+// library would derive it from the §2.2 timing experiment.
+#ifndef CACHEDIRECTOR_SRC_SLICE_PLACEMENT_H_
+#define CACHEDIRECTOR_SRC_SLICE_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+
+namespace cachedir {
+
+class SlicePlacement {
+ public:
+  explicit SlicePlacement(const MemoryHierarchy& hierarchy);
+
+  std::size_t num_cores() const { return latency_.size(); }
+  std::size_t num_slices() const { return latency_.empty() ? 0 : latency_[0].size(); }
+
+  // LLC hit latency from `core` to `slice` (cycles).
+  Cycles Latency(CoreId core, SliceId slice) const { return latency_[core][slice]; }
+
+  // The single cheapest slice for `core` (lowest id wins ties).
+  SliceId ClosestSlice(CoreId core) const;
+
+  // All slices sorted by ascending latency (stable: ties by slice id).
+  std::vector<SliceId> RankedSlices(CoreId core) const;
+
+  // Slices whose latency equals the minimum ("primary") and those within
+  // `tolerance` cycles of it ("secondary") — the Table 4 classification.
+  std::vector<SliceId> PrimarySlices(CoreId core) const;
+  std::vector<SliceId> SecondarySlices(CoreId core, Cycles tolerance = 4) const;
+
+  // Best compromise slice for data shared by several cores: minimises the
+  // maximum latency over the group (ties: minimise the sum, then id).
+  SliceId CompromiseSlice(const std::vector<CoreId>& cores) const;
+
+ private:
+  std::vector<std::vector<Cycles>> latency_;  // [core][slice]
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SLICE_PLACEMENT_H_

@@ -1,0 +1,72 @@
+#include "src/slice/slice_allocator.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace cachedir {
+
+SliceAwareAllocator::SliceAwareAllocator(HugepageAllocator& backing,
+                                         std::shared_ptr<const SliceHash> hash)
+    : SliceAwareAllocator(backing, std::move(hash), Params{}) {}
+
+SliceAwareAllocator::SliceAwareAllocator(HugepageAllocator& backing,
+                                         std::shared_ptr<const SliceHash> hash,
+                                         const Params& params)
+    : backing_(backing), hash_(std::move(hash)), params_(params),
+      pools_(hash_->num_slices()) {
+  if (params_.scan_chunk_lines == 0) {
+    throw std::invalid_argument("SliceAwareAllocator: scan_chunk_lines must be positive");
+  }
+}
+
+void SliceAwareAllocator::Refill() {
+  if (current_.size == 0 || scan_offset_ >= current_.size) {
+    current_ = backing_.Allocate(static_cast<std::size_t>(params_.page_size),
+                                 params_.page_size);
+    bytes_reserved_ += current_.size;
+    scan_offset_ = 0;
+  }
+  const std::size_t end =
+      std::min(current_.size, scan_offset_ + params_.scan_chunk_lines * kCacheLineSize);
+  for (; scan_offset_ < end; scan_offset_ += kCacheLineSize) {
+    const PhysAddr pa = current_.pa + scan_offset_;
+    const SliceId s = hash_->SliceFor(pa);
+    pools_[s].push_back(SliceLine{current_.va + scan_offset_, pa});
+  }
+}
+
+SliceBuffer SliceAwareAllocator::AllocateLines(SliceId slice, std::size_t count) {
+  if (slice >= pools_.size()) {
+    throw std::invalid_argument("SliceAwareAllocator: slice id out of range");
+  }
+  std::vector<SliceLine> lines;
+  lines.reserve(count);
+  while (lines.size() < count) {
+    auto& pool = pools_[slice];
+    if (pool.empty()) {
+      Refill();  // throws std::bad_alloc when backing memory is gone
+      continue;
+    }
+    lines.push_back(pool.front());
+    pool.pop_front();
+  }
+  return SliceBuffer(std::move(lines));
+}
+
+SliceBuffer SliceAwareAllocator::AllocateBytes(SliceId slice, std::size_t bytes) {
+  return AllocateLines(slice, (bytes + kCacheLineSize - 1) / kCacheLineSize);
+}
+
+std::size_t SliceAwareAllocator::FreeLines(SliceId slice) const {
+  return pools_[slice].size();
+}
+
+std::size_t SliceAwareAllocator::TotalFreeLines() const {
+  std::size_t total = 0;
+  for (const auto& pool : pools_) {
+    total += pool.size();
+  }
+  return total;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,70 @@
+#include "src/slice/slice_mapper.h"
+
+namespace cachedir {
+
+std::vector<SliceLine> LinesForSlice(const SliceHash& hash, const Mapping& mapping,
+                                     SliceId slice, std::size_t max_lines) {
+  std::vector<SliceLine> out;
+  out.reserve(max_lines);
+  for (std::size_t off = 0; off + kCacheLineSize <= mapping.size && out.size() < max_lines;
+       off += kCacheLineSize) {
+    const PhysAddr pa = mapping.pa + off;
+    if (hash.SliceFor(pa) == slice) {
+      out.push_back(SliceLine{mapping.va + off, pa});
+    }
+  }
+  return out;
+}
+
+std::vector<SliceLine> LinesForSliceAndSet(const SliceHash& hash, const Mapping& mapping,
+                                           SliceId slice, std::size_t set_index,
+                                           std::size_t num_sets, std::size_t max_lines) {
+  std::vector<SliceLine> out;
+  out.reserve(max_lines);
+  const std::size_t set_mask = num_sets - 1;
+  for (std::size_t off = 0; off + kCacheLineSize <= mapping.size && out.size() < max_lines;
+       off += kCacheLineSize) {
+    const PhysAddr pa = mapping.pa + off;
+    if (((pa >> kCacheLineBits) & set_mask) != set_index) {
+      continue;
+    }
+    if (hash.SliceFor(pa) == slice) {
+      out.push_back(SliceLine{mapping.va + off, pa});
+    }
+  }
+  return out;
+}
+
+std::vector<SliceLine> GatherSliceLines(HugepageAllocator& backing, const SliceHash& hash,
+                                        SliceId slice, std::size_t count,
+                                        PageSize page_size) {
+  std::vector<SliceLine> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const Mapping m = backing.Allocate(static_cast<std::size_t>(page_size), page_size);
+    for (std::size_t off = 0; off + kCacheLineSize <= m.size && out.size() < count;
+         off += kCacheLineSize) {
+      const PhysAddr pa = m.pa + off;
+      if (hash.SliceFor(pa) == slice) {
+        out.push_back(SliceLine{m.va + off, pa});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> SliceHistogram(const SliceHash& hash, const Mapping& mapping,
+                                        std::size_t max_lines) {
+  std::vector<std::size_t> histogram(hash.num_slices(), 0);
+  std::size_t seen = 0;
+  for (std::size_t off = 0; off + kCacheLineSize <= mapping.size; off += kCacheLineSize) {
+    if (max_lines != 0 && seen >= max_lines) {
+      break;
+    }
+    ++histogram[hash.SliceFor(mapping.pa + off)];
+    ++seen;
+  }
+  return histogram;
+}
+
+}  // namespace cachedir

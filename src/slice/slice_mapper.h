@@ -1,0 +1,44 @@
+// Helpers for locating cache lines with specific (slice, set) placement
+// inside a physically-contiguous mapping — the building block of the paper's
+// §2.2 access-time experiment, which needs 20 lines in one particular set of
+// one particular slice.
+#ifndef CACHEDIRECTOR_SRC_SLICE_SLICE_MAPPER_H_
+#define CACHEDIRECTOR_SRC_SLICE_SLICE_MAPPER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hash/slice_hash.h"
+#include "src/mem/hugepage.h"
+#include "src/slice/buffers.h"
+
+namespace cachedir {
+
+// First `max_lines` lines of `mapping` that hash to `slice`, in address order.
+std::vector<SliceLine> LinesForSlice(const SliceHash& hash, const Mapping& mapping,
+                                     SliceId slice, std::size_t max_lines);
+
+// Lines that hash to `slice` AND fall into LLC set `set_index` (set selected
+// by address bits [6, 6+log2(num_sets))). Used to build same-set eviction
+// groups.
+std::vector<SliceLine> LinesForSliceAndSet(const SliceHash& hash, const Mapping& mapping,
+                                           SliceId slice, std::size_t set_index,
+                                           std::size_t num_sets, std::size_t max_lines);
+
+// Distribution of the mapping's lines over slices (histogram; uniformity
+// checks and the §8 slice-imbalance discussion).
+std::vector<std::size_t> SliceHistogram(const SliceHash& hash, const Mapping& mapping,
+                                        std::size_t max_lines = 0);
+
+// Allocates hugepages from `backing` until `count` lines hashing to `slice`
+// have been gathered (streaming; no per-slice pooling of the rejects). Used
+// by bulk consumers like the slice-aware KVS, where pooling every other
+// slice's lines would waste host memory. Throws std::bad_alloc when the
+// simulated zone is exhausted first.
+std::vector<SliceLine> GatherSliceLines(HugepageAllocator& backing, const SliceHash& hash,
+                                        SliceId slice, std::size_t count,
+                                        PageSize page_size = PageSize::k1G);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SLICE_SLICE_MAPPER_H_

@@ -1,0 +1,144 @@
+#include "src/stats/fit.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace cachedir {
+namespace {
+
+double RSquared(std::span<const double> x, std::span<const double> y,
+                const auto& predict) {
+  double mean = 0;
+  for (const double v : y) {
+    mean += v;
+  }
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0;
+  double ss_tot = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - predict(x[i]);
+    ss_res += r * r;
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot == 0) {
+    return ss_res == 0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+// Solves the 3x3 symmetric normal equations by Gaussian elimination with
+// partial pivoting. Small and fixed-size; no linear-algebra dependency needed.
+std::array<double, 3> Solve3(std::array<std::array<double, 4>, 3> m) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(m[col], m[pivot]);
+    if (std::fabs(m[col][col]) < 1e-12) {
+      throw std::invalid_argument("FitQuadratic: singular normal equations");
+    }
+    for (int row = col + 1; row < 3; ++row) {
+      const double f = m[row][col] / m[col][col];
+      for (int k = col; k < 4; ++k) {
+        m[row][k] -= f * m[col][k];
+      }
+    }
+  }
+  std::array<double, 3> out{};
+  for (int row = 2; row >= 0; --row) {
+    double acc = m[row][3];
+    for (int k = row + 1; k < 3; ++k) {
+      acc -= m[row][k] * out[k];
+    }
+    out[row] = acc / m[row][row];
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("FitLinear: need >= 2 paired points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    throw std::invalid_argument("FitLinear: x values are all identical");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fit.r2 = RSquared(x, y, fit);
+  return fit;
+}
+
+QuadraticFit FitQuadratic(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 3) {
+    throw std::invalid_argument("FitQuadratic: need >= 3 paired points");
+  }
+  double s0 = static_cast<double>(x.size());
+  double s1 = 0;
+  double s2 = 0;
+  double s3 = 0;
+  double s4 = 0;
+  double t0 = 0;
+  double t1 = 0;
+  double t2 = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    const double x2 = xi * xi;
+    s1 += xi;
+    s2 += x2;
+    s3 += x2 * xi;
+    s4 += x2 * x2;
+    t0 += y[i];
+    t1 += y[i] * xi;
+    t2 += y[i] * x2;
+  }
+  const auto sol = Solve3({{{s0, s1, s2, t0}, {s1, s2, s3, t1}, {s2, s3, s4, t2}}});
+  QuadraticFit fit;
+  fit.c0 = sol[0];
+  fit.c1 = sol[1];
+  fit.c2 = sol[2];
+  fit.r2 = RSquared(x, y, fit);
+  return fit;
+}
+
+PiecewiseKneeFit FitPiecewiseKnee(std::span<const double> x, std::span<const double> y,
+                                  double knee) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  std::vector<double> hx;
+  std::vector<double> hy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < knee) {
+      lx.push_back(x[i]);
+      ly.push_back(y[i]);
+    } else {
+      hx.push_back(x[i]);
+      hy.push_back(y[i]);
+    }
+  }
+  PiecewiseKneeFit fit;
+  fit.knee = knee;
+  fit.below = FitLinear(lx, ly);
+  fit.above = FitQuadratic(hx, hy);
+  return fit;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,52 @@
+// Least-squares fits used by the evaluation benches.
+//
+// Fig. 15 of the paper fits tail-latency-vs-throughput data to a piecewise
+// curve: linear below the 37 Gbps knee, quadratic above, reporting R^2 for
+// both pieces. These helpers implement ordinary least squares for degree 1
+// and 2 polynomials plus that piecewise composition.
+#ifndef CACHEDIRECTOR_SRC_STATS_FIT_H_
+#define CACHEDIRECTOR_SRC_STATS_FIT_H_
+
+#include <span>
+#include <vector>
+
+namespace cachedir {
+
+struct LinearFit {
+  double intercept = 0;  // a in a + b*x
+  double slope = 0;      // b
+  double r2 = 0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+};
+
+struct QuadraticFit {
+  double c0 = 0;  // c0 + c1*x + c2*x^2
+  double c1 = 0;
+  double c2 = 0;
+  double r2 = 0;
+
+  double operator()(double x) const { return c0 + x * (c1 + x * c2); }
+};
+
+// Requires at least 2 points with distinct x.
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+// Requires at least 3 points with distinct x.
+QuadraticFit FitQuadratic(std::span<const double> x, std::span<const double> y);
+
+// Piecewise fit around a knee: linear for x < knee, quadratic for x >= knee.
+struct PiecewiseKneeFit {
+  double knee = 0;
+  LinearFit below;
+  QuadraticFit above;
+
+  double operator()(double x) const { return x < knee ? below(x) : above(x); }
+};
+
+PiecewiseKneeFit FitPiecewiseKnee(std::span<const double> x, std::span<const double> y,
+                                  double knee);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_STATS_FIT_H_

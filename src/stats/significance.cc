@@ -1,0 +1,89 @@
+#include "src/stats/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cachedir {
+namespace {
+
+// Complementary CDF of the standard normal via erfc.
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+MannWhitneyResult MannWhitneyU(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+  if (n1 < 4 || n2 < 4) {
+    throw std::invalid_argument("MannWhitneyU: need >= 4 observations per sample");
+  }
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Obs {
+    double value;
+    bool from_a;
+  };
+  std::vector<Obs> pooled;
+  pooled.reserve(n1 + n2);
+  for (const double v : a) {
+    pooled.push_back({v, true});
+  }
+  for (const double v : b) {
+    pooled.push_back({v, false});
+  }
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Obs& x, const Obs& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0;
+  double tie_term = 0;  // sum over tie groups of t^3 - t
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) {
+      ++j;
+    }
+    const double mid_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    const double t = static_cast<double>(j - i);
+    if (t > 1) {
+      tie_term += t * t * t - t;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) {
+        rank_sum_a += mid_rank;
+      }
+    }
+    i = j;
+  }
+
+  const double n1d = static_cast<double>(n1);
+  const double n2d = static_cast<double>(n2);
+  const double u1 = rank_sum_a - n1d * (n1d + 1) / 2.0;
+
+  MannWhitneyResult result;
+  result.u = u1;
+  result.prob_a_less = 1.0 - u1 / (n1d * n2d);
+
+  const double mean_u = n1d * n2d / 2.0;
+  const double n = n1d + n2d;
+  const double variance =
+      n1d * n2d / 12.0 * ((n + 1) - tie_term / (n * (n - 1)));
+  if (variance <= 0) {
+    // All observations identical: no evidence of any difference.
+    result.z = 0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  const double diff = u1 - mean_u;
+  const double corrected = diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  result.z = corrected / std::sqrt(variance);
+  result.p_value = 2.0 * NormalSf(std::fabs(result.z));
+  if (result.p_value > 1.0) {
+    result.p_value = 1.0;
+  }
+  return result;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,29 @@
+// Nonparametric significance testing for A/B latency comparisons.
+//
+// The benches report medians of N seeded runs per configuration; the
+// Mann-Whitney U test (normal approximation, two-sided) says whether the
+// DPDK-vs-CacheDirector difference is larger than run-to-run noise. Latency
+// distributions are heavy-tailed, so a rank test is the right tool — no
+// normality assumption.
+#ifndef CACHEDIRECTOR_SRC_STATS_SIGNIFICANCE_H_
+#define CACHEDIRECTOR_SRC_STATS_SIGNIFICANCE_H_
+
+#include <span>
+
+namespace cachedir {
+
+struct MannWhitneyResult {
+  double u = 0;        // U statistic of sample A
+  double z = 0;        // normal-approximation z score (tie-corrected)
+  double p_value = 1;  // two-sided
+  // Common-language effect size: P(a < b) + 0.5 P(a == b); 0.5 = no effect.
+  double prob_a_less = 0.5;
+};
+
+// Requires at least 4 observations per side (the normal approximation is
+// meaningless below that; throws std::invalid_argument).
+MannWhitneyResult MannWhitneyU(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_STATS_SIGNIFICANCE_H_

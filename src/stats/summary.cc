@@ -1,0 +1,124 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cachedir {
+
+Samples::Samples(std::vector<double> values) : values_(std::move(values)) {}
+
+void Samples::Add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Samples::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    throw std::logic_error("Samples::Percentile on empty sample set");
+  }
+  EnsureSorted();
+  if (p <= 0) {
+    return sorted_.front();
+  }
+  if (p >= 100) {
+    return sorted_.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Samples::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Samples::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0;
+  for (const double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::Stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double sq = 0;
+  for (const double v : values_) {
+    sq += (v - mean) * (v - mean);
+  }
+  return std::sqrt(sq / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::Skewness() const {
+  const std::size_t n = values_.size();
+  if (n < 3) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double m2 = 0;
+  double m3 = 0;
+  for (const double v : values_) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 == 0) {
+    return 0.0;
+  }
+  const double g1 = m3 / std::pow(m2, 1.5);
+  const double nd = static_cast<double>(n);
+  return std::sqrt(nd * (nd - 1)) / (nd - 2) * g1;
+}
+
+double Samples::CdfAt(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<double> Samples::Sorted() const {
+  EnsureSorted();
+  return sorted_;
+}
+
+PercentileRow SummarizePercentiles(const Samples& s) {
+  PercentileRow row;
+  row.p75 = s.Percentile(75);
+  row.p90 = s.Percentile(90);
+  row.p95 = s.Percentile(95);
+  row.p99 = s.Percentile(99);
+  row.mean = s.Mean();
+  return row;
+}
+
+}  // namespace cachedir

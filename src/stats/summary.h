@@ -1,0 +1,67 @@
+// Sample summaries: percentiles, quartiles, mean, CDF, skewness.
+//
+// Every latency figure in the paper reports medians of 50 runs with quartile
+// error bars, plus 75/90/95/99th percentiles; this is the shared machinery.
+#ifndef CACHEDIRECTOR_SRC_STATS_SUMMARY_H_
+#define CACHEDIRECTOR_SRC_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cachedir {
+
+// Accumulates samples; summary queries sort lazily.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values);
+
+  void Add(double v);
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Percentile in [0, 100] with linear interpolation between order statistics.
+  // Requires at least one sample.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;  // sample standard deviation (n-1)
+
+  // Fisher-Pearson adjusted skewness; 0 for fewer than 3 samples.
+  double Skewness() const;
+
+  // Empirical CDF evaluated at `x`: fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  // Sorted copy of the samples (for CDF plotting).
+  std::vector<double> Sorted() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// One row of a percentile table (used by the figure benches).
+struct PercentileRow {
+  double p75 = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double mean = 0;
+};
+
+PercentileRow SummarizePercentiles(const Samples& s);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_STATS_SUMMARY_H_

@@ -1,0 +1,56 @@
+#include "src/stats/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cachedir {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfGenerator: n must be positive");
+  }
+  if (theta < 0 || theta >= 1.0 + 1e-9) {
+    // Hörmann handles theta > 1 too, but the KVS literature (and this repo)
+    // only needs [0, 1); reject anything else to catch configuration slips.
+    if (theta < 0) {
+      throw std::invalid_argument("ZipfGenerator: theta must be non-negative");
+    }
+  }
+  if (theta_ > 0) {
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+  }
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of x^-theta: x^(1-theta) / (1-theta).
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfGenerator::Next() {
+  if (theta_ == 0) {
+    return rng_.UniformU64(0, n_ - 1);
+  }
+  while (true) {
+    const double u = h_n_ + rng_.UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k - 1;  // ranks are 0-based for callers
+    }
+  }
+}
+
+}  // namespace cachedir

@@ -1,0 +1,69 @@
+// End-to-end measurement capture on the LoadGen side.
+//
+// Mirrors the paper's black-box method: the DuT returns each packet carrying
+// its original departure timestamp; latency is return time minus departure
+// time; throughput is delivered wire bits over the observation window. The
+// constant "loopback" component (LoadGen queuing + link) is modelled as a
+// configured offset so benches can either add or subtract it exactly the way
+// the paper reports its numbers.
+#ifndef CACHEDIRECTOR_SRC_TRACE_LATENCY_RECORDER_H_
+#define CACHEDIRECTOR_SRC_TRACE_LATENCY_RECORDER_H_
+
+#include <cstdint>
+
+#include "src/stats/summary.h"
+#include "src/sim/types.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  // Records a delivery. `latency_start_ns` is the reference the latency is
+  // measured from: the LoadGen departure stamp for raw end-to-end numbers,
+  // or the DuT-port arrival for the paper's loopback-subtracted numbers.
+  void RecordDelivery(const WirePacket& packet, Nanoseconds return_time_ns,
+                      Nanoseconds latency_start_ns) {
+    latencies_us_.Add((return_time_ns - latency_start_ns) / 1000.0);
+    delivered_bits_ += (packet.size_bytes + kWireOverheadBytes) * 8.0;
+    if (return_time_ns > last_return_ns_) {
+      last_return_ns_ = return_time_ns;
+    }
+    if (packet.tx_time_ns < first_tx_ns_ || count_ == 0) {
+      first_tx_ns_ = packet.tx_time_ns;
+    }
+    ++count_;
+  }
+
+  void RecordDelivery(const WirePacket& packet, Nanoseconds return_time_ns) {
+    RecordDelivery(packet, return_time_ns, packet.tx_time_ns);
+  }
+
+  void RecordDrop() { ++drops_; }
+
+  // Latency samples in microseconds (the unit of every figure).
+  const Samples& latencies_us() const { return latencies_us_; }
+
+  std::uint64_t delivered() const { return count_; }
+  std::uint64_t drops() const { return drops_; }
+
+  // Goodput over the observation window, in Gbps on the wire.
+  double ThroughputGbps() const {
+    const double window_ns = last_return_ns_ - first_tx_ns_;
+    return window_ns <= 0 ? 0.0 : delivered_bits_ / window_ns;
+  }
+
+ private:
+  Samples latencies_us_;
+  double delivered_bits_ = 0;
+  Nanoseconds first_tx_ns_ = 0;
+  Nanoseconds last_return_ns_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_TRACE_LATENCY_RECORDER_H_

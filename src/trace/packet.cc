@@ -1,0 +1,88 @@
+#include "src/trace/packet.h"
+
+#include <bit>
+#include <cstring>
+
+namespace cachedir {
+namespace {
+
+// Deterministic MACs derived from IPs; good enough for a simulated L2.
+std::uint64_t MacForIp(std::uint32_t ip) { return 0x02'00'00'00'00'00ull | ip; }
+
+void WriteMac(PhysicalMemory& mem, PhysAddr addr, std::uint64_t mac) {
+  std::uint8_t bytes[6];
+  for (int i = 0; i < 6; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(mac >> (8 * (5 - i)));
+  }
+  mem.Write(addr, bytes);
+}
+
+std::uint64_t ReadMac(const PhysicalMemory& mem, PhysAddr addr) {
+  std::uint8_t bytes[6] = {};
+  mem.Read(addr, bytes);
+  std::uint64_t mac = 0;
+  for (int i = 0; i < 6; ++i) {
+    mac = (mac << 8) | bytes[i];
+  }
+  return mac;
+}
+
+}  // namespace
+
+void WritePacketHeader(PhysicalMemory& mem, PhysAddr data_pa, const WirePacket& packet) {
+  WriteMac(mem, data_pa + kDstMacOffset, MacForIp(packet.flow.dst_ip));
+  WriteMac(mem, data_pa + kSrcMacOffset, MacForIp(packet.flow.src_ip));
+  mem.WriteU8(data_pa + kEthertypeOffset, 0x08);
+  mem.WriteU8(data_pa + kEthertypeOffset + 1, 0x00);  // IPv4
+  mem.WriteU32(data_pa + kSrcIpOffset, packet.flow.src_ip);
+  mem.WriteU32(data_pa + kDstIpOffset, packet.flow.dst_ip);
+  mem.WriteU8(data_pa + kProtoOffset, packet.flow.proto);
+  mem.WriteU8(data_pa + kTtlOffset, 64);
+  mem.WriteU32(data_pa + kSrcPortOffset,
+               static_cast<std::uint32_t>(packet.flow.src_port) |
+                   (static_cast<std::uint32_t>(packet.flow.dst_port) << 16));
+  mem.WriteU64(data_pa + kTimestampOffset, std::bit_cast<std::uint64_t>(packet.tx_time_ns));
+}
+
+ParsedHeader ReadPacketHeader(const PhysicalMemory& mem, PhysAddr data_pa) {
+  ParsedHeader h;
+  h.dst_mac = ReadMac(mem, data_pa + kDstMacOffset);
+  h.src_mac = ReadMac(mem, data_pa + kSrcMacOffset);
+  h.flow.src_ip = mem.ReadU32(data_pa + kSrcIpOffset);
+  h.flow.dst_ip = mem.ReadU32(data_pa + kDstIpOffset);
+  h.flow.proto = mem.ReadU8(data_pa + kProtoOffset);
+  h.ttl = mem.ReadU8(data_pa + kTtlOffset);
+  const std::uint32_t ports = mem.ReadU32(data_pa + kSrcPortOffset);
+  h.flow.src_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+  h.flow.dst_port = static_cast<std::uint16_t>(ports >> 16);
+  h.timestamp_ns = std::bit_cast<Nanoseconds>(mem.ReadU64(data_pa + kTimestampOffset));
+  return h;
+}
+
+void SwapMacAddresses(PhysicalMemory& mem, PhysAddr data_pa) {
+  const std::uint64_t dst = ReadMac(mem, data_pa + kDstMacOffset);
+  const std::uint64_t src = ReadMac(mem, data_pa + kSrcMacOffset);
+  WriteMac(mem, data_pa + kDstMacOffset, src);
+  WriteMac(mem, data_pa + kSrcMacOffset, dst);
+}
+
+void RewriteIpAndPort(PhysicalMemory& mem, PhysAddr data_pa, std::uint32_t new_ip,
+                      std::uint16_t new_port, bool rewrite_source) {
+  if (rewrite_source) {
+    mem.WriteU32(data_pa + kSrcIpOffset, new_ip);
+    const std::uint32_t ports = mem.ReadU32(data_pa + kSrcPortOffset);
+    mem.WriteU32(data_pa + kSrcPortOffset, (ports & 0xFFFF'0000u) | new_port);
+  } else {
+    mem.WriteU32(data_pa + kDstIpOffset, new_ip);
+    const std::uint32_t ports = mem.ReadU32(data_pa + kSrcPortOffset);
+    mem.WriteU32(data_pa + kSrcPortOffset,
+                 (ports & 0xFFFFu) | (static_cast<std::uint32_t>(new_port) << 16));
+  }
+}
+
+void DecrementTtl(PhysicalMemory& mem, PhysAddr data_pa) {
+  const std::uint8_t ttl = mem.ReadU8(data_pa + kTtlOffset);
+  mem.WriteU8(data_pa + kTtlOffset, ttl == 0 ? 0 : ttl - 1);
+}
+
+}  // namespace cachedir

@@ -1,0 +1,93 @@
+// Wire-level packet representation and the in-memory header layout.
+//
+// The load generator produces WirePackets (flow, size, departure timestamp);
+// the simulated NIC materialises each one into mbuf memory by writing an
+// Ethernet/IPv4/TCP-style header into the first 64 B of the data area plus
+// the LoadGen timestamp in the payload — the measurement method of §5
+// ("black box" latency: timestamp written by LoadGen, read back on return).
+#ifndef CACHEDIRECTOR_SRC_TRACE_PACKET_H_
+#define CACHEDIRECTOR_SRC_TRACE_PACKET_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/mem/physical_memory.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// 5-tuple identifying a flow.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    // FNV-1a over the tuple fields; also reused as the NIC's RSS hash.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix(k.src_port);
+    mix(k.dst_port);
+    mix(k.proto);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// A packet on the wire, before it touches the DuT.
+struct WirePacket {
+  std::uint64_t id = 0;
+  FlowKey flow;
+  std::uint32_t size_bytes = 64;   // L2 frame size
+  Nanoseconds tx_time_ns = 0;      // LoadGen departure timestamp
+};
+
+// Byte offsets of header fields inside the packet data area. The entire
+// header (plus the measurement timestamp) fits in the first cache line,
+// which is the 64 B unit CacheDirector steers.
+inline constexpr std::size_t kDstMacOffset = 0;    // 6 B
+inline constexpr std::size_t kSrcMacOffset = 6;    // 6 B
+inline constexpr std::size_t kEthertypeOffset = 12;  // 2 B
+inline constexpr std::size_t kSrcIpOffset = 14;    // 4 B
+inline constexpr std::size_t kDstIpOffset = 18;    // 4 B
+inline constexpr std::size_t kProtoOffset = 22;    // 1 B
+inline constexpr std::size_t kTtlOffset = 23;      // 1 B
+inline constexpr std::size_t kSrcPortOffset = 24;  // 2 B
+inline constexpr std::size_t kDstPortOffset = 26;  // 2 B
+inline constexpr std::size_t kTimestampOffset = 32;  // 8 B, LoadGen stamp
+inline constexpr std::size_t kHeaderBytes = 64;
+
+// Serialises the header fields of `packet` into simulated memory at
+// `data_pa` (the start of an mbuf's data area).
+void WritePacketHeader(PhysicalMemory& mem, PhysAddr data_pa, const WirePacket& packet);
+
+// Parsed view read back from simulated memory.
+struct ParsedHeader {
+  std::uint64_t dst_mac = 0;
+  std::uint64_t src_mac = 0;
+  FlowKey flow;
+  std::uint8_t ttl = 0;
+  Nanoseconds timestamp_ns = 0;
+};
+
+ParsedHeader ReadPacketHeader(const PhysicalMemory& mem, PhysAddr data_pa);
+
+// Header mutators used by the network functions.
+void SwapMacAddresses(PhysicalMemory& mem, PhysAddr data_pa);
+void RewriteIpAndPort(PhysicalMemory& mem, PhysAddr data_pa, std::uint32_t new_ip,
+                      std::uint16_t new_port, bool rewrite_source);
+void DecrementTtl(PhysicalMemory& mem, PhysAddr data_pa);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_TRACE_PACKET_H_

@@ -1,0 +1,104 @@
+#include "src/trace/trace_file.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cachedir {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43445452;  // "CDTR"
+constexpr std::uint32_t kVersion = 1;
+
+// 40-byte on-disk record, explicitly packed by hand (no struct punning, so
+// the format is independent of compiler layout).
+constexpr std::size_t kRecordBytes = 40;
+
+void PutU32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+void SaveTrace(const std::string& path, const std::vector<WirePacket>& packets) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("SaveTrace: cannot open " + path);
+  }
+  std::uint8_t header[16];
+  PutU32(header, kMagic);
+  PutU32(header + 4, kVersion);
+  PutU64(header + 8, packets.size());
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+
+  std::uint8_t rec[kRecordBytes];
+  for (const WirePacket& p : packets) {
+    PutU64(rec, p.id);
+    PutU32(rec + 8, p.flow.src_ip);
+    PutU32(rec + 12, p.flow.dst_ip);
+    PutU32(rec + 16, (static_cast<std::uint32_t>(p.flow.src_port)) |
+                         (static_cast<std::uint32_t>(p.flow.dst_port) << 16));
+    PutU32(rec + 20, p.flow.proto);
+    PutU32(rec + 24, p.size_bytes);
+    PutU32(rec + 28, 0);  // reserved
+    PutU64(rec + 32, std::bit_cast<std::uint64_t>(p.tx_time_ns));
+    out.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+  }
+  if (!out) {
+    throw std::runtime_error("SaveTrace: write failed for " + path);
+  }
+}
+
+std::vector<WirePacket> LoadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("LoadTrace: cannot open " + path);
+  }
+  std::uint8_t header[16];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || in.gcount() != sizeof(header)) {
+    throw std::runtime_error("LoadTrace: truncated header in " + path);
+  }
+  if (GetU32(header) != kMagic) {
+    throw std::runtime_error("LoadTrace: bad magic in " + path);
+  }
+  if (GetU32(header + 4) != kVersion) {
+    throw std::runtime_error("LoadTrace: unsupported version in " + path);
+  }
+  const std::uint64_t count = GetU64(header + 8);
+
+  std::vector<WirePacket> packets;
+  packets.reserve(count);
+  std::uint8_t rec[kRecordBytes];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(rec), sizeof(rec));
+    if (!in || in.gcount() != sizeof(rec)) {
+      throw std::runtime_error("LoadTrace: truncated record in " + path);
+    }
+    WirePacket p;
+    p.id = GetU64(rec);
+    p.flow.src_ip = GetU32(rec + 8);
+    p.flow.dst_ip = GetU32(rec + 12);
+    const std::uint32_t ports = GetU32(rec + 16);
+    p.flow.src_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+    p.flow.dst_port = static_cast<std::uint16_t>(ports >> 16);
+    p.flow.proto = static_cast<std::uint8_t>(GetU32(rec + 20));
+    p.size_bytes = GetU32(rec + 24);
+    p.tx_time_ns = std::bit_cast<Nanoseconds>(GetU64(rec + 32));
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+}  // namespace cachedir

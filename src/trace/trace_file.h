@@ -1,0 +1,26 @@
+// Packet-trace serialisation.
+//
+// The paper replays a real campus trace; this repo generates a synthetic
+// equivalent, but users with their own traces (or who want byte-identical
+// reruns across machines) can persist and reload them. Simple versioned
+// binary format: fixed header, then one fixed-size record per packet.
+#ifndef CACHEDIRECTOR_SRC_TRACE_TRACE_FILE_H_
+#define CACHEDIRECTOR_SRC_TRACE_TRACE_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/packet.h"
+
+namespace cachedir {
+
+// Writes the trace to `path`. Throws std::runtime_error on I/O failure.
+void SaveTrace(const std::string& path, const std::vector<WirePacket>& packets);
+
+// Reads a trace written by SaveTrace. Throws std::runtime_error on I/O
+// failure, bad magic/version, or a truncated file.
+std::vector<WirePacket> LoadTrace(const std::string& path);
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_TRACE_TRACE_FILE_H_

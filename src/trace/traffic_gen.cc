@@ -1,0 +1,96 @@
+#include "src/trace/traffic_gen.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.num_flows == 0) {
+    throw std::invalid_argument("TrafficGenerator: need at least one flow");
+  }
+  if (config_.size_mode == TrafficConfig::SizeMode::kFixed &&
+      (config_.fixed_size < 64 || config_.fixed_size > 1500)) {
+    throw std::invalid_argument("TrafficGenerator: frame size must be in 64..1500");
+  }
+  flows_.reserve(config_.num_flows);
+  for (std::size_t i = 0; i < config_.num_flows; ++i) {
+    FlowKey f;
+    f.src_ip = 0x0A00'0000u + static_cast<std::uint32_t>(rng_.UniformU64(1, 0xFFFFFE));
+    f.dst_ip = 0xC0A8'0000u + static_cast<std::uint32_t>(rng_.UniformU64(1, 0xFFFE));
+    f.src_port = static_cast<std::uint16_t>(rng_.UniformU64(1024, 65535));
+    f.dst_port = static_cast<std::uint16_t>(rng_.UniformU64(1, 1023));
+    f.proto = 6;
+    flows_.push_back(f);
+  }
+}
+
+std::uint32_t TrafficGenerator::SampleSize() {
+  if (config_.size_mode == TrafficConfig::SizeMode::kFixed) {
+    return config_.fixed_size;
+  }
+  // Campus mix: 26.9% < 100 B; 11.8% in [100, 500); 61.3% >= 500 B. Within
+  // the large band most bytes travel in MTU-sized frames.
+  const double u = rng_.UniformDouble();
+  if (u < 0.269) {
+    return static_cast<std::uint32_t>(rng_.UniformU64(64, 99));
+  }
+  if (u < 0.269 + 0.118) {
+    return static_cast<std::uint32_t>(rng_.UniformU64(100, 499));
+  }
+  if (rng_.Bernoulli(0.7)) {
+    return 1500;
+  }
+  return static_cast<std::uint32_t>(rng_.UniformU64(500, 1499));
+}
+
+double TrafficGenerator::GapForSize(std::uint32_t size_bytes) {
+  double mean_gap_ns = 0;
+  if (config_.rate_mode == TrafficConfig::RateMode::kPps) {
+    mean_gap_ns = 1e9 / config_.rate_pps;
+  } else {
+    const double bits = (static_cast<double>(size_bytes) + kWireOverheadBytes) * 8.0;
+    mean_gap_ns = bits / config_.rate_gbps;  // Gbps == bits per ns
+  }
+  if (config_.spacing == TrafficConfig::Spacing::kPoisson) {
+    return rng_.Exponential(mean_gap_ns);
+  }
+  return mean_gap_ns;
+}
+
+WirePacket TrafficGenerator::Next() {
+  WirePacket p;
+  p.id = next_id_++;
+  p.flow = flows_[rng_.UniformIndex(flows_.size())];
+  p.size_bytes = SampleSize();
+  clock_ns_ += GapForSize(p.size_bytes);
+  p.tx_time_ns = clock_ns_;
+
+  ++mix_.total;
+  size_sum_ += p.size_bytes;
+  if (p.size_bytes < 100) {
+    ++mix_.under_100;
+  } else if (p.size_bytes < 500) {
+    ++mix_.from_100_to_500;
+  } else {
+    ++mix_.over_500;
+  }
+  return p;
+}
+
+std::vector<WirePacket> TrafficGenerator::Generate(std::size_t count) {
+  std::vector<WirePacket> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Next());
+  }
+  return out;
+}
+
+TrafficGenerator::SizeMixStats TrafficGenerator::size_mix() const {
+  SizeMixStats s = mix_;
+  s.mean_size = s.total == 0 ? 0 : static_cast<double>(size_sum_) / s.total;
+  return s;
+}
+
+}  // namespace cachedir

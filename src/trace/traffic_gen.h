@@ -1,0 +1,84 @@
+// Synthetic load generator.
+//
+// Stands in for the paper's LoadGen server replaying a campus trace: the
+// size mix matches the published statistics (26.9% of frames < 100 B, 11.8%
+// in 100-500 B, the rest >= 500 B), flows are drawn from a configurable flow
+// population, and departures are paced to an offered rate in Gbps (counting
+// the 20 B Ethernet preamble+IFG overhead, as wire-rate math must) or to a
+// fixed packets-per-second rate (the paper's 1000 pps low-rate runs).
+#ifndef CACHEDIRECTOR_SRC_TRACE_TRAFFIC_GEN_H_
+#define CACHEDIRECTOR_SRC_TRACE_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/trace/packet.h"
+
+namespace cachedir {
+
+struct TrafficConfig {
+  enum class SizeMode {
+    kFixed,      // all frames `fixed_size` bytes
+    kCampusMix,  // the paper's trace mix
+  };
+  enum class RateMode {
+    kGbps,  // offered load in Gbps on the wire
+    kPps,   // fixed packets per second
+  };
+  enum class Spacing {
+    kPaced,    // deterministic inter-departure gaps
+    kPoisson,  // exponential gaps with the same mean
+  };
+
+  SizeMode size_mode = SizeMode::kCampusMix;
+  std::uint32_t fixed_size = 64;
+  RateMode rate_mode = RateMode::kGbps;
+  double rate_gbps = 100.0;
+  double rate_pps = 1000.0;
+  Spacing spacing = Spacing::kPaced;
+  std::size_t num_flows = 4096;
+  std::uint64_t seed = 1;
+};
+
+// Ethernet preamble + inter-frame gap charged per frame on the wire.
+inline constexpr double kWireOverheadBytes = 20.0;
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficConfig& config);
+
+  // Next packet; departure timestamps increase monotonically.
+  WirePacket Next();
+
+  // Convenience: materialise a whole run.
+  std::vector<WirePacket> Generate(std::size_t count);
+
+  const TrafficConfig& config() const { return config_; }
+
+  // Size-mix accounting over everything generated so far (Table 2 check).
+  struct SizeMixStats {
+    std::uint64_t total = 0;
+    std::uint64_t under_100 = 0;
+    std::uint64_t from_100_to_500 = 0;
+    std::uint64_t over_500 = 0;
+    double mean_size = 0;
+  };
+  SizeMixStats size_mix() const;
+
+ private:
+  std::uint32_t SampleSize();
+  double GapForSize(std::uint32_t size_bytes);
+
+  TrafficConfig config_;
+  Rng rng_;
+  std::vector<FlowKey> flows_;
+  std::uint64_t next_id_ = 0;
+  Nanoseconds clock_ns_ = 0;
+  std::uint64_t size_sum_ = 0;
+  SizeMixStats mix_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_TRACE_TRAFFIC_GEN_H_

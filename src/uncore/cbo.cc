@@ -1,0 +1,25 @@
+#include "src/uncore/cbo.h"
+
+#include <stdexcept>
+
+namespace cachedir {
+
+std::vector<std::uint64_t> CboCounterBank::LookupDelta(const std::vector<CboEvents>& before,
+                                                       const std::vector<CboEvents>& after) {
+  if (before.size() != after.size()) {
+    throw std::invalid_argument("CboCounterBank::LookupDelta: snapshot size mismatch");
+  }
+  std::vector<std::uint64_t> delta(before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    delta[i] = after[i].lookups - before[i].lookups;
+  }
+  return delta;
+}
+
+void CboCounterBank::Reset() {
+  for (CboEvents& c : counters_) {
+    c = CboEvents{};
+  }
+}
+
+}  // namespace cachedir

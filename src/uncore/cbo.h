@@ -1,0 +1,57 @@
+// Simulated uncore performance-monitoring unit.
+//
+// Each LLC slice on Haswell exposes a CBo (C-Box) counter block; Skylake-SP
+// renames it CHA. The paper's reverse-engineering step programs these to
+// count LLC lookups per slice, polls one address repeatedly, and attributes
+// the address to the slice whose counter moved. This bank provides exactly
+// the events that method needs.
+#ifndef CACHEDIRECTOR_SRC_UNCORE_CBO_H_
+#define CACHEDIRECTOR_SRC_UNCORE_CBO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+struct CboEvents {
+  std::uint64_t lookups = 0;  // any LLC access that reached this slice
+  std::uint64_t misses = 0;   // lookups that missed
+  std::uint64_t dma_fills = 0;  // lines written into this slice by DDIO
+};
+
+class CboCounterBank {
+ public:
+  explicit CboCounterBank(std::size_t num_slices) : counters_(num_slices) {}
+
+  std::size_t num_slices() const { return counters_.size(); }
+
+  // Recording hooks, driven by the cache hierarchy.
+  void RecordLookup(SliceId slice, bool miss) {
+    CboEvents& c = counters_[slice];
+    ++c.lookups;
+    if (miss) {
+      ++c.misses;
+    }
+  }
+  void RecordDmaFill(SliceId slice) { ++counters_[slice].dma_fills; }
+
+  const CboEvents& events(SliceId slice) const { return counters_[slice]; }
+
+  // Snapshot/delta API mirroring how perf-counter polling is really done:
+  // read all counters, do the work, read again, subtract.
+  std::vector<CboEvents> Snapshot() const { return counters_; }
+
+  static std::vector<std::uint64_t> LookupDelta(const std::vector<CboEvents>& before,
+                                                const std::vector<CboEvents>& after);
+
+  void Reset();
+
+ private:
+  std::vector<CboEvents> counters_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_UNCORE_CBO_H_

@@ -1,0 +1,139 @@
+// Tests for the shared bench-harness library: the access-time experiment
+// must reproduce the exact model latencies, the random-access driver must
+// be deterministic, and the NFV experiment driver must aggregate the way
+// the paper reports (medians of runs).
+#include <gtest/gtest.h>
+
+#include "bench/access_time.h"
+#include "bench/nfv_experiment.h"
+#include "bench/random_access.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+
+namespace cachedir {
+namespace {
+
+TEST(AccessTimeExperiment, HaswellReadsMatchModelExactly) {
+  const MachineSpec spec = HaswellXeonE52667V3();
+  const AccessTimeResult r = MeasureSliceAccessTimes(spec, HaswellSliceHash(), 0, 50);
+  ASSERT_EQ(r.read_cycles.size(), 8u);
+  for (SliceId s = 0; s < 8; ++s) {
+    const double expected = static_cast<double>(spec.latency.llc_base +
+                                                spec.interconnect->SlicePenalty(0, s));
+    EXPECT_DOUBLE_EQ(r.read_cycles[s], expected) << "slice " << s;
+    EXPECT_DOUBLE_EQ(r.write_cycles[s], static_cast<double>(spec.latency.store_commit));
+  }
+}
+
+TEST(AccessTimeExperiment, WorksFromEveryCore) {
+  const MachineSpec spec = HaswellXeonE52667V3();
+  for (CoreId core = 0; core < 8; core += 3) {
+    const AccessTimeResult r = MeasureSliceAccessTimes(spec, HaswellSliceHash(), core, 10);
+    // The core's own slice is its minimum.
+    const double own = r.read_cycles[core];
+    for (SliceId s = 0; s < 8; ++s) {
+      EXPECT_GE(r.read_cycles[s], own);
+    }
+  }
+}
+
+TEST(AccessTimeExperiment, SkylakeUsesVictimPathCorrectly) {
+  const MachineSpec spec = SkylakeXeonGold6134();
+  const AccessTimeResult r = MeasureSliceAccessTimes(spec, SkylakeSliceHash(), 0, 20);
+  // Slice 0 is core 0's primary: exactly the base LLC latency.
+  EXPECT_DOUBLE_EQ(r.read_cycles[0], static_cast<double>(spec.latency.llc_base));
+  // Every slice measured (no zero rows).
+  for (SliceId s = 0; s < 18; ++s) {
+    EXPECT_GT(r.read_cycles[s], 0.0) << "slice " << s;
+  }
+}
+
+TEST(RandomAccessDriver, DeterministicAndWarmupRespected) {
+  const auto run = [] {
+    MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 3);
+    HugepageAllocator backing;
+    const ContiguousBuffer buf(backing.Allocate(1u << 20, PageSize::k2M).pa, 1u << 20);
+    RandomAccessParams params;
+    params.ops = 5000;
+    params.seed = 17;
+    return RunRandomAccess(h, buf, 0, params);
+  };
+  EXPECT_EQ(run(), run());
+
+  // Without warm-up the same workload must cost strictly more (cold misses).
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 3);
+  HugepageAllocator backing;
+  const ContiguousBuffer buf(backing.Allocate(1u << 20, PageSize::k2M).pa, 1u << 20);
+  RandomAccessParams cold;
+  cold.ops = 5000;
+  cold.seed = 17;
+  cold.warmup_lines_cap = 0;
+  EXPECT_GT(RunRandomAccess(h, buf, 0, cold), run());
+}
+
+TEST(RandomAccessDriver, MultiCoreRunsEveryCoreToQuota) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 5);
+  HugepageAllocator backing;
+  std::vector<std::unique_ptr<MemoryBuffer>> owned;
+  std::vector<const MemoryBuffer*> buffers;
+  for (int i = 0; i < 8; ++i) {
+    owned.push_back(std::make_unique<ContiguousBuffer>(
+        backing.Allocate(256u << 10, PageSize::k2M).pa, 256u << 10));
+    buffers.push_back(owned.back().get());
+  }
+  RandomAccessParams params;
+  params.ops = 2000;
+  const auto cycles = RunRandomAccessMultiCore(h, buffers, params);
+  ASSERT_EQ(cycles.size(), 8u);
+  for (const Cycles c : cycles) {
+    EXPECT_GT(c, 2000u * 4);  // at least L1-hit cost per op
+  }
+}
+
+TEST(NfvExperimentDriver, SkylakeMachineOptionRunsTheChain) {
+  NfvExperiment e;
+  e.app = NfvExperiment::App::kRouterNaptLb;
+  e.machine = NfvExperiment::Machine::kSkylake;
+  e.cache_director = true;
+  e.steering = NicSteering::kFlowDirector;
+  e.hw_offload_router = true;
+  e.traffic.rate_gbps = 30.0;
+  e.warmup_packets = 500;
+  e.measured_packets = 3000;
+  const NfvRunStats a = RunNfvOnce(e, 0);
+  const NfvRunStats b = RunNfvOnce(e, 0);
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_DOUBLE_EQ(a.latency_us.p99, b.latency_us.p99);  // deterministic
+  // Skylake and Haswell are genuinely different machines: same experiment,
+  // different numbers.
+  NfvExperiment h = e;
+  h.machine = NfvExperiment::Machine::kHaswell;
+  const NfvRunStats hs = RunNfvOnce(h, 0);
+  EXPECT_NE(a.latency_us.mean, hs.latency_us.mean);
+}
+
+TEST(NfvExperimentDriver, DeterministicPerRunIndexAndAggregates) {
+  NfvExperiment e;
+  e.app = NfvExperiment::App::kForwarding;
+  e.traffic.rate_gbps = 20.0;
+  e.measured_packets = 3000;
+  e.warmup_packets = 500;
+  e.num_runs = 5;
+  const NfvRunStats a = RunNfvOnce(e, 2);
+  const NfvRunStats b = RunNfvOnce(e, 2);
+  EXPECT_DOUBLE_EQ(a.latency_us.p99, b.latency_us.p99);
+  EXPECT_EQ(a.delivered, b.delivered);
+
+  const NfvAggregate agg = RunNfvMany(e);
+  EXPECT_EQ(agg.p99_per_run.size(), 5u);
+  EXPECT_EQ(agg.total_delivered, 5u * 3000u);
+  // Median of per-run p99s is bracketed by the per-run extremes.
+  EXPECT_GE(agg.median.p99, agg.p99_per_run.Min());
+  EXPECT_LE(agg.median.p99, agg.p99_per_run.Max());
+  // Pooled samples hold every delivered packet.
+  EXPECT_EQ(agg.pooled_latencies_us.size(), agg.total_delivered);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,271 @@
+// Unit tests for the set-associative cache array, replacement policies, and
+// the sliced LLC (CAT + DDIO way partitions).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "src/cache/replacement.h"
+#include "src/cache/set_assoc_cache.h"
+#include "src/cache/sliced_llc.h"
+#include "src/hash/presets.h"
+
+namespace cachedir {
+namespace {
+
+PhysAddr AddrForSet(std::size_t set, std::size_t num_sets, std::size_t tag) {
+  return (tag * num_sets + set) * kCacheLineSize;
+}
+
+SetAssocCache MakeCache(std::size_t sets, std::size_t ways,
+                        ReplacementKind kind = ReplacementKind::kLru) {
+  SetAssocCache::Config c;
+  c.num_sets = sets;
+  c.num_ways = ways;
+  c.replacement = kind;
+  return SetAssocCache(c);
+}
+
+TEST(SetAssocCacheTest, RejectsInvalidGeometry) {
+  SetAssocCache::Config c;
+  c.num_sets = 3;  // not a power of two
+  c.num_ways = 4;
+  EXPECT_THROW(SetAssocCache{c}, std::invalid_argument);
+  c.num_sets = 4;
+  c.num_ways = 0;
+  EXPECT_THROW(SetAssocCache{c}, std::invalid_argument);
+}
+
+TEST(SetAssocCacheTest, InsertThenHit) {
+  auto cache = MakeCache(16, 4);
+  const PhysAddr a = AddrForSet(3, 16, 7);
+  EXPECT_FALSE(cache.Touch(a));
+  EXPECT_EQ(cache.Insert(a, false), std::nullopt);
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_TRUE(cache.Touch(a));
+  EXPECT_TRUE(cache.Contains(a + 63));  // same line
+  EXPECT_FALSE(cache.Contains(a + 64));
+}
+
+TEST(SetAssocCacheTest, DoubleInsertThrows) {
+  auto cache = MakeCache(16, 4);
+  const PhysAddr a = AddrForSet(0, 16, 1);
+  (void)cache.Insert(a, false);
+  EXPECT_THROW((void)cache.Insert(a, false), std::logic_error);
+}
+
+TEST(SetAssocCacheTest, LruEvictsLeastRecentlyUsed) {
+  auto cache = MakeCache(4, 2);
+  const PhysAddr a = AddrForSet(1, 4, 10);
+  const PhysAddr b = AddrForSet(1, 4, 20);
+  const PhysAddr c = AddrForSet(1, 4, 30);
+  (void)cache.Insert(a, false);
+  (void)cache.Insert(b, false);
+  EXPECT_TRUE(cache.Touch(a));  // a is now MRU; b is LRU
+  const auto evicted = cache.Insert(c, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, b);
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_TRUE(cache.Contains(c));
+}
+
+TEST(SetAssocCacheTest, EvictionReportsDirtiness) {
+  auto cache = MakeCache(4, 1);
+  const PhysAddr a = AddrForSet(0, 4, 1);
+  const PhysAddr b = AddrForSet(0, 4, 2);
+  (void)cache.Insert(a, false);
+  cache.MarkDirty(a);
+  const auto evicted = cache.Insert(b, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(SetAssocCacheTest, WayMaskRestrictsAllocation) {
+  auto cache = MakeCache(4, 4);
+  // Fill ways 0-1 only (mask 0b0011) with three lines: third insert must
+  // evict inside the partition even though ways 2-3 are free.
+  const PhysAddr a = AddrForSet(2, 4, 1);
+  const PhysAddr b = AddrForSet(2, 4, 2);
+  const PhysAddr c = AddrForSet(2, 4, 3);
+  EXPECT_EQ(cache.Insert(a, false, 0b0011), std::nullopt);
+  EXPECT_EQ(cache.Insert(b, false, 0b0011), std::nullopt);
+  const auto evicted = cache.Insert(c, false, 0b0011);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, a);  // LRU inside the partition
+}
+
+TEST(SetAssocCacheTest, DisjointMasksDoNotEvictEachOther) {
+  auto cache = MakeCache(4, 4);
+  const PhysAddr a = AddrForSet(0, 4, 1);
+  const PhysAddr b = AddrForSet(0, 4, 2);
+  const PhysAddr c = AddrForSet(0, 4, 3);
+  (void)cache.Insert(a, false, 0b0011);
+  (void)cache.Insert(b, false, 0b0011);
+  // Partition {2,3} is empty; this insert must not displace a or b.
+  EXPECT_EQ(cache.Insert(c, false, 0b1100), std::nullopt);
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_TRUE(cache.Contains(b));
+  EXPECT_TRUE(cache.Contains(c));
+}
+
+TEST(SetAssocCacheTest, EmptyMaskThrows) {
+  auto cache = MakeCache(4, 4);
+  EXPECT_THROW((void)cache.Insert(0, false, 0), std::invalid_argument);
+}
+
+TEST(SetAssocCacheTest, InvalidateRemovesLineAndReportsState) {
+  auto cache = MakeCache(4, 2);
+  const PhysAddr a = AddrForSet(0, 4, 1);
+  (void)cache.Insert(a, true);
+  const auto r = cache.Invalidate(a);
+  EXPECT_TRUE(r.was_present);
+  EXPECT_TRUE(r.was_dirty);
+  EXPECT_FALSE(cache.Contains(a));
+  const auto r2 = cache.Invalidate(a);
+  EXPECT_FALSE(r2.was_present);
+}
+
+TEST(SetAssocCacheTest, ClearDropsEverything) {
+  auto cache = MakeCache(8, 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    (void)cache.Insert(AddrForSet(i, 8, 1), false);
+  }
+  EXPECT_EQ(cache.resident_lines(), 8u);
+  cache.Clear();
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  EXPECT_FALSE(cache.Contains(AddrForSet(0, 8, 1)));
+}
+
+TEST(SetAssocCacheTest, CapacityWorkloadKeepsResidentBounded) {
+  auto cache = MakeCache(16, 4);
+  for (std::size_t tag = 0; tag < 100; ++tag) {
+    for (std::size_t set = 0; set < 16; ++set) {
+      const PhysAddr a = AddrForSet(set, 16, tag);
+      if (!cache.Touch(a)) {
+        (void)cache.Insert(a, false);
+      }
+    }
+  }
+  EXPECT_EQ(cache.resident_lines(), 16u * 4u);
+}
+
+// ---- Replacement policies ----
+
+TEST(ReplacementTest, PlruVictimRespectsMask) {
+  ReplacementState repl(ReplacementKind::kTreePlru, 8);
+  Rng rng(1);
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    repl.OnAccess(w);
+  }
+  // Only way 5 allowed.
+  EXPECT_EQ(repl.ChooseVictim(1u << 5, rng), 5u);
+}
+
+TEST(ReplacementTest, PlruAvoidsRecentlyTouchedWay) {
+  ReplacementState repl(ReplacementKind::kTreePlru, 4);
+  Rng rng(1);
+  repl.OnAccess(2);
+  EXPECT_NE(repl.ChooseVictim(0b1111, rng), 2u);
+}
+
+TEST(ReplacementTest, RandomVictimStaysInMask) {
+  ReplacementState repl(ReplacementKind::kRandom, 8);
+  Rng rng(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t v = repl.ChooseVictim(0b10110000, rng);
+    seen.insert(v);
+    EXPECT_TRUE(v == 4 || v == 5 || v == 7);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all allowed ways eventually picked
+}
+
+TEST(ReplacementTest, LruSequenceIsFifoWithoutTouches) {
+  ReplacementState repl(ReplacementKind::kLru, 4);
+  Rng rng(1);
+  repl.OnAccess(0);
+  repl.OnAccess(1);
+  repl.OnAccess(2);
+  repl.OnAccess(3);
+  EXPECT_EQ(repl.ChooseVictim(0b1111, rng), 0u);
+  repl.OnAccess(0);
+  EXPECT_EQ(repl.ChooseVictim(0b1111, rng), 1u);
+}
+
+// ---- Sliced LLC ----
+
+SlicedLlc MakeLlc(std::size_t ddio_ways = 2) {
+  SlicedLlc::Config c;
+  c.num_sets = 64;
+  c.num_ways = 4;
+  c.ddio_ways = ddio_ways;
+  return SlicedLlc(c, HaswellSliceHash());
+}
+
+TEST(SlicedLlcTest, RoutesLinesBySliceHash) {
+  auto llc = MakeLlc();
+  const auto hash = HaswellSliceHash();
+  for (PhysAddr line = 0; line < 64 * 64; line += 64) {
+    EXPECT_EQ(llc.SliceOf(line), hash->SliceFor(line));
+  }
+}
+
+TEST(SlicedLlcTest, LookupRecordsCboEvents) {
+  auto llc = MakeLlc();
+  const PhysAddr a = 0x4000;
+  const SliceId s = llc.SliceOf(a);
+  EXPECT_FALSE(llc.LookupAndTouch(a));
+  EXPECT_EQ(llc.cbo().events(s).lookups, 1u);
+  EXPECT_EQ(llc.cbo().events(s).misses, 1u);
+  (void)llc.InsertForCore(0, a, false);
+  EXPECT_TRUE(llc.LookupAndTouch(a));
+  EXPECT_EQ(llc.cbo().events(s).lookups, 2u);
+  EXPECT_EQ(llc.cbo().events(s).misses, 1u);
+}
+
+TEST(SlicedLlcTest, DmaFillsRestrictedToDdioWays) {
+  auto llc = MakeLlc(/*ddio_ways=*/1);
+  // Find several lines in the same slice and the same set: DMA-inserting
+  // two of them must evict the first (only one DDIO way).
+  const auto hash = HaswellSliceHash();
+  std::vector<PhysAddr> lines;
+  for (PhysAddr line = 0; lines.size() < 2; line += 64) {
+    if (hash->SliceFor(line) == 0 && ((line >> 6) & 63) == 5) {
+      lines.push_back(line);
+    }
+  }
+  EXPECT_EQ(llc.InsertForDma(lines[0]), std::nullopt);
+  const auto evicted = llc.InsertForDma(lines[1]);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, lines[0]);
+}
+
+TEST(SlicedLlcTest, CatIsolatesCores) {
+  auto llc = MakeLlc();
+  llc.SetCosWayMask(1, 0b0011);
+  llc.SetCosWayMask(2, 0b1100);
+  llc.AssignCoreToCos(0, 1);
+  llc.AssignCoreToCos(1, 2);
+  EXPECT_EQ(llc.WayMaskForCore(0), 0b0011u);
+  EXPECT_EQ(llc.WayMaskForCore(1), 0b1100u);
+  EXPECT_EQ(llc.WayMaskForCore(5), 0b1111u);  // unassigned -> COS0 all ways
+}
+
+TEST(SlicedLlcTest, RejectsBadCos) {
+  auto llc = MakeLlc();
+  EXPECT_THROW(llc.SetCosWayMask(99, 1), std::invalid_argument);
+  EXPECT_THROW(llc.SetCosWayMask(1, 0), std::invalid_argument);
+  EXPECT_THROW(llc.AssignCoreToCos(0, 99), std::invalid_argument);
+}
+
+TEST(SlicedLlcTest, RejectsBadDdioWays) {
+  SlicedLlc::Config c;
+  c.num_sets = 64;
+  c.num_ways = 4;
+  c.ddio_ways = 5;
+  EXPECT_THROW(SlicedLlc(c, HaswellSliceHash()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachedir

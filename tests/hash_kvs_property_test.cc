@@ -1,0 +1,93 @@
+// Model-based test of HashKvs: a long random stream of SET/GET/ERASE ops is
+// mirrored into a std::unordered_map reference; the store must agree on
+// presence and exact value bytes at every step, across layouts and value
+// sizes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hash/presets.h"
+#include "src/kvs/hash_kvs.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+using Params = std::tuple<bool, std::size_t>;  // slice_aware, value_bytes
+
+class HashKvsModelCheck : public ::testing::TestWithParam<Params> {};
+
+TEST_P(HashKvsModelCheck, AgreesWithUnorderedMapOnRandomOps) {
+  const auto [slice_aware, value_bytes] = GetParam();
+  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), 2);
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  HashKvs::Config config;
+  config.num_buckets = 1 << 10;
+  config.max_values = 1 << 9;
+  config.value_bytes = value_bytes;
+  config.slice_aware = slice_aware;
+  HashKvs kvs(hierarchy, memory, backing, config);
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> model;
+  Rng rng(static_cast<std::uint64_t>(value_bytes) * 31 + (slice_aware ? 7 : 0));
+  const std::uint64_t key_space = 300;  // overlaps heavily: many overwrites
+  std::size_t slots_consumed = 0;
+
+  for (int step = 0; step < 8000; ++step) {
+    const std::uint64_t key = rng.UniformU64(0, key_space - 1);
+    switch (rng.UniformU64(0, 2)) {
+      case 0: {  // SET
+        std::vector<std::uint8_t> value(value_bytes);
+        for (auto& b : value) {
+          b = static_cast<std::uint8_t>(rng.UniformU64(0, 255));
+        }
+        const bool is_new = model.count(key) == 0;
+        const auto r = kvs.Set(0, key, value);
+        if (is_new && slots_consumed >= config.max_values) {
+          // Value store exhausted (erases leak slots by design).
+          ASSERT_FALSE(r.ok) << "step " << step;
+        }
+        if (r.ok) {
+          if (is_new) {
+            ++slots_consumed;
+          }
+          model[key] = std::move(value);
+        }
+        break;
+      }
+      case 1: {  // GET
+        std::vector<std::uint8_t> out(value_bytes);
+        const auto r = kvs.Get(0, key, out);
+        ASSERT_EQ(r.ok, model.count(key) == 1) << "step " << step << " key " << key;
+        if (r.ok) {
+          ASSERT_EQ(out, model[key]) << "step " << step << " key " << key;
+        }
+        break;
+      }
+      case 2: {  // ERASE
+        const auto r = kvs.Erase(0, key);
+        ASSERT_EQ(r.ok, model.erase(key) == 1) << "step " << step << " key " << key;
+        break;
+      }
+    }
+    ASSERT_EQ(kvs.size(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, HashKvsModelCheck,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(std::size_t{64},
+                                                              std::size_t{100},
+                                                              std::size_t{256})),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param) ? "Slice" : "Normal") +
+                                  "V" + std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/hash/presets.h"
+#include "src/hash/slice_hash.h"
+#include "src/mem/hugepage.h"
+#include "src/slice/slice_mapper.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+TEST(ParityTest, ComputesXorOfSelectedBits) {
+  EXPECT_EQ(ParityOf(0b1011, 0b1111), 1u);
+  EXPECT_EQ(ParityOf(0b1011, 0b0011), 0u);
+  EXPECT_EQ(ParityOf(0, ~0ull), 0u);
+  EXPECT_EQ(ParityOf(~0ull, ~0ull), 0u);  // 64 ones -> even parity
+}
+
+TEST(MaskOfBitsTest, BuildsMasks) {
+  EXPECT_EQ(MaskOfBits({0, 1, 63}), 0x8000'0000'0000'0003ull);
+  EXPECT_EQ(MaskOfBits({}), 0u);
+}
+
+TEST(XorSliceHashTest, AllBytesOfALineShareASlice) {
+  const auto hash = HaswellSliceHash();
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const PhysAddr line = LineBase(rng.UniformU64(0, 1ull << 37));
+    const SliceId s = hash->SliceFor(line);
+    EXPECT_EQ(hash->SliceFor(line + 1), s);
+    EXPECT_EQ(hash->SliceFor(line + 63), s);
+  }
+}
+
+TEST(XorSliceHashTest, IsXorLinear) {
+  const auto hash = HaswellSliceHash();
+  Rng rng(2);
+  // slice(a ^ d) == slice(a) ^ slice(0 ^ d) for line-aligned deltas: the
+  // defining property the reverse-engineering module relies on.
+  for (int i = 0; i < 1000; ++i) {
+    const PhysAddr a = LineBase(rng.UniformU64(0, 1ull << 37));
+    const PhysAddr d = LineBase(rng.UniformU64(0, 1ull << 37));
+    EXPECT_EQ(hash->SliceFor(a ^ d), hash->SliceFor(a) ^ hash->SliceFor(d) ^ hash->SliceFor(0));
+  }
+}
+
+TEST(XorSliceHashTest, DistributesNearlyUniformly) {
+  const auto hash = HaswellSliceHash();
+  std::vector<std::size_t> counts(8, 0);
+  const std::size_t lines = 1 << 16;
+  for (std::size_t i = 0; i < lines; ++i) {
+    ++counts[hash->SliceFor(i * kCacheLineSize)];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), lines / 8.0, lines / 8.0 * 0.05);
+  }
+}
+
+TEST(XorSliceHashTest, AdjacentLinesUsuallyLandOnDifferentSlices) {
+  // Complex Addressing exists to spread consecutive lines; bit 6 is in the
+  // first mask, so consecutive lines must alternate the low output bit.
+  const auto hash = HaswellSliceHash();
+  for (PhysAddr line = 0; line < 1024 * kCacheLineSize; line += kCacheLineSize) {
+    EXPECT_NE(hash->SliceFor(line), hash->SliceFor(line + kCacheLineSize));
+  }
+}
+
+TEST(XorSliceHashTest, RejectsBadMasks) {
+  EXPECT_THROW(XorSliceHash({}), std::invalid_argument);
+  EXPECT_THROW(XorSliceHash({MaskOfBits({3})}), std::invalid_argument);  // offset bit
+  EXPECT_THROW(XorSliceHash(std::vector<std::uint64_t>(7, MaskOfBits({8}))),
+               std::invalid_argument);
+}
+
+TEST(XorLutSliceHashTest, SkylakeCoversAllEighteenSlices) {
+  const auto hash = SkylakeSliceHash();
+  EXPECT_EQ(hash->num_slices(), 18u);
+  std::vector<std::size_t> counts(18, 0);
+  const std::size_t lines = 1 << 16;
+  for (std::size_t i = 0; i < lines; ++i) {
+    const SliceId s = hash->SliceFor(i * kCacheLineSize);
+    ASSERT_LT(s, 18u);
+    ++counts[s];
+  }
+  // Every slice is reachable and the spread is near-uniform: each slice owns
+  // 3 or 4 of the 64 LUT entries, i.e. between ~4.7% and ~6.3% of lines.
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 0u);
+    const double frac = static_cast<double>(c) / lines;
+    EXPECT_GT(frac, 0.03);
+    EXPECT_LT(frac, 0.08);
+  }
+}
+
+TEST(XorLutSliceHashTest, ValidatesLutSizeAndEntries) {
+  EXPECT_THROW(XorLutSliceHash({MaskOfBits({8})}, {0, 1, 2}, 4), std::invalid_argument);
+  EXPECT_THROW(XorLutSliceHash({MaskOfBits({8})}, {0, 9}, 4), std::invalid_argument);
+}
+
+TEST(ModuloSliceHashTest, CyclesThroughSlices) {
+  ModuloSliceHash hash(8);
+  EXPECT_EQ(hash.SliceFor(0), 0u);
+  EXPECT_EQ(hash.SliceFor(64), 1u);
+  EXPECT_EQ(hash.SliceFor(64 * 8), 0u);
+}
+
+TEST(SliceHistogramTest, MatchesDirectCount) {
+  const auto hash = HaswellSliceHash();
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(1 << 21, PageSize::k2M);
+  const auto histogram = SliceHistogram(*hash, m);
+  std::size_t total = 0;
+  for (const std::size_t c : histogram) {
+    total += c;
+  }
+  EXPECT_EQ(total, m.size / kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace cachedir

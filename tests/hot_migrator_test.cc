@@ -1,0 +1,110 @@
+// Tests for the §8 hot-data monitoring/migration extension.
+#include <gtest/gtest.h>
+
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/slice/hot_migrator.h"
+#include "src/stats/zipf.h"
+
+namespace cachedir {
+namespace {
+
+struct MigratorFixture {
+  MemoryHierarchy hierarchy{HaswellXeonE52667V3(), HaswellSliceHash(), 1};
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  SliceAwareAllocator slice_alloc{backing, HaswellSliceHash()};
+
+  HotDataMigrator Make(std::size_t objects, std::size_t hot, std::uint64_t epoch) {
+    HotDataMigrator::Params params;
+    params.num_objects = objects;
+    params.hot_capacity = hot;
+    params.epoch_accesses = epoch;
+    params.target_slice = 0;
+    return HotDataMigrator(hierarchy, memory, backing, slice_alloc, params);
+  }
+};
+
+TEST(HotMigratorTest, PromotesTheEpochsHottestObjects) {
+  MigratorFixture f;
+  HotDataMigrator m = f.Make(1000, 4, 100);
+  // Hammer objects 7 and 13; touch others once.
+  for (int i = 0; i < 45; ++i) {
+    (void)m.Access(0, 7, false);
+    (void)m.Access(0, 13, false);
+  }
+  for (std::uint64_t id = 100; id < 110; ++id) {
+    (void)m.Access(0, id, false);
+  }
+  EXPECT_TRUE(m.IsPromoted(7));
+  EXPECT_TRUE(m.IsPromoted(13));
+  EXPECT_LE(m.promoted_count(), 4u);
+  // Promoted homes live in slice 0.
+  const auto hash = HaswellSliceHash();
+  EXPECT_EQ(hash->SliceFor(m.HomeOf(7)), 0u);
+  EXPECT_EQ(hash->SliceFor(m.HomeOf(13)), 0u);
+}
+
+TEST(HotMigratorTest, DemotesWhenTheHotSetDrifts) {
+  MigratorFixture f;
+  HotDataMigrator m = f.Make(1000, 2, 100);
+  for (int i = 0; i < 100; ++i) {
+    (void)m.Access(0, 1, false);
+  }
+  ASSERT_TRUE(m.IsPromoted(1));
+  // The hotspot moves to object 2 for a full epoch.
+  for (int i = 0; i < 100; ++i) {
+    (void)m.Access(0, 2, false);
+  }
+  EXPECT_TRUE(m.IsPromoted(2));
+  EXPECT_FALSE(m.IsPromoted(1));  // demoted back to the cold store
+  EXPECT_GE(m.migrations(), 3u);  // promote 1, demote 1, promote 2
+}
+
+TEST(HotMigratorTest, DataSurvivesMigrationRoundTrips) {
+  MigratorFixture f;
+  HotDataMigrator m = f.Make(100, 2, 50);
+  // Write a marker into object 5's cold home.
+  f.memory.WriteU64(m.HomeOf(5), 0xFEEDFACE);
+  for (int i = 0; i < 50; ++i) {
+    (void)m.Access(0, 5, false);
+  }
+  ASSERT_TRUE(m.IsPromoted(5));
+  EXPECT_EQ(f.memory.ReadU64(m.HomeOf(5)), 0xFEEDFACEull);  // bytes moved along
+  // Demote it by hammering others.
+  for (int i = 0; i < 50; ++i) {
+    (void)m.Access(0, 6, false);
+    (void)m.Access(0, 7, false);
+  }
+  EXPECT_FALSE(m.IsPromoted(5));
+  EXPECT_EQ(f.memory.ReadU64(m.HomeOf(5)), 0xFEEDFACEull);  // and back
+}
+
+TEST(HotMigratorTest, StableZipfWorkloadGetsFasterAfterWarmup) {
+  MigratorFixture f;
+  HotDataMigrator m = f.Make(1 << 16, 1 << 10, 5000);  // 4 MB objects, 64 kB hot
+  ZipfGenerator keys(1 << 16, 0.99, 3);
+  // Warm epochs: counts accumulate, promotions happen.
+  Cycles first_window = 0;
+  for (int i = 0; i < 20000; ++i) {
+    first_window += m.Access(0, keys.Next(), false);
+  }
+  Cycles second_window = 0;
+  for (int i = 0; i < 20000; ++i) {
+    second_window += m.Access(0, keys.Next(), false);
+  }
+  EXPECT_LT(second_window, first_window);
+  EXPECT_GT(m.promoted_count(), 0u);
+}
+
+TEST(HotMigratorTest, ValidatesParameters) {
+  MigratorFixture f;
+  EXPECT_THROW((void)f.Make(0, 1, 10), std::invalid_argument);
+  EXPECT_THROW((void)f.Make(10, 20, 10), std::invalid_argument);
+  EXPECT_THROW((void)f.Make(10, 2, 0), std::invalid_argument);
+  HotDataMigrator m = f.Make(10, 2, 10);
+  EXPECT_THROW((void)m.Access(0, 10, false), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/hash/presets.h"
+#include "src/kvs/kvs.h"
+#include "src/kvs/kvs_element.h"
+#include "src/kvs/server.h"
+#include "src/netio/mempool.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+struct KvsFixture {
+  MemoryHierarchy hierarchy{HaswellXeonE52667V3(), HaswellSliceHash(), 1};
+  HugepageAllocator backing;
+
+  EmulatedKvs Make(bool slice_aware, std::size_t num_values = 1 << 14) {
+    EmulatedKvs::Config config;
+    config.num_values = num_values;
+    config.slice_aware = slice_aware;
+    config.target_slice = 0;
+    return EmulatedKvs(hierarchy, backing, config);
+  }
+};
+
+TEST(EmulatedKvsTest, SliceAwareValuesAllMapToTargetSlice) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(true);
+  const auto hash = HaswellSliceHash();
+  for (std::uint64_t key = 0; key < kvs.num_values(); key += 37) {
+    EXPECT_EQ(hash->SliceFor(kvs.ValuePa(key)), 0u);
+  }
+}
+
+TEST(EmulatedKvsTest, NormalValuesSpreadOverAllSlices) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false);
+  const auto hash = HaswellSliceHash();
+  std::vector<std::size_t> counts(8, 0);
+  for (std::uint64_t key = 0; key < kvs.num_values(); ++key) {
+    ++counts[hash->SliceFor(kvs.ValuePa(key))];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, kvs.num_values() / 16);  // roughly uniform
+  }
+}
+
+TEST(EmulatedKvsTest, ValuesOccupyDistinctLines) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(true, 1 << 12);
+  std::set<PhysAddr> lines;
+  for (std::uint64_t key = 0; key < kvs.num_values(); ++key) {
+    EXPECT_TRUE(lines.insert(LineBase(kvs.ValuePa(key))).second);
+  }
+}
+
+TEST(EmulatedKvsTest, HotKeyGetsFasterOnRepeat) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false);
+  const Cycles cold = kvs.Get(0, 42);
+  const Cycles warm = kvs.Get(0, 42);
+  EXPECT_GT(cold, warm);  // second hit comes from L1
+}
+
+TEST(EmulatedKvsTest, RejectsBadKeysAndConfig) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false);
+  EXPECT_THROW((void)kvs.Get(0, kvs.num_values()), std::out_of_range);
+  EXPECT_THROW((void)kvs.Set(0, kvs.num_values() + 5), std::out_of_range);
+  EmulatedKvs::Config bad;
+  bad.num_values = 0;
+  EXPECT_THROW(EmulatedKvs(f.hierarchy, f.backing, bad), std::invalid_argument);
+  EmulatedKvs::Config bad_slice;
+  bad_slice.num_values = 16;
+  bad_slice.slice_aware = true;
+  bad_slice.target_slice = 99;
+  EXPECT_THROW(EmulatedKvs(f.hierarchy, f.backing, bad_slice), std::invalid_argument);
+}
+
+TEST(KvsServerTest, SkewedWorkloadBeatsUniform) {
+  // With a value space much larger than the LLC, a Zipf-skewed workload must
+  // serve more TPS than uniform (hot values stay cached) — the first-order
+  // effect in Fig. 8.
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false, 1 << 20);  // 64 MB of values vs 20 MB LLC
+  KvsServer server(kvs, 0);
+  KvsWorkload skew;
+  skew.zipf_theta = 0.99;
+  skew.requests = 200000;
+  KvsWorkload uniform = skew;
+  uniform.zipf_theta = 0.0;
+  const KvsResult skew_result = server.Run(skew);
+  const KvsResult uniform_result = server.Run(uniform);
+  EXPECT_GT(skew_result.tps_millions, uniform_result.tps_millions * 1.2);
+}
+
+TEST(KvsServerTest, TpsMatchesCycleAccounting) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false);
+  KvsServer server(kvs, 0);
+  KvsWorkload w;
+  w.requests = 10000;
+  const KvsResult r = server.Run(w);
+  EXPECT_EQ(r.requests, 10000u);
+  EXPECT_NEAR(r.tps_millions, 3200.0 / r.avg_cycles_per_request, 1e-9);
+  EXPECT_GT(r.avg_cycles_per_request, kvs.config().fixed_request_cycles);
+}
+
+TEST(KvsServerTest, DeterministicAcrossRuns) {
+  KvsFixture f1;
+  KvsFixture f2;
+  EmulatedKvs kvs1 = f1.Make(false);
+  EmulatedKvs kvs2 = f2.Make(false);
+  KvsWorkload w;
+  w.requests = 20000;
+  const KvsResult r1 = KvsServer(kvs1, 0).Run(w);
+  const KvsResult r2 = KvsServer(kvs2, 0).Run(w);
+  EXPECT_DOUBLE_EQ(r1.total_cycles, r2.total_cycles);
+}
+
+TEST(KvsServerTest, GetFractionControlsWriteMix) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false, 1 << 12);
+  KvsServer server(kvs, 0);
+  // All-SET workloads dirty lines; they must still complete and account.
+  KvsWorkload w;
+  w.get_fraction = 0.0;
+  w.requests = 5000;
+  const KvsResult r = server.Run(w);
+  EXPECT_GT(r.avg_cycles_per_request, 0.0);
+}
+
+TEST(KvsServerElementTest, ServesRequestsFromPacketHeaders) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false, 1 << 10);
+  PhysicalMemory memory;
+  SlicePlacement placement(f.hierarchy);
+  CacheDirector director(HaswellSliceHash(), placement, false);
+  Mempool pool(f.backing, 8, director);
+  KvsServerElement element(f.hierarchy, memory, kvs);
+
+  const auto make_request = [&](std::uint32_t key, bool set) {
+    Mbuf* m = pool.Alloc();
+    WirePacket p;
+    p.size_bytes = 128;
+    p.flow.src_ip = 0x0A000001;
+    p.flow.dst_ip = key;
+    p.flow.src_port = static_cast<std::uint16_t>(2000 | (set ? 1 : 0));
+    p.flow.dst_port = 11211;
+    m->wire = p;
+    m->data_len = 128;
+    WritePacketHeader(memory, m->data_pa(), p);
+    return m;
+  };
+
+  Mbuf* get_req = make_request(42, false);
+  const ProcessResult get_result = element.Process(0, *get_req);
+  EXPECT_FALSE(get_result.drop);
+  EXPECT_GT(get_result.cycles, kvs.config().fixed_request_cycles);
+  EXPECT_EQ(element.gets(), 1u);
+  EXPECT_EQ(element.sets(), 0u);
+  // The reply swapped the MACs in place.
+  const ParsedHeader reply = ReadPacketHeader(memory, get_req->data_pa());
+  EXPECT_EQ(reply.flow.dst_ip, 42u);
+
+  Mbuf* set_req = make_request(7, true);
+  (void)element.Process(0, *set_req);
+  EXPECT_EQ(element.sets(), 1u);
+  pool.Free(get_req);
+  pool.Free(set_req);
+}
+
+TEST(KvsServerElementTest, HotKeyRequestsGetCheaperWhenCached) {
+  KvsFixture f;
+  EmulatedKvs kvs = f.Make(false, 1 << 10);
+  PhysicalMemory memory;
+  SlicePlacement placement(f.hierarchy);
+  CacheDirector director(HaswellSliceHash(), placement, false);
+  Mempool pool(f.backing, 4, director);
+  KvsServerElement element(f.hierarchy, memory, kvs);
+  Mbuf* m = pool.Alloc();
+  WirePacket p;
+  p.flow.dst_ip = 99;
+  m->wire = p;
+  WritePacketHeader(memory, m->data_pa(), p);
+  const Cycles cold = element.Process(0, *m).cycles;
+  const Cycles warm = element.Process(0, *m).cycles;
+  EXPECT_LT(warm, cold);  // value and header both cached on repeat
+  pool.Free(m);
+}
+
+}  // namespace
+}  // namespace cachedir

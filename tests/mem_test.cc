@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/mem/hugepage.h"
+#include "src/mem/physical_memory.h"
+
+namespace cachedir {
+namespace {
+
+TEST(PhysicalMemoryTest, ReadsZeroesFromUntouchedMemory) {
+  PhysicalMemory mem;
+  EXPECT_EQ(mem.ReadU64(0x1234), 0u);
+  EXPECT_EQ(mem.ReadU8(0xFFFF'FFFF), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u);
+}
+
+TEST(PhysicalMemoryTest, RoundTripsScalars) {
+  PhysicalMemory mem;
+  mem.WriteU64(0x1000, 0xDEAD'BEEF'CAFE'F00Dull);
+  EXPECT_EQ(mem.ReadU64(0x1000), 0xDEAD'BEEF'CAFE'F00Dull);
+  mem.WriteU32(0x2000, 0x1234'5678u);
+  EXPECT_EQ(mem.ReadU32(0x2000), 0x1234'5678u);
+  mem.WriteU8(0x3000, 0xAB);
+  EXPECT_EQ(mem.ReadU8(0x3000), 0xAB);
+}
+
+TEST(PhysicalMemoryTest, HandlesWritesSpanningPages) {
+  PhysicalMemory mem;
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const PhysAddr addr = PhysicalMemory::kPageSize - 123;  // crosses 3 pages
+  mem.Write(addr, data);
+  std::vector<std::uint8_t> back(data.size());
+  mem.Read(addr, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(mem.resident_pages(), 4u);
+}
+
+TEST(PhysicalMemoryTest, OverlappingWritesMerge) {
+  PhysicalMemory mem;
+  mem.WriteU64(0x100, 0x1111'1111'1111'1111ull);
+  mem.WriteU32(0x104, 0x2222'2222u);
+  EXPECT_EQ(mem.ReadU64(0x100), 0x2222'2222'1111'1111ull);
+}
+
+TEST(HugepageAllocatorTest, AllocationsAreAlignedAndSized) {
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(100, PageSize::k2M);
+  EXPECT_EQ(m.size, 2u * 1024 * 1024);
+  EXPECT_EQ(m.pa % (2 * 1024 * 1024), 0u);
+  EXPECT_EQ(m.va % (2 * 1024 * 1024), 0u);
+
+  const Mapping g = alloc.Allocate(1, PageSize::k1G);
+  EXPECT_EQ(g.size, 1024u * 1024 * 1024);
+  EXPECT_EQ(g.pa % (1024 * 1024 * 1024), 0u);
+}
+
+TEST(HugepageAllocatorTest, MappingsDoNotOverlap) {
+  HugepageAllocator alloc;
+  const Mapping a = alloc.Allocate(4096, PageSize::k4K);
+  const Mapping b = alloc.Allocate(4096, PageSize::k4K);
+  EXPECT_GE(b.pa, a.pa + a.size);
+  EXPECT_GE(b.va, a.va + a.size);
+}
+
+TEST(HugepageAllocatorTest, ThrowsWhenZoneExhausted) {
+  HugepageAllocator::Params p;
+  p.phys_base = 0x1'0000'0000;
+  p.phys_limit = 0x1'6000'0000;  // 1.5 GB zone: room for exactly one 1 GB page
+  HugepageAllocator alloc(p);
+  (void)alloc.Allocate(1, PageSize::k1G);
+  EXPECT_THROW((void)alloc.Allocate(1, PageSize::k1G), std::bad_alloc);
+}
+
+TEST(PagemapTest, TranslatesInsideMappings) {
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(1 << 21, PageSize::k2M);
+  EXPECT_EQ(alloc.pagemap().Translate(m.va), m.pa);
+  EXPECT_EQ(alloc.pagemap().Translate(m.va + 12345), m.pa + 12345);
+  EXPECT_EQ(alloc.pagemap().Translate(m.va + m.size - 1), m.pa + m.size - 1);
+}
+
+TEST(PagemapTest, RejectsUnmappedAddresses) {
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(1 << 21, PageSize::k2M);
+  PhysAddr out = 0;
+  EXPECT_FALSE(alloc.pagemap().TryTranslate(m.va + m.size, &out));
+  EXPECT_FALSE(alloc.pagemap().TryTranslate(m.va == 0 ? 1 : m.va - 1, &out));
+  EXPECT_THROW((void)alloc.pagemap().Translate(m.va + m.size), std::out_of_range);
+}
+
+TEST(PagemapTest, TranslatesAcrossMultipleMappings) {
+  HugepageAllocator alloc;
+  const Mapping a = alloc.Allocate(1 << 21, PageSize::k2M);
+  const Mapping b = alloc.Allocate(1 << 21, PageSize::k2M);
+  EXPECT_EQ(alloc.pagemap().Translate(a.va + 64), a.pa + 64);
+  EXPECT_EQ(alloc.pagemap().Translate(b.va + 64), b.pa + 64);
+  EXPECT_EQ(alloc.pagemap().num_mappings(), 2u);
+}
+
+}  // namespace
+}  // namespace cachedir

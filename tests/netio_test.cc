@@ -1,0 +1,359 @@
+// Tests for the DPDK-like substrate: mbuf layout, mempool, CacheDirector
+// headroom steering, and the simulated NIC (steering, DDIO, drops).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/netio/cache_director.h"
+#include "src/netio/mempool.h"
+#include "src/netio/nic.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+struct NetioFixture {
+  MemoryHierarchy hierarchy{HaswellXeonE52667V3(), HaswellSliceHash(), 1};
+  SlicePlacement placement{hierarchy};
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+
+  CacheDirector MakeDirector(bool enabled) {
+    return CacheDirector(HaswellSliceHash(), placement, enabled);
+  }
+};
+
+TEST(MbufTest, LayoutConstantsAreConsistent) {
+  EXPECT_EQ(kMbufStructBytes, 2 * kCacheLineSize);
+  EXPECT_GE(kMaxHeadroomBytes, 13 * kCacheLineSize);
+  EXPECT_GE(kMbufDataBytes, 1500u);  // an MTU frame always fits
+  EXPECT_EQ(kMbufElementBytes, kMbufStructBytes + kMaxHeadroomBytes + kMbufDataBytes);
+}
+
+TEST(MempoolTest, AllocatesDistinctAlignedElements) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 64, director);
+  EXPECT_EQ(pool.capacity(), 64u);
+  std::set<PhysAddr> seen;
+  for (int i = 0; i < 64; ++i) {
+    Mbuf* m = pool.Alloc();
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(seen.insert(m->struct_pa).second);
+    EXPECT_TRUE(IsLineAligned(m->struct_pa));
+    EXPECT_EQ(m->buf_pa, m->struct_pa + kMbufStructBytes);
+  }
+  EXPECT_EQ(pool.Alloc(), nullptr);  // exhausted
+}
+
+TEST(MempoolTest, FreeRecyclesBuffers) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 4, director);
+  Mbuf* m = pool.Alloc();
+  m->data_len = 100;
+  pool.Free(m);
+  EXPECT_EQ(pool.available(), 4u);
+  Mbuf* again = pool.Alloc();
+  EXPECT_EQ(again->data_len, 0u);
+}
+
+TEST(CacheDirectorTest, DisabledDirectorKeepsDefaultHeadroom) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 8, director);
+  Mbuf* m = pool.Alloc();
+  director.ApplyHeadroom(*m, 3);
+  EXPECT_EQ(m->headroom, kDefaultHeadroomBytes);
+  EXPECT_EQ(m->udata64, 0u);
+}
+
+TEST(CacheDirectorTest, SteersDataStartToClosestSlice) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(true);
+  Mempool pool(f.backing, 128, director);
+  const auto hash = HaswellSliceHash();
+  for (int i = 0; i < 128; ++i) {
+    Mbuf* m = pool.Alloc();
+    ASSERT_NE(m, nullptr);
+    for (CoreId core = 0; core < 8; ++core) {
+      director.ApplyHeadroom(*m, core);
+      // On Haswell every slice is reachable within 8 lines, so the data
+      // start must land exactly on the core's closest slice (== core id).
+      EXPECT_EQ(hash->SliceFor(m->data_pa()), core)
+          << "mbuf " << i << " core " << core;
+      EXPECT_LE(m->headroom, kMaxHeadroomBytes);
+      EXPECT_EQ(m->headroom % kCacheLineSize, 0u);
+    }
+  }
+}
+
+TEST(CacheDirectorTest, HeadroomFitsInFourBitsPerCore) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(true);
+  Mempool pool(f.backing, 32, director);
+  for (int i = 0; i < 32; ++i) {
+    Mbuf* m = pool.Alloc();
+    for (CoreId core = 0; core < 8; ++core) {
+      const std::uint64_t nibble = (m->udata64 >> (4 * core)) & 0xF;
+      EXPECT_LE(nibble, CacheDirector::kMaxHeadroomLines);
+    }
+  }
+}
+
+TEST(CacheDirectorTest, WorksOnSkylakeWithBestReachableSlice) {
+  MemoryHierarchy hierarchy(SkylakeXeonGold6134(), SkylakeSliceHash(), 1);
+  SlicePlacement placement(hierarchy);
+  HugepageAllocator backing;
+  const CacheDirector director(SkylakeSliceHash(), placement, true);
+  Mempool pool(backing, 64, director);
+  const auto hash = SkylakeSliceHash();
+  for (int i = 0; i < 64; ++i) {
+    Mbuf* m = pool.Alloc();
+    for (CoreId core = 0; core < 8; ++core) {
+      director.ApplyHeadroom(*m, core);
+      const SliceId chosen = hash->SliceFor(m->data_pa());
+      // The chosen slice must be the best *reachable* one: no headroom
+      // within the window may give a strictly lower latency.
+      const Cycles chosen_lat = placement.Latency(core, chosen);
+      for (std::uint32_t k = 0; k <= CacheDirector::kMaxHeadroomLines; ++k) {
+        const SliceId alt = hash->SliceFor(m->buf_pa + k * kCacheLineSize);
+        EXPECT_GE(placement.Latency(core, alt), chosen_lat);
+      }
+    }
+  }
+}
+
+TEST(CacheDirectorTest, NearSliceSpreadStaysInCheapBandAndSpreads) {
+  NetioFixture f;
+  CacheDirector::Options options;
+  options.enabled = true;
+  options.near_tolerance = 8;  // Haswell: covers the whole even-parity band
+  const CacheDirector director(HaswellSliceHash(), f.placement, options);
+  Mempool pool(f.backing, 256, director);
+  const auto hash = HaswellSliceHash();
+  for (CoreId core = 0; core < 8; ++core) {
+    const Cycles best = f.placement.Latency(core, f.placement.ClosestSlice(core));
+    std::set<SliceId> used;
+    for (std::size_t i = 0; i < pool.capacity(); ++i) {
+      Mbuf m = pool.element(i);
+      director.ApplyHeadroom(m, core);
+      const SliceId s = hash->SliceFor(m.data_pa());
+      // Every placement stays within the tolerance band...
+      EXPECT_LE(f.placement.Latency(core, s), best + options.near_tolerance);
+      used.insert(s);
+    }
+    // ...and the load actually spreads over several near slices.
+    EXPECT_GE(used.size(), 3u) << "core " << core;
+  }
+}
+
+TEST(CacheDirectorTest, ZeroToleranceEqualsSingleSliceSteering) {
+  NetioFixture f;
+  CacheDirector::Options options;
+  options.enabled = true;
+  options.near_tolerance = 0;
+  const CacheDirector spread_zero(HaswellSliceHash(), f.placement, options);
+  const CacheDirector classic(HaswellSliceHash(), f.placement, true);
+  Mempool pool(f.backing, 64, classic);
+  for (std::size_t i = 0; i < 64; ++i) {
+    Mbuf a = pool.element(i);
+    Mbuf b = pool.element(i);
+    spread_zero.PrepareMbuf(a);
+    classic.PrepareMbuf(b);
+    EXPECT_EQ(a.udata64, b.udata64);
+  }
+}
+
+WirePacket MakePacket(std::uint64_t id, std::uint32_t size, Nanoseconds t,
+                      std::uint16_t src_port = 1000) {
+  WirePacket p;
+  p.id = id;
+  p.size_bytes = size;
+  p.tx_time_ns = t;
+  p.flow.src_ip = 0x0A000001 + static_cast<std::uint32_t>(id % 97);
+  p.flow.dst_ip = 0xC0A80001;
+  p.flow.src_port = src_port;
+  p.flow.dst_port = 80;
+  return p;
+}
+
+TEST(SimNicTest, DeliversIntoRssQueueAndDmaWritesLlc) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(true);
+  Mempool pool(f.backing, 64, director);
+  SimNic::Config config;
+  config.num_queues = 8;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+
+  const WirePacket p = MakePacket(1, 64, 100.0);
+  const std::size_t queue = nic.QueueForPacket(p);
+  EXPECT_TRUE(nic.Deliver(p));
+  ASSERT_FALSE(nic.RxEmpty(queue));
+  Mbuf* m = nic.RxPop(queue);
+  ASSERT_NE(m, nullptr);
+  // Header was DMA'd through DDIO: present in LLC.
+  EXPECT_TRUE(f.hierarchy.llc().Contains(m->data_pa()));
+  // Header bytes are readable from simulated memory.
+  const ParsedHeader h = ReadPacketHeader(f.memory, m->data_pa());
+  EXPECT_EQ(h.flow, p.flow);
+  EXPECT_DOUBLE_EQ(h.timestamp_ns, p.tx_time_ns);
+  // CacheDirector placed the header in the consuming core's slice.
+  EXPECT_EQ(f.hierarchy.llc().SliceOf(m->data_pa()), SimNic::CoreForQueue(queue));
+  nic.Transmit(m);
+  EXPECT_EQ(pool.available(), pool.capacity());
+}
+
+TEST(SimNicTest, RssSteeringIsDeterministicPerFlow) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 16, director);
+  SimNic::Config config;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  const WirePacket p = MakePacket(1, 64, 0.0);
+  const std::size_t q = nic.QueueForPacket(p);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(nic.QueueForPacket(p), q);
+  }
+}
+
+TEST(SimNicTest, FlowDirectorBalancesNewFlows) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 16, director);
+  SimNic::Config config;
+  config.steering = NicSteering::kFlowDirector;
+  config.num_queues = 4;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    WirePacket p = MakePacket(i, 64, 0.0, static_cast<std::uint16_t>(2000 + i));
+    ++counts[nic.QueueForPacket(p)];
+  }
+  // 16 distinct flows over 4 queues, least-loaded: perfect balance.
+  for (const std::size_t c : counts) {
+    EXPECT_EQ(c, 4u);
+  }
+}
+
+TEST(SimNicTest, DropsWhenRingFull) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 64, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  config.ring_size = 4;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (nic.Deliver(MakePacket(i, 64, 0.0))) {
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(nic.queue_stats(0).dropped_ring_full, 6u);
+}
+
+TEST(SimNicTest, DropsWhenPoolExhausted) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 2, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  config.ring_size = 100;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  EXPECT_TRUE(nic.Deliver(MakePacket(0, 64, 0.0)));
+  EXPECT_TRUE(nic.Deliver(MakePacket(1, 64, 0.0)));
+  EXPECT_FALSE(nic.Deliver(MakePacket(2, 64, 0.0)));
+  EXPECT_EQ(nic.queue_stats(0).dropped_no_mbuf, 1u);
+}
+
+TEST(SimNicTest, SerializesAtConfiguredRate) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 64, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  config.min_packet_gap_ns = 100.0;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  // Two packets arriving back-to-back at t=0: second is ready 100 ns after
+  // the first.
+  (void)nic.Deliver(MakePacket(0, 64, 0.0));
+  const Nanoseconds first_ready = nic.RxHead(0).ready_ns;
+  (void)nic.RxPop(0);
+  (void)nic.Deliver(MakePacket(1, 64, 0.0));
+  EXPECT_DOUBLE_EQ(nic.RxHead(0).ready_ns - first_ready, 100.0);
+}
+
+TEST(SimNicTest, LargePacketDmaTouchesAllLines) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 8, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  f.hierarchy.ResetStats();
+  (void)nic.Deliver(MakePacket(0, 1500, 0.0));
+  // 1500 B from a line-aligned start = 24 lines (paper §8: "~24 cache
+  // lines" per MTU frame through DDIO).
+  EXPECT_EQ(f.hierarchy.stats().dma_line_writes, 24u);
+}
+
+TEST(SimNicTest, TxSerializesAtLineRateAndReclaimsLazily) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 8, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  config.tx_line_rate_gbps = 100.0;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+
+  Mbuf* a = pool.Alloc();
+  a->data_len = 1500;
+  Mbuf* b = pool.Alloc();
+  b->data_len = 1500;
+  // Both handed to TX at t=0: the second departs one wire time later.
+  const Nanoseconds done_a = nic.TransmitAt(a, 0.0);
+  const Nanoseconds done_b = nic.TransmitAt(b, 0.0);
+  const double wire = (1500.0 + 20.0) * 8.0 / 100.0;  // 121.6 ns
+  EXPECT_NEAR(done_a, wire, 1e-9);
+  EXPECT_NEAR(done_b, 2 * wire, 1e-9);
+  // Buffers are still in flight until the wire finishes them.
+  EXPECT_EQ(nic.tx_in_flight(), 2u);
+  EXPECT_EQ(pool.available(), 6u);
+  nic.ReclaimTx(done_a);
+  EXPECT_EQ(nic.tx_in_flight(), 1u);
+  nic.FlushTx();
+  EXPECT_EQ(pool.available(), 8u);
+}
+
+TEST(SimNicTest, IdleTxDepartsImmediatelyAfterWireTime) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 4, director);
+  SimNic::Config config;
+  config.num_queues = 1;
+  SimNic nic(config, f.hierarchy, f.memory, pool, director);
+  Mbuf* m = pool.Alloc();
+  m->data_len = 64;
+  const Nanoseconds done = nic.TransmitAt(m, 5000.0);  // idle egress
+  EXPECT_NEAR(done, 5000.0 + 84.0 * 8.0 / 100.0, 1e-9);
+  nic.FlushTx();
+}
+
+TEST(SimNicTest, RejectsBadConfig) {
+  NetioFixture f;
+  const CacheDirector director = f.MakeDirector(false);
+  Mempool pool(f.backing, 8, director);
+  SimNic::Config config;
+  config.num_queues = 0;
+  EXPECT_THROW(SimNic(config, f.hierarchy, f.memory, pool, director), std::invalid_argument);
+  config.num_queues = 100;  // more queues than cores
+  EXPECT_THROW(SimNic(config, f.hierarchy, f.memory, pool, director), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachedir

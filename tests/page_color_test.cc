@@ -1,0 +1,71 @@
+// Tests for the page-coloring allocator and the §9 claims about it.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/hash/presets.h"
+#include "src/slice/page_color.h"
+
+namespace cachedir {
+namespace {
+
+TEST(PageColorTest, ColorCountFollowsGeometry) {
+  HugepageAllocator backing;
+  // LLC slice: 2048 sets -> 11 index bits -> set bits 16-6 -> colors on
+  // bits 16-12 -> 32 colors.
+  PageColorAllocator colors(backing, 11);
+  EXPECT_EQ(colors.num_colors(), 32u);
+  // L2: 512 sets -> 9 index bits -> colors on bits 14-12 -> 8 colors.
+  PageColorAllocator l2_colors(backing, 9);
+  EXPECT_EQ(l2_colors.num_colors(), 8u);
+}
+
+TEST(PageColorTest, AllocationsHaveUniformColor) {
+  HugepageAllocator backing;
+  PageColorAllocator colors(backing, 11);
+  for (const std::uint32_t color : {0u, 7u, 31u}) {
+    const SliceBuffer buf = colors.AllocateBytes(color, 64 * 1024);
+    for (std::size_t i = 0; i < buf.num_lines(); ++i) {
+      ASSERT_EQ(colors.ColorOf(buf.line(i).pa), color);
+    }
+  }
+}
+
+TEST(PageColorTest, DistinctColorsOccupyDisjointLlcSets) {
+  // The part of coloring that SURVIVES Complex Addressing: set isolation.
+  HugepageAllocator backing;
+  PageColorAllocator colors(backing, 11);
+  const SliceBuffer a = colors.AllocateBytes(3, 32 * 1024);
+  const SliceBuffer b = colors.AllocateBytes(9, 32 * 1024);
+  std::set<std::size_t> sets_a;
+  for (std::size_t i = 0; i < a.num_lines(); ++i) {
+    sets_a.insert((a.line(i).pa >> 6) & 2047);
+  }
+  for (std::size_t i = 0; i < b.num_lines(); ++i) {
+    ASSERT_EQ(sets_a.count((b.line(i).pa >> 6) & 2047), 0u);
+  }
+}
+
+TEST(PageColorTest, OneColorScattersOverEverySlice) {
+  // The part of coloring that Complex Addressing DEFEATS: slice placement.
+  HugepageAllocator backing;
+  PageColorAllocator colors(backing, 11);
+  const SliceBuffer buf = colors.AllocateBytes(0, 64 * 1024);
+  const auto hash = HaswellSliceHash();
+  std::set<SliceId> slices;
+  for (std::size_t i = 0; i < buf.num_lines(); ++i) {
+    slices.insert(hash->SliceFor(buf.line(i).pa));
+  }
+  EXPECT_EQ(slices.size(), 8u);
+}
+
+TEST(PageColorTest, RejectsBadArguments) {
+  HugepageAllocator backing;
+  EXPECT_THROW(PageColorAllocator(backing, 5), std::invalid_argument);
+  EXPECT_THROW(PageColorAllocator(backing, 30), std::invalid_argument);
+  PageColorAllocator colors(backing, 11);
+  EXPECT_THROW((void)colors.AllocateBytes(32, 4096), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachedir

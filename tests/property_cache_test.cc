@@ -1,0 +1,253 @@
+// Property-based tests of the set-associative cache: a randomized operation
+// stream is replayed against a simple reference model (map + recency list)
+// and the cache must agree on every observable at every step, across a sweep
+// of geometries. Plus structural invariants under load for all replacement
+// policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/set_assoc_cache.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+// Reference model: per-set list of (line, dirty), front = MRU, true LRU.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t sets, std::size_t ways) : sets_(sets), ways_(ways), data_(sets) {}
+
+  std::size_t SetOf(PhysAddr line) const { return (line >> kCacheLineBits) % sets_; }
+
+  bool Contains(PhysAddr line) const {
+    const auto& set = data_[SetOf(line)];
+    return std::any_of(set.begin(), set.end(),
+                       [line](const auto& e) { return e.first == line; });
+  }
+
+  bool Touch(PhysAddr line) {
+    auto& set = data_[SetOf(line)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == line) {
+        set.splice(set.begin(), set, it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<EvictedLine> Insert(PhysAddr line, bool dirty) {
+    auto& set = data_[SetOf(line)];
+    std::optional<EvictedLine> evicted;
+    if (set.size() == ways_) {
+      evicted = EvictedLine{set.back().first, set.back().second};
+      set.pop_back();
+    }
+    set.emplace_front(line, dirty);
+    return evicted;
+  }
+
+  bool MarkDirty(PhysAddr line) {
+    auto& set = data_[SetOf(line)];
+    for (auto& e : set) {
+      if (e.first == line) {
+        e.second = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Invalidate(PhysAddr line) {
+    auto& set = data_[SetOf(line)];
+    const auto before = set.size();
+    set.remove_if([line](const auto& e) { return e.first == line; });
+    return set.size() != before;
+  }
+
+  std::size_t resident() const {
+    std::size_t n = 0;
+    for (const auto& set : data_) {
+      n += set.size();
+    }
+    return n;
+  }
+
+ private:
+  std::size_t sets_;
+  std::size_t ways_;
+  std::vector<std::list<std::pair<PhysAddr, bool>>> data_;
+};
+
+using Geometry = std::tuple<std::size_t, std::size_t>;  // sets, ways
+
+class CacheModelCheck : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheModelCheck, AgreesWithReferenceModelOnRandomOps) {
+  const auto [sets, ways] = GetParam();
+  SetAssocCache::Config config;
+  config.num_sets = sets;
+  config.num_ways = ways;
+  config.replacement = ReplacementKind::kLru;
+  SetAssocCache cache(config);
+  ReferenceCache model(sets, ways);
+
+  Rng rng(sets * 1000 + ways);
+  const std::size_t tag_space = 8 * ways;  // enough conflicts to force churn
+  for (int step = 0; step < 20000; ++step) {
+    const PhysAddr line =
+        (rng.UniformU64(0, tag_space - 1) * sets + rng.UniformIndex(sets)) * kCacheLineSize;
+    switch (rng.UniformU64(0, 4)) {
+      case 0:
+      case 1: {  // lookup-or-insert (the common access pattern)
+        const bool hit = cache.Touch(line);
+        ASSERT_EQ(hit, model.Touch(line)) << "step " << step;
+        if (!hit) {
+          const auto evicted = cache.Insert(line, false);
+          const auto expected = model.Insert(line, false);
+          ASSERT_EQ(evicted.has_value(), expected.has_value()) << "step " << step;
+          if (evicted.has_value()) {
+            ASSERT_EQ(evicted->line, expected->line) << "step " << step;
+            ASSERT_EQ(evicted->dirty, expected->dirty) << "step " << step;
+          }
+        }
+        break;
+      }
+      case 2:
+        ASSERT_EQ(cache.MarkDirty(line), model.MarkDirty(line)) << "step " << step;
+        break;
+      case 3:
+        ASSERT_EQ(cache.Invalidate(line).was_present, model.Invalidate(line))
+            << "step " << step;
+        break;
+      case 4:
+        ASSERT_EQ(cache.Contains(line), model.Contains(line)) << "step " << step;
+        break;
+    }
+    if (step % 1000 == 0) {
+      ASSERT_EQ(cache.resident_lines(), model.resident());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheModelCheck,
+                         ::testing::Values(Geometry{4, 1}, Geometry{4, 2}, Geometry{16, 4},
+                                           Geometry{64, 8}, Geometry{32, 20},
+                                           Geometry{128, 11}, Geometry{2048, 20}),
+                         [](const auto& info) {
+                           return "sets" + std::to_string(std::get<0>(info.param)) + "ways" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---- Structural invariants across replacement policies ----
+
+class CachePolicyInvariants : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(CachePolicyInvariants, ResidentNeverExceedsCapacityAndNoDuplicates) {
+  SetAssocCache::Config config;
+  config.num_sets = 32;
+  config.num_ways = 6;
+  config.replacement = GetParam();
+  config.seed = 99;
+  SetAssocCache cache(config);
+
+  Rng rng(7);
+  for (int step = 0; step < 30000; ++step) {
+    const PhysAddr line = rng.UniformU64(0, 4095) * kCacheLineSize;
+    if (!cache.Touch(line)) {
+      (void)cache.Insert(line, rng.Bernoulli(0.3));
+    }
+    ASSERT_LE(cache.resident_lines(), 32u * 6u);
+  }
+  // No set may hold the same line twice or exceed its ways.
+  for (std::size_t set = 0; set < 32; ++set) {
+    const auto lines = cache.LinesInSet(set);
+    ASSERT_LE(lines.size(), 6u);
+    std::vector<PhysAddr> addrs;
+    for (const auto& e : lines) {
+      addrs.push_back(e.line);
+      EXPECT_EQ(cache.SetIndexOf(e.line), set);
+    }
+    std::sort(addrs.begin(), addrs.end());
+    EXPECT_EQ(std::adjacent_find(addrs.begin(), addrs.end()), addrs.end());
+  }
+}
+
+TEST_P(CachePolicyInvariants, EvictedLinesWereActuallyResident) {
+  SetAssocCache::Config config;
+  config.num_sets = 8;
+  config.num_ways = 4;
+  config.replacement = GetParam();
+  config.seed = 5;
+  SetAssocCache cache(config);
+
+  std::set<PhysAddr> resident;
+  Rng rng(13);
+  for (int step = 0; step < 10000; ++step) {
+    const PhysAddr line = rng.UniformU64(0, 255) * kCacheLineSize;
+    if (cache.Touch(line)) {
+      ASSERT_TRUE(resident.count(line)) << "hit on non-resident line";
+      continue;
+    }
+    ASSERT_FALSE(resident.count(line)) << "miss on resident line";
+    const auto evicted = cache.Insert(line, false);
+    if (evicted.has_value()) {
+      ASSERT_EQ(resident.erase(evicted->line), 1u) << "evicted a ghost line";
+    }
+    resident.insert(line);
+  }
+  ASSERT_EQ(resident.size(), cache.resident_lines());
+}
+
+TEST_P(CachePolicyInvariants, WayMaskConfinementHolds) {
+  SetAssocCache::Config config;
+  config.num_sets = 4;
+  config.num_ways = 8;
+  config.replacement = GetParam();
+  config.seed = 3;
+  SetAssocCache cache(config);
+
+  // Partition A: ways 0-1, partition B: ways 2-7. Fill B, then churn A hard:
+  // B's lines must never be evicted.
+  std::vector<PhysAddr> b_lines;
+  for (std::size_t i = 0; i < 4 * 6; ++i) {
+    const PhysAddr line = (1000 + i) * 4 * kCacheLineSize + (i % 4) * kCacheLineSize;
+    (void)cache.Insert(line, false, 0b11111100);
+    b_lines.push_back(line);
+  }
+  Rng rng(1);
+  for (int step = 0; step < 5000; ++step) {
+    const PhysAddr line = rng.UniformU64(0, 127) * kCacheLineSize;
+    if (!cache.Touch(line)) {
+      (void)cache.Insert(line, false, 0b00000011);
+    }
+  }
+  for (const PhysAddr line : b_lines) {
+    EXPECT_TRUE(cache.Contains(line));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePolicyInvariants,
+                         ::testing::Values(ReplacementKind::kLru, ReplacementKind::kTreePlru,
+                                           ReplacementKind::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReplacementKind::kLru:
+                               return "Lru";
+                             case ReplacementKind::kTreePlru:
+                               return "TreePlru";
+                             case ReplacementKind::kRandom:
+                               return "Random";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace cachedir

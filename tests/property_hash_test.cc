@@ -1,0 +1,139 @@
+// Property tests of the Complex Addressing models, parameterized over both
+// machine presets: line invariance, uniformity, determinism, and the
+// structural properties each hash family guarantees.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/hash/presets.h"
+#include "src/hash/slice_hash.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+struct HashCase {
+  const char* name;
+  std::shared_ptr<const SliceHash> (*make)();
+  std::size_t slices;
+};
+
+class SliceHashProperties : public ::testing::TestWithParam<HashCase> {};
+
+TEST_P(SliceHashProperties, EveryByteOfALineSharesItsSlice) {
+  const auto hash = GetParam().make();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const PhysAddr line = LineBase(rng.UniformU64(0, 1ull << 37));
+    const SliceId s = hash->SliceFor(line);
+    for (const PhysAddr off : {1ull, 7ull, 31ull, 63ull}) {
+      ASSERT_EQ(hash->SliceFor(line + off), s);
+    }
+  }
+}
+
+TEST_P(SliceHashProperties, OutputAlwaysInRange) {
+  const auto hash = GetParam().make();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LT(hash->SliceFor(rng.UniformU64(0, ~0ull >> 8)), GetParam().slices);
+  }
+}
+
+TEST_P(SliceHashProperties, DeterministicAcrossInstances) {
+  const auto a = GetParam().make();
+  const auto b = GetParam().make();
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const PhysAddr addr = rng.UniformU64(0, 1ull << 37);
+    ASSERT_EQ(a->SliceFor(addr), b->SliceFor(addr));
+  }
+}
+
+TEST_P(SliceHashProperties, NearUniformOverContiguousRegions) {
+  const auto hash = GetParam().make();
+  // Any 16 MB-aligned region must spread close to uniformly: this is the
+  // bandwidth property Complex Addressing exists for.
+  for (const PhysAddr base : {0ull, 1ull << 30, 3ull << 32}) {
+    std::vector<std::size_t> counts(GetParam().slices, 0);
+    const std::size_t lines = (16u << 20) / kCacheLineSize;
+    for (std::size_t i = 0; i < lines; ++i) {
+      ++counts[hash->SliceFor(base + i * kCacheLineSize)];
+    }
+    const double expect = static_cast<double>(lines) / GetParam().slices;
+    for (const std::size_t c : counts) {
+      // Within 35% of ideal (the Skylake LUT is legitimately imbalanced
+      // 3-vs-4 entries per slice, ~±15%).
+      ASSERT_NEAR(static_cast<double>(c), expect, expect * 0.35);
+    }
+  }
+}
+
+TEST_P(SliceHashProperties, SmallWindowsReachManySlices) {
+  // CacheDirector depends on finding useful slices within a 14-line
+  // headroom window: every window must offer at least 4 distinct slices.
+  const auto hash = GetParam().make();
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const PhysAddr base = LineBase(rng.UniformU64(0, 1ull << 36));
+    std::set<SliceId> seen;
+    for (std::uint32_t k = 0; k <= 13; ++k) {
+      seen.insert(hash->SliceFor(base + k * kCacheLineSize));
+    }
+    ASSERT_GE(seen.size(), 4u) << "window at " << base;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, SliceHashProperties,
+                         ::testing::Values(HashCase{"Haswell8", &HaswellSliceHash, 8},
+                                           HashCase{"Skylake18", &SkylakeSliceHash, 18},
+                                           HashCase{"SandyBridge4", &SandyBridgeSliceHash, 4}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(HaswellHashStructure, XorLinearityOverThousandsOfPairs) {
+  const auto hash = HaswellSliceHash();
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const PhysAddr a = LineBase(rng.UniformU64(0, 1ull << 37));
+    const PhysAddr b = LineBase(rng.UniformU64(0, 1ull << 37));
+    ASSERT_EQ(hash->SliceFor(a ^ b), hash->SliceFor(a) ^ hash->SliceFor(b));
+  }
+}
+
+TEST(HaswellHashStructure, HaswellWindowCyclesThroughAllEightSlices) {
+  // Within any aligned 8-line window the three low hash bits (PA 6,7,8)
+  // enumerate all combinations: every slice is reachable — the property
+  // that bounds CacheDirector's Haswell headroom at 7 lines.
+  const auto hash = HaswellSliceHash();
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const PhysAddr base = LineBase(rng.UniformU64(0, 1ull << 36)) & ~PhysAddr{8 * 64 - 1};
+    std::set<SliceId> seen;
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      seen.insert(hash->SliceFor(base + k * kCacheLineSize));
+    }
+    ASSERT_EQ(seen.size(), 8u);
+  }
+}
+
+TEST(SkylakeHashStructure, MatchesDocumentedLutBalance) {
+  const auto owner = SkylakeSliceHash();
+  const auto* hash = dynamic_cast<const XorLutSliceHash*>(owner.get());
+  ASSERT_NE(hash, nullptr);
+  std::vector<int> lut_counts(18, 0);
+  for (const SliceId s : hash->lut()) {
+    ++lut_counts[s];
+  }
+  int threes = 0;
+  int fours = 0;
+  for (const int c : lut_counts) {
+    ASSERT_TRUE(c == 3 || c == 4);
+    (c == 3 ? threes : fours) += 1;
+  }
+  EXPECT_EQ(threes, 8);
+  EXPECT_EQ(fours, 10);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,180 @@
+// Property tests of the full memory hierarchy, parameterized over the two
+// machine models: latency-value soundness, causality of levels, flush
+// semantics, DMA interactions, and conservation of traffic under long random
+// operation streams.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+struct MachineCase {
+  const char* name;
+  MachineSpec (*spec)();
+  std::shared_ptr<const SliceHash> (*hash)();
+};
+
+class HierarchyProperties : public ::testing::TestWithParam<MachineCase> {
+ protected:
+  MemoryHierarchy Make() { return MemoryHierarchy(GetParam().spec(), GetParam().hash(), 9); }
+};
+
+TEST_P(HierarchyProperties, EveryReadLatencyIsOneOfTheModelValues) {
+  auto h = Make();
+  const MachineSpec spec = GetParam().spec();
+  // The set of legal read latencies: L1, L2, LLC (base + any slice penalty),
+  // DRAM (+ LLC lookup + possible write-back busy terms).
+  std::set<Cycles> llc_values;
+  for (CoreId c = 0; c < spec.num_cores; ++c) {
+    for (SliceId s = 0; s < spec.num_slices; ++s) {
+      llc_values.insert(spec.latency.llc_base + spec.interconnect->SlicePenalty(c, s));
+    }
+  }
+  const Cycles min_llc = *llc_values.begin();
+  const Cycles max_llc = *llc_values.rbegin();
+
+  Rng rng(17);
+  for (int i = 0; i < 30000; ++i) {
+    const CoreId core = static_cast<CoreId>(rng.UniformIndex(spec.num_cores));
+    const PhysAddr addr = rng.UniformU64(0, (4u << 20)) & ~PhysAddr{7};
+    const AccessResult r = h.Read(core, addr);
+    switch (r.level) {
+      case ServedBy::kL1:
+        ASSERT_EQ(r.cycles, spec.latency.l1_hit);
+        break;
+      case ServedBy::kL2:
+        ASSERT_EQ(r.cycles, spec.latency.l2_hit);
+        break;
+      case ServedBy::kLlc:
+        ASSERT_GE(r.cycles, min_llc);
+        // Write-back busy terms may ride on the fill path.
+        ASSERT_LE(r.cycles, max_llc + 2 * (spec.latency.writeback_busy + max_llc));
+        break;
+      case ServedBy::kDram:
+        ASSERT_GE(r.cycles, spec.latency.dram);
+        break;
+      case ServedBy::kRemoteCache:
+        ASSERT_GE(r.cycles, min_llc + spec.latency.snoop_transfer);
+        break;
+    }
+  }
+}
+
+TEST_P(HierarchyProperties, RereadAfterReadIsAlwaysL1) {
+  auto h = Make();
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const PhysAddr addr = rng.UniformU64(0, 64u << 20);
+    (void)h.Read(3, addr);
+    ASSERT_EQ(h.Read(3, addr).level, ServedBy::kL1);
+  }
+}
+
+TEST_P(HierarchyProperties, FlushMakesNextReadDram) {
+  auto h = Make();
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    const PhysAddr addr = rng.UniformU64(0, 8u << 20);
+    (void)h.Read(1, addr);
+    (void)h.Write(2, addr);
+    h.FlushLine(addr);
+    ASSERT_EQ(h.Read(1, addr).level, ServedBy::kDram);
+  }
+}
+
+TEST_P(HierarchyProperties, StatsBalance) {
+  auto h = Make();
+  h.ResetStats();
+  Rng rng(31);
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const CoreId core = static_cast<CoreId>(rng.UniformIndex(4));
+    const PhysAddr addr = rng.UniformU64(0, 2u << 20);
+    if (rng.Bernoulli(0.3)) {
+      (void)h.Write(core, addr);
+      ++writes;
+    } else {
+      (void)h.Read(core, addr);
+      ++reads;
+    }
+  }
+  const HierarchyStats& s = h.stats();
+  EXPECT_EQ(s.l1_hits + s.l1_misses, reads + writes);
+  EXPECT_EQ(s.l2_hits + s.l2_misses, s.l1_misses);
+  // An L2 miss is served by the LLC, DRAM, or a remote core's cache.
+  EXPECT_EQ(s.llc_hits + s.llc_misses + s.remote_forwards, s.l2_misses);
+}
+
+TEST_P(HierarchyProperties, DmaWriteAlwaysLandsInLlc) {
+  auto h = Make();
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const PhysAddr addr = LineBase(rng.UniformU64(0, 1u << 30));
+    (void)h.DmaWriteLine(addr);
+    ASSERT_TRUE(h.llc().Contains(addr));
+    // And the CPU must see the DMA'd version, not a stale private copy.
+    ASSERT_NE(h.Read(0, addr).level, ServedBy::kL1);
+  }
+}
+
+TEST_P(HierarchyProperties, DdioChurnStaysInsideItsWayPartition) {
+  auto h = Make();
+  const MachineSpec spec = GetParam().spec();
+  if (spec.inclusion != LlcInclusionPolicy::kInclusive) {
+    GTEST_SKIP() << "victim-mode fill timing covered elsewhere";
+  }
+  // Pre-occupy the DDIO ways of every set with DMA traffic, so subsequent
+  // demand fills allocate outside the DDIO partition — the steady state of
+  // a busy server. 16 MB covers every (set, slice, ddio-way) slot w.h.p.
+  for (PhysAddr a = 2u << 30; a < (2u << 30) + (16u << 20); a += kCacheLineSize) {
+    (void)h.DmaWriteLine(a);
+  }
+  // Pin a core working set: these fills land in non-DDIO ways now.
+  std::vector<PhysAddr> pinned;
+  for (PhysAddr a = 0; pinned.size() < 256; a += kCacheLineSize) {
+    (void)h.Read(0, a);
+    pinned.push_back(a);
+  }
+  // Stream heavy DMA churn: the pinned lines must ALL survive, because DDIO
+  // may only evict within its own 2-way partition.
+  for (PhysAddr a = 1u << 30; a < (1u << 30) + (64u << 20); a += kCacheLineSize) {
+    (void)h.DmaWriteLine(a);
+  }
+  for (const PhysAddr a : pinned) {
+    ASSERT_TRUE(h.llc().Contains(a)) << "DDIO evicted a non-DDIO-way line " << a;
+  }
+}
+
+TEST_P(HierarchyProperties, DeterministicGivenSeed) {
+  auto run = [this] {
+    auto h = Make();
+    const std::size_t cores = h.spec().num_cores;
+    Rng rng(41);
+    Cycles total = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const CoreId core = static_cast<CoreId>(rng.UniformIndex(cores));
+      const PhysAddr addr = rng.UniformU64(0, 8u << 20);
+      total += rng.Bernoulli(0.5) ? h.Read(core, addr).cycles : h.Write(core, addr).cycles;
+    }
+    return total;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, HierarchyProperties,
+    ::testing::Values(MachineCase{"Haswell", &HaswellXeonE52667V3, &HaswellSliceHash},
+                      MachineCase{"Skylake", &SkylakeXeonGold6134, &SkylakeSliceHash},
+                      MachineCase{"SandyBridge", &SandyBridgeXeonQuad, &SandyBridgeSliceHash}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,171 @@
+// Property tests of the net-I/O substrate: mempool alloc/free against a
+// reference model, NIC FIFO ordering per queue, RSS distribution quality,
+// and runtime causality invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "src/hash/presets.h"
+#include "src/netio/nic.h"
+#include "src/netio/sorted_mempool.h"
+#include "src/nfv/chain.h"
+#include "src/nfv/elements.h"
+#include "src/nfv/runtime.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+namespace {
+
+struct NetioEnv {
+  MemoryHierarchy hierarchy{HaswellXeonE52667V3(), HaswellSliceHash(), 1};
+  SlicePlacement placement{hierarchy};
+  PhysicalMemory memory;
+  HugepageAllocator backing;
+  CacheDirector director{HaswellSliceHash(), placement, true};
+};
+
+class MempoolModelCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(MempoolModelCheck, AllocFreeNeverDuplicatesOrLeaks) {
+  NetioEnv env;
+  const std::size_t capacity = 64 + GetParam() * 37;
+  Mempool pool(env.backing, capacity, env.director);
+  std::unordered_set<Mbuf*> outstanding;
+  Rng rng(GetParam());
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.Bernoulli(0.55)) {
+      Mbuf* m = pool.Alloc();
+      if (outstanding.size() == capacity) {
+        ASSERT_EQ(m, nullptr) << "allocated beyond capacity";
+      } else {
+        ASSERT_NE(m, nullptr);
+        ASSERT_TRUE(outstanding.insert(m).second) << "double allocation";
+      }
+    } else if (!outstanding.empty()) {
+      Mbuf* m = *outstanding.begin();
+      outstanding.erase(outstanding.begin());
+      pool.Free(m);
+    }
+    ASSERT_EQ(pool.available(), capacity - outstanding.size());
+  }
+}
+
+TEST_P(MempoolModelCheck, SortedPoolSetSameInvariants) {
+  NetioEnv env;
+  const std::size_t capacity = 64 + GetParam() * 37;
+  SortedMempoolSet pools(env.backing, capacity, HaswellSliceHash(), env.placement);
+  std::unordered_set<Mbuf*> outstanding;
+  Rng rng(100 + GetParam());
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.Bernoulli(0.55)) {
+      Mbuf* m = pools.AllocFor(static_cast<CoreId>(rng.UniformIndex(8)));
+      if (outstanding.size() == capacity) {
+        ASSERT_EQ(m, nullptr);
+      } else {
+        ASSERT_NE(m, nullptr);
+        ASSERT_TRUE(outstanding.insert(m).second);
+      }
+    } else if (!outstanding.empty()) {
+      Mbuf* m = *outstanding.begin();
+      outstanding.erase(outstanding.begin());
+      pools.Free(m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MempoolModelCheck, ::testing::Range(1, 5));
+
+TEST(NicOrdering, RxRingsAreFifoPerQueue) {
+  NetioEnv env;
+  Mempool pool(env.backing, 4096, env.director);
+  SimNic::Config config;
+  config.num_queues = 4;
+  SimNic nic(config, env.hierarchy, env.memory, pool, env.director);
+
+  TrafficConfig tc;
+  tc.rate_gbps = 80.0;
+  tc.seed = 5;
+  TrafficGenerator gen(tc);
+  std::vector<std::uint64_t> last_id(4, 0);
+  std::vector<Nanoseconds> last_ready(4, 0);
+  for (const WirePacket& p : gen.Generate(3000)) {
+    (void)nic.Deliver(p);
+  }
+  for (std::size_t q = 0; q < 4; ++q) {
+    while (!nic.RxEmpty(q)) {
+      const Nanoseconds ready = nic.RxHead(q).ready_ns;
+      Mbuf* m = nic.RxPop(q);
+      ASSERT_GE(m->wire.id, last_id[q]) << "queue " << q;   // arrival order kept
+      ASSERT_GE(ready, last_ready[q]) << "queue " << q;     // ready times monotone
+      ASSERT_GE(ready - m->wire.tx_time_ns, 0.0);           // causality
+      last_id[q] = m->wire.id;
+      last_ready[q] = ready;
+      nic.Transmit(m);
+    }
+  }
+}
+
+TEST(NicOrdering, RssSpreadsFlowsReasonably) {
+  NetioEnv env;
+  Mempool pool(env.backing, 64, env.director);
+  SimNic::Config config;
+  config.num_queues = 8;
+  SimNic nic(config, env.hierarchy, env.memory, pool, env.director);
+  TrafficConfig tc;
+  tc.num_flows = 4096;
+  tc.seed = 9;
+  TrafficGenerator gen(tc);
+  std::vector<std::size_t> counts(8, 0);
+  for (const WirePacket& p : gen.Generate(20000)) {
+    ++counts[nic.QueueForPacket(p)];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 20000u / 16);  // no starved queue
+    EXPECT_LT(c, 20000u / 4);   // no hot-spotted queue
+  }
+}
+
+using RuntimeCausalityParams = std::tuple<bool, double>;
+
+class RuntimeCausality : public ::testing::TestWithParam<RuntimeCausalityParams> {};
+
+TEST_P(RuntimeCausality, LatenciesRespectPipelineAndServiceFloors) {
+  const auto [cache_director, gbps] = GetParam();
+  NetioEnv env;
+  CacheDirector director(HaswellSliceHash(), env.placement, cache_director);
+  Mempool pool(env.backing, 8192, director);
+  SimNic::Config config;
+  SimNic nic(config, env.hierarchy, env.memory, pool, director);
+  ServiceChain chain;
+  chain.Append(std::make_unique<MacSwap>(env.hierarchy, env.memory));
+  NfvRuntime runtime(NfvRuntime::Config{}, env.hierarchy, nic, chain);
+
+  TrafficConfig tc;
+  tc.rate_gbps = gbps;
+  tc.seed = 13;
+  TrafficGenerator gen(tc);
+  LatencyRecorder rec;
+  runtime.Run(gen.Generate(5000), &rec);
+  ASSERT_GT(rec.delivered(), 0u);
+  // DuT-side latency can never undercut NIC pipeline + minimum service.
+  const double floor_us =
+      (config.rx_pipeline_latency_ns +
+       env.hierarchy.spec().frequency.ToNanoseconds(MacSwap::kFixedCycles)) /
+      1000.0;
+  EXPECT_GE(rec.latencies_us().Min(), floor_us);
+  // And the run completes: all queues drained.
+  for (std::size_t q = 0; q < nic.num_queues(); ++q) {
+    EXPECT_TRUE(nic.RxEmpty(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RuntimeCausality,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(1.0, 40.0, 100.0)));
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,150 @@
+// Property tests of the statistics toolkit: percentile axioms over random
+// sample sets, Zipf skew monotonicity across theta, and least-squares
+// optimality/robustness sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stats/fit.h"
+#include "src/stats/summary.h"
+#include "src/stats/zipf.h"
+
+namespace cachedir {
+namespace {
+
+class PercentileProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperties, AxiomsHoldOnRandomSamples) {
+  Rng rng(GetParam());
+  Samples s;
+  const int n = 1 + static_cast<int>(rng.UniformU64(0, 500));
+  for (int i = 0; i < n; ++i) {
+    s.Add(rng.UniformDouble() * 1000 - 300);
+  }
+  // Monotonic in p; bounded by min/max; median between them.
+  double prev = s.Percentile(0);
+  ASSERT_DOUBLE_EQ(prev, s.Min());
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = s.Percentile(p);
+    ASSERT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  ASSERT_DOUBLE_EQ(s.Percentile(100), s.Max());
+  ASSERT_GE(s.Mean(), s.Min());
+  ASSERT_LE(s.Mean(), s.Max());
+  // CDF is a non-decreasing function reaching 1.
+  double cdf_prev = 0;
+  for (double x = -400; x <= 800; x += 100) {
+    const double c = s.CdfAt(x);
+    ASSERT_GE(c, cdf_prev);
+    cdf_prev = c;
+  }
+  ASSERT_DOUBLE_EQ(s.CdfAt(s.Max()), 1.0);
+  // CDF and percentile are inverses up to the interpolation granularity
+  // (linear interpolation can land the percentile between order statistics,
+  // one sample short of the nominal mass).
+  for (double p : {10.0, 50.0, 90.0}) {
+    ASSERT_GE(s.CdfAt(s.Percentile(p) + 1e-9), p / 100.0 - 1.0 / n - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperties, ::testing::Range(1, 9));
+
+TEST(ZipfProperties, ConcentrationIncreasesWithTheta) {
+  double prev_top_share = -1;
+  for (const double theta : {0.0, 0.5, 0.9, 0.99}) {
+    ZipfGenerator gen(100000, theta, 77);
+    int top1000 = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      top1000 += gen.Next() < 1000 ? 1 : 0;
+    }
+    const double share = static_cast<double>(top1000) / n;
+    ASSERT_GT(share, prev_top_share) << "theta=" << theta;
+    prev_top_share = share;
+  }
+}
+
+TEST(ZipfProperties, MeanRankDecreasesWithTheta) {
+  double prev_mean = 1e18;
+  for (const double theta : {0.0, 0.6, 0.99}) {
+    ZipfGenerator gen(1 << 20, theta, 5);
+    double mean = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      mean += static_cast<double>(gen.Next());
+    }
+    mean /= n;
+    ASSERT_LT(mean, prev_mean) << "theta=" << theta;
+    prev_mean = mean;
+  }
+}
+
+TEST(ZipfProperties, HeadProbabilityMatchesTheory) {
+  // P(rank 0) = 1 / (sum_k (k+1)^-theta); check within sampling error for a
+  // small key space where the harmonic sum is computable directly.
+  const double theta = 0.99;
+  const std::uint64_t keys = 1000;
+  double harmonic = 0;
+  for (std::uint64_t k = 1; k <= keys; ++k) {
+    harmonic += std::pow(static_cast<double>(k), -theta);
+  }
+  ZipfGenerator gen(keys, theta, 31);
+  int zeros = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    zeros += gen.Next() == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 1.0 / harmonic, 0.01);
+}
+
+class FitProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitProperties, LinearFitIsOptimalAgainstPerturbations) {
+  Rng rng(100 + GetParam());
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 1.7 * i + (rng.UniformDouble() - 0.5) * 20);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  const auto sse = [&](double a, double b) {
+    double acc = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (a + b * x[i]);
+      acc += r * r;
+    }
+    return acc;
+  };
+  const double best = sse(fit.intercept, fit.slope);
+  // No nearby parameter pair may beat the least-squares solution.
+  for (const double da : {-0.5, 0.5}) {
+    for (const double db : {-0.05, 0.05}) {
+      ASSERT_GE(sse(fit.intercept + da, fit.slope + db), best);
+    }
+  }
+  ASSERT_LE(fit.r2, 1.0);
+}
+
+TEST_P(FitProperties, QuadraticFitReducesResidualVsLinearOnCurvedData) {
+  Rng rng(200 + GetParam());
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 - 2.0 * i + 0.8 * i * i + (rng.UniformDouble() - 0.5) * 4);
+  }
+  const LinearFit linear = FitLinear(x, y);
+  const QuadraticFit quad = FitQuadratic(x, y);
+  ASSERT_GT(quad.r2, linear.r2);
+  ASSERT_NEAR(quad.c2, 0.8, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitProperties, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace cachedir

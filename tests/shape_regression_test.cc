@@ -1,0 +1,198 @@
+// Shape-regression suite: compact versions of the paper's key experiments,
+// asserting the QUALITATIVE claims EXPERIMENTS.md makes. If a substrate
+// change breaks a reproduced shape (bimodality, sign pattern, crossover,
+// ordering), it fails here rather than silently shipping wrong claims.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/netio/mempool.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+#include "src/slice/placement.h"
+#include "src/slice/slice_allocator.h"
+#include "src/slice/slice_mapper.h"
+#include "src/stats/summary.h"
+
+namespace cachedir {
+namespace {
+
+// ---- Fig. 5a: bimodal read latencies, flat writes ----
+
+TEST(ShapeRegression, Fig5SliceReadLatencyIsBimodalAndWritesFlat) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 1);
+  HugepageAllocator backing;
+  const Mapping page = backing.Allocate(std::size_t{1} << 30, PageSize::k1G);
+  std::vector<double> read_cycles(8, 0);
+  std::vector<double> write_cycles(8, 0);
+  for (SliceId s = 0; s < 8; ++s) {
+    const auto lines = LinesForSliceAndSet(*HaswellSliceHash(), page, s, 7, 2048, 20);
+    ASSERT_EQ(lines.size(), 20u);
+    for (const auto& l : lines) {
+      (void)h.Write(0, l.pa);
+    }
+    for (const auto& l : lines) {
+      h.FlushLine(l.pa);
+    }
+    for (const auto& l : lines) {
+      (void)h.Read(0, l.pa);
+    }
+    for (int i = 0; i < 8; ++i) {
+      read_cycles[s] += static_cast<double>(h.Read(0, lines[i].pa).cycles) / 8;
+    }
+    for (int i = 0; i < 8; ++i) {
+      write_cycles[s] += static_cast<double>(h.Write(0, lines[i].pa).cycles) / 8;
+    }
+  }
+  // Bimodal: every even slice cheaper than every odd slice from core 0.
+  for (SliceId even = 0; even < 8; even += 2) {
+    for (SliceId odd = 1; odd < 8; odd += 2) {
+      EXPECT_LT(read_cycles[even], read_cycles[odd]);
+    }
+  }
+  // Own slice cheapest; spread in the paper's ballpark (>= 10 cycles).
+  EXPECT_EQ(std::min_element(read_cycles.begin(), read_cycles.end()) - read_cycles.begin(),
+            0);
+  EXPECT_GE(*std::max_element(read_cycles.begin(), read_cycles.end()) - read_cycles[0], 10);
+  // Writes flat.
+  EXPECT_DOUBLE_EQ(*std::min_element(write_cycles.begin(), write_cycles.end()),
+                   *std::max_element(write_cycles.begin(), write_cycles.end()));
+}
+
+// ---- Fig. 6: slice-aware speedup sign pattern ----
+
+double MeasureFig6Cycles(bool slice_aware, SliceId slice, std::uint64_t seed) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), seed);
+  HugepageAllocator backing;
+  constexpr std::size_t kBytes = 1408 * 1024;
+  std::unique_ptr<MemoryBuffer> buf;
+  if (slice_aware) {
+    SliceAwareAllocator alloc(backing, HaswellSliceHash());
+    buf = std::make_unique<SliceBuffer>(alloc.AllocateBytes(slice, kBytes));
+  } else {
+    buf = std::make_unique<ContiguousBuffer>(backing.Allocate(kBytes, PageSize::k1G).pa,
+                                             kBytes);
+  }
+  const std::size_t lines = kBytes / kCacheLineSize;
+  for (std::size_t i = 0; i < lines; ++i) {
+    (void)h.Read(0, buf->PaForOffset(i * kCacheLineSize));
+  }
+  Rng rng(seed);
+  Cycles total = 0;
+  for (int i = 0; i < 6000; ++i) {
+    total += h.Read(0, buf->PaForOffset(rng.UniformIndex(lines) * kCacheLineSize)).cycles;
+  }
+  return static_cast<double>(total);
+}
+
+TEST(ShapeRegression, Fig6NearSlicesWinFarSlicesLose) {
+  const double normal = MeasureFig6Cycles(false, 0, 5);
+  const double near = MeasureFig6Cycles(true, 0, 5);   // core 0's own slice
+  const double far = MeasureFig6Cycles(true, 3, 5);    // cross-parity slice
+  EXPECT_LT(near, normal * 0.92);  // clear win
+  EXPECT_GT(far, normal * 1.05);   // clear loss
+}
+
+// ---- Fig. 7 crossovers: identical in L2, wins in slice region ----
+
+TEST(ShapeRegression, Fig7SliceAwareWinsOnlyBeyondL2) {
+  const auto measure = [](std::size_t bytes, bool aware) {
+    MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 9);
+    HugepageAllocator backing;
+    std::unique_ptr<MemoryBuffer> buf;
+    if (aware) {
+      SliceAwareAllocator alloc(backing, HaswellSliceHash());
+      buf = std::make_unique<SliceBuffer>(alloc.AllocateBytes(0, bytes));
+    } else {
+      buf = std::make_unique<ContiguousBuffer>(backing.Allocate(bytes, PageSize::k2M).pa,
+                                               bytes);
+    }
+    const std::size_t lines = bytes / kCacheLineSize;
+    for (std::size_t i = 0; i < lines; ++i) {
+      (void)h.Read(0, buf->PaForOffset(i * kCacheLineSize));
+    }
+    Rng rng(2);
+    Cycles total = 0;
+    for (int i = 0; i < 8000; ++i) {
+      total += h.Read(0, buf->PaForOffset(rng.UniformIndex(lines) * kCacheLineSize)).cycles;
+    }
+    return static_cast<double>(total);
+  };
+  // 128 kB fits L2: no difference.
+  EXPECT_NEAR(measure(128u << 10, true), measure(128u << 10, false),
+              measure(128u << 10, false) * 0.02);
+  // 1 MB exceeds L2, fits a slice: clear slice-aware win.
+  EXPECT_LT(measure(1u << 20, true), measure(1u << 20, false) * 0.9);
+}
+
+// ---- Table 4 / Fig. 16: Skylake preference structure ----
+
+TEST(ShapeRegression, Table4SkylakePreferences) {
+  MemoryHierarchy h(SkylakeXeonGold6134(), SkylakeSliceHash(), 1);
+  SlicePlacement placement(h);
+  const SliceId primary[8] = {0, 4, 8, 12, 10, 14, 3, 15};
+  for (CoreId c = 0; c < 8; ++c) {
+    ASSERT_EQ(placement.PrimarySlices(c).size(), 1u);
+    EXPECT_EQ(placement.PrimarySlices(c)[0], primary[c]);
+  }
+}
+
+// ---- §4.2 headroom statistics ----
+
+TEST(ShapeRegression, HeadroomDistributionMatchesPaperStatistics) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash(), 1);
+  SlicePlacement placement(h);
+  HugepageAllocator backing;
+  CacheDirector director(HaswellSliceHash(), placement, true);
+  Mempool pool(backing, 4096, director);
+  Samples headrooms;
+  for (std::size_t i = 0; i < pool.capacity(); ++i) {
+    Mbuf m = pool.element(i);
+    for (CoreId core = 0; core < 8; ++core) {
+      director.ApplyHeadroom(m, core);
+      headrooms.Add(m.headroom);
+    }
+  }
+  EXPECT_EQ(headrooms.Median(), 256);        // paper: 256 B
+  EXPECT_EQ(headrooms.Percentile(95), 512);  // paper: 512 B
+  EXPECT_EQ(headrooms.Max(), 832);           // paper: 832 B
+}
+
+// ---- Fig. 17 ordering is covered by fig17 bench; assert the primitive:
+// CAT confines the neighbor, slice-0 confinement yields local latency ----
+
+TEST(ShapeRegression, IsolatedSliceServesAtLocalLatency) {
+  MemoryHierarchy h(SkylakeXeonGold6134(), SkylakeSliceHash(), 3);
+  HugepageAllocator backing;
+  // Working set in slice 0, small enough to stay LLC/L2-resident.
+  const auto lines = GatherSliceLines(backing, *SkylakeSliceHash(), 0, 16384);
+  SliceBuffer buf{std::vector<SliceLine>(lines.begin(), lines.end())};
+  for (std::size_t i = 0; i < buf.num_lines(); ++i) {
+    (void)h.Read(0, buf.line(i).pa);
+  }
+  // Pollute every slice EXCEPT slice 0 from another core.
+  Rng rng(4);
+  for (int i = 0; i < 200000; ++i) {
+    const PhysAddr a = (std::uint64_t{2} << 30) + rng.UniformU64(0, 63u << 20);
+    if (SkylakeSliceHash()->SliceFor(a) != 0) {
+      (void)h.Read(5, a);
+    }
+  }
+  // Re-reads beyond L1/L2 come from slice 0 at local latency, never DRAM.
+  std::uint64_t dram = 0;
+  for (std::size_t i = 0; i < buf.num_lines(); i += 7) {
+    const auto r = h.Read(0, buf.line(i).pa);
+    dram += r.level == ServedBy::kDram ? 1 : 0;
+    if (r.level == ServedBy::kLlc) {
+      EXPECT_EQ(r.cycles, h.LlcHitLatency(0, 0));
+    }
+  }
+  EXPECT_LT(dram, buf.num_lines() / 7 / 10);  // <10% residual misses
+}
+
+}  // namespace
+}  // namespace cachedir

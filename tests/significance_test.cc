@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stats/significance.h"
+
+namespace cachedir {
+namespace {
+
+TEST(MannWhitneyTest, ClearlySeparatedSamplesAreSignificant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> b = {101, 102, 103, 104, 105, 106, 107, 108};
+  const MannWhitneyResult r = MannWhitneyU(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_DOUBLE_EQ(r.prob_a_less, 1.0);  // every a below every b
+  EXPECT_LT(r.z, 0);
+}
+
+TEST(MannWhitneyTest, IdenticalSamplesAreNotSignificant) {
+  const std::vector<double> a = {5, 5, 5, 5, 5};
+  const std::vector<double> b = {5, 5, 5, 5, 5};
+  const MannWhitneyResult r = MannWhitneyU(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.prob_a_less, 0.5);
+}
+
+TEST(MannWhitneyTest, SameDistributionRarelySignificant) {
+  // False-positive rate sanity: two samples from one distribution should be
+  // "significant" at alpha=0.05 roughly 5% of the time.
+  Rng rng(7);
+  int significant = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 20; ++i) {
+      a.push_back(rng.UniformDouble());
+      b.push_back(rng.UniformDouble());
+    }
+    if (MannWhitneyU(a, b).p_value < 0.05) {
+      ++significant;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(significant) / trials, 0.05, 0.04);
+}
+
+TEST(MannWhitneyTest, DetectsModerateShift) {
+  Rng rng(11);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble() + 0.4);  // clear median shift
+  }
+  const MannWhitneyResult r = MannWhitneyU(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.prob_a_less, 0.7);
+}
+
+TEST(MannWhitneyTest, SymmetricInDirection) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> hi = {4, 5, 6, 7, 8, 9};
+  const MannWhitneyResult ab = MannWhitneyU(lo, hi);
+  const MannWhitneyResult ba = MannWhitneyU(hi, lo);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.prob_a_less + ba.prob_a_less, 1.0, 1e-12);
+}
+
+TEST(MannWhitneyTest, HandlesHeavyTies) {
+  const std::vector<double> a = {1, 1, 1, 2, 2, 3};
+  const std::vector<double> b = {2, 2, 3, 3, 3, 4};
+  const MannWhitneyResult r = MannWhitneyU(a, b);
+  EXPECT_GT(r.prob_a_less, 0.5);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(MannWhitneyTest, RejectsTinySamples) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6, 7};
+  EXPECT_THROW((void)MannWhitneyU(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cachedir

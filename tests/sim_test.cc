@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/clock.h"
+#include "src/sim/interconnect.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+namespace {
+
+TEST(CpuFrequencyTest, ConvertsCyclesToNanoseconds) {
+  const CpuFrequency f(3.2);
+  EXPECT_DOUBLE_EQ(f.ToNanoseconds(3200), 1000.0);
+  EXPECT_DOUBLE_EQ(f.ToNanoseconds(0), 0.0);
+}
+
+TEST(CpuFrequencyTest, ConvertsNanosecondsToCyclesRoundingUp) {
+  const CpuFrequency f(3.2);
+  EXPECT_EQ(f.ToCycles(1000.0), 3200u);
+  EXPECT_EQ(f.ToCycles(0.1), 1u);   // 0.32 cycles occupies a full cycle
+  EXPECT_EQ(f.ToCycles(0.0), 0u);
+}
+
+TEST(LineHelpersTest, LineBaseMasksOffsetBits) {
+  EXPECT_EQ(LineBase(0x1000), 0x1000u);
+  EXPECT_EQ(LineBase(0x103F), 0x1000u);
+  EXPECT_EQ(LineBase(0x1040), 0x1040u);
+  EXPECT_TRUE(IsLineAligned(0x1040));
+  EXPECT_FALSE(IsLineAligned(0x1041));
+}
+
+TEST(CoreClockTest, AdvancesMonotonically) {
+  CoreClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(10);
+  EXPECT_EQ(clock.now(), 10u);
+  clock.AdvanceTo(5);  // in the past: no-op
+  EXPECT_EQ(clock.now(), 10u);
+  clock.AdvanceTo(25);
+  EXPECT_EQ(clock.now(), 25u);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformU64(0, 1000), b.UniformU64(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIndexStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformIndex(17), 17u);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork();
+  // Not a strong statistical claim — just that the fork is usable and not
+  // the identical stream.
+  bool differs = false;
+  Rng b(7);
+  Rng child2 = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.UniformU64(0, 1 << 30), child2.UniformU64(0, 1 << 30));
+  }
+  Rng c(8);
+  Rng child3 = c.Fork();
+  Rng child4 = Rng(7).Fork();
+  for (int i = 0; i < 10; ++i) {
+    if (child3.UniformU64(0, 1 << 30) != child4.UniformU64(0, 1 << 30)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RingInterconnectTest, LocalSliceIsFree) {
+  RingInterconnect ring(RingInterconnect::Params{});
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(ring.SlicePenalty(c, c), 0u);
+  }
+}
+
+TEST(RingInterconnectTest, PenaltyIsBimodalFromCoreZero) {
+  RingInterconnect ring(RingInterconnect::Params{});
+  // Even slices share parity with core 0: cheap. Odd slices pay the
+  // ring-crossing penalty: expensive. This is the Fig. 5a shape.
+  for (SliceId s = 0; s < 8; s += 2) {
+    for (SliceId odd = 1; odd < 8; odd += 2) {
+      EXPECT_LT(ring.SlicePenalty(0, s), ring.SlicePenalty(0, odd))
+          << "even slice " << s << " vs odd slice " << odd;
+    }
+  }
+}
+
+TEST(RingInterconnectTest, PenaltyIsSymmetric) {
+  RingInterconnect ring(RingInterconnect::Params{});
+  for (CoreId c = 0; c < 8; ++c) {
+    for (SliceId s = 0; s < 8; ++s) {
+      EXPECT_EQ(ring.SlicePenalty(c, s), ring.SlicePenalty(s, c));
+    }
+  }
+}
+
+TEST(MeshInterconnectTest, UsesManhattanDistance) {
+  MeshInterconnect::Params p;
+  p.hop_cost = 2;
+  p.core_pos = {{0, 0}};
+  p.slice_pos = {{0, 0}, {0, 3}, {2, 2}};
+  MeshInterconnect mesh(std::move(p));
+  EXPECT_EQ(mesh.SlicePenalty(0, 0), 0u);
+  EXPECT_EQ(mesh.SlicePenalty(0, 1), 6u);
+  EXPECT_EQ(mesh.SlicePenalty(0, 2), 8u);
+}
+
+TEST(MachineSpecTest, HaswellGeometryMatchesTable1) {
+  const MachineSpec m = HaswellXeonE52667V3();
+  EXPECT_EQ(m.num_cores, 8u);
+  EXPECT_EQ(m.num_slices, 8u);
+  // Table 1: LLC slice 2.5 MB, 20 ways, 2048 sets; L2 256 kB, 8 ways, 512
+  // sets; L1 32 kB, 8 ways, 64 sets.
+  EXPECT_EQ(m.llc_slice.num_sets(), 2048u);
+  EXPECT_EQ(m.llc_slice.ways, 20u);
+  EXPECT_EQ(m.l2.num_sets(), 512u);
+  EXPECT_EQ(m.l2.ways, 8u);
+  EXPECT_EQ(m.l1.num_sets(), 64u);
+  EXPECT_EQ(m.l1.ways, 8u);
+  EXPECT_EQ(m.inclusion, LlcInclusionPolicy::kInclusive);
+}
+
+TEST(MachineSpecTest, SkylakeGeometryMatchesPaperSection6) {
+  const MachineSpec m = SkylakeXeonGold6134();
+  EXPECT_EQ(m.num_cores, 8u);
+  EXPECT_EQ(m.num_slices, 18u);
+  EXPECT_EQ(m.llc_slice.size_bytes, 1408u * 1024u);  // 1.375 MB
+  EXPECT_EQ(m.llc_slice.ways, 11u);
+  EXPECT_EQ(m.l2.size_bytes, 1024u * 1024u);
+  EXPECT_EQ(m.inclusion, LlcInclusionPolicy::kVictim);
+}
+
+TEST(MachineSpecTest, SkylakePrimarySlicesMatchTable4) {
+  const MachineSpec m = SkylakeXeonGold6134();
+  const SliceId expected_primary[8] = {0, 4, 8, 12, 10, 14, 3, 15};
+  for (CoreId c = 0; c < 8; ++c) {
+    // The primary slice is the unique zero-penalty one.
+    EXPECT_EQ(m.interconnect->SlicePenalty(c, expected_primary[c]), 0u) << "core " << c;
+    int zero_count = 0;
+    for (SliceId s = 0; s < 18; ++s) {
+      if (m.interconnect->SlicePenalty(c, s) == 0) {
+        ++zero_count;
+      }
+    }
+    EXPECT_EQ(zero_count, 1) << "core " << c;
+  }
+}
+
+TEST(MachineSpecTest, SkylakeSecondarySlicesMatchTable4) {
+  const MachineSpec m = SkylakeXeonGold6134();
+  const std::set<SliceId> expected[8] = {{2, 6}, {1}, {11}, {13}, {7, 9}, {16}, {5}, {17}};
+  const Cycles hop = 2;
+  for (CoreId c = 0; c < 8; ++c) {
+    std::set<SliceId> at_one_hop;
+    for (SliceId s = 0; s < 18; ++s) {
+      if (m.interconnect->SlicePenalty(c, s) == hop) {
+        at_one_hop.insert(s);
+      }
+    }
+    EXPECT_EQ(at_one_hop, expected[c]) << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace cachedir

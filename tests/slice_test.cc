@@ -1,0 +1,187 @@
+// Tests for the slice-aware memory-management library: placement ranking,
+// line mapping, the pool allocator, and buffer abstractions.
+#include <gtest/gtest.h>
+
+#include <new>
+#include <set>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/slice/buffers.h"
+#include "src/slice/placement.h"
+#include "src/slice/slice_allocator.h"
+#include "src/slice/slice_mapper.h"
+
+namespace cachedir {
+namespace {
+
+TEST(SlicePlacementTest, HaswellClosestSliceIsOwnStop) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash());
+  SlicePlacement placement(h);
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(placement.ClosestSlice(c), c);
+  }
+}
+
+TEST(SlicePlacementTest, RankedSlicesAreSortedByLatency) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash());
+  SlicePlacement placement(h);
+  for (CoreId c = 0; c < 8; ++c) {
+    const auto ranked = placement.RankedSlices(c);
+    ASSERT_EQ(ranked.size(), 8u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+      EXPECT_LE(placement.Latency(c, ranked[i - 1]), placement.Latency(c, ranked[i]));
+    }
+    EXPECT_EQ(ranked.front(), c);
+  }
+}
+
+TEST(SlicePlacementTest, SkylakeTable4PrimariesAndSecondaries) {
+  MemoryHierarchy h(SkylakeXeonGold6134(), SkylakeSliceHash());
+  SlicePlacement placement(h);
+  const SliceId primary[8] = {0, 4, 8, 12, 10, 14, 3, 15};
+  const std::set<SliceId> secondary[8] = {{2, 6}, {1}, {11}, {13}, {7, 9}, {16}, {5}, {17}};
+  for (CoreId c = 0; c < 8; ++c) {
+    const auto prim = placement.PrimarySlices(c);
+    ASSERT_EQ(prim.size(), 1u) << "core " << c;
+    EXPECT_EQ(prim[0], primary[c]);
+    const auto sec = placement.SecondarySlices(c);
+    EXPECT_EQ(std::set<SliceId>(sec.begin(), sec.end()), secondary[c]) << "core " << c;
+  }
+}
+
+TEST(SlicePlacementTest, CompromiseSliceMinimisesWorstCase) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash());
+  SlicePlacement placement(h);
+  // Single core: compromise == closest.
+  EXPECT_EQ(placement.CompromiseSlice({3}), 3u);
+  // A group: the winner must not be dominated by any other slice.
+  const std::vector<CoreId> group = {0, 2, 4};
+  const SliceId winner = placement.CompromiseSlice(group);
+  Cycles winner_max = 0;
+  for (const CoreId c : group) {
+    winner_max = std::max(winner_max, placement.Latency(c, winner));
+  }
+  for (SliceId s = 0; s < 8; ++s) {
+    Cycles s_max = 0;
+    for (const CoreId c : group) {
+      s_max = std::max(s_max, placement.Latency(c, s));
+    }
+    EXPECT_GE(s_max, winner_max) << "slice " << s;
+  }
+}
+
+TEST(SlicePlacementTest, EmptyGroupThrows) {
+  MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash());
+  SlicePlacement placement(h);
+  EXPECT_THROW((void)placement.CompromiseSlice({}), std::invalid_argument);
+}
+
+TEST(SliceMapperTest, LinesForSliceAllHashToSlice) {
+  const auto hash = HaswellSliceHash();
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(1 << 22, PageSize::k2M);
+  for (SliceId s = 0; s < 8; ++s) {
+    const auto lines = LinesForSlice(*hash, m, s, 100);
+    EXPECT_EQ(lines.size(), 100u);
+    for (const SliceLine& line : lines) {
+      EXPECT_EQ(hash->SliceFor(line.pa), s);
+      EXPECT_EQ(line.pa - m.pa, line.va - m.va);  // VA/PA offsets correspond
+    }
+  }
+}
+
+TEST(SliceMapperTest, LinesForSliceAndSetFilterBoth) {
+  const auto hash = HaswellSliceHash();
+  HugepageAllocator alloc;
+  const Mapping m = alloc.Allocate(1 << 28, PageSize::k1G);
+  const std::size_t num_sets = 2048;
+  const auto lines = LinesForSliceAndSet(*hash, m, 5, 100, num_sets, 20);
+  EXPECT_EQ(lines.size(), 20u);
+  for (const SliceLine& line : lines) {
+    EXPECT_EQ(hash->SliceFor(line.pa), 5u);
+    EXPECT_EQ((line.pa >> kCacheLineBits) % num_sets, 100u);
+  }
+}
+
+TEST(SliceAllocatorTest, AllocatedLinesBelongToRequestedSlice) {
+  HugepageAllocator backing;
+  SliceAwareAllocator alloc(backing, HaswellSliceHash());
+  for (SliceId s = 0; s < 8; ++s) {
+    const SliceBuffer buf = alloc.AllocateLines(s, 500);
+    EXPECT_EQ(buf.num_lines(), 500u);
+    for (std::size_t i = 0; i < buf.num_lines(); ++i) {
+      EXPECT_EQ(alloc.hash().SliceFor(buf.line(i).pa), s);
+    }
+  }
+}
+
+TEST(SliceAllocatorTest, LinesAreNeverHandedOutTwice) {
+  HugepageAllocator backing;
+  SliceAwareAllocator alloc(backing, HaswellSliceHash());
+  std::set<PhysAddr> seen;
+  for (int round = 0; round < 4; ++round) {
+    for (SliceId s = 0; s < 8; ++s) {
+      const SliceBuffer buf = alloc.AllocateLines(s, 1000);
+      for (std::size_t i = 0; i < buf.num_lines(); ++i) {
+        EXPECT_TRUE(seen.insert(buf.line(i).pa).second) << "duplicate line";
+      }
+    }
+  }
+}
+
+TEST(SliceAllocatorTest, AllocateBytesRoundsUpToLines) {
+  HugepageAllocator backing;
+  SliceAwareAllocator alloc(backing, HaswellSliceHash());
+  const SliceBuffer buf = alloc.AllocateBytes(0, 100);
+  EXPECT_EQ(buf.num_lines(), 2u);
+  EXPECT_EQ(buf.size_bytes(), 128u);
+}
+
+TEST(SliceAllocatorTest, FragmentationAccountingAddsUp) {
+  HugepageAllocator backing;
+  SliceAwareAllocator::Params params;
+  params.page_size = PageSize::k2M;
+  params.scan_chunk_lines = 1 << 15;  // one full 2 MB page per refill
+  SliceAwareAllocator alloc(backing, HaswellSliceHash(), params);
+  const SliceBuffer buf = alloc.AllocateLines(0, 100);
+  // Scanned lines either went to the buffer or sit in pools.
+  const std::size_t scanned = alloc.TotalFreeLines() + buf.num_lines();
+  EXPECT_EQ(scanned % (1 << 15), 0u);
+  EXPECT_EQ(alloc.bytes_reserved(), 2u << 20);
+}
+
+TEST(SliceAllocatorTest, ExhaustionThrowsBadAlloc) {
+  HugepageAllocator::Params zone;
+  zone.phys_base = 0x1'0000'0000;
+  zone.phys_limit = 0x1'0000'0000 + (4u << 20);  // two 2 MB pages only
+  HugepageAllocator backing(zone);
+  SliceAwareAllocator::Params params;
+  params.page_size = PageSize::k2M;
+  SliceAwareAllocator alloc(backing, HaswellSliceHash(), params);
+  // A 2 MB page holds 32768 lines, ~4096 per slice; asking for far more
+  // than two pages can supply must throw.
+  EXPECT_THROW((void)alloc.AllocateLines(0, 20000), std::bad_alloc);
+}
+
+TEST(BuffersTest, ContiguousBufferOffsets) {
+  ContiguousBuffer buf(0x1000, 4096);
+  EXPECT_EQ(buf.size_bytes(), 4096u);
+  EXPECT_EQ(buf.PaForOffset(0), 0x1000u);
+  EXPECT_EQ(buf.PaForOffset(100), 0x1064u);
+}
+
+TEST(BuffersTest, SliceBufferStridesAcrossLines) {
+  std::vector<SliceLine> lines = {{0, 0x1000}, {0, 0x8040}, {0, 0x20080}};
+  SliceBuffer buf(std::move(lines));
+  EXPECT_EQ(buf.size_bytes(), 192u);
+  EXPECT_EQ(buf.PaForOffset(0), 0x1000u);
+  EXPECT_EQ(buf.PaForOffset(63), 0x103Fu);
+  EXPECT_EQ(buf.PaForOffset(64), 0x8040u);
+  EXPECT_EQ(buf.PaForOffset(130), 0x20082u);
+}
+
+}  // namespace
+}  // namespace cachedir

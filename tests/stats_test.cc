@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/fit.h"
+#include "src/stats/summary.h"
+#include "src/stats/zipf.h"
+
+namespace cachedir {
+namespace {
+
+TEST(SamplesTest, PercentilesInterpolate) {
+  Samples s({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 30);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 50);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 20);
+  EXPECT_DOUBLE_EQ(s.Percentile(12.5), 15);
+}
+
+TEST(SamplesTest, PercentileOnEmptyThrows) {
+  Samples s;
+  EXPECT_THROW((void)s.Percentile(50), std::logic_error);
+}
+
+TEST(SamplesTest, SummaryStatistics) {
+  Samples s({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 4);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SamplesTest, AddInvalidatesSortCache) {
+  Samples s({5, 1});
+  EXPECT_DOUBLE_EQ(s.Median(), 3);
+  s.Add(100);
+  EXPECT_DOUBLE_EQ(s.Median(), 5);
+}
+
+TEST(SamplesTest, CdfMatchesDefinition) {
+  Samples s({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(s.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2), 0.75);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10), 1.0);
+}
+
+TEST(SamplesTest, SkewnessSignsAreCorrect) {
+  Samples right({1, 1, 1, 1, 10});  // long right tail
+  EXPECT_GT(right.Skewness(), 0);
+  Samples left({10, 10, 10, 10, 1});
+  EXPECT_LT(left.Skewness(), 0);
+  Samples sym({1, 2, 3, 4, 5});
+  EXPECT_NEAR(sym.Skewness(), 0, 1e-12);
+}
+
+TEST(SamplesTest, PercentileRowIsConsistent) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  const PercentileRow row = SummarizePercentiles(s);
+  EXPECT_LT(row.p75, row.p90);
+  EXPECT_LT(row.p90, row.p95);
+  EXPECT_LT(row.p95, row.p99);
+  EXPECT_NEAR(row.mean, 50.5, 1e-12);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator gen(100, 0.0, 42);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[gen.Next()];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 100.0, n / 100.0 * 0.3);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator gen(1 << 24, 0.99, 42);
+  const int n = 200000;
+  int top100 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next() < 100) {
+      ++top100;
+    }
+  }
+  // With theta=0.99 over 2^24 keys, the top-100 ranks absorb roughly a
+  // quarter of all requests; uniform would give ~0.0006%.
+  EXPECT_GT(top100, n / 10);
+}
+
+TEST(ZipfTest, RankZeroIsModalAndFrequenciesDecay) {
+  ZipfGenerator gen(1000, 0.99, 7);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[gen.Next()];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator gen(10, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 10u);
+  }
+}
+
+TEST(ZipfTest, RejectsZeroKeys) {
+  EXPECT_THROW(ZipfGenerator(0, 0.99, 1), std::invalid_argument);
+}
+
+TEST(FitTest, LinearRecoversExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double v : x) {
+    y.push_back(3.5 + 2.0 * v);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitTest, QuadraticRecoversExactParabola) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(1977.0 - 95.18 * i + 1.158 * i * i);  // the paper's DPDK fit
+  }
+  const QuadraticFit fit = FitQuadratic(x, y);
+  EXPECT_NEAR(fit.c0, 1977.0, 1e-6);
+  EXPECT_NEAR(fit.c1, -95.18, 1e-6);
+  EXPECT_NEAR(fit.c2, 1.158, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitTest, R2DropsForNoisyData) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + ((i % 2 == 0) ? 5.0 : -5.0));
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_GT(fit.r2, 0.5);
+}
+
+TEST(FitTest, RejectsDegenerateInput) {
+  EXPECT_THROW((void)FitLinear(std::vector<double>{1}, std::vector<double>{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FitLinear(std::vector<double>{1, 1}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FitQuadratic(std::vector<double>{1, 2}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(FitTest, PiecewiseKneeSplitsAtKnee) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 80; i += 5) {
+    x.push_back(i);
+    const double v = i < 37 ? 15.0 + 0.24 * i : 2000.0 - 95.0 * i + 1.2 * i * i;
+    y.push_back(v);
+  }
+  const PiecewiseKneeFit fit = FitPiecewiseKnee(x, y, 37.0);
+  EXPECT_NEAR(fit.below.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit.above.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit(10), 15.0 + 2.4, 1e-6);
+  EXPECT_NEAR(fit(60), 2000.0 - 95.0 * 60 + 1.2 * 3600, 1e-4);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,98 @@
+// Tests of the trace serialisation format: round trips, edge cases, and
+// rejection of malformed files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/trace/trace_file.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  std::string Path(const char* name) {
+    return testing::TempDir() + "/cachedir_trace_" + name + ".bin";
+  }
+
+  void TearDown() override {
+    for (const auto& p : created_) {
+      std::remove(p.c_str());
+    }
+  }
+
+  std::string Create(const char* name) {
+    std::string p = Path(name);
+    created_.push_back(p);
+    return p;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(TraceFileTest, RoundTripsGeneratedTraffic) {
+  TrafficConfig config;
+  config.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  config.seed = 99;
+  TrafficGenerator gen(config);
+  const auto original = gen.Generate(5000);
+
+  const std::string path = Create("roundtrip");
+  SaveTrace(path, original);
+  const auto loaded = LoadTrace(path);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded[i].id, original[i].id);
+    ASSERT_EQ(loaded[i].flow, original[i].flow);
+    ASSERT_EQ(loaded[i].size_bytes, original[i].size_bytes);
+    ASSERT_DOUBLE_EQ(loaded[i].tx_time_ns, original[i].tx_time_ns);
+  }
+}
+
+TEST_F(TraceFileTest, RoundTripsEmptyTrace) {
+  const std::string path = Create("empty");
+  SaveTrace(path, {});
+  EXPECT_TRUE(LoadTrace(path).empty());
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile) {
+  EXPECT_THROW((void)LoadTrace(Path("does_not_exist")), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsBadMagic) {
+  const std::string path = Create("badmagic");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a trace file, not even close......";
+  out.close();
+  EXPECT_THROW((void)LoadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedRecords) {
+  TrafficConfig config;
+  TrafficGenerator gen(config);
+  const std::string path = Create("trunc");
+  SaveTrace(path, gen.Generate(100));
+  // Chop the file mid-record.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 17));
+  out.close();
+  EXPECT_THROW((void)LoadTrace(path), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedHeader) {
+  const std::string path = Create("shorthdr");
+  std::ofstream out(path, std::ios::binary);
+  out << "CD";
+  out.close();
+  EXPECT_THROW((void)LoadTrace(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/mem/physical_memory.h"
+#include "src/trace/latency_recorder.h"
+#include "src/trace/packet.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+namespace {
+
+TEST(PacketHeaderTest, RoundTripsThroughSimulatedMemory) {
+  PhysicalMemory mem;
+  WirePacket p;
+  p.flow.src_ip = 0x0A000001;
+  p.flow.dst_ip = 0xC0A80001;
+  p.flow.src_port = 4242;
+  p.flow.dst_port = 80;
+  p.flow.proto = 6;
+  p.tx_time_ns = 123456.789;
+  WritePacketHeader(mem, 0x10000, p);
+  const ParsedHeader h = ReadPacketHeader(mem, 0x10000);
+  EXPECT_EQ(h.flow, p.flow);
+  EXPECT_EQ(h.ttl, 64);
+  EXPECT_DOUBLE_EQ(h.timestamp_ns, p.tx_time_ns);
+}
+
+TEST(PacketHeaderTest, HeaderFitsInOneCacheLine) {
+  EXPECT_LE(kTimestampOffset + 8, kHeaderBytes);
+  EXPECT_EQ(kHeaderBytes, kCacheLineSize);
+}
+
+TEST(PacketHeaderTest, SwapMacExchangesAddresses) {
+  PhysicalMemory mem;
+  WirePacket p;
+  p.flow.src_ip = 1;
+  p.flow.dst_ip = 2;
+  WritePacketHeader(mem, 0, p);
+  const ParsedHeader before = ReadPacketHeader(mem, 0);
+  SwapMacAddresses(mem, 0);
+  const ParsedHeader after = ReadPacketHeader(mem, 0);
+  EXPECT_EQ(after.dst_mac, before.src_mac);
+  EXPECT_EQ(after.src_mac, before.dst_mac);
+}
+
+TEST(PacketHeaderTest, RewriteSourceAndDestination) {
+  PhysicalMemory mem;
+  WirePacket p;
+  p.flow.src_ip = 1;
+  p.flow.dst_ip = 2;
+  p.flow.src_port = 10;
+  p.flow.dst_port = 20;
+  WritePacketHeader(mem, 0, p);
+  RewriteIpAndPort(mem, 0, 0xDEAD, 999, /*rewrite_source=*/true);
+  ParsedHeader h = ReadPacketHeader(mem, 0);
+  EXPECT_EQ(h.flow.src_ip, 0xDEADu);
+  EXPECT_EQ(h.flow.src_port, 999);
+  EXPECT_EQ(h.flow.dst_ip, 2u);
+  EXPECT_EQ(h.flow.dst_port, 20);
+  RewriteIpAndPort(mem, 0, 0xBEEF, 1234, /*rewrite_source=*/false);
+  h = ReadPacketHeader(mem, 0);
+  EXPECT_EQ(h.flow.dst_ip, 0xBEEFu);
+  EXPECT_EQ(h.flow.dst_port, 1234);
+  EXPECT_EQ(h.flow.src_ip, 0xDEADu);
+}
+
+TEST(PacketHeaderTest, TtlDecrementsAndSaturates) {
+  PhysicalMemory mem;
+  WirePacket p;
+  WritePacketHeader(mem, 0, p);
+  DecrementTtl(mem, 0);
+  EXPECT_EQ(ReadPacketHeader(mem, 0).ttl, 63);
+  for (int i = 0; i < 100; ++i) {
+    DecrementTtl(mem, 0);
+  }
+  EXPECT_EQ(ReadPacketHeader(mem, 0).ttl, 0);
+}
+
+TEST(TrafficGeneratorTest, CampusMixMatchesTable2Statistics) {
+  TrafficConfig config;
+  config.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  config.seed = 7;
+  TrafficGenerator gen(config);
+  (void)gen.Generate(200000);
+  const auto mix = gen.size_mix();
+  const double total = static_cast<double>(mix.total);
+  EXPECT_NEAR(mix.under_100 / total, 0.269, 0.01);
+  EXPECT_NEAR(mix.from_100_to_500 / total, 0.118, 0.01);
+  EXPECT_NEAR(mix.over_500 / total, 0.613, 0.01);
+}
+
+TEST(TrafficGeneratorTest, PacedGbpsRateIsHonoured) {
+  TrafficConfig config;
+  config.size_mode = TrafficConfig::SizeMode::kFixed;
+  config.fixed_size = 64;
+  config.rate_mode = TrafficConfig::RateMode::kGbps;
+  config.rate_gbps = 100.0;
+  TrafficGenerator gen(config);
+  const auto packets = gen.Generate(10000);
+  // 64 B + 20 B overhead = 672 bits per frame -> 6.72 ns at 100 Gbps.
+  const double expected_gap = 672.0 / 100.0;
+  const double window = packets.back().tx_time_ns - packets.front().tx_time_ns;
+  EXPECT_NEAR(window / 9999.0, expected_gap, 1e-9);
+}
+
+TEST(TrafficGeneratorTest, PpsRateIsHonoured) {
+  TrafficConfig config;
+  config.size_mode = TrafficConfig::SizeMode::kFixed;
+  config.fixed_size = 64;
+  config.rate_mode = TrafficConfig::RateMode::kPps;
+  config.rate_pps = 1000.0;
+  TrafficGenerator gen(config);
+  const auto packets = gen.Generate(1000);
+  EXPECT_NEAR(packets[1].tx_time_ns - packets[0].tx_time_ns, 1e6, 1e-6);
+}
+
+TEST(TrafficGeneratorTest, TimestampsAreMonotonic) {
+  TrafficConfig config;
+  config.spacing = TrafficConfig::Spacing::kPoisson;
+  config.seed = 3;
+  TrafficGenerator gen(config);
+  const auto packets = gen.Generate(5000);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GE(packets[i].tx_time_ns, packets[i - 1].tx_time_ns);
+  }
+}
+
+TEST(TrafficGeneratorTest, FlowsComeFromConfiguredPopulation) {
+  TrafficConfig config;
+  config.num_flows = 4;
+  config.seed = 5;
+  TrafficGenerator gen(config);
+  std::set<std::uint32_t> src_ips;
+  for (const auto& p : gen.Generate(1000)) {
+    src_ips.insert(p.flow.src_ip);
+  }
+  EXPECT_LE(src_ips.size(), 4u);
+  EXPECT_GE(src_ips.size(), 2u);
+}
+
+TEST(TrafficGeneratorTest, RejectsBadConfig) {
+  TrafficConfig config;
+  config.num_flows = 0;
+  EXPECT_THROW(TrafficGenerator{config}, std::invalid_argument);
+  TrafficConfig config2;
+  config2.size_mode = TrafficConfig::SizeMode::kFixed;
+  config2.fixed_size = 32;
+  EXPECT_THROW(TrafficGenerator{config2}, std::invalid_argument);
+}
+
+TEST(LatencyRecorderTest, ComputesLatencyAndThroughput) {
+  LatencyRecorder rec;
+  WirePacket p;
+  p.size_bytes = 1230;  // 1250 B on the wire = 10000 bits
+  p.tx_time_ns = 1000;
+  rec.RecordDelivery(p, 2000);  // 1 us later
+  EXPECT_EQ(rec.delivered(), 1u);
+  EXPECT_DOUBLE_EQ(rec.latencies_us().Mean(), 1.0);
+  WirePacket p2 = p;
+  p2.tx_time_ns = 1500;
+  rec.RecordDelivery(p2, 3000);
+  // 20000 bits over the [1000, 3000] ns window = 10 Gbps.
+  EXPECT_DOUBLE_EQ(rec.ThroughputGbps(), 10.0);
+}
+
+TEST(LatencyRecorderTest, CountsDrops) {
+  LatencyRecorder rec;
+  rec.RecordDrop();
+  rec.RecordDrop();
+  EXPECT_EQ(rec.drops(), 2u);
+  EXPECT_EQ(rec.delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace cachedir

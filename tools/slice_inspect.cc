@@ -1,0 +1,178 @@
+// slice_inspect — command-line explorer for the Complex Addressing models.
+//
+// Usage:
+//   slice_inspect machines
+//       List the available machine models and their geometry.
+//   slice_inspect addr <machine> <hex_physical_address>...
+//       Print slice / LLC set / preferring cores for each address.
+//   slice_inspect scan <machine> <hex_base> <bytes>
+//       Histogram a physical range over slices (imbalance check).
+//   slice_inspect matrix <machine>
+//       Print the core x slice LLC-hit-latency matrix and the Table 4-style
+//       primary/secondary classification.
+//
+// Machines: haswell | skylake | sandybridge
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/slice/placement.h"
+
+namespace cachedir {
+namespace {
+
+struct Model {
+  MachineSpec spec;
+  std::shared_ptr<const SliceHash> hash;
+};
+
+bool ResolveModel(const std::string& name, Model* out) {
+  if (name == "haswell") {
+    *out = Model{HaswellXeonE52667V3(), HaswellSliceHash()};
+    return true;
+  }
+  if (name == "skylake") {
+    *out = Model{SkylakeXeonGold6134(), SkylakeSliceHash()};
+    return true;
+  }
+  if (name == "sandybridge") {
+    *out = Model{SandyBridgeXeonQuad(), SandyBridgeSliceHash()};
+    return true;
+  }
+  std::fprintf(stderr, "unknown machine '%s' (haswell|skylake|sandybridge)\n", name.c_str());
+  return false;
+}
+
+int CmdMachines() {
+  for (const char* name : {"haswell", "skylake", "sandybridge"}) {
+    Model m;
+    (void)ResolveModel(name, &m);
+    std::printf("%-12s  %s\n", name, m.spec.name.c_str());
+    std::printf("              %zu cores @ %.1f GHz, %zu slices x %zu kB (%zu-way), "
+                "L2 %zu kB, %s LLC\n",
+                m.spec.num_cores, m.spec.frequency.ghz(), m.spec.num_slices,
+                m.spec.llc_slice.size_bytes / 1024, m.spec.llc_slice.ways,
+                m.spec.l2.size_bytes / 1024,
+                m.spec.inclusion == LlcInclusionPolicy::kInclusive ? "inclusive" : "victim");
+  }
+  return 0;
+}
+
+int CmdAddr(const Model& model, int argc, char** argv) {
+  MemoryHierarchy hierarchy(model.spec, model.hash);
+  SlicePlacement placement(hierarchy);
+  std::printf("%-18s  %-6s  %-6s  %s\n", "Address", "Slice", "Set", "Closest cores");
+  for (int i = 0; i < argc; ++i) {
+    const PhysAddr addr = std::strtoull(argv[i], nullptr, 16);
+    const SliceId slice = model.hash->SliceFor(addr);
+    const std::size_t set = (addr >> kCacheLineBits) % model.spec.llc_slice.num_sets();
+    std::string cores;
+    Cycles best = ~Cycles{0};
+    for (CoreId c = 0; c < model.spec.num_cores; ++c) {
+      best = std::min(best, placement.Latency(c, slice));
+    }
+    for (CoreId c = 0; c < model.spec.num_cores; ++c) {
+      if (placement.Latency(c, slice) == best) {
+        cores += "C" + std::to_string(c) + " ";
+      }
+    }
+    std::printf("0x%-16llx  %-6u  %-6zu  %s(%llu cycles)\n",
+                static_cast<unsigned long long>(addr), slice, set, cores.c_str(),
+                static_cast<unsigned long long>(best));
+  }
+  return 0;
+}
+
+int CmdScan(const Model& model, const char* base_str, const char* bytes_str) {
+  const PhysAddr base = std::strtoull(base_str, nullptr, 16);
+  const std::uint64_t bytes = std::strtoull(bytes_str, nullptr, 0);
+  if (bytes == 0) {
+    std::fprintf(stderr, "scan: byte count must be positive\n");
+    return 1;
+  }
+  std::vector<std::uint64_t> counts(model.spec.num_slices, 0);
+  std::uint64_t lines = 0;
+  for (PhysAddr a = LineBase(base); a < base + bytes; a += kCacheLineSize) {
+    ++counts[model.hash->SliceFor(a)];
+    ++lines;
+  }
+  std::printf("scanned %llu lines from 0x%llx\n", static_cast<unsigned long long>(lines),
+              static_cast<unsigned long long>(base));
+  const double expect = static_cast<double>(lines) / model.spec.num_slices;
+  for (SliceId s = 0; s < counts.size(); ++s) {
+    std::printf("  slice %2u: %8llu lines (%+.2f%% vs uniform)\n", s,
+                static_cast<unsigned long long>(counts[s]),
+                100.0 * (static_cast<double>(counts[s]) - expect) / expect);
+  }
+  return 0;
+}
+
+int CmdMatrix(const Model& model) {
+  MemoryHierarchy hierarchy(model.spec, model.hash);
+  SlicePlacement placement(hierarchy);
+  std::printf("LLC hit latency (cycles), cores x slices:\n      ");
+  for (SliceId s = 0; s < model.spec.num_slices; ++s) {
+    std::printf("S%-4u", s);
+  }
+  std::printf("\n");
+  for (CoreId c = 0; c < model.spec.num_cores; ++c) {
+    std::printf("C%-4u ", c);
+    for (SliceId s = 0; s < model.spec.num_slices; ++s) {
+      std::printf("%-5llu", static_cast<unsigned long long>(placement.Latency(c, s)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPreferred slices per core:\n");
+  for (CoreId c = 0; c < model.spec.num_cores; ++c) {
+    std::printf("  C%u: primary", c);
+    for (const SliceId s : placement.PrimarySlices(c)) {
+      std::printf(" S%u", s);
+    }
+    std::printf(", secondary");
+    for (const SliceId s : placement.SecondarySlices(c)) {
+      std::printf(" S%u", s);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: slice_inspect machines|addr|scan|matrix ...\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "machines") {
+    return CmdMachines();
+  }
+  if (argc < 3) {
+    std::fprintf(stderr, "%s: missing machine argument\n", cmd.c_str());
+    return 1;
+  }
+  Model model;
+  if (!ResolveModel(argv[2], &model)) {
+    return 1;
+  }
+  if (cmd == "addr" && argc >= 4) {
+    return CmdAddr(model, argc - 3, argv + 3);
+  }
+  if (cmd == "scan" && argc == 5) {
+    return CmdScan(model, argv[3], argv[4]);
+  }
+  if (cmd == "matrix") {
+    return CmdMatrix(model);
+  }
+  std::fprintf(stderr, "bad arguments for '%s'\n", cmd.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main(int argc, char** argv) { return cachedir::Main(argc, argv); }

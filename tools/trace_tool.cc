@@ -1,0 +1,117 @@
+// trace_tool — generate, inspect, and convert packet traces.
+//
+// Usage:
+//   trace_tool gen <path> <count> campus|fixed:<size> <gbps> [seed]
+//       Generate a trace file with the synthetic campus mix or fixed-size
+//       frames, paced at the given rate.
+//   trace_tool stats <path>
+//       Print size-mix / rate statistics of a trace file.
+//   trace_tool head <path> [n]
+//       Print the first n (default 10) records.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/stats/summary.h"
+#include "src/trace/trace_file.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+namespace {
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "gen: need <path> <count> campus|fixed:<size> <gbps> [seed]\n");
+    return 1;
+  }
+  const std::string path = argv[0];
+  const std::size_t count = std::strtoull(argv[1], nullptr, 0);
+  const std::string mode = argv[2];
+  TrafficConfig config;
+  config.rate_gbps = std::atof(argv[3]);
+  config.seed = argc >= 5 ? std::strtoull(argv[4], nullptr, 0) : 1;
+  if (mode == "campus") {
+    config.size_mode = TrafficConfig::SizeMode::kCampusMix;
+  } else if (mode.rfind("fixed:", 0) == 0) {
+    config.size_mode = TrafficConfig::SizeMode::kFixed;
+    config.fixed_size = static_cast<std::uint32_t>(std::atoi(mode.c_str() + 6));
+  } else {
+    std::fprintf(stderr, "gen: unknown mode '%s'\n", mode.c_str());
+    return 1;
+  }
+  TrafficGenerator gen(config);
+  SaveTrace(path, gen.Generate(count));
+  std::printf("wrote %zu packets to %s\n", count, path.c_str());
+  return 0;
+}
+
+int CmdStats(const char* path) {
+  const auto packets = LoadTrace(path);
+  if (packets.empty()) {
+    std::printf("%s: empty trace\n", path);
+    return 0;
+  }
+  Samples sizes;
+  std::uint64_t under100 = 0;
+  std::uint64_t mid = 0;
+  double bits = 0;
+  for (const WirePacket& p : packets) {
+    sizes.Add(p.size_bytes);
+    under100 += p.size_bytes < 100 ? 1 : 0;
+    mid += (p.size_bytes >= 100 && p.size_bytes < 500) ? 1 : 0;
+    bits += (p.size_bytes + kWireOverheadBytes) * 8;
+  }
+  const double window_ns = packets.back().tx_time_ns - packets.front().tx_time_ns;
+  const double n = static_cast<double>(packets.size());
+  std::printf("%s: %zu packets\n", path, packets.size());
+  std::printf("  sizes: mean %.1f B, median %.0f B, p95 %.0f B, max %.0f B\n",
+              sizes.Mean(), sizes.Median(), sizes.Percentile(95), sizes.Max());
+  std::printf("  mix  : %.1f%% <100 B, %.1f%% 100-500 B, %.1f%% >=500 B\n",
+              100.0 * under100 / n, 100.0 * mid / n, 100.0 * (n - under100 - mid) / n);
+  if (window_ns > 0) {
+    std::printf("  rate : %.2f Gbps over %.3f ms\n", bits / window_ns, window_ns / 1e6);
+  }
+  return 0;
+}
+
+int CmdHead(const char* path, int n) {
+  const auto packets = LoadTrace(path);
+  std::printf("%-8s %-16s %-16s %-7s %-10s\n", "id", "src", "dst", "size", "t (us)");
+  for (int i = 0; i < n && i < static_cast<int>(packets.size()); ++i) {
+    const WirePacket& p = packets[i];
+    std::printf("%-8llu %08x:%-7u %08x:%-7u %-7u %-10.3f\n",
+                static_cast<unsigned long long>(p.id), p.flow.src_ip, p.flow.src_port,
+                p.flow.dst_ip, p.flow.dst_port, p.size_bytes, p.tx_time_ns / 1000.0);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool gen|stats|head <args>\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") {
+      return CmdGen(argc - 2, argv + 2);
+    }
+    if (cmd == "stats") {
+      return CmdStats(argv[2]);
+    }
+    if (cmd == "head") {
+      return CmdHead(argv[2], argc >= 4 ? std::atoi(argv[3]) : 10);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main(int argc, char** argv) { return cachedir::Main(argc, argv); }
