@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ddio_ways.dir/ablation_ddio_ways.cc.o"
+  "CMakeFiles/ablation_ddio_ways.dir/ablation_ddio_ways.cc.o.d"
+  "ablation_ddio_ways"
+  "ablation_ddio_ways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ddio_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

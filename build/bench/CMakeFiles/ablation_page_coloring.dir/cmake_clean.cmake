@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_coloring.dir/ablation_page_coloring.cc.o"
+  "CMakeFiles/ablation_page_coloring.dir/ablation_page_coloring.cc.o.d"
+  "ablation_page_coloring"
+  "ablation_page_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

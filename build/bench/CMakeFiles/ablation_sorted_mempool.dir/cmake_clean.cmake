@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sorted_mempool.dir/ablation_sorted_mempool.cc.o"
+  "CMakeFiles/ablation_sorted_mempool.dir/ablation_sorted_mempool.cc.o.d"
+  "ablation_sorted_mempool"
+  "ablation_sorted_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorted_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_size.dir/ablation_value_size.cc.o"
+  "CMakeFiles/ablation_value_size.dir/ablation_value_size.cc.o.d"
+  "ablation_value_size"
+  "ablation_value_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

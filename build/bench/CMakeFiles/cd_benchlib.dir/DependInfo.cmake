@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/access_time.cc" "bench/CMakeFiles/cd_benchlib.dir/access_time.cc.o" "gcc" "bench/CMakeFiles/cd_benchlib.dir/access_time.cc.o.d"
+  "/root/repo/bench/nfv_experiment.cc" "bench/CMakeFiles/cd_benchlib.dir/nfv_experiment.cc.o" "gcc" "bench/CMakeFiles/cd_benchlib.dir/nfv_experiment.cc.o.d"
+  "/root/repo/bench/random_access.cc" "bench/CMakeFiles/cd_benchlib.dir/random_access.cc.o" "gcc" "bench/CMakeFiles/cd_benchlib.dir/random_access.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfv/CMakeFiles/cd_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvs/CMakeFiles/cd_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rev/CMakeFiles/cd_rev.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/cd_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/cd_netio.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncore/CMakeFiles/cd_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_benchlib.dir/access_time.cc.o"
+  "CMakeFiles/cd_benchlib.dir/access_time.cc.o.d"
+  "CMakeFiles/cd_benchlib.dir/nfv_experiment.cc.o"
+  "CMakeFiles/cd_benchlib.dir/nfv_experiment.cc.o.d"
+  "CMakeFiles/cd_benchlib.dir/random_access.cc.o"
+  "CMakeFiles/cd_benchlib.dir/random_access.cc.o.d"
+  "libcd_benchlib.a"
+  "libcd_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

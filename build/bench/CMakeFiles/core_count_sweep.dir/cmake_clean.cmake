@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_count_sweep.dir/core_count_sweep.cc.o"
+  "CMakeFiles/core_count_sweep.dir/core_count_sweep.cc.o.d"
+  "core_count_sweep"
+  "core_count_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_count_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_forwarding_100g.dir/fig13_forwarding_100g.cc.o"
+  "CMakeFiles/fig13_forwarding_100g.dir/fig13_forwarding_100g.cc.o.d"
+  "fig13_forwarding_100g"
+  "fig13_forwarding_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_forwarding_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

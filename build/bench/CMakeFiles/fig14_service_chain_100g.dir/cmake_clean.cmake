@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_service_chain_100g.dir/fig14_service_chain_100g.cc.o"
+  "CMakeFiles/fig14_service_chain_100g.dir/fig14_service_chain_100g.cc.o.d"
+  "fig14_service_chain_100g"
+  "fig14_service_chain_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_service_chain_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

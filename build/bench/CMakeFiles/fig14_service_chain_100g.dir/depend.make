@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_service_chain_100g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cat_vs_slice_isolation.dir/fig17_cat_vs_slice_isolation.cc.o"
+  "CMakeFiles/fig17_cat_vs_slice_isolation.dir/fig17_cat_vs_slice_isolation.cc.o.d"
+  "fig17_cat_vs_slice_isolation"
+  "fig17_cat_vs_slice_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cat_vs_slice_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

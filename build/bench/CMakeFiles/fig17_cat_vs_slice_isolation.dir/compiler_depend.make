@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_cat_vs_slice_isolation.
+# This may be replaced when dependencies are built.

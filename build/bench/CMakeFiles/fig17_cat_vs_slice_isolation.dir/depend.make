@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_cat_vs_slice_isolation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hash_recovery.dir/fig4_hash_recovery.cc.o"
+  "CMakeFiles/fig4_hash_recovery.dir/fig4_hash_recovery.cc.o.d"
+  "fig4_hash_recovery"
+  "fig4_hash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

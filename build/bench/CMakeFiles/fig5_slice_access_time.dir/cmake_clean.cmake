@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_slice_access_time.dir/fig5_slice_access_time.cc.o"
+  "CMakeFiles/fig5_slice_access_time.dir/fig5_slice_access_time.cc.o.d"
+  "fig5_slice_access_time"
+  "fig5_slice_access_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_slice_access_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_slice_aware_speedup.dir/fig6_slice_aware_speedup.cc.o"
+  "CMakeFiles/fig6_slice_aware_speedup.dir/fig6_slice_aware_speedup.cc.o.d"
+  "fig6_slice_aware_speedup"
+  "fig6_slice_aware_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slice_aware_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_kvs_tps.dir/fig8_kvs_tps.cc.o"
+  "CMakeFiles/fig8_kvs_tps.dir/fig8_kvs_tps.cc.o.d"
+  "fig8_kvs_tps"
+  "fig8_kvs_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_kvs_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_kvs_bench.dir/hash_kvs_bench.cc.o"
+  "CMakeFiles/hash_kvs_bench.dir/hash_kvs_bench.cc.o.d"
+  "hash_kvs_bench"
+  "hash_kvs_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_kvs_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

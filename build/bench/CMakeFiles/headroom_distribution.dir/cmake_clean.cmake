@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headroom_distribution.dir/headroom_distribution.cc.o"
+  "CMakeFiles/headroom_distribution.dir/headroom_distribution.cc.o.d"
+  "headroom_distribution"
+  "headroom_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headroom_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for headroom_distribution.
+# This may be replaced when dependencies are built.

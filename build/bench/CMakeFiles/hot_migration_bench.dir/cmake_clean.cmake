@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_migration_bench.dir/hot_migration_bench.cc.o"
+  "CMakeFiles/hot_migration_bench.dir/hot_migration_bench.cc.o.d"
+  "hot_migration_bench"
+  "hot_migration_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_migration_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

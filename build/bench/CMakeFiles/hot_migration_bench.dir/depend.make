@@ -1,0 +1,2 @@
+# Empty dependencies file for hot_migration_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvs_over_dpdk_bench.dir/kvs_over_dpdk_bench.cc.o"
+  "CMakeFiles/kvs_over_dpdk_bench.dir/kvs_over_dpdk_bench.cc.o.d"
+  "kvs_over_dpdk_bench"
+  "kvs_over_dpdk_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvs_over_dpdk_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

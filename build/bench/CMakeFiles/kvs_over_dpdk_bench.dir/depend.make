@@ -1,0 +1,2 @@
+# Empty dependencies file for kvs_over_dpdk_bench.
+# This may be replaced when dependencies are built.

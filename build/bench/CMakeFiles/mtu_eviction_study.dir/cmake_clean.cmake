@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtu_eviction_study.dir/mtu_eviction_study.cc.o"
+  "CMakeFiles/mtu_eviction_study.dir/mtu_eviction_study.cc.o.d"
+  "mtu_eviction_study"
+  "mtu_eviction_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtu_eviction_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_isolation_bench.dir/nfv_isolation_bench.cc.o"
+  "CMakeFiles/nfv_isolation_bench.dir/nfv_isolation_bench.cc.o.d"
+  "nfv_isolation_bench"
+  "nfv_isolation_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_isolation_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

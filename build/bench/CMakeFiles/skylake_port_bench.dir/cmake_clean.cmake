@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skylake_port_bench.dir/skylake_port_bench.cc.o"
+  "CMakeFiles/skylake_port_bench.dir/skylake_port_bench.cc.o.d"
+  "skylake_port_bench"
+  "skylake_port_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skylake_port_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skylake_port_bench.
+# This may be replaced when dependencies are built.

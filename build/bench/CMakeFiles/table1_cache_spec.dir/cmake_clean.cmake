@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_spec.dir/table1_cache_spec.cc.o"
+  "CMakeFiles/table1_cache_spec.dir/table1_cache_spec.cc.o.d"
+  "table1_cache_spec"
+  "table1_cache_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

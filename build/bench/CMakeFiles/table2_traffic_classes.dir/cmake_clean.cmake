@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_traffic_classes.dir/table2_traffic_classes.cc.o"
+  "CMakeFiles/table2_traffic_classes.dir/table2_traffic_classes.cc.o.d"
+  "table2_traffic_classes"
+  "table2_traffic_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_traffic_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

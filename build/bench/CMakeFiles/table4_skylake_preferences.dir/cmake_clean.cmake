@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_skylake_preferences.dir/table4_skylake_preferences.cc.o"
+  "CMakeFiles/table4_skylake_preferences.dir/table4_skylake_preferences.cc.o.d"
+  "table4_skylake_preferences"
+  "table4_skylake_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_skylake_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

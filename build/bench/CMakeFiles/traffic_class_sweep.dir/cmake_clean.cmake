@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_class_sweep.dir/traffic_class_sweep.cc.o"
+  "CMakeFiles/traffic_class_sweep.dir/traffic_class_sweep.cc.o.d"
+  "traffic_class_sweep"
+  "traffic_class_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_class_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

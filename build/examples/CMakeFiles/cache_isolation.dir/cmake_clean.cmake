@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_isolation.dir/cache_isolation.cpp.o"
+  "CMakeFiles/cache_isolation.dir/cache_isolation.cpp.o.d"
+  "cache_isolation"
+  "cache_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenant_isolation.dir/tenant_isolation.cpp.o"
+  "CMakeFiles/tenant_isolation.dir/tenant_isolation.cpp.o.d"
+  "tenant_isolation"
+  "tenant_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenant_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

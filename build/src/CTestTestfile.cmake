@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("hash")
+subdirs("stats")
+subdirs("cache")
+subdirs("uncore")
+subdirs("rev")
+subdirs("slice")
+subdirs("trace")
+subdirs("netio")
+subdirs("kvs")
+subdirs("nfv")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/cd_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/cd_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/cd_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/cd_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/cache/CMakeFiles/cd_cache.dir/set_assoc_cache.cc.o" "gcc" "src/cache/CMakeFiles/cd_cache.dir/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/sliced_llc.cc" "src/cache/CMakeFiles/cd_cache.dir/sliced_llc.cc.o" "gcc" "src/cache/CMakeFiles/cd_cache.dir/sliced_llc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncore/CMakeFiles/cd_uncore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/cd_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/cd_cache.dir/replacement.cc.o"
+  "CMakeFiles/cd_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/cd_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/cd_cache.dir/set_assoc_cache.cc.o.d"
+  "CMakeFiles/cd_cache.dir/sliced_llc.cc.o"
+  "CMakeFiles/cd_cache.dir/sliced_llc.cc.o.d"
+  "libcd_cache.a"
+  "libcd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_hash.dir/presets.cc.o"
+  "CMakeFiles/cd_hash.dir/presets.cc.o.d"
+  "CMakeFiles/cd_hash.dir/slice_hash.cc.o"
+  "CMakeFiles/cd_hash.dir/slice_hash.cc.o.d"
+  "libcd_hash.a"
+  "libcd_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_kvs.dir/hash_kvs.cc.o"
+  "CMakeFiles/cd_kvs.dir/hash_kvs.cc.o.d"
+  "CMakeFiles/cd_kvs.dir/kvs.cc.o"
+  "CMakeFiles/cd_kvs.dir/kvs.cc.o.d"
+  "CMakeFiles/cd_kvs.dir/server.cc.o"
+  "CMakeFiles/cd_kvs.dir/server.cc.o.d"
+  "libcd_kvs.a"
+  "libcd_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_mem.dir/hugepage.cc.o"
+  "CMakeFiles/cd_mem.dir/hugepage.cc.o.d"
+  "CMakeFiles/cd_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/cd_mem.dir/physical_memory.cc.o.d"
+  "libcd_mem.a"
+  "libcd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

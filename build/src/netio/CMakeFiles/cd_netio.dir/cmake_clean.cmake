@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_netio.dir/cache_director.cc.o"
+  "CMakeFiles/cd_netio.dir/cache_director.cc.o.d"
+  "CMakeFiles/cd_netio.dir/mempool.cc.o"
+  "CMakeFiles/cd_netio.dir/mempool.cc.o.d"
+  "CMakeFiles/cd_netio.dir/nic.cc.o"
+  "CMakeFiles/cd_netio.dir/nic.cc.o.d"
+  "CMakeFiles/cd_netio.dir/sorted_mempool.cc.o"
+  "CMakeFiles/cd_netio.dir/sorted_mempool.cc.o.d"
+  "libcd_netio.a"
+  "libcd_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

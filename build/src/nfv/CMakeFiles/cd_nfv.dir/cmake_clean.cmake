@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_nfv.dir/elements.cc.o"
+  "CMakeFiles/cd_nfv.dir/elements.cc.o.d"
+  "CMakeFiles/cd_nfv.dir/runtime.cc.o"
+  "CMakeFiles/cd_nfv.dir/runtime.cc.o.d"
+  "libcd_nfv.a"
+  "libcd_nfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_nfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_rev.dir/hash_solver.cc.o"
+  "CMakeFiles/cd_rev.dir/hash_solver.cc.o.d"
+  "CMakeFiles/cd_rev.dir/polling.cc.o"
+  "CMakeFiles/cd_rev.dir/polling.cc.o.d"
+  "libcd_rev.a"
+  "libcd_rev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_rev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

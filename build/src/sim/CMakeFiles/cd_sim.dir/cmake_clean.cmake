@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_sim.dir/machine.cc.o"
+  "CMakeFiles/cd_sim.dir/machine.cc.o.d"
+  "libcd_sim.a"
+  "libcd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slice/hot_migrator.cc" "src/slice/CMakeFiles/cd_slice.dir/hot_migrator.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/hot_migrator.cc.o.d"
+  "/root/repo/src/slice/isolation.cc" "src/slice/CMakeFiles/cd_slice.dir/isolation.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/isolation.cc.o.d"
+  "/root/repo/src/slice/page_color.cc" "src/slice/CMakeFiles/cd_slice.dir/page_color.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/page_color.cc.o.d"
+  "/root/repo/src/slice/placement.cc" "src/slice/CMakeFiles/cd_slice.dir/placement.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/placement.cc.o.d"
+  "/root/repo/src/slice/slice_allocator.cc" "src/slice/CMakeFiles/cd_slice.dir/slice_allocator.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/slice_allocator.cc.o.d"
+  "/root/repo/src/slice/slice_mapper.cc" "src/slice/CMakeFiles/cd_slice.dir/slice_mapper.cc.o" "gcc" "src/slice/CMakeFiles/cd_slice.dir/slice_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncore/CMakeFiles/cd_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_slice.dir/hot_migrator.cc.o"
+  "CMakeFiles/cd_slice.dir/hot_migrator.cc.o.d"
+  "CMakeFiles/cd_slice.dir/isolation.cc.o"
+  "CMakeFiles/cd_slice.dir/isolation.cc.o.d"
+  "CMakeFiles/cd_slice.dir/page_color.cc.o"
+  "CMakeFiles/cd_slice.dir/page_color.cc.o.d"
+  "CMakeFiles/cd_slice.dir/placement.cc.o"
+  "CMakeFiles/cd_slice.dir/placement.cc.o.d"
+  "CMakeFiles/cd_slice.dir/slice_allocator.cc.o"
+  "CMakeFiles/cd_slice.dir/slice_allocator.cc.o.d"
+  "CMakeFiles/cd_slice.dir/slice_mapper.cc.o"
+  "CMakeFiles/cd_slice.dir/slice_mapper.cc.o.d"
+  "libcd_slice.a"
+  "libcd_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

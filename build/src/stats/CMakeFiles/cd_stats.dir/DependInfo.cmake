@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fit.cc" "src/stats/CMakeFiles/cd_stats.dir/fit.cc.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/fit.cc.o.d"
+  "/root/repo/src/stats/significance.cc" "src/stats/CMakeFiles/cd_stats.dir/significance.cc.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/significance.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/cd_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/stats/CMakeFiles/cd_stats.dir/zipf.cc.o" "gcc" "src/stats/CMakeFiles/cd_stats.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

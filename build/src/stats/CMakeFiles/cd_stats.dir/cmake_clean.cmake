@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_stats.dir/fit.cc.o"
+  "CMakeFiles/cd_stats.dir/fit.cc.o.d"
+  "CMakeFiles/cd_stats.dir/significance.cc.o"
+  "CMakeFiles/cd_stats.dir/significance.cc.o.d"
+  "CMakeFiles/cd_stats.dir/summary.cc.o"
+  "CMakeFiles/cd_stats.dir/summary.cc.o.d"
+  "CMakeFiles/cd_stats.dir/zipf.cc.o"
+  "CMakeFiles/cd_stats.dir/zipf.cc.o.d"
+  "libcd_stats.a"
+  "libcd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/packet.cc" "src/trace/CMakeFiles/cd_trace.dir/packet.cc.o" "gcc" "src/trace/CMakeFiles/cd_trace.dir/packet.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/cd_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/cd_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/traffic_gen.cc" "src/trace/CMakeFiles/cd_trace.dir/traffic_gen.cc.o" "gcc" "src/trace/CMakeFiles/cd_trace.dir/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_trace.dir/packet.cc.o"
+  "CMakeFiles/cd_trace.dir/packet.cc.o.d"
+  "CMakeFiles/cd_trace.dir/trace_file.cc.o"
+  "CMakeFiles/cd_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/cd_trace.dir/traffic_gen.cc.o"
+  "CMakeFiles/cd_trace.dir/traffic_gen.cc.o.d"
+  "libcd_trace.a"
+  "libcd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

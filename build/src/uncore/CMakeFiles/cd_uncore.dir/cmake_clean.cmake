@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_uncore.dir/cbo.cc.o"
+  "CMakeFiles/cd_uncore.dir/cbo.cc.o.d"
+  "libcd_uncore.a"
+  "libcd_uncore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_migrator_test.dir/hot_migrator_test.cc.o"
+  "CMakeFiles/hot_migrator_test.dir/hot_migrator_test.cc.o.d"
+  "hot_migrator_test"
+  "hot_migrator_test.pdb"
+  "hot_migrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_migrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_test.dir/nfv_test.cc.o"
+  "CMakeFiles/nfv_test.dir/nfv_test.cc.o.d"
+  "nfv_test"
+  "nfv_test.pdb"
+  "nfv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

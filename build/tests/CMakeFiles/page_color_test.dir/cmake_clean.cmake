@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_color_test.dir/page_color_test.cc.o"
+  "CMakeFiles/page_color_test.dir/page_color_test.cc.o.d"
+  "page_color_test"
+  "page_color_test.pdb"
+  "page_color_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_color_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_cache_test.cc" "tests/CMakeFiles/property_cache_test.dir/property_cache_test.cc.o" "gcc" "tests/CMakeFiles/property_cache_test.dir/property_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncore/CMakeFiles/cd_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

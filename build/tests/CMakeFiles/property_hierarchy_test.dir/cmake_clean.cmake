@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_hierarchy_test.dir/property_hierarchy_test.cc.o"
+  "CMakeFiles/property_hierarchy_test.dir/property_hierarchy_test.cc.o.d"
+  "property_hierarchy_test"
+  "property_hierarchy_test.pdb"
+  "property_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_netio_test.dir/property_netio_test.cc.o"
+  "CMakeFiles/property_netio_test.dir/property_netio_test.cc.o.d"
+  "property_netio_test"
+  "property_netio_test.pdb"
+  "property_netio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_netio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

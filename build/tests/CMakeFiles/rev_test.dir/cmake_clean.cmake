@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_test.dir/rev_test.cc.o"
+  "CMakeFiles/rev_test.dir/rev_test.cc.o.d"
+  "rev_test"
+  "rev_test.pdb"
+  "rev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

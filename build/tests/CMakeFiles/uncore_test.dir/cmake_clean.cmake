@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncore_test.dir/uncore_test.cc.o"
+  "CMakeFiles/uncore_test.dir/uncore_test.cc.o.d"
+  "uncore_test"
+  "uncore_test.pdb"
+  "uncore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

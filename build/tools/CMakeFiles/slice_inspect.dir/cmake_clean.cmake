@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_inspect.dir/slice_inspect.cc.o"
+  "CMakeFiles/slice_inspect.dir/slice_inspect.cc.o.d"
+  "slice_inspect"
+  "slice_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
