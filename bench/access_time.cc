@@ -2,15 +2,26 @@
 
 #include <algorithm>
 
+#include "bench/common.h"
 #include "src/cache/hierarchy.h"
 #include "src/mem/hugepage.h"
 #include "src/slice/slice_mapper.h"
 
 namespace cachedir {
+namespace {
 
-AccessTimeResult MeasureSliceAccessTimes(const MachineSpec& spec,
-                                         std::shared_ptr<const SliceHash> hash, CoreId core,
-                                         int repetitions) {
+// One slice's measurement, self-contained: its own hierarchy and hugepage
+// backing, so the per-slice measurements can run on the bench thread pool.
+// The timed accesses are pure LLC-slice hits and L1 store hits, whose costs
+// are fixed by the latency model — independent of any state another slice's
+// measurement could have left behind (benchlib_test pins the exact values).
+struct SliceTimes {
+  double read = 0;
+  double write = 0;
+};
+
+SliceTimes MeasureOneSlice(const MachineSpec& spec, std::shared_ptr<const SliceHash> hash,
+                           CoreId core, SliceId slice, int repetitions) {
   MemoryHierarchy hierarchy(spec, hash, /*seed=*/1);
   HugepageAllocator backing;
   const Mapping page = backing.Allocate(std::size_t{1} << 30, PageSize::k1G);
@@ -23,44 +34,53 @@ AccessTimeResult MeasureSliceAccessTimes(const MachineSpec& spec,
   const std::size_t timed = std::min<std::size_t>(8, group - spec.l2.ways);
   const std::size_t probe_set = 100;
 
+  const auto lines = LinesForSliceAndSet(*hash, page, slice, probe_set, llc_sets, group);
+  if (lines.size() < group) {
+    return SliceTimes{};  // cannot happen on a 1 GB page with these geometries
+  }
+  double read_sum = 0;
+  double write_sum = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    // Populate, then flush the hierarchy (clflush in the paper).
+    for (const SliceLine& line : lines) {
+      (void)hierarchy.Write(core, line.pa);
+    }
+    for (const SliceLine& line : lines) {
+      hierarchy.FlushLine(line.pa);
+    }
+    // Read all 20: everything lands in the LLC slice; only the last 8
+    // survive in the 8-way L1/L2 set.
+    for (const SliceLine& line : lines) {
+      (void)hierarchy.Read(core, line.pa);
+    }
+    // Timed reads of the first 8: pure LLC-slice hits.
+    for (std::size_t i = 0; i < timed; ++i) {
+      read_sum += static_cast<double>(hierarchy.Read(core, lines[i].pa).cycles);
+    }
+    // Timed writes to the same lines (now L1-resident): store-hit cost,
+    // independent of the slice — the paper's flat Fig. 5b.
+    for (std::size_t i = 0; i < timed; ++i) {
+      write_sum += static_cast<double>(hierarchy.Write(core, lines[i].pa).cycles);
+    }
+  }
+  const double samples = static_cast<double>(repetitions) * static_cast<double>(timed);
+  return SliceTimes{read_sum / samples, write_sum / samples};
+}
+
+}  // namespace
+
+AccessTimeResult MeasureSliceAccessTimes(const MachineSpec& spec,
+                                         std::shared_ptr<const SliceHash> hash, CoreId core,
+                                         int repetitions) {
   AccessTimeResult result;
   result.read_cycles.assign(spec.num_slices, 0);
   result.write_cycles.assign(spec.num_slices, 0);
-
-  for (SliceId slice = 0; slice < spec.num_slices; ++slice) {
-    const auto lines = LinesForSliceAndSet(*hash, page, slice, probe_set, llc_sets, group);
-    if (lines.size() < group) {
-      continue;  // cannot happen on a 1 GB page with these geometries
-    }
-    double read_sum = 0;
-    double write_sum = 0;
-    for (int rep = 0; rep < repetitions; ++rep) {
-      // Populate, then flush the hierarchy (clflush in the paper).
-      for (const SliceLine& line : lines) {
-        (void)hierarchy.Write(core, line.pa);
-      }
-      for (const SliceLine& line : lines) {
-        hierarchy.FlushLine(line.pa);
-      }
-      // Read all 20: everything lands in the LLC slice; only the last 8
-      // survive in the 8-way L1/L2 set.
-      for (const SliceLine& line : lines) {
-        (void)hierarchy.Read(core, line.pa);
-      }
-      // Timed reads of the first 8: pure LLC-slice hits.
-      for (std::size_t i = 0; i < timed; ++i) {
-        read_sum += static_cast<double>(hierarchy.Read(core, lines[i].pa).cycles);
-      }
-      // Timed writes to the same lines (now L1-resident): store-hit cost,
-      // independent of the slice — the paper's flat Fig. 5b.
-      for (std::size_t i = 0; i < timed; ++i) {
-        write_sum += static_cast<double>(hierarchy.Write(core, lines[i].pa).cycles);
-      }
-    }
-    const double samples = static_cast<double>(repetitions) * static_cast<double>(timed);
-    result.read_cycles[slice] = read_sum / samples;
-    result.write_cycles[slice] = write_sum / samples;
-  }
+  ParallelFor(spec.num_slices, [&](std::size_t slice) {
+    const SliceTimes times =
+        MeasureOneSlice(spec, hash, core, static_cast<SliceId>(slice), repetitions);
+    result.read_cycles[slice] = times.read;
+    result.write_cycles[slice] = times.write;
+  });
   return result;
 }
 

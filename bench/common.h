@@ -1,11 +1,14 @@
-// Shared console-output helpers for the figure/table benches. Every bench
-// prints the rows/series of the corresponding paper artifact in a uniform,
-// greppable format.
+// Shared helpers for the figure/table benches: uniform console output, and
+// the deterministic parallel repetition runner every multi-run bench uses.
 #ifndef CACHEDIRECTOR_BENCH_COMMON_H_
 #define CACHEDIRECTOR_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace cachedir {
 
@@ -17,6 +20,36 @@ inline void PrintBanner(const std::string& artifact, const std::string& descript
 
 inline void PrintSectionRule() {
   std::printf("--------------------------------------------------------------\n");
+}
+
+// ---- Deterministic parallel repetition runner -------------------------------
+//
+// The multi-run benches replay dozens of *independent* repetitions: each one
+// builds its own hierarchy/mempool/traffic world from a seed and returns a
+// result value. These helpers fan the repetitions out over a host thread
+// pool. Determinism argument: a repetition shares no mutable state with any
+// other (it owns its hierarchy and RNGs), host time is never read, and the
+// results vector is indexed by repetition — so merging happens in repetition
+// order no matter which thread finished first. Output is bit-identical to
+// the serial loop; only time-to-result changes.
+
+// Number of worker threads: min(n, hardware threads), overridable with the
+// CACHEDIR_BENCH_THREADS environment variable (1 forces the serial path).
+std::size_t BenchThreadCount(std::size_t n);
+
+// Runs body(0..n-1), each index exactly once, on the bench thread pool.
+// body must not touch shared mutable state except its own result slot.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+// Runs fn(rep, base_seed + rep) for rep in 0..n-1 in parallel and returns
+// the results in repetition order.
+template <typename Fn>
+auto RunRepetitions(std::size_t n, std::uint64_t base_seed, Fn&& fn) {
+  using Result = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
+  static_assert(!std::is_void_v<Result>, "RunRepetitions needs a result; use ParallelFor");
+  std::vector<Result> results(n);
+  ParallelFor(n, [&](std::size_t rep) { results[rep] = fn(rep, base_seed + rep); });
+  return results;
 }
 
 }  // namespace cachedir

@@ -128,9 +128,22 @@ void Run() {
       {"2W Isolated", Scenario::kTwoWayIsolated},
       {"Slice-0 Isolated", Scenario::kSliceIsolated},
   };
-  for (const auto& row : rows) {
-    const double read_s = MeasureSeconds(row.scenario, false);
-    const double write_s = MeasureSeconds(row.scenario, true);
+  // Each (scenario, direction) cell is a self-contained simulation; run all
+  // six on the bench thread pool and print in row order.
+  double read_secs[3];
+  double write_secs[3];
+  ParallelFor(6, [&](std::size_t cell) {
+    const auto scenario = rows[cell / 2].scenario;
+    if (cell % 2 == 0) {
+      read_secs[cell / 2] = MeasureSeconds(scenario, false);
+    } else {
+      write_secs[cell / 2] = MeasureSeconds(scenario, true);
+    }
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& row = rows[i];
+    const double read_s = read_secs[i];
+    const double write_s = write_secs[i];
     if (row.scenario == Scenario::kTwoWayIsolated) {
       read_2w = read_s;
       write_2w = write_s;

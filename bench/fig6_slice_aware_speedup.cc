@@ -42,29 +42,32 @@ double MeasureMs(bool slice_aware, SliceId slice, bool write, std::uint64_t seed
   return hierarchy.spec().frequency.ToNanoseconds(cycles) / 1e6;
 }
 
+// Mean over kRuns seeded, independent runs, executed on the bench thread
+// pool; summation in run order keeps the mean bit-identical to the serial
+// loop.
+double MeanMs(bool slice_aware, SliceId slice, bool write, std::uint64_t base_seed) {
+  const auto ms = RunRepetitions(
+      kRuns, base_seed, [&](std::size_t, std::uint64_t seed) {
+        return MeasureMs(slice_aware, slice, write, seed);
+      });
+  double total = 0;
+  for (const double m : ms) {
+    total += m;
+  }
+  return total / kRuns;
+}
+
 void Run() {
   PrintBanner("Fig 6", "slice-aware vs normal allocation speedup, core 0 (Haswell)");
   std::printf("%-6s  %-20s  %-20s\n", "Slice", "Read speedup (%)", "Write speedup (%)");
   PrintSectionRule();
 
-  double normal_read_ms = 0;
-  double normal_write_ms = 0;
-  for (int run = 0; run < kRuns; ++run) {
-    normal_read_ms += MeasureMs(false, 0, false, 1000 + run);
-    normal_write_ms += MeasureMs(false, 0, true, 2000 + run);
-  }
-  normal_read_ms /= kRuns;
-  normal_write_ms /= kRuns;
+  const double normal_read_ms = MeanMs(false, 0, false, 1000);
+  const double normal_write_ms = MeanMs(false, 0, true, 2000);
 
   for (SliceId slice = 0; slice < 8; ++slice) {
-    double read_ms = 0;
-    double write_ms = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      read_ms += MeasureMs(true, slice, false, 1000 + run);
-      write_ms += MeasureMs(true, slice, true, 2000 + run);
-    }
-    read_ms /= kRuns;
-    write_ms /= kRuns;
+    const double read_ms = MeanMs(true, slice, false, 1000);
+    const double write_ms = MeanMs(true, slice, true, 2000);
     std::printf("%-6u  %+-20.2f  %+-20.2f\n", slice,
                 100.0 * (normal_read_ms - read_ms) / normal_read_ms,
                 100.0 * (normal_write_ms - write_ms) / normal_write_ms);

@@ -62,20 +62,24 @@ void Run() {
       {"Slice-Uniform", true, 0.0},
       {"Normal-Uniform", false, 0.0},
   };
+  // 4 configurations x 3 GET ratios, each an independent simulation: fan the
+  // twelve cells out on the bench thread pool, print in row order.
+  constexpr double kGets[3] = {1.0, 0.95, 0.50};
+  KvsResult grid[4][3];
+  ParallelFor(12, [&](std::size_t cell) {
+    const Row& row = rows[cell / 3];
+    grid[cell / 3][cell % 3] = Measure(row.slice_aware, kGets[cell % 3], row.theta);
+  });
   double cycles_slice_skew_get = 0;
   double cycles_normal_skew_get = 0;
-  for (const Row& row : rows) {
-    double tps[3];
-    int i = 0;
-    for (const double get : {1.0, 0.95, 0.50}) {
-      const KvsResult r = Measure(row.slice_aware, get, row.theta);
-      tps[i++] = r.tps_millions;
-      if (get == 1.0 && row.theta == 0.99) {
-        (row.slice_aware ? cycles_slice_skew_get : cycles_normal_skew_get) =
-            r.avg_cycles_per_request;
-      }
+  for (std::size_t r = 0; r < 4; ++r) {
+    const Row& row = rows[r];
+    if (row.theta == 0.99) {
+      (row.slice_aware ? cycles_slice_skew_get : cycles_normal_skew_get) =
+          grid[r][0].avg_cycles_per_request;
     }
-    std::printf("%-22s  %-10.3f %-10.3f %-10.3f\n", row.label, tps[0], tps[1], tps[2]);
+    std::printf("%-22s  %-10.3f %-10.3f %-10.3f\n", row.label, grid[r][0].tps_millions,
+                grid[r][1].tps_millions, grid[r][2].tps_millions);
   }
   PrintSectionRule();
   std::printf("100%% GET skewed: %.0f cycles/request slice-aware vs %.0f normal "
@@ -91,11 +95,17 @@ void Run() {
   // and loses once confinement to one slice costs capacity misses.
   std::printf("Hot-set sensitivity (100%% GET, Zipf 0.99):\n");
   std::printf("%-14s  %-12s %-12s  %-10s\n", "Values", "Normal", "Slice", "Gain");
-  for (const std::size_t shift : {15u, 17u, 19u, 22u}) {
-    const std::size_t n = std::size_t{1} << shift;
-    const KvsResult normal = Measure(false, 1.0, 0.99, n);
-    const KvsResult aware = Measure(true, 1.0, 0.99, n);
-    std::printf("2^%-2zu (%4zu MB)  %-12.3f %-12.3f  %+8.2f%%\n", shift,
+  constexpr std::size_t kShifts[4] = {15, 17, 19, 22};
+  KvsResult sweep[4][2];
+  ParallelFor(8, [&](std::size_t cell) {
+    sweep[cell / 2][cell % 2] =
+        Measure(/*slice_aware=*/cell % 2 == 1, 1.0, 0.99, std::size_t{1} << kShifts[cell / 2]);
+  });
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t n = std::size_t{1} << kShifts[i];
+    const KvsResult& normal = sweep[i][0];
+    const KvsResult& aware = sweep[i][1];
+    std::printf("2^%-2zu (%4zu MB)  %-12.3f %-12.3f  %+8.2f%%\n", kShifts[i],
                 n * 64 / (1u << 20), normal.tps_millions, aware.tps_millions,
                 100.0 * (aware.tps_millions - normal.tps_millions) / normal.tps_millions);
   }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/common.h"
 #include "src/hash/presets.h"
 #include "src/nfv/chain.h"
 #include "src/nfv/elements.h"
@@ -88,8 +89,14 @@ NfvAggregate RunNfvMany(const NfvExperiment& experiment) {
   Samples throughput;
   NfvAggregate agg;
 
-  for (std::uint64_t run = 0; run < experiment.num_runs; ++run) {
-    const NfvRunStats stats = RunNfvOnce(experiment, run);
+  // Every run builds its own DuT from `run` (hierarchy, mempool, traffic),
+  // so the runs execute on the bench thread pool; merging in run order keeps
+  // the aggregate bit-identical to the serial loop.
+  const std::vector<NfvRunStats> runs = RunRepetitions(
+      experiment.num_runs, /*base_seed=*/0,
+      [&experiment](std::size_t run, std::uint64_t) { return RunNfvOnce(experiment, run); });
+
+  for (const NfvRunStats& stats : runs) {
     p75.Add(stats.latency_us.p75);
     p90.Add(stats.latency_us.p90);
     p95.Add(stats.latency_us.p95);

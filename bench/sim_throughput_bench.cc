@@ -1,0 +1,167 @@
+// Simulator-throughput baseline: how many simulated memory accesses per
+// host second the hierarchy sustains on a coherence-heavy workload, for 1-,
+// 4- and 8-core configurations.
+//
+// This is the one bench that reads the HOST clock. The timing is report-only
+// plumbing: it goes to stderr and to BENCH_simcore.json so future PRs have a
+// perf baseline to compare against, and it never feeds back into any
+// simulated quantity. stdout carries only deterministic simulated stats, so
+// `for b in build/bench/*` output stays reproducible bit-for-bit.
+//
+// Workload: an NFV-style receive loop — NIC DMA into a DDIO ring, header
+// reads by the cores, shared flow-counter updates. This exercises exactly
+// the paths the line-state directory made O(1): BackInvalidate on DMA and
+// DDIO evictions, HeldElsewhere / DirtyElsewhere on stores and misses,
+// InvalidateElsewhere / DowngradeElsewhere on ownership transfers.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+// NFV-flavoured I/O loop, the paper's own coherence-heavy scenario: the NIC
+// DMA-writes packets into a ring via DDIO, cores read the packet headers,
+// and every eighth packet bumps a shared per-flow counter.
+//
+//  * Each DMA'd line back-invalidates stale core copies, and because the
+//    ring exceeds the DDIO way capacity, each one also evicts an earlier
+//    line from the DDIO ways — which back-invalidates again.
+//  * Header reads are L2 misses that snoop for a remote dirty owner.
+//  * Counter writes are upgrades / RFOs that invalidate the other cores'
+//    copies and forward dirty data between cores.
+//
+// Every one of those consults the coherence state; the line-state directory
+// answers each in O(1) where the tag arrays of every core were scanned
+// before.
+constexpr std::size_t kPacketBytes = 1536;       // MTU-sized: 24 lines per packet
+constexpr std::size_t kRingBytes = 24u << 20;    // >> DDIO capacity (2 of 20 ways)
+constexpr std::size_t kCounterLines = 64;        // shared flow counters
+constexpr std::size_t kPipelineDelay = 8;        // packets in flight before a core reads
+constexpr std::size_t kPackets = 300000;
+constexpr std::size_t kTrials = 3;  // host timing takes the fastest trial (noise floor)
+
+struct ConfigResult {
+  std::size_t cores = 0;
+  std::uint64_t accesses = 0;
+  Cycles simulated_cycles = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t dma_writes = 0;
+  double host_seconds = 0;  // report-only; never enters simulated results
+};
+
+ConfigResult RunConfig(std::size_t cores) {
+  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), /*seed=*/5);
+  HugepageAllocator backing;
+  const PhysAddr ring = backing.Allocate(kRingBytes, PageSize::k1G).pa;
+  const PhysAddr counters = backing.Allocate(kCounterLines * kCacheLineSize, PageSize::k1G).pa;
+  const std::size_t ring_packets = kRingBytes / kPacketBytes;
+
+  Rng rng(17);
+  ConfigResult result;
+  result.cores = cores;
+  Cycles cycles = 0;
+
+  std::uint64_t accesses = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < kPackets; ++it) {
+    // NIC: DMA the next packet into the ring (DDIO). Back-invalidates stale
+    // core copies from the previous lap and evicts an older line from the
+    // DDIO ways.
+    cycles += hierarchy.DmaWrite(ring + (it % ring_packets) * kPacketBytes, kPacketBytes);
+    accesses += kPacketBytes / kCacheLineSize;
+    if (it < kPipelineDelay) {
+      continue;
+    }
+    // A core picks up a packet DMA'd a few iterations ago and reads its
+    // header line out of the DDIO ways.
+    const CoreId core = static_cast<CoreId>(it % cores);
+    const PhysAddr header = ring + ((it - kPipelineDelay) % ring_packets) * kPacketBytes;
+    cycles += hierarchy.Read(core, header).cycles;
+    ++accesses;
+    if ((it & 7u) == 7u) {
+      // Per-flow accounting: a write to a shared counter line, upgrading or
+      // stealing ownership from whichever core bumped it last.
+      const PhysAddr counter = counters + rng.UniformIndex(kCounterLines) * kCacheLineSize;
+      cycles += hierarchy.Write(core, counter).cycles;
+      ++accesses;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  result.accesses = accesses;
+  result.simulated_cycles = cycles;
+  result.llc_misses = hierarchy.stats().llc_misses;
+  result.dma_writes = hierarchy.stats().dma_line_writes;
+  result.host_seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+void Run() {
+  PrintBanner("simcore", "simulator throughput: coherence-heavy accesses per host second");
+  std::printf("%-6s  %-12s  %-14s  %-12s  %-12s\n", "Cores", "Accesses", "Sim cycles",
+              "LLC misses", "DMA writes");
+  PrintSectionRule();
+
+  ConfigResult results[3];
+  const std::size_t configs[3] = {1, 4, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    // The simulation is deterministic, so every trial produces identical
+    // simulated state; only the host-side wall time varies. Reporting the
+    // fastest trial filters scheduler noise out of the throughput number.
+    results[i] = RunConfig(configs[i]);
+    for (std::size_t t = 1; t < kTrials; ++t) {
+      const ConfigResult trial = RunConfig(configs[i]);
+      if (trial.host_seconds < results[i].host_seconds) {
+        results[i] = trial;
+      }
+    }
+    // Deterministic, replacement for the figure tables: simulated state only.
+    std::printf("%-6zu  %-12llu  %-14llu  %-12llu  %-12llu\n", results[i].cores,
+                static_cast<unsigned long long>(results[i].accesses),
+                static_cast<unsigned long long>(results[i].simulated_cycles),
+                static_cast<unsigned long long>(results[i].llc_misses),
+                static_cast<unsigned long long>(results[i].dma_writes));
+  }
+  PrintSectionRule();
+  std::printf("host-side accesses/sec on stderr; baseline in BENCH_simcore.json\n");
+
+  // Host-side throughput: stderr + JSON only.
+  FILE* json = std::fopen("BENCH_simcore.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"sim_throughput\",\n  \"configs\": [\n");
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ConfigResult& r = results[i];
+    const double rate = r.host_seconds > 0 ? static_cast<double>(r.accesses) / r.host_seconds
+                                           : 0.0;
+    std::fprintf(stderr, "cores=%zu accesses=%llu host_s=%.3f accesses_per_sec=%.3e\n",
+                 r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds, rate);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"cores\": %zu, \"accesses\": %llu, \"host_seconds\": %.6f, "
+                   "\"accesses_per_sec\": %.1f}%s\n",
+                   r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds,
+                   rate, i + 1 < 3 ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+  }
+}
+
+}  // namespace
+}  // namespace cachedir
+
+int main() {
+  cachedir::Run();
+  return 0;
+}

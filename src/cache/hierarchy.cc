@@ -1,8 +1,14 @@
 #include "src/cache/hierarchy.h"
 
+#include <bit>
 #include <stdexcept>
 
 namespace cachedir {
+namespace {
+
+constexpr std::uint64_t Bit(CoreId core) { return std::uint64_t{1} << core; }
+
+}  // namespace
 
 MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
                                  std::shared_ptr<const SliceHash> hash, std::uint64_t seed)
@@ -23,6 +29,9 @@ MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
   }
   if (hash->num_slices() != spec.num_slices) {
     throw std::invalid_argument("MemoryHierarchy: hash slice count != machine slice count");
+  }
+  if (spec.num_cores > 64) {
+    throw std::invalid_argument("MemoryHierarchy: directory sharer masks support <= 64 cores");
   }
   SetAssocCache::Config l1c;
   l1c.num_sets = spec.l1.num_sets();
@@ -57,18 +66,20 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
   AccessResult result;
   result.slice = slice;
 
-  // L1.
-  if (l1_[core].Touch(line)) {
+  // L1. Probe returns hit + dirty in one tag scan; a clean read hit (the
+  // hottest path) finishes without ever consulting the directory.
+  if (const auto l1 = l1_[core].Probe(line); l1.hit) {
     ++stats_.l1_hits;
     if (is_write) {
       result.cycles = lat.store_commit;
-      if (!l1_[core].IsDirty(line) && HeldElsewhere(core, line)) {
+      if (!l1.dirty && HeldElsewhere(core, line)) {
         // Store to a Shared line: bus upgrade invalidates the other copies.
         ++stats_.upgrades;
         InvalidateElsewhere(core, line);
         result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
       }
       l1_[core].MarkDirty(line);
+      directory_.GetOrCreate(line).l1_dirty |= Bit(core);
     } else {
       result.cycles = lat.l1_hit;
     }
@@ -78,13 +89,15 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
   ++stats_.l1_misses;
 
   // L2.
-  if (l2_[core].Touch(line)) {
+  if (const auto l2 = l2_[core].Probe(line); l2.hit) {
     ++stats_.l2_hits;
-    if (!prefetched_.empty() && prefetched_.erase(line) != 0) {
+    if (LineDirectoryEntry* entry = directory_.Find(line);
+        entry != nullptr && entry->prefetched) {
+      entry->prefetched = false;
       ++stats_.prefetch_hits;
     }
     result.cycles = lat.l2_hit;
-    if (is_write && !l2_[core].IsDirty(line) && HeldElsewhere(core, line)) {
+    if (is_write && !l2.dirty && HeldElsewhere(core, line)) {
       ++stats_.upgrades;
       InvalidateElsewhere(core, line);
       result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
@@ -110,11 +123,11 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
       // Read: the owner downgrades to clean Shared; the dirt moves into the
       // LLC if the line is resident there, otherwise it rides on our copy.
       DowngradeElsewhere(core, line);
-      fill_dirty = !llc_.MarkDirty(line);
+      fill_dirty = !llc_.MarkDirtyOnSlice(slice, line);
     }
     // The forward also refreshes the (inclusive) LLC copy's recency.
     if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
-      llc_.LookupAndTouch(line);
+      llc_.LookupAndTouchOnSlice(slice, line);
     }
     FillL2(core, line, fill_dirty && !is_write, &cycles);
     FillL1(core, line, /*dirty=*/is_write || fill_dirty);
@@ -125,7 +138,7 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
 
   // LLC.
   Cycles cycles = LlcHitLatency(core, slice);
-  const bool llc_hit = llc_.LookupAndTouch(line);
+  const bool llc_hit = llc_.LookupAndTouchOnSlice(slice, line);
   bool fill_dirty = false;
   if (llc_hit) {
     ++stats_.llc_hits;
@@ -143,7 +156,7 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
     result.level = ServedBy::kDram;
     if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
       // Demand fill allocates in the LLC too.
-      HandleLlcEviction(llc_.InsertForCore(core, line, /*dirty=*/false));
+      HandleLlcEviction(llc_.InsertForCoreOnSlice(core, slice, line, /*dirty=*/false));
     }
     // Victim mode: the line bypasses the LLC on a demand fill and will enter
     // it when evicted from L2.
@@ -164,35 +177,25 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
 }
 
 bool MemoryHierarchy::HeldElsewhere(CoreId core, PhysAddr line) const {
-  for (std::size_t c = 0; c < l1_.size(); ++c) {
-    if (c == core) {
-      continue;
-    }
-    if (l1_[c].Contains(line) || l2_[c].Contains(line)) {
-      return true;
-    }
-  }
-  return false;
+  const LineDirectoryEntry* entry = directory_.Find(line);
+  return entry != nullptr && (entry->sharers() & ~Bit(core)) != 0;
 }
 
 bool MemoryHierarchy::DirtyElsewhere(CoreId core, PhysAddr line) const {
-  for (std::size_t c = 0; c < l1_.size(); ++c) {
-    if (c == core) {
-      continue;
-    }
-    if (l1_[c].IsDirty(line) || l2_[c].IsDirty(line)) {
-      return true;
-    }
-  }
-  return false;
+  const LineDirectoryEntry* entry = directory_.Find(line);
+  return entry != nullptr && (entry->dirty() & ~Bit(core)) != 0;
 }
 
 bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line) {
+  LineDirectoryEntry* entry = directory_.Find(line);
+  if (entry == nullptr) {
+    return false;
+  }
   bool dirty = false;
-  for (std::size_t c = 0; c < l1_.size(); ++c) {
-    if (c == core) {
-      continue;
-    }
+  std::uint64_t others = entry->sharers() & ~Bit(core);
+  while (others != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(others));
+    others &= others - 1;
     const auto r1 = l1_[c].Invalidate(line);
     const auto r2 = l2_[c].Invalidate(line);
     if (r1.was_present || r2.was_present) {
@@ -200,50 +203,74 @@ bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line) {
     }
     dirty = dirty || r1.was_dirty || r2.was_dirty;
   }
+  entry->l1_sharers &= Bit(core);
+  entry->l2_sharers &= Bit(core);
+  entry->l1_dirty &= Bit(core);
+  entry->l2_dirty &= Bit(core);
+  // The prefetched copy (if any) died with the invalidation.
+  entry->prefetched = false;
+  if (entry->empty()) {
+    directory_.Erase(line);
+  }
   return dirty;
 }
 
 void MemoryHierarchy::DowngradeElsewhere(CoreId core, PhysAddr line) {
-  for (std::size_t c = 0; c < l1_.size(); ++c) {
-    if (c == core) {
-      continue;
-    }
+  LineDirectoryEntry* entry = directory_.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  std::uint64_t others = entry->dirty() & ~Bit(core);
+  while (others != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(others));
+    others &= others - 1;
     (void)l1_[c].MarkClean(line);
     (void)l2_[c].MarkClean(line);
   }
+  entry->l1_dirty &= Bit(core);
+  entry->l2_dirty &= Bit(core);
 }
 
 void MemoryHierarchy::PrefetchNextLine(CoreId core, PhysAddr line) {
   const PhysAddr next = line + kCacheLineSize;
-  if (l2_[core].Contains(next) || l1_[core].Contains(next)) {
-    return;
+  if (const LineDirectoryEntry* entry = directory_.Find(next);
+      entry != nullptr && (entry->sharers() & Bit(core)) != 0) {
+    return;  // already resident in this core's L1 or L2
   }
   ++stats_.prefetches_issued;
-  prefetched_.insert(next);
   // The prefetch engine walks the same path as a demand fill, but in the
   // background: its latency is not charged to the core.
+  const SliceId next_slice = llc_.SliceOf(next);
   bool dirty = false;
-  if (llc_.LookupAndTouch(next)) {
+  if (llc_.LookupAndTouchOnSlice(next_slice, next)) {
     if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
       dirty = llc_.Invalidate(next).was_dirty;  // exclusive move to L2
     }
   } else if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
-    HandleLlcEviction(llc_.InsertForCore(core, next, /*dirty=*/false));
+    HandleLlcEviction(llc_.InsertForCoreOnSlice(core, next_slice, next, /*dirty=*/false));
   }
   Cycles uncharged = 0;
   FillL2(core, next, dirty, &uncharged);
+  directory_.GetOrCreate(next).prefetched = true;
 }
 
 void MemoryHierarchy::FillL1(CoreId core, PhysAddr line, bool dirty) {
   const auto evicted = l1_[core].Insert(line, dirty);
-  if (dirty) {
-    l1_[core].MarkDirty(line);
+  {
+    LineDirectoryEntry& entry = directory_.GetOrCreate(line);
+    entry.l1_sharers |= Bit(core);
+    if (dirty) {
+      entry.l1_dirty |= Bit(core);
+    }
   }
-  if (evicted.has_value() && evicted->dirty) {
-    // L1 victims land in L2 (which contains them by construction; if a race
-    // with an L2 eviction removed the copy, push the dirt to the LLC).
-    if (!l2_[core].MarkDirty(evicted->line)) {
-      if (!llc_.MarkDirty(evicted->line)) {
+  if (evicted.has_value()) {
+    DirRemoveL1(core, evicted->line);
+    if (evicted->dirty) {
+      // L1 victims land in L2 (which contains them by construction; if a race
+      // with an L2 eviction removed the copy, push the dirt to the LLC).
+      if (l2_[core].MarkDirty(evicted->line)) {
+        directory_.GetOrCreate(evicted->line).l2_dirty |= Bit(core);
+      } else if (!llc_.MarkDirty(evicted->line)) {
         // Line is nowhere below: the write-back goes straight to DRAM.
         ++stats_.dirty_writebacks;
       }
@@ -253,42 +280,61 @@ void MemoryHierarchy::FillL1(CoreId core, PhysAddr line, bool dirty) {
 
 void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* extra_cycles) {
   const auto evicted = l2_[core].Insert(line, dirty);
+  {
+    LineDirectoryEntry& entry = directory_.GetOrCreate(line);
+    entry.l2_sharers |= Bit(core);
+    if (dirty) {
+      entry.l2_dirty |= Bit(core);
+    }
+  }
   if (!evicted.has_value()) {
     return;
   }
+  DirRemoveL2(core, evicted->line);
   // Keep L1 subset of L2: the victim leaves L1 as well, carrying its dirt.
   const auto l1_state = l1_[core].Invalidate(evicted->line);
+  DirRemoveL1(core, evicted->line);
   const bool victim_dirty = evicted->dirty || l1_state.was_dirty;
 
   if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
     // The victim is still resident in the (inclusive) LLC; just mark dirt.
     if (victim_dirty) {
+      const SliceId victim_slice = llc_.SliceOf(evicted->line);
       ++stats_.dirty_writebacks;
-      llc_.MarkDirty(evicted->line);
-      *extra_cycles += spec_.latency.writeback_busy +
-                       SlicePenalty(core, llc_.SliceOf(evicted->line));
+      llc_.MarkDirtyOnSlice(victim_slice, evicted->line);
+      *extra_cycles += spec_.latency.writeback_busy + SlicePenalty(core, victim_slice);
     }
     return;
   }
 
   // Victim (Skylake) mode: L2 evictions fill the LLC.
-  if (!llc_.Contains(evicted->line)) {
-    HandleLlcEviction(llc_.InsertForCore(core, evicted->line, victim_dirty));
+  const SliceId victim_slice = llc_.SliceOf(evicted->line);
+  if (!llc_.ContainsOnSlice(victim_slice, evicted->line)) {
+    HandleLlcEviction(llc_.InsertForCoreOnSlice(core, victim_slice, evicted->line, victim_dirty));
   } else if (victim_dirty) {
-    llc_.MarkDirty(evicted->line);
+    llc_.MarkDirtyOnSlice(victim_slice, evicted->line);
   }
   if (victim_dirty) {
     ++stats_.dirty_writebacks;
-    *extra_cycles += spec_.latency.writeback_busy +
-                     SlicePenalty(core, llc_.SliceOf(evicted->line));
+    *extra_cycles += spec_.latency.writeback_busy + SlicePenalty(core, victim_slice);
   }
 }
 
 void MemoryHierarchy::BackInvalidate(PhysAddr line) {
-  for (std::size_t core = 0; core < l1_.size(); ++core) {
-    l1_[core].Invalidate(line);
-    l2_[core].Invalidate(line);
+  LineDirectoryEntry* entry = directory_.Find(line);
+  if (entry == nullptr) {
+    return;
   }
+  std::uint64_t sharers = entry->sharers();
+  while (sharers != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(sharers));
+    sharers &= sharers - 1;
+    l1_[c].Invalidate(line);
+    l2_[c].Invalidate(line);
+  }
+  // Kills any pending-prefetch record too: back-invalidation (DMA ownership,
+  // inclusive LLC eviction, clflush) must not leak prefetch state.
+  directory_.Erase(line);
 }
 
 void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicted) {
@@ -309,11 +355,11 @@ Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
   // DMA takes ownership: stale copies leave the core caches.
   BackInvalidate(line);
   const SliceId slice = llc_.SliceOf(line);
-  if (llc_.Contains(line)) {
-    llc_.MarkDirty(line);
-    llc_.LookupAndTouch(line);
+  if (llc_.ContainsOnSlice(slice, line)) {
+    llc_.MarkDirtyOnSlice(slice, line);
+    llc_.LookupAndTouchOnSlice(slice, line);
   } else {
-    HandleLlcEviction(llc_.InsertForDma(line));
+    HandleLlcEviction(llc_.InsertForDmaOnSlice(slice, line));
   }
   return spec_.latency.llc_base + spec_.interconnect->SlicePenalty(0, slice);
 }
@@ -359,6 +405,31 @@ void MemoryHierarchy::FlushAll() {
     l2_[core].Clear();
   }
   llc_.Clear();
+  directory_.Clear();
+}
+
+void MemoryHierarchy::DirRemoveL1(CoreId core, PhysAddr line) {
+  LineDirectoryEntry* entry = directory_.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  entry->l1_sharers &= ~Bit(core);
+  entry->l1_dirty &= ~Bit(core);
+  if (entry->empty()) {
+    directory_.Erase(line);
+  }
+}
+
+void MemoryHierarchy::DirRemoveL2(CoreId core, PhysAddr line) {
+  LineDirectoryEntry* entry = directory_.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  entry->l2_sharers &= ~Bit(core);
+  entry->l2_dirty &= ~Bit(core);
+  if (entry->empty()) {
+    directory_.Erase(line);
+  }
 }
 
 }  // namespace cachedir

@@ -27,9 +27,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "src/cache/line_directory.h"
 #include "src/cache/set_assoc_cache.h"
 #include "src/cache/sliced_llc.h"
 #include "src/hash/slice_hash.h"
@@ -97,6 +97,12 @@ class MemoryHierarchy {
   SlicedLlc& llc() { return llc_; }
   const SlicedLlc& llc() const { return llc_; }
 
+  // Read-only views of the private caches and the coherence directory, for
+  // placement logic, tests and the directory/tag-array cross-check.
+  const SetAssocCache& l1_cache(CoreId core) const { return l1_[core]; }
+  const SetAssocCache& l2_cache(CoreId core) const { return l2_[core]; }
+  const LineDirectory& directory() const { return directory_; }
+
   const HierarchyStats& stats() const { return stats_; }
   void ResetStats() { stats_ = HierarchyStats{}; }
 
@@ -123,23 +129,31 @@ class MemoryHierarchy {
   // Background next-line prefetch into L2 (no cycles charged to the core).
   void PrefetchNextLine(CoreId core, PhysAddr line);
 
-  // Coherence (write-invalidate, MESI-flavoured):
+  // Coherence (write-invalidate, MESI-flavoured). All four helpers are O(1)
+  // directory lookups (plus O(sharers) tag updates for the mutating two) —
+  // they never scan the other cores' tag arrays.
   // True if any core other than `core` holds the line in L1 or L2.
   bool HeldElsewhere(CoreId core, PhysAddr line) const;
   // True if any core other than `core` holds the line dirty (Modified).
   bool DirtyElsewhere(CoreId core, PhysAddr line) const;
-  // Invalidates the line in every core but `core`; returns true if any
+  // Invalidates the line in every sharer but `core`; returns true if any
   // displaced copy was dirty (the dirt transfers to the requester).
   bool InvalidateElsewhere(CoreId core, PhysAddr line);
   // Downgrades remote Modified copies to clean Shared (read snooping).
   void DowngradeElsewhere(CoreId core, PhysAddr line);
+
+  // Directory maintenance at the tag-array mutation points. The directory
+  // must mirror the tag arrays exactly; `directory_property_test` enforces
+  // the invariant against brute-force scans.
+  void DirRemoveL1(CoreId core, PhysAddr line);
+  void DirRemoveL2(CoreId core, PhysAddr line);
 
   MachineSpec spec_;
   std::vector<SetAssocCache> l1_;
   std::vector<SetAssocCache> l2_;
   SlicedLlc llc_;
   HierarchyStats stats_;
-  std::unordered_set<PhysAddr> prefetched_;  // issued but not yet demanded
+  LineDirectory directory_;  // line -> sharer/dirty masks + prefetched flag
 };
 
 }  // namespace cachedir

@@ -1,0 +1,123 @@
+#include "src/cache/line_directory.h"
+
+#include <utility>
+
+namespace cachedir {
+
+LineDirectory::LineDirectory() : shards_(kNumShards) {
+  for (Shard& shard : shards_) {
+    shard.slots.resize(kInitialShardCapacity);
+    shard.mask = kInitialShardCapacity - 1;
+  }
+}
+
+LineDirectoryEntry* LineDirectory::Find(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  const std::uint64_t hash = HashLine(line);
+  Shard& shard = ShardFor(hash);
+  std::size_t i = hash & shard.mask;
+  while (shard.slots[i].used) {
+    if (shard.slots[i].key == line) {
+      return &shard.slots[i].entry;
+    }
+    i = (i + 1) & shard.mask;
+  }
+  return nullptr;
+}
+
+const LineDirectoryEntry* LineDirectory::Find(PhysAddr addr) const {
+  return const_cast<LineDirectory*>(this)->Find(addr);
+}
+
+void LineDirectory::Shard::Grow() {
+  std::vector<Slot> old = std::move(slots);
+  slots.assign(old.size() * 2, Slot{});
+  mask = slots.size() - 1;
+  for (Slot& slot : old) {
+    if (!slot.used) {
+      continue;
+    }
+    std::size_t i = HashLine(slot.key) & mask;
+    while (slots[i].used) {
+      i = (i + 1) & mask;
+    }
+    slots[i] = slot;
+  }
+}
+
+LineDirectoryEntry& LineDirectory::GetOrCreate(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  const std::uint64_t hash = HashLine(line);
+  Shard& shard = ShardFor(hash);
+  std::size_t i = hash & shard.mask;
+  while (shard.slots[i].used) {
+    if (shard.slots[i].key == line) {
+      return shard.slots[i].entry;
+    }
+    i = (i + 1) & shard.mask;
+  }
+  if (shard.size + 1 > shard.slots.size() - shard.slots.size() / 4) {
+    shard.Grow();
+    i = hash & shard.mask;
+    while (shard.slots[i].used) {
+      i = (i + 1) & shard.mask;
+    }
+  }
+  shard.slots[i] = Slot{line, LineDirectoryEntry{}, true};
+  ++shard.size;
+  return shard.slots[i].entry;
+}
+
+void LineDirectory::Erase(PhysAddr addr) {
+  const PhysAddr line = LineBase(addr);
+  const std::uint64_t hash = HashLine(line);
+  Shard& shard = ShardFor(hash);
+  std::size_t i = hash & shard.mask;
+  while (true) {
+    if (!shard.slots[i].used) {
+      return;  // absent
+    }
+    if (shard.slots[i].key == line) {
+      break;
+    }
+    i = (i + 1) & shard.mask;
+  }
+  shard.slots[i] = Slot{};
+  --shard.size;
+  // Backward-shift deletion: pull displaced followers of the probe chain
+  // back over the hole so lookups never need tombstones.
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & shard.mask;
+    if (!shard.slots[j].used) {
+      return;
+    }
+    const std::size_t ideal = HashLine(shard.slots[j].key) & shard.mask;
+    // Move slot j into the hole at i unless its ideal slot lies cyclically
+    // within (i, j] — in that case it is already as close as it may get.
+    const bool stays = (i <= j) ? (ideal > i && ideal <= j) : (ideal > i || ideal <= j);
+    if (!stays) {
+      shard.slots[i] = shard.slots[j];
+      shard.slots[j] = Slot{};
+      i = j;
+    }
+  }
+}
+
+void LineDirectory::Clear() {
+  for (Shard& shard : shards_) {
+    shard.slots.assign(kInitialShardCapacity, Slot{});
+    shard.mask = kInitialShardCapacity - 1;
+    shard.size = 0;
+  }
+}
+
+std::size_t LineDirectory::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.size;
+  }
+  return total;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,102 @@
+// The coherence line-state directory: an O(1) mirror of which core caches
+// hold each line, replacing the O(num_cores) snoop scans over every private
+// tag array that `MemoryHierarchy` used to perform on each access.
+//
+// One entry per line that is resident in at least one core's L1/L2 (or that
+// has a pending prefetch): a sharer bitmask per level, a dirty bitmask per
+// level, and the prefetched flag formerly kept in an unbounded side set. The
+// hierarchy updates the entry at every tag-array mutation point, so the
+// directory mirrors the tag arrays *exactly* — an invariant enforced by
+// `directory_property_test`, which cross-checks it against brute-force
+// per-core `Contains`/`IsDirty` scans after randomized access sequences.
+//
+// Storage is a sharded flat hash map: open addressing with linear probing
+// and backward-shift deletion (no tombstones), shard chosen by high hash
+// bits, slot by low bits. Shards keep probe chains short and resizes small;
+// there is no locking — a `MemoryHierarchy` is single-threaded by design
+// (the parallel bench harness gives every repetition its own hierarchy).
+#ifndef CACHEDIRECTOR_SRC_CACHE_LINE_DIRECTORY_H_
+#define CACHEDIRECTOR_SRC_CACHE_LINE_DIRECTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+// Per-line coherence state. Bit c of a mask refers to core c (the hierarchy
+// checks num_cores <= 64 at construction).
+struct LineDirectoryEntry {
+  std::uint64_t l1_sharers = 0;  // cores whose L1 holds the line
+  std::uint64_t l2_sharers = 0;  // cores whose L2 holds the line
+  std::uint64_t l1_dirty = 0;    // subset of l1_sharers with the dirty bit
+  std::uint64_t l2_dirty = 0;    // subset of l2_sharers with the dirty bit
+  bool prefetched = false;       // issued by the L2 prefetcher, not yet demanded
+
+  std::uint64_t sharers() const { return l1_sharers | l2_sharers; }
+  std::uint64_t dirty() const { return l1_dirty | l2_dirty; }
+  // An empty entry carries no information and is erased by the hierarchy.
+  // Dirty masks are subsets of the sharer masks, so they need no test here.
+  bool empty() const { return (l1_sharers | l2_sharers) == 0 && !prefetched; }
+};
+
+class LineDirectory {
+ public:
+  LineDirectory();
+
+  // Returns the entry for the line containing `addr`, or nullptr if the
+  // directory has none. All lookups normalise to the line base address.
+  LineDirectoryEntry* Find(PhysAddr addr);
+  const LineDirectoryEntry* Find(PhysAddr addr) const;
+
+  // Returns the entry for the line containing `addr`, default-constructing
+  // it if absent.
+  LineDirectoryEntry& GetOrCreate(PhysAddr addr);
+
+  // Removes the entry for the line containing `addr`, if present.
+  void Erase(PhysAddr addr);
+
+  // Drops every entry (wbinvd-style flush).
+  void Clear();
+
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    PhysAddr key = 0;
+    LineDirectoryEntry entry;
+    bool used = false;
+  };
+
+  struct Shard {
+    std::vector<Slot> slots;
+    std::size_t size = 0;
+    std::size_t mask = 0;  // slots.size() - 1; capacity is a power of two
+
+    void Grow();
+  };
+
+  static constexpr std::size_t kNumShards = 16;
+  static constexpr std::size_t kInitialShardCapacity = 256;
+
+  // splitmix64 finalizer over the line number: line addresses differ only in
+  // their upper 58 bits, so mix before using low bits as the slot index.
+  static std::uint64_t HashLine(PhysAddr line) {
+    std::uint64_t x = line >> kCacheLineBits;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  Shard& ShardFor(std::uint64_t hash) { return shards_[hash >> 60]; }
+  const Shard& ShardFor(std::uint64_t hash) const { return shards_[hash >> 60]; }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_LINE_DIRECTORY_H_

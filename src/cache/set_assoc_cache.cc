@@ -36,14 +36,17 @@ bool SetAssocCache::Contains(PhysAddr addr) const {
   return FindWay(LineBase(addr), nullptr) != nullptr;
 }
 
-bool SetAssocCache::Touch(PhysAddr addr) {
+bool SetAssocCache::Touch(PhysAddr addr) { return Probe(addr).hit; }
+
+SetAssocCache::TouchResult SetAssocCache::Probe(PhysAddr addr) {
   const PhysAddr line = LineBase(addr);
   std::size_t way = 0;
-  if (FindWay(line, &way) == nullptr) {
-    return false;
+  const Way* w = FindWay(line, &way);
+  if (w == nullptr) {
+    return TouchResult{};
   }
   sets_[SetIndexOf(line)].repl.OnAccess(static_cast<std::uint32_t>(way));
-  return true;
+  return TouchResult{true, w->dirty};
 }
 
 bool SetAssocCache::MarkDirty(PhysAddr addr) {

@@ -45,6 +45,14 @@ class SetAssocCache {
   // Lookup that promotes the line on hit. Returns true on hit.
   bool Touch(PhysAddr addr);
 
+  // Touch and dirty-bit read in a single tag probe — the hierarchy's L1/L2
+  // hit paths need both and would otherwise scan the set twice.
+  struct TouchResult {
+    bool hit = false;
+    bool dirty = false;
+  };
+  TouchResult Probe(PhysAddr addr);
+
   // Marks a present line dirty (no-op if absent). Returns true if present.
   bool MarkDirty(PhysAddr addr);
 

@@ -34,27 +34,30 @@ SlicedLlc::SlicedLlc(const Config& config, std::shared_ptr<const SliceHash> hash
   }
 }
 
-bool SlicedLlc::LookupAndTouch(PhysAddr addr) {
-  const SliceId s = SliceOf(addr);
-  const bool hit = slices_[s].Touch(addr);
-  cbo_.RecordLookup(s, /*miss=*/!hit);
+bool SlicedLlc::LookupAndTouchOnSlice(SliceId slice, PhysAddr addr) {
+  const bool hit = slices_[slice].Touch(addr);
+  cbo_.RecordLookup(slice, /*miss=*/!hit);
   return hit;
 }
 
-bool SlicedLlc::Contains(PhysAddr addr) const { return slices_[SliceOf(addr)].Contains(addr); }
+bool SlicedLlc::ContainsOnSlice(SliceId slice, PhysAddr addr) const {
+  return slices_[slice].Contains(addr);
+}
 
-bool SlicedLlc::MarkDirty(PhysAddr addr) { return slices_[SliceOf(addr)].MarkDirty(addr); }
+bool SlicedLlc::MarkDirtyOnSlice(SliceId slice, PhysAddr addr) {
+  return slices_[slice].MarkDirty(addr);
+}
 
 bool SlicedLlc::IsDirty(PhysAddr addr) const { return slices_[SliceOf(addr)].IsDirty(addr); }
 
-std::optional<EvictedLine> SlicedLlc::InsertForCore(CoreId core, PhysAddr addr, bool dirty) {
-  return slices_[SliceOf(addr)].Insert(addr, dirty, WayMaskForCore(core));
+std::optional<EvictedLine> SlicedLlc::InsertForCoreOnSlice(CoreId core, SliceId slice,
+                                                           PhysAddr addr, bool dirty) {
+  return slices_[slice].Insert(addr, dirty, WayMaskForCore(core));
 }
 
-std::optional<EvictedLine> SlicedLlc::InsertForDma(PhysAddr addr) {
-  const SliceId s = SliceOf(addr);
-  cbo_.RecordDmaFill(s);
-  return slices_[s].Insert(addr, /*dirty=*/true, ddio_mask_);
+std::optional<EvictedLine> SlicedLlc::InsertForDmaOnSlice(SliceId slice, PhysAddr addr) {
+  cbo_.RecordDmaFill(slice);
+  return slices_[slice].Insert(addr, /*dirty=*/true, ddio_mask_);
 }
 
 SetAssocCache::InvalidateResult SlicedLlc::Invalidate(PhysAddr addr) {

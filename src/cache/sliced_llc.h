@@ -37,17 +37,31 @@ class SlicedLlc {
 
   // Core-side lookup: records a CBo lookup event on the target slice and
   // promotes the line on hit.
-  bool LookupAndTouch(PhysAddr addr);
+  bool LookupAndTouch(PhysAddr addr) { return LookupAndTouchOnSlice(SliceOf(addr), addr); }
 
-  bool Contains(PhysAddr addr) const;
-  bool MarkDirty(PhysAddr addr);
+  bool Contains(PhysAddr addr) const { return ContainsOnSlice(SliceOf(addr), addr); }
+  bool MarkDirty(PhysAddr addr) { return MarkDirtyOnSlice(SliceOf(addr), addr); }
   bool IsDirty(PhysAddr addr) const;
 
   // Fill on behalf of `core`, honouring the core's CAT way mask.
-  std::optional<EvictedLine> InsertForCore(CoreId core, PhysAddr addr, bool dirty);
+  std::optional<EvictedLine> InsertForCore(CoreId core, PhysAddr addr, bool dirty) {
+    return InsertForCoreOnSlice(core, SliceOf(addr), addr, dirty);
+  }
 
   // Fill on behalf of NIC DMA, honouring the DDIO way partition.
-  std::optional<EvictedLine> InsertForDma(PhysAddr addr);
+  std::optional<EvictedLine> InsertForDma(PhysAddr addr) {
+    return InsertForDmaOnSlice(SliceOf(addr), addr);
+  }
+
+  // Slice-hinted variants: callers that already computed SliceOf(addr) (the
+  // hierarchy does, to price the interconnect hop) pass it back in rather
+  // than paying the complex-addressing hash again per probe.
+  bool LookupAndTouchOnSlice(SliceId slice, PhysAddr addr);
+  bool ContainsOnSlice(SliceId slice, PhysAddr addr) const;
+  bool MarkDirtyOnSlice(SliceId slice, PhysAddr addr);
+  std::optional<EvictedLine> InsertForCoreOnSlice(CoreId core, SliceId slice, PhysAddr addr,
+                                                  bool dirty);
+  std::optional<EvictedLine> InsertForDmaOnSlice(SliceId slice, PhysAddr addr);
 
   SetAssocCache::InvalidateResult Invalidate(PhysAddr addr);
   void Clear();

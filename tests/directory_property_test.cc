@@ -1,0 +1,170 @@
+// The line-state directory's core invariant: it mirrors the private-cache
+// tag arrays EXACTLY. After randomized streams of core reads/writes, DMA,
+// line flushes and full flushes, the sharer/dirty masks recomputed by
+// brute-force per-core Contains/IsDirty scans must equal what the directory
+// answers in O(1). Any divergence means the snoop helpers (HeldElsewhere,
+// DirtyElsewhere, ...) would give different coherence decisions than the
+// seed implementation that scanned the tag arrays directly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+struct DirectoryCase {
+  const char* name;
+  MachineSpec (*spec)();
+  std::shared_ptr<const SliceHash> (*hash)();
+  bool prefetch;
+};
+
+class DirectoryMirrorsTagArrays : public ::testing::TestWithParam<DirectoryCase> {
+ protected:
+  MemoryHierarchy Make() {
+    MachineSpec spec = GetParam().spec();
+    spec.l2_next_line_prefetch = GetParam().prefetch;
+    return MemoryHierarchy(spec, GetParam().hash(), 11);
+  }
+
+  // Recomputes every mask for `line` from the tag arrays and compares with
+  // the directory's entry (or its absence).
+  static void CheckLine(const MemoryHierarchy& h, PhysAddr line) {
+    std::uint64_t l1_sharers = 0;
+    std::uint64_t l2_sharers = 0;
+    std::uint64_t l1_dirty = 0;
+    std::uint64_t l2_dirty = 0;
+    for (CoreId c = 0; c < h.spec().num_cores; ++c) {
+      const std::uint64_t bit = std::uint64_t{1} << c;
+      if (h.l1_cache(c).Contains(line)) {
+        l1_sharers |= bit;
+        if (h.l1_cache(c).IsDirty(line)) {
+          l1_dirty |= bit;
+        }
+      }
+      if (h.l2_cache(c).Contains(line)) {
+        l2_sharers |= bit;
+        if (h.l2_cache(c).IsDirty(line)) {
+          l2_dirty |= bit;
+        }
+      }
+    }
+    const LineDirectoryEntry* entry = h.directory().Find(line);
+    if (entry == nullptr) {
+      ASSERT_EQ(l1_sharers, 0u) << "directory lost L1 sharers of line " << line;
+      ASSERT_EQ(l2_sharers, 0u) << "directory lost L2 sharers of line " << line;
+      return;
+    }
+    ASSERT_EQ(entry->l1_sharers, l1_sharers) << "L1 sharer mask diverged for line " << line;
+    ASSERT_EQ(entry->l2_sharers, l2_sharers) << "L2 sharer mask diverged for line " << line;
+    ASSERT_EQ(entry->l1_dirty, l1_dirty) << "L1 dirty mask diverged for line " << line;
+    ASSERT_EQ(entry->l2_dirty, l2_dirty) << "L2 dirty mask diverged for line " << line;
+    // Entries with no sharers may only persist to carry a pending prefetch.
+    if (entry->sharers() == 0) {
+      ASSERT_TRUE(entry->prefetched) << "stale sharer-free entry for line " << line;
+    }
+  }
+};
+
+TEST_P(DirectoryMirrorsTagArrays, UnderRandomizedAccessDmaAndFlushStreams) {
+  auto h = Make();
+  const std::size_t cores = h.spec().num_cores;
+  // A 4096-line universe: small enough for brute-force sweeps, large enough
+  // to evict through L1 and punch holes with invalidations. The disjoint
+  // churn region drives LLC evictions, whose back-invalidations must also
+  // keep the directory in sync.
+  constexpr PhysAddr kBase = 0;
+  constexpr std::size_t kUniverseLines = 4096;
+  constexpr PhysAddr kChurnBase = 1u << 30;
+  constexpr std::size_t kChurnLines = (64u << 20) / kCacheLineSize;
+
+  Rng rng(77);
+  for (int op = 0; op < 12000; ++op) {
+    const PhysAddr line = kBase + rng.UniformIndex(kUniverseLines) * kCacheLineSize;
+    const double action = rng.UniformDouble();
+    const CoreId core = static_cast<CoreId>(rng.UniformIndex(cores));
+    if (action < 0.40) {
+      (void)h.Read(core, line);
+    } else if (action < 0.70) {
+      (void)h.Write(core, line);
+    } else if (action < 0.82) {
+      (void)h.DmaWriteLine(line);
+    } else if (action < 0.90) {
+      // LLC churn outside the universe: evictions back-invalidate inside it.
+      (void)h.DmaWriteLine(kChurnBase + rng.UniformIndex(kChurnLines) * kCacheLineSize);
+    } else if (action < 0.96) {
+      h.FlushLine(line);
+    } else {
+      (void)h.DmaReadLine(line);
+    }
+    if ((op + 1) % 3000 == 0) {
+      for (std::size_t i = 0; i < kUniverseLines; ++i) {
+        CheckLine(h, kBase + i * kCacheLineSize);
+      }
+    }
+  }
+
+  // wbinvd drops every copy everywhere: the directory must end up empty.
+  h.FlushAll();
+  EXPECT_EQ(h.directory().size(), 0u);
+  for (std::size_t i = 0; i < kUniverseLines; ++i) {
+    CheckLine(h, kBase + i * kCacheLineSize);
+  }
+}
+
+TEST_P(DirectoryMirrorsTagArrays, SnoopDecisionsMatchBruteForceOnSharedLine) {
+  auto h = Make();
+  const std::size_t cores = h.spec().num_cores;
+  if (cores < 2) {
+    GTEST_SKIP() << "needs at least two cores";
+  }
+  const PhysAddr line = 0x40000;
+  // All cores read: everyone shares, nobody dirty.
+  for (CoreId c = 0; c < cores; ++c) {
+    (void)h.Read(c, line);
+  }
+  CheckLine(h, line);
+  const LineDirectoryEntry* entry = h.directory().Find(line);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->dirty(), 0u);
+  EXPECT_GE(std::popcount(entry->sharers()), 2);
+
+  // One core writes: the others' copies die, the writer's is dirty.
+  (void)h.Write(1, line);
+  CheckLine(h, line);
+  entry = h.directory().Find(line);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->sharers(), std::uint64_t{1} << 1);
+  EXPECT_EQ(entry->dirty(), std::uint64_t{1} << 1);
+
+  // Another core reads: forward + downgrade. Inclusive mode parks the dirt
+  // in the LLC copy; victim mode has no LLC copy, so the dirt rides on
+  // exactly one of the private copies instead.
+  (void)h.Read(0, line);
+  CheckLine(h, line);
+  entry = h.directory().Find(line);
+  ASSERT_NE(entry, nullptr);
+  if (h.spec().inclusion == LlcInclusionPolicy::kInclusive) {
+    EXPECT_EQ(entry->dirty(), 0u);
+  } else {
+    EXPECT_LE(std::popcount(entry->dirty()), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, DirectoryMirrorsTagArrays,
+    ::testing::Values(
+        DirectoryCase{"Haswell", &HaswellXeonE52667V3, &HaswellSliceHash, false},
+        DirectoryCase{"HaswellPrefetch", &HaswellXeonE52667V3, &HaswellSliceHash, true},
+        DirectoryCase{"Skylake", &SkylakeXeonGold6134, &SkylakeSliceHash, false},
+        DirectoryCase{"SandyBridgePrefetch", &SandyBridgeXeonQuad, &SandyBridgeSliceHash, true}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,162 @@
+// Unit tests for the sharded flat-hash line directory: reference-model
+// churn (insert/find/erase against std::unordered_map), growth past the
+// initial capacity, backward-shift deletion under collision-heavy load, and
+// wbinvd-style Clear.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/line_directory.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+PhysAddr LineAt(std::uint64_t index) { return index * kCacheLineSize; }
+
+TEST(LineDirectoryTest, StartsEmpty) {
+  LineDirectory dir;
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_EQ(dir.Find(LineAt(1)), nullptr);
+}
+
+TEST(LineDirectoryTest, GetOrCreateInsertsDefaultEntry) {
+  LineDirectory dir;
+  LineDirectoryEntry& entry = dir.GetOrCreate(LineAt(7));
+  EXPECT_TRUE(entry.empty());
+  EXPECT_EQ(dir.size(), 1u);
+  entry.l1_sharers = 0b101;
+  const LineDirectoryEntry* found = dir.Find(LineAt(7));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->l1_sharers, 0b101u);
+}
+
+TEST(LineDirectoryTest, GetOrCreateIsIdempotent) {
+  LineDirectory dir;
+  dir.GetOrCreate(LineAt(3)).l2_sharers = 0xff;
+  EXPECT_EQ(dir.GetOrCreate(LineAt(3)).l2_sharers, 0xffu);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(LineDirectoryTest, SubLineAddressesMapToOneEntry) {
+  LineDirectory dir;
+  dir.GetOrCreate(LineAt(5)).prefetched = true;
+  // Any byte of the line resolves to the same entry.
+  const LineDirectoryEntry* found = dir.Find(LineAt(5) + 63);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->prefetched);
+}
+
+TEST(LineDirectoryTest, EraseRemovesOnlyTheTarget) {
+  LineDirectory dir;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    dir.GetOrCreate(LineAt(i)).l1_sharers = i + 1;
+  }
+  dir.Erase(LineAt(31));
+  EXPECT_EQ(dir.size(), 63u);
+  EXPECT_EQ(dir.Find(LineAt(31)), nullptr);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (i == 31) {
+      continue;
+    }
+    const LineDirectoryEntry* found = dir.Find(LineAt(i));
+    ASSERT_NE(found, nullptr) << "line " << i << " lost";
+    EXPECT_EQ(found->l1_sharers, i + 1);
+  }
+}
+
+TEST(LineDirectoryTest, EraseOfAbsentLineIsANoOp) {
+  LineDirectory dir;
+  dir.GetOrCreate(LineAt(1));
+  dir.Erase(LineAt(2));
+  EXPECT_EQ(dir.size(), 1u);
+  EXPECT_NE(dir.Find(LineAt(1)), nullptr);
+}
+
+TEST(LineDirectoryTest, GrowsFarPastInitialCapacityWithoutLoss) {
+  LineDirectory dir;
+  constexpr std::uint64_t kLines = 200000;  // >> 16 shards x 256 slots
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    dir.GetOrCreate(LineAt(i)).l2_sharers = i;
+  }
+  EXPECT_EQ(dir.size(), kLines);
+  for (std::uint64_t i = 0; i < kLines; i += 97) {
+    const LineDirectoryEntry* found = dir.Find(LineAt(i));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->l2_sharers, i);
+  }
+}
+
+TEST(LineDirectoryTest, ClearDropsEverything) {
+  LineDirectory dir;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    dir.GetOrCreate(LineAt(i));
+  }
+  dir.Clear();
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_EQ(dir.Find(LineAt(0)), nullptr);
+  // And the directory is reusable after a Clear.
+  dir.GetOrCreate(LineAt(9)).l1_dirty = 1;
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+// Backward-shift deletion is the delicate part of an open-addressed table:
+// erasing from the middle of a probe chain must not strand later entries.
+// Dense sequential lines plus heavy interleaved erases exercise long chains
+// in every shard; the reference map is ground truth.
+TEST(LineDirectoryTest, RandomChurnMatchesReferenceMap) {
+  LineDirectory dir;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(1234);
+  constexpr std::uint64_t kUniverse = 8192;
+  for (int op = 0; op < 300000; ++op) {
+    const std::uint64_t index = rng.UniformIndex(kUniverse);
+    const PhysAddr line = LineAt(index);
+    const double action = rng.UniformDouble();
+    if (action < 0.45) {
+      const std::uint64_t value = rng.UniformU64(1, 1u << 30);
+      dir.GetOrCreate(line).l1_sharers = value;
+      reference[index] = value;
+    } else if (action < 0.80) {
+      dir.Erase(line);
+      reference.erase(index);
+    } else {
+      const LineDirectoryEntry* found = dir.Find(line);
+      const auto it = reference.find(index);
+      if (it == reference.end()) {
+        ASSERT_EQ(found, nullptr) << "stale entry for line index " << index;
+      } else {
+        ASSERT_NE(found, nullptr) << "lost entry for line index " << index;
+        ASSERT_EQ(found->l1_sharers, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(dir.size(), reference.size());
+  // Full sweep: every reference entry is present with the right payload.
+  for (const auto& [index, value] : reference) {
+    const LineDirectoryEntry* found = dir.Find(LineAt(index));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->l1_sharers, value);
+  }
+}
+
+TEST(LineDirectoryTest, EntryHelpersReflectMasks) {
+  LineDirectoryEntry entry;
+  EXPECT_TRUE(entry.empty());
+  entry.l1_sharers = 0b0011;
+  entry.l2_sharers = 0b0110;
+  entry.l1_dirty = 0b0001;
+  EXPECT_EQ(entry.sharers(), 0b0111u);
+  EXPECT_EQ(entry.dirty(), 0b0001u);
+  EXPECT_FALSE(entry.empty());
+  entry.l1_sharers = 0;
+  entry.l2_sharers = 0;
+  entry.l1_dirty = 0;
+  EXPECT_TRUE(entry.empty());
+  entry.prefetched = true;  // a pending prefetch keeps the entry alive
+  EXPECT_FALSE(entry.empty());
+}
+
+}  // namespace
+}  // namespace cachedir

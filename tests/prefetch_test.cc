@@ -82,6 +82,49 @@ TEST(PrefetchTest, PrefetchAccountingIsConsistent) {
   EXPECT_GT(s.prefetch_hits, s.prefetches_issued * 9 / 10);
 }
 
+// Regression: a prefetch issued before a flush must not survive it. The
+// prefetched flag used to live in a side set that FlushAll never cleared, so
+// a line prefetched in one experiment repetition could count a bogus
+// prefetch_hit in the next.
+TEST(PrefetchTest, FlushAllDropsPendingPrefetchState) {
+  auto h = MakeWithPrefetch(true);
+  const PhysAddr base = 0x100000;
+  ASSERT_EQ(h.Read(0, base).level, ServedBy::kDram);  // issues prefetch of base+64
+  ASSERT_EQ(h.stats().prefetches_issued, 1u);
+  h.FlushAll();
+  EXPECT_EQ(h.directory().size(), 0u);
+
+  // Demand-fetch the prefetched line after the flush: it comes from DRAM
+  // (so no prefetch hit here)...
+  const PhysAddr target = base + kCacheLineSize;
+  ASSERT_EQ(h.Read(0, target).level, ServedBy::kDram);
+  // ...then evict it from L1 (conflicting lines at the L1 set stride) while
+  // it stays in L2, and demand it again: an L2 hit. Without the flush fix
+  // the stale flag from before the FlushAll counts it as a prefetch hit.
+  const std::size_t l1_span =
+      h.spec().l1.num_sets() * kCacheLineSize;  // same-set stride in bytes
+  for (std::size_t k = 1; k <= h.spec().l1.ways + 1; ++k) {
+    (void)h.Read(0, target + k * l1_span);
+  }
+  ASSERT_EQ(h.Read(0, target).level, ServedBy::kL2);
+  EXPECT_EQ(h.stats().prefetch_hits, 0u);
+}
+
+TEST(PrefetchTest, FlushLineDropsPendingPrefetchState) {
+  auto h = MakeWithPrefetch(true);
+  const PhysAddr base = 0x200000;
+  (void)h.Read(0, base);  // issues prefetch of base+64
+  const PhysAddr target = base + kCacheLineSize;
+  h.FlushLine(target);
+  ASSERT_EQ(h.Read(0, target).level, ServedBy::kDram);
+  const std::size_t l1_span = h.spec().l1.num_sets() * kCacheLineSize;
+  for (std::size_t k = 1; k <= h.spec().l1.ways + 1; ++k) {
+    (void)h.Read(0, target + k * l1_span);
+  }
+  ASSERT_EQ(h.Read(0, target).level, ServedBy::kL2);
+  EXPECT_EQ(h.stats().prefetch_hits, 0u);
+}
+
 TEST(PrefetchTest, WorksInVictimModeToo) {
   MachineSpec spec = SkylakeXeonGold6134();
   spec.l2_next_line_prefetch = true;
