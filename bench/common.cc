@@ -1,10 +1,29 @@
 #include "bench/common.h"
 
 #include <atomic>
+#include <chrono>  // whitelisted: the host-timing shim lives here (detlint wall-clock rule)
 #include <cstdlib>
 #include <thread>
 
 namespace cachedir {
+
+namespace {
+
+std::uint64_t MonotonicHostNanos() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+HostTimer::HostTimer() : start_ns_(MonotonicHostNanos()) {}
+
+void HostTimer::Restart() { start_ns_ = MonotonicHostNanos(); }
+
+double HostTimer::Seconds() const {
+  return static_cast<double>(MonotonicHostNanos() - start_ns_) * 1e-9;
+}
 
 std::size_t BenchThreadCount(std::size_t n) {
   std::size_t threads = std::thread::hardware_concurrency();

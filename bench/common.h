@@ -41,6 +41,29 @@ std::size_t BenchThreadCount(std::size_t n);
 // body must not touch shared mutable state except its own result slot.
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
+// ---- Host timing shim -------------------------------------------------------
+//
+// The ONE place the tree may read the host clock; detlint's wall-clock rule
+// whitelists bench/common.{h,cc} and nothing else. Host time is report-only
+// plumbing (stderr lines, BENCH_*.json perf baselines): it must never feed
+// back into a simulated quantity, or the experiment stops being
+// reproducible. The <chrono> include lives in common.cc so no other
+// translation unit picks up a clock through this header.
+class HostTimer {
+ public:
+  // Starts timing at construction.
+  HostTimer();
+
+  // Restarts the epoch.
+  void Restart();
+
+  // Host seconds elapsed since construction / the last Restart().
+  double Seconds() const;
+
+ private:
+  std::uint64_t start_ns_;  // monotonic host nanoseconds
+};
+
 // Runs fn(rep, base_seed + rep) for rep in 0..n-1 in parallel and returns
 // the results in repetition order.
 template <typename Fn>

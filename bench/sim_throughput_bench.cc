@@ -2,18 +2,19 @@
 // host second the hierarchy sustains on a coherence-heavy workload, for 1-,
 // 4- and 8-core configurations.
 //
-// This is the one bench that reads the HOST clock. The timing is report-only
-// plumbing: it goes to stderr and to BENCH_simcore.json so future PRs have a
-// perf baseline to compare against, and it never feeds back into any
-// simulated quantity. stdout carries only deterministic simulated stats, so
-// `for b in build/bench/*` output stays reproducible bit-for-bit.
+// This is the one bench that reads the HOST clock — through bench/common's
+// HostTimer shim, the single wall-clock site detlint whitelists. The timing
+// is report-only plumbing: it goes to stderr and to BENCH_simcore.json so
+// future PRs have a perf baseline to compare against, and it never feeds
+// back into any simulated quantity. stdout carries only deterministic
+// simulated stats, so `for b in build/bench/*` output stays reproducible
+// bit-for-bit.
 //
 // Workload: an NFV-style receive loop — NIC DMA into a DDIO ring, header
 // reads by the cores, shared flow-counter updates. This exercises exactly
 // the paths the line-state directory made O(1): BackInvalidate on DMA and
 // DDIO evictions, HeldElsewhere / DirtyElsewhere on stores and misses,
 // InvalidateElsewhere / DowngradeElsewhere on ownership transfers.
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 
@@ -70,7 +71,7 @@ ConfigResult RunConfig(std::size_t cores) {
   Cycles cycles = 0;
 
   std::uint64_t accesses = 0;
-  const auto start = std::chrono::steady_clock::now();
+  HostTimer timer;
   for (std::size_t it = 0; it < kPackets; ++it) {
     // NIC: DMA the next packet into the ring (DDIO). Back-invalidates stale
     // core copies from the previous lap and evicts an older line from the
@@ -94,13 +95,12 @@ ConfigResult RunConfig(std::size_t cores) {
       ++accesses;
     }
   }
-  const auto stop = std::chrono::steady_clock::now();
+  result.host_seconds = timer.Seconds();
 
   result.accesses = accesses;
   result.simulated_cycles = cycles;
   result.llc_misses = hierarchy.stats().llc_misses;
   result.dma_writes = hierarchy.stats().dma_line_writes;
-  result.host_seconds = std::chrono::duration<double>(stop - start).count();
   return result;
 }
 

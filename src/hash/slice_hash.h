@@ -28,6 +28,7 @@ constexpr std::uint32_t ParityOf(std::uint64_t value, std::uint64_t mask) {
 
 class SliceHash {
  public:
+  SliceHash() = default;
   virtual ~SliceHash() = default;
 
   virtual std::size_t num_slices() const = 0;
@@ -35,6 +36,12 @@ class SliceHash {
   // Slice holding the cache line that contains `addr`. Only bits >= 6 may
   // influence the result (all bytes of a line live in one slice).
   virtual SliceId SliceFor(PhysAddr addr) const = 0;
+
+ protected:
+  // Protected copy/move: assigning through a SliceHash reference would
+  // slice the concrete hash. Concrete types keep value semantics.
+  SliceHash(const SliceHash&) = default;
+  SliceHash& operator=(const SliceHash&) = default;
 };
 
 // Pure XOR hash: output bit i is the parity of (addr & masks[i]). Number of

@@ -93,6 +93,7 @@ HashKvs::OpResult HashKvs::Set(CoreId core, std::uint64_t key,
   std::uint64_t slot = 0;
   const PhysAddr bucket_pa = BucketPa(probe.bucket);
   if (probe.found) {
+    // Re-reads a bucket line Probe() already charged. detlint: allow(physmem-bypass)
     slot = memory_.ReadU64(bucket_pa + 8) - 1;  // overwrite in place
   } else {
     if (next_slot_ >= config_.max_values) {
@@ -130,6 +131,7 @@ HashKvs::OpResult HashKvs::Get(CoreId core, std::uint64_t key, std::span<std::ui
   if (!probe.found) {
     return result;
   }
+  // Re-reads a bucket line Probe() already charged. detlint: allow(physmem-bypass)
   const std::uint64_t slot = memory_.ReadU64(BucketPa(probe.bucket) + 8) - 1;
   std::size_t read = 0;
   for (std::size_t i = 0; i < lines_per_value_ && read < out.size(); ++i) {

@@ -80,8 +80,8 @@ void CacheDirector::ApplyHeadroom(Mbuf& mbuf, CoreId core) const {
     mbuf.headroom = kDefaultHeadroomBytes;
     return;
   }
-  const std::uint32_t lines = (mbuf.udata64 >> (4 * core)) & 0xF;
-  mbuf.headroom = lines * kCacheLineSize;
+  const auto lines = static_cast<std::uint32_t>((mbuf.udata64 >> (4 * core)) & 0xF);
+  mbuf.headroom = lines * static_cast<std::uint32_t>(kCacheLineSize);
 }
 
 SliceId CacheDirector::DataSliceFor(const Mbuf& mbuf, CoreId core) const {

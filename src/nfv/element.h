@@ -22,6 +22,7 @@ struct ProcessResult {
 
 class Element {
  public:
+  Element() = default;
   virtual ~Element() = default;
 
   virtual std::string name() const = 0;
@@ -29,6 +30,12 @@ class Element {
   // Processes one packet on `core`, mutating header bytes in simulated
   // memory as needed.
   virtual ProcessResult Process(CoreId core, Mbuf& mbuf) = 0;
+
+ protected:
+  // Copying through a base reference would slice the derived element; keep
+  // copy/move protected so only concrete types expose value semantics.
+  Element(const Element&) = default;
+  Element& operator=(const Element&) = default;
 };
 
 }  // namespace cachedir

@@ -19,6 +19,7 @@ namespace cachedir {
 
 class Interconnect {
  public:
+  Interconnect() = default;
   virtual ~Interconnect() = default;
 
   virtual std::size_t num_cores() const = 0;
@@ -27,6 +28,12 @@ class Interconnect {
   // Extra cycles incurred when `core` accesses LLC slice `slice`, on top of
   // the slice-local pipeline latency. Deterministic.
   virtual Cycles SlicePenalty(CoreId core, SliceId slice) const = 0;
+
+ protected:
+  // Protected copy/move: copying through the base would slice the concrete
+  // topology (ring vs mesh).
+  Interconnect(const Interconnect&) = default;
+  Interconnect& operator=(const Interconnect&) = default;
 };
 
 // Bi-directional ring with one stop per (core, slice) pair, as on Haswell-EP.

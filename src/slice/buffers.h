@@ -25,12 +25,20 @@ struct SliceLine {
 // simulated physical addresses.
 class MemoryBuffer {
  public:
+  MemoryBuffer() = default;
   virtual ~MemoryBuffer() = default;
 
   virtual std::size_t size_bytes() const = 0;
 
   // Physical address backing logical offset `off` (off < size_bytes()).
   virtual PhysAddr PaForOffset(std::size_t off) const = 0;
+
+ protected:
+  // Protected copy/move: buffers are passed around by value as concrete
+  // types (SliceBuffer, ContiguousBuffer); copying through the base would
+  // slice them.
+  MemoryBuffer(const MemoryBuffer&) = default;
+  MemoryBuffer& operator=(const MemoryBuffer&) = default;
 };
 
 // Contiguous buffer: ordinary allocation from a hugepage. Deliberately

@@ -32,9 +32,15 @@ double Samples::Percentile(double p) const {
   if (p >= 100) {
     return sorted_.back();
   }
+  // Linear interpolation between closest ranks. The floor is taken in
+  // double precision *before* narrowing to an index: a bare
+  // static_cast<std::size_t>(rank) would also truncate, but only for values
+  // that fit — std::floor keeps the rounding explicit and the subsequent
+  // cast provably in range (rank < size-1 <= 2^53 here).
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
+  const double rank_floor = std::floor(rank);
+  const auto lo = static_cast<std::size_t>(rank_floor);
+  const double frac = rank - rank_floor;
   if (lo + 1 >= sorted_.size()) {
     return sorted_.back();
   }

@@ -82,7 +82,8 @@ void RewriteIpAndPort(PhysicalMemory& mem, PhysAddr data_pa, std::uint32_t new_i
 
 void DecrementTtl(PhysicalMemory& mem, PhysAddr data_pa) {
   const std::uint8_t ttl = mem.ReadU8(data_pa + kTtlOffset);
-  mem.WriteU8(data_pa + kTtlOffset, ttl == 0 ? 0 : ttl - 1);
+  mem.WriteU8(data_pa + kTtlOffset,
+              ttl == 0 ? std::uint8_t{0} : static_cast<std::uint8_t>(ttl - 1));
 }
 
 }  // namespace cachedir

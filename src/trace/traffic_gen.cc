@@ -89,7 +89,7 @@ std::vector<WirePacket> TrafficGenerator::Generate(std::size_t count) {
 
 TrafficGenerator::SizeMixStats TrafficGenerator::size_mix() const {
   SizeMixStats s = mix_;
-  s.mean_size = s.total == 0 ? 0 : static_cast<double>(size_sum_) / s.total;
+  s.mean_size = s.total == 0 ? 0 : static_cast<double>(size_sum_) / static_cast<double>(s.total);
   return s;
 }
 

@@ -1,0 +1,123 @@
+// Golden tests for tools/detlint: each bad-snippet fixture must trip exactly
+// its rule, the escape-hatch fixture must be clean, and the real tree must
+// scan clean — that last assertion is the tripwire every future PR lands on.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace cachedir {
+namespace {
+
+#ifndef DETLINT_BIN
+#error "DETLINT_BIN must point at the detlint executable"
+#endif
+#ifndef DETLINT_FIXTURES
+#error "DETLINT_FIXTURES must point at tools/detlint_fixtures"
+#endif
+#ifndef DETLINT_REPO_ROOT
+#error "DETLINT_REPO_ROOT must point at the repository root"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs detlint with `args`, capturing stdout (findings go to stdout).
+RunResult RunDetlint(const std::string& args) {
+  const std::string cmd = std::string(DETLINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return {};
+  }
+  RunResult result;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(DETLINT_FIXTURES) + "/" + name;
+}
+
+// How often a rule tag appears in the findings output.
+std::size_t CountRule(const std::string& output, const std::string& rule) {
+  const std::string tag = "[" + rule + "]";
+  std::size_t count = 0;
+  for (std::size_t pos = output.find(tag); pos != std::string::npos;
+       pos = output.find(tag, pos + tag.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(DetlintFixtures, WallClockSnippetTripsWallClockRule) {
+  const RunResult r = RunDetlint(Fixture("bad_wallclock.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountRule(r.output, "wall-clock"), 3u) << r.output;
+  EXPECT_EQ(CountRule(r.output, "global-rng"), 0u) << r.output;
+}
+
+TEST(DetlintFixtures, GlobalRngSnippetTripsGlobalRngRule) {
+  const RunResult r = RunDetlint(Fixture("bad_global_rng.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // srand, rand, random_device, two unseeded engines.
+  EXPECT_EQ(CountRule(r.output, "global-rng"), 5u) << r.output;
+  EXPECT_EQ(CountRule(r.output, "wall-clock"), 0u) << r.output;
+}
+
+TEST(DetlintFixtures, UnorderedIterSnippetTripsUnorderedIterRule) {
+  const RunResult r = RunDetlint(Fixture("bad_unordered_iter.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountRule(r.output, "unordered-iter"), 2u) << r.output;
+}
+
+TEST(DetlintFixtures, PhysmemBypassSnippetTripsPhysmemRuleInModelPath) {
+  const RunResult r = RunDetlint(Fixture("nfv/bad_physmem_bypass.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountRule(r.output, "physmem-bypass"), 2u) << r.output;
+}
+
+TEST(DetlintFixtures, EscapeHatchSuppressesEveryRule) {
+  const RunResult r = RunDetlint(Fixture("allowed_escapes.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "") << r.output;
+}
+
+TEST(DetlintFixtures, WholeFixtureDirectoryAggregatesFindings) {
+  const RunResult r = RunDetlint(std::string(DETLINT_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_GE(CountRule(r.output, "wall-clock"), 3u) << r.output;
+  EXPECT_GE(CountRule(r.output, "global-rng"), 5u) << r.output;
+  EXPECT_GE(CountRule(r.output, "unordered-iter"), 2u) << r.output;
+  EXPECT_GE(CountRule(r.output, "physmem-bypass"), 2u) << r.output;
+}
+
+TEST(DetlintTree, RepositoryScansClean) {
+  const RunResult r = RunDetlint("--root " + std::string(DETLINT_REPO_ROOT));
+  EXPECT_EQ(r.exit_code, 0) << "determinism lint findings in the tree:\n" << r.output;
+}
+
+TEST(DetlintCli, ListRulesNamesAllFour) {
+  const RunResult r = RunDetlint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule : {"wall-clock", "global-rng", "physmem-bypass", "unordered-iter"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+  }
+}
+
+TEST(DetlintCli, BadUsageExitsTwo) {
+  EXPECT_EQ(RunDetlint("").exit_code, 2);
+  EXPECT_EQ(RunDetlint("/nonexistent/path/nowhere.cc").exit_code, 2);
+}
+
+}  // namespace
+}  // namespace cachedir

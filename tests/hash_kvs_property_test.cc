@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(Layouts, HashKvsModelCheck,
                                             ::testing::Values(std::size_t{64},
                                                               std::size_t{100},
                                                               std::size_t{256})),
-                         [](const auto& info) {
-                           return std::string(std::get<0>(info.param) ? "Slice" : "Normal") +
-                                  "V" + std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return std::string(std::get<0>(param_info.param) ? "Slice" : "Normal") +
+                                  "V" + std::to_string(std::get<1>(param_info.param));
                          });
 
 }  // namespace

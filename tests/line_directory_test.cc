@@ -134,6 +134,7 @@ TEST(LineDirectoryTest, RandomChurnMatchesReferenceMap) {
   }
   EXPECT_EQ(dir.size(), reference.size());
   // Full sweep: every reference entry is present with the right payload.
+  // Order-insensitive (per-entry assertions, no output). detlint: allow(unordered-iter)
   for (const auto& [index, value] : reference) {
     const LineDirectoryEntry* found = dir.Find(LineAt(index));
     ASSERT_NE(found, nullptr);

@@ -1,0 +1,117 @@
+// Concurrency stress for the deterministic parallel bench harness.
+//
+// Runs RunRepetitions / ParallelFor with deliberately oversubscribed thread
+// counts (far more workers than cores) and asserts the merged output is
+// bit-identical to the serial path. In a plain build this checks the
+// determinism contract; under -DCACHEDIR_SANITIZE=thread the same test is
+// the TSan stress: every worker builds a real MemoryHierarchy and hammers
+// shared-looking (but per-repetition) state, so any accidental sharing in
+// the harness or the simulator shows up as a reported race.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/mem/hugepage.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+// Forces the harness to a specific worker count for the duration of a scope.
+class ScopedThreadEnv {
+ public:
+  explicit ScopedThreadEnv(const char* value) {
+    const char* old = std::getenv("CACHEDIR_BENCH_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    setenv("CACHEDIR_BENCH_THREADS", value, 1);
+  }
+  ~ScopedThreadEnv() {
+    if (had_old_) {
+      setenv("CACHEDIR_BENCH_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("CACHEDIR_BENCH_THREADS");
+    }
+  }
+  ScopedThreadEnv(const ScopedThreadEnv&) = delete;
+  ScopedThreadEnv& operator=(const ScopedThreadEnv&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// One repetition: a private hierarchy, a private RNG, a mixed read/write/DMA
+// access pattern — returns a value that folds in every observable stat, so
+// any divergence between runs is caught.
+std::uint64_t CoherenceRepetition(std::size_t rep, std::uint64_t seed) {
+  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), seed);
+  HugepageAllocator backing;
+  const PhysAddr buf = backing.Allocate(1u << 20, PageSize::k2M).pa;
+  Rng rng(seed * 7919 + rep);
+  Cycles cycles = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const PhysAddr line = buf + rng.UniformIndex((1u << 20) / kCacheLineSize) * kCacheLineSize;
+    const CoreId core = static_cast<CoreId>(i % 4);
+    if ((i & 15u) == 0) {
+      cycles += hierarchy.DmaWrite(line, kCacheLineSize);
+    } else if ((i & 3u) == 0) {
+      cycles += hierarchy.Write(core, line).cycles;
+    } else {
+      cycles += hierarchy.Read(core, line).cycles;
+    }
+  }
+  std::uint64_t fold = cycles;
+  fold = fold * 1315423911u ^ hierarchy.stats().llc_misses;
+  fold = fold * 1315423911u ^ hierarchy.stats().dma_line_writes;
+  return fold;
+}
+
+TEST(ParallelStress, OversubscribedRepetitionsMatchSerialBitForBit) {
+  constexpr std::size_t kReps = 48;
+  constexpr std::uint64_t kSeed = 1234;
+
+  std::vector<std::uint64_t> serial;
+  {
+    ScopedThreadEnv env("1");
+    serial = RunRepetitions(kReps, kSeed, CoherenceRepetition);
+  }
+  ASSERT_EQ(serial.size(), kReps);
+
+  // 64 workers on a machine with far fewer cores: maximal interleaving.
+  for (const char* threads : {"4", "64"}) {
+    ScopedThreadEnv env(threads);
+    const std::vector<std::uint64_t> parallel = RunRepetitions(kReps, kSeed, CoherenceRepetition);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelStress, ParallelForRunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  ScopedThreadEnv env("32");
+  std::vector<std::uint64_t> hits(kN, 0);
+  // Each index owns its slot, per the harness contract.
+  ParallelFor(kN, [&](std::size_t i) { hits[i] += i + 1; });
+  std::uint64_t sum = std::accumulate(hits.begin(), hits.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, kN * (kN + 1) / 2);
+}
+
+TEST(ParallelStress, RepeatedOversubscribedRunsAreIdentical) {
+  ScopedThreadEnv env("64");
+  const auto a = RunRepetitions(16, 99, CoherenceRepetition);
+  const auto b = RunRepetitions(16, 99, CoherenceRepetition);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -141,9 +141,9 @@ INSTANTIATE_TEST_SUITE_P(Geometries, CacheModelCheck,
                          ::testing::Values(Geometry{4, 1}, Geometry{4, 2}, Geometry{16, 4},
                                            Geometry{64, 8}, Geometry{32, 20},
                                            Geometry{128, 11}, Geometry{2048, 20}),
-                         [](const auto& info) {
-                           return "sets" + std::to_string(std::get<0>(info.param)) + "ways" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return "sets" + std::to_string(std::get<0>(param_info.param)) + "ways" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 // ---- Structural invariants across replacement policies ----
@@ -237,8 +237,8 @@ TEST_P(CachePolicyInvariants, WayMaskConfinementHolds) {
 INSTANTIATE_TEST_SUITE_P(Policies, CachePolicyInvariants,
                          ::testing::Values(ReplacementKind::kLru, ReplacementKind::kTreePlru,
                                            ReplacementKind::kRandom),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case ReplacementKind::kLru:
                                return "Lru";
                              case ReplacementKind::kTreePlru:

@@ -89,7 +89,7 @@ INSTANTIATE_TEST_SUITE_P(Machines, SliceHashProperties,
                          ::testing::Values(HashCase{"Haswell8", &HaswellSliceHash, 8},
                                            HashCase{"Skylake18", &SkylakeSliceHash, 18},
                                            HashCase{"SandyBridge4", &SandyBridgeSliceHash, 4}),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 TEST(HaswellHashStructure, XorLinearityOverThousandsOfPairs) {
   const auto hash = HaswellSliceHash();

@@ -174,7 +174,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MachineCase{"Haswell", &HaswellXeonE52667V3, &HaswellSliceHash},
                       MachineCase{"Skylake", &SkylakeXeonGold6134, &SkylakeSliceHash},
                       MachineCase{"SandyBridge", &SandyBridgeXeonQuad, &SandyBridgeSliceHash}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace cachedir

@@ -1,0 +1,333 @@
+// detlint — determinism lint for the simulator tree.
+//
+// The house invariants (CLAUDE.md) say: no wall-clock, no global RNG, and
+// every simulated access costed through MemoryHierarchy. This tool turns
+// those conventions into machine-checked properties. It is a file-scope
+// regex/token analysis — deliberately dependency-free (no libclang), fast
+// enough to run on every CI push, and conservative: string literals and
+// comments are stripped before matching, so mentioning "rand()" in a doc
+// comment is not a finding.
+//
+// Rules
+//   wall-clock      host-time reads (std::chrono::{system,steady,high_
+//                   resolution}_clock, time(), clock(), clock_gettime,
+//                   gettimeofday) anywhere but the whitelisted host-timing
+//                   shim in bench/common.{h,cc}.
+//   global-rng      rand()/srand(), std::random_device, and mt19937 engines
+//                   constructed without a seed, anywhere but the seeded-Rng
+//                   shim src/sim/rng.h.
+//   unordered-iter  range-for over a std::unordered_{map,set,multimap,
+//                   multiset} variable declared in the same file: iteration
+//                   order is unspecified, so any output or merge produced
+//                   from it is not reproducible.
+//   physmem-bypass  PhysicalMemory reads/writes in application-model code
+//                   (src/nfv/, src/kvs/) with no MemoryHierarchy access
+//                   nearby: the experiment silently under-costs.
+//
+// Escape hatch: a deliberate exception carries
+//     // detlint: allow(<rule>)
+// on the same line or the line directly above. Setup-time writes that
+// intentionally bypass cycle accounting are the canonical use.
+//
+// Usage
+//   detlint --root <repo>              scan src/ bench/ tests/ tools/
+//   detlint <file-or-dir>...           scan explicit paths (fixture mode)
+//   detlint --list-rules               print rule names and exit
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string excerpt;
+};
+
+struct Rule {
+  const char* name;
+  std::regex pattern;
+  // Substrings of the (generic, '/'-separated) path that exempt a file.
+  std::vector<std::string> whitelist;
+  // If non-empty, the rule only applies to paths containing one of these.
+  std::vector<std::string> only_in;
+};
+
+// The one place host time may be read (report-only timing shim) and the one
+// place a raw engine may live (the seeded Rng wrapper).
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> rules = {
+      {"wall-clock",
+       std::regex(R"(std::chrono::(system_clock|steady_clock|high_resolution_clock))"
+                  R"(|\bclock_gettime\b|\bgettimeofday\b|\btime\s*\(|\bclock\s*\()"),
+       {"bench/common.h", "bench/common.cc"},
+       {}},
+      {"global-rng",
+       std::regex(R"(\brand\s*\(|\bsrand\s*\(|\brandom_device\b)"
+                  R"(|\bmt19937(_64)?\s+\w+\s*(;|\{\s*\}|=\s*\{\s*\}))"
+                  R"(|\bmt19937(_64)?\s*(\(\s*\)|\{\s*\}))"),
+       {"src/sim/rng.h"},
+       {}},
+      {"physmem-bypass",
+       std::regex(R"(\bmemory_?\.\s*(Read|Write)(U8|U32|U64)?\s*\()"),
+       {},
+       {"/nfv/", "/kvs/"}},
+  };
+  return rules;
+}
+
+constexpr const char* kUnorderedIterRule = "unordered-iter";
+
+// How far (in lines) a MemoryHierarchy access may sit from a PhysicalMemory
+// access before the latter counts as bypassing cycle accounting.
+constexpr std::size_t kHierarchyWindow = 6;
+
+bool PathContains(const std::string& generic, const std::vector<std::string>& needles) {
+  for (const std::string& n : needles) {
+    if (generic.find(n) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Replaces comments and string/char literals with spaces, preserving line
+// structure. `in_block` carries /* ... */ state across lines.
+std::string StripCommentsAndStrings(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;  // rest of line is a comment
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out[i] = quote;
+      for (++i; i < line.size(); ++i) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          out[i] = quote;
+          break;
+        }
+      }
+      continue;
+    }
+    out[i] = c;
+  }
+  return out;
+}
+
+bool AllowedBy(const std::string& raw_line, const std::string& prev_raw_line,
+               const std::string& rule) {
+  const std::string tag = "detlint: allow(" + rule + ")";
+  return raw_line.find(tag) != std::string::npos || prev_raw_line.find(tag) != std::string::npos;
+}
+
+std::string Trimmed(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  const std::size_t e = s.find_last_not_of(" \t");
+  std::string t = s.substr(b, e - b + 1);
+  if (t.size() > 90) {
+    t.resize(90);
+  }
+  return t;
+}
+
+void ScanFile(const fs::path& path, const std::string& generic, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "detlint: cannot read %s\n", generic.c_str());
+    return;
+  }
+  std::vector<std::string> raw;
+  for (std::string line; std::getline(in, line);) {
+    raw.push_back(std::move(line));
+  }
+  std::vector<std::string> code(raw.size());
+  bool in_block = false;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    code[i] = StripCommentsAndStrings(raw[i], in_block);
+  }
+
+  // Pattern rules.
+  for (const Rule& rule : Rules()) {
+    if (!rule.only_in.empty() && !PathContains(generic, rule.only_in)) {
+      continue;
+    }
+    if (PathContains(generic, rule.whitelist)) {
+      continue;
+    }
+    const bool is_physmem = std::string(rule.name) == "physmem-bypass";
+    static const std::regex hierarchy_use(R"(\bhierarchy_?\.\s*\w+\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (!std::regex_search(code[i], rule.pattern)) {
+        continue;
+      }
+      if (is_physmem) {
+        // A PhysicalMemory access is fine when the surrounding lines charge
+        // cycles through the hierarchy; only uncosted accesses are findings.
+        bool costed = false;
+        const std::size_t lo = i >= kHierarchyWindow ? i - kHierarchyWindow : 0;
+        const std::size_t hi = std::min(code.size() - 1, i + kHierarchyWindow);
+        for (std::size_t j = lo; j <= hi && !costed; ++j) {
+          costed = std::regex_search(code[j], hierarchy_use);
+        }
+        if (costed) {
+          continue;
+        }
+      }
+      if (AllowedBy(raw[i], i > 0 ? raw[i - 1] : "", rule.name)) {
+        continue;
+      }
+      findings.push_back({generic, i + 1, rule.name, Trimmed(raw[i])});
+    }
+  }
+
+  // unordered-iter: two passes — collect unordered container variable names,
+  // then flag range-for statements over them.
+  static const std::regex unordered_decl(
+      R"(\bunordered_(map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*(;|=|\{))");
+  static const std::regex range_for(R"(\bfor\s*\([^;:)]*:\s*(\w+)\s*\))");
+  std::vector<std::string> unordered_names;
+  for (const std::string& line : code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), unordered_decl), end; it != end; ++it) {
+      unordered_names.push_back((*it)[2].str());
+    }
+  }
+  if (!unordered_names.empty()) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(code[i], m, range_for)) {
+        continue;
+      }
+      const std::string var = m[1].str();
+      bool is_unordered = false;
+      for (const std::string& name : unordered_names) {
+        if (name == var) {
+          is_unordered = true;
+          break;
+        }
+      }
+      if (!is_unordered || AllowedBy(raw[i], i > 0 ? raw[i - 1] : "", kUnorderedIterRule)) {
+        continue;
+      }
+      findings.push_back({generic, i + 1, kUnorderedIterRule, Trimmed(raw[i])});
+    }
+  }
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+void ScanTree(const fs::path& root, std::vector<Finding>& findings) {
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(root); it != fs::recursive_directory_iterator();
+       ++it) {
+    if (it->is_directory() && it->path().filename() == "detlint_fixtures") {
+      it.disable_recursion_pending();  // known-bad snippets are not tree code
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& f : files) {
+    ScanFile(f, f.generic_string(), findings);
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: detlint --root <repo-root> | detlint <file-or-dir>... | "
+               "detlint --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return Usage();
+  }
+  std::vector<Finding> findings;
+  if (args[0] == "--list-rules") {
+    for (const Rule& rule : Rules()) {
+      std::printf("%s\n", rule.name);
+    }
+    std::printf("%s\n", kUnorderedIterRule);
+    return 0;
+  }
+  if (args[0] == "--root") {
+    if (args.size() != 2 || !fs::is_directory(args[1])) {
+      return Usage();
+    }
+    for (const char* dir : {"src", "bench", "tests", "tools"}) {
+      const fs::path sub = fs::path(args[1]) / dir;
+      if (fs::is_directory(sub)) {
+        ScanTree(sub, findings);
+      }
+    }
+  } else {
+    for (const std::string& arg : args) {
+      const fs::path p(arg);
+      if (fs::is_directory(p)) {
+        // Explicitly-named directories are scanned as-is (fixture mode): the
+        // detlint_fixtures skip only applies when walking the real tree.
+        std::vector<fs::path> files;
+        for (const auto& entry : fs::recursive_directory_iterator(p)) {
+          if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+            files.push_back(entry.path());
+          }
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path& f : files) {
+          ScanFile(f, f.generic_string(), findings);
+        }
+      } else if (fs::is_regular_file(p)) {
+        ScanFile(p, p.generic_string(), findings);
+      } else {
+        std::fprintf(stderr, "detlint: no such path: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.excerpt.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("detlint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

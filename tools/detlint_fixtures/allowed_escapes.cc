@@ -1,0 +1,27 @@
+// detlint self-test fixture: the same violations as the bad_* files, each
+// carrying the per-line escape hatch — this file must produce ZERO findings.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+double WhitelistedTiming() {
+  // detlint: allow(wall-clock)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+unsigned DeliberateEntropy() {
+  std::random_device rd;  // detlint: allow(global-rng)
+  return rd();
+}
+
+int OrderInsensitiveSum() {
+  std::unordered_map<int, int> m = {{1, 2}, {3, 4}};
+  int sum = 0;
+  // Summation is order-insensitive, a legitimate exception:
+  // detlint: allow(unordered-iter)
+  for (const auto& [k, v] : m) {
+    sum += k + v;
+  }
+  return sum;
+}

@@ -1,0 +1,24 @@
+// detlint self-test fixture: every construct below must trip the global-rng
+// rule — process-global or nondeterministically-seeded randomness.
+#include <cstdlib>
+#include <random>
+
+int GlobalRand() {
+  srand(42);
+  return rand();
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned UnseededEngine() {
+  std::mt19937 gen;
+  return gen();
+}
+
+unsigned UnseededEngine64() {
+  std::mt19937_64 gen{};
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,20 @@
+// detlint self-test fixture: range-for over unordered containers declared in
+// this file — iteration order is unspecified, so any output built from it is
+// not reproducible.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void DumpCounters() {
+  std::unordered_map<std::string, int> counters = {{"hits", 1}, {"misses", 2}};
+  std::unordered_set<int> seen = {1, 2, 3};
+  for (const auto& [name, value] : counters) {
+    std::printf("%s=%d\n", name.c_str(), value);
+  }
+  int sum = 0;
+  for (const int v : seen) {
+    sum += v;
+  }
+  std::printf("%d\n", sum);
+}

@@ -1,0 +1,16 @@
+// detlint self-test fixture: every line below must trip the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+double HostSecondsSinceEpoch() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long MonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_nsec;
+}
+
+long UnixSeconds() { return time(nullptr); }

@@ -1,0 +1,19 @@
+// detlint self-test fixture (application-model path): PhysicalMemory
+// accesses with no MemoryHierarchy access nearby — the simulated cycles for
+// these reads/writes are never charged, so the experiment under-costs.
+#include <cstdint>
+
+struct FakeMemory {
+  std::uint32_t ReadU32(std::uint64_t) const { return 0; }
+  void WriteU32(std::uint64_t, std::uint32_t) {}
+};
+
+struct FakeElement {
+  FakeMemory memory_;
+
+  std::uint32_t Process(std::uint64_t pa) {
+    const std::uint32_t header = memory_.ReadU32(pa);
+    memory_.WriteU32(pa, header + 1);
+    return header;
+  }
+};

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-shot analysis driver: configure + determinism lint + clang-tidy +
+# ASan/UBSan ctest + TSan ctest. This is the same gauntlet CI runs; see
+# docs/architecture.md §9. Usage:
+#
+#   tools/run_analysis.sh            # everything
+#   tools/run_analysis.sh --fast     # detlint + tidy only (no sanitizer builds)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "configure (default preset, exports compile_commands.json)"
+cmake --preset default >/dev/null
+
+step "build detlint"
+cmake --build --preset default --target detlint
+
+step "detlint: determinism lint over src/ bench/ tests/ tools/"
+"${repo_root}/build/tools/detlint" --root "${repo_root}"
+echo "detlint: clean"
+
+step "clang-tidy (diff-aware when run-clang-tidy is available)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "${repo_root}/build" -quiet "${repo_root}/src/.*" "${repo_root}/tools/.*"
+else
+  echo "run-clang-tidy not installed; skipping (CI runs it — see .github/workflows/ci.yml)"
+fi
+
+if [[ ${fast} -eq 1 ]]; then
+  step "--fast: skipping sanitizer builds"
+  exit 0
+fi
+
+step "ASan+UBSan: full build + ctest"
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan
+ctest --preset asan-ubsan -j "$(nproc)"
+
+step "TSan: full build + ctest (includes the ParallelFor stress test)"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan
+ctest --preset tsan -j "$(nproc)"
+
+step "all analysis layers clean"
