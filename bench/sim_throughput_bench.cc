@@ -4,9 +4,11 @@
 //
 // This is the one bench that reads the HOST clock — through bench/common's
 // HostTimer shim, the single wall-clock site detlint whitelists. The timing
-// is report-only plumbing: it goes to stderr and to BENCH_simcore.json so
-// future PRs have a perf baseline to compare against, and it never feeds
-// back into any simulated quantity. stdout carries only deterministic
+// is report-only plumbing: it goes to stderr and to a JSON file (path given
+// as argv[1], default ./BENCH_simcore_fresh.json — gitignored) that
+// tools/check_perf_baseline.py compares against the committed
+// BENCH_simcore.json trajectory, and it never
+// feeds back into any simulated quantity. stdout carries only deterministic
 // simulated stats, so `for b in build/bench/*` output stays reproducible
 // bit-for-bit.
 //
@@ -17,6 +19,7 @@
 // InvalidateElsewhere / DowngradeElsewhere on ownership transfers.
 #include <cstdint>
 #include <cstdio>
+#include <thread>
 
 #include "bench/common.h"
 #include "src/cache/hierarchy.h"
@@ -104,7 +107,7 @@ ConfigResult RunConfig(std::size_t cores) {
   return result;
 }
 
-void Run() {
+void Run(const char* json_path) {
   PrintBanner("simcore", "simulator throughput: coherence-heavy accesses per host second");
   std::printf("%-6s  %-12s  %-14s  %-12s  %-12s\n", "Cores", "Accesses", "Sim cycles",
               "LLC misses", "DMA writes");
@@ -133,10 +136,26 @@ void Run() {
   PrintSectionRule();
   std::printf("host-side accesses/sec on stderr; baseline in BENCH_simcore.json\n");
 
-  // Host-side throughput: stderr + JSON only.
-  FILE* json = std::fopen("BENCH_simcore.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"sim_throughput\",\n  \"configs\": [\n");
+  // Host-side throughput: stderr + JSON only (stdout must stay deterministic).
+  // The JSON schema matches the "configs" arrays inside the committed
+  // BENCH_simcore.json history entries, so tools/check_perf_baseline.py can
+  // compare a fresh run against the checked-in trajectory point.
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
+  } else {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"sim_throughput\",\n"
+                 "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
+                 "\"build\": \"%s\"},\n"
+                 "  \"configs\": [\n",
+                 std::thread::hardware_concurrency(), __VERSION__,
+#ifdef NDEBUG
+                 "release"
+#else
+                 "debug"
+#endif
+    );
   }
   for (std::size_t i = 0; i < 3; ++i) {
     const ConfigResult& r = results[i];
@@ -161,7 +180,10 @@ void Run() {
 }  // namespace
 }  // namespace cachedir
 
-int main() {
-  cachedir::Run();
+int main(int argc, char** argv) {
+  // Optional argv[1]: where to write the host-timing JSON. The default is a
+  // gitignored name so a plain `for b in build/bench/*` sweep never clobbers
+  // the committed BENCH_simcore.json trajectory.
+  cachedir::Run(argc > 1 ? argv[1] : "BENCH_simcore_fresh.json");
   return 0;
 }

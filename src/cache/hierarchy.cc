@@ -147,7 +147,7 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
       // Exclusive victim behaviour: the line moves to L2 rather than being
       // duplicated (so L2 + LLC capacities add up — without this, a working
       // set of slice-size + L2, the paper's Fig. 17 sizing, would thrash).
-      const auto inv = llc_.Invalidate(line);
+      const auto inv = llc_.InvalidateOnSlice(slice, line);
       fill_dirty = inv.was_dirty;
     }
   } else {
@@ -244,7 +244,7 @@ void MemoryHierarchy::PrefetchNextLine(CoreId core, PhysAddr line) {
   bool dirty = false;
   if (llc_.LookupAndTouchOnSlice(next_slice, next)) {
     if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
-      dirty = llc_.Invalidate(next).was_dirty;  // exclusive move to L2
+      dirty = llc_.InvalidateOnSlice(next_slice, next).was_dirty;  // exclusive move to L2
     }
   } else if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
     HandleLlcEviction(llc_.InsertForCoreOnSlice(core, next_slice, next, /*dirty=*/false));
@@ -307,13 +307,11 @@ void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* ext
     return;
   }
 
-  // Victim (Skylake) mode: L2 evictions fill the LLC.
+  // Victim (Skylake) mode: L2 evictions fill the LLC. One fused tag scan: a
+  // resident copy just absorbs the dirt, an absent line allocates under the
+  // core's CAT mask (possibly displacing an LLC victim).
   const SliceId victim_slice = llc_.SliceOf(evicted->line);
-  if (!llc_.ContainsOnSlice(victim_slice, evicted->line)) {
-    HandleLlcEviction(llc_.InsertForCoreOnSlice(core, victim_slice, evicted->line, victim_dirty));
-  } else if (victim_dirty) {
-    llc_.MarkDirtyOnSlice(victim_slice, evicted->line);
-  }
+  HandleLlcEviction(llc_.FillFromL2OnSlice(core, victim_slice, evicted->line, victim_dirty));
   if (victim_dirty) {
     ++stats_.dirty_writebacks;
     *extra_cycles += spec_.latency.writeback_busy + SlicePenalty(core, victim_slice);
@@ -355,12 +353,9 @@ Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
   // DMA takes ownership: stale copies leave the core caches.
   BackInvalidate(line);
   const SliceId slice = llc_.SliceOf(line);
-  if (llc_.ContainsOnSlice(slice, line)) {
-    llc_.MarkDirtyOnSlice(slice, line);
-    llc_.LookupAndTouchOnSlice(slice, line);
-  } else {
-    HandleLlcEviction(llc_.InsertForDmaOnSlice(slice, line));
-  }
+  // Fused DDIO fill: dirties + promotes a resident line, allocates in the
+  // DDIO ways otherwise — one tag scan instead of probe + touch + insert.
+  HandleLlcEviction(llc_.DmaFillOnSlice(slice, line));
   return spec_.latency.llc_base + spec_.interconnect->SlicePenalty(0, slice);
 }
 

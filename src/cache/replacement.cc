@@ -1,9 +1,5 @@
 #include "src/cache/replacement.h"
 
-#include <bit>
-#include <limits>
-#include <stdexcept>
-
 namespace cachedir {
 
 ReplacementState::ReplacementState(ReplacementKind kind, std::uint32_t num_ways)
@@ -22,7 +18,7 @@ void ReplacementState::OnAccess(std::uint32_t way) {
       stamps_[way] = ++tick_;
       break;
     case ReplacementKind::kTreePlru:
-      PlruTouch(way);
+      replacement::PlruTouch(plru_bits_, num_ways_, way);
       break;
     case ReplacementKind::kRandom:
       break;
@@ -32,99 +28,13 @@ void ReplacementState::OnAccess(std::uint32_t way) {
 std::uint32_t ReplacementState::ChooseVictim(std::uint64_t candidate_mask, Rng& rng) const {
   switch (kind_) {
     case ReplacementKind::kLru:
-      return LruVictim(candidate_mask);
+      return replacement::LruVictim(stamps_.data(), num_ways_, candidate_mask);
     case ReplacementKind::kTreePlru:
-      return PlruVictim(candidate_mask);
-    case ReplacementKind::kRandom: {
-      const int count = std::popcount(candidate_mask);
-      int pick = static_cast<int>(rng.UniformIndex(static_cast<std::size_t>(count)));
-      for (std::uint32_t way = 0; way < num_ways_; ++way) {
-        if ((candidate_mask >> way) & 1) {
-          if (pick-- == 0) {
-            return way;
-          }
-        }
-      }
-      break;
-    }
+      return replacement::PlruVictim(plru_bits_, num_ways_, candidate_mask);
+    case ReplacementKind::kRandom:
+      return replacement::RandomVictim(num_ways_, candidate_mask, rng);
   }
-  throw std::logic_error("ReplacementState::ChooseVictim: empty candidate mask");
-}
-
-std::uint32_t ReplacementState::LruVictim(std::uint64_t candidate_mask) const {
-  std::uint32_t victim = num_ways_;
-  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint32_t way = 0; way < num_ways_; ++way) {
-    if (((candidate_mask >> way) & 1) != 0 && stamps_[way] <= best) {
-      // <= keeps scanning so equal stamps pick the highest allowed way; any
-      // deterministic tie-break is fine.
-      best = stamps_[way];
-      victim = way;
-    }
-  }
-  if (victim == num_ways_) {
-    throw std::logic_error("ReplacementState::LruVictim: empty candidate mask");
-  }
-  return victim;
-}
-
-void ReplacementState::PlruTouch(std::uint32_t way) {
-  // Classic binary-tree PLRU over the next power of two >= num_ways. Node i
-  // has children 2i+1 / 2i+2; bit false means "left half is older".
-  std::uint32_t span = std::bit_ceil(num_ways_);
-  std::uint32_t node = 0;
-  std::uint32_t lo = 0;
-  while (span > 1) {
-    const std::uint32_t half = span / 2;
-    const bool right = way >= lo + half;
-    // Point away from the touched way.
-    if (right) {
-      plru_bits_ &= ~(std::uint64_t{1} << node);
-      lo += half;
-      node = 2 * node + 2;
-    } else {
-      plru_bits_ |= std::uint64_t{1} << node;
-      node = 2 * node + 1;
-    }
-    span = half;
-  }
-}
-
-std::uint32_t ReplacementState::PlruVictim(std::uint64_t candidate_mask) const {
-  // Walk the tree toward the "older" half, but never descend into a subtree
-  // with no allowed candidates.
-  const std::uint32_t full_span = std::bit_ceil(num_ways_);
-  std::uint32_t span = full_span;
-  std::uint32_t node = 0;
-  std::uint32_t lo = 0;
-  const auto subtree_has_candidate = [&](std::uint32_t start, std::uint32_t len) {
-    for (std::uint32_t w = start; w < start + len && w < num_ways_; ++w) {
-      if ((candidate_mask >> w) & 1) {
-        return true;
-      }
-    }
-    return false;
-  };
-  if (!subtree_has_candidate(0, full_span)) {
-    throw std::logic_error("ReplacementState::PlruVictim: empty candidate mask");
-  }
-  while (span > 1) {
-    const std::uint32_t half = span / 2;
-    bool go_right = ((plru_bits_ >> node) & 1) != 0;
-    if (go_right && !subtree_has_candidate(lo + half, half)) {
-      go_right = false;
-    } else if (!go_right && !subtree_has_candidate(lo, half)) {
-      go_right = true;
-    }
-    if (go_right) {
-      lo += half;
-      node = 2 * node + 2;
-    } else {
-      node = 2 * node + 1;
-    }
-    span = half;
-  }
-  return lo;
+  throw std::logic_error("ReplacementState::ChooseVictim: unknown replacement kind");
 }
 
 }  // namespace cachedir

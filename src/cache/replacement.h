@@ -1,22 +1,138 @@
-// Per-set replacement policies.
+// Replacement policies over flat, caller-owned metadata.
 //
 // Real parts use LRU approximations; the simulator offers true LRU (default,
 // matching the paper's description of the eviction behaviour it relies on),
 // tree-PLRU (closer to shipped silicon) and random (a pessimistic baseline
 // for ablation benches).
+//
+// The policies are stateless inline primitives operating on metadata the
+// caller owns: LRU reads a per-way stamp array and a per-set tick counter,
+// tree-PLRU a single uint64 of node bits per set, random only an Rng.
+// `SetAssocCache` keeps that metadata in flat arrays indexed by
+// set * ways + way (see docs/architecture.md §10), so choosing a victim
+// never chases a per-set object; `ReplacementState` below wraps the same
+// primitives for single-set callers (policy unit tests, ablation benches).
 #ifndef CACHEDIRECTOR_SRC_CACHE_REPLACEMENT_H_
 #define CACHEDIRECTOR_SRC_CACHE_REPLACEMENT_H_
 
+#include <bit>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "src/sim/replacement_kind.h"
 #include "src/sim/rng.h"
 
 namespace cachedir {
+namespace replacement {
 
-// Replacement metadata for one cache set. One instance per set; ways are
-// addressed by index. The caller guarantees way indices are < num_ways.
+// True LRU victim: the candidate way with the smallest stamp. `stamps` holds
+// one last-access tick per way of the set; `candidate_mask` bit i enables
+// way i and is never zero.
+inline std::uint32_t LruVictim(const std::uint64_t* stamps, std::uint32_t num_ways,
+                               std::uint64_t candidate_mask) {
+  std::uint32_t victim = num_ways;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t way = 0; way < num_ways; ++way) {
+    if (((candidate_mask >> way) & 1) != 0 && stamps[way] <= best) {
+      // <= keeps scanning so equal stamps pick the highest allowed way; any
+      // deterministic tie-break is fine.
+      best = stamps[way];
+      victim = way;
+    }
+  }
+  if (victim == num_ways) {
+    throw std::logic_error("replacement::LruVictim: empty candidate mask");
+  }
+  return victim;
+}
+
+// Promotes `way` in a classic binary-tree PLRU over the next power of two
+// >= num_ways. Node i has children 2i+1 / 2i+2; bit false means "left half
+// is older". `bits` is the set's packed node-bit word.
+inline void PlruTouch(std::uint64_t& bits, std::uint32_t num_ways, std::uint32_t way) {
+  std::uint32_t span = std::bit_ceil(num_ways);
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  while (span > 1) {
+    const std::uint32_t half = span / 2;
+    const bool right = way >= lo + half;
+    // Point away from the touched way.
+    if (right) {
+      bits &= ~(std::uint64_t{1} << node);
+      lo += half;
+      node = 2 * node + 2;
+    } else {
+      bits |= std::uint64_t{1} << node;
+      node = 2 * node + 1;
+    }
+    span = half;
+  }
+}
+
+// Tree-PLRU victim: walk the tree toward the "older" half, but never descend
+// into a subtree with no allowed candidates.
+inline std::uint32_t PlruVictim(std::uint64_t bits, std::uint32_t num_ways,
+                                std::uint64_t candidate_mask) {
+  const std::uint32_t full_span = std::bit_ceil(num_ways);
+  std::uint32_t span = full_span;
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  const auto subtree_has_candidate = [&](std::uint32_t start, std::uint32_t len) {
+    for (std::uint32_t w = start; w < start + len && w < num_ways; ++w) {
+      if ((candidate_mask >> w) & 1) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!subtree_has_candidate(0, full_span)) {
+    throw std::logic_error("replacement::PlruVictim: empty candidate mask");
+  }
+  while (span > 1) {
+    const std::uint32_t half = span / 2;
+    bool go_right = ((bits >> node) & 1) != 0;
+    if (go_right && !subtree_has_candidate(lo + half, half)) {
+      go_right = false;
+    } else if (!go_right && !subtree_has_candidate(lo, half)) {
+      go_right = true;
+    }
+    if (go_right) {
+      lo += half;
+      node = 2 * node + 2;
+    } else {
+      node = 2 * node + 1;
+    }
+    span = half;
+  }
+  return lo;
+}
+
+// Uniform pick among the candidate ways; consumes exactly one Rng draw.
+inline std::uint32_t RandomVictim(std::uint32_t num_ways, std::uint64_t candidate_mask,
+                                  Rng& rng) {
+  const int count = std::popcount(candidate_mask);
+  if (count == 0) {
+    throw std::logic_error("replacement::RandomVictim: empty candidate mask");
+  }
+  int pick = static_cast<int>(rng.UniformIndex(static_cast<std::size_t>(count)));
+  for (std::uint32_t way = 0; way < num_ways; ++way) {
+    if ((candidate_mask >> way) & 1) {
+      if (pick-- == 0) {
+        return way;
+      }
+    }
+  }
+  throw std::logic_error("replacement::RandomVictim: mask has bits beyond num_ways");
+}
+
+}  // namespace replacement
+
+// Replacement metadata for ONE set, wrapping the flat primitives above.
+// Used by the policy unit tests and the replacement ablation bench;
+// `SetAssocCache` owns its metadata directly and does not instantiate this.
+// The caller guarantees way indices are < num_ways.
 class ReplacementState {
  public:
   ReplacementState(ReplacementKind kind, std::uint32_t num_ways);
@@ -31,10 +147,6 @@ class ReplacementState {
   ReplacementKind kind() const { return kind_; }
 
  private:
-  std::uint32_t LruVictim(std::uint64_t candidate_mask) const;
-  std::uint32_t PlruVictim(std::uint64_t candidate_mask) const;
-  void PlruTouch(std::uint32_t way);
-
   ReplacementKind kind_;
   std::uint32_t num_ways_;
   std::uint64_t tick_ = 0;

@@ -1,142 +1,148 @@
 #include "src/cache/set_assoc_cache.h"
 
-#include <bit>
+#include <algorithm>
 #include <stdexcept>
 
 namespace cachedir {
 
 SetAssocCache::SetAssocCache(const Config& config)
-    : ways_(config.num_ways), set_mask_(config.num_sets - 1), rng_(config.seed) {
+    : ways_(config.num_ways),
+      ways32_(static_cast<std::uint32_t>(config.num_ways)),
+      set_mask_(config.num_sets - 1),
+      repl_(config.replacement),
+      rng_(config.seed) {
   if (config.num_sets == 0 || !std::has_single_bit(config.num_sets)) {
     throw std::invalid_argument("SetAssocCache: num_sets must be a power of two");
   }
   if (config.num_ways == 0 || config.num_ways > 64) {
     throw std::invalid_argument("SetAssocCache: num_ways must be in 1..64");
   }
-  sets_.reserve(config.num_sets);
-  for (std::size_t i = 0; i < config.num_sets; ++i) {
-    sets_.emplace_back(config.replacement, static_cast<std::uint32_t>(config.num_ways));
+  tags_.assign(config.num_sets * ways_, 0);
+  valid_.assign(config.num_sets, 0);
+  dirty_.assign(config.num_sets, 0);
+  switch (repl_) {
+    case ReplacementKind::kLru:
+      stamps_.assign(config.num_sets * ways_, 0);
+      ticks_.assign(config.num_sets, 0);
+      break;
+    case ReplacementKind::kTreePlru:
+      plru_.assign(config.num_sets, 0);
+      break;
+    case ReplacementKind::kRandom:
+      break;
   }
 }
 
-const SetAssocCache::Way* SetAssocCache::FindWay(PhysAddr line, std::size_t* way_out) const {
-  const Set& set = sets_[SetIndexOf(line)];
-  for (std::size_t w = 0; w < ways_; ++w) {
-    if (set.ways[w].valid && set.ways[w].line == line) {
-      if (way_out != nullptr) {
-        *way_out = w;
-      }
-      return &set.ways[w];
+std::uint32_t SetAssocCache::ChooseVictim(std::size_t set, std::uint64_t candidate_mask) {
+  switch (repl_) {
+    case ReplacementKind::kLru:
+      return replacement::LruVictim(stamps_.data() + set * ways_, ways32_, candidate_mask);
+    case ReplacementKind::kTreePlru:
+      return replacement::PlruVictim(plru_[set], ways32_, candidate_mask);
+    case ReplacementKind::kRandom:
+      return replacement::RandomVictim(ways32_, candidate_mask, rng_);
+  }
+  throw std::logic_error("SetAssocCache::ChooseVictim: unknown replacement kind");
+}
+
+// Allocates `line` in `set`: an invalid way inside the partition if one
+// exists, else the policy's victim among the partition's ways. The line must
+// not be present in the set.
+std::optional<EvictedLine> SetAssocCache::FillAbsent(std::size_t set, PhysAddr line,
+                                                     bool dirty, std::uint64_t way_mask) {
+  const std::uint64_t usable =
+      ways_ >= 64 ? way_mask : (way_mask & ((std::uint64_t{1} << ways_) - 1));
+  if (usable == 0) {
+    throw std::invalid_argument("SetAssocCache::Insert: empty way mask");
+  }
+  const std::size_t base = set * ways_;
+
+  // Prefer an invalid way inside the partition (the dirty bit of an invalid
+  // way is clear by invariant).
+  const std::uint64_t free = usable & ~valid_[set];
+  if (free != 0) {
+    const auto way = static_cast<std::uint32_t>(std::countr_zero(free));
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    tags_[base + way] = line;
+    valid_[set] |= bit;
+    if (dirty) {
+      dirty_[set] |= bit;
     }
+    TouchWay(set, way);
+    ++resident_;
+    return std::nullopt;
   }
-  return nullptr;
-}
 
-bool SetAssocCache::Contains(PhysAddr addr) const {
-  return FindWay(LineBase(addr), nullptr) != nullptr;
-}
-
-bool SetAssocCache::Touch(PhysAddr addr) { return Probe(addr).hit; }
-
-SetAssocCache::TouchResult SetAssocCache::Probe(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  std::size_t way = 0;
-  const Way* w = FindWay(line, &way);
-  if (w == nullptr) {
-    return TouchResult{};
+  const std::uint32_t victim = ChooseVictim(set, usable);
+  const std::uint64_t bit = std::uint64_t{1} << victim;
+  EvictedLine evicted{tags_[base + victim], (dirty_[set] & bit) != 0};
+  tags_[base + victim] = line;
+  if (dirty) {
+    dirty_[set] |= bit;
+  } else {
+    dirty_[set] &= ~bit;
   }
-  sets_[SetIndexOf(line)].repl.OnAccess(static_cast<std::uint32_t>(way));
-  return TouchResult{true, w->dirty};
-}
-
-bool SetAssocCache::MarkDirty(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  std::size_t way = 0;
-  if (FindWay(line, &way) == nullptr) {
-    return false;
-  }
-  sets_[SetIndexOf(line)].ways[way].dirty = true;
-  return true;
-}
-
-bool SetAssocCache::MarkClean(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  std::size_t way = 0;
-  if (FindWay(line, &way) == nullptr) {
-    return false;
-  }
-  Set& set = sets_[SetIndexOf(line)];
-  const bool was_dirty = set.ways[way].dirty;
-  set.ways[way].dirty = false;
-  return was_dirty;
-}
-
-bool SetAssocCache::IsDirty(PhysAddr addr) const {
-  const PhysAddr line = LineBase(addr);
-  std::size_t way = 0;
-  const Way* w = FindWay(line, &way);
-  return w != nullptr && w->dirty;
+  TouchWay(set, victim);
+  return evicted;
 }
 
 std::optional<EvictedLine> SetAssocCache::Insert(PhysAddr addr, bool dirty,
                                                  std::uint64_t way_mask) {
   const PhysAddr line = LineBase(addr);
-  if (Contains(line)) {
+  const std::size_t set = SetIndexOf(line);
+  if (FindWay(set, line) != kNoWay) {
     throw std::logic_error("SetAssocCache::Insert: line already present");
   }
-  const std::uint64_t usable = ways_ >= 64 ? way_mask
-                                           : (way_mask & ((std::uint64_t{1} << ways_) - 1));
-  if (usable == 0) {
-    throw std::invalid_argument("SetAssocCache::Insert: empty way mask");
-  }
-  Set& set = sets_[SetIndexOf(line)];
+  return FillAbsent(set, line, dirty, way_mask);
+}
 
-  // Prefer an invalid way inside the partition.
-  for (std::size_t w = 0; w < ways_; ++w) {
-    if (((usable >> w) & 1) != 0 && !set.ways[w].valid) {
-      set.ways[w] = Way{line, true, dirty};
-      set.repl.OnAccess(static_cast<std::uint32_t>(w));
-      ++resident_;
-      return std::nullopt;
+SetAssocCache::FillResult SetAssocCache::Fill(PhysAddr addr, bool dirty,
+                                              std::uint64_t way_mask, bool promote_on_hit) {
+  const PhysAddr line = LineBase(addr);
+  const std::size_t set = SetIndexOf(line);
+  const std::uint32_t way = FindWay(set, line);
+  FillResult result;
+  if (way != kNoWay) {
+    result.was_present = true;
+    if (dirty) {
+      dirty_[set] |= std::uint64_t{1} << way;
     }
+    if (promote_on_hit) {
+      TouchWay(set, way);
+    }
+    return result;
   }
-
-  const std::uint32_t victim = set.repl.ChooseVictim(usable, rng_);
-  EvictedLine evicted{set.ways[victim].line, set.ways[victim].dirty};
-  set.ways[victim] = Way{line, true, dirty};
-  set.repl.OnAccess(victim);
-  return evicted;
+  result.evicted = FillAbsent(set, line, dirty, way_mask);
+  return result;
 }
 
 SetAssocCache::InvalidateResult SetAssocCache::Invalidate(PhysAddr addr) {
   const PhysAddr line = LineBase(addr);
-  std::size_t way = 0;
-  if (FindWay(line, &way) == nullptr) {
+  const std::size_t set = SetIndexOf(line);
+  const std::uint32_t way = FindWay(set, line);
+  if (way == kNoWay) {
     return InvalidateResult{};
   }
-  Set& set = sets_[SetIndexOf(line)];
-  const bool dirty = set.ways[way].dirty;
-  set.ways[way] = Way{};
+  const std::uint64_t bit = std::uint64_t{1} << way;
+  const bool was_dirty = (dirty_[set] & bit) != 0;
+  valid_[set] &= ~bit;
+  dirty_[set] &= ~bit;  // keep dirty ⊆ valid; the stale tag is masked off
   --resident_;
-  return InvalidateResult{true, dirty};
+  return InvalidateResult{true, was_dirty};
 }
 
 void SetAssocCache::Clear() {
-  for (Set& set : sets_) {
-    for (Way& way : set.ways) {
-      way = Way{};
-    }
-  }
+  // Replacement metadata (stamps, ticks, PLRU bits) deliberately survives,
+  // matching the historical behaviour: a cleared array keeps its recency
+  // history, which only influences tie-breaks among the refilled lines.
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
   resident_ = 0;
 }
 
 std::vector<EvictedLine> SetAssocCache::LinesInSet(std::size_t set_index) const {
   std::vector<EvictedLine> out;
-  for (const Way& way : sets_[set_index].ways) {
-    if (way.valid) {
-      out.push_back(EvictedLine{way.line, way.dirty});
-    }
-  }
+  ForEachLineInSet(set_index, [&out](const EvictedLine& entry) { out.push_back(entry); });
   return out;
 }
 

@@ -1,9 +1,19 @@
 // A single set-associative cache array (tag store only — data lives in the
 // simulated PhysicalMemory; the caches track presence, recency and dirtiness,
 // which is all that latency accounting needs).
+//
+// Layout is struct-of-arrays (docs/architecture.md §10): one contiguous tag
+// array indexed by set * ways + way, per-set valid/dirty bits packed into
+// uint64 way-masks (ways <= 64 by construction), and replacement metadata in
+// flat arrays sized per policy. A probe is a mask-guided scan over the set's
+// contiguous tag row; there is no per-set object and no per-set heap block,
+// so the host-side hot path touches two or three cache lines per set instead
+// of chasing a vector-of-structs. Every access/eviction path below is
+// allocation-free in steady state (enforced by tests/hotpath_alloc_test.cc).
 #ifndef CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 #define CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -31,7 +41,7 @@ class SetAssocCache {
 
   explicit SetAssocCache(const Config& config);
 
-  std::size_t num_sets() const { return sets_.size(); }
+  std::size_t num_sets() const { return set_mask_ + 1; }
   std::size_t num_ways() const { return ways_; }
   std::size_t capacity_bytes() const { return num_sets() * ways_ * kCacheLineSize; }
 
@@ -40,10 +50,13 @@ class SetAssocCache {
   }
 
   // Presence test without touching replacement state.
-  bool Contains(PhysAddr addr) const;
+  bool Contains(PhysAddr addr) const {
+    const PhysAddr line = LineBase(addr);
+    return FindWay(SetIndexOf(line), line) != kNoWay;
+  }
 
   // Lookup that promotes the line on hit. Returns true on hit.
-  bool Touch(PhysAddr addr);
+  bool Touch(PhysAddr addr) { return Probe(addr).hit; }
 
   // Touch and dirty-bit read in a single tag probe — the hierarchy's L1/L2
   // hit paths need both and would otherwise scan the set twice.
@@ -51,17 +64,51 @@ class SetAssocCache {
     bool hit = false;
     bool dirty = false;
   };
-  TouchResult Probe(PhysAddr addr);
+  TouchResult Probe(PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    const std::uint32_t way = FindWay(set, line);
+    if (way == kNoWay) {
+      return TouchResult{};
+    }
+    TouchWay(set, way);
+    return TouchResult{true, ((dirty_[set] >> way) & 1) != 0};
+  }
 
   // Marks a present line dirty (no-op if absent). Returns true if present.
-  bool MarkDirty(PhysAddr addr);
+  bool MarkDirty(PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    const std::uint32_t way = FindWay(set, line);
+    if (way == kNoWay) {
+      return false;
+    }
+    dirty_[set] |= std::uint64_t{1} << way;
+    return true;
+  }
 
   // Clears the dirty bit of a present line (coherence downgrade M -> S).
   // Returns true if the line was present and dirty.
-  bool MarkClean(PhysAddr addr);
+  bool MarkClean(PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    const std::uint32_t way = FindWay(set, line);
+    if (way == kNoWay) {
+      return false;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << way;
+    const bool was_dirty = (dirty_[set] & bit) != 0;
+    dirty_[set] &= ~bit;
+    return was_dirty;
+  }
 
   // Returns whether the line is present AND dirty.
-  bool IsDirty(PhysAddr addr) const;
+  bool IsDirty(PhysAddr addr) const {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    const std::uint32_t way = FindWay(set, line);
+    return way != kNoWay && ((dirty_[set] >> way) & 1) != 0;
+  }
 
   // Inserts the line (must not already be present — call Touch first).
   // Allocation and victim choice are restricted to the ways enabled in
@@ -69,6 +116,16 @@ class SetAssocCache {
   // if one had to be evicted.
   std::optional<EvictedLine> Insert(PhysAddr addr, bool dirty,
                                     std::uint64_t way_mask = ~std::uint64_t{0});
+
+  // Single-scan fill for the LLC paths that would otherwise pay a Contains
+  // probe followed by an Insert/MarkDirty re-scan: if the line is present,
+  // sets its dirty bit when `dirty` and promotes it when `promote_on_hit`;
+  // if absent, inserts it within `way_mask` exactly like Insert.
+  struct FillResult {
+    bool was_present = false;
+    std::optional<EvictedLine> evicted;  // only when !was_present
+  };
+  FillResult Fill(PhysAddr addr, bool dirty, std::uint64_t way_mask, bool promote_on_hit);
 
   // Removes the line if present; reports whether it was present and dirty.
   struct InvalidateResult {
@@ -81,32 +138,74 @@ class SetAssocCache {
   // considered written back to memory (data already lives there).
   void Clear();
 
-  // All currently-resident lines of one set, as (line address, dirty) pairs;
-  // used by inclusive back-invalidation and by tests.
+  // Allocation-free enumeration of one set's resident lines, in way order;
+  // `fn` receives each line as an EvictedLine (line address, dirty).
+  template <typename Fn>
+  void ForEachLineInSet(std::size_t set_index, Fn&& fn) const {
+    const PhysAddr* tags = tags_.data() + set_index * ways_;
+    const std::uint64_t dirty = dirty_[set_index];
+    std::uint64_t live = valid_[set_index];
+    while (live != 0) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(live));
+      live &= live - 1;
+      fn(EvictedLine{tags[way], ((dirty >> way) & 1) != 0});
+    }
+  }
+
+  // Test-facing convenience over ForEachLineInSet: materialises the set's
+  // resident lines as a vector. Nothing on a simulation path calls this —
+  // it allocates.
   std::vector<EvictedLine> LinesInSet(std::size_t set_index) const;
 
   std::size_t resident_lines() const { return resident_; }
 
  private:
-  struct Way {
-    PhysAddr line = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
+  // Sentinel way index: "not found". Ways are always < 64.
+  static constexpr std::uint32_t kNoWay = 64;
 
-  struct Set {
-    std::vector<Way> ways;
-    ReplacementState repl;
+  // Mask-guided scan over the set's contiguous tag row: only valid ways are
+  // compared, invalid ones are skipped by the bit iteration.
+  std::uint32_t FindWay(std::size_t set, PhysAddr line) const {
+    const PhysAddr* tags = tags_.data() + set * ways_;
+    std::uint64_t live = valid_[set];
+    while (live != 0) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(live));
+      if (tags[way] == line) {
+        return way;
+      }
+      live &= live - 1;
+    }
+    return kNoWay;
+  }
 
-    Set(ReplacementKind kind, std::uint32_t num_ways)
-        : ways(num_ways), repl(kind, num_ways) {}
-  };
+  // Promote `way` to most-recently-used under the configured policy.
+  void TouchWay(std::size_t set, std::uint32_t way) {
+    switch (repl_) {
+      case ReplacementKind::kLru:
+        stamps_[set * ways_ + way] = ++ticks_[set];
+        break;
+      case ReplacementKind::kTreePlru:
+        replacement::PlruTouch(plru_[set], ways32_, way);
+        break;
+      case ReplacementKind::kRandom:
+        break;
+    }
+  }
 
-  const Way* FindWay(PhysAddr line, std::size_t* way_out) const;
+  std::uint32_t ChooseVictim(std::size_t set, std::uint64_t candidate_mask);
+  std::optional<EvictedLine> FillAbsent(std::size_t set, PhysAddr line, bool dirty,
+                                        std::uint64_t way_mask);
 
   std::size_t ways_;
+  std::uint32_t ways32_;
   std::size_t set_mask_;
-  std::vector<Set> sets_;
+  ReplacementKind repl_;
+  std::vector<PhysAddr> tags_;          // num_sets * ways, indexed set * ways + way
+  std::vector<std::uint64_t> valid_;    // per-set way mask (dirty ⊆ valid invariant)
+  std::vector<std::uint64_t> dirty_;    // per-set way mask
+  std::vector<std::uint64_t> stamps_;   // kLru only: num_sets * ways access stamps
+  std::vector<std::uint64_t> ticks_;    // kLru only: per-set tick counter
+  std::vector<std::uint64_t> plru_;     // kTreePlru only: per-set node bits
   mutable Rng rng_;
   std::size_t resident_ = 0;
 };

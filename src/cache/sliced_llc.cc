@@ -60,8 +60,29 @@ std::optional<EvictedLine> SlicedLlc::InsertForDmaOnSlice(SliceId slice, PhysAdd
   return slices_[slice].Insert(addr, /*dirty=*/true, ddio_mask_);
 }
 
+std::optional<EvictedLine> SlicedLlc::DmaFillOnSlice(SliceId slice, PhysAddr addr) {
+  const auto fill = slices_[slice].Fill(addr, /*dirty=*/true, ddio_mask_,
+                                        /*promote_on_hit=*/true);
+  if (fill.was_present) {
+    cbo_.RecordLookup(slice, /*miss=*/false);
+    return std::nullopt;
+  }
+  cbo_.RecordDmaFill(slice);
+  return fill.evicted;
+}
+
+std::optional<EvictedLine> SlicedLlc::FillFromL2OnSlice(CoreId core, SliceId slice,
+                                                        PhysAddr addr, bool dirty) {
+  return slices_[slice].Fill(addr, dirty, WayMaskForCore(core), /*promote_on_hit=*/false)
+      .evicted;
+}
+
 SetAssocCache::InvalidateResult SlicedLlc::Invalidate(PhysAddr addr) {
   return slices_[SliceOf(addr)].Invalidate(addr);
+}
+
+SetAssocCache::InvalidateResult SlicedLlc::InvalidateOnSlice(SliceId slice, PhysAddr addr) {
+  return slices_[slice].Invalidate(addr);
 }
 
 void SlicedLlc::Clear() {

@@ -63,7 +63,24 @@ class SlicedLlc {
                                                   bool dirty);
   std::optional<EvictedLine> InsertForDmaOnSlice(SliceId slice, PhysAddr addr);
 
+  // Single-scan DDIO fill: a resident line is dirtied + promoted (counted as
+  // a CBo lookup hit, as the probe-then-touch sequence used to be), an
+  // absent one allocates in the DDIO ways (counted as a CBo DMA fill) and
+  // returns the displaced victim. One tag scan where the hierarchy's probe +
+  // insert sequence paid three.
+  std::optional<EvictedLine> DmaFillOnSlice(SliceId slice, PhysAddr addr);
+
+  // Single-scan L2-victim fill (victim/exclusive LLC mode): a resident line
+  // only absorbs the victim's dirt (no recency promotion, no CBo event — the
+  // write-back is not a lookup), an absent one allocates under the core's
+  // CAT mask and returns the displaced victim.
+  std::optional<EvictedLine> FillFromL2OnSlice(CoreId core, SliceId slice, PhysAddr addr,
+                                               bool dirty);
+
   SetAssocCache::InvalidateResult Invalidate(PhysAddr addr);
+  // Slice-hinted invalidate: skips re-deriving the slice from the hash when
+  // the caller already has it.
+  SetAssocCache::InvalidateResult InvalidateOnSlice(SliceId slice, PhysAddr addr);
   void Clear();
 
   // ---- Cache Allocation Technology ----

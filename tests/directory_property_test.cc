@@ -157,6 +157,64 @@ TEST_P(DirectoryMirrorsTagArrays, SnoopDecisionsMatchBruteForceOnSharedLine) {
   }
 }
 
+// Forces sustained LLC victim chains: the LLC is shrunk to 128 sets per
+// slice, so a universe a few times larger than the whole LLC makes nearly
+// every fill evict a resident line. On the inclusive machine each victim
+// back-invalidates the cores through the allocation-free
+// HandleLlcEviction/BackInvalidate path; the directory must track every
+// link of the chain, and inclusion itself must hold: no core may cache a
+// line the LLC no longer holds.
+TEST_P(DirectoryMirrorsTagArrays, SurvivesLlcEvictionStorm) {
+  MachineSpec spec = GetParam().spec();
+  spec.l2_next_line_prefetch = GetParam().prefetch;
+  spec.llc_slice.size_bytes = 128 * spec.llc_slice.ways * kCacheLineSize;
+  MemoryHierarchy h(spec, GetParam().hash(), 11);
+  const std::size_t cores = h.spec().num_cores;
+  const std::size_t llc_lines = spec.num_slices * spec.llc_slice.num_sets() * spec.llc_slice.ways;
+  const std::size_t universe_lines = llc_lines * 3;
+  constexpr PhysAddr kBase = 1u << 26;
+
+  const bool inclusive = spec.inclusion == LlcInclusionPolicy::kInclusive;
+  Rng rng(29);
+  const std::uint64_t fills_before = h.stats().llc_misses + h.stats().prefetches_issued;
+  for (int lap = 0; lap < 4; ++lap) {
+    // Sequential sweep plus random stores/DMA: the sweep guarantees each
+    // lap revisits lines whose LLC copies the later part of the previous
+    // lap evicted, so back-invalidated core copies get re-fetched and the
+    // directory re-learns them.
+    for (std::size_t i = 0; i < universe_lines; ++i) {
+      const PhysAddr line = kBase + i * kCacheLineSize;
+      const CoreId core = static_cast<CoreId>(i % cores);
+      (void)h.Read(core, line);
+      if ((i & 15u) == 3u) {
+        (void)h.Write(static_cast<CoreId>((i + 1) % cores),
+                      kBase + rng.UniformIndex(universe_lines) * kCacheLineSize);
+      }
+      if ((i & 15u) == 9u) {
+        (void)h.DmaWriteLine(kBase + rng.UniformIndex(universe_lines) * kCacheLineSize);
+      }
+    }
+    for (std::size_t i = 0; i < universe_lines; ++i) {
+      const PhysAddr line = kBase + i * kCacheLineSize;
+      CheckLine(h, line);
+      if (inclusive && !h.llc().Contains(line)) {
+        // Inclusion: a line absent from the LLC must be absent everywhere.
+        for (CoreId c = 0; c < cores; ++c) {
+          ASSERT_FALSE(h.l1_cache(c).Contains(line))
+              << "L1 copy survived LLC eviction of line " << line;
+          ASSERT_FALSE(h.l2_cache(c).Contains(line))
+              << "L2 copy survived LLC eviction of line " << line;
+        }
+      }
+    }
+  }
+  // The storm must actually have stormed: each lap overflows the LLC, so
+  // demand misses plus prefetch fills (the prefetcher absorbs most demand
+  // misses on the sequential sweep) far exceed LLC capacity.
+  const std::uint64_t fills = h.stats().llc_misses + h.stats().prefetches_issued - fills_before;
+  EXPECT_GT(fills, static_cast<std::uint64_t>(llc_lines) * 4);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Machines, DirectoryMirrorsTagArrays,
     ::testing::Values(

@@ -1,0 +1,159 @@
+// Zero-allocation guarantee for the simulator's steady-state hot paths.
+//
+// The SoA tag store (docs/architecture.md §10) promises that accesses,
+// DDIO fills and inclusive back-invalidation chains never touch the heap
+// once the hierarchy has warmed up: tags/valid/dirty/replacement metadata
+// live in arrays sized at construction, evictions travel by value, and the
+// line-state directory only grows until its shards reach the (bounded)
+// peak resident-line count. This test enforces the claim with a counting
+// global operator new: after a warm-up that reaches steady state, an
+// eviction storm — DMA ring wrapping far beyond the DDIO ways, demand
+// misses evicting through L1/L2/LLC, flushes, shared-counter upgrades —
+// must perform exactly zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace {
+
+// Counts every global operator new since process start. Relaxed is enough:
+// the test is single-threaded; the atomic only future-proofs against gtest
+// internals.
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+}  // namespace
+
+// Counting forwarders for the replaceable global allocation functions. They
+// must live at global scope; all forms funnel through malloc/free so ASan
+// and TSan still track the memory.
+//
+// GCC flags free() inside a replaced operator delete as a mismatched pair
+// because it cannot see that the matching operator new above is
+// malloc-backed; the pairing is correct by construction here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace cachedir {
+namespace {
+
+// Shrinks the LLC slices so eviction chains start after a few thousand
+// lines instead of a few hundred thousand; geometry stays a power of two
+// and keeps the machine's way count (and thus its DDIO/CAT mask shapes).
+MachineSpec WithSmallLlc(MachineSpec spec) {
+  spec.llc_slice.size_bytes = 128 * spec.llc_slice.ways * kCacheLineSize;  // 128 sets
+  return spec;
+}
+
+// One lap of the storm: DMA the ring (each line punches out a dirty DDIO
+// victim once the partition wrapped, back-invalidating any core copy), read
+// the fresh line out of the DDIO ways, demand-read a line DMA'd half a ring
+// ago — long since evicted, so it misses the LLC and runs the full
+// fill-plus-victim chain — pepper shared-counter upgrades, and flush a line
+// now and then.
+void StormLap(MemoryHierarchy& hierarchy, Rng& rng, PhysAddr ring, std::size_t ring_lines,
+              PhysAddr counters, std::size_t counter_lines) {
+  const std::size_t cores = hierarchy.spec().num_cores;
+  for (std::size_t i = 0; i < ring_lines; ++i) {
+    const PhysAddr line = ring + i * kCacheLineSize;
+    hierarchy.DmaWriteLine(line);
+    const CoreId core = static_cast<CoreId>(i % cores);
+    hierarchy.Read(core, line);
+    const std::size_t stale = (i + ring_lines / 2) % ring_lines;
+    hierarchy.Read(core, ring + stale * kCacheLineSize);
+    if ((i & 7u) == 7u) {
+      hierarchy.Write(core, counters + rng.UniformIndex(counter_lines) * kCacheLineSize);
+    }
+    if ((i & 63u) == 63u) {
+      hierarchy.FlushLine(line);
+    }
+  }
+}
+
+class HotPathAllocationProbe : public ::testing::TestWithParam<MachineSpec (*)()> {};
+
+TEST_P(HotPathAllocationProbe, SteadyStateEvictionStormPerformsZeroAllocations) {
+  MachineSpec spec = WithSmallLlc(GetParam()());
+  const auto hash = spec.inclusion == LlcInclusionPolicy::kInclusive ? HaswellSliceHash()
+                                                                     : SkylakeSliceHash();
+  MemoryHierarchy hierarchy(spec, hash, /*seed=*/7);
+
+  // Ring sized at ~4x the shrunken LLC: every DMA line and most demand
+  // fills displace a victim.
+  const std::size_t llc_lines =
+      spec.num_slices * spec.llc_slice.num_sets() * spec.llc_slice.ways;
+  const std::size_t ring_lines = llc_lines * 4;
+  const PhysAddr ring = 1u << 30;
+  const PhysAddr counters = 1u << 28;
+  constexpr std::size_t kCounterLines = 64;
+
+  Rng rng(21);
+  // Two laps of warm-up: caches and DDIO ways reach occupancy, the line
+  // directory reaches its peak entry count and shard capacities.
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+
+  const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  const std::uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "steady-state access/eviction paths must not allocate";
+  // Sanity: the storm actually stormed. The stale-read stream misses the
+  // LLC far more often than the LLC holds lines (every miss runs the demand
+  // fill-plus-victim chain), and every DMA line wrapped the DDIO ways.
+  EXPECT_GT(hierarchy.stats().llc_misses, llc_lines * 4);
+  EXPECT_EQ(hierarchy.stats().dma_line_writes, ring_lines * 4);
+  EXPECT_GT(hierarchy.stats().dirty_writebacks, llc_lines * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, HotPathAllocationProbe,
+                         ::testing::Values(&HaswellXeonE52667V3, &SkylakeXeonGold6134),
+                         [](const auto& param_info) {
+                           return param_info.param == &HaswellXeonE52667V3
+                                      ? std::string("HaswellInclusive")
+                                      : std::string("SkylakeVictim");
+                         });
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare a fresh sim_throughput_bench JSON against the committed baseline.
+
+The committed BENCH_simcore.json keeps a "history" list of trajectory points
+(oldest first); a fresh run (`build/bench/sim_throughput_bench out.json`)
+writes a flat {"machine", "configs"} object. This script compares the fresh
+run's accesses_per_sec against the most recent history entry, per core
+count, with a generous tolerance: host-side throughput is noisy across
+runners, so the check is REPORT-ONLY by default (always exits 0) and only
+enforces with --enforce (e.g. on a quiet, dedicated perf machine).
+
+Usage:
+  tools/check_perf_baseline.py --baseline BENCH_simcore.json \
+      --fresh /tmp/perf_fresh.json [--tolerance 0.30] [--enforce]
+"""
+
+import argparse
+import json
+import sys
+
+
+def configs_by_cores(entry):
+    return {int(c["cores"]): float(c["accesses_per_sec"]) for c in entry["configs"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_simcore.json")
+    parser.add_argument("--fresh", required=True, help="JSON written by a fresh bench run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression before flagging (default 0.30)",
+    )
+    parser.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit nonzero on regression (default: report-only)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    ref = baseline["history"][-1]
+    ref_rates = configs_by_cores(ref)
+    fresh_rates = configs_by_cores(fresh)
+
+    print(f"baseline point: {ref.get('label', '<unlabelled>')} "
+          f"(machine: {baseline.get('machine', {})})")
+    print(f"fresh machine:  {fresh.get('machine', {})}")
+
+    regressed = False
+    for cores in sorted(ref_rates):
+        if cores not in fresh_rates:
+            print(f"cores={cores}: missing from fresh run")
+            regressed = True
+            continue
+        ref_rate, new_rate = ref_rates[cores], fresh_rates[cores]
+        ratio = new_rate / ref_rate if ref_rate > 0 else float("inf")
+        floor = 1.0 - args.tolerance
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        if ratio < floor:
+            regressed = True
+        print(f"cores={cores}: baseline={ref_rate:.3e} fresh={new_rate:.3e} "
+              f"ratio={ratio:.2f} (floor {floor:.2f}) {verdict}")
+
+    if regressed:
+        # GitHub Actions annotation; harmless noise elsewhere.
+        print(f"::warning::sim_throughput_bench below baseline - tolerance "
+              f"{args.tolerance:.0%}; see perf-smoke job log")
+        if args.enforce:
+            return 1
+        print("report-only mode: not failing the build "
+              "(runner throughput is not comparable to the baseline machine)")
+    else:
+        print("perf-smoke: within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
