@@ -1,7 +1,15 @@
 // Fig. 13 (+ Table 3 row 1): simple forwarding with campus-mix traffic
 // offered at 100 Gbps over 8 cores with RSS — end-to-end latency
 // percentiles, improvement, and delivered throughput at the NIC ceiling.
+//
+// With --json=PATH the bench also writes host wall-seconds for the whole
+// experiment (both arms, all repetitions) through bench/common's HostTimer —
+// the second point tools/check_perf_baseline.py tracks, exercising the full
+// NFV element pipeline where sim_throughput_bench stresses raw hierarchy
+// accesses. Report-only plumbing: stdout stays deterministic either way.
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "bench/common.h"
 #include "bench/nfv_experiment.h"
@@ -23,10 +31,12 @@ NfvExperiment Experiment(bool cache_director) {
   return e;
 }
 
-void Run() {
+void Run(const char* json_path) {
   PrintBanner("Fig 13", "forwarding latency, campus mix @ 100 Gbps, 8 cores, RSS");
+  HostTimer timer;
   const NfvAggregate dpdk = RunNfvMany(Experiment(false));
   const NfvAggregate cd = RunNfvMany(Experiment(true));
+  const double host_seconds = timer.Seconds();
   PrintComparisonRows(dpdk, cd);
   PrintSectionRule();
   std::printf("throughput: DPDK %.2f Gbps, DPDK+CD %.2f Gbps (paper: 76.58, +31 Mbps)\n",
@@ -37,12 +47,47 @@ void Run() {
               static_cast<unsigned long long>(dpdk.total_delivered),
               static_cast<unsigned long long>(cd.total_delivered));
   std::printf("paper shape: improvements grow toward higher percentiles under RSS\n");
+
+  if (json_path == nullptr) {
+    return;
+  }
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fig13_forwarding_100g\",\n"
+               "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
+               "\"build\": \"%s\"},\n"
+               "  \"host_seconds\": %.6f\n}\n",
+               std::thread::hardware_concurrency(), __VERSION__,
+#ifdef NDEBUG
+               "release",
+#else
+               "debug",
+#endif
+               host_seconds);
+  std::fclose(json);
+  std::fprintf(stderr, "fig13_forwarding_100g host_s=%.3f (both arms, all runs)\n",
+               host_seconds);
 }
 
 }  // namespace
 }  // namespace cachedir
 
-int main() {
-  cachedir::Run();
+int main(int argc, char** argv) {
+  // Optional: --json=PATH writes {"bench", "machine", "host_seconds"} for
+  // tools/check_perf_baseline.py. No argument keeps legacy behaviour.
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (want --json=PATH)\n", argv[i]);
+      return 1;
+    }
+  }
+  cachedir::Run(json_path);
   return 0;
 }

@@ -1,25 +1,48 @@
 #include "bench/random_access.h"
 
 #include <algorithm>
+#include <array>
+#include <span>
 
 namespace cachedir {
 namespace {
+
+// Replay chunk for the batched fast path: addresses are generated (or the
+// next warm-up stride laid out) into a stack array, then charged through one
+// ReadRange/WriteRange gather per chunk. The RNG draw order and the access
+// order are exactly the scalar loop's, so results stay bit-identical.
+constexpr std::size_t kReplayChunk = 64;
 
 void Warmup(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
             std::size_t cap) {
   const std::size_t lines = buffer.size_bytes() / kCacheLineSize;
   const std::size_t n = cap == 0 ? 0 : std::min(lines, cap);
-  for (std::size_t i = 0; i < n; ++i) {
-    (void)hierarchy.Read(core, buffer.PaForOffset(i * kCacheLineSize));
+  std::array<PhysAddr, kReplayChunk> chunk;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t quota = std::min(kReplayChunk, n - i);
+    for (std::size_t j = 0; j < quota; ++j) {
+      chunk[j] = buffer.PaForOffset((i + j) * kCacheLineSize);
+    }
+    AccessBatch batch;
+    batch.gather = std::span<const PhysAddr>(chunk.data(), quota);
+    (void)hierarchy.ReadRange(core, batch);
+    i += quota;
   }
 }
 
-Cycles OneAccess(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
-                 bool write, Rng& rng) {
+// Draws `count` uniform random line addresses into `chunk` and charges them
+// as one gather batch; returns the summed cycles.
+Cycles AccessChunk(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, CoreId core,
+                   bool write, Rng& rng, std::span<PhysAddr> chunk, std::size_t count) {
   const std::size_t lines = buffer.size_bytes() / kCacheLineSize;
-  const std::size_t off = rng.UniformIndex(lines) * kCacheLineSize;
-  const PhysAddr pa = buffer.PaForOffset(off);
-  return write ? hierarchy.Write(core, pa).cycles : hierarchy.Read(core, pa).cycles;
+  for (std::size_t j = 0; j < count; ++j) {
+    chunk[j] = buffer.PaForOffset(rng.UniformIndex(lines) * kCacheLineSize);
+  }
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(chunk.data(), count);
+  return write ? hierarchy.WriteRange(core, batch).cycles
+               : hierarchy.ReadRange(core, batch).cycles;
 }
 
 }  // namespace
@@ -29,8 +52,12 @@ Cycles RunRandomAccess(MemoryHierarchy& hierarchy, const MemoryBuffer& buffer, C
   Warmup(hierarchy, buffer, core, params.warmup_lines_cap);
   Rng rng(params.seed);
   Cycles total = 0;
-  for (std::size_t i = 0; i < params.ops; ++i) {
-    total += OneAccess(hierarchy, buffer, core, params.write, rng);
+  std::array<PhysAddr, kReplayChunk> chunk;
+  std::size_t done = 0;
+  while (done < params.ops) {
+    const std::size_t quota = std::min(kReplayChunk, params.ops - done);
+    total += AccessChunk(hierarchy, buffer, core, params.write, rng, chunk, quota);
+    done += quota;
   }
   return total;
 }
@@ -51,14 +78,18 @@ std::vector<Cycles> RunRandomAccessMultiCore(MemoryHierarchy& hierarchy,
   }
   std::vector<Cycles> totals(cores, 0);
   std::vector<std::size_t> done(cores, 0);
+  std::array<PhysAddr, kReplayChunk> chunk;
   bool any = true;
   while (any) {
     any = false;
     for (std::size_t c = 0; c < cores; ++c) {
       const std::size_t quota = std::min(batch, params.ops - done[c]);
-      for (std::size_t i = 0; i < quota; ++i) {
-        totals[c] += OneAccess(hierarchy, *buffers[c], static_cast<CoreId>(c), params.write,
-                               rngs[c]);
+      std::size_t issued = 0;
+      while (issued < quota) {
+        const std::size_t n = std::min(kReplayChunk, quota - issued);
+        totals[c] += AccessChunk(hierarchy, *buffers[c], static_cast<CoreId>(c), params.write,
+                                 rngs[c], chunk, n);
+        issued += n;
       }
       done[c] += quota;
       any = any || done[c] < params.ops;

@@ -19,7 +19,10 @@
 // InvalidateElsewhere / DowngradeElsewhere on ownership transfers.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/cache/hierarchy.h"
@@ -76,10 +79,10 @@ ConfigResult RunConfig(std::size_t cores) {
   std::uint64_t accesses = 0;
   HostTimer timer;
   for (std::size_t it = 0; it < kPackets; ++it) {
-    // NIC: DMA the next packet into the ring (DDIO). Back-invalidates stale
-    // core copies from the previous lap and evicts an older line from the
-    // DDIO ways.
-    cycles += hierarchy.DmaWrite(ring + (it % ring_packets) * kPacketBytes, kPacketBytes);
+    // NIC: DMA the next packet into the ring (DDIO), all 24 lines as one
+    // fused batch. Back-invalidates stale core copies from the previous lap
+    // and evicts an older line from the DDIO ways.
+    cycles += hierarchy.DmaWriteRange(ring + (it % ring_packets) * kPacketBytes, kPacketBytes);
     accesses += kPacketBytes / kCacheLineSize;
     if (it < kPipelineDelay) {
       continue;
@@ -107,15 +110,14 @@ ConfigResult RunConfig(std::size_t cores) {
   return result;
 }
 
-void Run(const char* json_path) {
+void Run(const char* json_path, const std::vector<std::size_t>& configs) {
   PrintBanner("simcore", "simulator throughput: coherence-heavy accesses per host second");
   std::printf("%-6s  %-12s  %-14s  %-12s  %-12s\n", "Cores", "Accesses", "Sim cycles",
               "LLC misses", "DMA writes");
   PrintSectionRule();
 
-  ConfigResult results[3];
-  const std::size_t configs[3] = {1, 4, 8};
-  for (std::size_t i = 0; i < 3; ++i) {
+  std::vector<ConfigResult> results(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
     // The simulation is deterministic, so every trial produces identical
     // simulated state; only the host-side wall time varies. Reporting the
     // fastest trial filters scheduler noise out of the throughput number.
@@ -157,7 +159,7 @@ void Run(const char* json_path) {
 #endif
     );
   }
-  for (std::size_t i = 0; i < 3; ++i) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
     const double rate = r.host_seconds > 0 ? static_cast<double>(r.accesses) / r.host_seconds
                                            : 0.0;
@@ -168,7 +170,7 @@ void Run(const char* json_path) {
                    "    {\"cores\": %zu, \"accesses\": %llu, \"host_seconds\": %.6f, "
                    "\"accesses_per_sec\": %.1f}%s\n",
                    r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds,
-                   rate, i + 1 < 3 ? "," : "");
+                   rate, i + 1 < results.size() ? "," : "");
     }
   }
   if (json != nullptr) {
@@ -181,9 +183,37 @@ void Run(const char* json_path) {
 }  // namespace cachedir
 
 int main(int argc, char** argv) {
-  // Optional argv[1]: where to write the host-timing JSON. The default is a
-  // gitignored name so a plain `for b in build/bench/*` sweep never clobbers
-  // the committed BENCH_simcore.json trajectory.
-  cachedir::Run(argc > 1 ? argv[1] : "BENCH_simcore_fresh.json");
+  // Arguments, in any order:
+  //  * --cores=N[,N...]  run only the listed core counts (default: 1,4,8 —
+  //    perf-smoke CI passes --cores=1 to keep hosted runs quick)
+  //  * anything else     path for the host-timing JSON. The default is a
+  //    gitignored name so a plain `for b in build/bench/*` sweep never
+  //    clobbers the committed BENCH_simcore.json trajectory.
+  const char* json_path = "BENCH_simcore_fresh.json";
+  std::vector<std::size_t> configs = {1, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cores=", 8) == 0) {
+      configs.clear();
+      const char* p = argv[i] + 8;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long cores = std::strtoul(p, &end, 10);
+        if (end == p || cores == 0 || cores > 8) {
+          std::fprintf(stderr, "bad --cores value: %s (want 1..8, comma-separated)\n",
+                       argv[i]);
+          return 1;
+        }
+        configs.push_back(cores);
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (configs.empty()) {
+        std::fprintf(stderr, "bad --cores value: %s (empty list)\n", argv[i]);
+        return 1;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
+  cachedir::Run(json_path, configs);
   return 0;
 }

@@ -49,33 +49,124 @@ MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
     l1_.emplace_back(l1c);
     l2_.emplace_back(l2c);
   }
+  // Seal the interconnect: NUCA penalties are a pure function of the
+  // (core, slice) pair, so the virtual SlicePenalty runs exactly once per
+  // pair here instead of once per simulated access.
+  if (spec_.interconnect != nullptr) {
+    slice_penalty_.reserve(spec.num_cores * spec.num_slices);
+    for (std::size_t core = 0; core < spec.num_cores; ++core) {
+      for (std::size_t slice = 0; slice < spec.num_slices; ++slice) {
+        slice_penalty_.push_back(spec_.interconnect->SlicePenalty(
+            static_cast<CoreId>(core), static_cast<SliceId>(slice)));
+      }
+    }
+  }
 }
 
 AccessResult MemoryHierarchy::Read(CoreId core, PhysAddr addr) {
-  return Access(core, addr, /*is_write=*/false);
+  return Access(core, addr, /*is_write=*/false, stats_);
 }
 
 AccessResult MemoryHierarchy::Write(CoreId core, PhysAddr addr) {
-  return Access(core, addr, /*is_write=*/true);
+  return Access(core, addr, /*is_write=*/true, stats_);
 }
 
-AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) {
+BatchResult MemoryHierarchy::ReadRange(CoreId core, const AccessBatch& batch) {
+  return AccessRange(core, batch, /*is_write=*/false);
+}
+
+BatchResult MemoryHierarchy::WriteRange(CoreId core, const AccessBatch& batch) {
+  return AccessRange(core, batch, /*is_write=*/true);
+}
+
+BatchResult MemoryHierarchy::ReadRange(CoreId core, PhysAddr addr, std::size_t bytes) {
+  AccessBatch batch;
+  batch.addr = addr;
+  batch.bytes = bytes;
+  return AccessRange(core, batch, /*is_write=*/false);
+}
+
+BatchResult MemoryHierarchy::WriteRange(CoreId core, PhysAddr addr, std::size_t bytes) {
+  AccessBatch batch;
+  batch.addr = addr;
+  batch.bytes = bytes;
+  return AccessRange(core, batch, /*is_write=*/true);
+}
+
+BatchResult MemoryHierarchy::AccessRange(CoreId core, const AccessBatch& batch, bool is_write) {
+  // The fused loop: per-line counters accumulate in a local block and flush
+  // into stats_ once. uint64 counter sums are associative, so the flush is
+  // bit-identical to bumping the members per access.
+  HierarchyStats local;
+  BatchResult result;
+  const std::size_t stored = batch.per_line.size();
+  if (!batch.gather.empty()) {
+    const std::size_t n = batch.gather.size();
+    for (std::size_t i = 0; i < n && i < kBatchLookahead; ++i) {
+      PrefetchCoreAccessMeta(core, batch.gather[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (kBatchLookahead > 0 && i + kBatchLookahead < n) {
+        PrefetchCoreAccessMeta(core, batch.gather[i + kBatchLookahead]);
+      }
+      const AccessResult r = Access(core, batch.gather[i], is_write, local);
+      result.cycles += r.cycles;
+      if (i < stored) {
+        batch.per_line[i] = r;
+      }
+    }
+    result.lines = n;
+  } else {
+    const PhysAddr first = LineBase(batch.addr);
+    const PhysAddr last = LineBase(batch.addr + (batch.bytes == 0 ? 0 : batch.bytes - 1));
+    constexpr PhysAddr kAheadBytes = kBatchLookahead * kCacheLineSize;
+    for (PhysAddr line = first; line <= last && line - first < kAheadBytes;
+         line += kCacheLineSize) {
+      PrefetchCoreAccessMeta(core, line);
+    }
+    std::size_t i = 0;
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize, ++i) {
+      if (kBatchLookahead > 0 && last - line >= kAheadBytes) {
+        PrefetchCoreAccessMeta(core, line + kAheadBytes);
+      }
+      const AccessResult r = Access(core, line, is_write, local);
+      result.cycles += r.cycles;
+      if (i < stored) {
+        batch.per_line[i] = r;
+      }
+    }
+    result.lines = i;
+  }
+  stats_ += local;
+  return result;
+}
+
+AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write,
+                                     HierarchyStats& stats) {
   const PhysAddr line = LineBase(addr);
   const LatencyModel& lat = spec_.latency;
-  const SliceId slice = llc_.SliceOf(line);
+  // One directory lookup up front answers the slice-id memo and both
+  // coherence questions ("held/dirty elsewhere?") for this access. The
+  // sharer masks are copied out as values here; the entry pointer itself is
+  // only dereferenced before the first structural directory mutation
+  // (fills, invalidations and erases all invalidate Find pointers).
+  LineDirectoryEntry* entry = directory_.Find(line);
+  const SliceId slice = SliceOfLine(entry, line);
+  const std::uint64_t others = entry != nullptr ? entry->sharers() & ~Bit(core) : 0;
+  const std::uint64_t dirty_others = entry != nullptr ? entry->dirty() & ~Bit(core) : 0;
   AccessResult result;
   result.slice = slice;
 
   // L1. Probe returns hit + dirty in one tag scan; a clean read hit (the
-  // hottest path) finishes without ever consulting the directory.
+  // hottest path) finishes on the masks copied above.
   if (const auto l1 = l1_[core].Probe(line); l1.hit) {
-    ++stats_.l1_hits;
+    ++stats.l1_hits;
     if (is_write) {
       result.cycles = lat.store_commit;
-      if (!l1.dirty && HeldElsewhere(core, line)) {
+      if (!l1.dirty && others != 0) {
         // Store to a Shared line: bus upgrade invalidates the other copies.
-        ++stats_.upgrades;
-        InvalidateElsewhere(core, line);
+        ++stats.upgrades;
+        InvalidateElsewhere(core, line, stats);
         result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
       }
       l1_[core].MarkDirty(line);
@@ -86,38 +177,37 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
     result.level = ServedBy::kL1;
     return result;
   }
-  ++stats_.l1_misses;
+  ++stats.l1_misses;
 
   // L2.
   if (const auto l2 = l2_[core].Probe(line); l2.hit) {
-    ++stats_.l2_hits;
-    if (LineDirectoryEntry* entry = directory_.Find(line);
-        entry != nullptr && entry->prefetched) {
+    ++stats.l2_hits;
+    if (entry != nullptr && entry->prefetched) {
       entry->prefetched = false;
-      ++stats_.prefetch_hits;
+      ++stats.prefetch_hits;
     }
     result.cycles = lat.l2_hit;
-    if (is_write && !l2.dirty && HeldElsewhere(core, line)) {
-      ++stats_.upgrades;
-      InvalidateElsewhere(core, line);
+    if (is_write && !l2.dirty && others != 0) {
+      ++stats.upgrades;
+      InvalidateElsewhere(core, line, stats);
       result.cycles += LlcHitLatency(core, slice) + lat.upgrade;
     }
     result.level = ServedBy::kL2;
-    FillL1(core, line, /*dirty=*/is_write);
+    FillL1(core, line, /*dirty=*/is_write, slice, stats);
     return result;
   }
-  ++stats_.l2_misses;
+  ++stats.l2_misses;
 
   // Coherence snoop: another core may hold the line Modified; if so it
   // forwards the data cache-to-cache (faster than DRAM, slower than a plain
   // LLC hit).
-  if (DirtyElsewhere(core, line)) {
-    ++stats_.remote_forwards;
+  if (dirty_others != 0) {
+    ++stats.remote_forwards;
     Cycles cycles = LlcHitLatency(core, slice) + lat.snoop_transfer;
     bool fill_dirty;
     if (is_write) {
       // RFO: the remote Modified copy dies; its dirt transfers to us.
-      InvalidateElsewhere(core, line);
+      InvalidateElsewhere(core, line, stats);
       fill_dirty = true;
     } else {
       // Read: the owner downgrades to clean Shared; the dirt moves into the
@@ -129,8 +219,8 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
     if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
       llc_.LookupAndTouchOnSlice(slice, line);
     }
-    FillL2(core, line, fill_dirty && !is_write, &cycles);
-    FillL1(core, line, /*dirty=*/is_write || fill_dirty);
+    FillL2(core, line, fill_dirty && !is_write, slice, &cycles, stats);
+    FillL1(core, line, /*dirty=*/is_write || fill_dirty, slice, stats);
     result.cycles = cycles;
     result.level = ServedBy::kRemoteCache;
     return result;
@@ -141,7 +231,7 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
   const bool llc_hit = llc_.LookupAndTouchOnSlice(slice, line);
   bool fill_dirty = false;
   if (llc_hit) {
-    ++stats_.llc_hits;
+    ++stats.llc_hits;
     result.level = ServedBy::kLlc;
     if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
       // Exclusive victim behaviour: the line moves to L2 rather than being
@@ -151,12 +241,12 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
       fill_dirty = inv.was_dirty;
     }
   } else {
-    ++stats_.llc_misses;
+    ++stats.llc_misses;
     cycles += lat.dram;
     result.level = ServedBy::kDram;
     if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
       // Demand fill allocates in the LLC too.
-      HandleLlcEviction(llc_.InsertForCoreOnSlice(core, slice, line, /*dirty=*/false));
+      HandleLlcEviction(llc_.InsertForCoreOnSlice(core, slice, line, /*dirty=*/false), stats);
     }
     // Victim mode: the line bypasses the LLC on a demand fill and will enter
     // it when evicted from L2.
@@ -164,29 +254,19 @@ AccessResult MemoryHierarchy::Access(CoreId core, PhysAddr addr, bool is_write) 
   if (is_write) {
     // RFO: clean Shared copies elsewhere are invalidated (no forward needed,
     // the cost is part of the miss round trip already paid).
-    InvalidateElsewhere(core, line);
+    InvalidateElsewhere(core, line, stats);
   }
 
-  FillL2(core, line, fill_dirty, &cycles);
-  FillL1(core, line, /*dirty=*/is_write);
+  FillL2(core, line, fill_dirty, slice, &cycles, stats);
+  FillL1(core, line, /*dirty=*/is_write, slice, stats);
   if (spec_.l2_next_line_prefetch) {
-    PrefetchNextLine(core, line);
+    PrefetchNextLine(core, line, stats);
   }
   result.cycles = cycles;
   return result;
 }
 
-bool MemoryHierarchy::HeldElsewhere(CoreId core, PhysAddr line) const {
-  const LineDirectoryEntry* entry = directory_.Find(line);
-  return entry != nullptr && (entry->sharers() & ~Bit(core)) != 0;
-}
-
-bool MemoryHierarchy::DirtyElsewhere(CoreId core, PhysAddr line) const {
-  const LineDirectoryEntry* entry = directory_.Find(line);
-  return entry != nullptr && (entry->dirty() & ~Bit(core)) != 0;
-}
-
-bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line) {
+bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line, HierarchyStats& stats) {
   LineDirectoryEntry* entry = directory_.Find(line);
   if (entry == nullptr) {
     return false;
@@ -199,7 +279,7 @@ bool MemoryHierarchy::InvalidateElsewhere(CoreId core, PhysAddr line) {
     const auto r1 = l1_[c].Invalidate(line);
     const auto r2 = l2_[c].Invalidate(line);
     if (r1.was_present || r2.was_present) {
-      ++stats_.invalidations_sent;
+      ++stats.invalidations_sent;
     }
     dirty = dirty || r1.was_dirty || r2.was_dirty;
   }
@@ -231,58 +311,67 @@ void MemoryHierarchy::DowngradeElsewhere(CoreId core, PhysAddr line) {
   entry->l2_dirty &= Bit(core);
 }
 
-void MemoryHierarchy::PrefetchNextLine(CoreId core, PhysAddr line) {
+void MemoryHierarchy::PrefetchNextLine(CoreId core, PhysAddr line, HierarchyStats& stats) {
   const PhysAddr next = line + kCacheLineSize;
-  if (const LineDirectoryEntry* entry = directory_.Find(next);
-      entry != nullptr && (entry->sharers() & Bit(core)) != 0) {
+  LineDirectoryEntry* entry = directory_.Find(next);
+  if (entry != nullptr && (entry->sharers() & Bit(core)) != 0) {
     return;  // already resident in this core's L1 or L2
   }
-  ++stats_.prefetches_issued;
+  ++stats.prefetches_issued;
   // The prefetch engine walks the same path as a demand fill, but in the
   // background: its latency is not charged to the core.
-  const SliceId next_slice = llc_.SliceOf(next);
+  const SliceId next_slice = SliceOfLine(entry, next);
   bool dirty = false;
   if (llc_.LookupAndTouchOnSlice(next_slice, next)) {
     if (spec_.inclusion == LlcInclusionPolicy::kVictim) {
       dirty = llc_.InvalidateOnSlice(next_slice, next).was_dirty;  // exclusive move to L2
     }
   } else if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
-    HandleLlcEviction(llc_.InsertForCoreOnSlice(core, next_slice, next, /*dirty=*/false));
+    HandleLlcEviction(llc_.InsertForCoreOnSlice(core, next_slice, next, /*dirty=*/false),
+                      stats);
   }
   Cycles uncharged = 0;
-  FillL2(core, next, dirty, &uncharged);
+  FillL2(core, next, dirty, next_slice, &uncharged, stats);
   directory_.GetOrCreate(next).prefetched = true;
 }
 
-void MemoryHierarchy::FillL1(CoreId core, PhysAddr line, bool dirty) {
+void MemoryHierarchy::FillL1(CoreId core, PhysAddr line, bool dirty, SliceId slice,
+                             HierarchyStats& stats) {
   const auto evicted = l1_[core].Insert(line, dirty);
   {
     LineDirectoryEntry& entry = directory_.GetOrCreate(line);
     entry.l1_sharers |= Bit(core);
+    entry.slice_cache = slice;
     if (dirty) {
       entry.l1_dirty |= Bit(core);
     }
   }
   if (evicted.has_value()) {
-    DirRemoveL1(core, evicted->line);
+    const CachedSlice victim = DirRemoveL1(core, evicted->line);
     if (evicted->dirty) {
       // L1 victims land in L2 (which contains them by construction; if a race
       // with an L2 eviction removed the copy, push the dirt to the LLC).
       if (l2_[core].MarkDirty(evicted->line)) {
         directory_.GetOrCreate(evicted->line).l2_dirty |= Bit(core);
-      } else if (!llc_.MarkDirty(evicted->line)) {
-        // Line is nowhere below: the write-back goes straight to DRAM.
-        ++stats_.dirty_writebacks;
+      } else {
+        const bool in_llc = victim.known ? llc_.MarkDirtyOnSlice(victim.slice, evicted->line)
+                                         : llc_.MarkDirty(evicted->line);
+        if (!in_llc) {
+          // Line is nowhere below: the write-back goes straight to DRAM.
+          ++stats.dirty_writebacks;
+        }
       }
     }
   }
 }
 
-void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* extra_cycles) {
+void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, SliceId slice,
+                             Cycles* extra_cycles, HierarchyStats& stats) {
   const auto evicted = l2_[core].Insert(line, dirty);
   {
     LineDirectoryEntry& entry = directory_.GetOrCreate(line);
     entry.l2_sharers |= Bit(core);
+    entry.slice_cache = slice;
     if (dirty) {
       entry.l2_dirty |= Bit(core);
     }
@@ -290,7 +379,9 @@ void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* ext
   if (!evicted.has_value()) {
     return;
   }
-  DirRemoveL2(core, evicted->line);
+  // The victim's memoized slice id is read off the directory before the
+  // sharer bits (and possibly the entry) go away.
+  const CachedSlice cached = DirRemoveL2(core, evicted->line);
   // Keep L1 subset of L2: the victim leaves L1 as well, carrying its dirt.
   const auto l1_state = l1_[core].Invalidate(evicted->line);
   DirRemoveL1(core, evicted->line);
@@ -299,8 +390,8 @@ void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* ext
   if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
     // The victim is still resident in the (inclusive) LLC; just mark dirt.
     if (victim_dirty) {
-      const SliceId victim_slice = llc_.SliceOf(evicted->line);
-      ++stats_.dirty_writebacks;
+      const SliceId victim_slice = cached.known ? cached.slice : llc_.SliceOf(evicted->line);
+      ++stats.dirty_writebacks;
       llc_.MarkDirtyOnSlice(victim_slice, evicted->line);
       *extra_cycles += spec_.latency.writeback_busy + SlicePenalty(core, victim_slice);
     }
@@ -310,18 +401,24 @@ void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* ext
   // Victim (Skylake) mode: L2 evictions fill the LLC. One fused tag scan: a
   // resident copy just absorbs the dirt, an absent line allocates under the
   // core's CAT mask (possibly displacing an LLC victim).
-  const SliceId victim_slice = llc_.SliceOf(evicted->line);
-  HandleLlcEviction(llc_.FillFromL2OnSlice(core, victim_slice, evicted->line, victim_dirty));
+  const SliceId victim_slice = cached.known ? cached.slice : llc_.SliceOf(evicted->line);
+  HandleLlcEviction(llc_.FillFromL2OnSlice(core, victim_slice, evicted->line, victim_dirty),
+                    stats);
   if (victim_dirty) {
-    ++stats_.dirty_writebacks;
+    ++stats.dirty_writebacks;
     *extra_cycles += spec_.latency.writeback_busy + SlicePenalty(core, victim_slice);
   }
 }
 
-void MemoryHierarchy::BackInvalidate(PhysAddr line) {
+MemoryHierarchy::CachedSlice MemoryHierarchy::BackInvalidate(PhysAddr line) {
   LineDirectoryEntry* entry = directory_.Find(line);
   if (entry == nullptr) {
-    return;
+    return {};
+  }
+  CachedSlice cached;
+  if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
+    cached.known = true;
+    cached.slice = entry->slice_cache;
   }
   std::uint64_t sharers = entry->sharers();
   while (sharers != 0) {
@@ -333,14 +430,16 @@ void MemoryHierarchy::BackInvalidate(PhysAddr line) {
   // Kills any pending-prefetch record too: back-invalidation (DMA ownership,
   // inclusive LLC eviction, clflush) must not leak prefetch state.
   directory_.Erase(line);
+  return cached;
 }
 
-void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicted) {
+void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicted,
+                                        HierarchyStats& stats) {
   if (!evicted.has_value()) {
     return;
   }
   if (evicted->dirty) {
-    ++stats_.dirty_writebacks;  // written to DRAM by the LLC, off the core path
+    ++stats.dirty_writebacks;  // written to DRAM by the LLC, off the core path
   }
   if (spec_.inclusion == LlcInclusionPolicy::kInclusive) {
     BackInvalidate(evicted->line);
@@ -348,50 +447,73 @@ void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicte
 }
 
 Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  ++stats_.dma_line_writes;
-  // DMA takes ownership: stale copies leave the core caches.
-  BackInvalidate(line);
-  const SliceId slice = llc_.SliceOf(line);
-  // Fused DDIO fill: dirties + promotes a resident line, allocates in the
-  // DDIO ways otherwise — one tag scan instead of probe + touch + insert.
-  HandleLlcEviction(llc_.DmaFillOnSlice(slice, line));
-  return spec_.latency.llc_base + spec_.interconnect->SlicePenalty(0, slice);
+  return DmaWriteLineTo(LineBase(addr), stats_);
 }
 
-Cycles MemoryHierarchy::DmaWrite(PhysAddr addr, std::size_t bytes) {
+Cycles MemoryHierarchy::DmaWriteLineTo(PhysAddr line, HierarchyStats& stats) {
+  ++stats.dma_line_writes;
+  // DMA takes ownership: stale copies leave the core caches. The directory
+  // entry (when there is one) hands back the line's memoized slice id.
+  const CachedSlice cached = BackInvalidate(line);
+  const SliceId slice = cached.known ? cached.slice : llc_.SliceOf(line);
+  // Fused DDIO fill: dirties + promotes a resident line, allocates in the
+  // DDIO ways otherwise — one tag scan instead of probe + touch + insert.
+  HandleLlcEviction(llc_.DmaFillOnSlice(slice, line), stats);
+  return spec_.latency.llc_base + SlicePenalty(0, slice);
+}
+
+Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
+  HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
   const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
-  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
-    total += DmaWriteLine(line);
+  constexpr PhysAddr kAheadBytes = kBatchLookahead * kCacheLineSize;
+  for (PhysAddr line = first; line <= last && line - first < kAheadBytes;
+       line += kCacheLineSize) {
+    PrefetchDmaWriteMeta(line);
   }
+  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+    if (kBatchLookahead > 0 && last - line >= kAheadBytes) {
+      PrefetchDmaWriteMeta(line + kAheadBytes);
+    }
+    total += DmaWriteLineTo(line, local);
+  }
+  stats_ += local;
   return total;
 }
 
 Cycles MemoryHierarchy::DmaReadLine(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  ++stats_.dma_line_reads;
+  return DmaReadLineTo(LineBase(addr), stats_);
+}
+
+Cycles MemoryHierarchy::DmaReadLineTo(PhysAddr line, HierarchyStats& stats) {
+  ++stats.dma_line_reads;
   if (llc_.LookupAndTouch(line)) {
     return spec_.latency.llc_base;
   }
   return spec_.latency.llc_base + spec_.latency.dram;
 }
 
-Cycles MemoryHierarchy::DmaRead(PhysAddr addr, std::size_t bytes) {
+Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
+  HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
   const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
   for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
-    total += DmaReadLine(line);
+    total += DmaReadLineTo(line, local);
   }
+  stats_ += local;
   return total;
 }
 
 void MemoryHierarchy::FlushLine(PhysAddr addr) {
   const PhysAddr line = LineBase(addr);
-  BackInvalidate(line);
-  llc_.Invalidate(line);
+  const CachedSlice cached = BackInvalidate(line);
+  if (cached.known) {
+    llc_.InvalidateOnSlice(cached.slice, line);
+  } else {
+    llc_.Invalidate(line);
+  }
 }
 
 void MemoryHierarchy::FlushAll() {
@@ -403,28 +525,40 @@ void MemoryHierarchy::FlushAll() {
   directory_.Clear();
 }
 
-void MemoryHierarchy::DirRemoveL1(CoreId core, PhysAddr line) {
+MemoryHierarchy::CachedSlice MemoryHierarchy::DirRemoveL1(CoreId core, PhysAddr line) {
   LineDirectoryEntry* entry = directory_.Find(line);
   if (entry == nullptr) {
-    return;
+    return {};
+  }
+  CachedSlice cached;
+  if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
+    cached.known = true;
+    cached.slice = entry->slice_cache;
   }
   entry->l1_sharers &= ~Bit(core);
   entry->l1_dirty &= ~Bit(core);
   if (entry->empty()) {
     directory_.Erase(line);
   }
+  return cached;
 }
 
-void MemoryHierarchy::DirRemoveL2(CoreId core, PhysAddr line) {
+MemoryHierarchy::CachedSlice MemoryHierarchy::DirRemoveL2(CoreId core, PhysAddr line) {
   LineDirectoryEntry* entry = directory_.Find(line);
   if (entry == nullptr) {
-    return;
+    return {};
+  }
+  CachedSlice cached;
+  if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
+    cached.known = true;
+    cached.slice = entry->slice_cache;
   }
   entry->l2_sharers &= ~Bit(core);
   entry->l2_dirty &= ~Bit(core);
   if (entry->empty()) {
     directory_.Erase(line);
   }
+  return cached;
 }
 
 }  // namespace cachedir

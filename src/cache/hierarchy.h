@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/cache/line_directory.h"
@@ -49,6 +50,8 @@ struct AccessResult {
   Cycles cycles = 0;
   ServedBy level = ServedBy::kL1;
   SliceId slice = 0;  // meaningful when the access reached the LLC
+
+  bool operator==(const AccessResult&) const = default;
 };
 
 struct HierarchyStats {
@@ -66,6 +69,57 @@ struct HierarchyStats {
   std::uint64_t remote_forwards = 0;   // reads served from another core's M copy
   std::uint64_t invalidations_sent = 0;  // copies killed by stores (coherence)
   std::uint64_t upgrades = 0;            // stores that hit Shared lines
+
+  // Counters are plain modular sums, so accumulating a batch into a local
+  // block and flushing it once is bit-identical to bumping the members
+  // per access — the property batch_equivalence_test locks in.
+  HierarchyStats& operator+=(const HierarchyStats& other) {
+    l1_hits += other.l1_hits;
+    l1_misses += other.l1_misses;
+    l2_hits += other.l2_hits;
+    l2_misses += other.l2_misses;
+    llc_hits += other.llc_hits;
+    llc_misses += other.llc_misses;
+    dirty_writebacks += other.dirty_writebacks;
+    dma_line_writes += other.dma_line_writes;
+    dma_line_reads += other.dma_line_reads;
+    prefetches_issued += other.prefetches_issued;
+    prefetch_hits += other.prefetch_hits;
+    remote_forwards += other.remote_forwards;
+    invalidations_sent += other.invalidations_sent;
+    upgrades += other.upgrades;
+    return *this;
+  }
+
+  bool operator==(const HierarchyStats&) const = default;
+};
+
+// Request descriptor for the batched fast path. Exactly one addressing form
+// is used per batch:
+//  * `gather` non-empty: one access per listed address, in order — for
+//    consumers whose lines are scattered (slice-aware KVS values, replay
+//    streams).
+//  * otherwise: the contiguous byte range [addr, addr + bytes); every
+//    overlapped cache line is accessed once, in ascending order. Like the
+//    scalar DmaWrite/DmaRead ranges always did, `bytes == 0` still touches
+//    the single line containing `addr`.
+// `per_line` is optional caller-provided storage for the individual
+// AccessResults: the first min(lines, per_line.size()) results are written.
+// Caller-owned storage keeps the batch path allocation-free in steady state
+// (hotpath_alloc_test).
+struct AccessBatch {
+  PhysAddr addr = 0;
+  std::size_t bytes = 0;
+  std::span<const PhysAddr> gather;
+  std::span<AccessResult> per_line;
+};
+
+// Aggregate outcome of one batch.
+struct BatchResult {
+  Cycles cycles = 0;      // summed over every line in the batch
+  std::size_t lines = 0;  // lines accessed
+
+  bool operator==(const BatchResult&) const = default;
 };
 
 class MemoryHierarchy {
@@ -79,15 +133,31 @@ class MemoryHierarchy {
   AccessResult Read(CoreId core, PhysAddr addr);
   AccessResult Write(CoreId core, PhysAddr addr);
 
+  // Batched fast path (docs/architecture.md §11): the per-line loop is fused
+  // inside the hierarchy — one local stats block flushed per batch, no
+  // re-entry through the scalar entry points. Simulated results (cycles,
+  // per-line AccessResults, stats, CBo events) are bit-identical to issuing
+  // the equivalent scalar calls line by line; batch_equivalence_test
+  // enforces that over randomized streams.
+  BatchResult ReadRange(CoreId core, const AccessBatch& batch);
+  BatchResult WriteRange(CoreId core, const AccessBatch& batch);
+  // Contiguous-range conveniences.
+  BatchResult ReadRange(CoreId core, PhysAddr addr, std::size_t bytes);
+  BatchResult WriteRange(CoreId core, PhysAddr addr, std::size_t bytes);
+
   // DDIO write of one cache line by the NIC. Returns the modelled LLC-side
   // occupancy cost (charged to the NIC's DMA engine, never to a core).
   Cycles DmaWriteLine(PhysAddr addr);
-  // DDIO write of an arbitrary byte range (every overlapped line).
-  Cycles DmaWrite(PhysAddr addr, std::size_t bytes);
+  // DDIO write of an arbitrary byte range (every overlapped line), fused
+  // like ReadRange/WriteRange. DmaWrite is a synonym kept for callers that
+  // predate the range API.
+  Cycles DmaWriteRange(PhysAddr addr, std::size_t bytes);
+  Cycles DmaWrite(PhysAddr addr, std::size_t bytes) { return DmaWriteRange(addr, bytes); }
 
   // NIC TX read; served from LLC or DRAM, never allocates.
   Cycles DmaReadLine(PhysAddr addr);
-  Cycles DmaRead(PhysAddr addr, std::size_t bytes);
+  Cycles DmaReadRange(PhysAddr addr, std::size_t bytes);
+  Cycles DmaRead(PhysAddr addr, std::size_t bytes) { return DmaReadRange(addr, bytes); }
 
   // clflush: removes the line from every cache (contents reach DRAM).
   void FlushLine(PhysAddr addr);
@@ -107,8 +177,11 @@ class MemoryHierarchy {
   void ResetStats() { stats_ = HierarchyStats{}; }
 
   // NUCA penalty between a core and a slice (exposed for placement logic).
+  // Interconnect distances are a pure function of (core, slice), so the
+  // virtual Interconnect::SlicePenalty is evaluated once per pair at
+  // construction into a flat table — no virtual dispatch on the access path.
   Cycles SlicePenalty(CoreId core, SliceId slice) const {
-    return spec_.interconnect->SlicePenalty(core, slice);
+    return slice_penalty_[static_cast<std::size_t>(core) * spec_.num_slices + slice];
   }
 
   Cycles LlcHitLatency(CoreId core, SliceId slice) const {
@@ -116,37 +189,82 @@ class MemoryHierarchy {
   }
 
  private:
-  AccessResult Access(CoreId core, PhysAddr addr, bool is_write);
+  // A slice id recovered from a directory entry's memo, or "unknown" when
+  // the line had no entry (the caller re-hashes on demand).
+  struct CachedSlice {
+    bool known = false;
+    SliceId slice = 0;
+  };
 
-  // Fills `line` into core's L1, propagating any displaced dirty victim.
-  void FillL1(CoreId core, PhysAddr line, bool dirty);
+  // Every scalar and batched access funnels here; `stats` is either the
+  // member block (scalar calls) or a batch-local accumulator.
+  AccessResult Access(CoreId core, PhysAddr addr, bool is_write, HierarchyStats& stats);
+  BatchResult AccessRange(CoreId core, const AccessBatch& batch, bool is_write);
+  Cycles DmaWriteLineTo(PhysAddr line, HierarchyStats& stats);
+  Cycles DmaReadLineTo(PhysAddr line, HierarchyStats& stats);
+
+  // The batched loops know their future line addresses, so they pipeline
+  // host-side software prefetches of the metadata those lines will touch
+  // (directory slot, L2 set row, LLC slice set row) a few iterations ahead —
+  // the structures span megabytes and miss the host cache otherwise. Pure
+  // __builtin_prefetch hints: simulated state and results are untouched.
+  static constexpr std::size_t kBatchLookahead = 8;
+  void PrefetchCoreAccessMeta(CoreId core, PhysAddr addr) const {
+    const PhysAddr line = LineBase(addr);
+    directory_.PrefetchEntry(line);
+    l2_[core].PrefetchSetMeta(line);
+    llc_.PrefetchSliceMeta(llc_.SliceOf(line), line);
+  }
+  void PrefetchDmaWriteMeta(PhysAddr line) const {
+    directory_.PrefetchEntry(line);
+    llc_.PrefetchSliceMeta(llc_.SliceOf(line), line);
+  }
+
+  // Memoized slice lookup: reads (and on a miss, fills) the slice-id cache
+  // of `entry`, which must be the directory entry for `line` — or nullptr,
+  // in which case the Complex Addressing hash runs. The pointer must predate
+  // any structural directory mutation.
+  SliceId SliceOfLine(LineDirectoryEntry* entry, PhysAddr line) {
+    if (entry != nullptr) {
+      if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
+        return entry->slice_cache;
+      }
+      entry->slice_cache = llc_.SliceOf(line);
+      return entry->slice_cache;
+    }
+    return llc_.SliceOf(line);
+  }
+
+  // Fills `line` (routed to `slice`) into core's L1, propagating any
+  // displaced dirty victim.
+  void FillL1(CoreId core, PhysAddr line, bool dirty, SliceId slice, HierarchyStats& stats);
   // Fills `line` into core's L2; may trigger an L2 victim write-back whose
   // cost is added to *extra_cycles (dirty victims only).
-  void FillL2(CoreId core, PhysAddr line, bool dirty, Cycles* extra_cycles);
+  void FillL2(CoreId core, PhysAddr line, bool dirty, SliceId slice, Cycles* extra_cycles,
+              HierarchyStats& stats);
   // Inclusive mode: LLC eviction invalidates the line in every core cache.
-  void BackInvalidate(PhysAddr line);
-  void HandleLlcEviction(const std::optional<EvictedLine>& evicted);
+  // Returns the line's memoized slice id before the entry dies.
+  CachedSlice BackInvalidate(PhysAddr line);
+  void HandleLlcEviction(const std::optional<EvictedLine>& evicted, HierarchyStats& stats);
   // Background next-line prefetch into L2 (no cycles charged to the core).
-  void PrefetchNextLine(CoreId core, PhysAddr line);
+  void PrefetchNextLine(CoreId core, PhysAddr line, HierarchyStats& stats);
 
-  // Coherence (write-invalidate, MESI-flavoured). All four helpers are O(1)
-  // directory lookups (plus O(sharers) tag updates for the mutating two) —
-  // they never scan the other cores' tag arrays.
-  // True if any core other than `core` holds the line in L1 or L2.
-  bool HeldElsewhere(CoreId core, PhysAddr line) const;
-  // True if any core other than `core` holds the line dirty (Modified).
-  bool DirtyElsewhere(CoreId core, PhysAddr line) const;
+  // Coherence (write-invalidate, MESI-flavoured). O(1) directory lookups
+  // (plus O(sharers) tag updates) — they never scan the other cores' tag
+  // arrays. The non-mutating "held/dirty elsewhere?" questions are answered
+  // inline in Access from the entry found at the top of the access.
   // Invalidates the line in every sharer but `core`; returns true if any
   // displaced copy was dirty (the dirt transfers to the requester).
-  bool InvalidateElsewhere(CoreId core, PhysAddr line);
+  bool InvalidateElsewhere(CoreId core, PhysAddr line, HierarchyStats& stats);
   // Downgrades remote Modified copies to clean Shared (read snooping).
   void DowngradeElsewhere(CoreId core, PhysAddr line);
 
   // Directory maintenance at the tag-array mutation points. The directory
   // must mirror the tag arrays exactly; `directory_property_test` enforces
-  // the invariant against brute-force scans.
-  void DirRemoveL1(CoreId core, PhysAddr line);
-  void DirRemoveL2(CoreId core, PhysAddr line);
+  // the invariant against brute-force scans. Both return the victim line's
+  // memoized slice id so eviction paths skip re-hashing it.
+  CachedSlice DirRemoveL1(CoreId core, PhysAddr line);
+  CachedSlice DirRemoveL2(CoreId core, PhysAddr line);
 
   MachineSpec spec_;
   std::vector<SetAssocCache> l1_;
@@ -154,6 +272,7 @@ class MemoryHierarchy {
   SlicedLlc llc_;
   HierarchyStats stats_;
   LineDirectory directory_;  // line -> sharer/dirty masks + prefetched flag
+  std::vector<Cycles> slice_penalty_;  // [core * num_slices + slice], sealed in ctor
 };
 
 }  // namespace cachedir

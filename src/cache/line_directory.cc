@@ -4,29 +4,11 @@
 
 namespace cachedir {
 
-LineDirectory::LineDirectory() : shards_(kNumShards) {
+LineDirectory::LineDirectory() : shards_(kNumShards), filter_(kFilterBuckets, 0) {
   for (Shard& shard : shards_) {
     shard.slots.resize(kInitialShardCapacity);
     shard.mask = kInitialShardCapacity - 1;
   }
-}
-
-LineDirectoryEntry* LineDirectory::Find(PhysAddr addr) {
-  const PhysAddr line = LineBase(addr);
-  const std::uint64_t hash = HashLine(line);
-  Shard& shard = ShardFor(hash);
-  std::size_t i = hash & shard.mask;
-  while (shard.slots[i].used) {
-    if (shard.slots[i].key == line) {
-      return &shard.slots[i].entry;
-    }
-    i = (i + 1) & shard.mask;
-  }
-  return nullptr;
-}
-
-const LineDirectoryEntry* LineDirectory::Find(PhysAddr addr) const {
-  return const_cast<LineDirectory*>(this)->Find(addr);
 }
 
 void LineDirectory::Shard::Grow() {
@@ -65,6 +47,9 @@ LineDirectoryEntry& LineDirectory::GetOrCreate(PhysAddr addr) {
   }
   shard.slots[i] = Slot{line, LineDirectoryEntry{}, true};
   ++shard.size;
+  if (std::uint8_t& count = filter_[FilterIndex(hash)]; count != 255) {
+    ++count;  // saturated buckets stay sticky at 255
+  }
   return shard.slots[i].entry;
 }
 
@@ -84,6 +69,9 @@ void LineDirectory::Erase(PhysAddr addr) {
   }
   shard.slots[i] = Slot{};
   --shard.size;
+  if (std::uint8_t& count = filter_[FilterIndex(hash)]; count != 255) {
+    --count;  // a saturated bucket can never prove absence again
+  }
   // Backward-shift deletion: pull displaced followers of the probe chain
   // back over the hole so lookups never need tombstones.
   std::size_t j = i;
@@ -110,6 +98,7 @@ void LineDirectory::Clear() {
     shard.mask = kInitialShardCapacity - 1;
     shard.size = 0;
   }
+  filter_.assign(kFilterBuckets, 0);
 }
 
 std::size_t LineDirectory::size() const {

@@ -15,6 +15,14 @@
 // bits, slot by low bits. Shards keep probe chains short and resizes small;
 // there is no locking — a `MemoryHierarchy` is single-threaded by design
 // (the parallel bench harness gives every repetition its own hierarchy).
+//
+// Lookups are filtered through a small counting occupancy table (64 KiB of
+// byte counters indexed by independent hash bits): the directory only holds
+// core-resident lines, so the dominant DMA-path lookups miss, and a miss
+// usually resolves on one always-cache-hot byte instead of a probe into the
+// much larger slot arrays. Counters are exact per bucket (saturating at 255,
+// then sticky — a stuck bucket only costs the fallthrough probe), so a zero
+// bucket proves absence and the filter never changes results.
 #ifndef CACHEDIRECTOR_SRC_CACHE_LINE_DIRECTORY_H_
 #define CACHEDIRECTOR_SRC_CACHE_LINE_DIRECTORY_H_
 
@@ -29,16 +37,25 @@ namespace cachedir {
 // Per-line coherence state. Bit c of a mask refers to core c (the hierarchy
 // checks num_cores <= 64 at construction).
 struct LineDirectoryEntry {
+  // slice_cache == kNoSlice until the hierarchy first hashes the line. The
+  // slice hash is a pure function of the address, so a cached id can never
+  // go stale — it simply dies with the entry. Repeat touches of resident
+  // lines skip the Complex Addressing hash entirely (architecture doc §11).
+  static constexpr SliceId kNoSlice = static_cast<SliceId>(-1);
+
   std::uint64_t l1_sharers = 0;  // cores whose L1 holds the line
   std::uint64_t l2_sharers = 0;  // cores whose L2 holds the line
   std::uint64_t l1_dirty = 0;    // subset of l1_sharers with the dirty bit
   std::uint64_t l2_dirty = 0;    // subset of l2_sharers with the dirty bit
-  bool prefetched = false;       // issued by the L2 prefetcher, not yet demanded
+  SliceId slice_cache = kNoSlice;  // memoized SliceOf(line), or kNoSlice
+  bool prefetched = false;         // issued by the L2 prefetcher, not yet demanded
 
   std::uint64_t sharers() const { return l1_sharers | l2_sharers; }
   std::uint64_t dirty() const { return l1_dirty | l2_dirty; }
   // An empty entry carries no information and is erased by the hierarchy.
   // Dirty masks are subsets of the sharer masks, so they need no test here.
+  // The slice cache is derivable from the key, so it carries no information
+  // either and does not keep an entry alive.
   bool empty() const { return (l1_sharers | l2_sharers) == 0 && !prefetched; }
 };
 
@@ -48,8 +65,27 @@ class LineDirectory {
 
   // Returns the entry for the line containing `addr`, or nullptr if the
   // directory has none. All lookups normalise to the line base address.
-  LineDirectoryEntry* Find(PhysAddr addr);
-  const LineDirectoryEntry* Find(PhysAddr addr) const;
+  // Inline: this is the hierarchy's single hottest lookup, and the batched
+  // DMA loops flatten it away entirely on the (dominant) filtered misses.
+  LineDirectoryEntry* Find(PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    const std::uint64_t hash = HashLine(line);
+    if (filter_[FilterIndex(hash)] == 0) {
+      return nullptr;
+    }
+    Shard& shard = ShardFor(hash);
+    std::size_t i = hash & shard.mask;
+    while (shard.slots[i].used) {
+      if (shard.slots[i].key == line) {
+        return &shard.slots[i].entry;
+      }
+      i = (i + 1) & shard.mask;
+    }
+    return nullptr;
+  }
+  const LineDirectoryEntry* Find(PhysAddr addr) const {
+    return const_cast<LineDirectory*>(this)->Find(addr);
+  }
 
   // Returns the entry for the line containing `addr`, default-constructing
   // it if absent.
@@ -62,6 +98,14 @@ class LineDirectory {
   void Clear();
 
   std::size_t size() const;
+
+  // Host-cache hint for batched callers: warm the slot a Find/GetOrCreate
+  // of `addr` will probe first. No simulated effect.
+  void PrefetchEntry(PhysAddr addr) const {
+    const std::uint64_t hash = HashLine(LineBase(addr));
+    const Shard& shard = ShardFor(hash);
+    __builtin_prefetch(shard.slots.data() + (hash & shard.mask));
+  }
 
  private:
   struct Slot {
@@ -80,6 +124,14 @@ class LineDirectory {
 
   static constexpr std::size_t kNumShards = 16;
   static constexpr std::size_t kInitialShardCapacity = 256;
+  static constexpr std::size_t kFilterBuckets = std::size_t{1} << 16;
+
+  // Filter bucket: hash bits 32..47 — disjoint from both the shard selector
+  // (top 4 bits) and the slot index (low bits), so filter collisions are
+  // independent of probe-chain collisions.
+  static std::size_t FilterIndex(std::uint64_t hash) {
+    return static_cast<std::size_t>(hash >> 32) & (kFilterBuckets - 1);
+  }
 
   // splitmix64 finalizer over the line number: line addresses differ only in
   // their upper 58 bits, so mix before using low bits as the slot index.
@@ -95,6 +147,7 @@ class LineDirectory {
   const Shard& ShardFor(std::uint64_t hash) const { return shards_[hash >> 60]; }
 
   std::vector<Shard> shards_;
+  std::vector<std::uint8_t> filter_;  // kFilterBuckets entry counters
 };
 
 }  // namespace cachedir

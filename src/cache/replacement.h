@@ -34,10 +34,17 @@ inline std::uint32_t LruVictim(const std::uint64_t* stamps, std::uint32_t num_wa
                                std::uint64_t candidate_mask) {
   std::uint32_t victim = num_ways;
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint32_t way = 0; way < num_ways; ++way) {
-    if (((candidate_mask >> way) & 1) != 0 && stamps[way] <= best) {
-      // <= keeps scanning so equal stamps pick the highest allowed way; any
-      // deterministic tie-break is fine.
+  // Iterate only the candidate bits — way-partitioned fills (DDIO's 2 of 20
+  // ways) would otherwise scan every way of the set. Ascending bit order with
+  // <= keeps the historical tie-break: equal stamps pick the highest
+  // candidate way.
+  std::uint64_t mask =
+      num_ways >= 64 ? candidate_mask
+                     : candidate_mask & ((std::uint64_t{1} << num_ways) - 1);
+  while (mask != 0) {
+    const auto way = static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    if (stamps[way] <= best) {
       best = stamps[way];
       victim = way;
     }

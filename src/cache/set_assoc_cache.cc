@@ -1,6 +1,5 @@
 #include "src/cache/set_assoc_cache.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace cachedir {
@@ -18,102 +17,10 @@ SetAssocCache::SetAssocCache(const Config& config)
     throw std::invalid_argument("SetAssocCache: num_ways must be in 1..64");
   }
   tags_.assign(config.num_sets * ways_, 0);
-  valid_.assign(config.num_sets, 0);
-  dirty_.assign(config.num_sets, 0);
-  switch (repl_) {
-    case ReplacementKind::kLru:
-      stamps_.assign(config.num_sets * ways_, 0);
-      ticks_.assign(config.num_sets, 0);
-      break;
-    case ReplacementKind::kTreePlru:
-      plru_.assign(config.num_sets, 0);
-      break;
-    case ReplacementKind::kRandom:
-      break;
+  scalars_.assign(config.num_sets, SetScalars{});
+  if (repl_ == ReplacementKind::kLru) {
+    stamps_.assign(config.num_sets * ways_, 0);
   }
-}
-
-std::uint32_t SetAssocCache::ChooseVictim(std::size_t set, std::uint64_t candidate_mask) {
-  switch (repl_) {
-    case ReplacementKind::kLru:
-      return replacement::LruVictim(stamps_.data() + set * ways_, ways32_, candidate_mask);
-    case ReplacementKind::kTreePlru:
-      return replacement::PlruVictim(plru_[set], ways32_, candidate_mask);
-    case ReplacementKind::kRandom:
-      return replacement::RandomVictim(ways32_, candidate_mask, rng_);
-  }
-  throw std::logic_error("SetAssocCache::ChooseVictim: unknown replacement kind");
-}
-
-// Allocates `line` in `set`: an invalid way inside the partition if one
-// exists, else the policy's victim among the partition's ways. The line must
-// not be present in the set.
-std::optional<EvictedLine> SetAssocCache::FillAbsent(std::size_t set, PhysAddr line,
-                                                     bool dirty, std::uint64_t way_mask) {
-  const std::uint64_t usable =
-      ways_ >= 64 ? way_mask : (way_mask & ((std::uint64_t{1} << ways_) - 1));
-  if (usable == 0) {
-    throw std::invalid_argument("SetAssocCache::Insert: empty way mask");
-  }
-  const std::size_t base = set * ways_;
-
-  // Prefer an invalid way inside the partition (the dirty bit of an invalid
-  // way is clear by invariant).
-  const std::uint64_t free = usable & ~valid_[set];
-  if (free != 0) {
-    const auto way = static_cast<std::uint32_t>(std::countr_zero(free));
-    const std::uint64_t bit = std::uint64_t{1} << way;
-    tags_[base + way] = line;
-    valid_[set] |= bit;
-    if (dirty) {
-      dirty_[set] |= bit;
-    }
-    TouchWay(set, way);
-    ++resident_;
-    return std::nullopt;
-  }
-
-  const std::uint32_t victim = ChooseVictim(set, usable);
-  const std::uint64_t bit = std::uint64_t{1} << victim;
-  EvictedLine evicted{tags_[base + victim], (dirty_[set] & bit) != 0};
-  tags_[base + victim] = line;
-  if (dirty) {
-    dirty_[set] |= bit;
-  } else {
-    dirty_[set] &= ~bit;
-  }
-  TouchWay(set, victim);
-  return evicted;
-}
-
-std::optional<EvictedLine> SetAssocCache::Insert(PhysAddr addr, bool dirty,
-                                                 std::uint64_t way_mask) {
-  const PhysAddr line = LineBase(addr);
-  const std::size_t set = SetIndexOf(line);
-  if (FindWay(set, line) != kNoWay) {
-    throw std::logic_error("SetAssocCache::Insert: line already present");
-  }
-  return FillAbsent(set, line, dirty, way_mask);
-}
-
-SetAssocCache::FillResult SetAssocCache::Fill(PhysAddr addr, bool dirty,
-                                              std::uint64_t way_mask, bool promote_on_hit) {
-  const PhysAddr line = LineBase(addr);
-  const std::size_t set = SetIndexOf(line);
-  const std::uint32_t way = FindWay(set, line);
-  FillResult result;
-  if (way != kNoWay) {
-    result.was_present = true;
-    if (dirty) {
-      dirty_[set] |= std::uint64_t{1} << way;
-    }
-    if (promote_on_hit) {
-      TouchWay(set, way);
-    }
-    return result;
-  }
-  result.evicted = FillAbsent(set, line, dirty, way_mask);
-  return result;
 }
 
 SetAssocCache::InvalidateResult SetAssocCache::Invalidate(PhysAddr addr) {
@@ -124,9 +31,9 @@ SetAssocCache::InvalidateResult SetAssocCache::Invalidate(PhysAddr addr) {
     return InvalidateResult{};
   }
   const std::uint64_t bit = std::uint64_t{1} << way;
-  const bool was_dirty = (dirty_[set] & bit) != 0;
-  valid_[set] &= ~bit;
-  dirty_[set] &= ~bit;  // keep dirty ⊆ valid; the stale tag is masked off
+  const bool was_dirty = (scalars_[set].dirty & bit) != 0;
+  scalars_[set].valid &= ~bit;
+  scalars_[set].dirty &= ~bit;  // keep dirty ⊆ valid; the stale tag is masked off
   --resident_;
   return InvalidateResult{true, was_dirty};
 }
@@ -135,8 +42,10 @@ void SetAssocCache::Clear() {
   // Replacement metadata (stamps, ticks, PLRU bits) deliberately survives,
   // matching the historical behaviour: a cleared array keeps its recency
   // history, which only influences tie-breaks among the refilled lines.
-  std::fill(valid_.begin(), valid_.end(), 0);
-  std::fill(dirty_.begin(), dirty_.end(), 0);
+  for (SetScalars& s : scalars_) {
+    s.valid = 0;
+    s.dirty = 0;
+  }
   resident_ = 0;
 }
 

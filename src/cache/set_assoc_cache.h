@@ -2,20 +2,23 @@
 // simulated PhysicalMemory; the caches track presence, recency and dirtiness,
 // which is all that latency accounting needs).
 //
-// Layout is struct-of-arrays (docs/architecture.md §10): one contiguous tag
-// array indexed by set * ways + way, per-set valid/dirty bits packed into
-// uint64 way-masks (ways <= 64 by construction), and replacement metadata in
-// flat arrays sized per policy. A probe is a mask-guided scan over the set's
-// contiguous tag row; there is no per-set object and no per-set heap block,
-// so the host-side hot path touches two or three cache lines per set instead
-// of chasing a vector-of-structs. Every access/eviction path below is
-// allocation-free in steady state (enforced by tests/hotpath_alloc_test.cc).
+// Layout is struct-of-arrays (docs/architecture.md §10-§11): one contiguous
+// tag array indexed by set * ways + way, and all word-sized per-set state
+// (valid/dirty way masks, LRU tick, PLRU bits; ways <= 64 by construction)
+// packed into one 32-byte SetScalars record so a probe or fill touches one
+// host cache line for it. A probe walks only the valid ways of the set's tag
+// row; there is no per-set object and no per-set heap block. The hot
+// probe/fill path is defined inline in this header so the hierarchy's
+// batched loops compile into one flat function. Every access/eviction path
+// below is allocation-free in steady state (enforced by
+// tests/hotpath_alloc_test.cc).
 #ifndef CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 #define CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 
 #include <bit>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "src/cache/replacement.h"
@@ -72,7 +75,7 @@ class SetAssocCache {
       return TouchResult{};
     }
     TouchWay(set, way);
-    return TouchResult{true, ((dirty_[set] >> way) & 1) != 0};
+    return TouchResult{true, ((scalars_[set].dirty >> way) & 1) != 0};
   }
 
   // Marks a present line dirty (no-op if absent). Returns true if present.
@@ -83,7 +86,7 @@ class SetAssocCache {
     if (way == kNoWay) {
       return false;
     }
-    dirty_[set] |= std::uint64_t{1} << way;
+    scalars_[set].dirty |= std::uint64_t{1} << way;
     return true;
   }
 
@@ -97,8 +100,8 @@ class SetAssocCache {
       return false;
     }
     const std::uint64_t bit = std::uint64_t{1} << way;
-    const bool was_dirty = (dirty_[set] & bit) != 0;
-    dirty_[set] &= ~bit;
+    const bool was_dirty = (scalars_[set].dirty & bit) != 0;
+    scalars_[set].dirty &= ~bit;
     return was_dirty;
   }
 
@@ -107,7 +110,7 @@ class SetAssocCache {
     const PhysAddr line = LineBase(addr);
     const std::size_t set = SetIndexOf(line);
     const std::uint32_t way = FindWay(set, line);
-    return way != kNoWay && ((dirty_[set] >> way) & 1) != 0;
+    return way != kNoWay && ((scalars_[set].dirty >> way) & 1) != 0;
   }
 
   // Inserts the line (must not already be present — call Touch first).
@@ -115,7 +118,14 @@ class SetAssocCache {
   // `way_mask` (used for CAT / DDIO partitions). Returns the displaced line,
   // if one had to be evicted.
   std::optional<EvictedLine> Insert(PhysAddr addr, bool dirty,
-                                    std::uint64_t way_mask = ~std::uint64_t{0});
+                                    std::uint64_t way_mask = ~std::uint64_t{0}) {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    if (FindWay(set, line) != kNoWay) {
+      throw std::logic_error("SetAssocCache::Insert: line already present");
+    }
+    return FillAbsent(set, line, dirty, way_mask);
+  }
 
   // Single-scan fill for the LLC paths that would otherwise pay a Contains
   // probe followed by an Insert/MarkDirty re-scan: if the line is present,
@@ -125,7 +135,24 @@ class SetAssocCache {
     bool was_present = false;
     std::optional<EvictedLine> evicted;  // only when !was_present
   };
-  FillResult Fill(PhysAddr addr, bool dirty, std::uint64_t way_mask, bool promote_on_hit);
+  FillResult Fill(PhysAddr addr, bool dirty, std::uint64_t way_mask, bool promote_on_hit) {
+    const PhysAddr line = LineBase(addr);
+    const std::size_t set = SetIndexOf(line);
+    const std::uint32_t way = FindWay(set, line);
+    FillResult result;
+    if (way != kNoWay) {
+      result.was_present = true;
+      if (dirty) {
+        scalars_[set].dirty |= std::uint64_t{1} << way;
+      }
+      if (promote_on_hit) {
+        TouchWay(set, way);
+      }
+      return result;
+    }
+    result.evicted = FillAbsent(set, line, dirty, way_mask);
+    return result;
+  }
 
   // Removes the line if present; reports whether it was present and dirty.
   struct InvalidateResult {
@@ -143,8 +170,8 @@ class SetAssocCache {
   template <typename Fn>
   void ForEachLineInSet(std::size_t set_index, Fn&& fn) const {
     const PhysAddr* tags = tags_.data() + set_index * ways_;
-    const std::uint64_t dirty = dirty_[set_index];
-    std::uint64_t live = valid_[set_index];
+    const std::uint64_t dirty = scalars_[set_index].dirty;
+    std::uint64_t live = scalars_[set_index].valid;
     while (live != 0) {
       const auto way = static_cast<std::uint32_t>(std::countr_zero(live));
       live &= live - 1;
@@ -159,21 +186,54 @@ class SetAssocCache {
 
   std::size_t resident_lines() const { return resident_; }
 
+  // Host-side hint for the batched fast path: prefetches the metadata the
+  // next probe/fill of `addr`'s set will touch — the tag row, the
+  // valid/dirty way-masks, and the LRU stamps. Purely a host cache hint
+  // issued a few batch iterations ahead; simulated state is untouched, so
+  // results are bit-identical with or without it.
+  void PrefetchSetMeta(PhysAddr addr) const {
+    const std::size_t set = SetIndexOf(LineBase(addr));
+    __builtin_prefetch(scalars_.data() + set);
+    __builtin_prefetch(tags_.data() + set * ways_);
+    if (ways_ > 8) {
+      __builtin_prefetch(tags_.data() + set * ways_ + 8);
+    }
+    if (repl_ == ReplacementKind::kLru) {
+      __builtin_prefetch(stamps_.data() + set * ways_);
+      if (ways_ > 8) {
+        __builtin_prefetch(stamps_.data() + set * ways_ + 8);
+      }
+    }
+  }
+
  private:
+  // The word-sized per-set state, packed into one 32-byte record so a probe
+  // or fill touches a single host cache line instead of one per array: the
+  // valid/dirty way masks (dirty ⊆ valid invariant), the LRU tick counter,
+  // and the tree-PLRU node bits (each replacement policy uses its own field
+  // and ignores the other). alignas(32) keeps a record from straddling a
+  // host line.
+  struct alignas(32) SetScalars {
+    std::uint64_t valid = 0;
+    std::uint64_t dirty = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t plru = 0;
+  };
+
   // Sentinel way index: "not found". Ways are always < 64.
   static constexpr std::uint32_t kNoWay = 64;
 
-  // Mask-guided scan over the set's contiguous tag row: only valid ways are
-  // compared, invalid ones are skipped by the bit iteration.
+  // Probe of the set's contiguous tag row: full tags are compared for the
+  // valid ways only, iterating the valid-mask bits.
   std::uint32_t FindWay(std::size_t set, PhysAddr line) const {
     const PhysAddr* tags = tags_.data() + set * ways_;
-    std::uint64_t live = valid_[set];
-    while (live != 0) {
-      const auto way = static_cast<std::uint32_t>(std::countr_zero(live));
+    std::uint64_t cand = scalars_[set].valid;
+    while (cand != 0) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(cand));
       if (tags[way] == line) {
         return way;
       }
-      live &= live - 1;
+      cand &= cand - 1;
     }
     return kNoWay;
   }
@@ -182,30 +242,76 @@ class SetAssocCache {
   void TouchWay(std::size_t set, std::uint32_t way) {
     switch (repl_) {
       case ReplacementKind::kLru:
-        stamps_[set * ways_ + way] = ++ticks_[set];
+        stamps_[set * ways_ + way] = ++scalars_[set].ticks;
         break;
       case ReplacementKind::kTreePlru:
-        replacement::PlruTouch(plru_[set], ways32_, way);
+        replacement::PlruTouch(scalars_[set].plru, ways32_, way);
         break;
       case ReplacementKind::kRandom:
         break;
     }
   }
 
-  std::uint32_t ChooseVictim(std::size_t set, std::uint64_t candidate_mask);
+  std::uint32_t ChooseVictim(std::size_t set, std::uint64_t candidate_mask) {
+    switch (repl_) {
+      case ReplacementKind::kLru:
+        return replacement::LruVictim(stamps_.data() + set * ways_, ways32_, candidate_mask);
+      case ReplacementKind::kTreePlru:
+        return replacement::PlruVictim(scalars_[set].plru, ways32_, candidate_mask);
+      case ReplacementKind::kRandom:
+        return replacement::RandomVictim(ways32_, candidate_mask, rng_);
+    }
+    throw std::logic_error("SetAssocCache::ChooseVictim: unknown replacement kind");
+  }
+
+  // Allocates `line` in `set`: an invalid way inside the partition if one
+  // exists, else the policy's victim among the partition's ways. The line
+  // must not be present in the set.
   std::optional<EvictedLine> FillAbsent(std::size_t set, PhysAddr line, bool dirty,
-                                        std::uint64_t way_mask);
+                                        std::uint64_t way_mask) {
+    const std::uint64_t usable =
+        ways_ >= 64 ? way_mask : (way_mask & ((std::uint64_t{1} << ways_) - 1));
+    if (usable == 0) {
+      throw std::invalid_argument("SetAssocCache::Insert: empty way mask");
+    }
+    const std::size_t base = set * ways_;
+
+    // Prefer an invalid way inside the partition (the dirty bit of an
+    // invalid way is clear by invariant).
+    const std::uint64_t free = usable & ~scalars_[set].valid;
+    if (free != 0) {
+      const auto way = static_cast<std::uint32_t>(std::countr_zero(free));
+      const std::uint64_t bit = std::uint64_t{1} << way;
+      tags_[base + way] = line;
+      scalars_[set].valid |= bit;
+      if (dirty) {
+        scalars_[set].dirty |= bit;
+      }
+      TouchWay(set, way);
+      ++resident_;
+      return std::nullopt;
+    }
+
+    const std::uint32_t victim = ChooseVictim(set, usable);
+    const std::uint64_t bit = std::uint64_t{1} << victim;
+    EvictedLine evicted{tags_[base + victim], (scalars_[set].dirty & bit) != 0};
+    tags_[base + victim] = line;
+    if (dirty) {
+      scalars_[set].dirty |= bit;
+    } else {
+      scalars_[set].dirty &= ~bit;
+    }
+    TouchWay(set, victim);
+    return evicted;
+  }
 
   std::size_t ways_;
   std::uint32_t ways32_;
   std::size_t set_mask_;
   ReplacementKind repl_;
   std::vector<PhysAddr> tags_;          // num_sets * ways, indexed set * ways + way
-  std::vector<std::uint64_t> valid_;    // per-set way mask (dirty ⊆ valid invariant)
-  std::vector<std::uint64_t> dirty_;    // per-set way mask
+  std::vector<SetScalars> scalars_;     // per-set word-sized state, one record
   std::vector<std::uint64_t> stamps_;   // kLru only: num_sets * ways access stamps
-  std::vector<std::uint64_t> ticks_;    // kLru only: per-set tick counter
-  std::vector<std::uint64_t> plru_;     // kTreePlru only: per-set node bits
   mutable Rng rng_;
   std::size_t resident_ = 0;
 };

@@ -16,6 +16,7 @@ std::shared_ptr<const SliceHash> RequireHash(std::shared_ptr<const SliceHash> ha
 
 SlicedLlc::SlicedLlc(const Config& config, std::shared_ptr<const SliceHash> hash)
     : hash_(RequireHash(std::move(hash))),
+      fast_hash_(*hash_),
       num_ways_(config.num_ways),
       ddio_mask_((std::uint64_t{1} << config.ddio_ways) - 1),
       cos_masks_(kMaxCos, (std::uint64_t{1} << config.num_ways) - 1),
@@ -34,56 +35,7 @@ SlicedLlc::SlicedLlc(const Config& config, std::shared_ptr<const SliceHash> hash
   }
 }
 
-bool SlicedLlc::LookupAndTouchOnSlice(SliceId slice, PhysAddr addr) {
-  const bool hit = slices_[slice].Touch(addr);
-  cbo_.RecordLookup(slice, /*miss=*/!hit);
-  return hit;
-}
-
-bool SlicedLlc::ContainsOnSlice(SliceId slice, PhysAddr addr) const {
-  return slices_[slice].Contains(addr);
-}
-
-bool SlicedLlc::MarkDirtyOnSlice(SliceId slice, PhysAddr addr) {
-  return slices_[slice].MarkDirty(addr);
-}
-
 bool SlicedLlc::IsDirty(PhysAddr addr) const { return slices_[SliceOf(addr)].IsDirty(addr); }
-
-std::optional<EvictedLine> SlicedLlc::InsertForCoreOnSlice(CoreId core, SliceId slice,
-                                                           PhysAddr addr, bool dirty) {
-  return slices_[slice].Insert(addr, dirty, WayMaskForCore(core));
-}
-
-std::optional<EvictedLine> SlicedLlc::InsertForDmaOnSlice(SliceId slice, PhysAddr addr) {
-  cbo_.RecordDmaFill(slice);
-  return slices_[slice].Insert(addr, /*dirty=*/true, ddio_mask_);
-}
-
-std::optional<EvictedLine> SlicedLlc::DmaFillOnSlice(SliceId slice, PhysAddr addr) {
-  const auto fill = slices_[slice].Fill(addr, /*dirty=*/true, ddio_mask_,
-                                        /*promote_on_hit=*/true);
-  if (fill.was_present) {
-    cbo_.RecordLookup(slice, /*miss=*/false);
-    return std::nullopt;
-  }
-  cbo_.RecordDmaFill(slice);
-  return fill.evicted;
-}
-
-std::optional<EvictedLine> SlicedLlc::FillFromL2OnSlice(CoreId core, SliceId slice,
-                                                        PhysAddr addr, bool dirty) {
-  return slices_[slice].Fill(addr, dirty, WayMaskForCore(core), /*promote_on_hit=*/false)
-      .evicted;
-}
-
-SetAssocCache::InvalidateResult SlicedLlc::Invalidate(PhysAddr addr) {
-  return slices_[SliceOf(addr)].Invalidate(addr);
-}
-
-SetAssocCache::InvalidateResult SlicedLlc::InvalidateOnSlice(SliceId slice, PhysAddr addr) {
-  return slices_[slice].Invalidate(addr);
-}
 
 void SlicedLlc::Clear() {
   for (SetAssocCache& s : slices_) {
@@ -110,11 +62,6 @@ void SlicedLlc::AssignCoreToCos(CoreId core, std::uint32_t cos) {
     core_cos_.resize(core + 1, 0);
   }
   core_cos_[core] = cos;
-}
-
-std::uint64_t SlicedLlc::WayMaskForCore(CoreId core) const {
-  const std::uint32_t cos = core < core_cos_.size() ? core_cos_[core] : 0;
-  return cos_masks_[cos];
 }
 
 }  // namespace cachedir

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/cache/set_assoc_cache.h"
+#include "src/hash/fast_slice_hash.h"
 #include "src/hash/slice_hash.h"
 #include "src/uncore/cbo.h"
 
@@ -33,7 +34,9 @@ class SlicedLlc {
   std::size_t num_ways() const { return num_ways_; }
   const SliceHash& hash() const { return *hash_; }
 
-  SliceId SliceOf(PhysAddr addr) const { return hash_->SliceFor(addr); }
+  // Routes through the sealed FastSliceHash (devirtualized at construction;
+  // bit-identical to hash().SliceFor by construction, pinned by hash_test).
+  SliceId SliceOf(PhysAddr addr) const { return fast_hash_.SliceFor(addr); }
 
   // Core-side lookup: records a CBo lookup event on the target slice and
   // promotes the line on hit.
@@ -55,39 +58,73 @@ class SlicedLlc {
 
   // Slice-hinted variants: callers that already computed SliceOf(addr) (the
   // hierarchy does, to price the interconnect hop) pass it back in rather
-  // than paying the complex-addressing hash again per probe.
-  bool LookupAndTouchOnSlice(SliceId slice, PhysAddr addr);
-  bool ContainsOnSlice(SliceId slice, PhysAddr addr) const;
-  bool MarkDirtyOnSlice(SliceId slice, PhysAddr addr);
+  // than paying the complex-addressing hash again per probe. Defined inline:
+  // they sit on the hierarchy's per-line fast path and flatten into its
+  // batched loops.
+  bool LookupAndTouchOnSlice(SliceId slice, PhysAddr addr) {
+    const bool hit = slices_[slice].Touch(addr);
+    cbo_.RecordLookup(slice, /*miss=*/!hit);
+    return hit;
+  }
+  bool ContainsOnSlice(SliceId slice, PhysAddr addr) const {
+    return slices_[slice].Contains(addr);
+  }
+  bool MarkDirtyOnSlice(SliceId slice, PhysAddr addr) {
+    return slices_[slice].MarkDirty(addr);
+  }
   std::optional<EvictedLine> InsertForCoreOnSlice(CoreId core, SliceId slice, PhysAddr addr,
-                                                  bool dirty);
-  std::optional<EvictedLine> InsertForDmaOnSlice(SliceId slice, PhysAddr addr);
+                                                  bool dirty) {
+    return slices_[slice].Insert(addr, dirty, WayMaskForCore(core));
+  }
+  std::optional<EvictedLine> InsertForDmaOnSlice(SliceId slice, PhysAddr addr) {
+    cbo_.RecordDmaFill(slice);
+    return slices_[slice].Insert(addr, /*dirty=*/true, ddio_mask_);
+  }
 
   // Single-scan DDIO fill: a resident line is dirtied + promoted (counted as
   // a CBo lookup hit, as the probe-then-touch sequence used to be), an
   // absent one allocates in the DDIO ways (counted as a CBo DMA fill) and
   // returns the displaced victim. One tag scan where the hierarchy's probe +
   // insert sequence paid three.
-  std::optional<EvictedLine> DmaFillOnSlice(SliceId slice, PhysAddr addr);
+  std::optional<EvictedLine> DmaFillOnSlice(SliceId slice, PhysAddr addr) {
+    const auto fill = slices_[slice].Fill(addr, /*dirty=*/true, ddio_mask_,
+                                          /*promote_on_hit=*/true);
+    if (fill.was_present) {
+      cbo_.RecordLookup(slice, /*miss=*/false);
+      return std::nullopt;
+    }
+    cbo_.RecordDmaFill(slice);
+    return fill.evicted;
+  }
 
   // Single-scan L2-victim fill (victim/exclusive LLC mode): a resident line
   // only absorbs the victim's dirt (no recency promotion, no CBo event — the
   // write-back is not a lookup), an absent one allocates under the core's
   // CAT mask and returns the displaced victim.
   std::optional<EvictedLine> FillFromL2OnSlice(CoreId core, SliceId slice, PhysAddr addr,
-                                               bool dirty);
+                                               bool dirty) {
+    return slices_[slice].Fill(addr, dirty, WayMaskForCore(core), /*promote_on_hit=*/false)
+        .evicted;
+  }
 
-  SetAssocCache::InvalidateResult Invalidate(PhysAddr addr);
+  SetAssocCache::InvalidateResult Invalidate(PhysAddr addr) {
+    return slices_[SliceOf(addr)].Invalidate(addr);
+  }
   // Slice-hinted invalidate: skips re-deriving the slice from the hash when
   // the caller already has it.
-  SetAssocCache::InvalidateResult InvalidateOnSlice(SliceId slice, PhysAddr addr);
+  SetAssocCache::InvalidateResult InvalidateOnSlice(SliceId slice, PhysAddr addr) {
+    return slices_[slice].Invalidate(addr);
+  }
   void Clear();
 
   // ---- Cache Allocation Technology ----
   // Classes of service; every core starts in COS 0 whose mask is all ways.
   void SetCosWayMask(std::uint32_t cos, std::uint64_t way_mask);
   void AssignCoreToCos(CoreId core, std::uint32_t cos);
-  std::uint64_t WayMaskForCore(CoreId core) const;
+  std::uint64_t WayMaskForCore(CoreId core) const {
+    const std::uint32_t cos = core < core_cos_.size() ? core_cos_[core] : 0;
+    return cos_masks_[cos];
+  }
   std::uint64_t ddio_way_mask() const { return ddio_mask_; }
 
   CboCounterBank& cbo() { return cbo_; }
@@ -95,10 +132,17 @@ class SlicedLlc {
 
   const SetAssocCache& slice(SliceId s) const { return slices_[s]; }
 
+  // Host-cache hint for batched callers: warm the slice metadata `addr`'s
+  // next lookup or fill will touch. No simulated effect.
+  void PrefetchSliceMeta(SliceId slice, PhysAddr addr) const {
+    slices_[slice].PrefetchSetMeta(addr);
+  }
+
  private:
   static constexpr std::size_t kMaxCos = 16;
 
   std::shared_ptr<const SliceHash> hash_;
+  FastSliceHash fast_hash_;  // sealed concrete dispatch; *hash_ outlives it
   std::vector<SetAssocCache> slices_;
   std::size_t num_ways_;
   std::uint64_t ddio_mask_;

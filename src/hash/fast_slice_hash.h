@@ -1,0 +1,109 @@
+// Devirtualized Complex Addressing dispatch.
+//
+// `SliceHash` is an abstract interface, which priced every simulated memory
+// access with a virtual `SliceFor` call — measurable overhead once the SoA
+// tag store (docs/architecture.md §10) made the probe itself cheap.
+// `FastSliceHash` seals the concrete hash exactly once, at construction: it
+// recognises the three preset families (`XorSliceHash`, `XorLutSliceHash`,
+// `ModuloSliceHash` — all `final`, so the dynamic_cast is an exact-type
+// test), copies their parameters into fixed-size inline storage, and
+// dispatches through a plain switch that the compiler inlines into the
+// hierarchy's access loops. Unknown SliceHash subclasses keep working
+// through a stored pointer — they just stay virtual.
+//
+// The mapping is a pure function of the address, so sealing cannot change
+// any simulated result; `hash_test` pins FastSliceHash against the virtual
+// implementation over every preset.
+#ifndef CACHEDIRECTOR_SRC_HASH_FAST_SLICE_HASH_H_
+#define CACHEDIRECTOR_SRC_HASH_FAST_SLICE_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/hash/slice_hash.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+class FastSliceHash {
+ public:
+  // `hash` must outlive this object (the SlicedLlc owns it via shared_ptr).
+  explicit FastSliceHash(const SliceHash& hash) : fallback_(&hash) {
+    num_slices_ = hash.num_slices();
+    if (const auto* xor_hash = dynamic_cast<const XorSliceHash*>(&hash);
+        xor_hash != nullptr && xor_hash->masks().size() <= kMaxMasks) {
+      kind_ = Kind::kXor;
+      CopyMasks(xor_hash->masks());
+      return;
+    }
+    if (const auto* lut_hash = dynamic_cast<const XorLutSliceHash*>(&hash);
+        lut_hash != nullptr && lut_hash->masks().size() <= kMaxLutMasks) {
+      kind_ = Kind::kXorLut;
+      CopyMasks(lut_hash->masks());
+      for (std::size_t i = 0; i < lut_hash->lut().size(); ++i) {
+        lut_[i] = lut_hash->lut()[i];
+      }
+      return;
+    }
+    if (const auto* mod_hash = dynamic_cast<const ModuloSliceHash*>(&hash);
+        mod_hash != nullptr) {
+      kind_ = Kind::kModulo;
+      return;
+    }
+    kind_ = Kind::kVirtual;
+  }
+
+  std::size_t num_slices() const { return num_slices_; }
+
+  SliceId SliceFor(PhysAddr addr) const {
+    const PhysAddr line = LineBase(addr);
+    switch (kind_) {
+      case Kind::kXor: {
+        SliceId slice = 0;
+        for (std::uint32_t i = 0; i < num_masks_; ++i) {
+          slice |= ParityOf(line, masks_[i]) << i;
+        }
+        return slice;
+      }
+      case Kind::kXorLut: {
+        std::uint32_t index = 0;
+        for (std::uint32_t i = 0; i < num_masks_; ++i) {
+          index |= ParityOf(line, masks_[i]) << i;
+        }
+        return lut_[index];
+      }
+      case Kind::kModulo:
+        return static_cast<SliceId>((line >> kCacheLineBits) % num_slices_);
+      case Kind::kVirtual:
+        break;
+    }
+    return fallback_->SliceFor(addr);
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kXor, kXorLut, kModulo, kVirtual };
+
+  // Pure-XOR hashes address up to 2^8 slices; LUT hashes are bounded by the
+  // inline table (2^6 entries covers the 18-slice Skylake preset). Larger
+  // configurations fall back to the virtual call.
+  static constexpr std::size_t kMaxMasks = 8;
+  static constexpr std::size_t kMaxLutMasks = 6;
+
+  void CopyMasks(std::span<const std::uint64_t> masks) {
+    num_masks_ = static_cast<std::uint32_t>(masks.size());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      masks_[i] = masks[i];
+    }
+  }
+
+  Kind kind_ = Kind::kVirtual;
+  std::uint32_t num_masks_ = 0;
+  std::size_t num_slices_ = 0;
+  std::array<std::uint64_t, kMaxMasks> masks_{};
+  std::array<SliceId, std::size_t{1} << kMaxLutMasks> lut_{};
+  const SliceHash* fallback_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_HASH_FAST_SLICE_HASH_H_

@@ -1,12 +1,20 @@
 #include "src/kvs/hash_kvs.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <stdexcept>
 
 #include "src/slice/slice_mapper.h"
 
 namespace cachedir {
+namespace {
+
+// value_bytes <= 4096 (checked in the constructor), so a value's gather list
+// always fits on the stack.
+constexpr std::size_t kMaxValueLines = 4096 / kCacheLineSize;
+
+}  // namespace
 
 HashKvs::HashKvs(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
                  HugepageAllocator& backing, const Config& config)
@@ -106,8 +114,11 @@ HashKvs::OpResult HashKvs::Set(CoreId core, std::uint64_t key,
     ++size_;
   }
 
-  // Write the value bytes, zero-padded to value_bytes, line by line.
+  // Write the value bytes, zero-padded to value_bytes, into the backing
+  // store line by line, then charge every (possibly slice-scattered) value
+  // line through the hierarchy as one gather batch — same access order.
   std::uint8_t line_buf[kCacheLineSize];
+  std::array<PhysAddr, kMaxValueLines> value_lines;
   std::size_t written = 0;
   for (std::size_t i = 0; i < lines_per_value_; ++i) {
     const std::size_t line_bytes =
@@ -116,10 +127,12 @@ HashKvs::OpResult HashKvs::Set(CoreId core, std::uint64_t key,
       line_buf[b] = written < value.size() ? value[written] : 0;
       ++written;
     }
-    const PhysAddr pa = ValueSlotPa(slot, i * kCacheLineSize);
-    memory_.Write(pa, std::span<const std::uint8_t>(line_buf, line_bytes));
-    result.cycles += hierarchy_.Write(core, pa).cycles;
+    value_lines[i] = ValueSlotPa(slot, i * kCacheLineSize);
+    memory_.Write(value_lines[i], std::span<const std::uint8_t>(line_buf, line_bytes));
   }
+  AccessBatch value_batch;
+  value_batch.gather = std::span<const PhysAddr>(value_lines.data(), lines_per_value_);
+  result.cycles += hierarchy_.WriteRange(core, value_batch).cycles;
   result.ok = true;
   return result;
 }
@@ -133,15 +146,25 @@ HashKvs::OpResult HashKvs::Get(CoreId core, std::uint64_t key, std::span<std::ui
   }
   // Re-reads a bucket line Probe() already charged. detlint: allow(physmem-bypass)
   const std::uint64_t slot = memory_.ReadU64(BucketPa(probe.bucket) + 8) - 1;
+  // Copy out of the backing store line by line, then charge the touched
+  // value lines through the hierarchy as one gather batch.
+  std::array<PhysAddr, kMaxValueLines> value_lines;
   std::size_t read = 0;
+  std::size_t num_lines = 0;
   for (std::size_t i = 0; i < lines_per_value_ && read < out.size(); ++i) {
     const std::size_t line_bytes =
         std::min({kCacheLineSize, config_.value_bytes - i * kCacheLineSize,
                   out.size() - read});
-    const PhysAddr pa = ValueSlotPa(slot, i * kCacheLineSize);
-    memory_.Read(pa, out.subspan(read, line_bytes));
-    result.cycles += hierarchy_.Read(core, pa).cycles;
+    value_lines[num_lines] = ValueSlotPa(slot, i * kCacheLineSize);
+    // Charged by the ReadRange gather below. detlint: allow(physmem-bypass)
+    memory_.Read(value_lines[num_lines], out.subspan(read, line_bytes));
+    ++num_lines;
     read += line_bytes;
+  }
+  if (num_lines > 0) {  // an empty `out` touches no value lines at all
+    AccessBatch value_batch;
+    value_batch.gather = std::span<const PhysAddr>(value_lines.data(), num_lines);
+    result.cycles += hierarchy_.ReadRange(core, value_batch).cycles;
   }
   result.ok = true;
   return result;

@@ -1,5 +1,7 @@
 #include "src/kvs/kvs.h"
 
+#include <array>
+#include <span>
 #include <stdexcept>
 
 #include "src/slice/slice_mapper.h"
@@ -35,22 +37,28 @@ Cycles EmulatedKvs::Get(CoreId core, std::uint64_t key) {
   if (key >= config_.num_values) {
     throw std::out_of_range("EmulatedKvs::Get: key out of range");
   }
-  Cycles cycles = config_.fixed_request_cycles;
+  // Slice-aware values are scattered line by line, so the batch is a gather
+  // over the value's resolved line addresses, not a contiguous range.
+  std::array<PhysAddr, kMaxValueLines> lines;
   for (std::size_t i = 0; i < lines_per_value_; ++i) {
-    cycles += hierarchy_.Read(core, ValuePa(key, i * kCacheLineSize)).cycles;
+    lines[i] = ValuePa(key, i * kCacheLineSize);
   }
-  return cycles;
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(lines.data(), lines_per_value_);
+  return config_.fixed_request_cycles + hierarchy_.ReadRange(core, batch).cycles;
 }
 
 Cycles EmulatedKvs::Set(CoreId core, std::uint64_t key) {
   if (key >= config_.num_values) {
     throw std::out_of_range("EmulatedKvs::Set: key out of range");
   }
-  Cycles cycles = config_.fixed_request_cycles;
+  std::array<PhysAddr, kMaxValueLines> lines;
   for (std::size_t i = 0; i < lines_per_value_; ++i) {
-    cycles += hierarchy_.Write(core, ValuePa(key, i * kCacheLineSize)).cycles;
+    lines[i] = ValuePa(key, i * kCacheLineSize);
   }
-  return cycles;
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(lines.data(), lines_per_value_);
+  return config_.fixed_request_cycles + hierarchy_.WriteRange(core, batch).cycles;
 }
 
 }  // namespace cachedir

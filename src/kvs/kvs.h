@@ -38,8 +38,14 @@ class EmulatedKvs {
 
   EmulatedKvs(MemoryHierarchy& hierarchy, HugepageAllocator& backing, const Config& config);
 
+  // Value lines may be slice-scattered (SliceBuffer), so multi-line values
+  // go through the hierarchy as one gather batch per request.
   Cycles Get(CoreId core, std::uint64_t key);
   Cycles Set(CoreId core, std::uint64_t key);
+
+  // value_bytes <= 4096 (checked in the constructor), so a value's line
+  // addresses always fit on the stack.
+  static constexpr std::size_t kMaxValueLines = 4096 / kCacheLineSize;
 
   // Physical address of byte `offset` within `key`'s value.
   PhysAddr ValuePa(std::uint64_t key, std::size_t offset = 0) const {

@@ -74,8 +74,8 @@ bool SimNic::Deliver(const WirePacket& packet) {
   mbuf->data_len = std::min<std::uint32_t>(packet.size_bytes, kMbufDataBytes);
   WritePacketHeader(memory_, mbuf->data_pa(), packet);
 
-  // DDIO: every line of the frame is written into the LLC.
-  hierarchy_.DmaWrite(mbuf->data_pa(), mbuf->data_len);
+  // DDIO: every line of the frame is written into the LLC in one fused batch.
+  hierarchy_.DmaWriteRange(mbuf->data_pa(), mbuf->data_len);
 
   rx_[queue].push_back(RxEntry{mbuf, mbuf->rx_ready_ns});
   ++stats_[queue].delivered;
@@ -95,7 +95,7 @@ void SimNic::Transmit(Mbuf* mbuf) {
   if (mbuf == nullptr) {
     throw std::invalid_argument("SimNic::Transmit: null mbuf");
   }
-  hierarchy_.DmaRead(mbuf->data_pa(), mbuf->data_len);
+  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len);
   pool_.Free(mbuf);
 }
 
@@ -104,7 +104,7 @@ Nanoseconds SimNic::TransmitAt(Mbuf* mbuf, Nanoseconds now) {
     throw std::invalid_argument("SimNic::TransmitAt: null mbuf");
   }
   ReclaimTx(now);
-  hierarchy_.DmaRead(mbuf->data_pa(), mbuf->data_len);
+  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len);
   const double wire_ns =
       (static_cast<double>(mbuf->data_len) + kWireOverheadBytes) * 8.0 /
       config_.tx_line_rate_gbps;

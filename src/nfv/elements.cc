@@ -1,5 +1,7 @@
 #include "src/nfv/elements.h"
 
+#include <span>
+
 namespace cachedir {
 
 // ---- MacSwap ----
@@ -40,17 +42,22 @@ void IpRouter::InstallRoute(std::uint32_t prefix24, std::uint16_t next_hop) {
 }
 
 std::uint16_t IpRouter::LookupNextHopForTest(std::uint32_t dst_ip) const {
+  // Test-only oracle, deliberately uncosted. detlint: allow(physmem-bypass)
   return static_cast<std::uint16_t>(memory_.ReadU32(EntryPa(dst_ip)) & 0xFFFF);
 }
 
 ProcessResult IpRouter::Process(CoreId core, Mbuf& mbuf) {
   ProcessResult r;
-  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse header
+  // Header parse (backing-store read, uncosted) happens up front so the
+  // header line and the tbl24 probe go through the hierarchy as one gather
+  // batch — same access order (header, then table entry) as the scalar path.
   const std::uint32_t dst_ip = memory_.ReadU32(mbuf.data_pa() + kDstIpOffset);
-  if (!hw_offloaded_) {
-    // Software LPM: one tbl24 probe (next_hop 0 means the default route).
-    r.cycles += hierarchy_.Read(core, EntryPa(dst_ip)).cycles;
-  }
+  // Software LPM: one tbl24 probe (next_hop 0 means the default route);
+  // offloaded routers only touch the header.
+  const PhysAddr reads[2] = {mbuf.data_pa(), hw_offloaded_ ? 0 : EntryPa(dst_ip)};
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(reads, hw_offloaded_ ? 1 : 2);
+  r.cycles += hierarchy_.ReadRange(core, batch).cycles;
   DecrementTtl(memory_, mbuf.data_pa());
   SwapMacAddresses(memory_, mbuf.data_pa());  // rewrite L2 for the next hop
   r.cycles += hierarchy_.Write(core, mbuf.data_pa()).cycles;
@@ -75,11 +82,15 @@ Napt::Napt(MemoryHierarchy& hierarchy, PhysicalMemory& memory, HugepageAllocator
 
 ProcessResult Napt::Process(CoreId core, Mbuf& mbuf) {
   ProcessResult r;
-  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse
+  // Parse first (uncosted backing-store read), then charge the header line
+  // and the flow-table probe as one gather batch in the scalar order.
   const ParsedHeader h = ReadPacketHeader(memory_, mbuf.data_pa());
   const PhysAddr bucket = BucketPa(h.flow);
 
-  r.cycles += hierarchy_.Read(core, bucket).cycles;  // flow-table probe
+  const PhysAddr reads[2] = {mbuf.data_pa(), bucket};
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(reads, 2);
+  r.cycles += hierarchy_.ReadRange(core, batch).cycles;
   std::uint16_t mapped_port = static_cast<std::uint16_t>(memory_.ReadU32(bucket) & 0xFFFF);
   const bool present = (memory_.ReadU32(bucket) >> 16) == 1;
   if (!present) {
@@ -112,11 +123,15 @@ LoadBalancer::LoadBalancer(MemoryHierarchy& hierarchy, PhysicalMemory& memory,
 
 ProcessResult LoadBalancer::Process(CoreId core, Mbuf& mbuf) {
   ProcessResult r;
-  r.cycles += hierarchy_.Read(core, mbuf.data_pa()).cycles;  // parse
+  // Parse first (uncosted backing-store read), then charge the header line
+  // and the flow-table probe as one gather batch in the scalar order.
   const ParsedHeader h = ReadPacketHeader(memory_, mbuf.data_pa());
   const PhysAddr bucket = BucketPa(h.flow);
 
-  r.cycles += hierarchy_.Read(core, bucket).cycles;
+  const PhysAddr reads[2] = {mbuf.data_pa(), bucket};
+  AccessBatch batch;
+  batch.gather = std::span<const PhysAddr>(reads, 2);
+  r.cycles += hierarchy_.ReadRange(core, batch).cycles;
   std::uint32_t backend = memory_.ReadU32(bucket);
   if (backend == 0) {
     // New flow: round-robin assignment (shared cursor line).

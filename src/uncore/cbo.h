@@ -19,6 +19,8 @@ struct CboEvents {
   std::uint64_t lookups = 0;  // any LLC access that reached this slice
   std::uint64_t misses = 0;   // lookups that missed
   std::uint64_t dma_fills = 0;  // lines written into this slice by DDIO
+
+  bool operator==(const CboEvents&) const = default;
 };
 
 class CboCounterBank {

@@ -1,0 +1,265 @@
+// Scalar/batched equivalence property: the range and gather fast paths of
+// MemoryHierarchy are pure fusions of the scalar entry points, so a subject
+// hierarchy driven with ReadRange/WriteRange/DmaWriteRange/DmaReadRange must
+// stay bit-identical — per-line AccessResults, summed cycles, HierarchyStats
+// and per-slice CBo counters — to a reference hierarchy (same spec, hash and
+// seed) fed the equivalent scalar call per line. Randomized streams cover
+// contiguous ranges, scattered gathers with duplicates, DMA rings that wrap
+// the DDIO partition, interleaved scalar traffic and flushes, on both the
+// inclusive (Haswell) and victim (Skylake) organisations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+// Shrunken LLC (as in hotpath_alloc_test): eviction and back-invalidation
+// chains start after a few thousand lines, so the streams below reach them.
+MachineSpec WithSmallLlc(MachineSpec spec) {
+  spec.llc_slice.size_bytes = 128 * spec.llc_slice.ways * kCacheLineSize;  // 128 sets
+  return spec;
+}
+
+constexpr std::size_t kMaxBatchLines = 64;
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<MachineSpec (*)()> {
+ protected:
+  void SetUp() override {
+    spec_ = WithSmallLlc(GetParam()());
+    hash_ = spec_.inclusion == LlcInclusionPolicy::kInclusive ? HaswellSliceHash()
+                                                              : SkylakeSliceHash();
+    reference_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/11);
+    subject_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/11);
+  }
+
+  // Every simulated outcome the two hierarchies expose must agree.
+  void ExpectConverged() {
+    ASSERT_EQ(reference_->stats(), subject_->stats());
+    for (SliceId s = 0; s < spec_.num_slices; ++s) {
+      ASSERT_EQ(reference_->llc().cbo().events(s), subject_->llc().cbo().events(s))
+          << "CBo counters diverged on slice " << s;
+    }
+  }
+
+  // Applies one contiguous core batch to the subject and the equivalent
+  // scalar per-line calls to the reference; checks per-line results, the
+  // aggregate, and the line count.
+  void RunContiguous(CoreId core, PhysAddr addr, std::size_t bytes, bool is_write) {
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+
+    Cycles scalar_cycles = 0;
+    std::size_t scalar_lines = 0;
+    std::array<AccessResult, kMaxBatchLines> expected{};
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+      const AccessResult r =
+          is_write ? reference_->Write(core, line) : reference_->Read(core, line);
+      ASSERT_LT(scalar_lines, kMaxBatchLines);
+      expected[scalar_lines++] = r;
+      scalar_cycles += r.cycles;
+    }
+
+    AccessBatch batch;
+    batch.addr = addr;
+    batch.bytes = bytes;
+    batch.per_line = std::span<AccessResult>(per_line_.data(), per_line_.size());
+    const BatchResult got = is_write ? subject_->WriteRange(core, batch)
+                                     : subject_->ReadRange(core, batch);
+
+    ASSERT_EQ(got.lines, scalar_lines);
+    ASSERT_EQ(got.cycles, scalar_cycles);
+    for (std::size_t i = 0; i < scalar_lines; ++i) {
+      ASSERT_EQ(per_line_[i], expected[i]) << "per-line result " << i << " diverged";
+    }
+  }
+
+  // Applies one gather batch (scattered addresses, duplicates allowed, in
+  // order) the same way.
+  void RunGather(CoreId core, std::span<const PhysAddr> addrs, bool is_write) {
+    Cycles scalar_cycles = 0;
+    std::array<AccessResult, kMaxBatchLines> expected{};
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      const AccessResult r =
+          is_write ? reference_->Write(core, addrs[i]) : reference_->Read(core, addrs[i]);
+      expected[i] = r;
+      scalar_cycles += r.cycles;
+    }
+
+    AccessBatch batch;
+    batch.gather = addrs;
+    batch.per_line = std::span<AccessResult>(per_line_.data(), per_line_.size());
+    const BatchResult got = is_write ? subject_->WriteRange(core, batch)
+                                     : subject_->ReadRange(core, batch);
+
+    ASSERT_EQ(got.lines, addrs.size());
+    ASSERT_EQ(got.cycles, scalar_cycles);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      ASSERT_EQ(per_line_[i], expected[i]) << "gather result " << i << " diverged";
+    }
+  }
+
+  void RunDmaWrite(PhysAddr addr, std::size_t bytes) {
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    Cycles scalar_cycles = 0;
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+      scalar_cycles += reference_->DmaWriteLine(line);
+    }
+    ASSERT_EQ(subject_->DmaWriteRange(addr, bytes), scalar_cycles);
+  }
+
+  void RunDmaRead(PhysAddr addr, std::size_t bytes) {
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    Cycles scalar_cycles = 0;
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+      scalar_cycles += reference_->DmaReadLine(line);
+    }
+    ASSERT_EQ(subject_->DmaReadRange(addr, bytes), scalar_cycles);
+  }
+
+  // Identical scalar traffic on both — the batched paths must compose with
+  // the scalar ones, not just replay in isolation.
+  void RunScalarOnBoth(CoreId core, PhysAddr addr, bool is_write) {
+    const AccessResult ref =
+        is_write ? reference_->Write(core, addr) : reference_->Read(core, addr);
+    const AccessResult sub =
+        is_write ? subject_->Write(core, addr) : subject_->Read(core, addr);
+    ASSERT_EQ(ref, sub);
+  }
+
+  MachineSpec spec_;
+  std::shared_ptr<const SliceHash> hash_;
+  std::unique_ptr<MemoryHierarchy> reference_;
+  std::unique_ptr<MemoryHierarchy> subject_;
+  std::array<AccessResult, kMaxBatchLines> per_line_{};
+};
+
+TEST_P(BatchEquivalenceTest, RandomizedStreamsStayBitIdentical) {
+  Rng rng(1234);
+  const std::size_t cores = spec_.num_cores;
+  // Regions sized against the shrunken LLC so DMA wraps the DDIO ways and
+  // demand misses run the full eviction chains.
+  const std::size_t llc_lines =
+      spec_.num_slices * spec_.llc_slice.num_sets() * spec_.llc_slice.ways;
+  const PhysAddr ring = PhysAddr{1} << 30;
+  const std::size_t ring_bytes = llc_lines * 4 * kCacheLineSize;
+  const PhysAddr heap = PhysAddr{1} << 28;
+  const std::size_t heap_bytes = llc_lines * 2 * kCacheLineSize;
+
+  std::vector<PhysAddr> gather;
+  gather.reserve(kMaxBatchLines);
+  for (int step = 0; step < 4000; ++step) {
+    const CoreId core = static_cast<CoreId>(rng.UniformIndex(cores));
+    switch (rng.UniformIndex(8)) {
+      case 0:   // contiguous read, packet-sized
+      case 1: {
+        const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+        RunContiguous(core, addr, rng.UniformIndex(1536), /*is_write=*/false);
+        break;
+      }
+      case 2: {  // contiguous write
+        const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+        RunContiguous(core, addr, rng.UniformIndex(1536), /*is_write=*/true);
+        break;
+      }
+      case 3: {  // scattered gather (duplicates allowed), read or write
+        gather.clear();
+        const std::size_t n = 1 + rng.UniformIndex(32);
+        for (std::size_t i = 0; i < n; ++i) {
+          gather.push_back(heap + rng.UniformIndex(heap_bytes));
+        }
+        RunGather(core, gather, /*is_write=*/rng.Bernoulli(0.5));
+        break;
+      }
+      case 4: {  // NIC RX: DMA a packet into the ring
+        const PhysAddr addr = ring + rng.UniformIndex(ring_bytes);
+        RunDmaWrite(addr, 64 + rng.UniformIndex(1536 - 64));
+        break;
+      }
+      case 5: {  // NIC TX: DMA-read a span back out
+        const PhysAddr addr = ring + rng.UniformIndex(ring_bytes);
+        RunDmaRead(addr, 64 + rng.UniformIndex(1536 - 64));
+        break;
+      }
+      case 6: {  // scalar traffic interleaved identically on both
+        const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+        RunScalarOnBoth(core, addr, /*is_write=*/rng.Bernoulli(0.3));
+        break;
+      }
+      case 7: {  // flush a line on both
+        const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+        reference_->FlushLine(addr);
+        subject_->FlushLine(addr);
+        break;
+      }
+      default:
+        break;
+    }
+    if ((step & 255) == 255) {
+      ExpectConverged();
+    }
+  }
+  ExpectConverged();
+}
+
+// Degenerate batches: zero bytes still touches the single line containing
+// `addr` (matching the scalar DmaWrite convention), and an empty gather with
+// per_line storage is a no-op.
+TEST_P(BatchEquivalenceTest, ZeroByteRangeTouchesOneLine) {
+  const PhysAddr addr = (PhysAddr{1} << 26) + 17;  // unaligned on purpose
+  RunContiguous(/*core=*/0, addr, /*bytes=*/0, /*is_write=*/false);
+  RunContiguous(/*core=*/0, addr, /*bytes=*/0, /*is_write=*/true);
+  RunDmaWrite(addr, 0);
+  RunDmaRead(addr, 0);
+  ExpectConverged();
+}
+
+TEST_P(BatchEquivalenceTest, PerLineStorageShorterThanBatchIsTruncated) {
+  // per_line holds 4 results; the range spans 8 lines. The first 4 are
+  // written, the batch still runs in full.
+  const PhysAddr addr = PhysAddr{1} << 27;
+  const std::size_t bytes = 8 * kCacheLineSize;
+
+  Cycles scalar_cycles = 0;
+  std::array<AccessResult, 8> expected{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    expected[i] = reference_->Read(0, addr + i * kCacheLineSize);
+    scalar_cycles += expected[i].cycles;
+  }
+
+  std::array<AccessResult, 4> small{};
+  AccessBatch batch;
+  batch.addr = addr;
+  batch.bytes = bytes;
+  batch.per_line = small;
+  const BatchResult got = subject_->ReadRange(0, batch);
+  ASSERT_EQ(got.lines, 8u);
+  ASSERT_EQ(got.cycles, scalar_cycles);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    ASSERT_EQ(small[i], expected[i]);
+  }
+  ExpectConverged();
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, BatchEquivalenceTest,
+                         ::testing::Values(&HaswellXeonE52667V3, &SkylakeXeonGold6134),
+                         [](const auto& param_info) {
+                           return param_info.param == &HaswellXeonE52667V3
+                                      ? std::string("HaswellInclusive")
+                                      : std::string("SkylakeVictim");
+                         });
+
+}  // namespace
+}  // namespace cachedir

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "src/hash/fast_slice_hash.h"
 #include "src/hash/presets.h"
 #include "src/hash/slice_hash.h"
 #include "src/mem/hugepage.h"
@@ -105,6 +107,32 @@ TEST(ModuloSliceHashTest, CyclesThroughSlices) {
   EXPECT_EQ(hash.SliceFor(0), 0u);
   EXPECT_EQ(hash.SliceFor(64), 1u);
   EXPECT_EQ(hash.SliceFor(64 * 8), 0u);
+}
+
+// Pins the sealed dispatch against the virtual implementation: FastSliceHash
+// copies each preset's parameters at construction and must agree with the
+// SliceHash it sealed on every address, across all preset families (pure-XOR
+// Haswell, XOR+LUT Skylake and Sandy Bridge, modulo) — including unaligned
+// intra-line bytes. The hierarchy's devirtualized fast path relies on this.
+TEST(FastSliceHashTest, MatchesEveryPresetHashExactly) {
+  std::vector<std::shared_ptr<const SliceHash>> presets = {
+      HaswellSliceHash(), SkylakeSliceHash(), SandyBridgeSliceHash(),
+      std::make_shared<ModuloSliceHash>(8)};
+  for (const auto& hash : presets) {
+    const FastSliceHash fast(*hash);
+    ASSERT_EQ(fast.num_slices(), hash->num_slices());
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+      const PhysAddr addr = rng.UniformU64(0, 1ull << 37);
+      ASSERT_EQ(fast.SliceFor(addr), hash->SliceFor(addr))
+          << "sealed dispatch diverged at addr " << addr;
+    }
+    // Line-edge addresses: every byte of a line must keep routing together.
+    for (PhysAddr line = 0; line < (1u << 20); line += kCacheLineSize) {
+      ASSERT_EQ(fast.SliceFor(line), hash->SliceFor(line));
+      ASSERT_EQ(fast.SliceFor(line + kCacheLineSize - 1), hash->SliceFor(line));
+    }
+  }
 }
 
 TEST(SliceHistogramTest, MatchesDirectCount) {

@@ -12,10 +12,12 @@
 // must perform exactly zero heap allocations.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <span>
 
 #include "src/cache/hierarchy.h"
 #include "src/hash/presets.h"
@@ -145,6 +147,70 @@ TEST_P(HotPathAllocationProbe, SteadyStateEvictionStormPerformsZeroAllocations) 
   EXPECT_GT(hierarchy.stats().llc_misses, llc_lines * 4);
   EXPECT_EQ(hierarchy.stats().dma_line_writes, ring_lines * 4);
   EXPECT_GT(hierarchy.stats().dirty_writebacks, llc_lines * 4);
+}
+
+// Same storm, driven through the batched fast paths: contiguous
+// DmaWriteRange packets, ReadRange over the payload, gather batches with
+// caller-provided per-line storage. The batch accumulators live on the
+// stack and per-line results in caller storage, so the range paths must be
+// exactly as allocation-free as the scalar ones.
+void BatchStormLap(MemoryHierarchy& hierarchy, Rng& rng, PhysAddr ring,
+                   std::size_t ring_lines, PhysAddr counters, std::size_t counter_lines) {
+  const std::size_t cores = hierarchy.spec().num_cores;
+  constexpr std::size_t kPacketBytes = 1536;
+  constexpr std::size_t kPacketLines = (kPacketBytes + kCacheLineSize - 1) / kCacheLineSize;
+  std::array<AccessResult, kPacketLines> per_line{};
+  std::array<PhysAddr, 8> gather{};
+  const std::size_t packets = ring_lines / kPacketLines;
+  for (std::size_t p = 0; p < packets; ++p) {
+    const PhysAddr packet = ring + p * kPacketLines * kCacheLineSize;
+    hierarchy.DmaWriteRange(packet, kPacketBytes);
+    const CoreId core = static_cast<CoreId>(p % cores);
+    AccessBatch read_batch;
+    read_batch.addr = packet;
+    read_batch.bytes = kPacketBytes;
+    read_batch.per_line = per_line;
+    hierarchy.ReadRange(core, read_batch);
+    // A packet DMA'd half a ring ago is long evicted from the DDIO ways, so
+    // this range misses the LLC and runs the demand fill-plus-victim chain.
+    const std::size_t stale = (p + packets / 2) % packets;
+    hierarchy.ReadRange(core, ring + stale * kPacketLines * kCacheLineSize, kPacketBytes);
+    for (PhysAddr& g : gather) {
+      g = counters + rng.UniformIndex(counter_lines) * kCacheLineSize;
+    }
+    AccessBatch gather_batch;
+    gather_batch.gather = std::span<const PhysAddr>(gather);
+    hierarchy.WriteRange(core, gather_batch);
+    hierarchy.DmaReadRange(packet, kPacketBytes);
+  }
+}
+
+TEST_P(HotPathAllocationProbe, SteadyStateBatchedStormPerformsZeroAllocations) {
+  MachineSpec spec = WithSmallLlc(GetParam()());
+  const auto hash = spec.inclusion == LlcInclusionPolicy::kInclusive ? HaswellSliceHash()
+                                                                     : SkylakeSliceHash();
+  MemoryHierarchy hierarchy(spec, hash, /*seed=*/7);
+
+  const std::size_t llc_lines =
+      spec.num_slices * spec.llc_slice.num_sets() * spec.llc_slice.ways;
+  const std::size_t ring_lines = llc_lines * 4;
+  const PhysAddr ring = 1u << 30;
+  const PhysAddr counters = 1u << 28;
+  constexpr std::size_t kCounterLines = 64;
+
+  Rng rng(22);
+  BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+
+  const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  const std::uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "batched access paths must not allocate";
+  EXPECT_GT(hierarchy.stats().llc_misses, llc_lines);
+  EXPECT_GT(hierarchy.stats().dma_line_writes, ring_lines * 2);
+  EXPECT_GT(hierarchy.stats().dirty_writebacks, llc_lines);
 }
 
 INSTANTIATE_TEST_SUITE_P(Machines, HotPathAllocationProbe,

@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh sim_throughput_bench JSON against the committed baseline.
+"""Compare fresh bench JSONs against the committed BENCH_simcore.json baseline.
 
-The committed BENCH_simcore.json keeps a "history" list of trajectory points
-(oldest first); a fresh run (`build/bench/sim_throughput_bench out.json`)
-writes a flat {"machine", "configs"} object. This script compares the fresh
-run's accesses_per_sec against the most recent history entry, per core
-count, with a generous tolerance: host-side throughput is noisy across
-runners, so the check is REPORT-ONLY by default (always exits 0) and only
-enforces with --enforce (e.g. on a quiet, dedicated perf machine).
+The committed BENCH_simcore.json keeps, per named bench, a "history" list of
+trajectory points (oldest first) under "benches". A fresh run writes a flat
+JSON tagged with its "bench" name:
+
+  * sim_throughput_bench  -> {"bench": "sim_throughput", "machine", "configs"}
+    where each config carries accesses_per_sec (higher is better);
+  * fig13_forwarding_100g --json=... -> {"bench": "fig13_forwarding_100g",
+    "machine", "host_seconds"} (lower is better).
+
+Each --fresh file is matched to its baseline section by the "bench" field and
+compared against that section's most recent history entry, with a generous
+tolerance: host-side numbers are noisy across runners, so the check is
+REPORT-ONLY by default (always exits 0) and only enforces with --enforce
+(e.g. on a quiet, dedicated perf machine).
 
 Usage:
   tools/check_perf_baseline.py --baseline BENCH_simcore.json \
-      --fresh /tmp/perf_fresh.json [--tolerance 0.30] [--enforce]
+      --fresh /tmp/perf_fresh.json --fresh /tmp/fig13_fresh.json \
+      [--tolerance 0.30] [--enforce]
 """
 
 import argparse
@@ -23,10 +31,48 @@ def configs_by_cores(entry):
     return {int(c["cores"]): float(c["accesses_per_sec"]) for c in entry["configs"]}
 
 
+def compare_configs(name, ref, fresh, floor):
+    """Per-core accesses_per_sec, higher is better. Returns True on regression."""
+    ref_rates = configs_by_cores(ref)
+    fresh_rates = configs_by_cores(fresh)
+    regressed = False
+    # Intersection only: CI runs a subset of core counts (--cores=1) and the
+    # missing configs are a deliberate choice, not a regression.
+    common = sorted(set(ref_rates) & set(fresh_rates))
+    if not common:
+        print(f"{name}: no core counts in common with the baseline point")
+        return True
+    for cores in common:
+        ref_rate, new_rate = ref_rates[cores], fresh_rates[cores]
+        ratio = new_rate / ref_rate if ref_rate > 0 else float("inf")
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        if ratio < floor:
+            regressed = True
+        print(f"{name} cores={cores}: baseline={ref_rate:.3e} fresh={new_rate:.3e} "
+              f"ratio={ratio:.2f} (floor {floor:.2f}) {verdict}")
+    return regressed
+
+
+def compare_host_seconds(name, ref, fresh, floor):
+    """Whole-run host_seconds, lower is better. Returns True on regression."""
+    ref_s, new_s = float(ref["host_seconds"]), float(fresh["host_seconds"])
+    # Express as a throughput-style ratio so one floor serves both shapes.
+    ratio = ref_s / new_s if new_s > 0 else float("inf")
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(f"{name} host_seconds: baseline={ref_s:.3f}s fresh={new_s:.3f}s "
+          f"speed ratio={ratio:.2f} (floor {floor:.2f}) {verdict}")
+    return ratio < floor
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed BENCH_simcore.json")
-    parser.add_argument("--fresh", required=True, help="JSON written by a fresh bench run")
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        action="append",
+        help="JSON written by a fresh bench run (repeatable, matched by 'bench' field)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -42,35 +88,33 @@ def main():
 
     with open(args.baseline, encoding="utf-8") as f:
         baseline = json.load(f)
-    with open(args.fresh, encoding="utf-8") as f:
-        fresh = json.load(f)
+    benches = baseline["benches"]
+    print(f"baseline machine: {baseline.get('machine', {})}")
 
-    ref = baseline["history"][-1]
-    ref_rates = configs_by_cores(ref)
-    fresh_rates = configs_by_cores(fresh)
-
-    print(f"baseline point: {ref.get('label', '<unlabelled>')} "
-          f"(machine: {baseline.get('machine', {})})")
-    print(f"fresh machine:  {fresh.get('machine', {})}")
-
+    floor = 1.0 - args.tolerance
     regressed = False
-    for cores in sorted(ref_rates):
-        if cores not in fresh_rates:
-            print(f"cores={cores}: missing from fresh run")
+    for path in args.fresh:
+        with open(path, encoding="utf-8") as f:
+            fresh = json.load(f)
+        name = fresh.get("bench")
+        if name not in benches:
+            print(f"{path}: bench '{name}' has no committed baseline section")
             regressed = True
             continue
-        ref_rate, new_rate = ref_rates[cores], fresh_rates[cores]
-        ratio = new_rate / ref_rate if ref_rate > 0 else float("inf")
-        floor = 1.0 - args.tolerance
-        verdict = "OK" if ratio >= floor else "REGRESSION"
-        if ratio < floor:
+        ref = benches[name]["history"][-1]
+        print(f"{name}: baseline point '{ref.get('label', '<unlabelled>')}', "
+              f"fresh machine {fresh.get('machine', {})}")
+        if "configs" in fresh:
+            regressed |= compare_configs(name, ref, fresh, floor)
+        elif "host_seconds" in fresh:
+            regressed |= compare_host_seconds(name, ref, fresh, floor)
+        else:
+            print(f"{path}: unrecognized fresh-run shape (no configs/host_seconds)")
             regressed = True
-        print(f"cores={cores}: baseline={ref_rate:.3e} fresh={new_rate:.3e} "
-              f"ratio={ratio:.2f} (floor {floor:.2f}) {verdict}")
 
     if regressed:
         # GitHub Actions annotation; harmless noise elsewhere.
-        print(f"::warning::sim_throughput_bench below baseline - tolerance "
+        print(f"::warning::perf bench below baseline - tolerance "
               f"{args.tolerance:.0%}; see perf-smoke job log")
         if args.enforce:
             return 1
