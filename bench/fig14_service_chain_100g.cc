@@ -2,7 +2,16 @@
 // campus-mix traffic at 100 Gbps, FlowDirector steering and H/W-offloaded
 // routing. Prints the percentile comparison (Fig. 1 speedups), a CDF sketch
 // (Fig. 14a) and the improvement per percentile (Fig. 14b).
+//
+// With --json=PATH the bench also writes host wall-seconds for the whole
+// experiment (both arms, all repetitions) through bench/common's HostTimer —
+// the multi-element companion to fig13's point in BENCH_simcore.json: where
+// fig13 stresses the single-element fast path, this one runs the stateful
+// three-element chain (table probes, flow-state writes) through the same
+// burst dataplane. Report-only plumbing: stdout stays deterministic.
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "bench/common.h"
 #include "bench/nfv_experiment.h"
@@ -34,11 +43,13 @@ void PrintCdf(const NfvAggregate& dpdk, const NfvAggregate& cd) {
   }
 }
 
-void Run() {
+void Run(const char* json_path) {
   PrintBanner("Fig 1 + Fig 14",
               "stateful chain Router-NAPT-LB @ 100 Gbps, FlowDirector + H/W offload");
+  HostTimer timer;
   const NfvAggregate dpdk = RunNfvMany(Experiment(false));
   const NfvAggregate cd = RunNfvMany(Experiment(true));
+  const double host_seconds = timer.Seconds();
   PrintComparisonRows(dpdk, cd);
   PrintSectionRule();
   PrintCdf(dpdk, cd);
@@ -47,12 +58,47 @@ void Run() {
               dpdk.median_throughput_gbps, cd.median_throughput_gbps);
   std::printf("paper shape: tail (90-99th) cut by up to ~21.5%% / 119 us;\n");
   std::printf("with FlowDirector the gain decreases toward the 99th (opposite of RSS)\n");
+
+  if (json_path == nullptr) {
+    return;
+  }
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fig14_service_chain_100g\",\n"
+               "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
+               "\"build\": \"%s\"},\n"
+               "  \"host_seconds\": %.6f\n}\n",
+               std::thread::hardware_concurrency(), __VERSION__,
+#ifdef NDEBUG
+               "release",
+#else
+               "debug",
+#endif
+               host_seconds);
+  std::fclose(json);
+  std::fprintf(stderr, "fig14_service_chain_100g host_s=%.3f (both arms, all runs)\n",
+               host_seconds);
 }
 
 }  // namespace
 }  // namespace cachedir
 
-int main() {
-  cachedir::Run();
+int main(int argc, char** argv) {
+  // Optional: --json=PATH writes {"bench", "machine", "host_seconds"} for
+  // tools/check_perf_baseline.py. No argument keeps legacy behaviour.
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (want --json=PATH)\n", argv[i]);
+      return 1;
+    }
+  }
+  cachedir::Run(json_path);
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "bench/nfv_experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/hash/presets.h"
@@ -65,18 +67,26 @@ NfvRunStats RunNfvOnce(const NfvExperiment& experiment, std::uint64_t run_index)
   traffic.seed = seed;
   TrafficGenerator gen(traffic);
 
+  // One block buffer serves both phases: GenerateBlock yields the exact
+  // stream repeated Next() calls would, without a fresh vector per phase.
+  std::vector<WirePacket> block(
+      std::max(experiment.warmup_packets, experiment.measured_packets));
+
   // Warm-up: caches, flow tables, NIC steering state — unrecorded.
-  runtime.Run(gen.Generate(experiment.warmup_packets), nullptr);
+  gen.GenerateBlock({block.data(), experiment.warmup_packets});
+  runtime.Run({block.data(), experiment.warmup_packets}, nullptr);
 
   LatencyRecorder recorder;
-  runtime.Run(gen.Generate(experiment.measured_packets), &recorder);
+  recorder.Reserve(experiment.measured_packets);
+  gen.GenerateBlock({block.data(), experiment.measured_packets});
+  runtime.Run({block.data(), experiment.measured_packets}, &recorder);
 
   NfvRunStats stats;
   stats.latency_us = SummarizePercentiles(recorder.latencies_us());
-  stats.latencies_us = recorder.latencies_us();
   stats.throughput_gbps = recorder.ThroughputGbps();
   stats.delivered = recorder.delivered();
   stats.drops = recorder.drops();
+  stats.latencies_us = recorder.TakeLatencies();
   return stats;
 }
 
@@ -96,6 +106,12 @@ NfvAggregate RunNfvMany(const NfvExperiment& experiment) {
       experiment.num_runs, /*base_seed=*/0,
       [&experiment](std::size_t run, std::uint64_t) { return RunNfvOnce(experiment, run); });
 
+  std::size_t pooled_samples = 0;
+  for (const NfvRunStats& stats : runs) {
+    pooled_samples += stats.latencies_us.size();
+  }
+  agg.pooled_latencies_us.Reserve(pooled_samples);
+
   for (const NfvRunStats& stats : runs) {
     p75.Add(stats.latency_us.p75);
     p90.Add(stats.latency_us.p90);
@@ -107,9 +123,7 @@ NfvAggregate RunNfvMany(const NfvExperiment& experiment) {
     agg.total_drops += stats.drops;
     agg.p99_per_run.Add(stats.latency_us.p99);
     agg.mean_per_run.Add(stats.latency_us.mean);
-    for (const double v : stats.latencies_us.values()) {
-      agg.pooled_latencies_us.Add(v);
-    }
+    agg.pooled_latencies_us.Append(stats.latencies_us.values());
   }
 
   agg.median = PercentileRow{p75.Median(), p90.Median(), p95.Median(), p99.Median(),

@@ -447,15 +447,14 @@ void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicte
 }
 
 Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
-  return DmaWriteLineTo(LineBase(addr), stats_);
+  const PhysAddr line = LineBase(addr);
+  return DmaWriteLineTo(line, llc_.SliceOf(line), stats_);
 }
 
-Cycles MemoryHierarchy::DmaWriteLineTo(PhysAddr line, HierarchyStats& stats) {
+Cycles MemoryHierarchy::DmaWriteLineTo(PhysAddr line, SliceId slice, HierarchyStats& stats) {
   ++stats.dma_line_writes;
-  // DMA takes ownership: stale copies leave the core caches. The directory
-  // entry (when there is one) hands back the line's memoized slice id.
-  const CachedSlice cached = BackInvalidate(line);
-  const SliceId slice = cached.known ? cached.slice : llc_.SliceOf(line);
+  // DMA takes ownership: stale copies leave the core caches.
+  BackInvalidate(line);
   // Fused DDIO fill: dirties + promotes a resident line, allocates in the
   // DDIO ways otherwise — one tag scan instead of probe + touch + insert.
   HandleLlcEviction(llc_.DmaFillOnSlice(slice, line), stats);
@@ -467,28 +466,61 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
   const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
-  constexpr PhysAddr kAheadBytes = kBatchLookahead * kCacheLineSize;
-  for (PhysAddr line = first; line <= last && line - first < kAheadBytes;
-       line += kCacheLineSize) {
-    PrefetchDmaWriteMeta(line);
-  }
-  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
-    if (kBatchLookahead > 0 && last - line >= kAheadBytes) {
-      PrefetchDmaWriteMeta(line + kAheadBytes);
+  // Chunked two-pass loop: hash every line's slice exactly once into a stack
+  // block while prefetching the metadata its fill will touch, then run the
+  // fills against the memoized slices. The slice of a line is a pure
+  // function of its address, so memoization cannot change results.
+  SliceId slices[kDmaChunkLines];
+  for (PhysAddr chunk = first; chunk <= last; chunk += kDmaChunkLines * kCacheLineSize) {
+    const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+    const std::size_t n = lines_left < kDmaChunkLines ? lines_left : kDmaChunkLines;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PhysAddr line = chunk + i * kCacheLineSize;
+      slices[i] = llc_.SliceOf(line);
+      directory_.PrefetchEntry(line);
+      llc_.PrefetchSliceMeta(slices[i], line);
     }
-    total += DmaWriteLineTo(line, local);
+    for (std::size_t i = 0; i < n; ++i) {
+      total += DmaWriteLineTo(chunk + i * kCacheLineSize, slices[i], local);
+    }
+  }
+  stats_ += local;
+  return total;
+}
+
+Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
+                                      std::span<const SliceId> line_slices) {
+  HierarchyStats local;
+  Cycles total = 0;
+  const PhysAddr first = LineBase(addr);
+  const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+  // Same chunked two-pass shape as the hashing overload, with the caller's
+  // precomputed slices (== SliceOf by contract) in place of pass-one hashes.
+  for (PhysAddr chunk = first; chunk <= last; chunk += kDmaChunkLines * kCacheLineSize) {
+    const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+    const std::size_t n = lines_left < kDmaChunkLines ? lines_left : kDmaChunkLines;
+    const SliceId* slices = line_slices.data() + (chunk - first) / kCacheLineSize;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PhysAddr line = chunk + i * kCacheLineSize;
+      directory_.PrefetchEntry(line);
+      llc_.PrefetchSliceMeta(slices[i], line);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      total += DmaWriteLineTo(chunk + i * kCacheLineSize, slices[i], local);
+    }
   }
   stats_ += local;
   return total;
 }
 
 Cycles MemoryHierarchy::DmaReadLine(PhysAddr addr) {
-  return DmaReadLineTo(LineBase(addr), stats_);
+  const PhysAddr line = LineBase(addr);
+  return DmaReadLineTo(line, llc_.SliceOf(line), stats_);
 }
 
-Cycles MemoryHierarchy::DmaReadLineTo(PhysAddr line, HierarchyStats& stats) {
+Cycles MemoryHierarchy::DmaReadLineTo(PhysAddr line, SliceId slice, HierarchyStats& stats) {
   ++stats.dma_line_reads;
-  if (llc_.LookupAndTouch(line)) {
+  if (llc_.LookupAndTouchOnSlice(slice, line)) {
     return spec_.latency.llc_base;
   }
   return spec_.latency.llc_base + spec_.latency.dram;
@@ -499,8 +531,41 @@ Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
   const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
-  for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
-    total += DmaReadLineTo(line, local);
+  // Same chunked two-pass shape as DmaWriteRange: one hash per line, with
+  // the slice's set metadata prefetched a chunk ahead of the probes.
+  SliceId slices[kDmaChunkLines];
+  for (PhysAddr chunk = first; chunk <= last; chunk += kDmaChunkLines * kCacheLineSize) {
+    const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+    const std::size_t n = lines_left < kDmaChunkLines ? lines_left : kDmaChunkLines;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PhysAddr line = chunk + i * kCacheLineSize;
+      slices[i] = llc_.SliceOf(line);
+      llc_.PrefetchSliceMeta(slices[i], line);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      total += DmaReadLineTo(chunk + i * kCacheLineSize, slices[i], local);
+    }
+  }
+  stats_ += local;
+  return total;
+}
+
+Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes,
+                                     std::span<const SliceId> line_slices) {
+  HierarchyStats local;
+  Cycles total = 0;
+  const PhysAddr first = LineBase(addr);
+  const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+  for (PhysAddr chunk = first; chunk <= last; chunk += kDmaChunkLines * kCacheLineSize) {
+    const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+    const std::size_t n = lines_left < kDmaChunkLines ? lines_left : kDmaChunkLines;
+    const SliceId* slices = line_slices.data() + (chunk - first) / kCacheLineSize;
+    for (std::size_t i = 0; i < n; ++i) {
+      llc_.PrefetchSliceMeta(slices[i], chunk + i * kCacheLineSize);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      total += DmaReadLineTo(chunk + i * kCacheLineSize, slices[i], local);
+    }
   }
   stats_ += local;
   return total;

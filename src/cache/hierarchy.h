@@ -159,6 +159,15 @@ class MemoryHierarchy {
   Cycles DmaReadRange(PhysAddr addr, std::size_t bytes);
   Cycles DmaRead(PhysAddr addr, std::size_t bytes) { return DmaReadRange(addr, bytes); }
 
+  // Slice-precomputed DMA ranges for callers that DMA the same buffers over
+  // and over (the NIC keeps a per-mbuf LUT): `line_slices[i]` must equal
+  // llc().SliceOf(LineBase(addr) + i * kCacheLineSize) — i.e. be the same
+  // pure function of the address the plain overloads evaluate — so results
+  // are bit-identical, the Complex Addressing hash just isn't re-run per
+  // line. The span must cover every line the range overlaps.
+  Cycles DmaWriteRange(PhysAddr addr, std::size_t bytes, std::span<const SliceId> line_slices);
+  Cycles DmaReadRange(PhysAddr addr, std::size_t bytes, std::span<const SliceId> line_slices);
+
   // clflush: removes the line from every cache (contents reach DRAM).
   void FlushLine(PhysAddr addr);
   // Flushes everything (wbinvd-style; used between experiment repetitions).
@@ -200,8 +209,8 @@ class MemoryHierarchy {
   // member block (scalar calls) or a batch-local accumulator.
   AccessResult Access(CoreId core, PhysAddr addr, bool is_write, HierarchyStats& stats);
   BatchResult AccessRange(CoreId core, const AccessBatch& batch, bool is_write);
-  Cycles DmaWriteLineTo(PhysAddr line, HierarchyStats& stats);
-  Cycles DmaReadLineTo(PhysAddr line, HierarchyStats& stats);
+  Cycles DmaWriteLineTo(PhysAddr line, SliceId slice, HierarchyStats& stats);
+  Cycles DmaReadLineTo(PhysAddr line, SliceId slice, HierarchyStats& stats);
 
   // The batched loops know their future line addresses, so they pipeline
   // host-side software prefetches of the metadata those lines will touch
@@ -209,17 +218,18 @@ class MemoryHierarchy {
   // the structures span megabytes and miss the host cache otherwise. Pure
   // __builtin_prefetch hints: simulated state and results are untouched.
   static constexpr std::size_t kBatchLookahead = 8;
+  // The DMA range loops work in fixed-size chunks: pass one hashes each
+  // line's slice (exactly once) into a stack block and prefetches the
+  // metadata the fill/probe will touch; pass two replays the chunk against
+  // the memoized slices. Slice routing is a pure function of the address,
+  // so the reordering of *hash* work cannot move any simulated result.
+  static constexpr std::size_t kDmaChunkLines = 64;
   void PrefetchCoreAccessMeta(CoreId core, PhysAddr addr) const {
     const PhysAddr line = LineBase(addr);
     directory_.PrefetchEntry(line);
     l2_[core].PrefetchSetMeta(line);
     llc_.PrefetchSliceMeta(llc_.SliceOf(line), line);
   }
-  void PrefetchDmaWriteMeta(PhysAddr line) const {
-    directory_.PrefetchEntry(line);
-    llc_.PrefetchSliceMeta(llc_.SliceOf(line), line);
-  }
-
   // Memoized slice lookup: reads (and on a miss, fills) the slice-id cache
   // of `entry`, which must be the directory entry for `line` — or nullptr,
   // in which case the Complex Addressing hash runs. The pointer must predate

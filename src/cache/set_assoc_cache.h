@@ -194,14 +194,14 @@ class SetAssocCache {
   void PrefetchSetMeta(PhysAddr addr) const {
     const std::size_t set = SetIndexOf(LineBase(addr));
     __builtin_prefetch(scalars_.data() + set);
-    __builtin_prefetch(tags_.data() + set * ways_);
-    if (ways_ > 8) {
-      __builtin_prefetch(tags_.data() + set * ways_ + 8);
+    // Cover the whole tag row: 8 tags per 64-byte host line, and LLC rows
+    // run up to 20 ways, so step through every line the row spans.
+    for (std::size_t way = 0; way < ways_; way += 8) {
+      __builtin_prefetch(tags_.data() + set * ways_ + way);
     }
     if (repl_ == ReplacementKind::kLru) {
-      __builtin_prefetch(stamps_.data() + set * ways_);
-      if (ways_ > 8) {
-        __builtin_prefetch(stamps_.data() + set * ways_ + 8);
+      for (std::size_t way = 0; way < ways_; way += 8) {
+        __builtin_prefetch(stamps_.data() + set * ways_ + way);
       }
     }
   }

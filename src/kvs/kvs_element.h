@@ -43,6 +43,15 @@ class KvsServerElement final : public Element {
     return r;
   }
 
+  // One virtual dispatch per burst; the per-packet access sequence (header
+  // read, value-store gathers, header write) is exactly the scalar one.
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                    std::span<ProcessResult> results) override {
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      results[i] = KvsServerElement::Process(core, *burst[i]);
+    }
+  }
+
   std::uint64_t gets() const { return gets_; }
   std::uint64_t sets() const { return sets_; }
 

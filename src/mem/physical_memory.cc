@@ -7,21 +7,43 @@ namespace cachedir {
 
 PhysicalMemory::Page& PhysicalMemory::PageFor(PhysAddr addr) {
   const std::uint64_t frame = addr / kPageSize;
+  if (frame == memo_frame_) {
+    return *memo_page_;
+  }
   auto& slot = pages_[frame];
   if (slot == nullptr) {
     slot = std::make_unique<Page>();
     slot->fill(0);
   }
+  memo_frame_ = frame;
+  memo_page_ = slot.get();
   return *slot;
 }
 
 const PhysicalMemory::Page* PhysicalMemory::PageForIfPresent(PhysAddr addr) const {
   const std::uint64_t frame = addr / kPageSize;
+  if (frame == memo_frame_) {
+    return memo_page_;
+  }
   const auto it = pages_.find(frame);
-  return it == pages_.end() ? nullptr : it->second.get();
+  if (it == pages_.end()) {
+    return nullptr;  // absent pages are not memoized; a later Write creates them
+  }
+  memo_frame_ = frame;
+  memo_page_ = it->second.get();
+  return memo_page_;
 }
 
 void PhysicalMemory::Write(PhysAddr addr, std::span<const std::uint8_t> data) {
+  if (data.empty()) {
+    return;
+  }
+  const std::size_t first_offset = addr % kPageSize;
+  if (first_offset + data.size() <= kPageSize) {
+    // Single-page fast path — nearly every header/field access lands here.
+    std::memcpy(PageFor(addr).data() + first_offset, data.data(), data.size());
+    return;
+  }
   std::size_t written = 0;
   while (written < data.size()) {
     const PhysAddr cur = addr + written;
@@ -34,6 +56,18 @@ void PhysicalMemory::Write(PhysAddr addr, std::span<const std::uint8_t> data) {
 }
 
 void PhysicalMemory::Read(PhysAddr addr, std::span<std::uint8_t> out) const {
+  if (out.empty()) {
+    return;
+  }
+  const std::size_t first_offset = addr % kPageSize;
+  if (first_offset + out.size() <= kPageSize) {
+    if (const Page* page = PageForIfPresent(addr)) {
+      std::memcpy(out.data(), page->data() + first_offset, out.size());
+    } else {
+      std::memset(out.data(), 0, out.size());
+    }
+    return;
+  }
   std::size_t read = 0;
   while (read < out.size()) {
     const PhysAddr cur = addr + read;

@@ -50,6 +50,13 @@ class PhysicalMemory {
   const Page* PageForIfPresent(PhysAddr addr) const;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  // Last-touched-page memo: packet-header and KVS accesses cluster on one
+  // page, so most lookups skip the hash map. Page storage is stable (owned
+  // by unique_ptr, never erased), so the cached pointer cannot dangle. Each
+  // simulation owns its memory exclusively (the parallel bench harness gives
+  // every repetition its own), so the mutable memo is not shared.
+  mutable std::uint64_t memo_frame_ = ~std::uint64_t{0};
+  mutable Page* memo_page_ = nullptr;
 };
 
 }  // namespace cachedir

@@ -65,11 +65,29 @@ void CacheDirector::PrepareMbuf(Mbuf& mbuf) const {
   if (!options_.enabled) {
     return;
   }
+  // The headroom window's slice routing depends only on the buffer address,
+  // so hash its 14 lines once and reuse the block for every core instead of
+  // re-running the virtual hash cores × 14 times. Selection logic (strict-<
+  // keeps the earliest minimum, spread falls back to best) is unchanged.
+  SliceId window[kMaxHeadroomLines + 1];
+  for (std::uint32_t k = 0; k <= kMaxHeadroomLines; ++k) {
+    window[k] = hash_->SliceFor(mbuf.buf_pa + k * kCacheLineSize);
+  }
   std::uint64_t packed = 0;
   for (CoreId core = 0; core < placement_->num_cores(); ++core) {
-    const std::uint64_t lines = options_.near_tolerance == 0
-                                    ? BestHeadroomLines(mbuf.buf_pa, core)
-                                    : SpreadHeadroomLines(mbuf.buf_pa, core);
+    std::uint64_t lines = 0;
+    if (options_.near_tolerance == 0) {
+      Cycles best_latency = std::numeric_limits<Cycles>::max();
+      for (std::uint32_t k = 0; k <= kMaxHeadroomLines; ++k) {
+        const Cycles lat = placement_->Latency(core, window[k]);
+        if (lat < best_latency) {
+          best_latency = lat;
+          lines = k;
+        }
+      }
+    } else {
+      lines = SpreadHeadroomLines(mbuf.buf_pa, core);
+    }
     packed |= lines << (4 * core);
   }
   mbuf.udata64 = packed;

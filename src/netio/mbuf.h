@@ -9,6 +9,7 @@
 #ifndef CACHEDIRECTOR_SRC_NETIO_MBUF_H_
 #define CACHEDIRECTOR_SRC_NETIO_MBUF_H_
 
+#include <array>
 #include <cstdint>
 
 #include "src/sim/types.h"
@@ -28,6 +29,10 @@ inline constexpr std::size_t kMbufDataBytes = 2048;
 // Full element stride inside a mempool.
 inline constexpr std::size_t kMbufElementBytes =
     kMbufStructBytes + kMaxHeadroomBytes + kMbufDataBytes;
+// Cache lines the buffer region (headroom + data) can overlap, +1 in case
+// buf_pa is not line-aligned.
+inline constexpr std::size_t kMbufBufLines =
+    (kMaxHeadroomBytes + kMbufDataBytes) / kCacheLineSize + 1;
 
 struct Mbuf {
   // First byte of the metadata struct (2 lines) in simulated memory.
@@ -47,6 +52,13 @@ struct Mbuf {
   // when its DMA completed — the reference points for DuT-side latency.
   Nanoseconds nic_rx_start_ns = 0;
   Nanoseconds rx_ready_ns = 0;
+  // Per-buffer slice LUT: buf_slices[i] is the LLC slice of line
+  // LineBase(buf_pa) + i * kCacheLineSize, filled lazily by the NIC from the hierarchy's
+  // own hash on first DMA (host-side memo of a pure address function — the
+  // same idea as CacheDirector's udata64 precomputation, extended to every
+  // line DMA touches).
+  std::array<SliceId, kMbufBufLines> buf_slices{};
+  bool buf_slices_ready = false;
 
   PhysAddr data_pa() const { return buf_pa + headroom; }
 };

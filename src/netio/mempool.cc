@@ -1,5 +1,6 @@
 #include "src/netio/mempool.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cachedir {
@@ -44,6 +45,25 @@ void Mempool::Free(Mbuf* mbuf) {
   }
   mbuf->data_len = 0;
   free_.push_back(mbuf);
+}
+
+std::size_t Mempool::AllocBurst(CoreId /*core*/, std::span<Mbuf*> out) {
+  const std::size_t n = std::min(out.size(), free_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = free_.back();
+    free_.pop_back();
+  }
+  return n;
+}
+
+void Mempool::FreeBurst(std::span<Mbuf* const> mbufs) {
+  for (Mbuf* mbuf : mbufs) {
+    if (mbuf == nullptr) {
+      throw std::invalid_argument("Mempool::FreeBurst: null mbuf");
+    }
+    mbuf->data_len = 0;
+    free_.push_back(mbuf);
+  }
 }
 
 }  // namespace cachedir

@@ -6,6 +6,7 @@
 #ifndef CACHEDIRECTOR_SRC_NETIO_MEMPOOL_H_
 #define CACHEDIRECTOR_SRC_NETIO_MEMPOOL_H_
 
+#include <span>
 #include <vector>
 
 #include "src/mem/hugepage.h"
@@ -26,6 +27,29 @@ class MbufSource {
   virtual Mbuf* AllocFor(CoreId core) = 0;
 
   virtual void Free(Mbuf* mbuf) = 0;
+
+  // Bulk variants for the burst dataplane. Both are semantically the plain
+  // loop (AllocBurst hands out the same buffers in the same order as
+  // repeated AllocFor; FreeBurst returns them in span order), so free-list
+  // state is bit-identical whichever path a driver takes. AllocBurst stops
+  // at exhaustion and returns how many slots it filled.
+  virtual std::size_t AllocBurst(CoreId core, std::span<Mbuf*> out) {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      Mbuf* mbuf = AllocFor(core);
+      if (mbuf == nullptr) {
+        break;
+      }
+      out[n++] = mbuf;
+    }
+    return n;
+  }
+
+  virtual void FreeBurst(std::span<Mbuf* const> mbufs) {
+    for (Mbuf* mbuf : mbufs) {
+      Free(mbuf);
+    }
+  }
 };
 
 class Mempool : public MbufSource {
@@ -41,6 +65,11 @@ class Mempool : public MbufSource {
   void Free(Mbuf* mbuf) override;
 
   Mbuf* AllocFor(CoreId /*core*/) override { return Alloc(); }
+
+  // Fused LIFO pops/pushes: one virtual dispatch and one bounds computation
+  // per burst, same buffers in the same order as the scalar loop.
+  std::size_t AllocBurst(CoreId core, std::span<Mbuf*> out) override;
+  void FreeBurst(std::span<Mbuf* const> mbufs) override;
 
   std::size_t capacity() const { return mbufs_.size(); }
   std::size_t available() const { return free_.size(); }

@@ -1,6 +1,7 @@
 #include "src/netio/nic.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "src/trace/traffic_gen.h"  // kWireOverheadBytes
@@ -22,6 +23,11 @@ SimNic::SimNic(const Config& config, MemoryHierarchy& hierarchy, PhysicalMemory&
   }
   if (config_.ring_size == 0) {
     throw std::invalid_argument("SimNic: ring_size must be positive");
+  }
+  // Rings never hold more than ring_size entries (Deliver checks first), so
+  // sizing them here keeps the whole RX path allocation-free afterwards.
+  for (RingQueue<RxEntry>& ring : rx_) {
+    ring.Reserve(config_.ring_size);
   }
 }
 
@@ -75,11 +81,20 @@ bool SimNic::Deliver(const WirePacket& packet) {
   WritePacketHeader(memory_, mbuf->data_pa(), packet);
 
   // DDIO: every line of the frame is written into the LLC in one fused batch.
-  hierarchy_.DmaWriteRange(mbuf->data_pa(), mbuf->data_len);
+  hierarchy_.DmaWriteRange(mbuf->data_pa(), mbuf->data_len, BufSlices(*mbuf, mbuf->data_pa()));
 
   rx_[queue].push_back(RxEntry{mbuf, mbuf->rx_ready_ns});
   ++stats_[queue].delivered;
+  last_rx_queue_ = queue;
   return true;
+}
+
+std::size_t SimNic::DeliverBurst(std::span<const WirePacket> packets) {
+  std::size_t delivered = 0;
+  for (const WirePacket& packet : packets) {
+    delivered += Deliver(packet) ? 1 : 0;
+  }
+  return delivered;
 }
 
 Mbuf* SimNic::RxPop(std::size_t queue) {
@@ -91,11 +106,21 @@ Mbuf* SimNic::RxPop(std::size_t queue) {
   return mbuf;
 }
 
+std::size_t SimNic::RxPopBurst(std::size_t queue, std::span<Mbuf*> out) {
+  RingQueue<RxEntry>& ring = rx_[queue];
+  const std::size_t n = std::min(out.size(), ring.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ring.front().mbuf;
+    ring.pop_front();
+  }
+  return n;
+}
+
 void SimNic::Transmit(Mbuf* mbuf) {
   if (mbuf == nullptr) {
     throw std::invalid_argument("SimNic::Transmit: null mbuf");
   }
-  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len);
+  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len, BufSlices(*mbuf, mbuf->data_pa()));
   pool_.Free(mbuf);
 }
 
@@ -104,7 +129,7 @@ Nanoseconds SimNic::TransmitAt(Mbuf* mbuf, Nanoseconds now) {
     throw std::invalid_argument("SimNic::TransmitAt: null mbuf");
   }
   ReclaimTx(now);
-  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len);
+  hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len, BufSlices(*mbuf, mbuf->data_pa()));
   const double wire_ns =
       (static_cast<double>(mbuf->data_len) + kWireOverheadBytes) * 8.0 /
       config_.tx_line_rate_gbps;
@@ -115,17 +140,26 @@ Nanoseconds SimNic::TransmitAt(Mbuf* mbuf, Nanoseconds now) {
 }
 
 void SimNic::ReclaimTx(Nanoseconds now) {
+  // Completed buffers return to the pool through FreeBurst in completion
+  // order — the free-list state matches per-buffer Free calls exactly.
+  constexpr std::size_t kFreeBurst = 64;
+  Mbuf* done[kFreeBurst];
+  std::size_t n = 0;
   while (!tx_pending_.empty() && tx_pending_.front().done_ns <= now) {
-    pool_.Free(tx_pending_.front().mbuf);
+    done[n++] = tx_pending_.front().mbuf;
     tx_pending_.pop_front();
+    if (n == kFreeBurst) {
+      pool_.FreeBurst({done, n});
+      n = 0;
+    }
+  }
+  if (n > 0) {
+    pool_.FreeBurst({done, n});
   }
 }
 
 void SimNic::FlushTx() {
-  while (!tx_pending_.empty()) {
-    pool_.Free(tx_pending_.front().mbuf);
-    tx_pending_.pop_front();
-  }
+  ReclaimTx(std::numeric_limits<Nanoseconds>::infinity());
 }
 
 NicQueueStats SimNic::TotalStats() const {

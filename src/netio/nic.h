@@ -16,7 +16,7 @@
 #define CACHEDIRECTOR_SRC_NETIO_NIC_H_
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +24,7 @@
 #include "src/mem/physical_memory.h"
 #include "src/netio/cache_director.h"
 #include "src/netio/mempool.h"
+#include "src/netio/ring_queue.h"
 #include "src/trace/packet.h"
 
 namespace cachedir {
@@ -84,10 +85,25 @@ class SimNic {
   // placed in a ring, false if dropped.
   bool Deliver(const WirePacket& packet);
 
+  // Descriptor burst: pushes `packets` through the RX pipeline in order
+  // (each frame's lines still reach the LLC via one fused DmaWriteRange)
+  // and returns how many landed in a ring. Identical per-packet serialisation
+  // and drop decisions to calling Deliver in a loop.
+  std::size_t DeliverBurst(std::span<const WirePacket> packets);
+
+  // Queue index the most recent successful Deliver enqueued to (the runtime
+  // uses it to refresh its per-queue scheduling memo).
+  std::size_t last_rx_queue() const { return last_rx_queue_; }
+
   // Core-side ring access (the PMD polls these).
   bool RxEmpty(std::size_t queue) const { return rx_[queue].empty(); }
   const RxEntry& RxHead(std::size_t queue) const { return rx_[queue].front(); }
   Mbuf* RxPop(std::size_t queue);
+
+  // Pops up to out.size() packets from the front of `queue` in ring order —
+  // the same buffers repeated RxPop would return. Each popped mbuf's
+  // rx_ready_ns equals the ring entry's ready time.
+  std::size_t RxPopBurst(std::size_t queue, std::span<Mbuf*> out);
 
   // TX: DMA-read the frame and recycle the buffer immediately (tests and
   // simple drivers).
@@ -114,6 +130,22 @@ class SimNic {
   static constexpr std::size_t kMaxDmaLines = 24;  // 1500 B
 
  private:
+  // The mbuf's slice LUT starting at `addr`'s line, filling it on first use
+  // (each buffer is hashed once per simulation, then every RX/TX DMA of it
+  // skips the per-line Complex Addressing hash). Inline: sits on the
+  // per-packet RX and TX paths.
+  std::span<const SliceId> BufSlices(Mbuf& mbuf, PhysAddr addr) {
+    const PhysAddr base = LineBase(mbuf.buf_pa);
+    if (!mbuf.buf_slices_ready) {
+      for (std::size_t i = 0; i < kMbufBufLines; ++i) {
+        mbuf.buf_slices[i] = hierarchy_.llc().SliceOf(base + i * kCacheLineSize);
+      }
+      mbuf.buf_slices_ready = true;
+    }
+    const std::size_t offset = (LineBase(addr) - base) / kCacheLineSize;
+    return {mbuf.buf_slices.data() + offset, kMbufBufLines - offset};
+  }
+
   Config config_;
   MemoryHierarchy& hierarchy_;
   PhysicalMemory& memory_;
@@ -125,13 +157,14 @@ class SimNic {
     Nanoseconds done_ns = 0;
   };
 
-  std::vector<std::deque<RxEntry>> rx_;
+  std::vector<RingQueue<RxEntry>> rx_;
   std::vector<NicQueueStats> stats_;
   std::unordered_map<FlowKey, std::size_t, FlowKeyHash> flow_rules_;
   std::vector<std::uint64_t> queue_load_;  // FlowDirector least-loaded state
   Nanoseconds nic_time_ns_ = 0;
   Nanoseconds tx_time_ns_ = 0;
-  std::deque<TxEntry> tx_pending_;
+  RingQueue<TxEntry> tx_pending_;
+  std::size_t last_rx_queue_ = 0;
 };
 
 }  // namespace cachedir

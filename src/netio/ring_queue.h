@@ -1,0 +1,74 @@
+// Growable power-of-two ring used for the NIC's RX descriptor rings and the
+// TX completion queue.
+//
+// std::deque allocates and frees its block nodes as the head and tail move,
+// which puts one hidden heap round-trip on the packet path every few dozen
+// entries; this ring reaches its high-water capacity once and then recycles
+// in place, keeping the NFV steady state allocation-free
+// (tests/hotpath_alloc_test.cc) with plain index arithmetic on the hot
+// push/pop paths.
+#ifndef CACHEDIRECTOR_SRC_NETIO_RING_QUEUE_H_
+#define CACHEDIRECTOR_SRC_NETIO_RING_QUEUE_H_
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace cachedir {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  explicit RingQueue(std::size_t initial_capacity) { Reserve(initial_capacity); }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  const T& front() const { return buf_[head_]; }
+  T& front() { return buf_[head_]; }
+
+  void push_back(const T& value) {
+    if (count_ == buf_.size()) {
+      Reserve(count_ == 0 ? kMinCapacity : 2 * count_);
+    }
+    buf_[(head_ + count_) & (buf_.size() - 1)] = value;
+    ++count_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  // Grows storage to at least `capacity` slots (rounded up to a power of
+  // two); existing entries keep their order.
+  void Reserve(std::size_t capacity) {
+    if (capacity <= buf_.size()) {
+      return;
+    }
+    std::vector<T> grown(std::bit_ceil(capacity < kMinCapacity ? kMinCapacity : capacity));
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_NETIO_RING_QUEUE_H_

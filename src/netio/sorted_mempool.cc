@@ -92,4 +92,37 @@ void SortedMempoolSet::Free(Mbuf* mbuf) {
   pools_[home_.at(mbuf)].push_back(mbuf);
 }
 
+std::size_t SortedMempoolSet::AllocBurst(CoreId core, std::span<Mbuf*> out) {
+  if (core >= pools_.size()) {
+    throw std::invalid_argument("SortedMempoolSet::AllocBurst: core out of range");
+  }
+  // The theft order re-evaluates from the closest pool after every grab,
+  // exactly like repeated AllocFor (a Free between two grabs can refill a
+  // closer pool, and the scalar loop would notice) — so walk the fallback
+  // list per slot, not per burst.
+  std::size_t n = 0;
+  while (n < out.size()) {
+    Mbuf* mbuf = nullptr;
+    for (const CoreId candidate : fallback_[core]) {
+      auto& pool = pools_[candidate];
+      if (!pool.empty()) {
+        mbuf = pool.back();
+        pool.pop_back();
+        break;
+      }
+    }
+    if (mbuf == nullptr) {
+      break;
+    }
+    out[n++] = mbuf;
+  }
+  return n;
+}
+
+void SortedMempoolSet::FreeBurst(std::span<Mbuf* const> mbufs) {
+  for (Mbuf* mbuf : mbufs) {
+    Free(mbuf);
+  }
+}
+
 }  // namespace cachedir

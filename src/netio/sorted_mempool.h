@@ -14,6 +14,7 @@
 #define CACHEDIRECTOR_SRC_NETIO_SORTED_MEMPOOL_H_
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,11 @@ class SortedMempoolSet final : public MbufSource {
   Mbuf* AllocFor(CoreId core) override;
 
   void Free(Mbuf* mbuf) override;
+
+  // Bulk variants: identical pool/theft-order state evolution to the scalar
+  // loop, one virtual dispatch per burst.
+  std::size_t AllocBurst(CoreId core, std::span<Mbuf*> out) override;
+  void FreeBurst(std::span<Mbuf* const> mbufs) override;
 
   std::size_t available(CoreId core) const { return pools_[core].size(); }
   std::size_t capacity() const { return mbufs_.size(); }

@@ -32,6 +32,24 @@ class ServiceChain {
     return total;
   }
 
+  // Chain-wide burst, bit-identical to calling Process per packet in order
+  // (burst_equivalence_test). Single-element chains hand the whole burst to
+  // the element's fused ProcessBurst. Longer chains run packet-major: a
+  // packet traverses every element (dropping compacts it out of the rest of
+  // its chain) before the next packet starts — element-major sweeps would
+  // interleave the cache accesses of neighbouring packets differently,
+  // moving LRU/eviction state and with it per-packet cycle charges
+  // (docs/architecture.md §12).
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst, std::span<ProcessResult> results) {
+    if (elements_.size() == 1) {
+      elements_.front()->ProcessBurst(core, burst, results);
+      return;
+    }
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      results[i] = Process(core, *burst[i]);
+    }
+  }
+
   std::string Describe() const {
     std::string out;
     for (const auto& element : elements_) {

@@ -8,6 +8,7 @@
 #ifndef CACHEDIRECTOR_SRC_NFV_ELEMENT_H_
 #define CACHEDIRECTOR_SRC_NFV_ELEMENT_H_
 
+#include <span>
 #include <string>
 
 #include "src/netio/mbuf.h"
@@ -30,6 +31,20 @@ class Element {
   // Processes one packet on `core`, mutating header bytes in simulated
   // memory as needed.
   virtual ProcessResult Process(CoreId core, Mbuf& mbuf) = 0;
+
+  // Burst entry point: processes `burst` packets in order, writing one
+  // ProcessResult per packet into `results` (which must be at least as
+  // long as `burst`). Overrides MUST issue exactly the hierarchy accesses
+  // Process would issue, packet by packet in burst order — the burst path
+  // amortises host-side costs (virtual dispatch, per-call setup), never
+  // reorders simulated work; burst_equivalence_test holds every element to
+  // bit-identical results against the scalar loop.
+  virtual void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                            std::span<ProcessResult> results) {
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      results[i] = Process(core, *burst[i]);
+    }
+  }
 
  protected:
   // Copying through a base reference would slice the derived element; keep

@@ -5,6 +5,7 @@
 #define CACHEDIRECTOR_SRC_NFV_ELEMENTS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/cache/hierarchy.h"
@@ -25,6 +26,8 @@ class MacSwap final : public Element {
 
   std::string name() const override { return "MacSwap"; }
   ProcessResult Process(CoreId core, Mbuf& mbuf) override;
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                    std::span<ProcessResult> results) override;
 
   // Per-packet instruction cost of the full Metron/FastClick forwarding
   // path (classification, batching, element traversal, TX bookkeeping).
@@ -56,6 +59,8 @@ class IpRouter final : public Element {
 
   std::string name() const override { return "IpRouter"; }
   ProcessResult Process(CoreId core, Mbuf& mbuf) override;
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                    std::span<ProcessResult> results) override;
 
   // Installs a /24 route (prefix24 = dst_ip >> 8).
   void InstallRoute(std::uint32_t prefix24, std::uint16_t next_hop);
@@ -94,6 +99,8 @@ class Napt final : public Element {
 
   std::string name() const override { return "NAPT"; }
   ProcessResult Process(CoreId core, Mbuf& mbuf) override;
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                    std::span<ProcessResult> results) override;
 
   std::uint64_t flows_created() const { return flows_created_; }
 
@@ -128,6 +135,8 @@ class LoadBalancer final : public Element {
 
   std::string name() const override { return "LoadBalancer"; }
   ProcessResult Process(CoreId core, Mbuf& mbuf) override;
+  void ProcessBurst(CoreId core, std::span<Mbuf* const> burst,
+                    std::span<ProcessResult> results) override;
 
   static constexpr Cycles kFixedCycles = 780;
 

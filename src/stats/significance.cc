@@ -20,41 +20,45 @@ MannWhitneyResult MannWhitneyU(std::span<const double> a, std::span<const double
     throw std::invalid_argument("MannWhitneyU: need >= 4 observations per sample");
   }
 
-  // Pool, sort, assign mid-ranks to ties.
-  struct Obs {
-    double value;
-    bool from_a;
-  };
-  std::vector<Obs> pooled;
-  pooled.reserve(n1 + n2);
-  for (const double v : a) {
-    pooled.push_back({v, true});
-  }
-  for (const double v : b) {
-    pooled.push_back({v, false});
-  }
-  std::sort(pooled.begin(), pooled.end(),
-            [](const Obs& x, const Obs& y) { return x.value < y.value; });
+  // Sort each sample separately (plain doubles sort ~2x faster than a pooled
+  // array of tagged 16-byte records) and walk the two sorted runs as a
+  // merge, handing out mid-ranks per tie group. The arithmetic is the exact
+  // FP sequence the pooled-sort formulation performed: each group
+  // contributes the same repeated `rank_sum_a += mid_rank` additions in the
+  // same group order, so results are bit-identical.
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
 
   double rank_sum_a = 0;
   double tie_term = 0;  // sum over tie groups of t^3 - t
-  std::size_t i = 0;
-  while (i < pooled.size()) {
-    std::size_t j = i;
-    while (j < pooled.size() && pooled[j].value == pooled[i].value) {
-      ++j;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t pos = 0;  // pooled rank position consumed so far
+  while (ia < n1 || ib < n2) {
+    const double value = ib >= n2 || (ia < n1 && sa[ia] <= sb[ib]) ? sa[ia] : sb[ib];
+    std::size_t count_a = 0;
+    while (ia < n1 && sa[ia] == value) {
+      ++ia;
+      ++count_a;
     }
-    const double mid_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
-    const double t = static_cast<double>(j - i);
+    std::size_t count_b = 0;
+    while (ib < n2 && sb[ib] == value) {
+      ++ib;
+      ++count_b;
+    }
+    const std::size_t group = count_a + count_b;
+    const double mid_rank =
+        (static_cast<double>(pos + 1) + static_cast<double>(pos + group)) / 2.0;
+    const double t = static_cast<double>(group);
     if (t > 1) {
       tie_term += t * t * t - t;
     }
-    for (std::size_t k = i; k < j; ++k) {
-      if (pooled[k].from_a) {
-        rank_sum_a += mid_rank;
-      }
+    for (std::size_t k = 0; k < count_a; ++k) {
+      rank_sum_a += mid_rank;
     }
-    i = j;
+    pos += group;
   }
 
   const double n1d = static_cast<double>(n1);

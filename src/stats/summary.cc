@@ -1,10 +1,77 @@
 #include "src/stats/summary.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cachedir {
+namespace {
+
+// Below this size introsort's constant factor wins; above it the O(n) radix
+// passes do (the figure benches sort 10^4..10^5-sample latency arrays).
+constexpr std::size_t kRadixMinSize = 256;
+
+bool AllNonNegativeBits(const std::vector<double>& v) {
+  std::uint64_t ors = 0;
+  for (const double d : v) {
+    ors |= std::bit_cast<std::uint64_t>(d);
+  }
+  return (ors >> 63) == 0;
+}
+
+// LSD radix sort on the raw IEEE-754 bit patterns. For doubles with clear
+// sign bits, unsigned bit order equals numeric order, and ties are
+// bit-identical values, so the result is byte-for-byte what std::sort
+// produces. Negative values (and -0.0) invert under bit order; callers must
+// pre-check with AllNonNegativeBits and fall back to std::sort.
+void RadixSortNonNegative(std::vector<double>& data) {
+  const std::size_t n = data.size();
+  std::vector<double> scratch(n);
+  std::array<std::array<std::uint32_t, 256>, 8> counts{};
+  for (const double d : data) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+    for (std::size_t pass = 0; pass < 8; ++pass) {
+      ++counts[pass][(bits >> (8 * pass)) & 0xffU];
+    }
+  }
+  double* src = data.data();
+  double* dst = scratch.data();
+  for (std::size_t pass = 0; pass < 8; ++pass) {
+    const std::array<std::uint32_t, 256>& count = counts[pass];
+    // Every key sharing one byte value makes the pass a no-op permutation —
+    // common in latency data, whose exponents span only a few octaves.
+    bool trivial = false;
+    for (const std::uint32_t c : count) {
+      if (c == n) {
+        trivial = true;
+        break;
+      }
+    }
+    if (trivial) {
+      continue;
+    }
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t running = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      offset[b] = running;
+      running += count[b];
+    }
+    const std::size_t shift = 8 * pass;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(src[i]);
+      dst[offset[(bits >> shift) & 0xffU]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+}  // namespace
 
 Samples::Samples(std::vector<double> values) : values_(std::move(values)) {}
 
@@ -13,10 +80,22 @@ void Samples::Add(double v) {
   sorted_valid_ = false;
 }
 
+void Samples::Append(std::span<const double> vs) {
+  values_.insert(values_.end(), vs.begin(), vs.end());
+  sorted_valid_ = false;
+}
+
 void Samples::EnsureSorted() const {
   if (!sorted_valid_) {
     sorted_ = values_;
-    std::sort(sorted_.begin(), sorted_.end());
+    // The radix histograms count in 32 bits; anything larger (never hit in
+    // practice) keeps the comparison sort.
+    if (sorted_.size() >= kRadixMinSize && sorted_.size() <= UINT32_MAX &&
+        AllNonNegativeBits(sorted_)) {
+      RadixSortNonNegative(sorted_);
+    } else {
+      std::sort(sorted_.begin(), sorted_.end());
+    }
     sorted_valid_ = true;
   }
 }

@@ -9,20 +9,16 @@ namespace {
 // Deterministic MACs derived from IPs; good enough for a simulated L2.
 std::uint64_t MacForIp(std::uint32_t ip) { return 0x02'00'00'00'00'00ull | ip; }
 
-void WriteMac(PhysicalMemory& mem, PhysAddr addr, std::uint64_t mac) {
-  std::uint8_t bytes[6];
+void PackMac(std::uint8_t* out, std::uint64_t mac) {
   for (int i = 0; i < 6; ++i) {
-    bytes[i] = static_cast<std::uint8_t>(mac >> (8 * (5 - i)));
+    out[i] = static_cast<std::uint8_t>(mac >> (8 * (5 - i)));
   }
-  mem.Write(addr, bytes);
 }
 
-std::uint64_t ReadMac(const PhysicalMemory& mem, PhysAddr addr) {
-  std::uint8_t bytes[6] = {};
-  mem.Read(addr, bytes);
+std::uint64_t UnpackMac(const std::uint8_t* in) {
   std::uint64_t mac = 0;
   for (int i = 0; i < 6; ++i) {
-    mac = (mac << 8) | bytes[i];
+    mac = (mac << 8) | in[i];
   }
   return mac;
 }
@@ -30,40 +26,56 @@ std::uint64_t ReadMac(const PhysicalMemory& mem, PhysAddr addr) {
 }  // namespace
 
 void WritePacketHeader(PhysicalMemory& mem, PhysAddr data_pa, const WirePacket& packet) {
-  WriteMac(mem, data_pa + kDstMacOffset, MacForIp(packet.flow.dst_ip));
-  WriteMac(mem, data_pa + kSrcMacOffset, MacForIp(packet.flow.src_ip));
-  mem.WriteU8(data_pa + kEthertypeOffset, 0x08);
-  mem.WriteU8(data_pa + kEthertypeOffset + 1, 0x00);  // IPv4
-  mem.WriteU32(data_pa + kSrcIpOffset, packet.flow.src_ip);
-  mem.WriteU32(data_pa + kDstIpOffset, packet.flow.dst_ip);
-  mem.WriteU8(data_pa + kProtoOffset, packet.flow.proto);
-  mem.WriteU8(data_pa + kTtlOffset, 64);
-  mem.WriteU32(data_pa + kSrcPortOffset,
-               static_cast<std::uint32_t>(packet.flow.src_port) |
-                   (static_cast<std::uint32_t>(packet.flow.dst_port) << 16));
-  mem.WriteU64(data_pa + kTimestampOffset, std::bit_cast<std::uint64_t>(packet.tx_time_ns));
+  // The written fields form two contiguous runs — [0, 28) and the timestamp
+  // at [32, 40) — serialised as two span writes so the page-table lookup is
+  // paid twice per header instead of once per field. Bytes in the gap keep
+  // whatever the recycled buffer held, exactly as the per-field writes did.
+  std::uint8_t fields[kSrcPortOffset + 4];
+  PackMac(fields + kDstMacOffset, MacForIp(packet.flow.dst_ip));
+  PackMac(fields + kSrcMacOffset, MacForIp(packet.flow.src_ip));
+  fields[kEthertypeOffset] = 0x08;
+  fields[kEthertypeOffset + 1] = 0x00;  // IPv4
+  std::memcpy(fields + kSrcIpOffset, &packet.flow.src_ip, 4);
+  std::memcpy(fields + kDstIpOffset, &packet.flow.dst_ip, 4);
+  fields[kProtoOffset] = packet.flow.proto;
+  fields[kTtlOffset] = 64;
+  const std::uint32_t ports = static_cast<std::uint32_t>(packet.flow.src_port) |
+                              (static_cast<std::uint32_t>(packet.flow.dst_port) << 16);
+  std::memcpy(fields + kSrcPortOffset, &ports, 4);
+  mem.Write(data_pa, fields);
+  const std::uint64_t stamp = std::bit_cast<std::uint64_t>(packet.tx_time_ns);
+  std::uint8_t stamp_bytes[sizeof(stamp)];
+  std::memcpy(stamp_bytes, &stamp, sizeof(stamp));
+  mem.Write(data_pa + kTimestampOffset, stamp_bytes);
 }
 
 ParsedHeader ReadPacketHeader(const PhysicalMemory& mem, PhysAddr data_pa) {
+  std::uint8_t raw[kTimestampOffset + 8] = {};
+  mem.Read(data_pa, raw);
   ParsedHeader h;
-  h.dst_mac = ReadMac(mem, data_pa + kDstMacOffset);
-  h.src_mac = ReadMac(mem, data_pa + kSrcMacOffset);
-  h.flow.src_ip = mem.ReadU32(data_pa + kSrcIpOffset);
-  h.flow.dst_ip = mem.ReadU32(data_pa + kDstIpOffset);
-  h.flow.proto = mem.ReadU8(data_pa + kProtoOffset);
-  h.ttl = mem.ReadU8(data_pa + kTtlOffset);
-  const std::uint32_t ports = mem.ReadU32(data_pa + kSrcPortOffset);
+  h.dst_mac = UnpackMac(raw + kDstMacOffset);
+  h.src_mac = UnpackMac(raw + kSrcMacOffset);
+  std::memcpy(&h.flow.src_ip, raw + kSrcIpOffset, 4);
+  std::memcpy(&h.flow.dst_ip, raw + kDstIpOffset, 4);
+  h.flow.proto = raw[kProtoOffset];
+  h.ttl = raw[kTtlOffset];
+  std::uint32_t ports = 0;
+  std::memcpy(&ports, raw + kSrcPortOffset, 4);
   h.flow.src_port = static_cast<std::uint16_t>(ports & 0xFFFF);
   h.flow.dst_port = static_cast<std::uint16_t>(ports >> 16);
-  h.timestamp_ns = std::bit_cast<Nanoseconds>(mem.ReadU64(data_pa + kTimestampOffset));
+  std::uint64_t stamp = 0;
+  std::memcpy(&stamp, raw + kTimestampOffset, sizeof(stamp));
+  h.timestamp_ns = std::bit_cast<Nanoseconds>(stamp);
   return h;
 }
 
 void SwapMacAddresses(PhysicalMemory& mem, PhysAddr data_pa) {
-  const std::uint64_t dst = ReadMac(mem, data_pa + kDstMacOffset);
-  const std::uint64_t src = ReadMac(mem, data_pa + kSrcMacOffset);
-  WriteMac(mem, data_pa + kDstMacOffset, src);
-  WriteMac(mem, data_pa + kSrcMacOffset, dst);
+  std::uint8_t macs[12] = {};
+  mem.Read(data_pa + kDstMacOffset, macs);
+  std::uint8_t swapped[12];
+  std::memcpy(swapped, macs + 6, 6);
+  std::memcpy(swapped + 6, macs, 6);
+  mem.Write(data_pa + kDstMacOffset, swapped);
 }
 
 void RewriteIpAndPort(PhysicalMemory& mem, PhysAddr data_pa, std::uint32_t new_ip,

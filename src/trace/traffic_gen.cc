@@ -78,12 +78,15 @@ WirePacket TrafficGenerator::Next() {
   return p;
 }
 
-std::vector<WirePacket> TrafficGenerator::Generate(std::size_t count) {
-  std::vector<WirePacket> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(Next());
+void TrafficGenerator::GenerateBlock(std::span<WirePacket> out) {
+  for (WirePacket& slot : out) {
+    slot = Next();
   }
+}
+
+std::vector<WirePacket> TrafficGenerator::Generate(std::size_t count) {
+  std::vector<WirePacket> out(count);
+  GenerateBlock(out);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #define CACHEDIRECTOR_SRC_TRACE_TRAFFIC_GEN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/sim/rng.h"
@@ -50,6 +51,12 @@ class TrafficGenerator {
 
   // Next packet; departure timestamps increase monotonically.
   WirePacket Next();
+
+  // Block production for the burst dataplane: fills `out` with the next
+  // out.size() packets — the exact sequence repeated Next() calls produce —
+  // into caller-owned storage, so a bench harness can reuse one buffer
+  // across warm-up/measurement phases and repetitions without reallocating.
+  void GenerateBlock(std::span<WirePacket> out);
 
   // Convenience: materialise a whole run.
   std::vector<WirePacket> Generate(std::size_t count);

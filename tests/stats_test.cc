@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <vector>
@@ -56,6 +58,58 @@ TEST(SamplesTest, SkewnessSignsAreCorrect) {
   EXPECT_LT(left.Skewness(), 0);
   Samples sym({1, 2, 3, 4, 5});
   EXPECT_NEAR(sym.Skewness(), 0, 1e-12);
+}
+
+TEST(SamplesTest, LargeSortMatchesStdSortBitwise) {
+  // Above the radix threshold Samples sorts non-negative doubles by bit
+  // pattern; the result must be byte-for-byte what std::sort produces.
+  // Deterministic LCG stream with deliberate duplicates and subnormals.
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  std::vector<double> raw;
+  raw.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double v = static_cast<double>(state >> 11) / 1e15;
+    raw.push_back(i % 7 == 0 ? std::floor(v) : v);
+  }
+  raw[123] = 0.0;
+  raw[456] = 5e-324;  // smallest subnormal
+  std::vector<double> expected = raw;
+  std::sort(expected.begin(), expected.end());
+
+  const Samples s(raw);
+  EXPECT_EQ(s.Sorted(), expected);
+  EXPECT_DOUBLE_EQ(s.Min(), expected.front());
+  EXPECT_DOUBLE_EQ(s.Max(), expected.back());
+}
+
+TEST(SamplesTest, NegativeValuesStillSortCorrectlyAtScale) {
+  // Negative values force the comparison-sort fallback (bit order inverts
+  // for set sign bits); the contract is the same sorted array either way.
+  std::uint64_t state = 99;
+  std::vector<double> raw;
+  raw.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    raw.push_back(static_cast<double>(static_cast<std::int64_t>(state)) / 1e12);
+  }
+  raw[7] = -0.0;
+  std::vector<double> expected = raw;
+  std::sort(expected.begin(), expected.end());
+  const Samples s(raw);
+  EXPECT_EQ(s.Sorted(), expected);
+}
+
+TEST(SamplesTest, AppendMatchesRepeatedAdd) {
+  const std::vector<double> block = {3.5, 1.25, 3.5, 0.0, 9.75};
+  Samples via_add({2.0});
+  for (const double v : block) {
+    via_add.Add(v);
+  }
+  Samples via_append({2.0});
+  via_append.Append(block);
+  EXPECT_EQ(via_append.values(), via_add.values());
+  EXPECT_DOUBLE_EQ(via_append.Median(), via_add.Median());
 }
 
 TEST(SamplesTest, PercentileRowIsConsistent) {

@@ -98,7 +98,11 @@ def main():
             fresh = json.load(f)
         name = fresh.get("bench")
         if name not in benches:
-            print(f"{path}: bench '{name}' has no committed baseline section")
+            known = ", ".join(sorted(benches))
+            print(f"{path}: fresh run is tagged bench '{name}', which matches no "
+                  f"committed section in {args.baseline} (known benches: {known}). "
+                  f"Either the tag is wrong or the new bench needs a first "
+                  f"history point committed.")
             regressed = True
             continue
         ref = benches[name]["history"][-1]
