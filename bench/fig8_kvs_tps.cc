@@ -5,7 +5,15 @@
 // Deviation from the paper: 2^22 values (256 MB) instead of 2^24 (1 GB) to
 // keep host memory bounded; the value space is still >> LLC, which is the
 // property that drives the result.
+//
+// With --json=PATH the bench also writes host wall-seconds for the whole
+// experiment (all grid cells and the sensitivity sweep) through
+// bench/common's HostTimer — the KVS point tools/check_perf_baseline.py
+// tracks alongside sim_throughput and fig13. Report-only plumbing: stdout
+// stays deterministic either way.
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "bench/common.h"
 #include "src/hash/presets.h"
@@ -44,8 +52,9 @@ KvsResult Measure(bool slice_aware, double get_fraction, double theta,
   return server.Run(workload);
 }
 
-void Run() {
+void Run(const char* json_path) {
   PrintBanner("Fig 8", "emulated KVS TPS, 1 core (Haswell)");
+  HostTimer timer;
   std::printf("%-22s  %-10s %-10s %-10s\n", "Configuration", "100% GET", "95% GET",
               "50% GET");
   std::printf("%-22s  %-32s (Mtps)\n", "", "");
@@ -109,12 +118,47 @@ void Run() {
                 n * 64 / (1u << 20), normal.tps_millions, aware.tps_millions,
                 100.0 * (aware.tps_millions - normal.tps_millions) / normal.tps_millions);
   }
+  const double host_seconds = timer.Seconds();
+
+  if (json_path == nullptr) {
+    return;
+  }
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fig8_kvs_tps\",\n"
+               "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
+               "\"build\": \"%s\"},\n"
+               "  \"host_seconds\": %.6f\n}\n",
+               std::thread::hardware_concurrency(), __VERSION__,
+#ifdef NDEBUG
+               "release",
+#else
+               "debug",
+#endif
+               host_seconds);
+  std::fclose(json);
+  std::fprintf(stderr, "fig8_kvs_tps host_s=%.3f (grid + sensitivity sweep)\n", host_seconds);
 }
 
 }  // namespace
 }  // namespace cachedir
 
-int main() {
-  cachedir::Run();
+int main(int argc, char** argv) {
+  // Optional: --json=PATH writes {"bench", "machine", "host_seconds"} for
+  // tools/check_perf_baseline.py. No argument keeps legacy behaviour.
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (want --json=PATH)\n", argv[i]);
+      return 1;
+    }
+  }
+  cachedir::Run(json_path);
   return 0;
 }

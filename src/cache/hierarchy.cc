@@ -61,21 +61,43 @@ MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
       }
     }
   }
+  // Seal the probe/fill implementation (docs/architecture.md §13): the three
+  // policies this spec fixed for the hierarchy's lifetime pick one
+  // specialized kernel here, or nullptr — the generic path below — when the
+  // spec opted out or the configuration is outside the instantiation matrix.
+#ifndef CACHEDIR_GENERIC_ONLY
+  if (spec_.kernel_mode == HierarchyKernelMode::kAuto) {
+    kernel_ =
+        SelectHierarchyKernel(llc_.fast_hash().kind(), spec_.replacement, spec_.inclusion);
+  }
+#endif
 }
 
 AccessResult MemoryHierarchy::Read(CoreId core, PhysAddr addr) {
+  if (kernel_ != nullptr) {
+    return kernel_->access(*this, core, addr, /*is_write=*/false);
+  }
   return Access(core, addr, /*is_write=*/false, stats_);
 }
 
 AccessResult MemoryHierarchy::Write(CoreId core, PhysAddr addr) {
+  if (kernel_ != nullptr) {
+    return kernel_->access(*this, core, addr, /*is_write=*/true);
+  }
   return Access(core, addr, /*is_write=*/true, stats_);
 }
 
 BatchResult MemoryHierarchy::ReadRange(CoreId core, const AccessBatch& batch) {
+  if (kernel_ != nullptr) {
+    return kernel_->access_range(*this, core, batch, /*is_write=*/false);
+  }
   return AccessRange(core, batch, /*is_write=*/false);
 }
 
 BatchResult MemoryHierarchy::WriteRange(CoreId core, const AccessBatch& batch) {
+  if (kernel_ != nullptr) {
+    return kernel_->access_range(*this, core, batch, /*is_write=*/true);
+  }
   return AccessRange(core, batch, /*is_write=*/true);
 }
 
@@ -83,14 +105,14 @@ BatchResult MemoryHierarchy::ReadRange(CoreId core, PhysAddr addr, std::size_t b
   AccessBatch batch;
   batch.addr = addr;
   batch.bytes = bytes;
-  return AccessRange(core, batch, /*is_write=*/false);
+  return ReadRange(core, batch);
 }
 
 BatchResult MemoryHierarchy::WriteRange(CoreId core, PhysAddr addr, std::size_t bytes) {
   AccessBatch batch;
   batch.addr = addr;
   batch.bytes = bytes;
-  return AccessRange(core, batch, /*is_write=*/true);
+  return WriteRange(core, batch);
 }
 
 BatchResult MemoryHierarchy::AccessRange(CoreId core, const AccessBatch& batch, bool is_write) {
@@ -410,11 +432,8 @@ void MemoryHierarchy::FillL2(CoreId core, PhysAddr line, bool dirty, SliceId sli
   }
 }
 
-MemoryHierarchy::CachedSlice MemoryHierarchy::BackInvalidate(PhysAddr line) {
-  LineDirectoryEntry* entry = directory_.Find(line);
-  if (entry == nullptr) {
-    return {};
-  }
+MemoryHierarchy::CachedSlice MemoryHierarchy::BackInvalidateEntry(PhysAddr line,
+                                                                  LineDirectoryEntry* entry) {
   CachedSlice cached;
   if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
     cached.known = true;
@@ -447,6 +466,9 @@ void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicte
 }
 
 Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_write_line(*this, addr);
+  }
   const PhysAddr line = LineBase(addr);
   return DmaWriteLineTo(line, llc_.SliceOf(line), stats_);
 }
@@ -462,6 +484,9 @@ Cycles MemoryHierarchy::DmaWriteLineTo(PhysAddr line, SliceId slice, HierarchySt
 }
 
 Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_write_range(*this, addr, bytes);
+  }
   HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
@@ -478,7 +503,7 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
       const PhysAddr line = chunk + i * kCacheLineSize;
       slices[i] = llc_.SliceOf(line);
       directory_.PrefetchEntry(line);
-      llc_.PrefetchSliceMeta(slices[i], line);
+      llc_.PrefetchSliceMetaForDma(slices[i], line);
     }
     for (std::size_t i = 0; i < n; ++i) {
       total += DmaWriteLineTo(chunk + i * kCacheLineSize, slices[i], local);
@@ -490,6 +515,9 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
 
 Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
                                       std::span<const SliceId> line_slices) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_write_range_lut(*this, addr, bytes, line_slices);
+  }
   HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
@@ -503,7 +531,7 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
     for (std::size_t i = 0; i < n; ++i) {
       const PhysAddr line = chunk + i * kCacheLineSize;
       directory_.PrefetchEntry(line);
-      llc_.PrefetchSliceMeta(slices[i], line);
+      llc_.PrefetchSliceMetaForDma(slices[i], line);
     }
     for (std::size_t i = 0; i < n; ++i) {
       total += DmaWriteLineTo(chunk + i * kCacheLineSize, slices[i], local);
@@ -514,6 +542,9 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
 }
 
 Cycles MemoryHierarchy::DmaReadLine(PhysAddr addr) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_read_line(*this, addr);
+  }
   const PhysAddr line = LineBase(addr);
   return DmaReadLineTo(line, llc_.SliceOf(line), stats_);
 }
@@ -527,6 +558,9 @@ Cycles MemoryHierarchy::DmaReadLineTo(PhysAddr line, SliceId slice, HierarchySta
 }
 
 Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_read_range(*this, addr, bytes);
+  }
   HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);
@@ -552,6 +586,9 @@ Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
 
 Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes,
                                      std::span<const SliceId> line_slices) {
+  if (kernel_ != nullptr) {
+    return kernel_->dma_read_range_lut(*this, addr, bytes, line_slices);
+  }
   HierarchyStats local;
   Cycles total = 0;
   const PhysAddr first = LineBase(addr);

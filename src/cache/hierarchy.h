@@ -33,6 +33,7 @@
 #include "src/cache/line_directory.h"
 #include "src/cache/set_assoc_cache.h"
 #include "src/cache/sliced_llc.h"
+#include "src/hash/fast_slice_hash.h"
 #include "src/hash/slice_hash.h"
 #include "src/sim/machine.h"
 
@@ -122,6 +123,44 @@ struct BatchResult {
   bool operator==(const BatchResult&) const = default;
 };
 
+class MemoryHierarchy;
+
+// Dispatch table of one specialized hierarchy kernel (docs/architecture.md
+// §13): every entry is a HierarchyKernel<Hash, Repl, Inclusion> static
+// function with the three policies baked in as compile-time constants, so
+// the steady state behind one indirect call carries zero per-access policy
+// branches and the whole probe → directory → fill → replacement chain
+// inlines into one flat loop per batch. Selected exactly once, when the
+// MemoryHierarchy is constructed (SelectHierarchyKernel below); a null
+// table means the generic runtime-dispatched reference path runs instead.
+struct HierarchyKernelOps {
+  AccessResult (*access)(MemoryHierarchy&, CoreId, PhysAddr, bool is_write);
+  BatchResult (*access_range)(MemoryHierarchy&, CoreId, const AccessBatch&, bool is_write);
+  Cycles (*dma_write_line)(MemoryHierarchy&, PhysAddr);
+  Cycles (*dma_read_line)(MemoryHierarchy&, PhysAddr);
+  Cycles (*dma_write_range)(MemoryHierarchy&, PhysAddr, std::size_t);
+  Cycles (*dma_read_range)(MemoryHierarchy&, PhysAddr, std::size_t);
+  Cycles (*dma_write_range_lut)(MemoryHierarchy&, PhysAddr, std::size_t,
+                                std::span<const SliceId>);
+  Cycles (*dma_read_range_lut)(MemoryHierarchy&, PhysAddr, std::size_t,
+                               std::span<const SliceId>);
+  const char* name;  // e.g. "xor+lru+inclusive" — for tests and diagnostics
+};
+
+// Config-time kernel factory (defined in src/cache/kernels/kernel_table.cc,
+// where every instantiation of the matrix lives): returns the specialized
+// table for (hash family × replacement × inclusion), or nullptr when the
+// combination is outside the matrix (an unrecognised SliceHash subclass —
+// FastSliceHash::Kind::kVirtual) and the generic path must serve.
+const HierarchyKernelOps* SelectHierarchyKernel(FastSliceHash::Kind hash_kind,
+                                                ReplacementKind replacement,
+                                                LlcInclusionPolicy inclusion);
+
+// The specialized kernel family itself; defined in
+// src/cache/kernels/hierarchy_kernel.h (a friend of MemoryHierarchy).
+template <FastSliceHash::Kind H, ReplacementKind R, LlcInclusionPolicy I>
+struct HierarchyKernel;
+
 class MemoryHierarchy {
  public:
   // `hash` routes lines to LLC slices; its slice count must match the spec.
@@ -197,7 +236,18 @@ class MemoryHierarchy {
     return spec_.latency.llc_base + SlicePenalty(core, slice);
   }
 
+  // Whether the steady state runs a specialized HierarchyKernel (true) or
+  // the generic reference path (false — kernel_mode == kGeneric, a build
+  // with CACHEDIR_GENERIC_ONLY, or a configuration outside the matrix).
+  // Either way every simulated result is bit-identical
+  // (kernel_equivalence_test).
+  bool uses_specialized_kernel() const { return kernel_ != nullptr; }
+  const char* kernel_name() const { return kernel_ != nullptr ? kernel_->name : "generic"; }
+
  private:
+  template <FastSliceHash::Kind H, ReplacementKind R, LlcInclusionPolicy I>
+  friend struct HierarchyKernel;
+
   // A slice id recovered from a directory entry's memo, or "unknown" when
   // the line had no entry (the caller re-hashes on demand).
   struct CachedSlice {
@@ -253,8 +303,19 @@ class MemoryHierarchy {
   void FillL2(CoreId core, PhysAddr line, bool dirty, SliceId slice, Cycles* extra_cycles,
               HierarchyStats& stats);
   // Inclusive mode: LLC eviction invalidates the line in every core cache.
-  // Returns the line's memoized slice id before the entry dies.
-  CachedSlice BackInvalidate(PhysAddr line);
+  // Returns the line's memoized slice id before the entry dies. Split so the
+  // dominant no-sharers case inlines into the batched DMA loops: the
+  // directory only holds core-resident lines, so the two calls per DMA fill
+  // (incoming line, displaced victim) almost always resolve on the
+  // directory's filter byte; only a real sharer pays the outlined walk.
+  CachedSlice BackInvalidate(PhysAddr line) {
+    LineDirectoryEntry* entry = directory_.Find(line);
+    if (entry == nullptr) {
+      return {};
+    }
+    return BackInvalidateEntry(line, entry);
+  }
+  CachedSlice BackInvalidateEntry(PhysAddr line, LineDirectoryEntry* entry);
   void HandleLlcEviction(const std::optional<EvictedLine>& evicted, HierarchyStats& stats);
   // Background next-line prefetch into L2 (no cycles charged to the core).
   void PrefetchNextLine(CoreId core, PhysAddr line, HierarchyStats& stats);
@@ -277,6 +338,9 @@ class MemoryHierarchy {
   CachedSlice DirRemoveL2(CoreId core, PhysAddr line);
 
   MachineSpec spec_;
+  // Specialized kernel dispatch table, selected once in the constructor from
+  // (hash kind, replacement, inclusion); nullptr runs the generic path.
+  const HierarchyKernelOps* kernel_ = nullptr;
   std::vector<SetAssocCache> l1_;
   std::vector<SetAssocCache> l2_;
   SlicedLlc llc_;

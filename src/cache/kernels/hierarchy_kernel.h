@@ -1,0 +1,484 @@
+// Compile-time specialized probe/fill kernels for MemoryHierarchy
+// (docs/architecture.md §13).
+//
+// `HierarchyKernel<H, R, I>` is the hierarchy's scalar/batched/DMA access
+// chain compiled with the three policies a MachineSpec fixes for its
+// lifetime — slice-hash family, replacement policy, LLC inclusion mode — as
+// template constants. The generic path in hierarchy.cc re-decides all three
+// on every access; here every policy test is `if constexpr`, every cache
+// call is the compile-time-policy sibling (`ProbeT<R>`, `InsertT<R>`,
+// `SliceOfKind<H>`, ...), and the whole probe → directory → LLC fill →
+// replacement update chain inlines into one flat loop per batch.
+//
+// Bit-identity contract: each method below mirrors its hierarchy.cc
+// namesake operation for operation — same directory reads/writes, same CBo
+// record points, same fill ordering (FillL2's victim chain must run before
+// FillL1 picks its victim), same stats bumps. The generic path stays as the
+// reference implementation; kernel_equivalence_test pins every
+// instantiation against it over randomized mixed streams, so a divergence
+// introduced in either copy is caught, not averaged away.
+//
+// Only kernel_table.cc (the instantiation matrix) should include this
+// header; everything else talks to the kernels through HierarchyKernelOps.
+#ifndef CACHEDIRECTOR_SRC_CACHE_KERNELS_HIERARCHY_KERNEL_H_
+#define CACHEDIRECTOR_SRC_CACHE_KERNELS_HIERARCHY_KERNEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/cache/hierarchy.h"
+#include "src/cache/line_directory.h"
+#include "src/cache/set_assoc_cache.h"
+#include "src/hash/fast_slice_hash.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/machine.h"
+#include "src/sim/types.h"
+
+namespace cachedir {
+
+template <FastSliceHash::Kind H, ReplacementKind R, LlcInclusionPolicy I>
+struct HierarchyKernel {
+  using CachedSlice = MemoryHierarchy::CachedSlice;
+
+  static constexpr std::uint64_t Bit(CoreId core) { return std::uint64_t{1} << core; }
+
+  // ---- HierarchyKernelOps entry points ----
+
+  static AccessResult Access(MemoryHierarchy& h, CoreId core, PhysAddr addr, bool is_write) {
+    return is_write ? AccessImpl<true>(h, core, addr, h.stats_)
+                    : AccessImpl<false>(h, core, addr, h.stats_);
+  }
+
+  static BatchResult AccessRange(MemoryHierarchy& h, CoreId core, const AccessBatch& batch,
+                                 bool is_write) {
+    return is_write ? AccessRangeImpl<true>(h, core, batch)
+                    : AccessRangeImpl<false>(h, core, batch);
+  }
+
+  static Cycles DmaWriteLine(MemoryHierarchy& h, PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    return DmaWriteLineTo(h, line, h.llc_.SliceOfKind<H>(line), h.stats_);
+  }
+
+  static Cycles DmaReadLine(MemoryHierarchy& h, PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    return DmaReadLineTo(h, line, h.llc_.SliceOfKind<H>(line), h.stats_);
+  }
+
+  // Chunked two-pass DMA loops, mirroring hierarchy.cc: pass one hashes each
+  // line's slice (exactly once, with the hash family inlined) into a stack
+  // block and prefetches the metadata the fill/probe will touch; pass two
+  // replays the chunk against the memoized slices.
+  static Cycles DmaWriteRange(MemoryHierarchy& h, PhysAddr addr, std::size_t bytes) {
+    constexpr std::size_t kChunk = MemoryHierarchy::kDmaChunkLines;
+    HierarchyStats local;
+    Cycles total = 0;
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    SliceId slices[kChunk];
+    for (PhysAddr chunk = first; chunk <= last; chunk += kChunk * kCacheLineSize) {
+      const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+      const std::size_t n = lines_left < kChunk ? lines_left : kChunk;
+      for (std::size_t i = 0; i < n; ++i) {
+        const PhysAddr line = chunk + i * kCacheLineSize;
+        slices[i] = h.llc_.SliceOfKind<H>(line);
+        h.directory_.PrefetchEntry(line);
+        h.llc_.PrefetchSliceMetaForDma(slices[i], line);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        total += DmaWriteLineTo(h, chunk + i * kCacheLineSize, slices[i], local);
+      }
+    }
+    h.stats_ += local;
+    return total;
+  }
+
+  static Cycles DmaWriteRangeLut(MemoryHierarchy& h, PhysAddr addr, std::size_t bytes,
+                                 std::span<const SliceId> line_slices) {
+    constexpr std::size_t kChunk = MemoryHierarchy::kDmaChunkLines;
+    HierarchyStats local;
+    Cycles total = 0;
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    for (PhysAddr chunk = first; chunk <= last; chunk += kChunk * kCacheLineSize) {
+      const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+      const std::size_t n = lines_left < kChunk ? lines_left : kChunk;
+      const SliceId* slices = line_slices.data() + (chunk - first) / kCacheLineSize;
+      for (std::size_t i = 0; i < n; ++i) {
+        const PhysAddr line = chunk + i * kCacheLineSize;
+        h.directory_.PrefetchEntry(line);
+        h.llc_.PrefetchSliceMetaForDma(slices[i], line);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        total += DmaWriteLineTo(h, chunk + i * kCacheLineSize, slices[i], local);
+      }
+    }
+    h.stats_ += local;
+    return total;
+  }
+
+  static Cycles DmaReadRange(MemoryHierarchy& h, PhysAddr addr, std::size_t bytes) {
+    constexpr std::size_t kChunk = MemoryHierarchy::kDmaChunkLines;
+    HierarchyStats local;
+    Cycles total = 0;
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    SliceId slices[kChunk];
+    for (PhysAddr chunk = first; chunk <= last; chunk += kChunk * kCacheLineSize) {
+      const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+      const std::size_t n = lines_left < kChunk ? lines_left : kChunk;
+      for (std::size_t i = 0; i < n; ++i) {
+        const PhysAddr line = chunk + i * kCacheLineSize;
+        slices[i] = h.llc_.SliceOfKind<H>(line);
+        h.llc_.PrefetchSliceMeta(slices[i], line);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        total += DmaReadLineTo(h, chunk + i * kCacheLineSize, slices[i], local);
+      }
+    }
+    h.stats_ += local;
+    return total;
+  }
+
+  static Cycles DmaReadRangeLut(MemoryHierarchy& h, PhysAddr addr, std::size_t bytes,
+                                std::span<const SliceId> line_slices) {
+    constexpr std::size_t kChunk = MemoryHierarchy::kDmaChunkLines;
+    HierarchyStats local;
+    Cycles total = 0;
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    for (PhysAddr chunk = first; chunk <= last; chunk += kChunk * kCacheLineSize) {
+      const std::size_t lines_left = (last - chunk) / kCacheLineSize + 1;
+      const std::size_t n = lines_left < kChunk ? lines_left : kChunk;
+      const SliceId* slices = line_slices.data() + (chunk - first) / kCacheLineSize;
+      for (std::size_t i = 0; i < n; ++i) {
+        h.llc_.PrefetchSliceMeta(slices[i], chunk + i * kCacheLineSize);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        total += DmaReadLineTo(h, chunk + i * kCacheLineSize, slices[i], local);
+      }
+    }
+    h.stats_ += local;
+    return total;
+  }
+
+ private:
+  // Memoized slice lookup — the kernel's sibling of
+  // MemoryHierarchy::SliceOfLine, hashing with the compile-time family.
+  static SliceId SliceOfLine(MemoryHierarchy& h, LineDirectoryEntry* entry, PhysAddr line) {
+    if (entry != nullptr) {
+      if (entry->slice_cache != LineDirectoryEntry::kNoSlice) {
+        return entry->slice_cache;
+      }
+      entry->slice_cache = h.llc_.SliceOfKind<H>(line);
+      return entry->slice_cache;
+    }
+    return h.llc_.SliceOfKind<H>(line);
+  }
+
+  static void PrefetchCoreAccessMeta(const MemoryHierarchy& h, CoreId core, PhysAddr addr) {
+    const PhysAddr line = LineBase(addr);
+    h.directory_.PrefetchEntry(line);
+    h.l2_[core].PrefetchSetMeta(line);
+    h.llc_.PrefetchSliceMeta(h.llc_.SliceOfKind<H>(line), line);
+  }
+
+  // Mirror of MemoryHierarchy::Access with `is_write` also lifted to a
+  // template constant (the generic body's last runtime policy input).
+  template <bool kWrite>
+  static AccessResult AccessImpl(MemoryHierarchy& h, CoreId core, PhysAddr addr,
+                                 HierarchyStats& stats) {
+    const PhysAddr line = LineBase(addr);
+    const LatencyModel& lat = h.spec_.latency;
+    // One directory lookup up front answers the slice-id memo and both
+    // coherence questions for this access; the entry pointer is only
+    // dereferenced before the first structural directory mutation.
+    LineDirectoryEntry* entry = h.directory_.Find(line);
+    const SliceId slice = SliceOfLine(h, entry, line);
+    const std::uint64_t others = entry != nullptr ? entry->sharers() & ~Bit(core) : 0;
+    const std::uint64_t dirty_others = entry != nullptr ? entry->dirty() & ~Bit(core) : 0;
+    AccessResult result;
+    result.slice = slice;
+
+    // L1.
+    if (const auto l1 = h.l1_[core].template ProbeT<R>(line); l1.hit) {
+      ++stats.l1_hits;
+      if constexpr (kWrite) {
+        result.cycles = lat.store_commit;
+        if (!l1.dirty && others != 0) {
+          ++stats.upgrades;
+          h.InvalidateElsewhere(core, line, stats);
+          result.cycles += h.LlcHitLatency(core, slice) + lat.upgrade;
+        }
+        h.l1_[core].MarkDirty(line);
+        h.directory_.GetOrCreate(line).l1_dirty |= Bit(core);
+      } else {
+        result.cycles = lat.l1_hit;
+      }
+      result.level = ServedBy::kL1;
+      return result;
+    }
+    ++stats.l1_misses;
+
+    // L2.
+    if (const auto l2 = h.l2_[core].template ProbeT<R>(line); l2.hit) {
+      ++stats.l2_hits;
+      if (entry != nullptr && entry->prefetched) {
+        entry->prefetched = false;
+        ++stats.prefetch_hits;
+      }
+      result.cycles = lat.l2_hit;
+      if (kWrite && !l2.dirty && others != 0) {
+        ++stats.upgrades;
+        h.InvalidateElsewhere(core, line, stats);
+        result.cycles += h.LlcHitLatency(core, slice) + lat.upgrade;
+      }
+      result.level = ServedBy::kL2;
+      FillL1(h, core, line, /*dirty=*/kWrite, slice, stats);
+      return result;
+    }
+    ++stats.l2_misses;
+
+    // Coherence snoop: a remote Modified copy forwards cache-to-cache.
+    if (dirty_others != 0) {
+      ++stats.remote_forwards;
+      Cycles cycles = h.LlcHitLatency(core, slice) + lat.snoop_transfer;
+      bool fill_dirty;
+      if constexpr (kWrite) {
+        h.InvalidateElsewhere(core, line, stats);
+        fill_dirty = true;
+      } else {
+        h.DowngradeElsewhere(core, line);
+        fill_dirty = !h.llc_.MarkDirtyOnSlice(slice, line);
+      }
+      if constexpr (I == LlcInclusionPolicy::kInclusive) {
+        h.llc_.template LookupAndTouchOnSliceT<R>(slice, line);
+      }
+      FillL2(h, core, line, fill_dirty && !kWrite, slice, &cycles, stats);
+      FillL1(h, core, line, /*dirty=*/kWrite || fill_dirty, slice, stats);
+      result.cycles = cycles;
+      result.level = ServedBy::kRemoteCache;
+      return result;
+    }
+
+    // LLC.
+    Cycles cycles = h.LlcHitLatency(core, slice);
+    const bool llc_hit = h.llc_.template LookupAndTouchOnSliceT<R>(slice, line);
+    bool fill_dirty = false;
+    if (llc_hit) {
+      ++stats.llc_hits;
+      result.level = ServedBy::kLlc;
+      if constexpr (I == LlcInclusionPolicy::kVictim) {
+        // Exclusive victim behaviour: the line moves to L2.
+        const auto inv = h.llc_.InvalidateOnSlice(slice, line);
+        fill_dirty = inv.was_dirty;
+      }
+    } else {
+      ++stats.llc_misses;
+      cycles += lat.dram;
+      result.level = ServedBy::kDram;
+      if constexpr (I == LlcInclusionPolicy::kInclusive) {
+        HandleLlcEviction(
+            h, h.llc_.template InsertForCoreOnSliceT<R>(core, slice, line, /*dirty=*/false),
+            stats);
+      }
+    }
+    if constexpr (kWrite) {
+      h.InvalidateElsewhere(core, line, stats);
+    }
+
+    FillL2(h, core, line, fill_dirty, slice, &cycles, stats);
+    FillL1(h, core, line, /*dirty=*/kWrite, slice, stats);
+    if (h.spec_.l2_next_line_prefetch) {
+      PrefetchNextLine(h, core, line, stats);
+    }
+    result.cycles = cycles;
+    return result;
+  }
+
+  // Mirror of MemoryHierarchy::AccessRange with the per-line call bound to
+  // AccessImpl<kWrite> — the fused loop the function-pointer dispatch exists
+  // to reach: one flat specialized body per batch, one stats flush.
+  template <bool kWrite>
+  static BatchResult AccessRangeImpl(MemoryHierarchy& h, CoreId core, const AccessBatch& batch) {
+    constexpr std::size_t kLookahead = MemoryHierarchy::kBatchLookahead;
+    HierarchyStats local;
+    BatchResult result;
+    const std::size_t stored = batch.per_line.size();
+    if (!batch.gather.empty()) {
+      const std::size_t n = batch.gather.size();
+      for (std::size_t i = 0; i < n && i < kLookahead; ++i) {
+        PrefetchCoreAccessMeta(h, core, batch.gather[i]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (kLookahead > 0 && i + kLookahead < n) {
+          PrefetchCoreAccessMeta(h, core, batch.gather[i + kLookahead]);
+        }
+        const AccessResult r = AccessImpl<kWrite>(h, core, batch.gather[i], local);
+        result.cycles += r.cycles;
+        if (i < stored) {
+          batch.per_line[i] = r;
+        }
+      }
+      result.lines = n;
+    } else {
+      const PhysAddr first = LineBase(batch.addr);
+      const PhysAddr last = LineBase(batch.addr + (batch.bytes == 0 ? 0 : batch.bytes - 1));
+      constexpr PhysAddr kAheadBytes = kLookahead * kCacheLineSize;
+      for (PhysAddr line = first; line <= last && line - first < kAheadBytes;
+           line += kCacheLineSize) {
+        PrefetchCoreAccessMeta(h, core, line);
+      }
+      std::size_t i = 0;
+      for (PhysAddr line = first; line <= last; line += kCacheLineSize, ++i) {
+        if (kLookahead > 0 && last - line >= kAheadBytes) {
+          PrefetchCoreAccessMeta(h, core, line + kAheadBytes);
+        }
+        const AccessResult r = AccessImpl<kWrite>(h, core, line, local);
+        result.cycles += r.cycles;
+        if (i < stored) {
+          batch.per_line[i] = r;
+        }
+      }
+      result.lines = i;
+    }
+    h.stats_ += local;
+    return result;
+  }
+
+  static void FillL1(MemoryHierarchy& h, CoreId core, PhysAddr line, bool dirty, SliceId slice,
+                     HierarchyStats& stats) {
+    const auto evicted = h.l1_[core].template InsertT<R>(line, dirty);
+    {
+      LineDirectoryEntry& entry = h.directory_.GetOrCreate(line);
+      entry.l1_sharers |= Bit(core);
+      entry.slice_cache = slice;
+      if (dirty) {
+        entry.l1_dirty |= Bit(core);
+      }
+    }
+    if (evicted.has_value()) {
+      const CachedSlice victim = h.DirRemoveL1(core, evicted->line);
+      if (evicted->dirty) {
+        if (h.l2_[core].MarkDirty(evicted->line)) {
+          h.directory_.GetOrCreate(evicted->line).l2_dirty |= Bit(core);
+        } else {
+          const SliceId victim_slice =
+              victim.known ? victim.slice : h.llc_.SliceOfKind<H>(evicted->line);
+          if (!h.llc_.MarkDirtyOnSlice(victim_slice, evicted->line)) {
+            // Line is nowhere below: the write-back goes straight to DRAM.
+            ++stats.dirty_writebacks;
+          }
+        }
+      }
+    }
+  }
+
+  static void FillL2(MemoryHierarchy& h, CoreId core, PhysAddr line, bool dirty, SliceId slice,
+                     Cycles* extra_cycles, HierarchyStats& stats) {
+    const auto evicted = h.l2_[core].template InsertT<R>(line, dirty);
+    {
+      LineDirectoryEntry& entry = h.directory_.GetOrCreate(line);
+      entry.l2_sharers |= Bit(core);
+      entry.slice_cache = slice;
+      if (dirty) {
+        entry.l2_dirty |= Bit(core);
+      }
+    }
+    if (!evicted.has_value()) {
+      return;
+    }
+    // Victim bookkeeping order matters for bit-identity: directory memo read
+    // first, then the L1 subset invalidation — before any LLC mutation.
+    const CachedSlice cached = h.DirRemoveL2(core, evicted->line);
+    const auto l1_state = h.l1_[core].Invalidate(evicted->line);
+    h.DirRemoveL1(core, evicted->line);
+    const bool victim_dirty = evicted->dirty || l1_state.was_dirty;
+
+    if constexpr (I == LlcInclusionPolicy::kInclusive) {
+      // The victim is still resident in the (inclusive) LLC; just mark dirt.
+      if (victim_dirty) {
+        const SliceId victim_slice =
+            cached.known ? cached.slice : h.llc_.SliceOfKind<H>(evicted->line);
+        ++stats.dirty_writebacks;
+        h.llc_.MarkDirtyOnSlice(victim_slice, evicted->line);
+        *extra_cycles += h.spec_.latency.writeback_busy + h.SlicePenalty(core, victim_slice);
+      }
+      return;
+    } else {
+      // Victim (Skylake) mode: L2 evictions fill the LLC in one fused scan.
+      const SliceId victim_slice =
+          cached.known ? cached.slice : h.llc_.SliceOfKind<H>(evicted->line);
+      HandleLlcEviction(
+          h,
+          h.llc_.template FillFromL2OnSliceT<R>(core, victim_slice, evicted->line, victim_dirty),
+          stats);
+      if (victim_dirty) {
+        ++stats.dirty_writebacks;
+        *extra_cycles += h.spec_.latency.writeback_busy + h.SlicePenalty(core, victim_slice);
+      }
+    }
+  }
+
+  static void HandleLlcEviction(MemoryHierarchy& h, const std::optional<EvictedLine>& evicted,
+                                HierarchyStats& stats) {
+    if (!evicted.has_value()) {
+      return;
+    }
+    if (evicted->dirty) {
+      ++stats.dirty_writebacks;
+    }
+    if constexpr (I == LlcInclusionPolicy::kInclusive) {
+      h.BackInvalidate(evicted->line);
+    }
+  }
+
+  static void PrefetchNextLine(MemoryHierarchy& h, CoreId core, PhysAddr line,
+                               HierarchyStats& stats) {
+    const PhysAddr next = line + kCacheLineSize;
+    LineDirectoryEntry* entry = h.directory_.Find(next);
+    if (entry != nullptr && (entry->sharers() & Bit(core)) != 0) {
+      return;  // already resident in this core's L1 or L2
+    }
+    ++stats.prefetches_issued;
+    const SliceId next_slice = SliceOfLine(h, entry, next);
+    bool dirty = false;
+    if (h.llc_.template LookupAndTouchOnSliceT<R>(next_slice, next)) {
+      if constexpr (I == LlcInclusionPolicy::kVictim) {
+        dirty = h.llc_.InvalidateOnSlice(next_slice, next).was_dirty;
+      }
+    } else if constexpr (I == LlcInclusionPolicy::kInclusive) {
+      HandleLlcEviction(
+          h, h.llc_.template InsertForCoreOnSliceT<R>(core, next_slice, next, /*dirty=*/false),
+          stats);
+    }
+    Cycles uncharged = 0;
+    FillL2(h, core, next, dirty, next_slice, &uncharged, stats);
+    h.directory_.GetOrCreate(next).prefetched = true;
+  }
+
+  static Cycles DmaWriteLineTo(MemoryHierarchy& h, PhysAddr line, SliceId slice,
+                               HierarchyStats& stats) {
+    ++stats.dma_line_writes;
+    // DMA takes ownership: stale copies leave the core caches, then the
+    // fused DDIO fill dirties/promotes a resident line or allocates in the
+    // DDIO ways.
+    h.BackInvalidate(line);
+    HandleLlcEviction(h, h.llc_.template DmaFillOnSliceT<R>(slice, line), stats);
+    return h.spec_.latency.llc_base + h.SlicePenalty(0, slice);
+  }
+
+  static Cycles DmaReadLineTo(MemoryHierarchy& h, PhysAddr line, SliceId slice,
+                              HierarchyStats& stats) {
+    ++stats.dma_line_reads;
+    if (h.llc_.template LookupAndTouchOnSliceT<R>(slice, line)) {
+      return h.spec_.latency.llc_base;
+    }
+    return h.spec_.latency.llc_base + h.spec_.latency.dram;
+  }
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_CACHE_KERNELS_HIERARCHY_KERNEL_H_

@@ -1,0 +1,132 @@
+// The specialized-kernel instantiation matrix (docs/architecture.md §13).
+//
+// Every HierarchyKernel the simulator can run is instantiated here, once:
+// 3 sealed hash families (XOR — Haswell/Sandy Bridge presets, XOR+LUT —
+// Skylake's 18 slices, modulo — the idealised baseline) × 3 replacement
+// policies × 2 inclusion modes. SelectHierarchyKernel maps a materialized
+// configuration onto this matrix; combinations outside it (an unrecognised
+// SliceHash subclass stays FastSliceHash::Kind::kVirtual) get nullptr and
+// run the generic reference path.
+#include "src/cache/kernels/hierarchy_kernel.h"
+
+#include "src/cache/hierarchy.h"
+
+namespace cachedir {
+namespace {
+
+using Hash = FastSliceHash::Kind;
+
+template <Hash H, ReplacementKind R, LlcInclusionPolicy I>
+constexpr HierarchyKernelOps OpsFor(const char* name) {
+  using Kernel = HierarchyKernel<H, R, I>;
+  return HierarchyKernelOps{
+      &Kernel::Access,        &Kernel::AccessRange,     &Kernel::DmaWriteLine,
+      &Kernel::DmaReadLine,   &Kernel::DmaWriteRange,   &Kernel::DmaReadRange,
+      &Kernel::DmaWriteRangeLut, &Kernel::DmaReadRangeLut, name,
+  };
+}
+
+// One ops table per matrix cell, named hash+replacement+inclusion.
+constexpr HierarchyKernelOps kXorLruInc =
+    OpsFor<Hash::kXor, ReplacementKind::kLru, LlcInclusionPolicy::kInclusive>(
+        "xor+lru+inclusive");
+constexpr HierarchyKernelOps kXorLruVic =
+    OpsFor<Hash::kXor, ReplacementKind::kLru, LlcInclusionPolicy::kVictim>("xor+lru+victim");
+constexpr HierarchyKernelOps kXorPlruInc =
+    OpsFor<Hash::kXor, ReplacementKind::kTreePlru, LlcInclusionPolicy::kInclusive>(
+        "xor+plru+inclusive");
+constexpr HierarchyKernelOps kXorPlruVic =
+    OpsFor<Hash::kXor, ReplacementKind::kTreePlru, LlcInclusionPolicy::kVictim>(
+        "xor+plru+victim");
+constexpr HierarchyKernelOps kXorRandInc =
+    OpsFor<Hash::kXor, ReplacementKind::kRandom, LlcInclusionPolicy::kInclusive>(
+        "xor+random+inclusive");
+constexpr HierarchyKernelOps kXorRandVic =
+    OpsFor<Hash::kXor, ReplacementKind::kRandom, LlcInclusionPolicy::kVictim>(
+        "xor+random+victim");
+
+constexpr HierarchyKernelOps kLutLruInc =
+    OpsFor<Hash::kXorLut, ReplacementKind::kLru, LlcInclusionPolicy::kInclusive>(
+        "xorlut+lru+inclusive");
+constexpr HierarchyKernelOps kLutLruVic =
+    OpsFor<Hash::kXorLut, ReplacementKind::kLru, LlcInclusionPolicy::kVictim>(
+        "xorlut+lru+victim");
+constexpr HierarchyKernelOps kLutPlruInc =
+    OpsFor<Hash::kXorLut, ReplacementKind::kTreePlru, LlcInclusionPolicy::kInclusive>(
+        "xorlut+plru+inclusive");
+constexpr HierarchyKernelOps kLutPlruVic =
+    OpsFor<Hash::kXorLut, ReplacementKind::kTreePlru, LlcInclusionPolicy::kVictim>(
+        "xorlut+plru+victim");
+constexpr HierarchyKernelOps kLutRandInc =
+    OpsFor<Hash::kXorLut, ReplacementKind::kRandom, LlcInclusionPolicy::kInclusive>(
+        "xorlut+random+inclusive");
+constexpr HierarchyKernelOps kLutRandVic =
+    OpsFor<Hash::kXorLut, ReplacementKind::kRandom, LlcInclusionPolicy::kVictim>(
+        "xorlut+random+victim");
+
+constexpr HierarchyKernelOps kModLruInc =
+    OpsFor<Hash::kModulo, ReplacementKind::kLru, LlcInclusionPolicy::kInclusive>(
+        "modulo+lru+inclusive");
+constexpr HierarchyKernelOps kModLruVic =
+    OpsFor<Hash::kModulo, ReplacementKind::kLru, LlcInclusionPolicy::kVictim>(
+        "modulo+lru+victim");
+constexpr HierarchyKernelOps kModPlruInc =
+    OpsFor<Hash::kModulo, ReplacementKind::kTreePlru, LlcInclusionPolicy::kInclusive>(
+        "modulo+plru+inclusive");
+constexpr HierarchyKernelOps kModPlruVic =
+    OpsFor<Hash::kModulo, ReplacementKind::kTreePlru, LlcInclusionPolicy::kVictim>(
+        "modulo+plru+victim");
+constexpr HierarchyKernelOps kModRandInc =
+    OpsFor<Hash::kModulo, ReplacementKind::kRandom, LlcInclusionPolicy::kInclusive>(
+        "modulo+random+inclusive");
+constexpr HierarchyKernelOps kModRandVic =
+    OpsFor<Hash::kModulo, ReplacementKind::kRandom, LlcInclusionPolicy::kVictim>(
+        "modulo+random+victim");
+
+const HierarchyKernelOps* Pick(Hash hash, ReplacementKind repl, bool inclusive) {
+  switch (hash) {
+    case Hash::kXor:
+      switch (repl) {
+        case ReplacementKind::kLru:
+          return inclusive ? &kXorLruInc : &kXorLruVic;
+        case ReplacementKind::kTreePlru:
+          return inclusive ? &kXorPlruInc : &kXorPlruVic;
+        case ReplacementKind::kRandom:
+          return inclusive ? &kXorRandInc : &kXorRandVic;
+      }
+      return nullptr;
+    case Hash::kXorLut:
+      switch (repl) {
+        case ReplacementKind::kLru:
+          return inclusive ? &kLutLruInc : &kLutLruVic;
+        case ReplacementKind::kTreePlru:
+          return inclusive ? &kLutPlruInc : &kLutPlruVic;
+        case ReplacementKind::kRandom:
+          return inclusive ? &kLutRandInc : &kLutRandVic;
+      }
+      return nullptr;
+    case Hash::kModulo:
+      switch (repl) {
+        case ReplacementKind::kLru:
+          return inclusive ? &kModLruInc : &kModLruVic;
+        case ReplacementKind::kTreePlru:
+          return inclusive ? &kModPlruInc : &kModPlruVic;
+        case ReplacementKind::kRandom:
+          return inclusive ? &kModRandInc : &kModRandVic;
+      }
+      return nullptr;
+    case Hash::kVirtual:
+      return nullptr;  // unrecognised SliceHash subclass: generic path
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const HierarchyKernelOps* SelectHierarchyKernel(FastSliceHash::Kind hash_kind,
+                                                ReplacementKind replacement,
+                                                LlcInclusionPolicy inclusion) {
+  return Pick(hash_kind, replacement, inclusion == LlcInclusionPolicy::kInclusive);
+}
+
+}  // namespace cachedir

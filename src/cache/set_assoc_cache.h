@@ -12,6 +12,13 @@
 // batched loops compile into one flat function. Every access/eviction path
 // below is allocation-free in steady state (enforced by
 // tests/hotpath_alloc_test.cc).
+//
+// The replacement policy is a compile-time parameter of the internals
+// (docs/architecture.md §13): `ProbeT`/`FillT`/`InsertT`/`TouchT` take
+// `ReplacementKind` as a template argument and contain no policy branch, and
+// the runtime-dispatched public API is a single switch over those same
+// instantiations — one implementation body, so the specialized hierarchy
+// kernels and the generic reference path cannot diverge at this layer.
 #ifndef CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 #define CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
 
@@ -61,6 +68,13 @@ class SetAssocCache {
   // Lookup that promotes the line on hit. Returns true on hit.
   bool Touch(PhysAddr addr) { return Probe(addr).hit; }
 
+  // Compile-time-policy Touch for the specialized kernels. `R` must equal
+  // the configured replacement kind.
+  template <ReplacementKind R>
+  bool TouchT(PhysAddr addr) {
+    return ProbeT<R>(addr).hit;
+  }
+
   // Touch and dirty-bit read in a single tag probe — the hierarchy's L1/L2
   // hit paths need both and would otherwise scan the set twice.
   struct TouchResult {
@@ -68,13 +82,25 @@ class SetAssocCache {
     bool dirty = false;
   };
   TouchResult Probe(PhysAddr addr) {
+    switch (repl_) {
+      case ReplacementKind::kLru:
+        return ProbeT<ReplacementKind::kLru>(addr);
+      case ReplacementKind::kTreePlru:
+        return ProbeT<ReplacementKind::kTreePlru>(addr);
+      case ReplacementKind::kRandom:
+        return ProbeT<ReplacementKind::kRandom>(addr);
+    }
+    throw std::logic_error("SetAssocCache::Probe: unknown replacement kind");
+  }
+  template <ReplacementKind R>
+  TouchResult ProbeT(PhysAddr addr) {
     const PhysAddr line = LineBase(addr);
     const std::size_t set = SetIndexOf(line);
     const std::uint32_t way = FindWay(set, line);
     if (way == kNoWay) {
       return TouchResult{};
     }
-    TouchWay(set, way);
+    TouchWay<R>(set, way);
     return TouchResult{true, ((scalars_[set].dirty >> way) & 1) != 0};
   }
 
@@ -119,12 +145,25 @@ class SetAssocCache {
   // if one had to be evicted.
   std::optional<EvictedLine> Insert(PhysAddr addr, bool dirty,
                                     std::uint64_t way_mask = ~std::uint64_t{0}) {
+    switch (repl_) {
+      case ReplacementKind::kLru:
+        return InsertT<ReplacementKind::kLru>(addr, dirty, way_mask);
+      case ReplacementKind::kTreePlru:
+        return InsertT<ReplacementKind::kTreePlru>(addr, dirty, way_mask);
+      case ReplacementKind::kRandom:
+        return InsertT<ReplacementKind::kRandom>(addr, dirty, way_mask);
+    }
+    throw std::logic_error("SetAssocCache::Insert: unknown replacement kind");
+  }
+  template <ReplacementKind R>
+  std::optional<EvictedLine> InsertT(PhysAddr addr, bool dirty,
+                                     std::uint64_t way_mask = ~std::uint64_t{0}) {
     const PhysAddr line = LineBase(addr);
     const std::size_t set = SetIndexOf(line);
     if (FindWay(set, line) != kNoWay) {
       throw std::logic_error("SetAssocCache::Insert: line already present");
     }
-    return FillAbsent(set, line, dirty, way_mask);
+    return FillAbsent<R>(set, line, dirty, way_mask);
   }
 
   // Single-scan fill for the LLC paths that would otherwise pay a Contains
@@ -136,6 +175,18 @@ class SetAssocCache {
     std::optional<EvictedLine> evicted;  // only when !was_present
   };
   FillResult Fill(PhysAddr addr, bool dirty, std::uint64_t way_mask, bool promote_on_hit) {
+    switch (repl_) {
+      case ReplacementKind::kLru:
+        return FillT<ReplacementKind::kLru>(addr, dirty, way_mask, promote_on_hit);
+      case ReplacementKind::kTreePlru:
+        return FillT<ReplacementKind::kTreePlru>(addr, dirty, way_mask, promote_on_hit);
+      case ReplacementKind::kRandom:
+        return FillT<ReplacementKind::kRandom>(addr, dirty, way_mask, promote_on_hit);
+    }
+    throw std::logic_error("SetAssocCache::Fill: unknown replacement kind");
+  }
+  template <ReplacementKind R>
+  FillResult FillT(PhysAddr addr, bool dirty, std::uint64_t way_mask, bool promote_on_hit) {
     const PhysAddr line = LineBase(addr);
     const std::size_t set = SetIndexOf(line);
     const std::uint32_t way = FindWay(set, line);
@@ -146,11 +197,11 @@ class SetAssocCache {
         scalars_[set].dirty |= std::uint64_t{1} << way;
       }
       if (promote_on_hit) {
-        TouchWay(set, way);
+        TouchWay<R>(set, way);
       }
       return result;
     }
-    result.evicted = FillAbsent(set, line, dirty, way_mask);
+    result.evicted = FillAbsent<R>(set, line, dirty, way_mask);
     return result;
   }
 
@@ -186,6 +237,8 @@ class SetAssocCache {
 
   std::size_t resident_lines() const { return resident_; }
 
+  ReplacementKind replacement() const { return repl_; }
+
   // Host-side hint for the batched fast path: prefetches the metadata the
   // next probe/fill of `addr`'s set will touch — the tag row, the
   // valid/dirty way-masks, and the LRU stamps. Purely a host cache hint
@@ -202,6 +255,36 @@ class SetAssocCache {
     if (repl_ == ReplacementKind::kLru) {
       for (std::size_t way = 0; way < ways_; way += 8) {
         __builtin_prefetch(stamps_.data() + set * ways_ + way);
+      }
+    }
+  }
+
+  // Narrower hint for fills restricted to a way partition (DDIO, CAT): the
+  // probe still compares the whole tag row, but victim choice and promotion
+  // only ever read/write the LRU stamps of the partition's ways, so pulling
+  // the full stamp row (three host lines for a 20-way LLC set) wastes
+  // host-cache bandwidth on exactly the hottest loops. Prefetches the tag
+  // row, the way-mask record, and only the stamp lines `way_mask` spans.
+  void PrefetchSetMetaForFill(PhysAddr addr, std::uint64_t way_mask) const {
+    const std::size_t set = SetIndexOf(LineBase(addr));
+    __builtin_prefetch(scalars_.data() + set, 1);  // fill writes valid/dirty/ticks
+    for (std::size_t way = 0; way < ways_; way += 8) {
+      __builtin_prefetch(tags_.data() + set * ways_ + way);
+    }
+    if (repl_ == ReplacementKind::kLru) {
+      // One 64-byte stamp line covers 8 ways; visit each spanned line once.
+      std::uint64_t lines = 0;
+      std::uint64_t mask = way_mask & (ways_ >= 64 ? ~std::uint64_t{0}
+                                                   : ((std::uint64_t{1} << ways_) - 1));
+      while (mask != 0) {
+        const auto way = static_cast<std::uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        const std::uint64_t line_bit = std::uint64_t{1} << (way / 8);
+        if ((lines & line_bit) == 0) {
+          lines |= line_bit;
+          __builtin_prefetch(stamps_.data() + set * ways_ + (way & ~std::uint32_t{7}), 1);
+          __builtin_prefetch(tags_.data() + set * ways_ + (way & ~std::uint32_t{7}), 1);
+        }
       }
     }
   }
@@ -238,35 +321,34 @@ class SetAssocCache {
     return kNoWay;
   }
 
-  // Promote `way` to most-recently-used under the configured policy.
+  // Promote `way` to most-recently-used under policy `R` (compile-time).
+  template <ReplacementKind R>
   void TouchWay(std::size_t set, std::uint32_t way) {
-    switch (repl_) {
-      case ReplacementKind::kLru:
-        stamps_[set * ways_ + way] = ++scalars_[set].ticks;
-        break;
-      case ReplacementKind::kTreePlru:
-        replacement::PlruTouch(scalars_[set].plru, ways32_, way);
-        break;
-      case ReplacementKind::kRandom:
-        break;
+    if constexpr (R == ReplacementKind::kLru) {
+      stamps_[set * ways_ + way] = ++scalars_[set].ticks;
+    } else if constexpr (R == ReplacementKind::kTreePlru) {
+      replacement::PlruTouch(scalars_[set].plru, ways32_, way);
+    } else {
+      static_assert(R == ReplacementKind::kRandom);
     }
   }
 
+  template <ReplacementKind R>
   std::uint32_t ChooseVictim(std::size_t set, std::uint64_t candidate_mask) {
-    switch (repl_) {
-      case ReplacementKind::kLru:
-        return replacement::LruVictim(stamps_.data() + set * ways_, ways32_, candidate_mask);
-      case ReplacementKind::kTreePlru:
-        return replacement::PlruVictim(scalars_[set].plru, ways32_, candidate_mask);
-      case ReplacementKind::kRandom:
-        return replacement::RandomVictim(ways32_, candidate_mask, rng_);
+    if constexpr (R == ReplacementKind::kLru) {
+      return replacement::LruVictim(stamps_.data() + set * ways_, ways32_, candidate_mask);
+    } else if constexpr (R == ReplacementKind::kTreePlru) {
+      return replacement::PlruVictim(scalars_[set].plru, ways32_, candidate_mask);
+    } else {
+      static_assert(R == ReplacementKind::kRandom);
+      return replacement::RandomVictim(ways32_, candidate_mask, rng_);
     }
-    throw std::logic_error("SetAssocCache::ChooseVictim: unknown replacement kind");
   }
 
   // Allocates `line` in `set`: an invalid way inside the partition if one
   // exists, else the policy's victim among the partition's ways. The line
   // must not be present in the set.
+  template <ReplacementKind R>
   std::optional<EvictedLine> FillAbsent(std::size_t set, PhysAddr line, bool dirty,
                                         std::uint64_t way_mask) {
     const std::uint64_t usable =
@@ -287,12 +369,12 @@ class SetAssocCache {
       if (dirty) {
         scalars_[set].dirty |= bit;
       }
-      TouchWay(set, way);
+      TouchWay<R>(set, way);
       ++resident_;
       return std::nullopt;
     }
 
-    const std::uint32_t victim = ChooseVictim(set, usable);
+    const std::uint32_t victim = ChooseVictim<R>(set, usable);
     const std::uint64_t bit = std::uint64_t{1} << victim;
     EvictedLine evicted{tags_[base + victim], (scalars_[set].dirty & bit) != 0};
     tags_[base + victim] = line;
@@ -301,7 +383,7 @@ class SetAssocCache {
     } else {
       scalars_[set].dirty &= ~bit;
     }
-    TouchWay(set, victim);
+    TouchWay<R>(set, victim);
     return evicted;
   }
 
@@ -319,3 +401,4 @@ class SetAssocCache {
 }  // namespace cachedir
 
 #endif  // CACHEDIRECTOR_SRC_CACHE_SET_ASSOC_CACHE_H_
+

@@ -38,6 +38,14 @@ class SlicedLlc {
   // bit-identical to hash().SliceFor by construction, pinned by hash_test).
   SliceId SliceOf(PhysAddr addr) const { return fast_hash_.SliceFor(addr); }
 
+  // The sealed dispatch itself, for the kernel factory (its Kind keys the
+  // specialization matrix) and for compile-time-kind hashing in the kernels.
+  const FastSliceHash& fast_hash() const { return fast_hash_; }
+  template <FastSliceHash::Kind K>
+  SliceId SliceOfKind(PhysAddr addr) const {
+    return fast_hash_.SliceForKind<K>(addr);
+  }
+
   // Core-side lookup: records a CBo lookup event on the target slice and
   // promotes the line on hit.
   bool LookupAndTouch(PhysAddr addr) { return LookupAndTouchOnSlice(SliceOf(addr), addr); }
@@ -107,6 +115,40 @@ class SlicedLlc {
         .evicted;
   }
 
+  // Compile-time-replacement siblings of the slice-hinted calls above, for
+  // the specialized hierarchy kernels (docs/architecture.md §13). Same
+  // bodies with the policy switch resolved at instantiation; CBo events are
+  // recorded at exactly the same points.
+  template <ReplacementKind R>
+  bool LookupAndTouchOnSliceT(SliceId slice, PhysAddr addr) {
+    const bool hit = slices_[slice].TouchT<R>(addr);
+    cbo_.RecordLookup(slice, /*miss=*/!hit);
+    return hit;
+  }
+  template <ReplacementKind R>
+  std::optional<EvictedLine> InsertForCoreOnSliceT(CoreId core, SliceId slice, PhysAddr addr,
+                                                   bool dirty) {
+    return slices_[slice].InsertT<R>(addr, dirty, WayMaskForCore(core));
+  }
+  template <ReplacementKind R>
+  std::optional<EvictedLine> DmaFillOnSliceT(SliceId slice, PhysAddr addr) {
+    const auto fill = slices_[slice].FillT<R>(addr, /*dirty=*/true, ddio_mask_,
+                                              /*promote_on_hit=*/true);
+    if (fill.was_present) {
+      cbo_.RecordLookup(slice, /*miss=*/false);
+      return std::nullopt;
+    }
+    cbo_.RecordDmaFill(slice);
+    return fill.evicted;
+  }
+  template <ReplacementKind R>
+  std::optional<EvictedLine> FillFromL2OnSliceT(CoreId core, SliceId slice, PhysAddr addr,
+                                                bool dirty) {
+    return slices_[slice]
+        .FillT<R>(addr, dirty, WayMaskForCore(core), /*promote_on_hit=*/false)
+        .evicted;
+  }
+
   SetAssocCache::InvalidateResult Invalidate(PhysAddr addr) {
     return slices_[SliceOf(addr)].Invalidate(addr);
   }
@@ -136,6 +178,13 @@ class SlicedLlc {
   // next lookup or fill will touch. No simulated effect.
   void PrefetchSliceMeta(SliceId slice, PhysAddr addr) const {
     slices_[slice].PrefetchSetMeta(addr);
+  }
+
+  // DMA-fill flavour: stamp prefetching is narrowed to the DDIO ways — the
+  // only stamps the dominant miss-and-allocate path touches. A hit that
+  // promotes a line outside the DDIO ways pays its own stamp-line miss.
+  void PrefetchSliceMetaForDma(SliceId slice, PhysAddr addr) const {
+    slices_[slice].PrefetchSetMetaForFill(addr, ddio_mask_);
   }
 
  private:

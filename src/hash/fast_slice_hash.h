@@ -11,6 +11,12 @@
 // hierarchy's access loops. Unknown SliceHash subclasses keep working
 // through a stored pointer — they just stay virtual.
 //
+// The sealed `Kind` doubles as a template parameter for the specialized
+// hierarchy kernels (docs/architecture.md §13): `SliceForKind<K>` is the
+// single implementation body, compiled with the hash family fixed, and the
+// runtime `SliceFor` is a switch over the same instantiations — so the
+// specialized and generic paths cannot diverge at the hash layer.
+//
 // The mapping is a pure function of the address, so sealing cannot change
 // any simulated result; `hash_test` pins FastSliceHash against the virtual
 // implementation over every preset.
@@ -27,6 +33,10 @@ namespace cachedir {
 
 class FastSliceHash {
  public:
+  // The sealed hash family. Public: the hierarchy's kernel factory keys its
+  // instantiation matrix on this (hash kind × replacement × inclusion).
+  enum class Kind : std::uint8_t { kXor, kXorLut, kModulo, kVirtual };
+
   // `hash` must outlive this object (the SlicedLlc owns it via shared_ptr).
   explicit FastSliceHash(const SliceHash& hash) : fallback_(&hash) {
     num_slices_ = hash.num_slices();
@@ -54,35 +64,48 @@ class FastSliceHash {
   }
 
   std::size_t num_slices() const { return num_slices_; }
+  Kind kind() const { return kind_; }
+
+  // Compile-time-kind evaluation: the one implementation body. `K` must
+  // equal `kind()` for the non-virtual cases — the kernel factory guarantees
+  // that by selecting instantiations off `kind()` itself.
+  template <Kind K>
+  SliceId SliceForKind(PhysAddr addr) const {
+    const PhysAddr line = LineBase(addr);
+    if constexpr (K == Kind::kXor) {
+      SliceId slice = 0;
+      for (std::uint32_t i = 0; i < num_masks_; ++i) {
+        slice |= ParityOf(line, masks_[i]) << i;
+      }
+      return slice;
+    } else if constexpr (K == Kind::kXorLut) {
+      std::uint32_t index = 0;
+      for (std::uint32_t i = 0; i < num_masks_; ++i) {
+        index |= ParityOf(line, masks_[i]) << i;
+      }
+      return lut_[index];
+    } else if constexpr (K == Kind::kModulo) {
+      return static_cast<SliceId>((line >> kCacheLineBits) % num_slices_);
+    } else {
+      return fallback_->SliceFor(addr);
+    }
+  }
 
   SliceId SliceFor(PhysAddr addr) const {
-    const PhysAddr line = LineBase(addr);
     switch (kind_) {
-      case Kind::kXor: {
-        SliceId slice = 0;
-        for (std::uint32_t i = 0; i < num_masks_; ++i) {
-          slice |= ParityOf(line, masks_[i]) << i;
-        }
-        return slice;
-      }
-      case Kind::kXorLut: {
-        std::uint32_t index = 0;
-        for (std::uint32_t i = 0; i < num_masks_; ++i) {
-          index |= ParityOf(line, masks_[i]) << i;
-        }
-        return lut_[index];
-      }
+      case Kind::kXor:
+        return SliceForKind<Kind::kXor>(addr);
+      case Kind::kXorLut:
+        return SliceForKind<Kind::kXorLut>(addr);
       case Kind::kModulo:
-        return static_cast<SliceId>((line >> kCacheLineBits) % num_slices_);
+        return SliceForKind<Kind::kModulo>(addr);
       case Kind::kVirtual:
         break;
     }
-    return fallback_->SliceFor(addr);
+    return SliceForKind<Kind::kVirtual>(addr);
   }
 
  private:
-  enum class Kind : std::uint8_t { kXor, kXorLut, kModulo, kVirtual };
-
   // Pure-XOR hashes address up to 2^8 slices; LUT hashes are bounded by the
   // inline table (2^6 entries covers the 18-slice Skylake preset). Larger
   // configurations fall back to the virtual call.

@@ -23,6 +23,21 @@ enum class LlcInclusionPolicy {
   kVictim,
 };
 
+// Which probe/fill implementation a MemoryHierarchy built from this spec
+// runs (docs/architecture.md §13). The policies a machine fixes for its
+// lifetime — slice-hash family, replacement policy, inclusion mode — are
+// re-decided on every access by the generic reference path; kAuto instead
+// selects, once at construction, a kernel instantiated with all three as
+// compile-time constants (falling back to generic for combinations outside
+// the instantiation matrix, e.g. an unrecognised SliceHash subclass).
+// Simulated results are bit-identical either way (kernel_equivalence_test);
+// kGeneric exists for that test's reference arm and for debugging. Building
+// with -DCACHEDIR_GENERIC_ONLY=ON forces kGeneric tree-wide.
+enum class HierarchyKernelMode {
+  kAuto,     // specialized kernel when the configuration has one (default)
+  kGeneric,  // always the runtime-dispatched reference path
+};
+
 struct CacheGeometry {
   std::size_t size_bytes = 0;
   std::size_t ways = 0;
@@ -54,6 +69,9 @@ struct MachineSpec {
 
   // Number of LLC ways DDIO may allocate into (Intel default: 2 of 20).
   std::size_t ddio_ways = 2;
+
+  // Probe/fill implementation selection; see HierarchyKernelMode above.
+  HierarchyKernelMode kernel_mode = HierarchyKernelMode::kAuto;
 
   std::shared_ptr<const Interconnect> interconnect;
 };

@@ -224,6 +224,46 @@ TEST_P(HotPathAllocationProbe, SteadyStateBatchedStormPerformsZeroAllocations) {
   EXPECT_GT(hierarchy.stats().dirty_writebacks, llc_lines);
 }
 
+// Specialized-kernel probe (docs/architecture.md §13): the storms above run
+// whatever kernel_mode selects by default; this one pins the claim to the
+// fused HierarchyKernel path specifically — asserts a specialized kernel is
+// actually engaged (unless the tree was built CACHEDIR_GENERIC_ONLY, where
+// the generic path carries the same guarantee) and that batched eviction
+// storms through it stay allocation-free on BOTH inclusion modes of the
+// same machine, not just each preset's native one.
+TEST(SpecializedKernelAllocationProbe, BatchedEvictionStormBothInclusionModes) {
+  for (const LlcInclusionPolicy inclusion :
+       {LlcInclusionPolicy::kInclusive, LlcInclusionPolicy::kVictim}) {
+    MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+    spec.inclusion = inclusion;
+    MemoryHierarchy hierarchy(spec, HaswellSliceHash(), /*seed=*/7);
+#ifndef CACHEDIR_GENERIC_ONLY
+    ASSERT_TRUE(hierarchy.uses_specialized_kernel())
+        << "Haswell XOR hash + LRU is inside the kernel matrix for both inclusion modes";
+#endif
+
+    const std::size_t llc_lines =
+        spec.num_slices * spec.llc_slice.num_sets() * spec.llc_slice.ways;
+    const std::size_t ring_lines = llc_lines * 4;
+    const PhysAddr ring = 1u << 30;
+    const PhysAddr counters = 1u << 28;
+    constexpr std::size_t kCounterLines = 64;
+
+    Rng rng(23);
+    BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+    BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+
+    const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+    BatchStormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+    const std::uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "fused kernel batch paths must not allocate (" << hierarchy.kernel_name() << ")";
+    EXPECT_GT(hierarchy.stats().llc_misses, llc_lines);
+    EXPECT_GT(hierarchy.stats().dma_line_writes, ring_lines * 2);
+  }
+}
+
 // The whole NFV dataplane in steady state: once the runtime, pools, NIC
 // rings, simulated pages and the (pre-reserved) latency recorder are warm,
 // pushing another full wire block through Deliver / burst drain / chain /

@@ -1,0 +1,358 @@
+// Specialized-kernel equivalence property (docs/architecture.md §13): a
+// MemoryHierarchy running a compile-time specialized HierarchyKernel
+// (kernel_mode == kAuto) must stay bit-identical — per-line AccessResults,
+// batch aggregates, DMA cycle totals, HierarchyStats and per-slice CBo
+// counters — to one running the generic runtime-dispatched reference path
+// (kernel_mode == kGeneric) under identical traffic. Every cell of the
+// instantiation matrix the presets can reach is exercised: three machine
+// presets (Haswell XOR hash, Skylake XOR+LUT, Sandy Bridge XOR) × three
+// replacement policies × both inclusion modes, plus a modulo-hash
+// configuration and the kVirtual fallback (an unrecognised SliceHash
+// subclass must select no kernel and still behave).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/hash/slice_hash.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+namespace {
+
+// Shrunken LLC (as in batch_equivalence_test): eviction and
+// back-invalidation chains start after a few thousand lines.
+MachineSpec WithSmallLlc(MachineSpec spec) {
+  spec.llc_slice.size_bytes = 128 * spec.llc_slice.ways * kCacheLineSize;  // 128 sets
+  return spec;
+}
+
+constexpr std::size_t kMaxBatchLines = 64;
+
+struct KernelCase {
+  MachineSpec (*preset)();
+  std::shared_ptr<const SliceHash> (*hash)();
+  ReplacementKind replacement;
+  LlcInclusionPolicy inclusion;
+  const char* label;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  return info.param.label;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    const KernelCase& c = GetParam();
+    spec_ = WithSmallLlc(c.preset());
+    spec_.replacement = c.replacement;
+    spec_.inclusion = c.inclusion;
+    hash_ = c.hash();
+
+    MachineSpec generic = spec_;
+    generic.kernel_mode = HierarchyKernelMode::kGeneric;
+    reference_ = std::make_unique<MemoryHierarchy>(generic, hash_, /*seed=*/23);
+
+    spec_.kernel_mode = HierarchyKernelMode::kAuto;
+    subject_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+
+    ASSERT_FALSE(reference_->uses_specialized_kernel());
+#ifndef CACHEDIR_GENERIC_ONLY
+    // Every preset × policy combination in this suite is inside the
+    // instantiation matrix, so kAuto must land on a specialized kernel
+    // (unless the whole tree was built with CACHEDIR_GENERIC_ONLY).
+    ASSERT_TRUE(subject_->uses_specialized_kernel())
+        << "no kernel selected for " << GetParam().label;
+#endif
+  }
+
+  void ExpectConverged() {
+    ASSERT_EQ(reference_->stats(), subject_->stats());
+    for (SliceId s = 0; s < spec_.num_slices; ++s) {
+      ASSERT_EQ(reference_->llc().cbo().events(s), subject_->llc().cbo().events(s))
+          << "CBo counters diverged on slice " << s;
+    }
+  }
+
+  void RunScalar(CoreId core, PhysAddr addr, bool is_write) {
+    const AccessResult ref =
+        is_write ? reference_->Write(core, addr) : reference_->Read(core, addr);
+    const AccessResult sub = is_write ? subject_->Write(core, addr) : subject_->Read(core, addr);
+    ASSERT_EQ(ref, sub);
+  }
+
+  // Identical batch on both; per-line results and aggregates must agree.
+  void RunBatch(CoreId core, const AccessBatch& proto, bool is_write) {
+    std::array<AccessResult, kMaxBatchLines> ref_lines{};
+    std::array<AccessResult, kMaxBatchLines> sub_lines{};
+    AccessBatch ref_batch = proto;
+    ref_batch.per_line = ref_lines;
+    AccessBatch sub_batch = proto;
+    sub_batch.per_line = sub_lines;
+
+    const BatchResult ref = is_write ? reference_->WriteRange(core, ref_batch)
+                                     : reference_->ReadRange(core, ref_batch);
+    const BatchResult sub =
+        is_write ? subject_->WriteRange(core, sub_batch) : subject_->ReadRange(core, sub_batch);
+    ASSERT_EQ(ref, sub);
+    for (std::size_t i = 0; i < ref.lines && i < kMaxBatchLines; ++i) {
+      ASSERT_EQ(ref_lines[i], sub_lines[i]) << "per-line result " << i << " diverged";
+    }
+  }
+
+  void RunDmaRange(PhysAddr addr, std::size_t bytes, bool is_write) {
+    const Cycles ref =
+        is_write ? reference_->DmaWriteRange(addr, bytes) : reference_->DmaReadRange(addr, bytes);
+    const Cycles sub =
+        is_write ? subject_->DmaWriteRange(addr, bytes) : subject_->DmaReadRange(addr, bytes);
+    ASSERT_EQ(ref, sub);
+  }
+
+  // The slice-precomputed overloads (the NIC's per-mbuf LUT path) route
+  // through their own kernel entry points; cover them with a correct LUT.
+  void RunDmaRangeLut(PhysAddr addr, std::size_t bytes, bool is_write) {
+    const PhysAddr first = LineBase(addr);
+    const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+    lut_.clear();
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+      lut_.push_back(reference_->llc().SliceOf(line));
+    }
+    const Cycles ref = is_write ? reference_->DmaWriteRange(addr, bytes, lut_)
+                                : reference_->DmaReadRange(addr, bytes, lut_);
+    const Cycles sub = is_write ? subject_->DmaWriteRange(addr, bytes, lut_)
+                                : subject_->DmaReadRange(addr, bytes, lut_);
+    ASSERT_EQ(ref, sub);
+  }
+
+  void RunDmaLine(PhysAddr addr, bool is_write) {
+    const Cycles ref = is_write ? reference_->DmaWriteLine(addr) : reference_->DmaReadLine(addr);
+    const Cycles sub = is_write ? subject_->DmaWriteLine(addr) : subject_->DmaReadLine(addr);
+    ASSERT_EQ(ref, sub);
+  }
+
+  MachineSpec spec_;
+  std::shared_ptr<const SliceHash> hash_;
+  std::unique_ptr<MemoryHierarchy> reference_;
+  std::unique_ptr<MemoryHierarchy> subject_;
+  std::vector<SliceId> lut_;
+};
+
+TEST_P(KernelEquivalenceTest, RandomizedMixedStreamsStayBitIdentical) {
+  Rng rng(987);
+  const std::size_t cores = spec_.num_cores;
+  const std::size_t llc_lines =
+      spec_.num_slices * spec_.llc_slice.num_sets() * spec_.llc_slice.ways;
+  const PhysAddr ring = PhysAddr{1} << 30;
+  const std::size_t ring_bytes = llc_lines * 4 * kCacheLineSize;
+  const PhysAddr heap = PhysAddr{1} << 28;
+  const std::size_t heap_bytes = llc_lines * 2 * kCacheLineSize;
+
+  std::vector<PhysAddr> gather;
+  gather.reserve(kMaxBatchLines);
+  for (int step = 0; step < 2000; ++step) {
+    const CoreId core = static_cast<CoreId>(rng.UniformIndex(cores));
+    switch (rng.UniformIndex(8)) {
+      case 0: {  // scalar read/write
+        RunScalar(core, heap + rng.UniformIndex(heap_bytes), rng.Bernoulli(0.4));
+        break;
+      }
+      case 1: {  // contiguous range, packet-sized
+        AccessBatch batch;
+        batch.addr = heap + rng.UniformIndex(heap_bytes);
+        batch.bytes = rng.UniformIndex(1536);
+        RunBatch(core, batch, rng.Bernoulli(0.5));
+        break;
+      }
+      case 2: {  // scattered gather with duplicates
+        gather.clear();
+        const std::size_t n = 1 + rng.UniformIndex(32);
+        for (std::size_t i = 0; i < n; ++i) {
+          gather.push_back(heap + rng.UniformIndex(heap_bytes));
+        }
+        AccessBatch batch;
+        batch.gather = gather;
+        RunBatch(core, batch, rng.Bernoulli(0.5));
+        break;
+      }
+      case 3: {  // NIC RX: DMA write, hashing overload
+        RunDmaRange(ring + rng.UniformIndex(ring_bytes), 64 + rng.UniformIndex(1472),
+                    /*is_write=*/true);
+        break;
+      }
+      case 4: {  // NIC TX: DMA read, hashing overload
+        RunDmaRange(ring + rng.UniformIndex(ring_bytes), 64 + rng.UniformIndex(1472),
+                    /*is_write=*/false);
+        break;
+      }
+      case 5: {  // precomputed-slice DMA overloads
+        RunDmaRangeLut(ring + rng.UniformIndex(ring_bytes), 64 + rng.UniformIndex(1472),
+                       rng.Bernoulli(0.5));
+        break;
+      }
+      case 6: {  // single-line DMA
+        RunDmaLine(ring + rng.UniformIndex(ring_bytes), rng.Bernoulli(0.5));
+        break;
+      }
+      case 7: {  // flush a line on both
+        const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+        reference_->FlushLine(addr);
+        subject_->FlushLine(addr);
+        break;
+      }
+      default:
+        break;
+    }
+    if ((step & 255) == 255) {
+      ExpectConverged();
+    }
+  }
+  ExpectConverged();
+}
+
+// The L2 next-line prefetcher ablation runs through the kernels' prefetch
+// path; keep it equivalent too.
+TEST_P(KernelEquivalenceTest, PrefetcherAblationStaysBitIdentical) {
+  MachineSpec spec = spec_;
+  spec.l2_next_line_prefetch = true;
+  MachineSpec generic = spec;
+  generic.kernel_mode = HierarchyKernelMode::kGeneric;
+  MemoryHierarchy ref(generic, hash_, /*seed=*/5);
+  MemoryHierarchy sub(spec, hash_, /*seed=*/5);
+
+  Rng rng(31);
+  const PhysAddr heap = PhysAddr{1} << 27;
+  for (int step = 0; step < 3000; ++step) {
+    const auto core = static_cast<CoreId>(rng.UniformIndex(spec.num_cores));
+    const PhysAddr addr = heap + rng.UniformIndex(1 << 22);
+    const bool is_write = rng.Bernoulli(0.3);
+    const AccessResult r = is_write ? ref.Write(core, addr) : ref.Read(core, addr);
+    const AccessResult s = is_write ? sub.Write(core, addr) : sub.Read(core, addr);
+    ASSERT_EQ(r, s);
+  }
+  ASSERT_EQ(ref.stats(), sub.stats());
+}
+
+constexpr KernelCase kCases[] = {
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, "HaswellXorLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     "HaswellXorLruVictim"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kInclusive, "HaswellXorPlruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kVictim, "HaswellXorPlruVictim"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kInclusive, "HaswellXorRandomInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kVictim, "HaswellXorRandomVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, "SkylakeLutLruInclusive"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     "SkylakeLutLruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kInclusive, "SkylakeLutPlruInclusive"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kVictim, "SkylakeLutPlruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kInclusive, "SkylakeLutRandomInclusive"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kVictim, "SkylakeLutRandomVictim"},
+    {&SandyBridgeXeonQuad, &SandyBridgeSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, "SandyBridgeXorLruInclusive"},
+    {&SandyBridgeXeonQuad, &SandyBridgeSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kVictim, "SandyBridgeXorPlruVictim"},
+    {&SandyBridgeXeonQuad, &SandyBridgeSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kInclusive, "SandyBridgeXorRandomInclusive"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Matrix, KernelEquivalenceTest, ::testing::ValuesIn(kCases), CaseName);
+
+// The modulo hash (idealised baseline) keys its own kernel column.
+std::shared_ptr<const SliceHash> HaswellModuloHash() {
+  return std::make_shared<ModuloSliceHash>(8);
+}
+
+constexpr KernelCase kModuloCases[] = {
+    {&HaswellXeonE52667V3, &HaswellModuloHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, "HaswellModuloLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellModuloHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kVictim, "HaswellModuloPlruVictim"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Modulo, KernelEquivalenceTest, ::testing::ValuesIn(kModuloCases),
+                         CaseName);
+
+// An unrecognised SliceHash subclass seals as kVirtual: outside the matrix,
+// so kAuto must fall back to the generic path — and still simulate.
+class OpaqueHash final : public SliceHash {
+ public:
+  explicit OpaqueHash(std::size_t slices) : slices_(slices) {}
+  std::size_t num_slices() const override { return slices_; }
+  SliceId SliceFor(PhysAddr addr) const override {
+    return static_cast<SliceId>(((addr >> kCacheLineBits) ^ (addr >> 17)) % slices_);
+  }
+
+ private:
+  std::size_t slices_;
+};
+
+TEST(KernelFallbackTest, UnrecognisedHashRunsGenericPath) {
+  MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+  auto hash = std::make_shared<OpaqueHash>(spec.num_slices);
+  MemoryHierarchy h(spec, hash, /*seed=*/3);
+  EXPECT_FALSE(h.uses_specialized_kernel());
+  EXPECT_STREQ(h.kernel_name(), "generic");
+  // Still simulates: drive some traffic through every entry-point family.
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const PhysAddr addr = (PhysAddr{1} << 28) + rng.UniformIndex(1 << 22);
+    h.Read(0, addr);
+    h.Write(1, addr + 64);
+    h.ReadRange(0, addr, 256);
+    h.DmaWriteRange(addr, 512);
+    h.DmaReadRange(addr, 512);
+  }
+  EXPECT_GT(h.stats().l1_hits + h.stats().l1_misses, 0u);
+}
+
+TEST(KernelSelectionTest, PresetsSelectTheExpectedKernel) {
+#ifdef CACHEDIR_GENERIC_ONLY
+  GTEST_SKIP() << "specialized kernels compiled out";
+#endif
+  {
+    MemoryHierarchy h(HaswellXeonE52667V3(), HaswellSliceHash());
+    EXPECT_TRUE(h.uses_specialized_kernel());
+    EXPECT_STREQ(h.kernel_name(), "xor+lru+inclusive");
+  }
+  {
+    MemoryHierarchy h(SkylakeXeonGold6134(), SkylakeSliceHash());
+    EXPECT_TRUE(h.uses_specialized_kernel());
+    EXPECT_STREQ(h.kernel_name(), "xorlut+lru+victim");
+  }
+  {
+    MachineSpec spec = SandyBridgeXeonQuad();
+    spec.replacement = ReplacementKind::kTreePlru;
+    MemoryHierarchy h(spec, SandyBridgeSliceHash());
+    EXPECT_TRUE(h.uses_specialized_kernel());
+    EXPECT_STREQ(h.kernel_name(), "xor+plru+inclusive");
+  }
+  {
+    MachineSpec spec = HaswellXeonE52667V3();
+    spec.kernel_mode = HierarchyKernelMode::kGeneric;
+    MemoryHierarchy h(spec, HaswellSliceHash());
+    EXPECT_FALSE(h.uses_specialized_kernel());
+    EXPECT_STREQ(h.kernel_name(), "generic");
+  }
+}
+
+}  // namespace
+}  // namespace cachedir

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Bit-identity diff of every deterministic bench stdout between two trees.
+#
+# The reproduced tables and figures are claims: any substrate change
+# (hierarchy, NIC, element costs, kernels) must leave every deterministic
+# bench stdout byte-identical, or EXPERIMENTS.md has to be re-verified.
+# PRs 3-5 re-derived this check by hand; this script automates it:
+#
+#   tools/bench_stdout_diff.sh <baseline-tree-or-git-rev> [<subject-tree>]
+#
+# * baseline: either a directory holding a source tree (e.g. a scratch
+#   `git archive` export) or a git rev, which is exported to
+#   .stdout_diff/baseline-tree first.
+# * subject: a source tree; defaults to the repository root (your working
+#   tree, including uncommitted changes).
+#
+# Both trees are configured + built Release into <tree>-build under
+# .stdout_diff/, every bench binary is run with stdout captured (stderr —
+# host timing — discarded), EXCEPT micro_benchmarks, whose stdout is host
+# timing by design. Exits nonzero on the first stdout mismatch, printing the
+# diff. All scratch state lives in .stdout_diff/ (gitignored).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+scratch="${repo_root}/.stdout_diff"
+jobs="${JOBS:-$(nproc)}"
+
+if [[ $# -lt 1 || $# -gt 2 ]]; then
+  echo "usage: $0 <baseline-tree-or-git-rev> [<subject-tree>]" >&2
+  exit 2
+fi
+
+baseline_arg="$1"
+subject_tree="${2:-${repo_root}}"
+
+mkdir -p "${scratch}"
+
+# Resolve the baseline: an existing directory wins; otherwise treat the
+# argument as a git rev and export it.
+if [[ -d "${baseline_arg}" ]]; then
+  baseline_tree="$(cd "${baseline_arg}" && pwd)"
+else
+  if ! git -C "${repo_root}" rev-parse --verify --quiet "${baseline_arg}^{commit}" >/dev/null; then
+    echo "error: '${baseline_arg}' is neither a directory nor a git rev" >&2
+    exit 2
+  fi
+  baseline_tree="${scratch}/baseline-tree"
+  rm -rf "${baseline_tree}"
+  mkdir -p "${baseline_tree}"
+  git -C "${repo_root}" archive "${baseline_arg}" | tar -x -C "${baseline_tree}"
+  echo "exported ${baseline_arg} -> ${baseline_tree}"
+fi
+
+build_tree() {
+  local src="$1" build="$2"
+  cmake -S "${src}" -B "${build}" -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${build}" --target bench/all -- -j "${jobs}" >/dev/null
+}
+
+run_benches() {
+  local build="$1" out="$2"
+  mkdir -p "${out}"
+  local b name
+  for b in "${build}"/bench/*; do
+    [[ -f "${b}" && -x "${b}" ]] || continue
+    name="$(basename "${b}")"
+    # micro_benchmarks prints host-side timings: not deterministic by design.
+    [[ "${name}" == "micro_benchmarks" ]] && continue
+    echo "  running ${name}"
+    "${b}" >"${out}/${name}.stdout" 2>/dev/null
+  done
+}
+
+echo "building baseline (${baseline_tree})"
+build_tree "${baseline_tree}" "${scratch}/baseline-build"
+echo "building subject (${subject_tree})"
+build_tree "${subject_tree}" "${scratch}/subject-build"
+
+echo "running baseline benches"
+run_benches "${scratch}/baseline-build" "${scratch}/baseline-stdout"
+echo "running subject benches"
+run_benches "${scratch}/subject-build" "${scratch}/subject-stdout"
+
+status=0
+for ref in "${scratch}"/baseline-stdout/*.stdout; do
+  name="$(basename "${ref}")"
+  sub="${scratch}/subject-stdout/${name}"
+  if [[ ! -f "${sub}" ]]; then
+    echo "MISSING: subject did not produce ${name}" >&2
+    status=1
+    continue
+  fi
+  if ! diff -u "${ref}" "${sub}" >"${scratch}/${name}.diff" 2>&1; then
+    echo "MISMATCH: ${name} (diff in .stdout_diff/${name}.diff)" >&2
+    sed -n '1,40p' "${scratch}/${name}.diff" >&2
+    status=1
+  else
+    rm -f "${scratch}/${name}.diff"
+    echo "  identical: ${name}"
+  fi
+done
+
+# Benches only the subject has are new tables, not mismatches — report them.
+for sub in "${scratch}"/subject-stdout/*.stdout; do
+  name="$(basename "${sub}")"
+  [[ -f "${scratch}/baseline-stdout/${name}" ]] || echo "NEW (subject only): ${name}"
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "bench stdout diff: FAILED — at least one bench diverged" >&2
+else
+  echo "bench stdout diff: all deterministic bench stdouts byte-identical"
+fi
+exit ${status}

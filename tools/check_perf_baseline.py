@@ -8,18 +8,25 @@ JSON tagged with its "bench" name:
   * sim_throughput_bench  -> {"bench": "sim_throughput", "machine", "configs"}
     where each config carries accesses_per_sec (higher is better);
   * fig13_forwarding_100g --json=... -> {"bench": "fig13_forwarding_100g",
-    "machine", "host_seconds"} (lower is better).
+    "machine", "host_seconds"} (lower is better);
+  * fig8_kvs_tps --json=... and fig14_service_chain_100g --json=... follow
+    the same host_seconds shape.
 
 Each --fresh file is matched to its baseline section by the "bench" field and
 compared against that section's most recent history entry, with a generous
 tolerance: host-side numbers are noisy across runners, so the check is
-REPORT-ONLY by default (always exits 0) and only enforces with --enforce
-(e.g. on a quiet, dedicated perf machine).
+REPORT-ONLY by default (always exits 0). Two escalation flags:
+
+  * --enforce: exit nonzero on regression and emit the GitHub Actions
+    ::warning:: annotation (for a quiet, dedicated perf machine in CI);
+  * --strict: exit nonzero on regression with a plain error line and no CI
+    annotation — for local pre-commit runs on the same host that produced
+    the baseline point. CI stays report-only.
 
 Usage:
   tools/check_perf_baseline.py --baseline BENCH_simcore.json \
       --fresh /tmp/perf_fresh.json --fresh /tmp/fig13_fresh.json \
-      [--tolerance 0.30] [--enforce]
+      [--tolerance 0.30] [--enforce | --strict]
 """
 
 import argparse
@@ -82,7 +89,12 @@ def main():
     parser.add_argument(
         "--enforce",
         action="store_true",
-        help="exit nonzero on regression (default: report-only)",
+        help="exit nonzero on regression, with CI annotation (default: report-only)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on regression, plain error output for local pre-commit use",
     )
     args = parser.parse_args()
 
@@ -117,6 +129,9 @@ def main():
             regressed = True
 
     if regressed:
+        if args.strict:
+            print(f"ERROR: perf bench below baseline - tolerance {args.tolerance:.0%}")
+            return 1
         # GitHub Actions annotation; harmless noise elsewhere.
         print(f"::warning::perf bench below baseline - tolerance "
               f"{args.tolerance:.0%}; see perf-smoke job log")
