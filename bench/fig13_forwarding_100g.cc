@@ -61,6 +61,7 @@ void Run(const char* json_path) {
                "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
                "\"build\": \"%s\"},\n"
                "  \"host_seconds\": %.6f\n}\n",
+               // Host metadata sidecar only, not simulated output. detlint: allow(nondet-env)
                std::thread::hardware_concurrency(), __VERSION__,
 #ifdef NDEBUG
                "release",

@@ -151,6 +151,7 @@ void Run(const char* json_path, const std::vector<std::size_t>& configs) {
                  "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
                  "\"build\": \"%s\"},\n"
                  "  \"configs\": [\n",
+                 // Host metadata sidecar only, not simulated output. detlint: allow(nondet-env)
                  std::thread::hardware_concurrency(), __VERSION__,
 #ifdef NDEBUG
                  "release"

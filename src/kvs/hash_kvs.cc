@@ -101,7 +101,7 @@ HashKvs::OpResult HashKvs::Set(CoreId core, std::uint64_t key,
   std::uint64_t slot = 0;
   const PhysAddr bucket_pa = BucketPa(probe.bucket);
   if (probe.found) {
-    // Re-reads a bucket line Probe() already charged. detlint: allow(physmem-bypass)
+    // Re-reads a bucket line Probe() already charged.
     slot = memory_.ReadU64(bucket_pa + 8) - 1;  // overwrite in place
   } else {
     if (next_slot_ >= config_.max_values) {
@@ -144,7 +144,7 @@ HashKvs::OpResult HashKvs::Get(CoreId core, std::uint64_t key, std::span<std::ui
   if (!probe.found) {
     return result;
   }
-  // Re-reads a bucket line Probe() already charged. detlint: allow(physmem-bypass)
+  // Re-reads a bucket line Probe() already charged.
   const std::uint64_t slot = memory_.ReadU64(BucketPa(probe.bucket) + 8) - 1;
   // Copy out of the backing store line by line, then charge the touched
   // value lines through the hierarchy as one gather batch.
@@ -156,7 +156,7 @@ HashKvs::OpResult HashKvs::Get(CoreId core, std::uint64_t key, std::span<std::ui
         std::min({kCacheLineSize, config_.value_bytes - i * kCacheLineSize,
                   out.size() - read});
     value_lines[num_lines] = ValueSlotPa(slot, i * kCacheLineSize);
-    // Charged by the ReadRange gather below. detlint: allow(physmem-bypass)
+    // Charged by the ReadRange gather below.
     memory_.Read(value_lines[num_lines], out.subspan(read, line_bytes));
     ++num_lines;
     read += line_bytes;

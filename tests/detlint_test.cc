@@ -1,9 +1,13 @@
-// Golden tests for tools/detlint: each bad-snippet fixture must trip exactly
-// its rule, the escape-hatch fixture must be clean, and the real tree must
-// scan clean — that last assertion is the tripwire every future PR lands on.
+// Golden tests for tools/detlint v2: every rule must fire on its positive
+// fixture, stay silent on its negative, and honor the allow escape hatch;
+// strict mode must enforce annotation hygiene; SARIF/baseline/self-time
+// plumbing must work; and the real tree must scan clean under --strict —
+// that last assertion is the tripwire every future PR lands on.
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -26,7 +30,7 @@ struct RunResult {
   std::string output;
 };
 
-// Runs detlint with `args`, capturing stdout (findings go to stdout).
+// Runs detlint with `args`, capturing stdout+stderr (findings go to stdout).
 RunResult RunDetlint(const std::string& args) {
   const std::string cmd = std::string(DETLINT_BIN) + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
@@ -59,57 +63,165 @@ std::size_t CountRule(const std::string& output, const std::string& rule) {
   return count;
 }
 
-TEST(DetlintFixtures, WallClockSnippetTripsWallClockRule) {
-  const RunResult r = RunDetlint(Fixture("bad_wallclock.cc"));
-  EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_EQ(CountRule(r.output, "wall-clock"), 3u) << r.output;
-  EXPECT_EQ(CountRule(r.output, "global-rng"), 0u) << r.output;
+struct RuleCase {
+  const char* dir;   // fixture directory under detlint_fixtures/
+  const char* rule;  // rule id the positive must fire
+  std::size_t positive_count;
+};
+
+const RuleCase kRuleCases[] = {
+    {"wall_clock", "wall-clock", 4},
+    {"global_rng", "global-rng", 7},
+    {"unordered_iter", "unordered-iter", 5},
+    {"physmem_bypass/nfv", "physmem-bypass", 3},
+    {"uncosted_access/nfv", "uncosted-access", 2},
+    {"pointer_ordering", "pointer-ordering", 3},
+    {"float_merge_order", "float-merge-order", 2},
+    {"unseeded_stochastic", "unseeded-stochastic", 3},
+    {"nondet_env", "nondet-env", 4},
+};
+
+TEST(DetlintFixtures, EveryRuleFiresOnItsPositiveFixture) {
+  for (const RuleCase& c : kRuleCases) {
+    const RunResult r = RunDetlint(Fixture(std::string(c.dir) + "/positive.cc"));
+    EXPECT_EQ(r.exit_code, 1) << c.dir << ":\n" << r.output;
+    EXPECT_EQ(CountRule(r.output, c.rule), c.positive_count) << c.dir << ":\n" << r.output;
+    // The positive must trip only its own rule, so counts stay meaningful.
+    for (const RuleCase& other : kRuleCases) {
+      if (other.rule != std::string(c.rule)) {
+        EXPECT_EQ(CountRule(r.output, other.rule), 0u) << c.dir << ":\n" << r.output;
+      }
+    }
+  }
 }
 
-TEST(DetlintFixtures, GlobalRngSnippetTripsGlobalRngRule) {
-  const RunResult r = RunDetlint(Fixture("bad_global_rng.cc"));
-  EXPECT_EQ(r.exit_code, 1) << r.output;
-  // srand, rand, random_device, two unseeded engines.
-  EXPECT_EQ(CountRule(r.output, "global-rng"), 5u) << r.output;
-  EXPECT_EQ(CountRule(r.output, "wall-clock"), 0u) << r.output;
+TEST(DetlintFixtures, EveryRuleStaysSilentOnItsNegativeFixture) {
+  for (const RuleCase& c : kRuleCases) {
+    const RunResult r = RunDetlint(Fixture(std::string(c.dir) + "/negative.cc"));
+    EXPECT_EQ(r.exit_code, 0) << c.dir << ":\n" << r.output;
+    EXPECT_EQ(r.output, "") << c.dir << ":\n" << r.output;
+  }
 }
 
-TEST(DetlintFixtures, UnorderedIterSnippetTripsUnorderedIterRule) {
-  const RunResult r = RunDetlint(Fixture("bad_unordered_iter.cc"));
-  EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_EQ(CountRule(r.output, "unordered-iter"), 2u) << r.output;
+TEST(DetlintFixtures, EveryRuleHonorsTheAllowEscapeHatch) {
+  for (const RuleCase& c : kRuleCases) {
+    const RunResult r = RunDetlint(Fixture(std::string(c.dir) + "/allowed.cc"));
+    EXPECT_EQ(r.exit_code, 0) << c.dir << ":\n" << r.output;
+    // The annotations carry rationale and suppress real findings, so they
+    // are also hygienic under --strict.
+    const RunResult strict = RunDetlint("--strict " + Fixture(std::string(c.dir) + "/allowed.cc"));
+    EXPECT_EQ(strict.exit_code, 0) << c.dir << ":\n" << strict.output;
+  }
 }
 
-TEST(DetlintFixtures, PhysmemBypassSnippetTripsPhysmemRuleInModelPath) {
-  const RunResult r = RunDetlint(Fixture("nfv/bad_physmem_bypass.cc"));
+TEST(DetlintFixtures, MemberContainerTypedInHeaderIsFlaggedAcrossFiles) {
+  const RunResult r = RunDetlint(Fixture("unordered_iter/cross_header"));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_EQ(CountRule(r.output, "physmem-bypass"), 2u) << r.output;
+  EXPECT_EQ(CountRule(r.output, "unordered-iter"), 1u) << r.output;
+  EXPECT_NE(r.output.find("positive.cc"), std::string::npos) << r.output;
 }
 
-TEST(DetlintFixtures, EscapeHatchSuppressesEveryRule) {
-  const RunResult r = RunDetlint(Fixture("allowed_escapes.cc"));
+TEST(DetlintFixtures, AllowTagInsideStringLiteralSuppressesNothing) {
+  const std::string path = ::testing::TempDir() + "detlint_string_allow.cc";
+  {
+    std::ofstream out(path);
+    out << "#include <chrono>\n"
+        << "const char* kTag = \"detlint: allow(wall-clock)\";\n"
+        << "auto Nope() { return std::chrono::steady_clock::now(); }\n";
+  }
+  const RunResult r = RunDetlint(path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(CountRule(r.output, "wall-clock"), 1u) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(DetlintStrict, BareAllowIsCleanNormallyButFlaggedStrict) {
+  const std::string f = Fixture("strict/missing_why.cc");
+  EXPECT_EQ(RunDetlint(f).exit_code, 0);
+  const RunResult strict = RunDetlint("--strict " + f);
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_EQ(CountRule(strict.output, "allow-missing-why"), 1u) << strict.output;
+}
+
+TEST(DetlintStrict, UnknownRuleNameIsFlaggedStrict) {
+  const std::string f = Fixture("strict/unknown_rule.cc");
+  EXPECT_EQ(RunDetlint(f).exit_code, 0);
+  const RunResult strict = RunDetlint("--strict " + f);
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_EQ(CountRule(strict.output, "allow-unknown-rule"), 1u) << strict.output;
+}
+
+TEST(DetlintStrict, StaleAllowIsFlaggedStrict) {
+  const std::string f = Fixture("strict/unused_allow.cc");
+  EXPECT_EQ(RunDetlint(f).exit_code, 0);
+  const RunResult strict = RunDetlint("--strict " + f);
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_EQ(CountRule(strict.output, "allow-unused"), 1u) << strict.output;
+}
+
+TEST(DetlintSarif, FindingsAreMirroredIntoTheSarifFile) {
+  const std::string sarif = ::testing::TempDir() + "detlint_out.sarif";
+  const RunResult r =
+      RunDetlint("--sarif=" + sarif + " " + Fixture("wall_clock/positive.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::ifstream in(sarif);
+  ASSERT_TRUE(in) << "SARIF file not written";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ruleId\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(json.find("positive.cc"), std::string::npos);
+  std::remove(sarif.c_str());
+}
+
+TEST(DetlintBaseline, SavedReportSuppressesKnownFindings) {
+  const RunResult first = RunDetlint(Fixture("global_rng/positive.cc"));
+  ASSERT_EQ(first.exit_code, 1) << first.output;
+  const std::string baseline = ::testing::TempDir() + "detlint_baseline.txt";
+  {
+    std::ofstream out(baseline);
+    out << first.output;
+  }
+  const RunResult second =
+      RunDetlint("--baseline=" + baseline + " " + Fixture("global_rng/positive.cc"));
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+  std::remove(baseline.c_str());
+}
+
+TEST(DetlintSelfTime, GenerousBudgetPassesAndReports) {
+  const RunResult r = RunDetlint("--self-time-budget-ms=60000 --root " +
+                                 std::string(DETLINT_REPO_ROOT));
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_EQ(r.output, "") << r.output;
+  EXPECT_NE(r.output.find("scanned"), std::string::npos) << r.output;
 }
 
-TEST(DetlintFixtures, WholeFixtureDirectoryAggregatesFindings) {
-  const RunResult r = RunDetlint(std::string(DETLINT_FIXTURES));
-  EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_GE(CountRule(r.output, "wall-clock"), 3u) << r.output;
-  EXPECT_GE(CountRule(r.output, "global-rng"), 5u) << r.output;
-  EXPECT_GE(CountRule(r.output, "unordered-iter"), 2u) << r.output;
-  EXPECT_GE(CountRule(r.output, "physmem-bypass"), 2u) << r.output;
+TEST(DetlintSelfTime, ZeroBudgetFailsWithExitThree) {
+  const RunResult r =
+      RunDetlint("--self-time-budget-ms=0 --root " + std::string(DETLINT_REPO_ROOT));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
 }
 
-TEST(DetlintTree, RepositoryScansClean) {
-  const RunResult r = RunDetlint("--root " + std::string(DETLINT_REPO_ROOT));
+TEST(DetlintTree, RepositoryScansCleanUnderStrict) {
+  const RunResult r = RunDetlint("--strict --root " + std::string(DETLINT_REPO_ROOT));
   EXPECT_EQ(r.exit_code, 0) << "determinism lint findings in the tree:\n" << r.output;
 }
 
-TEST(DetlintCli, ListRulesNamesAllFour) {
+TEST(DetlintTree, DetlintScansItsOwnSourcesCleanUnderStrict) {
+  const std::string tools = std::string(DETLINT_REPO_ROOT) + "/tools/";
+  const RunResult r = RunDetlint("--strict " + tools + "detlint.cc " + tools +
+                                 "detlint_lexer.h " + tools + "detlint_lexer.cc " + tools +
+                                 "detlint_rules.h " + tools + "detlint_rules.cc");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(DetlintCli, ListRulesNamesAllRulesAndMetaRules) {
   const RunResult r = RunDetlint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* rule : {"wall-clock", "global-rng", "physmem-bypass", "unordered-iter"}) {
+  for (const char* rule :
+       {"wall-clock", "global-rng", "unordered-iter", "physmem-bypass", "uncosted-access",
+        "pointer-ordering", "float-merge-order", "unseeded-stochastic", "nondet-env",
+        "allow-unknown-rule", "allow-missing-why", "allow-unused"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
 }
@@ -117,6 +229,7 @@ TEST(DetlintCli, ListRulesNamesAllFour) {
 TEST(DetlintCli, BadUsageExitsTwo) {
   EXPECT_EQ(RunDetlint("").exit_code, 2);
   EXPECT_EQ(RunDetlint("/nonexistent/path/nowhere.cc").exit_code, 2);
+  EXPECT_EQ(RunDetlint("--no-such-flag --root .").exit_code, 2);
 }
 
 }  // namespace

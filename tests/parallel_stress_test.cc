@@ -29,6 +29,8 @@ namespace {
 class ScopedThreadEnv {
  public:
   explicit ScopedThreadEnv(const char* value) {
+    // Saves/restores the harness knob this scope itself overrides; worker
+    // count never reaches a simulated quantity. detlint: allow(nondet-env)
     const char* old = std::getenv("CACHEDIR_BENCH_THREADS");
     had_old_ = old != nullptr;
     if (had_old_) {

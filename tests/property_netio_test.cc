@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "src/hash/presets.h"
 #include "src/netio/nic.h"
@@ -35,6 +36,9 @@ TEST_P(MempoolModelCheck, AllocFreeNeverDuplicatesOrLeaks) {
   const std::size_t capacity = 64 + GetParam() * 37;
   Mempool pool(env.backing, capacity, env.director);
   std::unordered_set<Mbuf*> outstanding;
+  // Free order is drawn from the seeded rng (not hash-table iteration order,
+  // which depends on pointer values) so reruns replay the same schedule.
+  std::vector<Mbuf*> order;
   Rng rng(GetParam());
   for (int step = 0; step < 20000; ++step) {
     if (rng.Bernoulli(0.55)) {
@@ -44,10 +48,14 @@ TEST_P(MempoolModelCheck, AllocFreeNeverDuplicatesOrLeaks) {
       } else {
         ASSERT_NE(m, nullptr);
         ASSERT_TRUE(outstanding.insert(m).second) << "double allocation";
+        order.push_back(m);
       }
     } else if (!outstanding.empty()) {
-      Mbuf* m = *outstanding.begin();
-      outstanding.erase(outstanding.begin());
+      const std::size_t victim = rng.UniformIndex(order.size());
+      Mbuf* m = order[victim];
+      order[victim] = order.back();
+      order.pop_back();
+      outstanding.erase(m);
       pool.Free(m);
     }
     ASSERT_EQ(pool.available(), capacity - outstanding.size());
@@ -59,6 +67,8 @@ TEST_P(MempoolModelCheck, SortedPoolSetSameInvariants) {
   const std::size_t capacity = 64 + GetParam() * 37;
   SortedMempoolSet pools(env.backing, capacity, HaswellSliceHash(), env.placement);
   std::unordered_set<Mbuf*> outstanding;
+  // Seeded-rng free order, as above: reruns must replay the same schedule.
+  std::vector<Mbuf*> order;
   Rng rng(100 + GetParam());
   for (int step = 0; step < 20000; ++step) {
     if (rng.Bernoulli(0.55)) {
@@ -68,10 +78,14 @@ TEST_P(MempoolModelCheck, SortedPoolSetSameInvariants) {
       } else {
         ASSERT_NE(m, nullptr);
         ASSERT_TRUE(outstanding.insert(m).second);
+        order.push_back(m);
       }
     } else if (!outstanding.empty()) {
-      Mbuf* m = *outstanding.begin();
-      outstanding.erase(outstanding.begin());
+      const std::size_t victim = rng.UniformIndex(order.size());
+      Mbuf* m = order[victim];
+      order[victim] = order.back();
+      order.pop_back();
+      outstanding.erase(m);
       pools.Free(m);
     }
   }

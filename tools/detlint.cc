@@ -1,246 +1,123 @@
-// detlint — determinism lint for the simulator tree.
+// detlint v2 — determinism lint for the simulator tree.
 //
-// The house invariants (CLAUDE.md) say: no wall-clock, no global RNG, and
-// every simulated access costed through MemoryHierarchy. This tool turns
-// those conventions into machine-checked properties. It is a file-scope
-// regex/token analysis — deliberately dependency-free (no libclang), fast
-// enough to run on every CI push, and conservative: string literals and
-// comments are stripped before matching, so mentioning "rand()" in a doc
-// comment is not a finding.
-//
-// Rules
-//   wall-clock      host-time reads (std::chrono::{system,steady,high_
-//                   resolution}_clock, time(), clock(), clock_gettime,
-//                   gettimeofday) anywhere but the whitelisted host-timing
-//                   shim in bench/common.{h,cc}.
-//   global-rng      rand()/srand(), std::random_device, and mt19937 engines
-//                   constructed without a seed, anywhere but the seeded-Rng
-//                   shim src/sim/rng.h.
-//   unordered-iter  range-for over a std::unordered_{map,set,multimap,
-//                   multiset} variable declared in the same file: iteration
-//                   order is unspecified, so any output or merge produced
-//                   from it is not reproducible.
-//   physmem-bypass  PhysicalMemory reads/writes in application-model code
-//                   (src/nfv/, src/kvs/) with no MemoryHierarchy access
-//                   nearby: the experiment silently under-costs.
-//
-// Escape hatch: a deliberate exception carries
-//     // detlint: allow(<rule>)
-// on the same line or the line directly above. Setup-time writes that
-// intentionally bypass cycle accounting are the canonical use.
+// The house invariants (CLAUDE.md, docs/architecture.md §5) say: no
+// wall-clock, no global RNG state, and every application-model access
+// costed through MemoryHierarchy. v2 turns those conventions into
+// machine-checked properties over a real token stream (tools/detlint_lexer)
+// with per-file declaration tables and a per-function symbol-flow pass
+// (tools/detlint_rules) — deliberately dependency-free (no libclang), and
+// fast enough (<~2 host-seconds for the whole tree) to run on every push.
 //
 // Usage
-//   detlint --root <repo>              scan src/ bench/ tests/ tools/
-//   detlint <file-or-dir>...           scan explicit paths (fixture mode)
-//   detlint --list-rules               print rule names and exit
+//   detlint --root <repo>          scan src/ bench/ tests/ tools/
+//   detlint <file-or-dir>...       scan explicit paths (fixture mode)
+//   detlint --list-rules           print rule ids + summaries and exit
 //
-// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+// Options
+//   --strict                   also enforce allow-annotation hygiene: every
+//                              `// detlint: allow(<rule>)` must name a known
+//                              rule, carry rationale text on its comment,
+//                              and actually suppress a finding.
+//   --sarif=<path>             additionally write findings as SARIF 2.1.0
+//                              (GitHub code-scanning annotations).
+//   --baseline=<path>          suppress findings already present in a saved
+//                              text report (matched by file+rule+excerpt,
+//                              line numbers ignored so code may move).
+//   --self-time-budget-ms=<n>  fail (exit 3) if the scan itself takes more
+//                              than n host-milliseconds — the lint must stay
+//                              cheap enough to run on every push.
+//
+// Escape hatch: a deliberate exception carries
+//     // why this is sound. detlint: allow(<rule>)
+// on the same line or the line directly above. Annotations are read from
+// comment text only — the tag in a string literal suppresses nothing.
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error, 3 = over the
+// self-time budget.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "tools/detlint_lexer.h"
+#include "tools/detlint_rules.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string excerpt;
+using detlint::AllowSite;
+using detlint::DeclTable;
+using detlint::Finding;
+using detlint::RuleInfo;
+using detlint::SourceFile;
+
+// Host-side self-timing for the --self-time-budget-ms gate. Report-only
+// plumbing in a host tool, mirroring the HostTimer shim convention in
+// bench/common: it can never feed back into a simulated quantity.
+std::int64_t NowHostMs() {
+  // See above: the scan-budget gate needs real host time. detlint: allow(wall-clock)
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+}
+
+struct Options {
+  std::string root;
+  std::vector<std::string> paths;
+  bool strict = false;
+  bool list_rules = false;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::int64_t self_time_budget_ms = -1;
 };
 
-struct Rule {
-  const char* name;
-  std::regex pattern;
-  // Substrings of the (generic, '/'-separated) path that exempt a file.
-  std::vector<std::string> whitelist;
-  // If non-empty, the rule only applies to paths containing one of these.
-  std::vector<std::string> only_in;
-};
-
-// The one place host time may be read (report-only timing shim) and the one
-// place a raw engine may live (the seeded Rng wrapper).
-const std::vector<Rule>& Rules() {
-  static const std::vector<Rule> rules = {
-      {"wall-clock",
-       std::regex(R"(std::chrono::(system_clock|steady_clock|high_resolution_clock))"
-                  R"(|\bclock_gettime\b|\bgettimeofday\b|\btime\s*\(|\bclock\s*\()"),
-       {"bench/common.h", "bench/common.cc"},
-       {}},
-      {"global-rng",
-       std::regex(R"(\brand\s*\(|\bsrand\s*\(|\brandom_device\b)"
-                  R"(|\bmt19937(_64)?\s+\w+\s*(;|\{\s*\}|=\s*\{\s*\}))"
-                  R"(|\bmt19937(_64)?\s*(\(\s*\)|\{\s*\}))"),
-       {"src/sim/rng.h"},
-       {}},
-      {"physmem-bypass",
-       std::regex(R"(\bmemory_?\.\s*(Read|Write)(U8|U32|U64)?\s*\()"),
-       {},
-       {"/nfv/", "/kvs/"}},
-  };
-  return rules;
+bool ParseArgs(const std::vector<std::string>& args, Options* opt) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--list-rules") {
+      opt->list_rules = true;
+    } else if (a == "--strict") {
+      opt->strict = true;
+    } else if (a == "--root") {
+      if (i + 1 >= args.size()) {
+        return false;
+      }
+      opt->root = args[++i];
+    } else if (a.rfind("--root=", 0) == 0) {
+      opt->root = a.substr(7);
+    } else if (a.rfind("--sarif=", 0) == 0) {
+      opt->sarif_path = a.substr(8);
+    } else if (a.rfind("--baseline=", 0) == 0) {
+      opt->baseline_path = a.substr(11);
+    } else if (a.rfind("--self-time-budget-ms=", 0) == 0) {
+      try {
+        opt->self_time_budget_ms = std::stoll(a.substr(22));
+      } catch (...) {
+        return false;
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      opt->paths.push_back(a);
+    }
+  }
+  return true;
 }
 
-constexpr const char* kUnorderedIterRule = "unordered-iter";
-
-// How far (in lines) a MemoryHierarchy access may sit from a PhysicalMemory
-// access before the latter counts as bypassing cycle accounting.
-constexpr std::size_t kHierarchyWindow = 6;
-
-bool PathContains(const std::string& generic, const std::vector<std::string>& needles) {
-  for (const std::string& n : needles) {
-    if (generic.find(n) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Replaces comments and string/char literals with spaces, preserving line
-// structure. `in_block` carries /* ... */ state across lines.
-std::string StripCommentsAndStrings(const std::string& line, bool& in_block) {
-  std::string out(line.size(), ' ');
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-      break;  // rest of line is a comment
-    }
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out[i] = quote;
-      for (++i; i < line.size(); ++i) {
-        if (line[i] == '\\') {
-          ++i;
-        } else if (line[i] == quote) {
-          out[i] = quote;
-          break;
-        }
-      }
-      continue;
-    }
-    out[i] = c;
-  }
-  return out;
-}
-
-bool AllowedBy(const std::string& raw_line, const std::string& prev_raw_line,
-               const std::string& rule) {
-  const std::string tag = "detlint: allow(" + rule + ")";
-  return raw_line.find(tag) != std::string::npos || prev_raw_line.find(tag) != std::string::npos;
-}
-
-std::string Trimmed(const std::string& s) {
-  const std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) {
-    return "";
-  }
-  const std::size_t e = s.find_last_not_of(" \t");
-  std::string t = s.substr(b, e - b + 1);
-  if (t.size() > 90) {
-    t.resize(90);
-  }
-  return t;
-}
-
-void ScanFile(const fs::path& path, const std::string& generic, std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "detlint: cannot read %s\n", generic.c_str());
-    return;
-  }
-  std::vector<std::string> raw;
-  for (std::string line; std::getline(in, line);) {
-    raw.push_back(std::move(line));
-  }
-  std::vector<std::string> code(raw.size());
-  bool in_block = false;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    code[i] = StripCommentsAndStrings(raw[i], in_block);
-  }
-
-  // Pattern rules.
-  for (const Rule& rule : Rules()) {
-    if (!rule.only_in.empty() && !PathContains(generic, rule.only_in)) {
-      continue;
-    }
-    if (PathContains(generic, rule.whitelist)) {
-      continue;
-    }
-    const bool is_physmem = std::string(rule.name) == "physmem-bypass";
-    static const std::regex hierarchy_use(R"(\bhierarchy_?\.\s*\w+\s*\()");
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      if (!std::regex_search(code[i], rule.pattern)) {
-        continue;
-      }
-      if (is_physmem) {
-        // A PhysicalMemory access is fine when the surrounding lines charge
-        // cycles through the hierarchy; only uncosted accesses are findings.
-        bool costed = false;
-        const std::size_t lo = i >= kHierarchyWindow ? i - kHierarchyWindow : 0;
-        const std::size_t hi = std::min(code.size() - 1, i + kHierarchyWindow);
-        for (std::size_t j = lo; j <= hi && !costed; ++j) {
-          costed = std::regex_search(code[j], hierarchy_use);
-        }
-        if (costed) {
-          continue;
-        }
-      }
-      if (AllowedBy(raw[i], i > 0 ? raw[i - 1] : "", rule.name)) {
-        continue;
-      }
-      findings.push_back({generic, i + 1, rule.name, Trimmed(raw[i])});
-    }
-  }
-
-  // unordered-iter: two passes — collect unordered container variable names,
-  // then flag range-for statements over them.
-  static const std::regex unordered_decl(
-      R"(\bunordered_(map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*(;|=|\{))");
-  static const std::regex range_for(R"(\bfor\s*\([^;:)]*:\s*(\w+)\s*\))");
-  std::vector<std::string> unordered_names;
-  for (const std::string& line : code) {
-    for (std::sregex_iterator it(line.begin(), line.end(), unordered_decl), end; it != end; ++it) {
-      unordered_names.push_back((*it)[2].str());
-    }
-  }
-  if (!unordered_names.empty()) {
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      std::smatch m;
-      if (!std::regex_search(code[i], m, range_for)) {
-        continue;
-      }
-      const std::string var = m[1].str();
-      bool is_unordered = false;
-      for (const std::string& name : unordered_names) {
-        if (name == var) {
-          is_unordered = true;
-          break;
-        }
-      }
-      if (!is_unordered || AllowedBy(raw[i], i > 0 ? raw[i - 1] : "", kUnorderedIterRule)) {
-        continue;
-      }
-      findings.push_back({generic, i + 1, kUnorderedIterRule, Trimmed(raw[i])});
-    }
-  }
+int Usage() {
+  std::fprintf(stderr,
+               "usage: detlint [--strict] [--sarif=<path>] [--baseline=<path>]\n"
+               "               [--self-time-budget-ms=<n>]\n"
+               "               (--root <repo-root> | <file-or-dir>...)\n"
+               "       detlint --list-rules\n");
+  return 2;
 }
 
 bool IsSourceFile(const fs::path& p) {
@@ -248,86 +125,369 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".cc" || ext == ".h";
 }
 
-void ScanTree(const fs::path& root, std::vector<Finding>& findings) {
-  std::vector<fs::path> files;
+void CollectTree(const fs::path& root, bool skip_fixtures, std::vector<fs::path>* files) {
   for (auto it = fs::recursive_directory_iterator(root); it != fs::recursive_directory_iterator();
        ++it) {
-    if (it->is_directory() && it->path().filename() == "detlint_fixtures") {
+    if (skip_fixtures && it->is_directory() && it->path().filename() == "detlint_fixtures") {
       it.disable_recursion_pending();  // known-bad snippets are not tree code
       continue;
     }
     if (it->is_regular_file() && IsSourceFile(it->path())) {
-      files.push_back(it->path());
+      files->push_back(it->path());
     }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& f : files) {
-    ScanFile(f, f.generic_string(), findings);
   }
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: detlint --root <repo-root> | detlint <file-or-dir>... | "
-               "detlint --list-rules\n");
-  return 2;
+std::string CanonicalKey(const fs::path& p) {
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(p, ec);
+  return (ec ? p : canon).generic_string();
 }
+
+// Loads a saved text report; findings matching (file, rule, excerpt) are
+// suppressed so a tree can adopt stricter rules incrementally. Line numbers
+// are ignored on purpose: surrounding code may move.
+std::set<std::string> LoadBaseline(const std::string& path, bool* ok) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  for (std::string line; std::getline(in, line);) {
+    const std::size_t lb = line.find(": [");
+    if (lb == std::string::npos) {
+      continue;
+    }
+    const std::size_t rb = line.find("] ", lb);
+    if (rb == std::string::npos) {
+      continue;
+    }
+    const std::size_t colon = line.rfind(':', lb - 1);
+    const std::string file =
+        colon == std::string::npos ? line.substr(0, lb) : line.substr(0, colon);
+    const std::string rule = line.substr(lb + 3, rb - lb - 3);
+    const std::string excerpt = line.substr(rb + 2);
+    keys.insert(file + "\x1f" + rule + "\x1f" + excerpt);
+  }
+  return keys;
+}
+
+std::string BaselineKey(const Finding& f) {
+  return f.file + "\x1f" + f.rule + "\x1f" + f.excerpt;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xFF);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteSarif(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+         "sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"detlint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": \"docs/architecture.md\",\n"
+      << "          \"rules\": [\n";
+  bool first = true;
+  auto emit_rule = [&](const RuleInfo& r) {
+    out << (first ? "" : ",\n") << "            {\"id\": \"" << r.id
+        << "\", \"shortDescription\": {\"text\": \"" << JsonEscape(r.summary) << "\"}}";
+    first = false;
+  };
+  for (const RuleInfo& r : detlint::Rules()) {
+    emit_rule(r);
+  }
+  for (const RuleInfo& r : detlint::MetaRules()) {
+    emit_rule(r);
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << f.rule << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(f.excerpt) << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n    }\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const Options& opt) : opt_(opt) {}
+
+  // Reads + lexes every file, builds declaration tables, resolves quoted
+  // includes, then analyzes each file against its merged table.
+  int Run() {
+    std::vector<fs::path> paths;
+    if (!GatherPaths(&paths)) {
+      return 2;
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    files_.reserve(paths.size());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p);
+      if (!in) {
+        std::fprintf(stderr, "detlint: cannot read %s\n", p.generic_string().c_str());
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      SourceFile sf;
+      detlint::Lex(buf.str(), p.generic_string(), &sf);
+      by_key_.emplace(CanonicalKey(p), files_.size());
+      dirs_.push_back(p.parent_path());
+      files_.push_back(std::move(sf));
+    }
+    tables_.reserve(files_.size());
+    for (const SourceFile& f : files_) {
+      tables_.push_back(detlint::BuildDeclTable(f));
+    }
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      AnalyzeOne(i);
+    }
+    return Finish();
+  }
+
+ private:
+  bool GatherPaths(std::vector<fs::path>* paths) {
+    if (!opt_.root.empty()) {
+      if (!fs::is_directory(opt_.root)) {
+        return false;
+      }
+      for (const char* dir : {"src", "bench", "tests", "tools"}) {
+        const fs::path sub = fs::path(opt_.root) / dir;
+        if (fs::is_directory(sub)) {
+          CollectTree(sub, /*skip_fixtures=*/true, paths);
+        }
+      }
+      return true;
+    }
+    if (opt_.paths.empty()) {
+      return false;
+    }
+    for (const std::string& arg : opt_.paths) {
+      const fs::path p(arg);
+      if (fs::is_directory(p)) {
+        // Explicitly-named directories are scanned as-is (fixture mode).
+        CollectTree(p, /*skip_fixtures=*/false, paths);
+      } else if (fs::is_regular_file(p)) {
+        paths->push_back(p);
+      } else {
+        std::fprintf(stderr, "detlint: no such path: %s\n", arg.c_str());
+        error_ = true;
+      }
+    }
+    return !paths->empty() || !error_;
+  }
+
+  // Declaration tables merge across #include "..." edges (depth-limited
+  // BFS) so members declared in a header are typed while scanning its .cc.
+  DeclTable MergedTableFor(std::size_t index) {
+    DeclTable merged = tables_[index];
+    std::set<std::size_t> seen{index};
+    std::vector<std::pair<std::size_t, int>> work{{index, 0}};
+    constexpr int kMaxDepth = 4;
+    while (!work.empty()) {
+      const auto [cur, depth] = work.back();
+      work.pop_back();
+      if (depth >= kMaxDepth) {
+        continue;
+      }
+      for (const std::string& inc : files_[cur].quoted_includes) {
+        for (const fs::path& base :
+             {opt_.root.empty() ? dirs_[cur] : fs::path(opt_.root), dirs_[cur]}) {
+          const auto it = by_key_.find(CanonicalKey(base / inc));
+          if (it == by_key_.end() || !seen.insert(it->second).second) {
+            continue;
+          }
+          merged.Merge(tables_[it->second]);
+          work.emplace_back(it->second, depth + 1);
+          break;
+        }
+      }
+    }
+    return merged;
+  }
+
+  void AnalyzeOne(std::size_t index) {
+    const SourceFile& f = files_[index];
+    std::vector<Finding> raw = detlint::AnalyzeFile(f, MergedTableFor(index));
+    std::vector<AllowSite> allows = detlint::CollectAllows(f);
+    for (Finding& finding : raw) {
+      // Same-line annotations take precedence over line-above ones so two
+      // adjacent annotated lines each consume their own allow.
+      AllowSite* match = nullptr;
+      for (AllowSite& a : allows) {
+        if (a.rule == finding.rule && a.line == finding.line) {
+          match = &a;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        for (AllowSite& a : allows) {
+          if (a.rule == finding.rule && a.line + 1 == finding.line) {
+            match = &a;
+            break;
+          }
+        }
+      }
+      if (match != nullptr) {
+        match->used = true;
+        continue;
+      }
+      if (!baseline_.empty() && baseline_.count(BaselineKey(finding)) != 0) {
+        continue;
+      }
+      findings_.push_back(std::move(finding));
+    }
+    if (!opt_.strict) {
+      return;
+    }
+    // Allow hygiene: annotations must name a real rule, say why, and pull
+    // their weight — a stale allow is a hole the next violation walks
+    // through unnoticed.
+    for (const AllowSite& a : allows) {
+      auto excerpt = [&](const std::string& detail) {
+        return "allow(" + a.rule + "): " + detail;
+      };
+      if (!a.known_rule) {
+        findings_.push_back({f.path, a.line, "allow-unknown-rule", excerpt("no such rule")});
+        continue;
+      }
+      if (!a.has_why) {
+        findings_.push_back(
+            {f.path, a.line, "allow-missing-why", excerpt("annotation carries no rationale")});
+      }
+      if (!a.used) {
+        findings_.push_back(
+            {f.path, a.line, "allow-unused", excerpt("suppresses nothing — stale annotation")});
+      }
+    }
+  }
+
+  int Finish() {
+    if (error_) {
+      return 2;
+    }
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      if (a.file != b.file) {
+        return a.file < b.file;
+      }
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    for (const Finding& f : findings_) {
+      std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.excerpt.c_str());
+    }
+    if (!opt_.sarif_path.empty() && !WriteSarif(opt_.sarif_path, findings_)) {
+      std::fprintf(stderr, "detlint: cannot write SARIF to %s\n", opt_.sarif_path.c_str());
+      return 2;
+    }
+    if (!findings_.empty()) {
+      std::printf("detlint: %zu finding(s)\n", findings_.size());
+      return 1;
+    }
+    return 0;
+  }
+
+ public:
+  bool LoadBaselineFile() {
+    if (opt_.baseline_path.empty()) {
+      return true;
+    }
+    bool ok = false;
+    baseline_ = LoadBaseline(opt_.baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "detlint: cannot read baseline %s\n", opt_.baseline_path.c_str());
+    }
+    return ok;
+  }
+
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  const Options& opt_;
+  std::vector<SourceFile> files_;
+  std::vector<fs::path> dirs_;
+  std::vector<DeclTable> tables_;
+  std::map<std::string, std::size_t> by_key_;
+  std::set<std::string> baseline_;
+  std::vector<Finding> findings_;
+  bool error_ = false;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
+  Options opt;
+  if (!ParseArgs(std::vector<std::string>(argv + 1, argv + argc), &opt)) {
     return Usage();
   }
-  std::vector<Finding> findings;
-  if (args[0] == "--list-rules") {
-    for (const Rule& rule : Rules()) {
-      std::printf("%s\n", rule.name);
+  if (opt.list_rules) {
+    for (const RuleInfo& r : detlint::Rules()) {
+      std::printf("%-20s %s\n", r.id, r.summary);
     }
-    std::printf("%s\n", kUnorderedIterRule);
+    for (const RuleInfo& r : detlint::MetaRules()) {
+      std::printf("%-20s (strict) %s\n", r.id, r.summary);
+    }
     return 0;
   }
-  if (args[0] == "--root") {
-    if (args.size() != 2 || !fs::is_directory(args[1])) {
-      return Usage();
-    }
-    for (const char* dir : {"src", "bench", "tests", "tools"}) {
-      const fs::path sub = fs::path(args[1]) / dir;
-      if (fs::is_directory(sub)) {
-        ScanTree(sub, findings);
-      }
-    }
-  } else {
-    for (const std::string& arg : args) {
-      const fs::path p(arg);
-      if (fs::is_directory(p)) {
-        // Explicitly-named directories are scanned as-is (fixture mode): the
-        // detlint_fixtures skip only applies when walking the real tree.
-        std::vector<fs::path> files;
-        for (const auto& entry : fs::recursive_directory_iterator(p)) {
-          if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-            files.push_back(entry.path());
-          }
-        }
-        std::sort(files.begin(), files.end());
-        for (const fs::path& f : files) {
-          ScanFile(f, f.generic_string(), findings);
-        }
-      } else if (fs::is_regular_file(p)) {
-        ScanFile(p, p.generic_string(), findings);
-      } else {
-        std::fprintf(stderr, "detlint: no such path: %s\n", arg.c_str());
-        return 2;
-      }
+  if (opt.root.empty() && opt.paths.empty()) {
+    return Usage();
+  }
+  const std::int64_t t0 = NowHostMs();
+  Scanner scanner(opt);
+  if (!scanner.LoadBaselineFile()) {
+    return 2;
+  }
+  const int rc = scanner.Run();
+  const std::int64_t elapsed = NowHostMs() - t0;
+  if (opt.self_time_budget_ms >= 0) {
+    std::printf("detlint: scanned %zu file(s) in %lld ms (budget %lld ms)\n", scanner.file_count(),
+                static_cast<long long>(elapsed), static_cast<long long>(opt.self_time_budget_ms));
+    if (elapsed > opt.self_time_budget_ms && rc == 0) {
+      std::fprintf(stderr, "detlint: self-time budget exceeded\n");
+      return 3;
     }
   }
-  for (const Finding& f : findings) {
-    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.excerpt.c_str());
-  }
-  if (!findings.empty()) {
-    std::printf("detlint: %zu finding(s)\n", findings.size());
-    return 1;
-  }
-  return 0;
+  return rc;
 }

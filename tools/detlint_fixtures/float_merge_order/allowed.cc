@@ -1,0 +1,15 @@
+// detlint fixture: a documented fixed-order merge behind the escape hatch —
+// zero findings.
+#include <cstddef>
+
+void ParallelFor(std::size_t lo, std::size_t hi, void (*fn)(std::size_t));
+double Kernel(std::size_t i);
+
+double Documented(std::size_t n) {
+  double total = 0.0;
+  ParallelFor(0, n, [&](std::size_t i) {
+    // Harness joins workers in index order, so the sum is fixed. detlint: allow(float-merge-order)
+    total += Kernel(i);
+  });
+  return total;
+}

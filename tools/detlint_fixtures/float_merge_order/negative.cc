@@ -1,0 +1,28 @@
+// detlint fixture: per-iteration FP locals, integer merges, and serial FP
+// reduction outside the parallel region — zero findings.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void ParallelFor(std::size_t lo, std::size_t hi, void (*fn)(std::size_t));
+double Weight(std::size_t i);
+
+double LocalAccumulate(std::size_t n) {
+  std::vector<double> per(n, 0.0);
+  ParallelFor(0, n, [&](std::size_t i) {
+    double local = 0.0;
+    local += Weight(i);
+    per[i] = local;
+  });
+  double total = 0.0;
+  for (const double v : per) {
+    total += v;
+  }
+  return total;
+}
+
+std::uint64_t IntMerge(std::size_t n) {
+  std::uint64_t hits = 0;
+  ParallelFor(0, n, [&](std::size_t i) { hits += i & 1; });
+  return hits;
+}

@@ -1,0 +1,19 @@
+// detlint fixture: FP accumulation into captured variables inside parallel
+// merge lambdas (2 findings).
+#include <cstddef>
+
+void ParallelFor(std::size_t lo, std::size_t hi, void (*fn)(std::size_t));
+void RunRepetitions(int reps, void (*fn)(int));
+double Sample(int rep);
+
+double MergeSum(std::size_t n) {
+  double total = 0.0;
+  ParallelFor(0, n, [&](std::size_t i) { total += static_cast<double>(i) * 0.5; });
+  return total;
+}
+
+double RepMean(int reps) {
+  double mean = 0.0;
+  RunRepetitions(reps, [&](int rep) { mean += Sample(rep); });
+  return mean;
+}

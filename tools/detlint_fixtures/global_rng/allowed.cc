@@ -1,0 +1,8 @@
+// detlint fixture: deliberate entropy behind the escape hatch — zero findings.
+#include <random>
+
+unsigned DeliberateEntropy() {
+  // Seeds the one-time corpus generator, not a simulation. detlint: allow(global-rng)
+  std::random_device rd;
+  return rd();
+}

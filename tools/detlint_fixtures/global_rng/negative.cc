@@ -1,0 +1,15 @@
+// detlint fixture: explicitly seeded engines — zero findings.
+#include <cstdint>
+#include <random>
+
+std::uint64_t Seeded(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+std::uint64_t SeededBraced(std::uint64_t seed) {
+  std::mt19937 gen{static_cast<std::uint32_t>(seed)};
+  return gen();
+}
+
+std::uint64_t PassedIn(std::mt19937_64& gen) { return gen(); }

@@ -1,0 +1,30 @@
+// detlint fixture: global or unseeded randomness (7 findings).
+#include <cstdlib>
+#include <random>
+
+int GlobalRand() {
+  std::srand(42);
+  return std::rand();
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned UnseededPlain() {
+  std::mt19937 gen;
+  return gen();
+}
+
+unsigned UnseededBraced() {
+  std::mt19937_64 gen{};
+  return static_cast<unsigned>(gen());
+}
+
+unsigned UnseededCopyInit() {
+  std::default_random_engine gen = {};
+  return static_cast<unsigned>(gen());
+}
+
+unsigned UnseededTemporary() { return static_cast<unsigned>(std::minstd_rand()()); }

@@ -1,0 +1,9 @@
+// detlint fixture: a harness knob read behind the escape hatch — zero
+// findings.
+#include <cstdlib>
+
+int WorkerOverride() {
+  // Harness sizing knob, never reaches a simulated quantity. detlint: allow(nondet-env)
+  const char* v = std::getenv("CACHEDIR_BENCH_THREADS");
+  return v != nullptr ? std::atoi(v) : 0;
+}

@@ -1,0 +1,13 @@
+// detlint fixture: configuration from explicit inputs and member calls that
+// shadow env names — zero findings.
+#include <string>
+
+struct Config {
+  int threads = 1;
+};
+struct Env {
+  std::string getenv(const std::string& key) const;
+};
+
+int ThreadsFromConfig(const Config& cfg) { return cfg.threads; }
+std::string Home(const Env& env) { return env.getenv("HOME"); }

@@ -1,0 +1,14 @@
+// detlint fixture: host-environment reads (4 findings).
+#include <cstdlib>
+#include <sched.h>
+#include <thread>
+
+unsigned HostShape() {
+  const char* path = std::getenv("PATH");
+  const auto tid = std::this_thread::get_id();
+  const int cpu = sched_getcpu();
+  const unsigned n = std::thread::hardware_concurrency();
+  (void)path;
+  (void)tid;
+  return n + static_cast<unsigned>(cpu);
+}

@@ -1,0 +1,17 @@
+// detlint fixture (model path): deliberate control-plane bypass behind the
+// escape hatch — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+struct PhysicalMemory {
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+
+struct TablePopulator {
+  PhysicalMemory& memory_;
+
+  void Install(PhysAddr pa, std::uint64_t entry) {
+    // Setup-phase population, datapath charges every lookup. detlint: allow(physmem-bypass)
+    memory_.WriteU64(pa, entry);
+  }
+};

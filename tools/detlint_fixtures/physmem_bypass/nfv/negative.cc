@@ -1,0 +1,22 @@
+// detlint fixture (model path): every backing-store touch sits in a function
+// that charges the same address through the hierarchy — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct Reader {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t CostedRead(CoreId core, PhysAddr pa) {
+    hierarchy_.Read(core, pa);
+    return memory_.ReadU64(pa);
+  }
+};

@@ -1,0 +1,21 @@
+// detlint fixture (model path): raw backing-store touches in functions that
+// never charge the hierarchy (3 findings).
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+void SwapMacAddresses(PhysicalMemory& memory, PhysAddr frame_pa);
+
+struct Scrubber {
+  PhysicalMemory& memory_;
+
+  std::uint64_t PeekCounter(PhysAddr pa) { return memory_.ReadU64(pa); }
+
+  void Touch(PhysAddr pa, std::uint64_t v) {
+    memory_.WriteU64(pa, v);
+    SwapMacAddresses(memory_, pa);
+  }
+};

@@ -1,0 +1,8 @@
+// detlint fixture: identity-only pointer map behind the escape hatch —
+// zero findings.
+#include <map>
+
+struct Mbuf;
+
+// Keyed by pointer for identity lookups only, never iterated. detlint: allow(pointer-ordering)
+std::map<Mbuf*, int> identity_map;

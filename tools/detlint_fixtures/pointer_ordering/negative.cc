@@ -1,0 +1,21 @@
+// detlint fixture: value-keyed containers and comparator-driven sorts —
+// zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Mbuf {
+  std::uint64_t stable_id = 0;
+};
+struct ByStableId {
+  bool operator()(const Mbuf* a, const Mbuf* b) const { return a->stable_id < b->stable_id; }
+};
+
+std::map<std::uint64_t, int> by_id;
+
+void SortById(std::vector<Mbuf*>& bufs) {
+  std::sort(bufs.begin(), bufs.end(), ByStableId{});
+}
+
+void SortValues(std::vector<int>& v) { std::sort(v.begin(), v.end()); }

@@ -1,0 +1,13 @@
+// detlint fixture: pointer-keyed ordered containers and an address-order
+// sort (3 findings).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Mbuf;
+
+std::map<Mbuf*, int> refcounts;
+std::set<const Mbuf*> seen;
+
+void SortByAddress(std::vector<Mbuf*>& bufs) { std::sort(bufs.begin(), bufs.end()); }

@@ -1,0 +1,6 @@
+// detlint strict fixture: the annotation names a rule that does not exist —
+// clean normally, one allow-unknown-rule under --strict.
+int Fine() {
+  // Historical tag from a fork of this tool. detlint: allow(totally-made-up)
+  return 7;
+}

@@ -1,0 +1,6 @@
+// detlint strict fixture: the annotation outlived the code it excused —
+// clean normally, one allow-unused under --strict.
+int AlsoFine() {
+  // Left behind after a refactor removed the clock read. detlint: allow(wall-clock)
+  return 9;
+}

@@ -1,0 +1,23 @@
+// detlint fixture (model path): a deliberately free shadow write behind the
+// escape hatch — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct Mirror {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  void Record(CoreId core, PhysAddr main_pa, PhysAddr shadow_pa) {
+    hierarchy_.Read(core, main_pa);
+    // Debug-only mirror of the counter, intentionally free. detlint: allow(uncosted-access)
+    memory_.WriteU64(shadow_pa, 1);
+  }
+};

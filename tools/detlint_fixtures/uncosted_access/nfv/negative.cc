@@ -1,0 +1,31 @@
+// detlint fixture (model path): addresses flow into a gather batch that the
+// hierarchy charges, so the raw reads are all costed — zero findings.
+#include <cstdint>
+#include <span>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+};
+struct AccessBatch {
+  std::span<const PhysAddr> gather;
+};
+struct MemoryHierarchy {
+  void ReadRange(CoreId core, const AccessBatch& batch);
+};
+
+struct Gather {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t Sum(CoreId core, PhysAddr base) {
+    PhysAddr lines[2];
+    lines[0] = base;
+    lines[1] = base + 64;
+    AccessBatch batch;
+    batch.gather = std::span<const PhysAddr>(lines, 2);
+    hierarchy_.ReadRange(core, batch);
+    return memory_.ReadU64(lines[0]) + memory_.ReadU64(lines[1]);
+  }
+};

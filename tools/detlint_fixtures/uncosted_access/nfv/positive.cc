@@ -1,0 +1,26 @@
+// detlint fixture (model path): the function charges the hierarchy, but two
+// touches use addresses that derive from no charged symbol (2 findings).
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct Router {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t Process(CoreId core, PhysAddr header_pa, PhysAddr side_pa) {
+    hierarchy_.Read(core, header_pa);
+    const std::uint64_t tag = memory_.ReadU64(header_pa);
+    const PhysAddr stash = side_pa + 8;
+    memory_.WriteU64(stash, tag);
+    return memory_.ReadU64(side_pa);
+  }
+};

@@ -1,0 +1,13 @@
+// detlint fixture: order-insensitive reduction behind the escape hatch —
+// zero findings.
+#include <unordered_map>
+
+int OrderInsensitiveSum() {
+  std::unordered_map<int, int> m = {{1, 2}, {3, 4}};
+  int sum = 0;
+  // Commutative sum, any traversal order gives one answer. detlint: allow(unordered-iter)
+  for (const auto& [k, v] : m) {
+    sum += k + v;
+  }
+  return sum;
+}

@@ -1,0 +1,16 @@
+// detlint fixture header: the container type lives here; the traversal that
+// must be flagged lives in positive.cc. Zero findings in this file itself.
+#ifndef DETLINT_FIXTURE_CROSS_HEADER_DECLS_H_
+#define DETLINT_FIXTURE_CROSS_HEADER_DECLS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+using FlowTable = std::unordered_map<std::uint32_t, std::uint64_t>;
+
+struct FlowState {
+  FlowTable flows_;
+  std::uint64_t epoch = 0;
+};
+
+#endif  // DETLINT_FIXTURE_CROSS_HEADER_DECLS_H_

@@ -1,0 +1,11 @@
+// detlint fixture: iterates a container whose unordered type is only visible
+// through the included header's alias (1 finding).
+#include <cstdio>
+
+#include "decls.h"
+
+void DumpFlows(const FlowState& state) {
+  for (const auto& [flow, packets] : state.flows_) {
+    std::printf("%u: %lu\n", flow, static_cast<unsigned long>(packets));
+  }
+}

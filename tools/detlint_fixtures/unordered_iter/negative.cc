@@ -1,0 +1,24 @@
+// detlint fixture: point lookups into unordered containers and ordered
+// traversal of *ordered* containers — zero findings.
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int Lookups() {
+  std::unordered_map<int, int> m = {{1, 2}};
+  int sum = m.count(1) != 0 ? m.at(1) : 0;
+  const auto it = m.find(1);
+  if (it != m.end()) {
+    sum += it->second;
+  }
+  std::map<int, int> ordered = {{1, 2}, {3, 4}};
+  for (const auto& [k, v] : ordered) {
+    sum += k + v;
+  }
+  std::vector<int> vec = {1, 2, 3};
+  for (const int v : vec) {
+    sum += v;
+  }
+  return sum;
+}

@@ -1,0 +1,34 @@
+// detlint fixture: ordered traversal of unordered containers, including a
+// member variable and algorithm forms (5 findings).
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <unordered_map>
+#include <unordered_set>
+
+void PrintAll(const std::unordered_map<int, int>& ignored) {
+  std::unordered_map<int, int> m = {{1, 2}, {3, 4}};
+  for (const auto& [k, v] : m) {
+    std::printf("%d=%d\n", k, v);
+  }
+  auto it = m.begin();
+  (void)it;
+  auto it2 = std::begin(m);
+  (void)it2;
+  std::ranges::for_each(m, [](const auto& kv) { std::printf("%d\n", kv.first); });
+  (void)ignored;
+}
+
+class FlowCounter {
+ public:
+  int Total() const {
+    int sum = 0;
+    for (const auto& [flow, count] : counts_) {
+      sum += count;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+};

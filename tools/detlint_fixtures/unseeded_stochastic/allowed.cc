@@ -1,0 +1,10 @@
+// detlint fixture: a host-only corpus shuffle behind the escape hatch —
+// zero findings.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void CorpusOrder(std::vector<int>& v, std::mt19937& gen) {
+  // One-time fixture ordering on the host path only. detlint: allow(unseeded-stochastic)
+  std::shuffle(v.begin(), v.end(), gen);
+}

@@ -1,0 +1,15 @@
+// detlint fixture: explicitly parameterized distributions and member-named
+// shuffles — zero findings.
+#include <random>
+
+struct Pool {
+  void shuffle(int rounds);
+};
+
+double Configured(std::mt19937& gen) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 2.5);
+  return unit(gen) + gauss(gen);
+}
+
+void MemberShuffle(Pool& pool) { pool.shuffle(3); }

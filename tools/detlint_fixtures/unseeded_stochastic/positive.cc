@@ -1,0 +1,15 @@
+// detlint fixture: std::shuffle and default-constructed distributions
+// (3 findings).
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void ShuffleDeck(std::vector<int>& deck, std::mt19937& gen) {
+  std::shuffle(deck.begin(), deck.end(), gen);
+}
+
+double DefaultDistributions(std::mt19937& gen) {
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<float> gauss{};
+  return unit(gen) + static_cast<double>(gauss(gen));
+}

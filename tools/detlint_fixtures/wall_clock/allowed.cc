@@ -1,0 +1,8 @@
+// detlint fixture: the violation carries the escape hatch — zero findings.
+#include <chrono>
+
+double SelfTimingShim() {
+  // Host-side tool self-timing, never a simulated input. detlint: allow(wall-clock)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

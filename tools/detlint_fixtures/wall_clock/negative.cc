@@ -1,0 +1,13 @@
+// detlint fixture: simulated time and member calls that merely *look* like
+// clock reads — zero findings.
+#include <cstdint>
+
+struct SimClock {
+  std::uint64_t cycles = 0;
+  std::uint64_t time(std::uint64_t scale) const { return cycles * scale; }
+};
+
+std::uint64_t SimSeconds(const SimClock& sim, std::uint64_t clock_hz) {
+  const std::uint64_t clock_speed = clock_hz;
+  return sim.time(1) / clock_speed;
+}

@@ -1,0 +1,12 @@
+// detlint fixture: every line below must trip wall-clock (4 findings).
+#include <chrono>
+#include <ctime>
+
+double HostSeconds() {
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::system_clock::now();
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const auto stamp = time(nullptr);
+  return std::chrono::duration<double>(b - a).count() + static_cast<double>(stamp + ts.tv_sec);
+}

@@ -1,0 +1,368 @@
+#include "tools/detlint_lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace detlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character operators, longest first so greedy matching is correct.
+const char* const kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "==",  "!=", "<=", ">=", "&&", "||", "<<", ">>",
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& content, SourceFile* out) : src_(content), out_(out) {}
+
+  void Run() {
+    SplitRawLines();
+    out_->comments.assign(out_->raw_lines.size() + 1, std::string());
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i_;
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        LexPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentOrRawString();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLit();
+        continue;
+      }
+      LexPunct();
+    }
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void SplitRawLines() {
+    std::string cur;
+    for (const char c : src_) {
+      if (c == '\n') {
+        out_->raw_lines.push_back(cur);
+        cur.clear();
+      } else if (c != '\r') {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) {
+      out_->raw_lines.push_back(cur);
+    }
+  }
+
+  void AppendComment(std::uint32_t line, const std::string& text) {
+    if (line == 0) {
+      return;
+    }
+    if (out_->comments.size() <= line) {
+      out_->comments.resize(line + 1);
+    }
+    std::string& slot = out_->comments[line];
+    if (!slot.empty()) {
+      slot.push_back(' ');
+    }
+    slot.append(text);
+  }
+
+  void Emit(TokKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.brace_depth = brace_depth_;
+    t.paren_depth = paren_depth_;
+    if (kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++brace_depth_;
+      } else if (t.text == "}") {
+        brace_depth_ = std::max(0, brace_depth_ - 1);
+        t.brace_depth = brace_depth_;
+      } else if (t.text == "(") {
+        ++paren_depth_;
+      } else if (t.text == ")") {
+        paren_depth_ = std::max(0, paren_depth_ - 1);
+        t.paren_depth = paren_depth_;
+      }
+    }
+    out_->tokens.push_back(std::move(t));
+  }
+
+  void LexLineComment() {
+    const std::size_t start = i_ + 2;
+    std::size_t end = src_.find('\n', start);
+    if (end == std::string::npos) {
+      end = src_.size();
+    }
+    AppendComment(line_, src_.substr(start, end - start));
+    i_ = end;  // leave '\n' for Run() to count
+  }
+
+  void LexBlockComment() {
+    i_ += 2;
+    std::string chunk;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && Peek(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      if (src_[i_] == '\n') {
+        AppendComment(line_, chunk);
+        chunk.clear();
+        ++line_;
+      } else {
+        chunk.push_back(src_[i_]);
+      }
+      ++i_;
+    }
+    AppendComment(line_, chunk);
+  }
+
+  // A preprocessor directive spans logical lines joined by trailing
+  // backslashes. The body is not tokenized (macro bodies are not tree code
+  // this lint can type), but #include "..." targets are recorded.
+  void LexPreprocessor() {
+    std::string directive;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        if (!directive.empty() && directive.back() == '\\') {
+          directive.pop_back();
+          directive.push_back(' ');
+          ++line_;
+          ++i_;
+          continue;
+        }
+        break;  // '\n' handled by Run()
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      directive.push_back(c);
+      ++i_;
+    }
+    const std::size_t inc = directive.find("include");
+    if (inc != std::string::npos) {
+      const std::size_t q0 = directive.find('"', inc);
+      if (q0 != std::string::npos) {
+        const std::size_t q1 = directive.find('"', q0 + 1);
+        if (q1 != std::string::npos) {
+          out_->quoted_includes.push_back(directive.substr(q0 + 1, q1 - q0 - 1));
+        }
+      }
+    }
+    at_line_start_ = false;
+  }
+
+  void LexIdentOrRawString() {
+    std::size_t j = i_;
+    while (j < src_.size() && IsIdentChar(src_[j])) {
+      ++j;
+    }
+    std::string word = src_.substr(i_, j - i_);
+    // Raw string literal: an encoding prefix ending in R directly followed
+    // by a quote, e.g. R"(...)", u8R"x(...)x".
+    if (j < src_.size() && src_[j] == '"' && !word.empty() && word.back() == 'R' &&
+        (word == "R" || word == "u8R" || word == "uR" || word == "UR" || word == "LR")) {
+      i_ = j;
+      LexRawString();
+      return;
+    }
+    i_ = j;
+    Emit(TokKind::kIdent, std::move(word));
+  }
+
+  void LexRawString() {
+    // At '"' of R"delim( ... )delim".
+    std::size_t j = i_ + 1;
+    std::string delim;
+    while (j < src_.size() && src_[j] != '(' && src_[j] != '\n' && delim.size() < 16) {
+      delim.push_back(src_[j]);
+      ++j;
+    }
+    Emit(TokKind::kString, "\"raw\"");
+    if (j >= src_.size() || src_[j] != '(') {
+      i_ = j;  // malformed; resume
+      return;
+    }
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, j + 1);
+    if (end == std::string::npos) {
+      line_ += static_cast<std::uint32_t>(std::count(src_.begin() + static_cast<std::ptrdiff_t>(j),
+                                                     src_.end(), '\n'));
+      i_ = src_.size();
+      return;
+    }
+    line_ += static_cast<std::uint32_t>(std::count(src_.begin() + static_cast<std::ptrdiff_t>(j),
+                                                   src_.begin() + static_cast<std::ptrdiff_t>(end),
+                                                   '\n'));
+    i_ = end + closer.size();
+  }
+
+  void LexNumber() {
+    std::size_t j = i_;
+    while (j < src_.size()) {
+      const char c = src_[j];
+      if (IsIdentChar(c) || c == '.') {
+        ++j;
+        continue;
+      }
+      if (c == '\'' && j > i_ && IsIdentChar(src_[j - 1]) && j + 1 < src_.size() &&
+          IsIdentChar(src_[j + 1])) {
+        ++j;  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && j > i_ &&
+          (src_[j - 1] == 'e' || src_[j - 1] == 'E' || src_[j - 1] == 'p' || src_[j - 1] == 'P')) {
+        ++j;  // exponent sign
+        continue;
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, src_.substr(i_, j - i_));
+    i_ = j;
+  }
+
+  void LexString() {
+    ++i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++i_;
+        break;
+      }
+      if (c == '\n') {
+        break;  // unterminated; don't swallow the rest of the file
+      }
+      ++i_;
+    }
+    Emit(TokKind::kString, "\"\"");
+  }
+
+  void LexCharLit() {
+    ++i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++i_;
+        break;
+      }
+      if (c == '\n') {
+        break;
+      }
+      ++i_;
+    }
+    Emit(TokKind::kCharLit, "''");
+  }
+
+  void LexPunct() {
+    for (const char* op : kOperators) {
+      const std::size_t len = std::string::traits_type::length(op);
+      if (src_.compare(i_, len, op) == 0) {
+        Emit(TokKind::kPunct, op);
+        i_ += len;
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[i_]));
+    ++i_;
+  }
+
+  const std::string& src_;
+  SourceFile* out_;
+  std::size_t i_ = 0;
+  std::uint32_t line_ = 1;
+  bool at_line_start_ = true;
+  std::int32_t brace_depth_ = 0;
+  std::int32_t paren_depth_ = 0;
+};
+
+}  // namespace
+
+void Lex(const std::string& content, const std::string& path, SourceFile* out) {
+  out->path = path;
+  out->raw_lines.clear();
+  out->comments.clear();
+  out->tokens.clear();
+  out->quoted_includes.clear();
+  Lexer(content, out).Run();
+}
+
+std::size_t MatchingClose(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokKind::kPunct) {
+    return tokens.size();
+  }
+  const std::string& o = tokens[open].text;
+  const char close = o == "(" ? ')' : o == "{" ? '}' : '\0';
+  if (close == '\0') {
+    return tokens.size();
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct || tokens[i].text.size() != 1) {
+      continue;
+    }
+    const char c = tokens[i].text[0];
+    if (c == o[0]) {
+      ++depth;
+    } else if (c == close) {
+      --depth;
+      if (depth == 0) {
+        return i;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace detlint

@@ -1,0 +1,66 @@
+// detlint v2 lexer — a dependency-free C++ tokenizer for the determinism
+// lint (docs/architecture.md §9). It is not a compiler front end: it
+// produces a flat token stream with enough structure (line numbers,
+// brace/paren nesting depth, per-line comment text, quoted-include targets)
+// for the rule engine in detlint_rules.cc to do declaration-table and
+// symbol-flow analysis without ever mistaking a string literal or a comment
+// for code.
+//
+// Handled faithfully: // and /* */ comments (multi-line), string literals
+// with escapes, raw string literals (R"delim(...)delim" with optional
+// encoding prefix), char literals, digit separators (1'000'000),
+// preprocessor directives (skipped as code, but #include "..." targets are
+// recorded and backslash continuations are honored), and multi-character
+// operators ("::", "->", "+=", ">>", ...) emitted as single punctuation
+// tokens.
+#ifndef CACHEDIRECTOR_TOOLS_DETLINT_LEXER_H_
+#define CACHEDIRECTOR_TOOLS_DETLINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers (integers, floats, with separators/suffixes)
+  kString,   // string literal (text not preserved)
+  kCharLit,  // character literal
+  kPunct,    // operators and punctuation, multi-char ops combined
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::uint32_t line = 0;  // 1-based source line
+  // Number of unclosed '{' / '(' enclosing this token. An opener and its
+  // matching closer both carry the *outer* depth, so everything strictly
+  // inside a pair sits one level deeper than the pair itself.
+  std::int32_t brace_depth = 0;
+  std::int32_t paren_depth = 0;
+};
+
+struct SourceFile {
+  std::string path;  // generic ('/'-separated) display path
+  std::vector<std::string> raw_lines;
+  // Per-line comment text (both // and /* */ chunks, concatenated). The
+  // `detlint: allow(<rule>)` escape hatch is only honored here — an allow
+  // tag inside a string literal or real code never suppresses anything.
+  std::vector<std::string> comments;
+  std::vector<Token> tokens;
+  // Targets of #include "..." directives, verbatim.
+  std::vector<std::string> quoted_includes;
+};
+
+// Lexes `content` (a whole file) into `out`. Never fails: malformed input
+// degrades to best-effort tokens, which is the right behavior for a lint.
+void Lex(const std::string& content, const std::string& path, SourceFile* out);
+
+// Index of the token closing the "(" or "{" at `open` (same bracket class,
+// balanced). Returns tokens.size() when unbalanced.
+std::size_t MatchingClose(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace detlint
+
+#endif  // CACHEDIRECTOR_TOOLS_DETLINT_LEXER_H_

@@ -1,0 +1,965 @@
+#include "tools/detlint_rules.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace detlint {
+namespace {
+
+// ---- rule registry ----------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"wall-clock",
+     "host time read outside the HostTimer shim (bench/common) — simulated results must never "
+     "depend on the host clock"},
+    {"global-rng",
+     "rand()/srand(), std::random_device, or an engine constructed without a seed outside "
+     "src/sim/rng.h"},
+    {"unordered-iter",
+     "ordered traversal (range-for, begin(), accumulate/copy) of a std::unordered_* container — "
+     "iteration order is unspecified"},
+    {"physmem-bypass",
+     "PhysicalMemory touch in application-model code whose enclosing function never charges "
+     "cycles through MemoryHierarchy"},
+    {"uncosted-access",
+     "PhysicalMemory touch whose address derives from no symbol the enclosing function charges "
+     "through MemoryHierarchy — the access is silently uncosted"},
+    {"pointer-ordering",
+     "pointer-keyed std::map/std::set or std::sort over raw pointers — address order varies "
+     "run to run"},
+    {"float-merge-order",
+     "floating-point compound accumulation into a captured variable inside a ParallelFor/"
+     "RunRepetitions argument — merge order must be fixed and documented"},
+    {"unseeded-stochastic",
+     "std::shuffle or a default-constructed distribution outside src/sim/rng.h — every "
+     "stochastic component takes an explicit seed"},
+    {"nondet-env",
+     "host-environment read (getenv, thread ids, sched_getcpu, hardware_concurrency) outside "
+     "bench/common — nondeterministic input to a deterministic tree"},
+};
+
+const std::vector<RuleInfo> kMetaRules = {
+    {"allow-unknown-rule", "detlint: allow(...) names a rule this detlint does not know"},
+    {"allow-missing-why", "detlint: allow(...) carries no rationale text on its comment"},
+    {"allow-unused", "detlint: allow(...) suppresses nothing — stale annotation"},
+};
+
+// Per-rule path scoping, substring-matched against the generic path.
+struct Scope {
+  std::vector<std::string> whitelist;  // exempt paths
+  std::vector<std::string> only_in;    // if non-empty, rule applies only here
+};
+
+const Scope& ScopeFor(const std::string& rule) {
+  static const std::map<std::string, Scope> scopes = {
+      {"wall-clock", {{"bench/common.h", "bench/common.cc"}, {}}},
+      {"global-rng", {{"src/sim/rng.h"}, {}}},
+      {"unseeded-stochastic", {{"src/sim/rng.h"}, {}}},
+      {"nondet-env", {{"bench/common.h", "bench/common.cc"}, {}}},
+      {"physmem-bypass", {{}, {"/nfv/", "/kvs/"}}},
+      {"uncosted-access", {{}, {"/nfv/", "/kvs/"}}},
+  };
+  static const Scope everywhere;
+  const auto it = scopes.find(rule);
+  return it == scopes.end() ? everywhere : it->second;
+}
+
+bool PathContains(const std::string& path, const std::vector<std::string>& needles) {
+  return std::any_of(needles.begin(), needles.end(), [&](const std::string& n) {
+    return path.find(n) != std::string::npos;
+  });
+}
+
+bool RuleAppliesTo(const std::string& rule, const std::string& path) {
+  const Scope& s = ScopeFor(rule);
+  if (!s.only_in.empty() && !PathContains(path, s.only_in)) {
+    return false;
+  }
+  return !PathContains(path, s.whitelist);
+}
+
+// ---- small token utilities --------------------------------------------------
+
+const std::set<std::string> kUnorderedTypes = {"unordered_map", "unordered_set",
+                                               "unordered_multimap", "unordered_multiset"};
+const std::set<std::string> kOrderedAssocTypes = {"map", "set", "multimap", "multiset"};
+const std::set<std::string> kEngines = {"mt19937",      "mt19937_64",   "default_random_engine",
+                                        "minstd_rand",  "minstd_rand0", "ranlux24",
+                                        "ranlux48",     "knuth_b"};
+const std::set<std::string> kClockNames = {"system_clock", "steady_clock",
+                                           "high_resolution_clock"};
+const std::set<std::string> kDistributions = {
+    "uniform_int_distribution",  "uniform_real_distribution", "normal_distribution",
+    "lognormal_distribution",    "exponential_distribution",  "poisson_distribution",
+    "bernoulli_distribution",    "geometric_distribution",    "binomial_distribution",
+    "discrete_distribution",     "cauchy_distribution",       "chi_squared_distribution",
+    "student_t_distribution",    "gamma_distribution",        "weibull_distribution",
+    "extreme_value_distribution"};
+const std::set<std::string> kIterAlgorithms = {"accumulate", "copy",      "copy_if",
+                                               "for_each",   "transform", "reduce"};
+const std::set<std::string> kDeclAnnotations = {"const", "noexcept", "override", "final",
+                                                "mutable"};
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+bool IsPunct(const Token& t, const char* s) { return t.kind == TokKind::kPunct && t.text == s; }
+bool IsMemberOp(const Token& t) {
+  return t.kind == TokKind::kPunct && (t.text == "." || t.text == "->");
+}
+
+// Index just past a balanced template argument list whose "<" is at `open`;
+// 0 on anything that does not look like one (comparison, unbalanced).
+std::size_t SkipAngles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 400);
+  for (std::size_t i = open; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) {
+      continue;
+    }
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) {
+        return i + 1;
+      }
+    } else if (t.text == ";" || t.text == "{" || t.text == ")") {
+      return 0;  // expression context, not a template argument list
+    }
+  }
+  return 0;
+}
+
+// Matching "[" for the "]" at `close`, searching backward.
+std::size_t MatchingOpenBracket(const std::vector<Token>& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (IsPunct(toks[i], "]")) {
+      ++depth;
+    } else if (IsPunct(toks[i], "[")) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return 0;
+}
+
+// ---- declaration table ------------------------------------------------------
+
+void RecordDecl(DeclTable* table, const std::string& name, DeclKind kind, std::uint32_t line) {
+  table->vars[name].push_back({kind, line});
+}
+
+// After a container type's closing ">", skips declarator decoration and
+// returns the declared name if the next tokens look like a variable,
+// member, or parameter declaration (not a function returning the type).
+std::string DeclaratorName(const std::vector<Token>& toks, std::size_t j) {
+  while (j < toks.size() &&
+         (IsPunct(toks[j], "&") || IsPunct(toks[j], "*") ||
+          (IsIdent(toks[j]) && toks[j].text == "const"))) {
+    ++j;
+  }
+  if (j + 1 >= toks.size() || !IsIdent(toks[j])) {
+    return "";
+  }
+  const std::string& next = toks[j + 1].text;
+  if (toks[j + 1].kind == TokKind::kPunct &&
+      (next == ";" || next == "=" || next == "{" || next == "," || next == ")" || next == "[")) {
+    return toks[j].text;
+  }
+  return "";
+}
+
+bool AngleArgsEndInPointer(const std::vector<Token>& toks, std::size_t open) {
+  // Whether the *last token of the first top-level template argument* is "*".
+  int depth = 0;
+  std::size_t last = 0;
+  const std::size_t limit = std::min(toks.size(), open + 400);
+  for (std::size_t i = open; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "<") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ">" || t.text == ">>") {
+        depth -= t.text == ">>" ? 2 : 1;
+        if (depth <= 0) {
+          break;
+        }
+        continue;
+      }
+      if (t.text == "," && depth == 1) {
+        break;
+      }
+    }
+    last = i;
+  }
+  return last != 0 && IsPunct(toks[last], "*");
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return kRules; }
+const std::vector<RuleInfo>& MetaRules() { return kMetaRules; }
+
+bool IsKnownRule(const std::string& id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+void DeclTable::Merge(const DeclTable& other) {
+  for (const auto& [name, entries] : other.vars) {
+    auto& dst = vars[name];
+    dst.insert(dst.end(), entries.begin(), entries.end());
+  }
+  for (const auto& [name, kind] : other.aliases) {
+    aliases.emplace(name, kind);
+  }
+}
+
+bool DeclTable::Has(const std::string& name, DeclKind kind) const {
+  const auto it = vars.find(name);
+  if (it == vars.end()) {
+    return false;
+  }
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const DeclEntry& e) { return e.kind == kind; });
+}
+
+DeclTable BuildDeclTable(const SourceFile& file) {
+  DeclTable table;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!IsIdent(t)) {
+      continue;
+    }
+    // `using Alias = std::unordered_map<...>;` (and vector<T*> aliases).
+    if (t.text == "using" && i + 2 < toks.size() && IsIdent(toks[i + 1]) &&
+        IsPunct(toks[i + 2], "=")) {
+      for (std::size_t j = i + 3; j < toks.size() && !IsPunct(toks[j], ";"); ++j) {
+        if (!IsIdent(toks[j])) {
+          continue;
+        }
+        if (kUnorderedTypes.count(toks[j].text) != 0) {
+          table.aliases.emplace(toks[i + 1].text, DeclKind::kUnordered);
+          break;
+        }
+        if (toks[j].text == "vector" && j + 1 < toks.size() && IsPunct(toks[j + 1], "<") &&
+            AngleArgsEndInPointer(toks, j + 1)) {
+          table.aliases.emplace(toks[i + 1].text, DeclKind::kPtrVector);
+          break;
+        }
+      }
+      continue;
+    }
+    if (i > 0 && IsMemberOp(toks[i - 1])) {
+      continue;  // member access, not a type use
+    }
+    // Container-typed declarations.
+    DeclKind kind;
+    bool is_container = false;
+    if (kUnorderedTypes.count(t.text) != 0) {
+      kind = DeclKind::kUnordered;
+      is_container = true;
+    } else if (t.text == "vector" && i + 1 < toks.size() && IsPunct(toks[i + 1], "<") &&
+               AngleArgsEndInPointer(toks, i + 1)) {
+      kind = DeclKind::kPtrVector;
+      is_container = true;
+    }
+    if (is_container) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && IsPunct(toks[j], "<")) {
+        j = SkipAngles(toks, j);
+        if (j == 0) {
+          continue;
+        }
+      }
+      const std::string name = DeclaratorName(toks, j);
+      if (!name.empty()) {
+        RecordDecl(&table, name, kind, t.line);
+      }
+      continue;
+    }
+    // float/double scalars and arrays (skip casts and function return types).
+    if (t.text == "float" || t.text == "double") {
+      if (i > 0 && (IsPunct(toks[i - 1], "<") || IsPunct(toks[i - 1], ","))) {
+        continue;  // template argument (static_cast<double>, vector<double>)
+      }
+      if (i > 0 && IsPunct(toks[i - 1], "(") && i + 1 < toks.size() && IsPunct(toks[i + 1], ")")) {
+        continue;  // C-style cast
+      }
+      std::size_t j = i + 1;
+      while (j + 1 < toks.size() && IsIdent(toks[j])) {
+        const std::string& name = toks[j].text;
+        const Token& after = toks[j + 1];
+        if (after.kind != TokKind::kPunct) {
+          break;
+        }
+        if (after.text == ";" || after.text == "=" || after.text == "," || after.text == "[" ||
+            after.text == "{" || after.text == ")") {
+          RecordDecl(&table, name, DeclKind::kFloat, t.line);
+        } else {
+          break;  // "(" — function declaration/call
+        }
+        // Chained declarators: `double a = 0, b = 0;` — resume after the
+        // next top-level comma, stop at ";".
+        std::size_t k = j + 1;
+        const std::int32_t depth = toks[j].paren_depth;
+        while (k < toks.size() && !IsPunct(toks[k], ";") &&
+               !(IsPunct(toks[k], ",") && toks[k].paren_depth == depth)) {
+          ++k;
+        }
+        if (k >= toks.size() || IsPunct(toks[k], ";") || !IsIdent(toks[k + 1])) {
+          break;
+        }
+        j = k + 1;
+      }
+      continue;
+    }
+  }
+  // Declarations through same-file aliases.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) || (i > 0 && IsMemberOp(toks[i - 1]))) {
+      continue;
+    }
+    const auto it = table.aliases.find(toks[i].text);
+    if (it == table.aliases.end()) {
+      continue;
+    }
+    const std::string name = DeclaratorName(toks, i + 1);
+    if (!name.empty()) {
+      RecordDecl(&table, name, it->second, toks[i].line);
+    }
+  }
+  return table;
+}
+
+// ---- allow annotations ------------------------------------------------------
+
+std::vector<AllowSite> CollectAllows(const SourceFile& file) {
+  std::vector<AllowSite> sites;
+  for (std::size_t line = 1; line < file.comments.size(); ++line) {
+    const std::string& text = file.comments[line];
+    std::string stripped = text;  // tag spans removed, for the why check
+    std::vector<std::string> rules;
+    const std::string marker = "detlint:";
+    for (std::size_t pos = text.find(marker); pos != std::string::npos;
+         pos = text.find(marker, pos + marker.size())) {
+      std::size_t p = pos + marker.size();
+      while (p < text.size() && text[p] == ' ') {
+        ++p;
+      }
+      const std::string kw = "allow(";
+      if (text.compare(p, kw.size(), kw) != 0) {
+        continue;
+      }
+      p += kw.size();
+      std::string rule;
+      while (p < text.size() &&
+             ((text[p] >= 'a' && text[p] <= 'z') || (text[p] >= '0' && text[p] <= '9') ||
+              text[p] == '-' || text[p] == '_')) {
+        rule.push_back(text[p]);
+        ++p;
+      }
+      if (p >= text.size() || text[p] != ')' || rule.empty()) {
+        continue;
+      }
+      rules.push_back(rule);
+      // Blank the tag in `stripped` so it doesn't count as rationale.
+      const std::size_t tag_len = (p + 1) - pos;
+      const std::size_t strip_at = stripped.find(text.substr(pos, tag_len));
+      if (strip_at != std::string::npos) {
+        stripped.replace(strip_at, tag_len, std::string(tag_len, ' '));
+      }
+    }
+    if (rules.empty()) {
+      continue;
+    }
+    std::size_t alpha = 0;
+    for (const char c : stripped) {
+      if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+        ++alpha;
+      }
+    }
+    for (std::string& rule : rules) {
+      AllowSite site;
+      site.line = static_cast<std::uint32_t>(line);
+      site.known_rule = IsKnownRule(rule);
+      site.rule = std::move(rule);
+      site.has_why = alpha >= 8;
+      sites.push_back(std::move(site));
+    }
+  }
+  return sites;
+}
+
+// ---- the analyzer -----------------------------------------------------------
+
+namespace {
+
+class FileAnalyzer {
+ public:
+  FileAnalyzer(const SourceFile& file, const DeclTable& merged)
+      : file_(file), toks_(file.tokens), table_(merged), own_(BuildDeclTable(file)) {
+    // Resolve declarations typed by aliases that live in included files.
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (!IsIdent(toks_[i]) || (i > 0 && IsMemberOp(toks_[i - 1]))) {
+        continue;
+      }
+      const auto it = table_.aliases.find(toks_[i].text);
+      if (it == table_.aliases.end()) {
+        continue;
+      }
+      const std::string name = DeclaratorName(toks_, i + 1);
+      if (!name.empty()) {
+        RecordDecl(&table_, name, it->second, toks_[i].line);
+      }
+    }
+  }
+
+  std::vector<Finding> Run() {
+    WallClock();
+    GlobalRng();
+    UnorderedIter();
+    PointerOrdering();
+    FloatMergeOrder();
+    UnseededStochastic();
+    NondetEnv();
+    CycleAccounting();
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(const char* rule, std::uint32_t line) {
+    if (!RuleAppliesTo(rule, file_.path)) {
+      return;
+    }
+    if (!reported_.insert({rule, line}).second) {
+      return;
+    }
+    std::string excerpt;
+    if (line >= 1 && line <= file_.raw_lines.size()) {
+      const std::string& raw = file_.raw_lines[line - 1];
+      const std::size_t b = raw.find_first_not_of(" \t");
+      if (b != std::string::npos) {
+        excerpt = raw.substr(b);
+        if (excerpt.size() > 90) {
+          excerpt.resize(90);
+        }
+      }
+    }
+    findings_.push_back({file_.path, line, rule, std::move(excerpt)});
+  }
+
+  bool PrevIsMemberOp(std::size_t i) const { return i > 0 && IsMemberOp(toks_[i - 1]); }
+  // `T name(...)` — the token is being *declared*, not called: the previous
+  // token reads as a type (identifier other than `return`, `*`, `&`, `>`).
+  bool DeclLikePrefix(std::size_t i) const {
+    if (i == 0) {
+      return false;
+    }
+    const Token& p = toks_[i - 1];
+    if (IsIdent(p)) {
+      return p.text != "return";
+    }
+    return IsPunct(p, "*") || IsPunct(p, "&") || IsPunct(p, ">");
+  }
+  bool NextIs(std::size_t i, const char* s) const {
+    return i + 1 < toks_.size() && IsPunct(toks_[i + 1], s);
+  }
+
+  void WallClock() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      if (t.text == "chrono" && NextIs(i, "::") && i + 2 < toks_.size() &&
+          kClockNames.count(toks_[i + 2].text) != 0) {
+        Report("wall-clock", t.line);
+      } else if (t.text == "clock_gettime" || t.text == "gettimeofday") {
+        Report("wall-clock", t.line);
+      } else if ((t.text == "time" || t.text == "clock") && NextIs(i, "(") &&
+                 !PrevIsMemberOp(i) && !DeclLikePrefix(i)) {
+        Report("wall-clock", t.line);
+      }
+    }
+  }
+
+  void GlobalRng() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t) || PrevIsMemberOp(i)) {
+        continue;
+      }
+      if ((t.text == "rand" || t.text == "srand") && NextIs(i, "(")) {
+        Report("global-rng", t.line);
+        continue;
+      }
+      if (t.text == "random_device") {
+        Report("global-rng", t.line);
+        continue;
+      }
+      if (kEngines.count(t.text) == 0 || i + 1 >= toks_.size()) {
+        continue;
+      }
+      // Engine constructed without a seed: `E e;`, `E e{}`, `E e = {}`,
+      // or an unseeded temporary `E()` / `E{}`.
+      const Token& n1 = toks_[i + 1];
+      if (IsIdent(n1) && i + 2 < toks_.size()) {
+        const Token& n2 = toks_[i + 2];
+        if (IsPunct(n2, ";") || (IsPunct(n2, "{") && NextIs(i + 2, "}")) ||
+            (IsPunct(n2, "=") && NextIs(i + 2, "{") && i + 4 < toks_.size() &&
+             IsPunct(toks_[i + 4], "}"))) {
+          Report("global-rng", t.line);
+        }
+      } else if ((IsPunct(n1, "(") && NextIs(i + 1, ")")) ||
+                 (IsPunct(n1, "{") && NextIs(i + 1, "}"))) {
+        Report("global-rng", t.line);
+      }
+    }
+  }
+
+  bool IsUnorderedName(const std::string& name) const {
+    return table_.Has(name, DeclKind::kUnordered) || own_.Has(name, DeclKind::kUnordered);
+  }
+
+  void UnorderedIter() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      // Range-for (covers structured bindings) over an unordered container.
+      if (t.text == "for" && NextIs(i, "(")) {
+        const std::size_t open = i + 1;
+        const std::size_t close = MatchingClose(toks_, open);
+        if (close >= toks_.size()) {
+          continue;
+        }
+        const std::int32_t inner = toks_[open].paren_depth + 1;
+        std::size_t colon = 0;
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (toks_[j].paren_depth != inner || toks_[j].kind != TokKind::kPunct) {
+            continue;
+          }
+          if (toks_[j].text == ";") {
+            break;  // classic for
+          }
+          if (toks_[j].text == ":") {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != 0 && IsIdent(toks_[close - 1]) && IsUnorderedName(toks_[close - 1].text)) {
+          Report("unordered-iter", toks_[colon].line);
+        }
+        continue;
+      }
+      // `x.begin()` family on an unordered container (feeds iterator loops
+      // and <algorithm>/<numeric> traversals alike).
+      if (IsUnorderedName(t.text) && i + 3 < toks_.size() && IsMemberOp(toks_[i + 1]) &&
+          IsIdent(toks_[i + 2]) &&
+          (toks_[i + 2].text == "begin" || toks_[i + 2].text == "cbegin" ||
+           toks_[i + 2].text == "rbegin" || toks_[i + 2].text == "crbegin") &&
+          IsPunct(toks_[i + 3], "(")) {
+        Report("unordered-iter", t.line);
+        continue;
+      }
+      // `std::begin(x)` and ranges-style algorithms taking the container.
+      if ((t.text == "begin" || t.text == "cbegin" || kIterAlgorithms.count(t.text) != 0) &&
+          i > 0 && IsPunct(toks_[i - 1], "::") && NextIs(i, "(") && i + 2 < toks_.size() &&
+          IsIdent(toks_[i + 2]) && IsUnorderedName(toks_[i + 2].text) && i + 3 < toks_.size() &&
+          (IsPunct(toks_[i + 3], ")") || IsPunct(toks_[i + 3], ","))) {
+        Report("unordered-iter", t.line);
+      }
+    }
+  }
+
+  void PointerOrdering() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t) || i == 0 || !IsPunct(toks_[i - 1], "::")) {
+        continue;
+      }
+      // Pointer-keyed ordered associative container.
+      if (kOrderedAssocTypes.count(t.text) != 0 && NextIs(i, "<") &&
+          AngleArgsEndInPointer(toks_, i + 1)) {
+        Report("pointer-ordering", t.line);
+        continue;
+      }
+      // Comparator-less sort over a vector of raw pointers.
+      if ((t.text == "sort" || t.text == "stable_sort") && NextIs(i, "(")) {
+        const std::size_t open = i + 1;
+        const std::size_t close = MatchingClose(toks_, open);
+        if (close >= toks_.size()) {
+          continue;
+        }
+        std::size_t commas = 0;
+        const std::int32_t inner = toks_[open].paren_depth + 1;
+        for (std::size_t j = open + 1; j < close; ++j) {
+          if (IsPunct(toks_[j], ",") && toks_[j].paren_depth == inner) {
+            ++commas;
+          }
+        }
+        const bool ptr_range =
+            open + 1 < toks_.size() && IsIdent(toks_[open + 1]) &&
+            (table_.Has(toks_[open + 1].text, DeclKind::kPtrVector) ||
+             own_.Has(toks_[open + 1].text, DeclKind::kPtrVector));
+        if (commas == 1 && ptr_range) {
+          Report("pointer-ordering", t.line);
+        }
+      }
+    }
+  }
+
+  void FloatMergeOrder() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t) || (t.text != "ParallelFor" && t.text != "RunRepetitions") ||
+          !NextIs(i, "(")) {
+        continue;
+      }
+      const std::size_t open = i + 1;
+      const std::size_t close = MatchingClose(toks_, open);
+      if (close >= toks_.size()) {
+        continue;
+      }
+      const std::uint32_t first_line = toks_[open].line;
+      const std::uint32_t last_line = toks_[close].line;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        const Token& op = toks_[j];
+        if (op.kind != TokKind::kPunct ||
+            (op.text != "+=" && op.text != "-=" && op.text != "*=" && op.text != "/=")) {
+          continue;
+        }
+        std::size_t k = j - 1;
+        if (IsPunct(toks_[k], "]")) {
+          const std::size_t ob = MatchingOpenBracket(toks_, k);
+          if (ob == 0) {
+            continue;
+          }
+          k = ob - 1;
+        }
+        if (!IsIdent(toks_[k])) {
+          continue;
+        }
+        const std::string& name = toks_[k].text;
+        // An accumulator declared inside the call's own argument list (the
+        // per-repetition lambda body) is serial per repetition — fine. One
+        // declared outside and captured is a cross-iteration merge.
+        bool declared_inside = false;
+        bool declared_float = false;
+        auto scan = [&](const DeclTable& tbl) {
+          const auto it = tbl.vars.find(name);
+          if (it == tbl.vars.end()) {
+            return;
+          }
+          for (const DeclEntry& e : it->second) {
+            if (e.kind != DeclKind::kFloat) {
+              continue;
+            }
+            declared_float = true;
+            if (e.line >= first_line && e.line <= last_line) {
+              declared_inside = true;
+            }
+          }
+        };
+        scan(own_);
+        if (!declared_inside) {
+          scan(table_);
+        }
+        if (declared_float && !declared_inside) {
+          Report("float-merge-order", op.line);
+        }
+      }
+    }
+  }
+
+  void UnseededStochastic() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t)) {
+        continue;
+      }
+      if ((t.text == "shuffle" || t.text == "random_shuffle") && i > 0 &&
+          IsPunct(toks_[i - 1], "::")) {
+        Report("unseeded-stochastic", t.line);
+        continue;
+      }
+      if (kDistributions.count(t.text) == 0 || PrevIsMemberOp(i)) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < toks_.size() && IsPunct(toks_[j], "<")) {
+        j = SkipAngles(toks_, j);
+        if (j == 0) {
+          continue;
+        }
+      }
+      if (j + 1 >= toks_.size() || !IsIdent(toks_[j])) {
+        continue;
+      }
+      // `D<T> d;`, `D<T> d{}`, `D<T> d = {}` — a distribution with default
+      // parameters, i.e. stochastic state with no explicit configuration.
+      const Token& after = toks_[j + 1];
+      if (IsPunct(after, ";") || (IsPunct(after, "{") && NextIs(j + 1, "}")) ||
+          (IsPunct(after, "=") && NextIs(j + 1, "{") && j + 3 < toks_.size() &&
+           IsPunct(toks_[j + 3], "}"))) {
+        Report("unseeded-stochastic", t.line);
+      }
+    }
+  }
+
+  void NondetEnv() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (!IsIdent(t) || PrevIsMemberOp(i)) {
+        continue;
+      }
+      if ((t.text == "getenv" || t.text == "secure_getenv") && NextIs(i, "(") &&
+          !DeclLikePrefix(i)) {
+        Report("nondet-env", t.line);
+      } else if (t.text == "this_thread" && NextIs(i, "::") && i + 2 < toks_.size() &&
+                 toks_[i + 2].text == "get_id") {
+        Report("nondet-env", t.line);
+      } else if ((t.text == "pthread_self" || t.text == "sched_getcpu" || t.text == "gettid") &&
+                 NextIs(i, "(") && !DeclLikePrefix(i)) {
+        Report("nondet-env", t.line);
+      } else if (t.text == "hardware_concurrency") {
+        Report("nondet-env", t.line);
+      }
+    }
+  }
+
+  // ---- cycle accounting: physmem-bypass + uncosted-access -------------------
+
+  struct MemEvent {
+    std::uint32_t line = 0;
+    std::set<std::string> addr_roots;
+  };
+
+  // Identifiers in [lo, hi) that are value roots: not member names (after
+  // "."/"->"), which belong to their base object.
+  static std::set<std::string> RootIdents(const std::vector<Token>& toks, std::size_t lo,
+                                          std::size_t hi) {
+    std::set<std::string> out;
+    for (std::size_t i = lo; i < hi && i < toks.size(); ++i) {
+      if (IsIdent(toks[i]) && !(i > 0 && IsMemberOp(toks[i - 1]))) {
+        out.insert(toks[i].text);
+      }
+    }
+    return out;
+  }
+
+  // Outermost `{...}` ranges that look like function (or lambda) bodies: the
+  // "{" follows a ")" — possibly through const/noexcept/override/trailing
+  // return — so namespace/class/enum/braced-init blocks are excluded, and
+  // control-flow blocks inside a function are swallowed by their encloser.
+  std::vector<std::pair<std::size_t, std::size_t>> FunctionRanges() const {
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;
+    for (std::size_t i = 1; i < toks_.size(); ++i) {
+      if (!IsPunct(toks_[i], "{")) {
+        continue;
+      }
+      std::size_t j = i - 1;
+      while (j > 0 && IsIdent(toks_[j]) && kDeclAnnotations.count(toks_[j].text) != 0) {
+        --j;
+      }
+      bool is_function = IsPunct(toks_[j], ")");
+      if (!is_function) {
+        // Trailing return type: `) -> Type {`.
+        std::size_t k = j;
+        while (k > 0 && (IsIdent(toks_[k]) || IsPunct(toks_[k], "::") || IsPunct(toks_[k], "*") ||
+                         IsPunct(toks_[k], "&") || IsPunct(toks_[k], "<") ||
+                         IsPunct(toks_[k], ">"))) {
+          --k;
+        }
+        is_function = k > 0 && IsPunct(toks_[k], "->") && IsPunct(toks_[k - 1], ")");
+      }
+      if (!is_function) {
+        continue;
+      }
+      const std::size_t close = MatchingClose(toks_, i);
+      if (close < toks_.size()) {
+        candidates.emplace_back(i, close);
+      }
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> outer;
+    for (const auto& c : candidates) {
+      const bool contained = std::any_of(candidates.begin(), candidates.end(), [&](const auto& o) {
+        return o.first < c.first && c.second < o.second;
+      });
+      if (!contained) {
+        outer.push_back(c);
+      }
+    }
+    return outer;
+  }
+
+  static void Expand(const std::map<std::string, std::set<std::string>>& aliases,
+                     std::set<std::string>* roots) {
+    std::vector<std::string> work(roots->begin(), roots->end());
+    while (!work.empty()) {
+      const std::string s = work.back();
+      work.pop_back();
+      const auto it = aliases.find(s);
+      if (it == aliases.end()) {
+        continue;
+      }
+      for (const std::string& t : it->second) {
+        if (roots->insert(t).second) {
+          work.push_back(t);
+        }
+      }
+    }
+  }
+
+  void CycleAccounting() {
+    if (!RuleAppliesTo("physmem-bypass", file_.path) &&
+        !RuleAppliesTo("uncosted-access", file_.path)) {
+      return;
+    }
+    for (const auto& [lb, rb] : FunctionRanges()) {
+      std::map<std::string, std::set<std::string>> aliases;
+      std::set<std::string> charged;
+      std::vector<MemEvent> events;
+      for (std::size_t j = lb + 1; j < rb; ++j) {
+        const Token& t = toks_[j];
+        // Local symbol flow: `L = expr;` and `base.member = expr;` make L
+        // (or base) derive from every root identifier in expr.
+        if (IsPunct(t, "=")) {
+          std::size_t k = j - 1;
+          if (IsPunct(toks_[k], "]")) {
+            const std::size_t ob = MatchingOpenBracket(toks_, k);
+            if (ob > 0) {
+              k = ob - 1;
+            }
+          }
+          if (IsIdent(toks_[k])) {
+            std::string lhs = toks_[k].text;
+            if (k >= 2 && IsMemberOp(toks_[k - 1]) && IsIdent(toks_[k - 2])) {
+              lhs = toks_[k - 2].text;  // writes into a member taint the base
+            }
+            std::size_t end = j + 1;
+            while (end < rb && !IsPunct(toks_[end], ";")) {
+              ++end;
+            }
+            const std::set<std::string> rhs = RootIdents(toks_, j + 1, end);
+            aliases[lhs].insert(rhs.begin(), rhs.end());
+          }
+          continue;
+        }
+        if (!IsIdent(t) || PrevIsMemberOp(j)) {
+          continue;
+        }
+        // A MemoryHierarchy charge: every symbol in its arguments is costed.
+        if ((t.text == "hierarchy_" || t.text == "hierarchy") && j + 3 < toks_.size() &&
+            IsMemberOp(toks_[j + 1]) && IsIdent(toks_[j + 2]) && IsPunct(toks_[j + 3], "(")) {
+          const std::size_t close = MatchingClose(toks_, j + 3);
+          const std::set<std::string> args = RootIdents(toks_, j + 4, close);
+          charged.insert(args.begin(), args.end());
+          continue;
+        }
+        // A raw PhysicalMemory access: memory_.ReadX/WriteX(addr, ...).
+        if ((t.text == "memory_" || t.text == "memory") && j + 3 < toks_.size() &&
+            IsMemberOp(toks_[j + 1]) && IsIdent(toks_[j + 2]) &&
+            (toks_[j + 2].text.rfind("Read", 0) == 0 || toks_[j + 2].text.rfind("Write", 0) == 0) &&
+            IsPunct(toks_[j + 3], "(")) {
+          const std::size_t open = j + 3;
+          const std::size_t close = MatchingClose(toks_, open);
+          std::size_t arg_end = close;
+          const std::int32_t inner = toks_[open].paren_depth + 1;
+          for (std::size_t a = open + 1; a < close; ++a) {
+            if (IsPunct(toks_[a], ",") && toks_[a].paren_depth == inner) {
+              arg_end = a;
+              break;
+            }
+          }
+          events.push_back({t.line, RootIdents(toks_, open + 1, arg_end)});
+          continue;
+        }
+        // A helper taking the backing store by reference accesses memory on
+        // the caller's behalf: Helper(memory_, addr...) is a payload touch
+        // whose address derives from the other arguments.
+        if (NextIs(j, "(") && t.text != "if" && t.text != "while" && t.text != "switch" &&
+            t.text != "for" && t.text != "return") {
+          const std::size_t open = j + 1;
+          const std::size_t close = MatchingClose(toks_, open);
+          if (close >= toks_.size()) {
+            continue;
+          }
+          bool passes_memory = false;
+          const std::int32_t inner = toks_[open].paren_depth + 1;
+          for (std::size_t a = open + 1; a < close; ++a) {
+            if (!IsIdent(toks_[a]) || toks_[a].text != "memory_") {
+              continue;
+            }
+            const bool lone_before = a == open + 1 || (IsPunct(toks_[a - 1], ",") &&
+                                                       toks_[a - 1].paren_depth == inner);
+            const bool lone_after = a + 1 < toks_.size() &&
+                                    (IsPunct(toks_[a + 1], ")") ||
+                                     (IsPunct(toks_[a + 1], ",") &&
+                                      toks_[a + 1].paren_depth == inner));
+            if (lone_before && lone_after) {
+              passes_memory = true;
+              break;
+            }
+          }
+          if (passes_memory) {
+            std::set<std::string> args = RootIdents(toks_, open + 1, close);
+            args.erase("memory_");
+            events.push_back({t.line, std::move(args)});
+          }
+        }
+      }
+      if (events.empty()) {
+        continue;
+      }
+      if (charged.empty()) {
+        for (const MemEvent& e : events) {
+          Report("physmem-bypass", e.line);
+        }
+        continue;
+      }
+      Expand(aliases, &charged);
+      for (MemEvent& e : events) {
+        Expand(aliases, &e.addr_roots);
+        const bool costed =
+            std::any_of(e.addr_roots.begin(), e.addr_roots.end(),
+                        [&](const std::string& r) { return charged.count(r) != 0; });
+        if (!costed) {
+          Report("uncosted-access", e.line);
+        }
+      }
+    }
+  }
+
+  const SourceFile& file_;
+  const std::vector<Token>& toks_;
+  DeclTable table_;  // merged (own + includes), plus alias-resolved decls
+  DeclTable own_;    // this file only, for lambda-locality checks
+  std::set<std::pair<std::string, std::uint32_t>> reported_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> AnalyzeFile(const SourceFile& file, const DeclTable& merged) {
+  return FileAnalyzer(file, merged).Run();
+}
+
+}  // namespace detlint

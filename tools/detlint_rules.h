@@ -1,0 +1,96 @@
+// detlint v2 rule engine — token-stream invariant rules over the lexer's
+// output (docs/architecture.md §9). Three layers:
+//
+//   1. Declaration tables (per file): variables, members and using-aliases
+//      whose types the rules care about — std::unordered_* containers,
+//      pointer-keyed ordered containers, vectors of pointers, float/double
+//      scalars. Tables merge across #include "..." edges so a member
+//      declared in nic.h is visible while scanning nic.cc.
+//   2. A per-function symbol-flow pass: local alias sets ("which symbols
+//      does this value derive from"), the set of symbols charged through a
+//      MemoryHierarchy call, and every raw PhysicalMemory touch — the basis
+//      of the uncosted-access / physmem-bypass cycle-accounting rules.
+//   3. Rules proper, each a token-pattern + table/flow query, with per-rule
+//      path whitelists and only-in scopes.
+//
+// The `// detlint: allow(<rule>)` escape hatch is honored from comment text
+// only (same line or the line directly above the finding). Strict mode adds
+// allow hygiene meta-rules: unknown rule names, annotations with no "why"
+// text, and annotations that no longer suppress anything.
+#ifndef CACHEDIRECTOR_TOOLS_DETLINT_RULES_H_
+#define CACHEDIRECTOR_TOOLS_DETLINT_RULES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/detlint_lexer.h"
+
+namespace detlint {
+
+struct Finding {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string rule;
+  std::string excerpt;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+// The nine scan rules (four ported from v1, five new in v2).
+const std::vector<RuleInfo>& Rules();
+// Strict-mode allow-hygiene meta rules (allow-unknown-rule,
+// allow-missing-why, allow-unused).
+const std::vector<RuleInfo>& MetaRules();
+bool IsKnownRule(const std::string& id);
+
+enum class DeclKind : std::uint8_t {
+  kUnordered,   // std::unordered_{map,set,multimap,multiset}
+  kPtrVector,   // std::vector<T*>
+  kFloat,       // float / double (scalar or array)
+};
+
+struct DeclEntry {
+  DeclKind kind;
+  std::uint32_t line = 0;  // declaration site in its own file
+};
+
+struct DeclTable {
+  // Variable / member / parameter name -> declarations (shadowing keeps all).
+  std::map<std::string, std::vector<DeclEntry>> vars;
+  // using-alias name -> kind it expands to.
+  std::map<std::string, DeclKind> aliases;
+
+  void Merge(const DeclTable& other);
+  bool Has(const std::string& name, DeclKind kind) const;
+};
+
+// Scans one file's tokens for declarations the rules consult. `aliases` of
+// previously-built tables may be passed in `known_aliases` so `FooMap m;`
+// resolves when FooMap is declared in an included header.
+DeclTable BuildDeclTable(const SourceFile& file);
+
+struct AllowSite {
+  std::uint32_t line = 0;
+  std::string rule;
+  bool has_why = false;
+  bool known_rule = false;
+  bool used = false;
+};
+
+// Parses every `detlint: allow(<rule>)` annotation from a file's comments.
+std::vector<AllowSite> CollectAllows(const SourceFile& file);
+
+// Runs all nine rules over `file`. `merged` must contain the file's own
+// declaration table plus those of its (transitively) included repo files.
+// Findings are not yet allow-filtered; the driver matches them against
+// CollectAllows so it can also detect stale annotations in strict mode.
+std::vector<Finding> AnalyzeFile(const SourceFile& file, const DeclTable& merged);
+
+}  // namespace detlint
+
+#endif  // CACHEDIRECTOR_TOOLS_DETLINT_RULES_H_

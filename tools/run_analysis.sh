@@ -20,8 +20,10 @@ cmake --preset default >/dev/null
 step "build detlint"
 cmake --build --preset default --target detlint
 
-step "detlint: determinism lint over src/ bench/ tests/ tools/"
-"${repo_root}/build/tools/detlint" --root "${repo_root}"
+step "detlint: strict determinism lint over src/ bench/ tests/ tools/"
+# --strict adds allow-annotation hygiene; the self-time budget keeps the
+# scan cheap enough to run on every push (exit 3 if it ever is not).
+"${repo_root}/build/tools/detlint" --root "${repo_root}" --strict --self-time-budget-ms=10000
 echo "detlint: clean"
 
 step "clang-tidy (diff-aware when run-clang-tidy is available)"
