@@ -1,9 +1,6 @@
 #include "bench/common.h"
 
-#include <atomic>
 #include <chrono>  // whitelisted: the host-timing shim lives here (detlint wall-clock rule)
-#include <cstdlib>
-#include <thread>
 
 namespace cachedir {
 
@@ -23,53 +20,6 @@ void HostTimer::Restart() { start_ns_ = MonotonicHostNanos(); }
 
 double HostTimer::Seconds() const {
   return static_cast<double>(MonotonicHostNanos() - start_ns_) * 1e-9;
-}
-
-std::size_t BenchThreadCount(std::size_t n) {
-  std::size_t threads = std::thread::hardware_concurrency();
-  if (const char* env = std::getenv("CACHEDIR_BENCH_THREADS"); env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) {
-      threads = static_cast<std::size_t>(parsed);
-    }
-  }
-  if (threads == 0) {
-    threads = 1;
-  }
-  return threads < n ? threads : n;
-}
-
-void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
-  if (n == 0) {
-    return;
-  }
-  const std::size_t threads = BenchThreadCount(n);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      body(i);
-    }
-    return;
-  }
-  // Work-stealing by atomic ticket: which thread runs which repetition is
-  // scheduling-dependent, but repetitions are independent and results land
-  // in per-repetition slots, so the merged output is deterministic.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) {
-          return;
-        }
-        body(i);
-      }
-    });
-  }
-  for (std::thread& worker : pool) {
-    worker.join();
-  }
 }
 
 }  // namespace cachedir

@@ -5,10 +5,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "src/sim/host_parallel.h"
 
 namespace cachedir {
 
@@ -32,14 +33,10 @@ inline void PrintSectionRule() {
 // results vector is indexed by repetition — so merging happens in repetition
 // order no matter which thread finished first. Output is bit-identical to
 // the serial loop; only time-to-result changes.
-
-// Number of worker threads: min(n, hardware threads), overridable with the
-// CACHEDIR_BENCH_THREADS environment variable (1 forces the serial path).
-std::size_t BenchThreadCount(std::size_t n);
-
-// Runs body(0..n-1), each index exactly once, on the bench thread pool.
-// body must not touch shared mutable state except its own result slot.
-void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+//
+// `BenchThreadCount` and `ParallelFor` now live in src/sim/host_parallel.h
+// (promoted so the epoch engine shares the machinery); this header keeps
+// re-exporting them so bench code is unchanged.
 
 // ---- Host timing shim -------------------------------------------------------
 //

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "bench/common.h"
@@ -45,7 +46,13 @@ NfvRunStats RunNfvOnce(const NfvExperiment& experiment, std::uint64_t run_index)
   const std::uint64_t seed = experiment.base_seed + 7919 * run_index;
 
   const bool skylake = experiment.machine == NfvExperiment::Machine::kSkylake;
-  const MachineSpec spec = skylake ? SkylakeXeonGold6134() : HaswellXeonE52667V3();
+  if (experiment.override_cores != 0 && skylake) {
+    throw std::invalid_argument("override_cores: no derived many-core Skylake preset");
+  }
+  const MachineSpec spec = skylake            ? SkylakeXeonGold6134()
+                           : experiment.override_cores != 0
+                               ? HaswellDerivedManyCore(experiment.override_cores)
+                               : HaswellXeonE52667V3();
   const std::shared_ptr<const SliceHash> hash =
       skylake ? SkylakeSliceHash() : HaswellSliceHash();
   MemoryHierarchy hierarchy(spec, hash, seed);

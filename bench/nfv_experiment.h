@@ -35,6 +35,11 @@ struct NfvExperiment {
   std::size_t measured_packets = 20000;
   std::size_t num_runs = 15;
   std::size_t num_queues = 8;
+  // 0 keeps the selected machine preset's core count. A value > 8 on the
+  // Haswell DuT swaps in HaswellDerivedManyCore(n) so num_queues may exceed
+  // the 8 physical cores (core_count_sweep --max-cores); capped at 64 by the
+  // preset, rejected for the Skylake machine (no derived preset exists).
+  std::size_t override_cores = 0;
   std::size_t mempool_mbufs = 8192;
   std::uint64_t base_seed = 1;
 };

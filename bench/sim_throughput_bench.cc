@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "src/cache/hierarchy.h"
 #include "src/hash/presets.h"
 #include "src/mem/hugepage.h"
+#include "src/sim/epoch_engine.h"
 #include "src/sim/machine.h"
 #include "src/sim/rng.h"
 
@@ -64,8 +66,24 @@ struct ConfigResult {
   double host_seconds = 0;  // report-only; never enters simulated results
 };
 
-ConfigResult RunConfig(std::size_t cores) {
-  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), /*seed=*/5);
+// Up to 8 cores runs the calibrated E5-2667 v3 preset; 9..64 runs the
+// Haswell-derived many-core configuration (same 8-slice ring uncore).
+MachineSpec SpecForCores(std::size_t cores) {
+  return cores <= 8 ? HaswellXeonE52667V3() : HaswellDerivedManyCore(cores);
+}
+
+// engine_threads == 0 runs the serial engine; > 0 shards the same run across
+// that many host worker threads through the EpochEngine. Simulated outputs
+// are bit-identical either way (epoch_equivalence_test); Run() double-checks
+// the printed columns and aborts on any mismatch.
+ConfigResult RunConfig(std::size_t cores, std::size_t engine_threads) {
+  MemoryHierarchy hierarchy(SpecForCores(cores), HaswellSliceHash(), /*seed=*/5);
+  EpochEngineOptions engine_options;
+  engine_options.num_threads = engine_threads;
+  std::unique_ptr<EpochEngine> engine;
+  if (engine_threads > 0) {
+    engine = std::make_unique<EpochEngine>(hierarchy, engine_options);
+  }
   HugepageAllocator backing;
   const PhysAddr ring = backing.Allocate(kRingBytes, PageSize::k1G).pa;
   const PhysAddr counters = backing.Allocate(kCounterLines * kCacheLineSize, PageSize::k1G).pa;
@@ -101,6 +119,12 @@ ConfigResult RunConfig(std::size_t cores) {
       ++accesses;
     }
   }
+  if (engine != nullptr) {
+    // Settle the tail window inside the timed region, then read the charges
+    // the per-op returns deferred (capture-mode calls return placeholders).
+    engine->Flush();
+    cycles = engine->total_cycles();
+  }
   result.host_seconds = timer.Seconds();
 
   result.accesses = accesses;
@@ -110,47 +134,46 @@ ConfigResult RunConfig(std::size_t cores) {
   return result;
 }
 
-void Run(const char* json_path, const std::vector<std::size_t>& configs) {
-  PrintBanner("simcore", "simulator throughput: coherence-heavy accesses per host second");
-  std::printf("%-6s  %-12s  %-14s  %-12s  %-12s\n", "Cores", "Accesses", "Sim cycles",
-              "LLC misses", "DMA writes");
-  PrintSectionRule();
-
-  std::vector<ConfigResult> results(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    // The simulation is deterministic, so every trial produces identical
-    // simulated state; only the host-side wall time varies. Reporting the
-    // fastest trial filters scheduler noise out of the throughput number.
-    results[i] = RunConfig(configs[i]);
-    for (std::size_t t = 1; t < kTrials; ++t) {
-      const ConfigResult trial = RunConfig(configs[i]);
-      if (trial.host_seconds < results[i].host_seconds) {
-        results[i] = trial;
-      }
+// Fastest-of-kTrials run of one configuration. The simulation is
+// deterministic, so every trial produces identical simulated state; only the
+// host-side wall time varies. Reporting the fastest trial filters scheduler
+// noise out of the throughput number.
+ConfigResult BestOfTrials(std::size_t cores, std::size_t engine_threads) {
+  ConfigResult best = RunConfig(cores, engine_threads);
+  for (std::size_t t = 1; t < kTrials; ++t) {
+    const ConfigResult trial = RunConfig(cores, engine_threads);
+    if (trial.host_seconds < best.host_seconds) {
+      best = trial;
     }
-    // Deterministic, replacement for the figure tables: simulated state only.
-    std::printf("%-6zu  %-12llu  %-14llu  %-12llu  %-12llu\n", results[i].cores,
-                static_cast<unsigned long long>(results[i].accesses),
-                static_cast<unsigned long long>(results[i].simulated_cycles),
-                static_cast<unsigned long long>(results[i].llc_misses),
-                static_cast<unsigned long long>(results[i].dma_writes));
   }
-  PrintSectionRule();
-  std::printf("host-side accesses/sec on stderr; baseline in BENCH_simcore.json\n");
+  return best;
+}
 
-  // Host-side throughput: stderr + JSON only (stdout must stay deterministic).
-  // The JSON schema matches the "configs" arrays inside the committed
-  // BENCH_simcore.json history entries, so tools/check_perf_baseline.py can
-  // compare a fresh run against the checked-in trajectory point.
+void PrintResultRow(const ConfigResult& r) {
+  // Deterministic, replacement for the figure tables: simulated state only.
+  std::printf("%-6zu  %-12llu  %-14llu  %-12llu  %-12llu\n", r.cores,
+              static_cast<unsigned long long>(r.accesses),
+              static_cast<unsigned long long>(r.simulated_cycles),
+              static_cast<unsigned long long>(r.llc_misses),
+              static_cast<unsigned long long>(r.dma_writes));
+}
+
+// Host-side throughput: stderr + JSON only (stdout must stay deterministic).
+// The JSON schema matches the "configs" arrays inside the committed
+// BENCH_simcore.json history entries, so tools/check_perf_baseline.py can
+// compare a fresh run against the checked-in trajectory point.
+void WriteHostTiming(const char* json_path, const char* bench_name,
+                     const std::vector<ConfigResult>& results) {
   FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
   } else {
     std::fprintf(json,
-                 "{\n  \"bench\": \"sim_throughput\",\n"
+                 "{\n  \"bench\": \"%s\",\n"
                  "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
                  "\"build\": \"%s\"},\n"
                  "  \"configs\": [\n",
+                 bench_name,
                  // Host metadata sidecar only, not simulated output. detlint: allow(nondet-env)
                  std::thread::hardware_concurrency(), __VERSION__,
 #ifdef NDEBUG
@@ -164,8 +187,9 @@ void Run(const char* json_path, const std::vector<std::size_t>& configs) {
     const ConfigResult& r = results[i];
     const double rate = r.host_seconds > 0 ? static_cast<double>(r.accesses) / r.host_seconds
                                            : 0.0;
-    std::fprintf(stderr, "cores=%zu accesses=%llu host_s=%.3f accesses_per_sec=%.3e\n",
-                 r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds, rate);
+    std::fprintf(stderr, "%s cores=%zu accesses=%llu host_s=%.3f accesses_per_sec=%.3e\n",
+                 bench_name, r.cores, static_cast<unsigned long long>(r.accesses),
+                 r.host_seconds, rate);
     if (json != nullptr) {
       std::fprintf(json,
                    "    {\"cores\": %zu, \"accesses\": %llu, \"host_seconds\": %.6f, "
@@ -180,17 +204,77 @@ void Run(const char* json_path, const std::vector<std::size_t>& configs) {
   }
 }
 
+int Run(const char* json_path, const char* engine_json_path,
+        const std::vector<std::size_t>& configs, std::size_t engine_threads) {
+  PrintBanner("simcore", "simulator throughput: coherence-heavy accesses per host second");
+  std::printf("%-6s  %-12s  %-14s  %-12s  %-12s\n", "Cores", "Accesses", "Sim cycles",
+              "LLC misses", "DMA writes");
+  PrintSectionRule();
+
+  std::vector<ConfigResult> results(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    results[i] = BestOfTrials(configs[i], /*engine_threads=*/0);
+    PrintResultRow(results[i]);
+  }
+  PrintSectionRule();
+  std::printf("host-side accesses/sec on stderr; baseline in BENCH_simcore.json\n");
+
+  std::vector<ConfigResult> engine_results;
+  if (engine_threads > 0) {
+    // Same run sharded across host workers by the epoch engine. The rows must
+    // be byte-identical to the serial rows above — the engine's determinism
+    // contract — so any simulated-column mismatch is a hard failure, not a
+    // report.
+    std::printf("epoch engine, %zu host thread%s: same simulated run\n", engine_threads,
+                engine_threads == 1 ? "" : "s");
+    PrintSectionRule();
+    engine_results.resize(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      engine_results[i] = BestOfTrials(configs[i], engine_threads);
+      PrintResultRow(engine_results[i]);
+      const ConfigResult& s = results[i];
+      const ConfigResult& e = engine_results[i];
+      if (e.accesses != s.accesses || e.simulated_cycles != s.simulated_cycles ||
+          e.llc_misses != s.llc_misses || e.dma_writes != s.dma_writes) {
+        std::fprintf(stderr,
+                     "FATAL: epoch engine diverged from the serial engine at cores=%zu\n",
+                     configs[i]);
+        return 1;
+      }
+    }
+    PrintSectionRule();
+    std::printf("engine rows verified bit-identical to the serial rows\n");
+  }
+
+  WriteHostTiming(json_path, "sim_throughput", results);
+  if (engine_threads > 0) {
+    WriteHostTiming(engine_json_path, "sim_throughput_engine", engine_results);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cachedir
 
 int main(int argc, char** argv) {
   // Arguments, in any order:
-  //  * --cores=N[,N...]  run only the listed core counts (default: 1,4,8 —
-  //    perf-smoke CI passes --cores=1 to keep hosted runs quick)
-  //  * anything else     path for the host-timing JSON. The default is a
-  //    gitignored name so a plain `for b in build/bench/*` sweep never
-  //    clobbers the committed BENCH_simcore.json trajectory.
+  //  * --cores=N[,N...]       run only the listed core counts (default:
+  //    1,4,8 — perf-smoke CI passes --cores=1 to keep hosted runs quick).
+  //    Up to 8 cores is the calibrated Haswell preset; 9..64 runs the
+  //    Haswell-derived many-core configuration, and 64 is the LineDirectory
+  //    sharer-mask limit no preset can exceed.
+  //  * --engine-threads=N     additionally rerun every config through the
+  //    epoch engine with N host worker threads (1..64) and verify the rows
+  //    are bit-identical; host timing goes to --engine-json. Default off,
+  //    so a plain `for b in build/bench/*` sweep's stdout is unchanged.
+  //  * --engine-json=PATH     engine-run host-timing JSON (default
+  //    BENCH_simcore_engine_fresh.json, gitignored like the serial one).
+  //  * anything else          path for the serial host-timing JSON. The
+  //    default is a gitignored name so a sweep never clobbers the committed
+  //    BENCH_simcore.json trajectory.
   const char* json_path = "BENCH_simcore_fresh.json";
+  const char* engine_json_path = "BENCH_simcore_engine_fresh.json";
+  std::size_t engine_threads = 0;
   std::vector<std::size_t> configs = {1, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--cores=", 8) == 0) {
@@ -199,8 +283,8 @@ int main(int argc, char** argv) {
       while (*p != '\0') {
         char* end = nullptr;
         const unsigned long cores = std::strtoul(p, &end, 10);
-        if (end == p || cores == 0 || cores > 8) {
-          std::fprintf(stderr, "bad --cores value: %s (want 1..8, comma-separated)\n",
+        if (end == p || cores == 0 || cores > 64) {
+          std::fprintf(stderr, "bad --cores value: %s (want 1..64, comma-separated)\n",
                        argv[i]);
           return 1;
         }
@@ -211,10 +295,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --cores value: %s (empty list)\n", argv[i]);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
+      char* end = nullptr;
+      const unsigned long threads = std::strtoul(argv[i] + 17, &end, 10);
+      if (end == argv[i] + 17 || *end != '\0' || threads == 0 || threads > 64) {
+        std::fprintf(stderr, "bad --engine-threads value: %s (want 1..64)\n", argv[i]);
+        return 1;
+      }
+      engine_threads = threads;
+    } else if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
+      engine_json_path = argv[i] + 14;
     } else {
       json_path = argv[i];
     }
   }
-  cachedir::Run(json_path, configs);
-  return 0;
+  return cachedir::Run(json_path, engine_json_path, configs, engine_threads);
 }

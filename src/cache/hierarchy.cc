@@ -74,6 +74,9 @@ MemoryHierarchy::MemoryHierarchy(const MachineSpec& spec,
 }
 
 AccessResult MemoryHierarchy::Read(CoreId core, PhysAddr addr) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnAccess(core, addr, /*is_write=*/false);
+  }
   if (kernel_ != nullptr) {
     return kernel_->access(*this, core, addr, /*is_write=*/false);
   }
@@ -81,6 +84,9 @@ AccessResult MemoryHierarchy::Read(CoreId core, PhysAddr addr) {
 }
 
 AccessResult MemoryHierarchy::Write(CoreId core, PhysAddr addr) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnAccess(core, addr, /*is_write=*/true);
+  }
   if (kernel_ != nullptr) {
     return kernel_->access(*this, core, addr, /*is_write=*/true);
   }
@@ -88,6 +94,9 @@ AccessResult MemoryHierarchy::Write(CoreId core, PhysAddr addr) {
 }
 
 BatchResult MemoryHierarchy::ReadRange(CoreId core, const AccessBatch& batch) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnAccessRange(core, batch, /*is_write=*/false);
+  }
   if (kernel_ != nullptr) {
     return kernel_->access_range(*this, core, batch, /*is_write=*/false);
   }
@@ -95,6 +104,9 @@ BatchResult MemoryHierarchy::ReadRange(CoreId core, const AccessBatch& batch) {
 }
 
 BatchResult MemoryHierarchy::WriteRange(CoreId core, const AccessBatch& batch) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnAccessRange(core, batch, /*is_write=*/true);
+  }
   if (kernel_ != nullptr) {
     return kernel_->access_range(*this, core, batch, /*is_write=*/true);
   }
@@ -466,6 +478,9 @@ void MemoryHierarchy::HandleLlcEviction(const std::optional<EvictedLine>& evicte
 }
 
 Cycles MemoryHierarchy::DmaWriteLine(PhysAddr addr) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnDmaRange(addr, 0, /*is_write=*/true);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_write_line(*this, addr);
   }
@@ -484,6 +499,9 @@ Cycles MemoryHierarchy::DmaWriteLineTo(PhysAddr line, SliceId slice, HierarchySt
 }
 
 Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnDmaRange(addr, bytes, /*is_write=*/true);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_write_range(*this, addr, bytes);
   }
@@ -515,6 +533,10 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes) {
 
 Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
                                       std::span<const SliceId> line_slices) {
+  if (capture_ != nullptr) [[unlikely]] {
+    // line_slices == SliceOf per line by contract; the replay re-derives it.
+    return capture_->OnDmaRange(addr, bytes, /*is_write=*/true);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_write_range_lut(*this, addr, bytes, line_slices);
   }
@@ -542,6 +564,9 @@ Cycles MemoryHierarchy::DmaWriteRange(PhysAddr addr, std::size_t bytes,
 }
 
 Cycles MemoryHierarchy::DmaReadLine(PhysAddr addr) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnDmaRange(addr, 0, /*is_write=*/false);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_read_line(*this, addr);
   }
@@ -558,6 +583,9 @@ Cycles MemoryHierarchy::DmaReadLineTo(PhysAddr line, SliceId slice, HierarchySta
 }
 
 Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnDmaRange(addr, bytes, /*is_write=*/false);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_read_range(*this, addr, bytes);
   }
@@ -586,6 +614,9 @@ Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes) {
 
 Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes,
                                      std::span<const SliceId> line_slices) {
+  if (capture_ != nullptr) [[unlikely]] {
+    return capture_->OnDmaRange(addr, bytes, /*is_write=*/false);
+  }
   if (kernel_ != nullptr) {
     return kernel_->dma_read_range_lut(*this, addr, bytes, line_slices);
   }
@@ -609,6 +640,9 @@ Cycles MemoryHierarchy::DmaReadRange(PhysAddr addr, std::size_t bytes,
 }
 
 void MemoryHierarchy::FlushLine(PhysAddr addr) {
+  if (capture_ != nullptr) [[unlikely]] {
+    capture_->OnSerialPoint();  // settle pending captured work, then flush in place
+  }
   const PhysAddr line = LineBase(addr);
   const CachedSlice cached = BackInvalidate(line);
   if (cached.known) {
@@ -619,6 +653,9 @@ void MemoryHierarchy::FlushLine(PhysAddr addr) {
 }
 
 void MemoryHierarchy::FlushAll() {
+  if (capture_ != nullptr) [[unlikely]] {
+    capture_->OnSerialPoint();
+  }
   for (std::size_t core = 0; core < l1_.size(); ++core) {
     l1_[core].Clear();
     l2_[core].Clear();

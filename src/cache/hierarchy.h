@@ -123,6 +123,32 @@ struct BatchResult {
   bool operator==(const BatchResult&) const = default;
 };
 
+// Capture hook for the epoch engine (src/sim/epoch_engine.h). While a sink
+// is attached, every public access entry point forwards its request to the
+// sink instead of executing it; the sink buffers requests and replays them
+// later — in submission order — through the very same code below, so every
+// simulated result stays bit-identical (epoch_equivalence_test). Captured
+// calls return placeholder results (cycles == 0): callers that opt into an
+// engine read settled cycle totals from it instead of from return values.
+// An abstract interface rather than a concrete engine reference keeps this
+// library free of any dependency on the engine's implementation.
+class HierarchyCaptureSink {
+ public:
+  virtual AccessResult OnAccess(CoreId core, PhysAddr addr, bool is_write) = 0;
+  virtual BatchResult OnAccessRange(CoreId core, const AccessBatch& batch, bool is_write) = 0;
+  // One DMA range (bytes == 0 touches the single line holding addr, like the
+  // range entry points themselves). Slice LUTs are dropped at capture: the
+  // LUT is the same pure function of the address by contract, so the replay
+  // just re-derives the slices.
+  virtual Cycles OnDmaRange(PhysAddr addr, std::size_t bytes, bool is_write) = 0;
+  // Announces an operation the sink cannot defer (clflush, wbinvd): the sink
+  // must settle everything buffered before the caller proceeds in place.
+  virtual void OnSerialPoint() = 0;
+
+ protected:
+  ~HierarchyCaptureSink() = default;  // never owned through the interface
+};
+
 class MemoryHierarchy;
 
 // Dispatch table of one specialized hierarchy kernel (docs/architecture.md
@@ -244,9 +270,19 @@ class MemoryHierarchy {
   bool uses_specialized_kernel() const { return kernel_ != nullptr; }
   const char* kernel_name() const { return kernel_ != nullptr ? kernel_->name : "generic"; }
 
+  // Attaches (or, with nullptr, detaches) a capture sink; see
+  // HierarchyCaptureSink above. At most one sink at a time; the epoch engine
+  // attaches itself for its lifetime.
+  void AttachCaptureSink(HierarchyCaptureSink* sink) { capture_ = sink; }
+  HierarchyCaptureSink* capture_sink() const { return capture_; }
+
  private:
   template <FastSliceHash::Kind H, ReplacementKind R, LlcInclusionPolicy I>
   friend struct HierarchyKernel;
+  // The epoch engine journals and replays through the private structures
+  // directly (src/sim/epoch_engine.cc); it reuses this class's semantics
+  // rather than duplicating them where it can.
+  friend class EpochEngine;
 
   // A slice id recovered from a directory entry's memo, or "unknown" when
   // the line had no entry (the caller re-hashes on demand).
@@ -341,6 +377,8 @@ class MemoryHierarchy {
   // Specialized kernel dispatch table, selected once in the constructor from
   // (hash kind, replacement, inclusion); nullptr runs the generic path.
   const HierarchyKernelOps* kernel_ = nullptr;
+  // Attached capture sink, or nullptr (the common case: direct execution).
+  HierarchyCaptureSink* capture_ = nullptr;
   std::vector<SetAssocCache> l1_;
   std::vector<SetAssocCache> l2_;
   SlicedLlc llc_;

@@ -30,7 +30,8 @@ void LineDirectory::Shard::Grow() {
 LineDirectoryEntry& LineDirectory::GetOrCreate(PhysAddr addr) {
   const PhysAddr line = LineBase(addr);
   const std::uint64_t hash = HashLine(line);
-  Shard& shard = ShardFor(hash);
+  const std::size_t shard_index = ShardIndexFor(line, hash);
+  Shard& shard = shards_[shard_index];
   std::size_t i = hash & shard.mask;
   while (shard.slots[i].used) {
     if (shard.slots[i].key == line) {
@@ -47,7 +48,7 @@ LineDirectoryEntry& LineDirectory::GetOrCreate(PhysAddr addr) {
   }
   shard.slots[i] = Slot{line, LineDirectoryEntry{}, true};
   ++shard.size;
-  if (std::uint8_t& count = filter_[FilterIndex(hash)]; count != 255) {
+  if (std::uint8_t& count = filter_[FilterByteFor(shard_index, hash)]; count != 255) {
     ++count;  // saturated buckets stay sticky at 255
   }
   return shard.slots[i].entry;
@@ -56,7 +57,8 @@ LineDirectoryEntry& LineDirectory::GetOrCreate(PhysAddr addr) {
 void LineDirectory::Erase(PhysAddr addr) {
   const PhysAddr line = LineBase(addr);
   const std::uint64_t hash = HashLine(line);
-  Shard& shard = ShardFor(hash);
+  const std::size_t shard_index = ShardIndexFor(line, hash);
+  Shard& shard = shards_[shard_index];
   std::size_t i = hash & shard.mask;
   while (true) {
     if (!shard.slots[i].used) {
@@ -69,7 +71,7 @@ void LineDirectory::Erase(PhysAddr addr) {
   }
   shard.slots[i] = Slot{};
   --shard.size;
-  if (std::uint8_t& count = filter_[FilterIndex(hash)]; count != 255) {
+  if (std::uint8_t& count = filter_[FilterByteFor(shard_index, hash)]; count != 255) {
     --count;  // a saturated bucket can never prove absence again
   }
   // Backward-shift deletion: pull displaced followers of the probe chain
@@ -98,7 +100,33 @@ void LineDirectory::Clear() {
     shard.mask = kInitialShardCapacity - 1;
     shard.size = 0;
   }
-  filter_.assign(kFilterBuckets, 0);
+  filter_.assign(filter_.size(), 0);  // keeps the active layout's segment count
+}
+
+void LineDirectory::EnableSliceSharding(std::uint32_t num_slices, SliceFn fn, const void* ctx) {
+  if (slice_mode_ && num_slices == shards_.size() && fn == slice_fn_ && ctx == slice_ctx_) {
+    return;  // already in this layout (engine re-attach)
+  }
+  std::vector<Shard> old = std::move(shards_);
+  slice_mode_ = true;
+  slice_fn_ = fn;
+  slice_ctx_ = ctx;
+  // Per-shard filter segments stay exact (one counter covers one shard's
+  // lines only) and total about the same 64 KiB as the flat table.
+  slice_filter_buckets_ = num_slices <= 8 ? (std::size_t{1} << 13) : (std::size_t{1} << 12);
+  shards_.assign(num_slices, Shard{});
+  for (Shard& shard : shards_) {
+    shard.slots.resize(kInitialShardCapacity);
+    shard.mask = kInitialShardCapacity - 1;
+  }
+  filter_.assign(num_slices * slice_filter_buckets_, 0);
+  for (Shard& shard : old) {
+    for (Slot& slot : shard.slots) {
+      if (slot.used) {
+        GetOrCreate(slot.key) = slot.entry;
+      }
+    }
+  }
 }
 
 std::size_t LineDirectory::size() const {

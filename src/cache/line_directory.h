@@ -61,7 +61,24 @@ struct LineDirectoryEntry {
 
 class LineDirectory {
  public:
+  // Shard selector for slice-sharded mode: maps a line base address to its
+  // LLC slice (the epoch engine passes SlicedLlc::SliceOf). Plain function
+  // pointer + context, not std::function — Find is the hottest lookup.
+  using SliceFn = SliceId (*)(const void* ctx, PhysAddr line);
+
   LineDirectory();
+
+  // Repartitions the directory into one shard (plus a private filter
+  // segment) per LLC slice, shard chosen by `fn(ctx, line)`. Existing
+  // entries are rehashed into their slice shards. After this call, all
+  // operations on lines of different slices touch disjoint storage, which
+  // is what lets the epoch engine's per-slice replay workers mutate the
+  // directory concurrently (docs/architecture.md §14). Results are
+  // identical in either layout; only the shard arithmetic changes. The
+  // switch is one-way for the lifetime of the directory.
+  void EnableSliceSharding(std::uint32_t num_slices, SliceFn fn, const void* ctx);
+
+  bool slice_sharded() const { return slice_mode_; }
 
   // Returns the entry for the line containing `addr`, or nullptr if the
   // directory has none. All lookups normalise to the line base address.
@@ -70,10 +87,11 @@ class LineDirectory {
   LineDirectoryEntry* Find(PhysAddr addr) {
     const PhysAddr line = LineBase(addr);
     const std::uint64_t hash = HashLine(line);
-    if (filter_[FilterIndex(hash)] == 0) {
+    const std::size_t shard_index = ShardIndexFor(line, hash);
+    if (filter_[FilterByteFor(shard_index, hash)] == 0) {
       return nullptr;
     }
-    Shard& shard = ShardFor(hash);
+    Shard& shard = shards_[shard_index];
     std::size_t i = hash & shard.mask;
     while (shard.slots[i].used) {
       if (shard.slots[i].key == line) {
@@ -108,8 +126,9 @@ class LineDirectory {
   // DMA-heavy throughput bench). The rare filtered-in lookup pays the slot
   // demand miss instead. No simulated effect either way.
   void PrefetchEntry(PhysAddr addr) const {
-    const std::uint64_t hash = HashLine(LineBase(addr));
-    __builtin_prefetch(filter_.data() + FilterIndex(hash));
+    const PhysAddr line = LineBase(addr);
+    const std::uint64_t hash = HashLine(line);
+    __builtin_prefetch(filter_.data() + FilterByteFor(ShardIndexFor(line, hash), hash));
   }
 
  private:
@@ -148,11 +167,31 @@ class LineDirectory {
     return x ^ (x >> 31);
   }
 
-  Shard& ShardFor(std::uint64_t hash) { return shards_[hash >> 60]; }
-  const Shard& ShardFor(std::uint64_t hash) const { return shards_[hash >> 60]; }
+  // Shard selection. Default layout: top 4 hash bits pick one of 16 shards
+  // and the filter is one flat 64 KiB table. Slice-sharded layout: the
+  // slice hash picks the shard and each shard owns a private filter
+  // segment, so concurrent per-slice mutators never share a counter byte.
+  std::size_t ShardIndexFor(PhysAddr line, std::uint64_t hash) const {
+    if (!slice_mode_) [[likely]] {
+      return static_cast<std::size_t>(hash >> 60);
+    }
+    return slice_fn_(slice_ctx_, line);
+  }
+
+  std::size_t FilterByteFor(std::size_t shard_index, std::uint64_t hash) const {
+    if (!slice_mode_) [[likely]] {
+      return FilterIndex(hash);
+    }
+    return shard_index * slice_filter_buckets_ + (FilterIndex(hash) & (slice_filter_buckets_ - 1));
+  }
 
   std::vector<Shard> shards_;
-  std::vector<std::uint8_t> filter_;  // kFilterBuckets entry counters
+  std::vector<std::uint8_t> filter_;  // exact per-bucket entry counters
+
+  bool slice_mode_ = false;
+  std::size_t slice_filter_buckets_ = 0;  // power of two, per-shard segment size
+  SliceFn slice_fn_ = nullptr;
+  const void* slice_ctx_ = nullptr;
 };
 
 }  // namespace cachedir

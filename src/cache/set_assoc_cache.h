@@ -290,6 +290,11 @@ class SetAssocCache {
   }
 
  private:
+  // The epoch engine (src/sim/epoch_engine.cc) journals set rows — tag row,
+  // SetScalars, LRU stamps — as raw pre-images so a misspeculated window can
+  // be rolled back bit-exactly, and snapshots rng_ for kRandom.
+  friend class EpochEngine;
+
   // The word-sized per-set state, packed into one 32-byte record so a probe
   // or fill touches a single host cache line instead of one per array: the
   // valid/dirty way masks (dirty ⊆ valid invariant), the LRU tick counter,

@@ -188,6 +188,11 @@ class SlicedLlc {
   }
 
  private:
+  // The epoch engine needs mutable slice access for its per-slice replay
+  // workers (every mutation still goes through SetAssocCache's own methods,
+  // journaled for rollback).
+  friend class EpochEngine;
+
   static constexpr std::size_t kMaxCos = 16;
 
   std::shared_ptr<const SliceHash> hash_;

@@ -125,11 +125,19 @@ void SimNic::Transmit(Mbuf* mbuf) {
 }
 
 Nanoseconds SimNic::TransmitAt(Mbuf* mbuf, Nanoseconds now) {
+  TxDma(mbuf);
+  return TxWireAt(mbuf, now);
+}
+
+void SimNic::TxDma(Mbuf* mbuf) {
   if (mbuf == nullptr) {
-    throw std::invalid_argument("SimNic::TransmitAt: null mbuf");
+    throw std::invalid_argument("SimNic::TxDma: null mbuf");
   }
-  ReclaimTx(now);
   hierarchy_.DmaReadRange(mbuf->data_pa(), mbuf->data_len, BufSlices(*mbuf, mbuf->data_pa()));
+}
+
+Nanoseconds SimNic::TxWireAt(Mbuf* mbuf, Nanoseconds now) {
+  ReclaimTx(now);
   const double wire_ns =
       (static_cast<double>(mbuf->data_len) + kWireOverheadBytes) * 8.0 /
       config_.tx_line_rate_gbps;

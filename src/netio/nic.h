@@ -115,6 +115,15 @@ class SimNic {
   // latency). Also reclaims previously completed TX buffers.
   Nanoseconds TransmitAt(Mbuf* mbuf, Nanoseconds now);
 
+  // TransmitAt, split for deferred-timing callers (the NFV runtime's
+  // epoch-engine drain): TxDma issues the frame's DMA read — the only
+  // simulated-memory work, so it can be captured while `now` is still
+  // unknown — and TxWireAt later schedules the wire occupancy and reclaims
+  // completed buffers. TransmitAt(m, t) == TxDma(m) then TxWireAt(m, t):
+  // ReclaimTx commutes with the DMA because it only touches the buffer pool.
+  void TxDma(Mbuf* mbuf);
+  Nanoseconds TxWireAt(Mbuf* mbuf, Nanoseconds now);
+
   // Returns buffers whose TX completed by `now` to the pool.
   void ReclaimTx(Nanoseconds now);
   // Drains the TX queue unconditionally (end of a simulation run).

@@ -1,6 +1,9 @@
 #include "src/nfv/runtime.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "src/sim/epoch_engine.h"
 
 namespace cachedir {
 
@@ -76,6 +79,10 @@ void NfvRuntime::ProcessQueueUntil(std::size_t queue, Nanoseconds horizon,
 }
 
 void NfvRuntime::DrainQueue(std::size_t queue, LatencyRecorder* recorder) {
+  if (config_.engine != nullptr) {
+    DrainQueueDeferred(queue, recorder);
+    return;
+  }
   // Infinite horizon: every entry already in the ring is processable, so the
   // per-packet stop check disappears and pops run in ring-order bursts. The
   // per-packet work (descriptor read, chain, TX DMA) still interleaves
@@ -104,11 +111,20 @@ void NfvRuntime::ProcessOnePacket(CoreId core, std::size_t queue, Mbuf* mbuf, Na
                                   LatencyRecorder* recorder, DeliveryRecord* staged,
                                   std::size_t& staged_n) {
   // PMD + driver: fetch the descriptor/metadata line, fixed software cost.
+  // Under an epoch engine the hierarchy returns placeholder results, so the
+  // memory share of `cycles` is read back through a per-packet line-op
+  // bracket instead — which settles the engine: the finite-horizon path
+  // needs each packet's finish time before the next scheduling decision.
+  EpochEngine* const engine = config_.engine;
+  const std::uint64_t mark = engine != nullptr ? engine->line_op_count() : 0;
   Cycles cycles = config_.per_packet_overhead_cycles;
   cycles += hierarchy_.Read(core, mbuf->struct_pa).cycles;
 
   const ProcessResult chain_result = chain_.Process(core, *mbuf);
   cycles += chain_result.cycles;
+  if (engine != nullptr) {
+    cycles += engine->CyclesInRange(mark, engine->line_op_count());
+  }
 
   const Nanoseconds finish = start + freq_.ToNanoseconds(cycles);
   core_time_ns_[queue] = finish;
@@ -133,6 +149,79 @@ void NfvRuntime::ProcessOnePacket(CoreId core, std::size_t queue, Mbuf* mbuf, Na
       recorder->RecordDelivery(wire, departed, latency_start);
     }
   }
+}
+
+void NfvRuntime::DrainQueueDeferred(std::size_t queue, LatencyRecorder* recorder) {
+  EpochEngine& engine = *config_.engine;
+  const CoreId core = SimNic::CoreForQueue(queue);
+  // One drained packet whose memory work is captured but not yet timed.
+  struct Pending {
+    Mbuf* mbuf = nullptr;
+    WirePacket wire;
+    Nanoseconds rx_ready_ns = 0;
+    Nanoseconds latency_start = 0;
+    Cycles fixed_cycles = 0;      // overhead + element fixed costs
+    std::uint64_t begin = 0;      // line-op bracket of the memory share
+    std::uint64_t end = 0;
+    bool drop = false;
+  };
+  // Capture pass: issue every remaining packet's memory work — descriptor
+  // read, chain, TX DMA — in exactly the serial drain's order. Nothing here
+  // needs simulated time, so it all lands in the engine's capture buffer.
+  std::vector<Pending> pending;
+  Mbuf* burst[kMaxBurst];
+  for (;;) {
+    const std::size_t n = nic_.RxPopBurst(queue, burst);
+    if (n == 0) {
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Mbuf* mbuf = burst[i];
+      Pending p;
+      p.mbuf = mbuf;
+      p.wire = mbuf->wire;
+      p.rx_ready_ns = mbuf->rx_ready_ns;
+      p.latency_start =
+          config_.measure_from_dut_port ? mbuf->nic_rx_start_ns : mbuf->wire.tx_time_ns;
+      p.begin = engine.line_op_count();
+      hierarchy_.Read(core, mbuf->struct_pa);
+      const ProcessResult chain_result = chain_.Process(core, *mbuf);
+      p.fixed_cycles = config_.per_packet_overhead_cycles + chain_result.cycles;
+      p.drop = chain_result.drop;
+      // Bracket closes before the TX DMA: TransmitAt discards the DMA read's
+      // cycles (wire pace, not core time), so the packet must not be charged
+      // for it — but the DMA still captures here to keep LLC state evolving
+      // in the serial drain's op order.
+      p.end = engine.line_op_count();
+      nic_.TxDma(mbuf);
+      pending.push_back(p);
+    }
+  }
+  // Timing pass: settle (the parallel epochs run here), then replay the
+  // clockwork serially — core clock, wire serialisation, buffer reclaim and
+  // latency records happen in the same per-packet order with the same cycle
+  // values as the serial drain.
+  engine.Flush();
+  DeliveryRecord staged[kMaxBurst];
+  std::size_t staged_n = 0;
+  for (const Pending& p : pending) {
+    const Cycles cycles = p.fixed_cycles + engine.CyclesInRange(p.begin, p.end);
+    const Nanoseconds start = std::max(core_time_ns_[queue], p.rx_ready_ns);
+    const Nanoseconds finish = start + freq_.ToNanoseconds(cycles);
+    core_time_ns_[queue] = finish;
+    ++processed_;
+    const Nanoseconds departed = nic_.TxWireAt(p.mbuf, finish);
+    if (!p.drop && recorder != nullptr) {
+      staged[staged_n++] = DeliveryRecord{p.wire, departed, p.latency_start};
+      if (staged_n == kMaxBurst) {
+        recorder->RecordDeliveryBatch({staged, staged_n});
+        staged_n = 0;
+      }
+    }
+  }
+  queue_next_start_[queue] = std::numeric_limits<Nanoseconds>::infinity();
+  FlushStaged(recorder, staged, staged_n);
+  engine.DropSettledResults();
 }
 
 void NfvRuntime::FlushStaged(LatencyRecorder* recorder, const DeliveryRecord* staged,

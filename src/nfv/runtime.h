@@ -19,6 +19,8 @@
 
 namespace cachedir {
 
+class EpochEngine;
+
 class NfvRuntime {
  public:
   struct Config {
@@ -36,6 +38,16 @@ class NfvRuntime {
     // packet-at-a-time reference path burst_equivalence_test compares
     // against.
     bool burst = true;
+    // Optional epoch engine attached to the same hierarchy (must be built
+    // with keep_line_results). The drain phase then captures every remaining
+    // packet's memory work first and settles it through the engine's
+    // parallel epochs, replaying the per-packet clockwork — core time, wire
+    // serialisation, buffer reclaim, latency records — once the cycles are
+    // known; simulated results stay bit-identical (§14). Finite-horizon
+    // processing needs each packet's cycles immediately and settles per
+    // packet. The runtime retires the engine's settled per-line results
+    // after each drain.
+    EpochEngine* engine = nullptr;
   };
 
   NfvRuntime(const Config& config, MemoryHierarchy& hierarchy, SimNic& nic,
@@ -61,6 +73,9 @@ class NfvRuntime {
   // Drain path (infinite horizon): every remaining ring entry is provably
   // processable, so RX pops run in bursts.
   void DrainQueue(std::size_t queue, LatencyRecorder* recorder);
+  // Engine drain: capture pass (memory work, bracketed per packet), settle,
+  // timing pass (clockwork + records).
+  void DrainQueueDeferred(std::size_t queue, LatencyRecorder* recorder);
   void ProcessOnePacket(CoreId core, std::size_t queue, Mbuf* mbuf, Nanoseconds start,
                         LatencyRecorder* recorder, DeliveryRecord* staged, std::size_t& staged_n);
   void FlushStaged(LatencyRecorder* recorder, const DeliveryRecord* staged, std::size_t& staged_n);

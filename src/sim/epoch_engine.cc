@@ -1,0 +1,1189 @@
+// Epoch engine implementation. The phase-2 replay handlers below mirror
+// MemoryHierarchy::Access and its helpers (src/cache/hierarchy.cc) operation
+// for operation — every directory/LLC/CBo mutation happens in the same order
+// the serial code performs it, which is what makes the merge bit-identical.
+// Any deviation from the serial path must fail a validation (A1/A2/A3 below)
+// and abort the window into the serial fallback; epoch_equivalence_test
+// compares full simulated state against the serial engine either way.
+#include "src/sim/epoch_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace cachedir {
+namespace {
+
+constexpr std::uint64_t Bit(CoreId core) { return std::uint64_t{1} << core; }
+
+}  // namespace
+
+SliceId EpochEngine::DirSliceFn(const void* ctx, PhysAddr line) {
+  return static_cast<const SlicedLlc*>(ctx)->SliceOf(line);
+}
+
+EpochEngine::EpochEngine(MemoryHierarchy& hierarchy, const EpochEngineOptions& options)
+    : hierarchy_(hierarchy),
+      options_(options),
+      pool_(options.num_threads),
+      serial_only_(options.force_serial || hierarchy.spec().l2_next_line_prefetch),
+      random_repl_(hierarchy.spec().replacement == ReplacementKind::kRandom) {
+  if (hierarchy_.capture_ != nullptr) {
+    throw std::logic_error("EpochEngine: hierarchy already has a capture sink");
+  }
+  if (options_.window_line_ops == 0) {
+    throw std::invalid_argument("EpochEngine: window_line_ops must be positive");
+  }
+  if (!serial_only_) {
+    const MachineSpec& spec = hierarchy_.spec();
+    const std::size_t cores = spec.num_cores;
+    const std::size_t slices = spec.num_slices;
+    const std::size_t num_workers = pool_.num_threads();
+    hierarchy_.directory_.EnableSliceSharding(static_cast<std::uint32_t>(slices), &DirSliceFn,
+                                              &hierarchy_.llc_);
+    workers_.resize(num_workers);
+    for (WorkerCtx& ctx : workers_) {
+      ctx.queues.resize(slices);
+      ctx.merged_effects.resize((cores + num_workers - 1) / num_workers);
+    }
+    slice_ctx_.resize(slices);
+    for (SliceCtx& ctx : slice_ctx_) {
+      ctx.effects.resize(cores);
+    }
+    l1_tables_.resize(cores);
+    l2_tables_.resize(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+      const std::size_t l1_sets = hierarchy_.l1_[c].num_sets();
+      const std::size_t l2_sets = hierarchy_.l2_[c].num_sets();
+      l1_tables_[c].journal_tag.assign(l1_sets, 0);
+      l1_tables_[c].fill_tag.assign(l1_sets, 0);
+      l1_tables_[c].fill_key.assign(l1_sets, 0);
+      l2_tables_[c].journal_tag.assign(l2_sets, 0);
+      l2_tables_[c].fill_tag.assign(l2_sets, 0);
+      l2_tables_[c].fill_key.assign(l2_sets, 0);
+    }
+    llc_sets_ = hierarchy_.llc_.slices_[0].num_sets();
+    llc_journal_tag_.assign(slices * llc_sets_, 0);
+    if (random_repl_) {
+      core_rng_snapshot_.assign(cores * 2, Rng(0));
+    }
+  }
+  ops_.reserve(options_.window_line_ops + 64);
+  hierarchy_.AttachCaptureSink(this);
+}
+
+EpochEngine::~EpochEngine() {
+  Flush();
+  if (hierarchy_.capture_ == this) {
+    hierarchy_.AttachCaptureSink(nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capture.
+
+AccessResult EpochEngine::OnAccess(CoreId core, PhysAddr addr, bool is_write) {
+  CaptureCoreLine(core, addr, is_write);
+  return AccessResult{};
+}
+
+BatchResult EpochEngine::OnAccessRange(CoreId core, const AccessBatch& batch, bool is_write) {
+  if (!batch.per_line.empty()) {
+    // The caller wants individual AccessResults now, which capture cannot
+    // provide: settle everything pending, then run the batch in place. The
+    // batch stays outside engine numbering — its real result goes back to
+    // the caller directly, exactly as without an engine.
+    Flush();
+    hierarchy_.capture_ = nullptr;
+    const BatchResult result =
+        is_write ? hierarchy_.WriteRange(core, batch) : hierarchy_.ReadRange(core, batch);
+    hierarchy_.capture_ = this;
+    return result;
+  }
+  BatchResult result;
+  if (!batch.gather.empty()) {
+    // Reserve once so the whole batch lands in one window; batches are
+    // equivalent to their scalar expansion by contract, so each address
+    // captures as its own line op.
+    ReserveWindow(batch.gather.size());
+    for (const PhysAddr addr : batch.gather) {
+      CapturedOp op;
+      op.kind = CapturedOp::Kind::kCoreAccess;
+      op.is_write = is_write;
+      op.core = core;
+      op.addr = LineBase(addr);
+      op.first_seq = next_seq_;
+      ops_.push_back(op);
+      ++next_seq_;
+      ++window_lines_;
+    }
+    engine_stats_.captured_line_ops += batch.gather.size();
+    result.lines = batch.gather.size();
+  } else {
+    const PhysAddr first = LineBase(batch.addr);
+    const PhysAddr last = LineBase(batch.addr + (batch.bytes == 0 ? 0 : batch.bytes - 1));
+    const std::size_t n = static_cast<std::size_t>((last - first) / kCacheLineSize) + 1;
+    ReserveWindow(n);
+    for (PhysAddr line = first; line <= last; line += kCacheLineSize) {
+      CapturedOp op;
+      op.kind = CapturedOp::Kind::kCoreAccess;
+      op.is_write = is_write;
+      op.core = core;
+      op.addr = line;
+      op.first_seq = next_seq_;
+      ops_.push_back(op);
+      ++next_seq_;
+      ++window_lines_;
+    }
+    engine_stats_.captured_line_ops += n;
+    result.lines = n;
+  }
+  return result;
+}
+
+Cycles EpochEngine::OnDmaRange(PhysAddr addr, std::size_t bytes, bool is_write) {
+  const PhysAddr first = LineBase(addr);
+  const PhysAddr last = LineBase(addr + (bytes == 0 ? 0 : bytes - 1));
+  const std::size_t n = static_cast<std::size_t>((last - first) / kCacheLineSize) + 1;
+  ReserveWindow(n);
+  CapturedOp op;
+  op.kind = is_write ? CapturedOp::Kind::kDmaWrite : CapturedOp::Kind::kDmaRead;
+  op.addr = addr;  // original address: bytes are measured from here on replay
+  op.bytes = bytes;
+  op.first_seq = next_seq_;
+  op.lines = static_cast<std::uint32_t>(n);
+  ops_.push_back(op);
+  next_seq_ += n;
+  window_lines_ += n;
+  engine_stats_.captured_line_ops += n;
+  return 0;
+}
+
+void EpochEngine::CaptureCoreLine(CoreId core, PhysAddr addr, bool is_write) {
+  ReserveWindow(1);
+  CapturedOp op;
+  op.kind = CapturedOp::Kind::kCoreAccess;
+  op.is_write = is_write;
+  op.core = core;
+  op.addr = LineBase(addr);
+  op.first_seq = next_seq_;
+  ops_.push_back(op);
+  ++next_seq_;
+  ++window_lines_;
+  ++engine_stats_.captured_line_ops;
+}
+
+void EpochEngine::ReserveWindow(std::size_t incoming_lines) {
+  if (window_lines_ != 0 && window_lines_ + incoming_lines > options_.window_line_ops) {
+    Settle();
+  }
+}
+
+void EpochEngine::Flush() { Settle(); }
+
+Cycles EpochEngine::CyclesInRange(std::uint64_t begin, std::uint64_t end) {
+  Flush();
+  if (!options_.keep_line_results) {
+    throw std::logic_error("EpochEngine::CyclesInRange requires keep_line_results");
+  }
+  if (begin > end || begin < results_base_ || end > results_base_ + results_.size()) {
+    throw std::out_of_range("EpochEngine::CyclesInRange: span outside retained results");
+  }
+  Cycles total = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    total += results_[i - results_base_];
+  }
+  return total;
+}
+
+void EpochEngine::DropSettledResults() {
+  Flush();
+  results_base_ += results_.size();
+  results_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Settling.
+
+void EpochEngine::Settle() {
+  if (window_lines_ == 0) {
+    return;
+  }
+  ++engine_stats_.windows;
+  if (serial_only_) {
+    ReplaySerial();
+  } else {
+    ++engine_stats_.speculative_windows;
+    PrepareWindow();
+    pool_.Run([this](std::size_t w) { Phase1(w); });
+    pool_.Run([this](std::size_t w) { Phase2(w); });
+    bool abort = false;
+    for (const SliceCtx& ctx : slice_ctx_) {
+      abort = abort || ctx.abort;
+    }
+    if (!abort) {
+      pool_.Run([this](std::size_t w) { Phase3Verdict(w); });
+      for (const WorkerCtx& ctx : workers_) {
+        abort = abort || ctx.abort;
+      }
+    }
+    if (!abort) {
+      pool_.Run([this](std::size_t w) { Phase3Commit(w); });
+      CommitWindow();
+    } else {
+      ++engine_stats_.aborted_windows;
+      RollbackWindow();
+      ReplaySerial();
+    }
+  }
+  ops_.clear();
+  window_base_ = next_seq_;
+  window_lines_ = 0;
+}
+
+void EpochEngine::ReplaySerial() {
+  // The reference path (and the abort fallback): run the window through the
+  // public API with capture suspended — byte-for-byte the execution that
+  // would have happened without an engine attached.
+  HierarchyCaptureSink* const saved = hierarchy_.capture_;
+  hierarchy_.capture_ = nullptr;
+  Cycles window_total = 0;
+  for (const CapturedOp& op : ops_) {
+    Cycles cycles = 0;
+    switch (op.kind) {
+      case CapturedOp::Kind::kCoreAccess:
+        cycles = (op.is_write ? hierarchy_.Write(op.core, op.addr)
+                              : hierarchy_.Read(op.core, op.addr))
+                     .cycles;
+        break;
+      case CapturedOp::Kind::kDmaWrite:
+        cycles = hierarchy_.DmaWriteRange(op.addr, op.bytes);
+        break;
+      case CapturedOp::Kind::kDmaRead:
+        cycles = hierarchy_.DmaReadRange(op.addr, op.bytes);
+        break;
+    }
+    window_total += cycles;
+    if (options_.keep_line_results) {
+      // A multi-line range's cost is attributed to its first line; spans
+      // taken at op boundaries (the contract) sum identically either way.
+      results_.push_back(cycles);
+      for (std::uint32_t i = 1; i < op.lines; ++i) {
+        results_.push_back(0);
+      }
+    }
+  }
+  hierarchy_.capture_ = saved;
+  total_cycles_ += window_total;
+}
+
+void EpochEngine::PrepareWindow() {
+  ++window_id_;
+  if (window_id_ == 0) {
+    // Tag wraparound after 2^32 windows: flush every window-tagged table so
+    // a stale tag can never alias the new window.
+    for (std::vector<CoreCacheTables>* tables : {&l1_tables_, &l2_tables_}) {
+      for (CoreCacheTables& t : *tables) {
+        std::fill(t.journal_tag.begin(), t.journal_tag.end(), 0u);
+        std::fill(t.fill_tag.begin(), t.fill_tag.end(), 0u);
+      }
+    }
+    std::fill(llc_journal_tag_.begin(), llc_journal_tag_.end(), 0u);
+    window_id_ = 1;
+  }
+  own_cycles_.assign(window_lines_, 0);
+  shared_cycles_.assign(window_lines_, 0);
+  for (WorkerCtx& ctx : workers_) {
+    for (std::vector<MicroOp>& queue : ctx.queues) {
+      queue.clear();
+    }
+    ctx.stats = HierarchyStats{};
+    ctx.rows.clear();
+    ctx.row_words.clear();
+    ctx.abort = false;
+  }
+  for (SliceCtx& ctx : slice_ctx_) {
+    ctx.stats = HierarchyStats{};
+    ctx.rows.clear();
+    ctx.row_words.clear();
+    ctx.dir_records.clear();
+    for (std::vector<Effect>& effects : ctx.effects) {
+      effects.clear();
+    }
+    ctx.abort = false;
+  }
+  cbo_snapshot_ = hierarchy_.llc_.cbo().Snapshot();
+  if (random_repl_) {
+    const std::size_t cores = hierarchy_.l1_.size();
+    for (std::size_t c = 0; c < cores; ++c) {
+      core_rng_snapshot_[c * 2] = hierarchy_.l1_[c].rng_;
+      core_rng_snapshot_[c * 2 + 1] = hierarchy_.l2_[c].rng_;
+    }
+    for (std::size_t s = 0; s < slice_ctx_.size(); ++s) {
+      slice_ctx_[s].rng_snapshot = hierarchy_.llc_.slices_[s].rng_;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: core-local execution + prediction.
+
+void EpochEngine::Phase1(std::size_t worker) {
+  WorkerCtx& ctx = workers_[worker];
+  const std::size_t num_workers = pool_.num_threads();
+  const std::size_t n = ops_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const CapturedOp& op = ops_[i];
+    if (op.kind == CapturedOp::Kind::kCoreAccess) {
+      if (op.core % num_workers == worker) {
+        Phase1Access(ctx, op);
+      }
+    } else if (i % num_workers == worker) {
+      // DMA ranges round-robin by op index: their dominant cost is the
+      // per-line Complex Addressing hash, which parallelises here.
+      Phase1Dma(ctx, op);
+    }
+  }
+}
+
+void EpochEngine::Phase1Access(WorkerCtx& ctx, const CapturedOp& op) {
+  const CoreId core = op.core;
+  const PhysAddr line = op.addr;
+  const bool is_write = op.is_write;
+  const std::uint64_t seq = op.first_seq;
+  const std::uint64_t rel = seq - window_base_;
+  const LatencyModel& lat = hierarchy_.spec_.latency;
+  // Pure hash, never the directory memo — reading an entry here would race
+  // with phase 2 of a previous... there is no overlap between phases, but
+  // the memo write is a phase-2 (directory) mutation and must happen there.
+  const SliceId slice = hierarchy_.llc_.SliceOf(line);
+
+  MicroOp micro;
+  micro.key = Key(seq, 0);
+  micro.line = line;
+  micro.core = core;
+  if (is_write) {
+    micro.flags |= kFlagIsWrite;
+  }
+
+  // L1 (journal first: a hit's promotion mutates the row).
+  SetAssocCache& l1 = hierarchy_.l1_[core];
+  JournalCoreRow(ctx, core, /*is_l1=*/true, l1.SetIndexOf(line));
+  if (const auto r1 = l1.Probe(line); r1.hit) {
+    ++ctx.stats.l1_hits;
+    micro.kind = kOpHitL1;
+    if (r1.dirty) {
+      micro.flags |= kFlagObservedDirty;
+    }
+    if (is_write) {
+      own_cycles_[rel] = lat.store_commit;
+      l1.MarkDirty(line);
+    } else {
+      own_cycles_[rel] = lat.l1_hit;
+    }
+    Emit(ctx, slice, micro);
+    return;
+  }
+  ++ctx.stats.l1_misses;
+
+  // L2.
+  SetAssocCache& l2 = hierarchy_.l2_[core];
+  JournalCoreRow(ctx, core, /*is_l1=*/false, l2.SetIndexOf(line));
+  if (const auto r2 = l2.Probe(line); r2.hit) {
+    ++ctx.stats.l2_hits;
+    micro.kind = kOpHitL2;
+    if (r2.dirty) {
+      micro.flags |= kFlagObservedDirty;
+    }
+    own_cycles_[rel] = lat.l2_hit;
+    Emit(ctx, slice, micro);
+    LocalFillL1(ctx, core, line, /*dirty=*/is_write, seq, /*fill_sub=*/0, /*evict_sub=*/1);
+    return;
+  }
+  ++ctx.stats.l2_misses;
+
+  // Miss: predict the shared branch from the frozen pre-window state (reads
+  // only — phase 1 never mutates shared structures); phase 2 validates every
+  // prediction against the authoritative replay and aborts on mismatch.
+  micro.kind = kOpMiss;
+  const LineDirectory& directory = hierarchy_.directory_;
+  const LineDirectoryEntry* entry = directory.Find(line);
+  const std::uint64_t dirty_others = entry != nullptr ? entry->dirty() & ~Bit(core) : 0;
+  const bool pred_remote = dirty_others != 0;
+  bool fill_dirty_l2 = false;
+  bool fill_dirty_l1 = is_write;
+  if (pred_remote) {
+    micro.flags |= kFlagPredRemote;
+    if (!is_write) {
+      // Serial: fill_dirty = !llc.MarkDirtyOnSlice — the dirt rides on our
+      // copy iff the line is not LLC-resident.
+      const bool pred_fill_dirty = !hierarchy_.llc_.ContainsOnSlice(slice, line);
+      if (pred_fill_dirty) {
+        micro.flags |= kFlagPredFillDirty;
+      }
+      fill_dirty_l2 = pred_fill_dirty;
+      fill_dirty_l1 = pred_fill_dirty;
+    }
+    // Write: the remote Modified copy dies and its dirt transfers to the L1
+    // copy (fill_dirty_l1 == true already; the L2 copy fills clean).
+  } else if (hierarchy_.spec_.inclusion == LlcInclusionPolicy::kVictim) {
+    const SetAssocCache& llc_slice = hierarchy_.llc_.slices_[slice];
+    if (llc_slice.Contains(line)) {
+      micro.flags |= kFlagPredLlcHit;
+      if (llc_slice.IsDirty(line)) {
+        micro.flags |= kFlagPredFillDirty;
+        fill_dirty_l2 = true;
+      }
+    }
+  }
+  // Inclusive non-remote: the L2 copy always fills clean (serial passes
+  // fill_dirty == false on that path), so there is nothing to predict.
+  Emit(ctx, slice, micro);
+  LocalFillL2(ctx, core, line, fill_dirty_l2, seq);
+  LocalFillL1(ctx, core, line, fill_dirty_l1, seq, /*fill_sub=*/2, /*evict_sub=*/2);
+}
+
+void EpochEngine::Phase1Dma(WorkerCtx& ctx, const CapturedOp& op) {
+  const bool is_write = op.kind == CapturedOp::Kind::kDmaWrite;
+  const PhysAddr first = LineBase(op.addr);
+  MicroOp micro;
+  micro.kind = is_write ? kOpDmaWrite : kOpDmaRead;
+  for (std::uint32_t i = 0; i < op.lines; ++i) {
+    const PhysAddr line = first + std::uint64_t{i} * kCacheLineSize;
+    micro.key = Key(op.first_seq + i, 0);
+    micro.line = line;
+    Emit(ctx, hierarchy_.llc_.SliceOf(line), micro);
+  }
+}
+
+void EpochEngine::LocalFillL1(WorkerCtx& ctx, CoreId core, PhysAddr line, bool dirty,
+                              std::uint64_t seq, unsigned fill_sub, unsigned evict_sub) {
+  // The tag-array half of MemoryHierarchy::FillL1; the directory half replays
+  // in phase 2 (kOpHitL2/kOpMiss primaries carry the fill's dir bits, the
+  // victim's go with the kOpL1Evict micro-op).
+  SetAssocCache& l1 = hierarchy_.l1_[core];
+  const std::size_t set = l1.SetIndexOf(line);
+  JournalCoreRow(ctx, core, /*is_l1=*/true, set);
+  const auto evicted = l1.Insert(line, dirty);
+  NoteFill(core, /*is_l1=*/true, set, Key(seq, fill_sub));
+  if (!evicted.has_value()) {
+    return;
+  }
+  const PhysAddr victim = evicted->line;
+  bool in_l2 = false;
+  if (evicted->dirty) {
+    // L1 victims land in L2 when it still holds the line; phase 2 validates
+    // the in_l2 claim and routes the dirt onward when it does not.
+    SetAssocCache& l2 = hierarchy_.l2_[core];
+    JournalCoreRow(ctx, core, /*is_l1=*/false, l2.SetIndexOf(victim));
+    in_l2 = l2.MarkDirty(victim);
+  }
+  MicroOp micro;
+  micro.key = Key(seq, evict_sub);
+  micro.line = victim;
+  micro.core = core;
+  micro.kind = kOpL1Evict;
+  if (evicted->dirty) {
+    micro.flags |= kFlagEvictedDirty;
+  }
+  if (in_l2) {
+    micro.flags |= kFlagCompanionPresent;
+  }
+  Emit(ctx, hierarchy_.llc_.SliceOf(victim), micro);
+}
+
+void EpochEngine::LocalFillL2(WorkerCtx& ctx, CoreId core, PhysAddr line, bool dirty,
+                              std::uint64_t seq) {
+  SetAssocCache& l2 = hierarchy_.l2_[core];
+  const std::size_t set = l2.SetIndexOf(line);
+  JournalCoreRow(ctx, core, /*is_l1=*/false, set);
+  const auto evicted = l2.Insert(line, dirty);
+  NoteFill(core, /*is_l1=*/false, set, Key(seq, 1));
+  if (!evicted.has_value()) {
+    return;
+  }
+  // Serial FillL2's victim handling: the victim leaves L1 too (subset),
+  // carrying its dirt. Directory + LLC halves replay as kOpL2Evict.
+  const PhysAddr victim = evicted->line;
+  SetAssocCache& l1 = hierarchy_.l1_[core];
+  JournalCoreRow(ctx, core, /*is_l1=*/true, l1.SetIndexOf(victim));
+  const auto l1_state = l1.Invalidate(victim);
+  const bool victim_dirty = evicted->dirty || l1_state.was_dirty;
+  const SliceId victim_slice = hierarchy_.llc_.SliceOf(victim);
+  MicroOp micro;
+  micro.key = Key(seq, 1);
+  micro.line = victim;
+  micro.core = core;
+  micro.kind = kOpL2Evict;
+  if (evicted->dirty) {
+    micro.flags |= kFlagEvictedDirty;
+  }
+  if (l1_state.was_present) {
+    micro.flags |= kFlagCompanionPresent;
+  }
+  if (l1_state.was_dirty) {
+    micro.flags |= kFlagCompanionDirty;
+  }
+  Emit(ctx, victim_slice, micro);
+  if (victim_dirty) {
+    // Both inclusion modes charge the same write-back busy cost to the core
+    // (hierarchy.cc FillL2); the slice equals the victim's memoized id.
+    own_cycles_[seq - window_base_] +=
+        hierarchy_.spec_.latency.writeback_busy + hierarchy_.SlicePenalty(core, victim_slice);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: authoritative replay, one worker per slice shard.
+
+void EpochEngine::Phase2(std::size_t worker) {
+  const std::size_t num_workers = pool_.num_threads();
+  for (std::size_t s = worker; s < slice_ctx_.size(); s += num_workers) {
+    ReplaySlice(slice_ctx_[s], static_cast<SliceId>(s));
+  }
+}
+
+void EpochEngine::ReplaySlice(SliceCtx& ctx, SliceId slice) {
+  // K-way merge of the (key-ascending) per-worker queues: total order per
+  // slice == the serial execution's op order restricted to this slice.
+  const std::size_t num_workers = workers_.size();
+  std::vector<std::size_t> head(num_workers, 0);
+  while (!ctx.abort) {
+    const MicroOp* best = nullptr;
+    std::size_t best_worker = 0;
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      const std::vector<MicroOp>& queue = workers_[w].queues[slice];
+      if (head[w] < queue.size()) {
+        const MicroOp& cand = queue[head[w]];
+        if (best == nullptr || cand.key < best->key) {
+          best = &cand;
+          best_worker = w;
+        }
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    ++head[best_worker];
+    switch (best->kind) {
+      case kOpHitL1:
+        ReplayHitL1(ctx, slice, *best);
+        break;
+      case kOpHitL2:
+        ReplayHitL2(ctx, slice, *best);
+        break;
+      case kOpMiss:
+        ReplayMiss(ctx, slice, *best);
+        break;
+      case kOpL2Evict:
+        ReplayL2Evict(ctx, slice, *best);
+        break;
+      case kOpL1Evict:
+        ReplayL1Evict(ctx, slice, *best);
+        break;
+      case kOpDmaWrite:
+        ReplayDmaWrite(ctx, slice, *best);
+        break;
+      case kOpDmaRead:
+        ReplayDmaRead(ctx, slice, *best);
+        break;
+      default:
+        ctx.abort = true;  // unreachable; abort (not throw) — this runs on a worker
+    }
+  }
+}
+
+void EpochEngine::ReplayHitL1(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  LineDirectory& directory = hierarchy_.directory_;
+  const PhysAddr line = op.line;
+  const std::uint64_t self = Bit(op.core);
+  LineDirectoryEntry* entry = directory.Find(line);
+  // Serial access top: the slice memo fills on first touch of the entry.
+  if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
+    RecordDir(ctx, line);
+    entry->slice_cache = slice;
+  }
+  // A1: phase 1 claims an L1 hit; the directory mirrors the tag arrays
+  // exactly, so a stale claim (an unapplied invalidate effect) shows here.
+  if (entry == nullptr || (entry->l1_sharers & self) == 0) {
+    ctx.abort = true;
+    return;
+  }
+  if ((op.flags & kFlagIsWrite) == 0) {
+    return;  // clean read hit: no shared-state work, phase 1 paid the cycles
+  }
+  const bool observed_dirty = (op.flags & kFlagObservedDirty) != 0;
+  if (observed_dirty != ((entry->l1_dirty & self) != 0)) {
+    ctx.abort = true;  // A1: the upgrade branch hangs off this bit
+    return;
+  }
+  const std::uint64_t others = entry->sharers() & ~self;
+  Cycles shared = 0;
+  if (!observed_dirty && others != 0) {
+    ++ctx.stats.upgrades;
+    ReplayInvalidateElsewhere(ctx, op.key, op.core, line);
+    shared = hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade;
+  }
+  RecordDir(ctx, line);
+  directory.GetOrCreate(line).l1_dirty |= self;
+  shared_cycles_[(op.key >> 2) - window_base_] = shared;
+}
+
+void EpochEngine::ReplayHitL2(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  LineDirectory& directory = hierarchy_.directory_;
+  const PhysAddr line = op.line;
+  const std::uint64_t self = Bit(op.core);
+  const bool is_write = (op.flags & kFlagIsWrite) != 0;
+  const bool observed_dirty = (op.flags & kFlagObservedDirty) != 0;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
+    RecordDir(ctx, line);
+    entry->slice_cache = slice;
+  }
+  // A1: L1 missed, L2 hit, and (writes) the observed L2 dirty bit agrees.
+  if (entry == nullptr || (entry->l1_sharers & self) != 0 || (entry->l2_sharers & self) == 0 ||
+      (is_write && observed_dirty != ((entry->l2_dirty & self) != 0))) {
+    ctx.abort = true;
+    return;
+  }
+  if (entry->prefetched) {
+    RecordDir(ctx, line);
+    entry->prefetched = false;
+    ++ctx.stats.prefetch_hits;
+  }
+  Cycles shared = 0;
+  const std::uint64_t others = entry->sharers() & ~self;
+  if (is_write && !observed_dirty && others != 0) {
+    ++ctx.stats.upgrades;
+    ReplayInvalidateElsewhere(ctx, op.key, op.core, line);
+    shared = hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade;
+  }
+  // FillL1's directory half (the tag-array half ran in phase 1).
+  DirFill(ctx, line, op.core, /*to_l1=*/true, /*dirty=*/is_write, slice);
+  shared_cycles_[(op.key >> 2) - window_base_] = shared;
+}
+
+void EpochEngine::ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  LineDirectory& directory = hierarchy_.directory_;
+  const PhysAddr line = op.line;
+  const CoreId core = op.core;
+  const std::uint64_t self = Bit(core);
+  const bool is_write = (op.flags & kFlagIsWrite) != 0;
+  const LatencyModel& lat = hierarchy_.spec_.latency;
+  const std::uint64_t rel = (op.key >> 2) - window_base_;
+  SlicedLlc& llc = hierarchy_.llc_;
+
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
+    RecordDir(ctx, line);
+    entry->slice_cache = slice;
+  }
+  // A1: a full private miss (phase 1's own L1/L2 state is a superset of the
+  // serial state, so this can only trip on a stale claim).
+  if (entry != nullptr && ((entry->l1_sharers | entry->l2_sharers) & self) != 0) {
+    ctx.abort = true;
+    return;
+  }
+  const std::uint64_t dirty_others = entry != nullptr ? entry->dirty() & ~self : 0;
+  const bool actual_remote = dirty_others != 0;
+  if (actual_remote != ((op.flags & kFlagPredRemote) != 0)) {
+    ctx.abort = true;  // A2: snoop branch predicted from frozen state
+    return;
+  }
+
+  if (actual_remote) {
+    ++ctx.stats.remote_forwards;
+    const Cycles shared = hierarchy_.LlcHitLatency(core, slice) + lat.snoop_transfer;
+    bool fill_dirty;
+    if (is_write) {
+      ReplayInvalidateElsewhere(ctx, op.key, core, line);
+      fill_dirty = true;
+    } else {
+      ReplayDowngradeElsewhere(ctx, op.key, core, line);
+      JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+      fill_dirty = !llc.MarkDirtyOnSlice(slice, line);
+      if (fill_dirty != ((op.flags & kFlagPredFillDirty) != 0)) {
+        ctx.abort = true;  // A2: phase 1 filled its L1/L2 with this bit
+        return;
+      }
+    }
+    if (hierarchy_.spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+      JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+      llc.LookupAndTouchOnSlice(slice, line);
+    }
+    DirFill(ctx, line, core, /*to_l1=*/false, fill_dirty && !is_write, slice);
+    DirFill(ctx, line, core, /*to_l1=*/true, is_write || fill_dirty, slice);
+    shared_cycles_[rel] = shared;
+    return;
+  }
+
+  // LLC.
+  Cycles shared = hierarchy_.LlcHitLatency(core, slice);
+  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+  const bool llc_hit = llc.LookupAndTouchOnSlice(slice, line);
+  const bool victim_mode = hierarchy_.spec_.inclusion == LlcInclusionPolicy::kVictim;
+  bool fill_dirty = false;
+  if (llc_hit) {
+    ++ctx.stats.llc_hits;
+    if (victim_mode) {
+      const auto inv = llc.InvalidateOnSlice(slice, line);  // same set, journaled above
+      fill_dirty = inv.was_dirty;
+    }
+  } else {
+    ++ctx.stats.llc_misses;
+    shared += lat.dram;
+    if (!victim_mode) {
+      const auto evicted = llc.InsertForCoreOnSlice(core, slice, line, /*dirty=*/false);
+      ReplayLlcEviction(ctx, op.key, slice, evicted);
+    }
+  }
+  if (victim_mode) {
+    // A2: phase 1 predicted the LLC outcome to pick its L2 fill dirt.
+    if (llc_hit != ((op.flags & kFlagPredLlcHit) != 0) ||
+        fill_dirty != ((op.flags & kFlagPredFillDirty) != 0)) {
+      ctx.abort = true;
+      return;
+    }
+  }
+  if (is_write) {
+    ReplayInvalidateElsewhere(ctx, op.key, core, line);
+  }
+  DirFill(ctx, line, core, /*to_l1=*/false, fill_dirty, slice);
+  DirFill(ctx, line, core, /*to_l1=*/true, /*dirty=*/is_write, slice);
+  shared_cycles_[rel] = shared;
+}
+
+void EpochEngine::ReplayL2Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  LineDirectory& directory = hierarchy_.directory_;
+  const PhysAddr line = op.line;
+  const CoreId core = op.core;
+  const std::uint64_t self = Bit(core);
+  const bool evicted_dirty = (op.flags & kFlagEvictedDirty) != 0;
+  const bool l1_present = (op.flags & kFlagCompanionPresent) != 0;
+  const bool l1_dirty = (op.flags & kFlagCompanionDirty) != 0;
+  LineDirectoryEntry* entry = directory.Find(line);
+  // A1: the victim's own L2 dirty bit and its L1 companion state must agree
+  // with the directory — they decide where the dirt goes.
+  if (entry == nullptr || (entry->l2_sharers & self) == 0 ||
+      evicted_dirty != ((entry->l2_dirty & self) != 0) ||
+      l1_present != ((entry->l1_sharers & self) != 0) ||
+      (l1_present && l1_dirty != ((entry->l1_dirty & self) != 0))) {
+    ctx.abort = true;
+    return;
+  }
+  // Serial order: DirRemoveL2, (local L1 invalidate — ran in phase 1),
+  // DirRemoveL1.
+  ReplayDirRemove(ctx, core, line, /*is_l1=*/false);
+  ReplayDirRemove(ctx, core, line, /*is_l1=*/true);
+  const bool victim_dirty = evicted_dirty || l1_dirty;
+  SlicedLlc& llc = hierarchy_.llc_;
+  if (hierarchy_.spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+    if (victim_dirty) {
+      ++ctx.stats.dirty_writebacks;
+      JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+      llc.MarkDirtyOnSlice(slice, line);
+    }
+    return;
+  }
+  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+  const auto llc_evicted = llc.FillFromL2OnSlice(core, slice, line, victim_dirty);
+  ReplayLlcEviction(ctx, op.key, slice, llc_evicted);
+  if (victim_dirty) {
+    ++ctx.stats.dirty_writebacks;
+  }
+}
+
+void EpochEngine::ReplayL1Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  LineDirectory& directory = hierarchy_.directory_;
+  const PhysAddr line = op.line;
+  const CoreId core = op.core;
+  const std::uint64_t self = Bit(core);
+  const bool evicted_dirty = (op.flags & kFlagEvictedDirty) != 0;
+  const bool in_l2 = (op.flags & kFlagCompanionPresent) != 0;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry == nullptr || (entry->l1_sharers & self) == 0 ||
+      evicted_dirty != ((entry->l1_dirty & self) != 0) ||
+      (evicted_dirty && in_l2 != ((entry->l2_sharers & self) != 0))) {
+    ctx.abort = true;
+    return;
+  }
+  ReplayDirRemove(ctx, core, line, /*is_l1=*/true);
+  if (!evicted_dirty) {
+    return;
+  }
+  if (in_l2) {
+    // Phase 1 already set the L2 dirty bit in the tag array; mirror it here.
+    RecordDir(ctx, line);
+    hierarchy_.directory_.GetOrCreate(line).l2_dirty |= self;
+  } else {
+    JournalLlcRow(ctx, slice, hierarchy_.llc_.slices_[slice].SetIndexOf(line));
+    if (!hierarchy_.llc_.MarkDirtyOnSlice(slice, line)) {
+      ++ctx.stats.dirty_writebacks;  // nowhere below: straight to DRAM
+    }
+  }
+}
+
+void EpochEngine::ReplayDmaWrite(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  const PhysAddr line = op.line;
+  ++ctx.stats.dma_line_writes;
+  ReplayBackInvalidate(ctx, op.key, line);
+  SlicedLlc& llc = hierarchy_.llc_;
+  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+  const auto evicted = llc.DmaFillOnSlice(slice, line);
+  ReplayLlcEviction(ctx, op.key, slice, evicted);
+  shared_cycles_[(op.key >> 2) - window_base_] =
+      hierarchy_.spec_.latency.llc_base + hierarchy_.SlicePenalty(0, slice);
+}
+
+void EpochEngine::ReplayDmaRead(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
+  const PhysAddr line = op.line;
+  ++ctx.stats.dma_line_reads;
+  SlicedLlc& llc = hierarchy_.llc_;
+  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
+  const bool hit = llc.LookupAndTouchOnSlice(slice, line);
+  const LatencyModel& lat = hierarchy_.spec_.latency;
+  shared_cycles_[(op.key >> 2) - window_base_] = lat.llc_base + (hit ? 0 : lat.dram);
+}
+
+void EpochEngine::ReplayDirRemove(SliceCtx& ctx, CoreId core, PhysAddr line, bool is_l1) {
+  LineDirectory& directory = hierarchy_.directory_;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  RecordDir(ctx, line);
+  const std::uint64_t keep = ~Bit(core);
+  if (is_l1) {
+    entry->l1_sharers &= keep;
+    entry->l1_dirty &= keep;
+  } else {
+    entry->l2_sharers &= keep;
+    entry->l2_dirty &= keep;
+  }
+  if (entry->empty()) {
+    directory.Erase(line);
+  }
+}
+
+void EpochEngine::ReplayInvalidateElsewhere(SliceCtx& ctx, std::uint64_t key, CoreId core,
+                                            PhysAddr line) {
+  LineDirectory& directory = hierarchy_.directory_;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  RecordDir(ctx, line);
+  const std::uint64_t self = Bit(core);
+  std::uint64_t others = entry->sharers() & ~self;
+  // Serial counts cores whose L1 or L2 held a copy; every sharer-mask bit is
+  // such a core (the directory is exact), so the popcount matches.
+  ctx.stats.invalidations_sent += static_cast<std::uint64_t>(std::popcount(others));
+  while (others != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(others));
+    others &= others - 1;
+    ctx.effects[c].push_back(Effect{key, line, /*invalidate=*/true});
+  }
+  entry->l1_sharers &= self;
+  entry->l2_sharers &= self;
+  entry->l1_dirty &= self;
+  entry->l2_dirty &= self;
+  entry->prefetched = false;
+  if (entry->empty()) {
+    directory.Erase(line);
+  }
+}
+
+void EpochEngine::ReplayDowngradeElsewhere(SliceCtx& ctx, std::uint64_t key, CoreId core,
+                                           PhysAddr line) {
+  LineDirectory& directory = hierarchy_.directory_;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  RecordDir(ctx, line);
+  const std::uint64_t self = Bit(core);
+  std::uint64_t targets = entry->dirty() & ~self;
+  while (targets != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(targets));
+    targets &= targets - 1;
+    ctx.effects[c].push_back(Effect{key, line, /*invalidate=*/false});
+  }
+  entry->l1_dirty &= self;
+  entry->l2_dirty &= self;
+}
+
+void EpochEngine::ReplayBackInvalidate(SliceCtx& ctx, std::uint64_t key, PhysAddr line) {
+  LineDirectory& directory = hierarchy_.directory_;
+  LineDirectoryEntry* entry = directory.Find(line);
+  if (entry == nullptr) {
+    return;
+  }
+  RecordDir(ctx, line);
+  std::uint64_t sharers = entry->sharers();
+  while (sharers != 0) {
+    const auto c = static_cast<CoreId>(std::countr_zero(sharers));
+    sharers &= sharers - 1;
+    ctx.effects[c].push_back(Effect{key, line, /*invalidate=*/true});
+  }
+  directory.Erase(line);
+}
+
+void EpochEngine::ReplayLlcEviction(SliceCtx& ctx, std::uint64_t key, SliceId slice,
+                                    const std::optional<EvictedLine>& evicted) {
+  if (!evicted.has_value()) {
+    return;
+  }
+  if (evicted->dirty) {
+    ++ctx.stats.dirty_writebacks;
+  }
+  if (hierarchy_.spec_.inclusion == LlcInclusionPolicy::kInclusive) {
+    // The evicted line came out of this slice's tag array, so its directory
+    // entry lives in this slice's shard — safe to walk here.
+    ReplayBackInvalidate(ctx, key, evicted->line);
+  }
+  (void)slice;
+}
+
+void EpochEngine::DirFill(SliceCtx& ctx, PhysAddr line, CoreId core, bool to_l1, bool dirty,
+                          SliceId slice) {
+  RecordDir(ctx, line);
+  LineDirectoryEntry& entry = hierarchy_.directory_.GetOrCreate(line);
+  const std::uint64_t self = Bit(core);
+  if (to_l1) {
+    entry.l1_sharers |= self;
+    if (dirty) {
+      entry.l1_dirty |= self;
+    }
+  } else {
+    entry.l2_sharers |= self;
+    if (dirty) {
+      entry.l2_dirty |= self;
+    }
+  }
+  entry.slice_cache = slice;
+}
+
+void EpochEngine::RecordDir(SliceCtx& ctx, PhysAddr line) {
+  DirRecord record;
+  record.line = line;
+  const LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
+  if (entry != nullptr) {
+    record.existed = true;
+    record.entry = *entry;
+  }
+  ctx.dir_records.push_back(record);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: verdict, commit, rollback.
+
+void EpochEngine::MergeEffects(std::size_t worker) {
+  WorkerCtx& ctx = workers_[worker];
+  const std::size_t num_workers = workers_.size();
+  const std::size_t cores = hierarchy_.l1_.size();
+  for (std::size_t c = worker; c < cores; c += num_workers) {
+    std::vector<Effect>& merged = ctx.merged_effects[c / num_workers];
+    merged.clear();
+    for (const SliceCtx& sctx : slice_ctx_) {
+      merged.insert(merged.end(), sctx.effects[c].begin(), sctx.effects[c].end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Effect& a, const Effect& b) { return a.key < b.key; });
+  }
+}
+
+void EpochEngine::Phase3Verdict(std::size_t worker) {
+  MergeEffects(worker);
+  WorkerCtx& ctx = workers_[worker];
+  const std::size_t num_workers = workers_.size();
+  const std::size_t cores = hierarchy_.l1_.size();
+  for (std::size_t c = worker; c < cores && !ctx.abort; c += num_workers) {
+    const CoreCacheTables& t1 = l1_tables_[c];
+    const CoreCacheTables& t2 = l2_tables_[c];
+    const SetAssocCache& l1 = hierarchy_.l1_[c];
+    const SetAssocCache& l2 = hierarchy_.l2_[c];
+    for (const Effect& effect : ctx.merged_effects[c / num_workers]) {
+      if (!effect.invalidate) {
+        continue;  // downgrades are recency-neutral; divergence trips A1
+      }
+      // A3: phase 1 filled the effect's set *after* the effect's key — the
+      // serial victim choice could have differed (the invalidated way would
+      // have been free). Abort; commit order cannot repair this.
+      const std::size_t s1 = l1.SetIndexOf(effect.line);
+      if (t1.fill_tag[s1] == window_id_ && t1.fill_key[s1] > effect.key) {
+        ctx.abort = true;
+        break;
+      }
+      const std::size_t s2 = l2.SetIndexOf(effect.line);
+      if (t2.fill_tag[s2] == window_id_ && t2.fill_key[s2] > effect.key) {
+        ctx.abort = true;
+        break;
+      }
+    }
+  }
+}
+
+void EpochEngine::Phase3Commit(std::size_t worker) {
+  WorkerCtx& ctx = workers_[worker];
+  const std::size_t num_workers = workers_.size();
+  const std::size_t cores = hierarchy_.l1_.size();
+  for (std::size_t c = worker; c < cores; c += num_workers) {
+    SetAssocCache& l1 = hierarchy_.l1_[c];
+    SetAssocCache& l2 = hierarchy_.l2_[c];
+    for (const Effect& effect : ctx.merged_effects[c / num_workers]) {
+      if (effect.invalidate) {
+        l1.Invalidate(effect.line);
+        l2.Invalidate(effect.line);
+      } else {
+        l1.MarkClean(effect.line);
+        l2.MarkClean(effect.line);
+      }
+    }
+  }
+}
+
+void EpochEngine::CommitWindow() {
+  // Fixed merge order: workers' phase-1 blocks, then slices' phase-2 blocks.
+  // uint64 counter sums are associative + commutative, so the totals equal
+  // the serial per-access bumps.
+  for (const WorkerCtx& ctx : workers_) {
+    hierarchy_.stats_ += ctx.stats;
+    for (const std::vector<Effect>& merged : ctx.merged_effects) {
+      engine_stats_.effects_applied += merged.size();
+    }
+  }
+  for (const SliceCtx& ctx : slice_ctx_) {
+    hierarchy_.stats_ += ctx.stats;
+  }
+  Cycles window_total = 0;
+  for (std::size_t rel = 0; rel < window_lines_; ++rel) {
+    const Cycles cycles = own_cycles_[rel] + shared_cycles_[rel];
+    window_total += cycles;
+    if (options_.keep_line_results) {
+      results_.push_back(cycles);
+    }
+  }
+  total_cycles_ += window_total;
+}
+
+void EpochEngine::RollbackWindow() {
+  // Set rows are deduplicated per window (first-touch journaling), so each
+  // row has exactly one pre-image and restore order does not matter.
+  const auto restore_rows = [](const std::vector<RowRecord>& rows,
+                               const std::vector<std::uint64_t>& words) {
+    for (const RowRecord& record : rows) {
+      RestoreRow(*record.cache, record.set, words.data() + record.word_offset);
+    }
+  };
+  for (const WorkerCtx& ctx : workers_) {
+    restore_rows(ctx.rows, ctx.row_words);
+  }
+  for (const SliceCtx& ctx : slice_ctx_) {
+    restore_rows(ctx.rows, ctx.row_words);
+  }
+  // Directory records are not deduplicated: walk each slice's log newest to
+  // oldest so a line's oldest pre-image lands last. A line's records are
+  // confined to one slice's log (shard exclusivity), so per-slice ordering
+  // is total per line.
+  LineDirectory& directory = hierarchy_.directory_;
+  for (const SliceCtx& ctx : slice_ctx_) {
+    for (auto it = ctx.dir_records.rbegin(); it != ctx.dir_records.rend(); ++it) {
+      if (it->existed) {
+        directory.GetOrCreate(it->line) = it->entry;
+      } else {
+        directory.Erase(it->line);
+      }
+    }
+  }
+  hierarchy_.llc_.cbo().Restore(cbo_snapshot_);
+  if (random_repl_) {
+    const std::size_t cores = hierarchy_.l1_.size();
+    for (std::size_t c = 0; c < cores; ++c) {
+      hierarchy_.l1_[c].rng_ = core_rng_snapshot_[c * 2];
+      hierarchy_.l2_[c].rng_ = core_rng_snapshot_[c * 2 + 1];
+    }
+    for (std::size_t s = 0; s < slice_ctx_.size(); ++s) {
+      hierarchy_.llc_.slices_[s].rng_ = slice_ctx_[s].rng_snapshot;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journaling.
+
+void EpochEngine::JournalCoreRow(WorkerCtx& ctx, CoreId core, bool is_l1, std::size_t set) {
+  CoreCacheTables& tables = is_l1 ? l1_tables_[core] : l2_tables_[core];
+  if (tables.journal_tag[set] == window_id_) {
+    return;
+  }
+  tables.journal_tag[set] = window_id_;
+  SetAssocCache& cache = is_l1 ? hierarchy_.l1_[core] : hierarchy_.l2_[core];
+  RowRecord record;
+  record.cache = &cache;
+  record.set = static_cast<std::uint32_t>(set);
+  record.word_offset = static_cast<std::uint32_t>(ctx.row_words.size());
+  ctx.rows.push_back(record);
+  SaveRow(cache, set, ctx.row_words);
+}
+
+void EpochEngine::JournalLlcRow(SliceCtx& ctx, SliceId slice, std::size_t set) {
+  std::uint32_t& tag = llc_journal_tag_[slice * llc_sets_ + set];
+  if (tag == window_id_) {
+    return;
+  }
+  tag = window_id_;
+  SetAssocCache& cache = hierarchy_.llc_.slices_[slice];
+  RowRecord record;
+  record.cache = &cache;
+  record.set = static_cast<std::uint32_t>(set);
+  record.word_offset = static_cast<std::uint32_t>(ctx.row_words.size());
+  ctx.rows.push_back(record);
+  SaveRow(cache, set, ctx.row_words);
+}
+
+std::size_t EpochEngine::RowWords(const SetAssocCache& cache) {
+  return cache.ways_ + 4 + (cache.repl_ == ReplacementKind::kLru ? cache.ways_ : 0);
+}
+
+void EpochEngine::SaveRow(const SetAssocCache& cache, std::size_t set,
+                          std::vector<std::uint64_t>& out) {
+  const std::size_t base = set * cache.ways_;
+  out.insert(out.end(), cache.tags_.begin() + static_cast<std::ptrdiff_t>(base),
+             cache.tags_.begin() + static_cast<std::ptrdiff_t>(base + cache.ways_));
+  const auto& scalars = cache.scalars_[set];
+  out.push_back(scalars.valid);
+  out.push_back(scalars.dirty);
+  out.push_back(scalars.ticks);
+  out.push_back(scalars.plru);
+  if (cache.repl_ == ReplacementKind::kLru) {
+    out.insert(out.end(), cache.stamps_.begin() + static_cast<std::ptrdiff_t>(base),
+               cache.stamps_.begin() + static_cast<std::ptrdiff_t>(base + cache.ways_));
+  }
+}
+
+void EpochEngine::RestoreRow(SetAssocCache& cache, std::size_t set, const std::uint64_t* words) {
+  const std::size_t base = set * cache.ways_;
+  const std::size_t ways = cache.ways_;
+  std::copy(words, words + ways, cache.tags_.begin() + static_cast<std::ptrdiff_t>(base));
+  auto& scalars = cache.scalars_[set];
+  const int delta = std::popcount(words[ways]) - std::popcount(scalars.valid);
+  scalars.valid = words[ways];
+  scalars.dirty = words[ways + 1];
+  scalars.ticks = words[ways + 2];
+  scalars.plru = words[ways + 3];
+  if (cache.repl_ == ReplacementKind::kLru) {
+    std::copy(words + ways + 4, words + ways + 4 + ways,
+              cache.stamps_.begin() + static_cast<std::ptrdiff_t>(base));
+  }
+  cache.resident_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(cache.resident_) + delta);
+}
+
+void EpochEngine::NoteFill(CoreId core, bool is_l1, std::size_t set, std::uint64_t key) {
+  // Keys ascend within a worker's pass, so the table ends up holding the
+  // *latest* fill key of each set — exactly what the A3 check compares.
+  CoreCacheTables& tables = is_l1 ? l1_tables_[core] : l2_tables_[core];
+  tables.fill_tag[set] = window_id_;
+  tables.fill_key[set] = key;
+}
+
+}  // namespace cachedir

@@ -1,0 +1,317 @@
+// Deterministic epoch-based in-run parallel simulation (PDES engine).
+//
+// The serial MemoryHierarchy charges every access synchronously, which pins
+// one simulated run to one host thread. This engine shards a *single* run
+// across a host worker pool while keeping every simulated output — cycles,
+// stats, per-slice CBo events, directory and tag-array state — bit-identical
+// to the serial engine (epoch_equivalence_test). See docs/architecture.md
+// §14 for the full design and determinism argument. In brief:
+//
+//  * Capture. The engine attaches to the hierarchy as a HierarchyCaptureSink;
+//    accesses are buffered (in submission order, each line numbered by a
+//    global sequence) instead of executed, until a window of ops is settled
+//    at an epoch barrier.
+//  * Phase 1 (parallel over cores). Each worker executes its cores' ops
+//    against their own L1/L2 in-place (journaling pre-images), predicts the
+//    snoop/LLC branch of misses from the frozen pre-window shared state, and
+//    emits micro-ops — keyed (seq << 2 | sub) so intra-access order is total
+//    — into per-(worker, slice) queues.
+//  * Phase 2 (parallel over slices). Each worker k-way-merges its slice's
+//    queues by key and replays them against the authoritative LLC slice and
+//    the slice-sharded directory, in exactly the serial code's op order,
+//    validating every phase-1 claim/prediction against the directory (which
+//    mirrors the tag arrays exactly). Remote-core cache updates are not
+//    applied but emitted as keyed effects.
+//  * Phase 3 (verdict + commit). A window aborts if any validation failed or
+//    an effect lands in a set a core filled after the effect's key (the
+//    fill's victim choice could differ serially). On commit, effects apply
+//    in key order and stats/cycles merge in fixed order. On abort, all
+//    journals roll back and the window re-executes serially through the
+//    public API — so a misspeculation costs time, never correctness.
+//
+// The serial reference path stays selectable (EpochEngineOptions::
+// force_serial, same pattern as CACHEDIR_GENERIC_ONLY): it settles every
+// window through the public API with capture suspended, which is trivially
+// bit-identical and is what the speculative path is tested against.
+#ifndef CACHEDIRECTOR_SRC_SIM_EPOCH_ENGINE_H_
+#define CACHEDIRECTOR_SRC_SIM_EPOCH_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/sim/host_parallel.h"
+#include "src/sim/rng.h"
+
+namespace cachedir {
+
+struct EpochEngineOptions {
+  // Host worker threads for the parallel phases. 1 still runs the full
+  // epoch/merge protocol (the reference shape the ISSUE describes), just
+  // inline on the calling thread.
+  std::size_t num_threads = 1;
+  // Auto-settle budget: a window settles once it holds this many line ops.
+  // One captured op always stays whole (a larger DMA range widens its
+  // window) so windows never split a range.
+  std::size_t window_line_ops = 4096;
+  // Settle every window through the serial public API instead of the
+  // speculative phases — the selectable serial reference.
+  bool force_serial = false;
+  // Retain settled per-line cycle results so CyclesInRange() can answer for
+  // any settled span (the NFV runtime's per-packet accounting needs this;
+  // throughput benches leave it off and read total_cycles()).
+  bool keep_line_results = false;
+};
+
+struct EpochEngineStats {
+  std::uint64_t captured_line_ops = 0;
+  std::uint64_t windows = 0;             // windows settled, by any path
+  std::uint64_t speculative_windows = 0; // settled through the parallel phases
+  std::uint64_t aborted_windows = 0;     // speculative windows re-run serially
+  std::uint64_t effects_applied = 0;     // cross-core cache ops deferred+committed
+};
+
+// One engine drives one MemoryHierarchy; it attaches at construction and
+// detaches (after settling) at destruction. The application model stays
+// single-threaded: it issues accesses exactly as before, and the engine
+// parallelises *between* its calls. Restrictions: specs with
+// l2_next_line_prefetch run serial windows (no preset enables it), and CAT
+// reconfiguration (SetCosWayMask/AssignCoreToCos) must not happen while ops
+// are pending — call Flush() first.
+class EpochEngine final : public HierarchyCaptureSink {
+ public:
+  EpochEngine(MemoryHierarchy& hierarchy, const EpochEngineOptions& options);
+  ~EpochEngine();
+
+  EpochEngine(const EpochEngine&) = delete;
+  EpochEngine& operator=(const EpochEngine&) = delete;
+
+  // HierarchyCaptureSink — called by the hierarchy, not by applications.
+  AccessResult OnAccess(CoreId core, PhysAddr addr, bool is_write) override;
+  BatchResult OnAccessRange(CoreId core, const AccessBatch& batch, bool is_write) override;
+  Cycles OnDmaRange(PhysAddr addr, std::size_t bytes, bool is_write) override;
+  void OnSerialPoint() override { Flush(); }
+
+  // Settles every pending captured op. After this, hierarchy state and stats
+  // equal the serial execution of everything issued so far.
+  void Flush();
+
+  // Line ops captured so far (monotonic; also counts settled ones). Callers
+  // bracket a span of work with two readings and charge it via
+  // CyclesInRange.
+  std::uint64_t line_op_count() const { return next_seq_; }
+
+  // Sum of simulated cycles of line ops in [begin, end) (line_op_count
+  // readings). Settles pending work first. Requires keep_line_results and
+  // that the span has not been dropped. Exact at op boundaries: the serial
+  // fallback attributes a multi-line range's cycles to its first line.
+  Cycles CyclesInRange(std::uint64_t begin, std::uint64_t end);
+
+  // Frees settled per-line results up to line_op_count(); subsequent
+  // CyclesInRange spans must start at or after this point.
+  void DropSettledResults();
+
+  // Total simulated cycles over every settled line op.
+  Cycles total_cycles() const { return total_cycles_; }
+
+  const EpochEngineStats& engine_stats() const { return engine_stats_; }
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct CapturedOp {
+    enum class Kind : std::uint8_t { kCoreAccess, kDmaWrite, kDmaRead };
+    Kind kind = Kind::kCoreAccess;
+    bool is_write = false;  // core accesses only
+    CoreId core = 0;        // core accesses only
+    PhysAddr addr = 0;      // line base (core) / range base (DMA)
+    std::size_t bytes = 0;  // DMA ranges only
+    std::uint64_t first_seq = 0;
+    std::uint32_t lines = 1;
+  };
+
+  // A micro-op: the shared-state portion of one captured line op, routed to
+  // the queue of the slice whose LLC/directory shard it touches. The key
+  // orders the whole window totally: (global line seq << 2) | sub, where sub
+  // separates an access's primary op (0) from its L2-victim (1) and
+  // L1-victim (2) side ops, exactly the serial code's in-access order.
+  struct MicroOp {
+    std::uint64_t key = 0;
+    PhysAddr line = 0;
+    CoreId core = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t flags = 0;
+  };
+
+  // MicroOp kinds.
+  static constexpr std::uint8_t kOpHitL1 = 0;
+  static constexpr std::uint8_t kOpHitL2 = 1;
+  static constexpr std::uint8_t kOpMiss = 2;
+  static constexpr std::uint8_t kOpL2Evict = 3;
+  static constexpr std::uint8_t kOpL1Evict = 4;
+  static constexpr std::uint8_t kOpDmaWrite = 5;
+  static constexpr std::uint8_t kOpDmaRead = 6;
+
+  // MicroOp flags: claims (phase-1 observations of its own L1/L2, validated
+  // against the directory) and predictions (frozen-state guesses about the
+  // shared branch, validated against the authoritative replay).
+  static constexpr std::uint8_t kFlagIsWrite = 1u << 0;
+  static constexpr std::uint8_t kFlagObservedDirty = 1u << 1;   // own-probe dirty bit
+  static constexpr std::uint8_t kFlagPredRemote = 1u << 2;      // dirty-elsewhere snoop
+  static constexpr std::uint8_t kFlagPredFillDirty = 1u << 3;   // remote read / victim hit
+  static constexpr std::uint8_t kFlagPredLlcHit = 1u << 4;      // victim mode only
+  static constexpr std::uint8_t kFlagEvictedDirty = 1u << 5;    // victim's own dirty bit
+  static constexpr std::uint8_t kFlagCompanionPresent = 1u << 6; // L1Evict: in L2; L2Evict: in L1
+  static constexpr std::uint8_t kFlagCompanionDirty = 1u << 7;   // L2Evict: L1 copy dirty
+
+  // A deferred remote-core cache update, emitted by phase 2 and applied (in
+  // key order) at commit.
+  struct Effect {
+    std::uint64_t key = 0;
+    PhysAddr line = 0;
+    bool invalidate = false;  // false: mark clean (M -> S downgrade)
+  };
+
+  // One journaled set row: enough to restore a SetAssocCache set bit-exactly
+  // (tags + SetScalars + LRU stamps live in words_ at word_offset).
+  struct RowRecord {
+    SetAssocCache* cache = nullptr;
+    std::uint32_t set = 0;
+    std::uint32_t word_offset = 0;
+  };
+
+  // One journaled directory line: pre-image, restored in reverse order.
+  struct DirRecord {
+    PhysAddr line = 0;
+    LineDirectoryEntry entry;
+    bool existed = false;
+  };
+
+  // Phase-1 context of one worker (owns cores c with c % W == w and DMA ops
+  // i with i % W == w).
+  struct WorkerCtx {
+    std::vector<std::vector<MicroOp>> queues;  // [slice] -> key-ascending micro-ops
+    HierarchyStats stats;
+    std::vector<RowRecord> rows;
+    std::vector<std::uint64_t> row_words;
+    // Phase 3: merged, key-ordered effects for each of this worker's cores
+    // (vector index: core / W), reused between the verdict and commit steps.
+    std::vector<std::vector<Effect>> merged_effects;
+    bool abort = false;
+  };
+
+  // Phase-2 context of one slice (worker s % W replays slices s).
+  struct SliceCtx {
+    HierarchyStats stats;
+    std::vector<RowRecord> rows;
+    std::vector<std::uint64_t> row_words;
+    std::vector<DirRecord> dir_records;
+    std::vector<std::vector<Effect>> effects;  // [core] -> key-ascending effects
+    Rng rng_snapshot{0};                       // kRandom only
+    bool abort = false;
+  };
+
+  // Per-(core cache) window-tagged tables: set-row journal dedup and the
+  // phase-3 fill-conflict check (max key at which phase 1 filled each set).
+  struct CoreCacheTables {
+    std::vector<std::uint32_t> journal_tag;
+    std::vector<std::uint32_t> fill_tag;
+    std::vector<std::uint64_t> fill_key;
+  };
+
+  static constexpr std::uint64_t Key(std::uint64_t seq, unsigned sub) {
+    return (seq << 2) | sub;
+  }
+
+  void CaptureCoreLine(CoreId core, PhysAddr addr, bool is_write);
+  void ReserveWindow(std::size_t incoming_lines);
+  void Settle();
+  void PrepareWindow();
+  void ReplaySerial();
+
+  // Phase 1.
+  void Phase1(std::size_t worker);
+  void Phase1Access(WorkerCtx& ctx, const CapturedOp& op);
+  void Phase1Dma(WorkerCtx& ctx, const CapturedOp& op);
+  void LocalFillL1(WorkerCtx& ctx, CoreId core, PhysAddr line, bool dirty, std::uint64_t seq,
+                   unsigned fill_sub, unsigned evict_sub);
+  void LocalFillL2(WorkerCtx& ctx, CoreId core, PhysAddr line, bool dirty, std::uint64_t seq);
+  void Emit(WorkerCtx& ctx, SliceId slice, const MicroOp& op) {
+    ctx.queues[slice].push_back(op);
+  }
+
+  // Phase 2.
+  void Phase2(std::size_t worker);
+  void ReplaySlice(SliceCtx& ctx, SliceId slice);
+  void ReplayHitL1(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayHitL2(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayL2Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayL1Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayDmaWrite(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayDmaRead(SliceCtx& ctx, SliceId slice, const MicroOp& op);
+  void ReplayDirRemove(SliceCtx& ctx, CoreId core, PhysAddr line, bool is_l1);
+  void ReplayInvalidateElsewhere(SliceCtx& ctx, std::uint64_t key, CoreId core, PhysAddr line);
+  void ReplayDowngradeElsewhere(SliceCtx& ctx, std::uint64_t key, CoreId core, PhysAddr line);
+  void ReplayBackInvalidate(SliceCtx& ctx, std::uint64_t key, PhysAddr line);
+  void ReplayLlcEviction(SliceCtx& ctx, std::uint64_t key, SliceId slice,
+                         const std::optional<EvictedLine>& evicted);
+  void DirFill(SliceCtx& ctx, PhysAddr line, CoreId core, bool to_l1, bool dirty, SliceId slice);
+  void RecordDir(SliceCtx& ctx, PhysAddr line);
+
+  // Phase 3.
+  void Phase3Verdict(std::size_t worker);
+  void Phase3Commit(std::size_t worker);
+  void MergeEffects(std::size_t worker);
+  void CommitWindow();
+  void RollbackWindow();
+
+  // Journaling.
+  void JournalCoreRow(WorkerCtx& ctx, CoreId core, bool is_l1, std::size_t set);
+  void JournalLlcRow(SliceCtx& ctx, SliceId slice, std::size_t set);
+  static void SaveRow(const SetAssocCache& cache, std::size_t set, std::vector<std::uint64_t>& out);
+  static void RestoreRow(SetAssocCache& cache, std::size_t set, const std::uint64_t* words);
+  static std::size_t RowWords(const SetAssocCache& cache);
+  void NoteFill(CoreId core, bool is_l1, std::size_t set, std::uint64_t key);
+
+  static SliceId DirSliceFn(const void* ctx, PhysAddr line);
+
+  MemoryHierarchy& hierarchy_;
+  const EpochEngineOptions options_;
+  WorkerPool pool_;
+  const bool serial_only_;  // force_serial or an engine-unsupported spec
+  const bool random_repl_;  // snapshot/restore RNGs around windows
+
+  // Capture state.
+  std::vector<CapturedOp> ops_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t window_base_ = 0;   // global seq of the window's first line
+  std::size_t window_lines_ = 0;
+
+  // Per-window scratch, sized to the window's line count.
+  std::vector<Cycles> own_cycles_;     // phase-1 (core-local) cycle share, by rel seq
+  std::vector<Cycles> shared_cycles_;  // phase-2 (shared-state) cycle share, by rel seq
+
+  std::vector<WorkerCtx> workers_;
+  std::vector<SliceCtx> slice_ctx_;
+  std::vector<CoreCacheTables> l1_tables_;
+  std::vector<CoreCacheTables> l2_tables_;
+  std::vector<std::uint32_t> llc_journal_tag_;  // [slice * sets + set]
+  std::size_t llc_sets_ = 0;                    // sets per LLC slice (uniform)
+  std::uint32_t window_id_ = 0;
+
+  std::vector<CboEvents> cbo_snapshot_;
+  std::vector<Rng> core_rng_snapshot_;  // [core * 2 + level], kRandom only
+
+  // Settled results.
+  Cycles total_cycles_ = 0;
+  std::vector<Cycles> results_;        // per settled line, when keep_line_results
+  std::uint64_t results_base_ = 0;     // global seq of results_[0]
+  EpochEngineStats engine_stats_;
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_EPOCH_ENGINE_H_

@@ -1,0 +1,120 @@
+#include "src/sim/host_parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace cachedir {
+
+std::size_t BenchThreadCount(std::size_t n) {
+  // Host capacity probe + env override: report-only scheduling input, never a
+  // simulated quantity (this file is on detlint's nondet-env whitelist, the
+  // same carve-out bench/common held before the machinery moved here).
+  std::size_t threads = std::thread::hardware_concurrency();
+  if (const char* env = std::getenv("CACHEDIR_BENCH_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      threads = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+  return threads < n ? threads : n;
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t threads = BenchThreadCount(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Work-stealing by atomic ticket: which thread runs which repetition is
+  // scheduling-dependent, but repetitions are independent and results land
+  // in per-repetition slots, so the merged output is deterministic.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        body(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+}
+
+WorkerPool::WorkerPool(std::size_t num_threads) : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  threads_.reserve(num_threads_ > 0 ? num_threads_ - 1 : 0);
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Run(const std::function<void(std::size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || (generation_ != seen_generation && fn_ != nullptr); });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    (*fn)(index);
+    bool last = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      last = (--pending_ == 0);
+    }
+    if (last) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace cachedir

@@ -1,0 +1,79 @@
+// Host-side parallel execution machinery shared by the bench harness and the
+// epoch engine (promoted out of bench/common.* so src/ code can use it).
+//
+// Two layers:
+//  * ParallelFor / BenchThreadCount — the deterministic repetition fan-out the
+//    benches have always used (spawn-join, atomic ticket, per-slot results).
+//  * WorkerPool — a persistent pool with generation barriers for the epoch
+//    engine, which runs many short phases per simulation and cannot afford a
+//    thread spawn per phase.
+//
+// Nothing here reads the host clock; thread scheduling never influences a
+// simulated quantity (callers must keep results in per-index slots or merge
+// them in a fixed order — see docs/architecture.md §9 and §14).
+#ifndef CACHEDIRECTOR_SRC_SIM_HOST_PARALLEL_H_
+#define CACHEDIRECTOR_SRC_SIM_HOST_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cachedir {
+
+// Number of worker threads: min(n, hardware threads), overridable with the
+// CACHEDIR_BENCH_THREADS environment variable (1 forces the serial path).
+std::size_t BenchThreadCount(std::size_t n);
+
+// Runs body(0..n-1), each index exactly once, on a fresh spawn-join pool.
+// body must not touch shared mutable state except its own result slot.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+// Persistent worker pool with generation barriers.
+//
+// `Run(fn)` executes fn(0..num_threads-1) — index 0 on the calling thread,
+// the rest on persistent workers — and returns only after every index
+// finished (a full barrier, which also sequences the workers' writes before
+// the caller's next read: release/acquire through the pool mutex).
+//
+// Workers sleep on a condition variable between phases (no spin-waiting):
+// an oversubscribed host — CI runners, the 1-vCPU baseline container — must
+// not burn its only core in a spin loop while the simulation makes progress
+// on another thread.
+class WorkerPool {
+ public:
+  // `num_threads` counts the calling thread; 0 is clamped to 1. With 1, Run
+  // executes fn(0) inline and no threads are ever created.
+  explicit WorkerPool(std::size_t num_threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  // Barrier-executes fn(index) for every index in [0, num_threads()).
+  // fn must partition its work by index; the pool adds no ordering beyond
+  // the final barrier.
+  void Run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerMain(std::size_t index);
+
+  const std::size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mu_
+  std::uint64_t generation_ = 0;                          // guarded by mu_
+  std::size_t pending_ = 0;                               // guarded by mu_
+  bool shutdown_ = false;                                 // guarded by mu_
+};
+
+}  // namespace cachedir
+
+#endif  // CACHEDIRECTOR_SRC_SIM_HOST_PARALLEL_H_

@@ -1,6 +1,8 @@
 #include "src/sim/machine.h"
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -69,6 +71,16 @@ MachineSpec HaswellXeonE52667V3() {
   ring.hop_cost = 2;
   ring.parity_penalty = 10;
   m.interconnect = std::make_shared<RingInterconnect>(ring);
+  return m;
+}
+
+MachineSpec HaswellDerivedManyCore(std::size_t num_cores) {
+  if (num_cores == 0 || num_cores > 64) {
+    throw std::invalid_argument("HaswellDerivedManyCore: num_cores must be in [1, 64]");
+  }
+  MachineSpec m = HaswellXeonE52667V3();
+  m.name = "Haswell-derived " + std::to_string(num_cores) + "-core (8-slice ring)";
+  m.num_cores = num_cores;
   return m;
 }
 

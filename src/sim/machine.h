@@ -84,6 +84,17 @@ MachineSpec HaswellXeonE52667V3();
 // LLC slices on a mesh, 1 MB 16-way L2, 32 kB 8-way L1d, victim LLC.
 MachineSpec SkylakeXeonGold6134();
 
+// Haswell-derived scale-up part: `num_cores` cores (1..64) sharing the
+// E5-2667 v3 uncore — 8 LLC slices on the same 8-stop ring, identical cache
+// geometry and latency calibration. Cores beyond the 8 physical ring stops
+// share stops modulo 8 (RingInterconnect folds CoreId the same way), so the
+// NUCA penalty distribution per core repeats with period 8 instead of
+// inventing an uncalibrated topology. This is a *simulation* configuration
+// for core-count scaling studies (sim_throughput --cores=16/32/64), not a
+// shipping SKU; 64 is the LineDirectory sharer-bitmask limit. Throws
+// std::invalid_argument outside [1, 64].
+MachineSpec HaswellDerivedManyCore(std::size_t num_cores);
+
 // A Sandy Bridge-class quad core (the generation where sliced LLCs and
 // Complex Addressing first shipped; Maurice et al. reverse-engineered the
 // 2-output-bit variant there): 4 cores @ 2.4 GHz, 4 x 2.5 MB 20-way slices

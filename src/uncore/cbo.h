@@ -45,6 +45,10 @@ class CboCounterBank {
   // read all counters, do the work, read again, subtract.
   std::vector<CboEvents> Snapshot() const { return counters_; }
 
+  // Restores a previously taken Snapshot() of this bank — the epoch engine
+  // uses the pair to roll counters back when a speculative window aborts.
+  void Restore(std::vector<CboEvents> counters) { counters_ = std::move(counters); }
+
   static std::vector<std::uint64_t> LookupDelta(const std::vector<CboEvents>& before,
                                                 const std::vector<CboEvents>& after);
 

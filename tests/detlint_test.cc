@@ -74,7 +74,9 @@ const RuleCase kRuleCases[] = {
     {"global_rng", "global-rng", 7},
     {"unordered_iter", "unordered-iter", 5},
     {"physmem_bypass/nfv", "physmem-bypass", 3},
+    {"physmem_bypass/epoch_engine", "physmem-bypass", 3},
     {"uncosted_access/nfv", "uncosted-access", 2},
+    {"uncosted_access/epoch_engine", "uncosted-access", 2},
     {"pointer_ordering", "pointer-ordering", 3},
     {"float_merge_order", "float-merge-order", 2},
     {"unseeded_stochastic", "unseeded-stochastic", 3},

@@ -1,0 +1,605 @@
+// Epoch-engine equivalence property (docs/architecture.md §14): a
+// MemoryHierarchy driven through an EpochEngine must keep every simulated
+// output — per-op cycle charges, HierarchyStats, per-slice CBo counters, and
+// (observed through continued traffic) directory and tag-array state —
+// bit-identical to the serial engine under identical traffic, at every host
+// thread count. The suite covers the speculative commit path, the
+// abort/rollback/serial-replay path (asserting aborts actually happen on a
+// conflict-heavy stream and that committed windows exist on a partitioned
+// one), window-boundary invariance, the per_line eager passthrough, and the
+// selectable force_serial reference.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/hash/presets.h"
+#include "src/hash/slice_hash.h"
+#include "src/mem/hugepage.h"
+#include "src/mem/physical_memory.h"
+#include "src/netio/cache_director.h"
+#include "src/netio/mempool.h"
+#include "src/netio/nic.h"
+#include "src/nfv/chain.h"
+#include "src/nfv/elements.h"
+#include "src/nfv/runtime.h"
+#include "src/sim/epoch_engine.h"
+#include "src/sim/machine.h"
+#include "src/sim/rng.h"
+#include "src/slice/placement.h"
+#include "src/trace/latency_recorder.h"
+#include "src/trace/traffic_gen.h"
+
+namespace cachedir {
+namespace {
+
+// Shrunken LLC (as in kernel_equivalence_test): eviction and
+// back-invalidation chains start after a few thousand lines.
+MachineSpec WithSmallLlc(MachineSpec spec) {
+  spec.llc_slice.size_bytes = 128 * spec.llc_slice.ways * kCacheLineSize;  // 128 sets
+  return spec;
+}
+
+constexpr std::size_t kMaxBatchLines = 64;
+
+struct EngineCase {
+  MachineSpec (*preset)();
+  std::shared_ptr<const SliceHash> (*hash)();
+  ReplacementKind replacement;
+  LlcInclusionPolicy inclusion;
+  std::size_t threads;
+  const char* label;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<EngineCase>& info) {
+  return std::string(info.param.label) + "T" + std::to_string(info.param.threads);
+}
+
+// One captured operation's bracket: [begin, end) in line_op_count readings,
+// plus the cycles the serial reference charged for it.
+struct OpBracket {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  Cycles expected = 0;
+};
+
+class EpochEquivalenceTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  void SetUp() override {
+    const EngineCase& c = GetParam();
+    spec_ = WithSmallLlc(c.preset());
+    spec_.replacement = c.replacement;
+    spec_.inclusion = c.inclusion;
+    hash_ = c.hash();
+    MakeEngine(/*window_line_ops=*/256);
+  }
+
+  void MakeEngine(std::size_t window_line_ops) {
+    engine_.reset();  // detach before the old subject dies
+    reference_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+    subject_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+    EpochEngineOptions options;
+    options.num_threads = GetParam().threads;
+    options.window_line_ops = window_line_ops;
+    options.keep_line_results = true;
+    engine_ = std::make_unique<EpochEngine>(*subject_, options);
+    brackets_.clear();
+    expected_lifetime_total_ = 0;
+  }
+
+  // Settles everything, then checks aggregate state and every op's cycles.
+  void ExpectConverged() {
+    engine_->Flush();
+    ASSERT_EQ(reference_->stats(), subject_->stats());
+    for (SliceId s = 0; s < spec_.num_slices; ++s) {
+      ASSERT_EQ(reference_->llc().cbo().events(s), subject_->llc().cbo().events(s))
+          << "CBo counters diverged on slice " << s;
+    }
+    for (const OpBracket& bracket : brackets_) {
+      ASSERT_EQ(engine_->CyclesInRange(bracket.begin, bracket.end), bracket.expected)
+          << "op cycles diverged in [" << bracket.begin << ", " << bracket.end << ")";
+    }
+    // total_cycles() is lifetime-cumulative (it survives DropSettledResults).
+    ASSERT_EQ(engine_->total_cycles(), expected_lifetime_total_);
+  }
+
+  void RunScalar(CoreId core, PhysAddr addr, bool is_write) {
+    const AccessResult ref =
+        is_write ? reference_->Write(core, addr) : reference_->Read(core, addr);
+    const std::uint64_t begin = engine_->line_op_count();
+    is_write ? subject_->Write(core, addr) : subject_->Read(core, addr);
+    Record(begin, ref.cycles);
+  }
+
+  // Batch without per-line storage: captured; cycles checked via bracket.
+  void RunBatch(CoreId core, const AccessBatch& batch, bool is_write) {
+    const BatchResult ref =
+        is_write ? reference_->WriteRange(core, batch) : reference_->ReadRange(core, batch);
+    const std::uint64_t begin = engine_->line_op_count();
+    const BatchResult sub =
+        is_write ? subject_->WriteRange(core, batch) : subject_->ReadRange(core, batch);
+    ASSERT_EQ(ref.lines, sub.lines);
+    Record(begin, ref.cycles);
+  }
+
+  // Batch demanding per-line results: settles and runs eagerly on the
+  // subject, so full AccessResults must match the reference directly.
+  void RunBatchPerLine(CoreId core, AccessBatch batch, bool is_write) {
+    std::array<AccessResult, kMaxBatchLines> ref_lines{};
+    std::array<AccessResult, kMaxBatchLines> sub_lines{};
+    AccessBatch ref_batch = batch;
+    ref_batch.per_line = ref_lines;
+    batch.per_line = sub_lines;
+    const BatchResult ref = is_write ? reference_->WriteRange(core, ref_batch)
+                                     : reference_->ReadRange(core, ref_batch);
+    const BatchResult sub =
+        is_write ? subject_->WriteRange(core, batch) : subject_->ReadRange(core, batch);
+    ASSERT_EQ(ref, sub);
+    for (std::size_t i = 0; i < ref.lines && i < kMaxBatchLines; ++i) {
+      ASSERT_EQ(ref_lines[i], sub_lines[i]) << "per-line result " << i << " diverged";
+    }
+  }
+
+  void RunDmaRange(PhysAddr addr, std::size_t bytes, bool is_write) {
+    const Cycles ref =
+        is_write ? reference_->DmaWriteRange(addr, bytes) : reference_->DmaReadRange(addr, bytes);
+    const std::uint64_t begin = engine_->line_op_count();
+    is_write ? subject_->DmaWriteRange(addr, bytes) : subject_->DmaReadRange(addr, bytes);
+    Record(begin, ref);
+  }
+
+  void RunDmaLine(PhysAddr addr, bool is_write) {
+    const Cycles ref = is_write ? reference_->DmaWriteLine(addr) : reference_->DmaReadLine(addr);
+    const std::uint64_t begin = engine_->line_op_count();
+    is_write ? subject_->DmaWriteLine(addr) : subject_->DmaReadLine(addr);
+    Record(begin, ref);
+  }
+
+  void Record(std::uint64_t begin, Cycles expected) {
+    brackets_.push_back(OpBracket{begin, engine_->line_op_count(), expected});
+    expected_lifetime_total_ += expected;
+  }
+
+  // A randomized mixed stream over a shared heap + DMA ring: cores contend,
+  // so speculative windows hit stale claims and the abort path runs too.
+  void RunSharedStream(int steps, Rng& rng) {
+    const std::size_t cores = spec_.num_cores;
+    const std::size_t llc_lines =
+        spec_.num_slices * spec_.llc_slice.num_sets() * spec_.llc_slice.ways;
+    const PhysAddr ring = PhysAddr{1} << 30;
+    const std::size_t ring_bytes = llc_lines * 4 * kCacheLineSize;
+    const PhysAddr heap = PhysAddr{1} << 28;
+    const std::size_t heap_bytes = llc_lines * 2 * kCacheLineSize;
+    std::vector<PhysAddr> gather;
+    gather.reserve(kMaxBatchLines);
+    for (int step = 0; step < steps; ++step) {
+      const auto core = static_cast<CoreId>(rng.UniformIndex(cores));
+      switch (rng.UniformIndex(8)) {
+        case 0: {
+          RunScalar(core, heap + rng.UniformIndex(heap_bytes), rng.Bernoulli(0.4));
+          break;
+        }
+        case 1: {  // contiguous range, packet-sized
+          AccessBatch batch;
+          batch.addr = heap + rng.UniformIndex(heap_bytes);
+          batch.bytes = rng.UniformIndex(1536);
+          RunBatch(core, batch, rng.Bernoulli(0.5));
+          break;
+        }
+        case 2: {  // scattered gather with duplicates
+          gather.clear();
+          const std::size_t n = 1 + rng.UniformIndex(32);
+          for (std::size_t i = 0; i < n; ++i) {
+            gather.push_back(heap + rng.UniformIndex(heap_bytes));
+          }
+          AccessBatch batch;
+          batch.gather = gather;
+          RunBatch(core, batch, rng.Bernoulli(0.5));
+          break;
+        }
+        case 3: {  // NIC RX / TX DMA
+          RunDmaRange(ring + rng.UniformIndex(ring_bytes), 64 + rng.UniformIndex(1472),
+                      rng.Bernoulli(0.5));
+          break;
+        }
+        case 4: {  // single-line DMA
+          RunDmaLine(ring + rng.UniformIndex(ring_bytes), rng.Bernoulli(0.5));
+          break;
+        }
+        case 5: {  // per-line batch: the eager passthrough under capture
+          AccessBatch batch;
+          batch.addr = heap + rng.UniformIndex(heap_bytes);
+          batch.bytes = rng.UniformIndex(kMaxBatchLines * kCacheLineSize);
+          RunBatchPerLine(core, batch, rng.Bernoulli(0.5));
+          break;
+        }
+        case 6: {  // flush a line on both (a serial point under capture)
+          const PhysAddr addr = heap + rng.UniformIndex(heap_bytes);
+          reference_->FlushLine(addr);
+          subject_->FlushLine(addr);
+          break;
+        }
+        case 7: {  // hot line: stores from every core in turn
+          const PhysAddr addr = heap + rng.UniformIndex(64) * kCacheLineSize;
+          RunScalar(core, addr, /*is_write=*/true);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  MachineSpec spec_;
+  std::shared_ptr<const SliceHash> hash_;
+  std::unique_ptr<MemoryHierarchy> reference_;
+  std::unique_ptr<MemoryHierarchy> subject_;
+  std::unique_ptr<EpochEngine> engine_;
+  std::vector<OpBracket> brackets_;
+  Cycles expected_lifetime_total_ = 0;
+};
+
+TEST_P(EpochEquivalenceTest, RandomizedSharedStreamsStayBitIdentical) {
+  Rng rng(987);
+  RunSharedStream(1500, rng);
+  ExpectConverged();
+  // The stream crossed several windows and the speculative path actually ran.
+  const EpochEngineStats& es = engine_->engine_stats();
+  EXPECT_GT(es.windows, 1u);
+  EXPECT_EQ(es.speculative_windows, es.windows);
+}
+
+TEST_P(EpochEquivalenceTest, CoreDisjointStreamsCommitSpeculatively) {
+  // Cores touch disjoint heap regions and DMA stays off-heap: no cross-core
+  // sharing, so windows must overwhelmingly commit (self-conflicts through
+  // LLC back-invalidation remain possible on this shrunken LLC).
+  Rng rng(55);
+  const std::size_t cores = spec_.num_cores;
+  const PhysAddr heap = PhysAddr{1} << 28;
+  const std::size_t per_core_bytes = 1 << 20;
+  const PhysAddr ring = PhysAddr{1} << 30;
+  for (int step = 0; step < 1200; ++step) {
+    const auto core = static_cast<CoreId>(rng.UniformIndex(cores));
+    const PhysAddr base = heap + core * per_core_bytes;
+    switch (rng.UniformIndex(3)) {
+      case 0: {
+        RunScalar(core, base + rng.UniformIndex(per_core_bytes), rng.Bernoulli(0.5));
+        break;
+      }
+      case 1: {
+        AccessBatch batch;
+        batch.addr = base + rng.UniformIndex(per_core_bytes);
+        batch.bytes = rng.UniformIndex(1024);
+        RunBatch(core, batch, rng.Bernoulli(0.5));
+        break;
+      }
+      case 2: {
+        RunDmaRange(ring + rng.UniformIndex(1 << 22), 64 + rng.UniformIndex(1472),
+                    rng.Bernoulli(0.5));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  ExpectConverged();
+  const EpochEngineStats& es = engine_->engine_stats();
+  ASSERT_GT(es.speculative_windows, 0u);
+  EXPECT_GT(es.speculative_windows, es.aborted_windows) << "no window ever committed";
+}
+
+TEST_P(EpochEquivalenceTest, ConflictHeavyWindowsAbortAndRecover) {
+  // Every core hammers the same handful of lines with stores: phase-1 claims
+  // go stale inside nearly every window, so the abort → rollback → serial
+  // replay path must run and still converge bit-exactly.
+  Rng rng(77);
+  const std::size_t cores = spec_.num_cores;
+  const PhysAddr hot = PhysAddr{1} << 26;
+  for (int step = 0; step < 1200; ++step) {
+    const auto core = static_cast<CoreId>(rng.UniformIndex(cores));
+    RunScalar(core, hot + rng.UniformIndex(8) * kCacheLineSize, rng.Bernoulli(0.7));
+  }
+  ExpectConverged();
+  if (GetParam().threads > 0) {  // aborts are thread-count independent here
+    EXPECT_GT(engine_->engine_stats().aborted_windows, 0u)
+        << "conflict-heavy stream never exercised the abort path";
+  }
+}
+
+TEST_P(EpochEquivalenceTest, WindowBoundariesDoNotChangeResults) {
+  // The same stream settled in tiny windows: different barrier placement,
+  // same simulated outputs.
+  MakeEngine(/*window_line_ops=*/48);
+  Rng rng(987);
+  RunSharedStream(600, rng);
+  ExpectConverged();
+  EXPECT_GT(engine_->engine_stats().windows, 10u);
+}
+
+TEST_P(EpochEquivalenceTest, ForceSerialReferencePathStaysSelectable) {
+  engine_.reset();
+  reference_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+  subject_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+  EpochEngineOptions options;
+  options.num_threads = GetParam().threads;
+  options.force_serial = true;
+  options.keep_line_results = true;
+  engine_ = std::make_unique<EpochEngine>(*subject_, options);
+  brackets_.clear();
+  expected_lifetime_total_ = 0;
+
+  Rng rng(987);
+  RunSharedStream(600, rng);
+  ExpectConverged();
+  const EpochEngineStats& es = engine_->engine_stats();
+  EXPECT_GT(es.windows, 0u);
+  EXPECT_EQ(es.speculative_windows, 0u);
+  EXPECT_EQ(es.aborted_windows, 0u);
+}
+
+TEST_P(EpochEquivalenceTest, DropSettledResultsRetiresSpans) {
+  Rng rng(11);
+  RunSharedStream(200, rng);
+  ExpectConverged();
+  const std::uint64_t settled = engine_->line_op_count();
+  engine_->DropSettledResults();
+  if (!brackets_.empty()) {
+    EXPECT_THROW(engine_->CyclesInRange(brackets_.front().begin, brackets_.front().end),
+                 std::out_of_range);
+  }
+  brackets_.clear();
+  RunSharedStream(200, rng);
+  ExpectConverged();
+  EXPECT_GE(brackets_.front().begin, settled);
+}
+
+constexpr EngineCase kCases[] = {
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, 1, "HaswellLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, 2, "HaswellLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, 4, "HaswellLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, 8, "HaswellLruInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kInclusive, 4, "HaswellRandomInclusive"},
+    {&HaswellXeonE52667V3, &HaswellSliceHash, ReplacementKind::kTreePlru,
+     LlcInclusionPolicy::kVictim, 4, "HaswellPlruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     1, "SkylakeLruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     2, "SkylakeLruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     4, "SkylakeLruVictim"},
+    {&SkylakeXeonGold6134, &SkylakeSliceHash, ReplacementKind::kLru, LlcInclusionPolicy::kVictim,
+     8, "SkylakeLruVictim"},
+    {&SandyBridgeXeonQuad, &SandyBridgeSliceHash, ReplacementKind::kLru,
+     LlcInclusionPolicy::kInclusive, 4, "SandyBridgeLruInclusive"},
+    {&SandyBridgeXeonQuad, &SandyBridgeSliceHash, ReplacementKind::kRandom,
+     LlcInclusionPolicy::kVictim, 8, "SandyBridgeRandomVictim"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EpochEquivalenceTest, ::testing::ValuesIn(kCases), CaseName);
+
+// Specs the engine cannot speculate on fall back to serial windows
+// transparently — same outputs, no parallel phases.
+TEST(EpochEngineFallbackTest, PrefetcherSpecRunsSerialWindows) {
+  MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+  spec.l2_next_line_prefetch = true;
+  auto hash = HaswellSliceHash();
+  MemoryHierarchy reference(spec, hash, /*seed=*/9);
+  MemoryHierarchy subject(spec, hash, /*seed=*/9);
+  EpochEngineOptions options;
+  options.num_threads = 4;
+  EpochEngine engine(subject, options);
+
+  Rng rng(13);
+  const PhysAddr heap = PhysAddr{1} << 27;
+  for (int step = 0; step < 2000; ++step) {
+    const auto core = static_cast<CoreId>(rng.UniformIndex(spec.num_cores));
+    const PhysAddr addr = heap + rng.UniformIndex(1 << 22);
+    const bool is_write = rng.Bernoulli(0.3);
+    is_write ? reference.Write(core, addr) : reference.Read(core, addr);
+    is_write ? subject.Write(core, addr) : subject.Read(core, addr);
+  }
+  engine.Flush();
+  EXPECT_EQ(reference.stats(), subject.stats());
+  EXPECT_GT(engine.engine_stats().windows, 0u);
+  EXPECT_EQ(engine.engine_stats().speculative_windows, 0u);
+}
+
+// The engine detaches on destruction; the hierarchy then runs serially and
+// a new engine may attach.
+TEST(EpochEngineLifecycleTest, DetachesAndReattaches) {
+  MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+  auto hash = HaswellSliceHash();
+  MemoryHierarchy reference(spec, hash, /*seed=*/4);
+  MemoryHierarchy subject(spec, hash, /*seed=*/4);
+  {
+    EpochEngineOptions options;
+    options.num_threads = 2;
+    EpochEngine engine(subject, options);
+    for (int i = 0; i < 200; ++i) {
+      reference.Read(0, (PhysAddr{1} << 27) + static_cast<PhysAddr>(i) * kCacheLineSize);
+      subject.Read(0, (PhysAddr{1} << 27) + static_cast<PhysAddr>(i) * kCacheLineSize);
+    }
+  }  // destructor settles + detaches
+  EXPECT_EQ(reference.stats(), subject.stats());
+  const AccessResult ref = reference.Read(1, PhysAddr{1} << 27);
+  const AccessResult sub = subject.Read(1, PhysAddr{1} << 27);  // serial again: real result
+  EXPECT_EQ(ref, sub);
+  EpochEngineOptions options;
+  options.num_threads = 2;
+  EpochEngine engine(subject, options);
+  reference.Write(2, PhysAddr{1} << 27);
+  subject.Write(2, PhysAddr{1} << 27);
+  engine.Flush();
+  EXPECT_EQ(reference.stats(), subject.stats());
+}
+
+// ---------------------------------------------------------------------------
+// NFV-burst streams under the engine: a complete DuT (NIC + chain + runtime)
+// with the runtime's deferred drain must keep per-packet latency samples,
+// drop decisions, NIC/hierarchy stats and CBo counters bit-identical to the
+// plain serial stack.
+
+// One complete DuT, optionally driven through an EpochEngine.
+class EngineNfvStack {
+ public:
+  EngineNfvStack(bool skylake, std::uint64_t chain_seed, std::size_t engine_threads) {
+    spec_ = WithSmallLlc(skylake ? SkylakeXeonGold6134() : HaswellXeonE52667V3());
+    hash_ = skylake ? SkylakeSliceHash() : HaswellSliceHash();
+    hierarchy_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
+    placement_ = std::make_unique<SlicePlacement>(*hierarchy_);
+    director_ = std::make_unique<CacheDirector>(hash_, *placement_, /*enabled=*/true);
+    pool_ = std::make_unique<Mempool>(backing_, /*num_mbufs=*/2048, *director_);
+    SimNic::Config nic_config;
+    nic_config.num_queues = 4;
+    nic_config.ring_size = 256;
+    nic_ = std::make_unique<SimNic>(nic_config, *hierarchy_, memory_, *pool_, *director_);
+    BuildChain(chain_seed);
+    NfvRuntime::Config config;
+    if (engine_threads > 0) {
+      EpochEngineOptions options;
+      options.num_threads = engine_threads;
+      options.keep_line_results = true;
+      engine_ = std::make_unique<EpochEngine>(*hierarchy_, options);
+      config.engine = engine_.get();
+    }
+    runtime_ = std::make_unique<NfvRuntime>(config, *hierarchy_, *nic_, chain_);
+  }
+
+  void Run(std::span<const WirePacket> packets) { runtime_->Run(packets, &recorder_); }
+
+  const MachineSpec& spec() const { return spec_; }
+  const MemoryHierarchy& hierarchy() const { return *hierarchy_; }
+  const SimNic& nic() const { return *nic_; }
+  const NfvRuntime& runtime() const { return *runtime_; }
+  const LatencyRecorder& recorder() const { return recorder_; }
+  const EpochEngine* engine() const { return engine_.get(); }
+
+ private:
+  void BuildChain(std::uint64_t chain_seed) {
+    Rng rng(chain_seed);
+    const std::size_t length = 1 + rng.UniformIndex(3);
+    for (std::size_t i = 0; i < length; ++i) {
+      switch (rng.UniformIndex(4)) {
+        case 0:
+          chain_.Append(std::make_unique<MacSwap>(*hierarchy_, memory_));
+          break;
+        case 1: {
+          IpRouter::Params params;
+          params.num_routes = 512;
+          params.seed = chain_seed + i;
+          chain_.Append(std::make_unique<IpRouter>(*hierarchy_, memory_, backing_, params));
+          break;
+        }
+        case 2:
+          chain_.Append(std::make_unique<Napt>(*hierarchy_, memory_, backing_, Napt::Params{}));
+          break;
+        default:
+          chain_.Append(std::make_unique<LoadBalancer>(*hierarchy_, memory_, backing_,
+                                                       LoadBalancer::Params{}));
+          break;
+      }
+    }
+  }
+
+  MachineSpec spec_;
+  std::shared_ptr<const SliceHash> hash_;
+  std::unique_ptr<MemoryHierarchy> hierarchy_;
+  std::unique_ptr<SlicePlacement> placement_;
+  std::unique_ptr<CacheDirector> director_;
+  PhysicalMemory memory_;
+  HugepageAllocator backing_;
+  std::unique_ptr<MbufSource> pool_;
+  std::unique_ptr<SimNic> nic_;
+  ServiceChain chain_;
+  std::unique_ptr<EpochEngine> engine_;
+  std::unique_ptr<NfvRuntime> runtime_;
+  LatencyRecorder recorder_;
+};
+
+void ExpectStacksIdentical(EngineNfvStack& engine, EngineNfvStack& serial) {
+  const std::vector<double>& a = engine.recorder().latencies_us().values();
+  const std::vector<double>& b = serial.recorder().latencies_us().values();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "latency sample " << i << " diverged";
+  }
+  EXPECT_EQ(engine.recorder().delivered(), serial.recorder().delivered());
+  EXPECT_EQ(engine.recorder().drops(), serial.recorder().drops());
+  EXPECT_EQ(engine.runtime().packets_processed(), serial.runtime().packets_processed());
+  EXPECT_EQ(engine.runtime().packets_dropped(), serial.runtime().packets_dropped());
+  EXPECT_EQ(engine.runtime().CompletionTimeNs(), serial.runtime().CompletionTimeNs());
+  const NicQueueStats nic_a = engine.nic().TotalStats();
+  const NicQueueStats nic_b = serial.nic().TotalStats();
+  EXPECT_EQ(nic_a.delivered, nic_b.delivered);
+  EXPECT_EQ(nic_a.dropped_ring_full, nic_b.dropped_ring_full);
+  EXPECT_EQ(nic_a.dropped_no_mbuf, nic_b.dropped_no_mbuf);
+  EXPECT_EQ(nic_a.dropped_ingress, nic_b.dropped_ingress);
+  ASSERT_EQ(engine.hierarchy().stats(), serial.hierarchy().stats());
+  for (SliceId s = 0; s < engine.spec().num_slices; ++s) {
+    ASSERT_EQ(engine.hierarchy().llc().cbo().events(s), serial.hierarchy().llc().cbo().events(s))
+        << "CBo counters diverged on slice " << s;
+  }
+}
+
+struct NfvEngineCase {
+  bool skylake = false;
+  std::uint64_t chain_seed = 0;
+  std::size_t threads = 1;
+};
+
+std::string NfvCaseName(const ::testing::TestParamInfo<NfvEngineCase>& info) {
+  const NfvEngineCase& p = info.param;
+  return std::string(p.skylake ? "Skylake" : "Haswell") + "Chain" +
+         std::to_string(p.chain_seed) + "T" + std::to_string(p.threads);
+}
+
+class NfvEngineEquivalenceTest : public ::testing::TestWithParam<NfvEngineCase> {};
+
+TEST_P(NfvEngineEquivalenceTest, EngineDrivenDataplaneStaysBitIdentical) {
+  const NfvEngineCase& p = GetParam();
+  EngineNfvStack engine_stack(p.skylake, p.chain_seed, p.threads);
+  EngineNfvStack serial_stack(p.skylake, p.chain_seed, /*engine_threads=*/0);
+
+  // Overload the shrunken DuT so queues fill and the drain phase has real
+  // backlogs to capture; two Run calls check cross-phase state persistence.
+  TrafficConfig traffic;
+  traffic.rate_gbps = 40.0;
+  traffic.num_flows = 64;
+  traffic.spacing = TrafficConfig::Spacing::kPoisson;
+  traffic.seed = 99 + p.chain_seed;
+  TrafficGenerator gen(traffic);
+  const std::vector<WirePacket> warm = gen.Generate(2000);
+  const std::vector<WirePacket> measured = gen.Generate(6000);
+
+  engine_stack.Run(warm);
+  serial_stack.Run(warm);
+  engine_stack.Run(measured);
+  serial_stack.Run(measured);
+
+  EXPECT_GT(engine_stack.runtime().packets_dropped(), 0u);  // drop paths ran
+  ASSERT_NE(engine_stack.engine(), nullptr);
+  EXPECT_GT(engine_stack.engine()->engine_stats().captured_line_ops, 0u);
+  ExpectStacksIdentical(engine_stack, serial_stack);
+}
+
+constexpr NfvEngineCase kNfvCases[] = {
+    {false, 1, 1}, {false, 1, 2}, {false, 1, 4}, {false, 1, 8},
+    {false, 2, 4}, {true, 1, 4},  {true, 3, 8},
+};
+
+INSTANTIATE_TEST_SUITE_P(Stacks, NfvEngineEquivalenceTest, ::testing::ValuesIn(kNfvCases),
+                         NfvCaseName);
+
+}  // namespace
+}  // namespace cachedir

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "src/cache/hierarchy.h"
 #include "src/hash/presets.h"
 #include "src/mem/hugepage.h"
+#include "src/sim/epoch_engine.h"
 #include "src/sim/machine.h"
 #include "src/sim/rng.h"
 
@@ -113,6 +115,75 @@ TEST(ParallelStress, RepeatedOversubscribedRunsAreIdentical) {
   const auto a = RunRepetitions(16, 99, CoherenceRepetition);
   const auto b = RunRepetitions(16, 99, CoherenceRepetition);
   EXPECT_EQ(a, b);
+}
+
+// In-run parallelism: ONE simulated run sharded across epoch-engine workers
+// (docs/architecture.md §14), as opposed to the per-repetition parallelism
+// above. The stream mixes core-partitioned lines (windows commit
+// speculatively) with hot shared lines and DMA (windows conflict and replay
+// serially), so worker phase 1, the sliced phase 2 merge, and the
+// rollback path all run under contention. Under -DCACHEDIR_SANITIZE=thread
+// this is the TSan stress for the engine's barriers, journals and merge
+// queues; in any build the fold must match the serial engine bit for bit.
+std::uint64_t EngineRun(std::size_t engine_threads, std::uint64_t seed) {
+  MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), seed);
+  std::optional<EpochEngine> engine;
+  if (engine_threads > 0) {
+    EpochEngineOptions options;
+    options.num_threads = engine_threads;
+    options.window_line_ops = 512;
+    engine.emplace(hierarchy, options);
+  }
+  HugepageAllocator backing;
+  const PhysAddr buf = backing.Allocate(1u << 20, PageSize::k2M).pa;
+  const PhysAddr hot = backing.Allocate(64 * kCacheLineSize, PageSize::k2M).pa;
+  Rng rng(seed * 104729 + 1);
+  Cycles serial_cycles = 0;
+  for (std::size_t i = 0; i < 6000; ++i) {
+    const CoreId core = static_cast<CoreId>(i % 8);
+    if ((i & 31u) == 0) {
+      serial_cycles += hierarchy.DmaWriteRange(buf + rng.UniformIndex(256) * 4096, 1536);
+    } else if ((i & 7u) == 0) {
+      // Hot shared line: cross-core conflict inside a window → abort path.
+      serial_cycles += hierarchy.Write(core, hot + rng.UniformIndex(8) * kCacheLineSize).cycles;
+    } else {
+      // Core-partitioned heap: speculative commit path.
+      const PhysAddr line =
+          buf + (static_cast<PhysAddr>(core) << 14) + rng.UniformIndex(256) * kCacheLineSize;
+      serial_cycles += hierarchy.Read(core, line).cycles;
+    }
+  }
+  Cycles cycles = serial_cycles;
+  if (engine) {
+    engine->Flush();
+    cycles = engine->total_cycles();  // capture-mode per-op returns were placeholders
+  }
+  std::uint64_t fold = cycles;
+  fold = fold * 1315423911u ^ hierarchy.stats().llc_misses;
+  fold = fold * 1315423911u ^ hierarchy.stats().l2_misses;
+  fold = fold * 1315423911u ^ hierarchy.stats().dma_line_writes;
+  return fold;
+}
+
+TEST(ParallelStress, OversubscribedEpochEngineMatchesSerialBitForBit) {
+  const std::uint64_t serial = EngineRun(/*engine_threads=*/0, /*seed=*/31);
+  // Far more engine workers than host cores: maximal barrier interleaving.
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{16}, std::size_t{64}}) {
+    EXPECT_EQ(EngineRun(threads, /*seed=*/31), serial) << "engine_threads=" << threads;
+  }
+}
+
+TEST(ParallelStress, EpochEngineInsideOversubscribedRepetitions) {
+  // Both layers at once: every repetition is itself an engine-sharded run, so
+  // engine worker pools from concurrent repetitions coexist on the
+  // oversubscribed host.
+  ScopedThreadEnv env("16");
+  const auto folds = RunRepetitions(
+      12, 7, [](std::size_t rep, std::uint64_t seed) { return EngineRun(2 + rep % 3, seed); });
+  for (std::size_t rep = 0; rep < folds.size(); ++rep) {
+    // RunRepetitions hands the callback base_seed + rep.
+    EXPECT_EQ(folds[rep], EngineRun(2 + rep % 3, 7 + rep)) << "rep=" << rep;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,18 @@
+// detlint fixture (engine path): deliberate charge-free bookkeeping write
+// behind the escape hatch — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+struct PhysicalMemory {
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+
+struct JournalWriter {
+  PhysicalMemory& memory_;
+
+  void Record(PhysAddr pa, std::uint64_t before) {
+    // Rollback journal entry: replay re-charges the real access, the journal
+    // itself is host bookkeeping. detlint: allow(physmem-bypass)
+    memory_.WriteU64(pa, before);
+  }
+};

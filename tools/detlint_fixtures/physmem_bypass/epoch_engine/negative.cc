@@ -1,0 +1,22 @@
+// detlint fixture (engine path): the merge replays every staged line through
+// the hierarchy before touching the backing store — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct MergeReplayer {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t ReplayStaged(CoreId core, PhysAddr pa) {
+    hierarchy_.Read(core, pa);
+    return memory_.ReadU64(pa);
+  }
+};

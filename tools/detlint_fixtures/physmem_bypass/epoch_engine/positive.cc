@@ -1,0 +1,24 @@
+// detlint fixture (engine path): a worker-local staging buffer drained
+// straight into the backing store — the merge never charges the hierarchy,
+// so the sharded run under-costs the serial engine (3 findings).
+#include <cstdint>
+#include <vector>
+
+using PhysAddr = std::uint64_t;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+void CopyStagedLine(PhysicalMemory& memory, PhysAddr pa);
+
+struct WorkerSlice {
+  PhysicalMemory& memory_;
+  std::vector<PhysAddr> staged_;
+
+  std::uint64_t PeekStaged(PhysAddr pa) { return memory_.ReadU64(pa); }
+
+  void DrainTo(PhysAddr dst) {
+    memory_.WriteU64(dst, staged_.size());
+    CopyStagedLine(memory_, dst);
+  }
+};

@@ -1,0 +1,24 @@
+// detlint fixture (engine path): a deliberately free speculative-prediction
+// stash behind the escape hatch — zero findings.
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct Predictor {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  void Observe(CoreId core, PhysAddr line_pa, PhysAddr stash_pa) {
+    hierarchy_.Read(core, line_pa);
+    // Prediction stash consulted before the merge; the merge re-charges the
+    // real access if the guess was wrong. detlint: allow(uncosted-access)
+    memory_.WriteU64(stash_pa, 1);
+  }
+};

@@ -1,0 +1,32 @@
+// detlint fixture (engine path): every worker-local address flows into the
+// replay batch the hierarchy charges, so the raw reads are all costed — zero
+// findings.
+#include <cstdint>
+#include <span>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+};
+struct ReplayBatch {
+  std::span<const PhysAddr> lines;
+};
+struct MemoryHierarchy {
+  void ReadRange(CoreId core, const ReplayBatch& batch);
+};
+
+struct WindowMerge {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t ReplayWindow(CoreId core, PhysAddr base) {
+    PhysAddr lines[2];
+    lines[0] = base;
+    lines[1] = base + 64;
+    ReplayBatch batch;
+    batch.lines = std::span<const PhysAddr>(lines, 2);
+    hierarchy_.ReadRange(core, batch);
+    return memory_.ReadU64(lines[0]) + memory_.ReadU64(lines[1]);
+  }
+};

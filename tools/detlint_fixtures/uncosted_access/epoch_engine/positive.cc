@@ -1,0 +1,27 @@
+// detlint fixture (engine path): the commit charges the replayed line, but
+// two touches use a worker-local scratch address that derives from no charged
+// symbol (2 findings).
+#include <cstdint>
+
+using PhysAddr = std::uint64_t;
+using CoreId = int;
+struct PhysicalMemory {
+  std::uint64_t ReadU64(PhysAddr pa) const;
+  void WriteU64(PhysAddr pa, std::uint64_t v);
+};
+struct MemoryHierarchy {
+  void Read(CoreId core, PhysAddr pa);
+};
+
+struct WorkerCommit {
+  MemoryHierarchy& hierarchy_;
+  PhysicalMemory& memory_;
+
+  std::uint64_t Commit(CoreId core, PhysAddr line_pa, PhysAddr scratch_pa) {
+    hierarchy_.Read(core, line_pa);
+    const std::uint64_t value = memory_.ReadU64(line_pa);
+    const PhysAddr slot = scratch_pa + 64;
+    memory_.WriteU64(slot, value);
+    return memory_.ReadU64(scratch_pa);
+  }
+};

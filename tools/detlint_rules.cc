@@ -58,9 +58,18 @@ const Scope& ScopeFor(const std::string& rule) {
       {"wall-clock", {{"bench/common.h", "bench/common.cc"}, {}}},
       {"global-rng", {{"src/sim/rng.h"}, {}}},
       {"unseeded-stochastic", {{"src/sim/rng.h"}, {}}},
-      {"nondet-env", {{"bench/common.h", "bench/common.cc"}, {}}},
-      {"physmem-bypass", {{}, {"/nfv/", "/kvs/"}}},
-      {"uncosted-access", {{}, {"/nfv/", "/kvs/"}}},
+      // host_parallel holds the promoted BenchThreadCount (hardware_concurrency
+      // + CACHEDIR_BENCH_THREADS), the same carve-out bench/common had before
+      // the parallel machinery moved into src/sim.
+      {"nondet-env",
+       {{"bench/common.h", "bench/common.cc", "src/sim/host_parallel.h",
+         "src/sim/host_parallel.cc"},
+        {}}},
+      // The epoch engine's worker/merge path is model code too: worker-local
+      // staging buffers must replay their charges through MemoryHierarchy, or
+      // the sharded run silently under-costs relative to the serial engine.
+      {"physmem-bypass", {{}, {"/nfv/", "/kvs/", "epoch_engine"}}},
+      {"uncosted-access", {{}, {"/nfv/", "/kvs/", "epoch_engine"}}},
   };
   static const Scope everywhere;
   const auto it = scopes.find(rule);
