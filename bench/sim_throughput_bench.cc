@@ -64,6 +64,10 @@ struct ConfigResult {
   std::uint64_t llc_misses = 0;
   std::uint64_t dma_writes = 0;
   double host_seconds = 0;  // report-only; never enters simulated results
+  // Engine runs only: the per-window counters (speculative / fast-commit /
+  // aborted windows, merged micro-ops, journal rows, adaptive trajectory).
+  // Deterministic — identical across trials — so best-of-trials keeps them.
+  EpochEngineStats engine_stats;
 };
 
 // Up to 8 cores runs the calibrated E5-2667 v3 preset; 9..64 runs the
@@ -124,6 +128,7 @@ ConfigResult RunConfig(std::size_t cores, std::size_t engine_threads) {
     // the per-op returns deferred (capture-mode calls return placeholders).
     engine->Flush();
     cycles = engine->total_cycles();
+    result.engine_stats = engine->engine_stats();
   }
   result.host_seconds = timer.Seconds();
 
@@ -163,7 +168,7 @@ void PrintResultRow(const ConfigResult& r) {
 // BENCH_simcore.json history entries, so tools/check_perf_baseline.py can
 // compare a fresh run against the checked-in trajectory point.
 void WriteHostTiming(const char* json_path, const char* bench_name,
-                     const std::vector<ConfigResult>& results) {
+                     const std::vector<ConfigResult>& results, std::size_t engine_threads) {
   FILE* json = std::fopen(json_path, "w");
   if (json == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for writing\n", json_path);
@@ -171,8 +176,7 @@ void WriteHostTiming(const char* json_path, const char* bench_name,
     std::fprintf(json,
                  "{\n  \"bench\": \"%s\",\n"
                  "  \"machine\": {\"hardware_threads\": %u, \"compiler\": \"%s\", "
-                 "\"build\": \"%s\"},\n"
-                 "  \"configs\": [\n",
+                 "\"build\": \"%s\"},\n",
                  bench_name,
                  // Host metadata sidecar only, not simulated output. detlint: allow(nondet-env)
                  std::thread::hardware_concurrency(), __VERSION__,
@@ -182,6 +186,10 @@ void WriteHostTiming(const char* json_path, const char* bench_name,
                  "debug"
 #endif
     );
+    if (engine_threads > 0) {
+      std::fprintf(json, "  \"engine_threads\": %zu,\n", engine_threads);
+    }
+    std::fprintf(json, "  \"configs\": [\n");
   }
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
@@ -190,13 +198,37 @@ void WriteHostTiming(const char* json_path, const char* bench_name,
     std::fprintf(stderr, "%s cores=%zu accesses=%llu host_s=%.3f accesses_per_sec=%.3e\n",
                  bench_name, r.cores, static_cast<unsigned long long>(r.accesses),
                  r.host_seconds, rate);
-    if (json != nullptr) {
-      std::fprintf(json,
-                   "    {\"cores\": %zu, \"accesses\": %llu, \"host_seconds\": %.6f, "
-                   "\"accesses_per_sec\": %.1f}%s\n",
-                   r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds,
-                   rate, i + 1 < results.size() ? "," : "");
+    if (json == nullptr) {
+      continue;
     }
+    std::fprintf(json,
+                 "    {\"cores\": %zu, \"accesses\": %llu, \"host_seconds\": %.6f, "
+                 "\"accesses_per_sec\": %.1f",
+                 r.cores, static_cast<unsigned long long>(r.accesses), r.host_seconds, rate);
+    if (engine_threads > 0) {
+      // The engine's per-window telemetry: how the window was settled
+      // (fast-commit / full replay / abort), how much phase-2 work the merge
+      // did, and the adaptive controller's budget trajectory. Deterministic
+      // simulated facts — safe next to the host-timing numbers.
+      const EpochEngineStats& es = r.engine_stats;
+      std::fprintf(json,
+                   ",\n     \"engine\": {\"windows\": %llu, \"speculative_windows\": %llu, "
+                   "\"fast_commit_windows\": %llu, \"aborted_windows\": %llu, "
+                   "\"effects_applied\": %llu, \"merged_micro_ops\": %llu, "
+                   "\"journal_rows_saved\": %llu,\n      \"window_size_trajectory\": [",
+                   static_cast<unsigned long long>(es.windows),
+                   static_cast<unsigned long long>(es.speculative_windows),
+                   static_cast<unsigned long long>(es.fast_commit_windows),
+                   static_cast<unsigned long long>(es.aborted_windows),
+                   static_cast<unsigned long long>(es.effects_applied),
+                   static_cast<unsigned long long>(es.merged_micro_ops),
+                   static_cast<unsigned long long>(es.journal_rows_saved));
+      for (std::size_t t = 0; t < es.window_size_trajectory.size(); ++t) {
+        std::fprintf(json, "%s%u", t == 0 ? "" : ", ", es.window_size_trajectory[t]);
+      }
+      std::fprintf(json, "]}");
+    }
+    std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   if (json != nullptr) {
     std::fprintf(json, "  ]\n}\n");
@@ -246,9 +278,9 @@ int Run(const char* json_path, const char* engine_json_path,
     std::printf("engine rows verified bit-identical to the serial rows\n");
   }
 
-  WriteHostTiming(json_path, "sim_throughput", results);
+  WriteHostTiming(json_path, "sim_throughput", results, /*engine_threads=*/0);
   if (engine_threads > 0) {
-    WriteHostTiming(engine_json_path, "sim_throughput_engine", engine_results);
+    WriteHostTiming(engine_json_path, "sim_throughput_engine", engine_results, engine_threads);
   }
   return 0;
 }

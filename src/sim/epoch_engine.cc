@@ -16,6 +16,10 @@ namespace {
 
 constexpr std::uint64_t Bit(CoreId core) { return std::uint64_t{1} << core; }
 
+// Bound on recorded window-size trajectory points (EpochEngineStats): enough
+// to show the controller's full ramp, small enough that the stats stay flat.
+constexpr std::size_t kTrajectoryCap = 64;
+
 }  // namespace
 
 SliceId EpochEngine::DirSliceFn(const void* ctx, PhysAddr line) {
@@ -27,13 +31,30 @@ EpochEngine::EpochEngine(MemoryHierarchy& hierarchy, const EpochEngineOptions& o
       options_(options),
       pool_(options.num_threads),
       serial_only_(options.force_serial || hierarchy.spec().l2_next_line_prefetch),
-      random_repl_(hierarchy.spec().replacement == ReplacementKind::kRandom) {
+      random_repl_(hierarchy.spec().replacement == ReplacementKind::kRandom),
+      track_line_cycles_(options.keep_line_results) {
   if (hierarchy_.capture_ != nullptr) {
     throw std::logic_error("EpochEngine: hierarchy already has a capture sink");
   }
   if (options_.window_line_ops == 0) {
     throw std::invalid_argument("EpochEngine: window_line_ops must be positive");
   }
+  window_limit_ = options_.window_line_ops;
+  if (options_.adaptive_window && !serial_only_) {
+    min_limit_ = std::max<std::size_t>(
+        1, std::min(options_.min_window_line_ops, options_.window_line_ops));
+    // The default cap is a generous 64x: the window-set journal's dedupe
+    // factor scales with how much of a streaming workload's set space one
+    // window revisits, and an abort walks the budget back down in halves.
+    max_limit_ = options_.max_window_line_ops == 0
+                     ? options_.window_line_ops * 64
+                     : std::max(options_.max_window_line_ops, options_.window_line_ops);
+  } else {
+    min_limit_ = window_limit_;
+    max_limit_ = window_limit_;
+  }
+  engine_stats_.window_size_trajectory.reserve(kTrajectoryCap);
+  engine_stats_.window_size_trajectory.push_back(static_cast<std::uint32_t>(window_limit_));
   if (!serial_only_) {
     const MachineSpec& spec = hierarchy_.spec();
     const std::size_t cores = spec.num_cores;
@@ -45,6 +66,10 @@ EpochEngine::EpochEngine(MemoryHierarchy& hierarchy, const EpochEngineOptions& o
     for (WorkerCtx& ctx : workers_) {
       ctx.queues.resize(slices);
       ctx.merged_effects.resize((cores + num_workers - 1) / num_workers);
+      ctx.merge_cur.reserve(num_workers);
+      ctx.merge_tree.reserve(num_workers);
+      ctx.dma_mask.assign(slices, 0);
+      ctx.dma_first.assign(slices, 0);
     }
     slice_ctx_.resize(slices);
     for (SliceCtx& ctx : slice_ctx_) {
@@ -68,7 +93,7 @@ EpochEngine::EpochEngine(MemoryHierarchy& hierarchy, const EpochEngineOptions& o
       core_rng_snapshot_.assign(cores * 2, Rng(0));
     }
   }
-  ops_.reserve(options_.window_line_ops + 64);
+  ops_.reserve(max_limit_ + 64);
   hierarchy_.AttachCaptureSink(this);
 }
 
@@ -174,7 +199,7 @@ void EpochEngine::CaptureCoreLine(CoreId core, PhysAddr addr, bool is_write) {
 }
 
 void EpochEngine::ReserveWindow(std::size_t incoming_lines) {
-  if (window_lines_ != 0 && window_lines_ + incoming_lines > options_.window_line_ops) {
+  if (window_lines_ != 0 && window_lines_ + incoming_lines > window_limit_) {
     Settle();
   }
 }
@@ -216,29 +241,83 @@ void EpochEngine::Settle() {
     ++engine_stats_.speculative_windows;
     PrepareWindow();
     pool_.Run([this](std::size_t w) { Phase1(w); });
-    pool_.Run([this](std::size_t w) { Phase2(w); });
-    bool abort = false;
-    for (const SliceCtx& ctx : slice_ctx_) {
-      abort = abort || ctx.abort;
+    bool fast = true;
+    std::uint64_t rows = 0;
+    for (const WorkerCtx& ctx : workers_) {
+      fast = fast && ctx.fast_ok;
+      rows += ctx.rows.size();
     }
-    if (!abort) {
-      pool_.Run([this](std::size_t w) { Phase3Verdict(w); });
-      for (const WorkerCtx& ctx : workers_) {
-        abort = abort || ctx.abort;
-      }
-    }
-    if (!abort) {
-      pool_.Run([this](std::size_t w) { Phase3Commit(w); });
-      CommitWindow();
+    if (fast) {
+      ++engine_stats_.fast_commit_windows;
+      engine_stats_.journal_rows_saved += rows;
+      FastCommit();
+      AdaptWindowLimit(/*aborted=*/false, /*window_effects=*/0);
     } else {
-      ++engine_stats_.aborted_windows;
-      RollbackWindow();
-      ReplaySerial();
+      // Shared-state rollback points, taken only now: phase 1 never touches
+      // the CBo bank or the slice RNGs, so deferring the snapshots past the
+      // fast-window check keeps them entirely off the fast path.
+      hierarchy_.llc_.cbo().SnapshotInto(cbo_snapshot_);
+      if (random_repl_) {
+        for (std::size_t s = 0; s < slice_ctx_.size(); ++s) {
+          slice_ctx_[s].rng_snapshot = hierarchy_.llc_.slices_[s].rng_;
+        }
+      }
+      pool_.Run([this](std::size_t w) { Phase2(w); });
+      bool abort = false;
+      for (SliceCtx& ctx : slice_ctx_) {
+        abort = abort || ctx.abort;
+        rows += ctx.rows.size();
+        engine_stats_.merged_micro_ops += ctx.merged_ops;
+      }
+      engine_stats_.journal_rows_saved += rows;
+      if (!abort) {
+        pool_.Run([this](std::size_t w) { Phase3Verdict(w); });
+        for (const WorkerCtx& ctx : workers_) {
+          abort = abort || ctx.abort;
+        }
+      }
+      if (!abort) {
+        pool_.Run([this](std::size_t w) { Phase3Commit(w); });
+        AdaptWindowLimit(/*aborted=*/false, CommitWindow());
+      } else {
+        ++engine_stats_.aborted_windows;
+        RollbackWindow();
+        ReplaySerial();
+        AdaptWindowLimit(/*aborted=*/true, /*window_effects=*/0);
+      }
     }
   }
   ops_.clear();
   window_base_ = next_seq_;
   window_lines_ = 0;
+}
+
+void EpochEngine::AdaptWindowLimit(bool aborted, std::uint64_t window_effects) {
+  // Deterministic controller: inputs are the abort verdict and the window's
+  // applied-effect count — simulated-stream facts that are identical across
+  // host worker counts and reruns — never host time. Aborts halve the budget
+  // (a misspeculation re-runs the whole window serially, so the blast radius
+  // shrinks); a streak of clean windows with little cross-core sharing earns
+  // a doubling back toward the cap.
+  if (min_limit_ == max_limit_) {
+    return;
+  }
+  const std::size_t old_limit = window_limit_;
+  if (aborted) {
+    window_limit_ = std::max(min_limit_, window_limit_ / 2);
+    clean_streak_ = 0;
+  } else if (window_effects * 8 <= window_lines_) {
+    if (++clean_streak_ >= 4 && window_limit_ < max_limit_) {
+      window_limit_ = std::min(max_limit_, window_limit_ * 2);
+      clean_streak_ = 0;
+    }
+  } else {
+    clean_streak_ = 0;
+  }
+  if (window_limit_ != old_limit &&
+      engine_stats_.window_size_trajectory.size() < kTrajectoryCap) {
+    engine_stats_.window_size_trajectory.push_back(static_cast<std::uint32_t>(window_limit_));
+  }
 }
 
 void EpochEngine::ReplaySerial() {
@@ -280,8 +359,9 @@ void EpochEngine::ReplaySerial() {
 void EpochEngine::PrepareWindow() {
   ++window_id_;
   if (window_id_ == 0) {
-    // Tag wraparound after 2^32 windows: flush every window-tagged table so
-    // a stale tag can never alias the new window.
+    // Tag wraparound after 2^32 windows: flush every window-tagged table —
+    // including the micro-op queues, whose recycled capacity is gated by the
+    // same tag — so a stale tag can never alias the new window.
     for (std::vector<CoreCacheTables>* tables : {&l1_tables_, &l2_tables_}) {
       for (CoreCacheTables& t : *tables) {
         std::fill(t.journal_tag.begin(), t.journal_tag.end(), 0u);
@@ -289,17 +369,24 @@ void EpochEngine::PrepareWindow() {
       }
     }
     std::fill(llc_journal_tag_.begin(), llc_journal_tag_.end(), 0u);
+    for (WorkerCtx& ctx : workers_) {
+      for (MicroQueue& queue : ctx.queues) {
+        queue.tag = 0;
+        queue.ops.clear();
+      }
+    }
     window_id_ = 1;
   }
-  own_cycles_.assign(window_lines_, 0);
-  shared_cycles_.assign(window_lines_, 0);
+  if (track_line_cycles_) {
+    own_cycles_.assign(window_lines_, 0);
+    shared_cycles_.assign(window_lines_, 0);
+  }
   for (WorkerCtx& ctx : workers_) {
-    for (std::vector<MicroOp>& queue : ctx.queues) {
-      queue.clear();
-    }
     ctx.stats = HierarchyStats{};
     ctx.rows.clear();
     ctx.row_words.clear();
+    ctx.own_total = 0;
+    ctx.fast_ok = true;
     ctx.abort = false;
   }
   for (SliceCtx& ctx : slice_ctx_) {
@@ -310,19 +397,50 @@ void EpochEngine::PrepareWindow() {
     for (std::vector<Effect>& effects : ctx.effects) {
       effects.clear();
     }
+    ctx.shared_total = 0;
+    ctx.merged_ops = 0;
     ctx.abort = false;
   }
-  cbo_snapshot_ = hierarchy_.llc_.cbo().Snapshot();
   if (random_repl_) {
+    // The L1/L2 RNG pre-images must be taken before phase 1 (kRandom Insert
+    // consumes them there); the slice RNGs and the CBo bank are phase-2
+    // state, snapshotted in Settle only when a window actually goes slow.
     const std::size_t cores = hierarchy_.l1_.size();
     for (std::size_t c = 0; c < cores; ++c) {
       core_rng_snapshot_[c * 2] = hierarchy_.l1_[c].rng_;
       core_rng_snapshot_[c * 2 + 1] = hierarchy_.l2_[c].rng_;
     }
-    for (std::size_t s = 0; s < slice_ctx_.size(); ++s) {
-      slice_ctx_[s].rng_snapshot = hierarchy_.llc_.slices_[s].rng_;
+  }
+}
+
+void EpochEngine::FastCommit() {
+  // Soundness of skipping phases 2+3 wholesale: every micro-op in the window
+  // is an L1 hit whose write (if any) observed its own line already dirty.
+  //  * No effects exist (hits emit none), so no claim can go stale -> A1
+  //    cannot fire: the directory mirrors the tag arrays at the window
+  //    boundary, and recency-only phase-1 mutations keep that invariant.
+  //  * There are no predictions (A2) and no fills (A3).
+  //  * The replay of such an op mutates nothing: a dirty write-hit's
+  //    l1_dirty |= self is a no-op (A1 equality), and the only other
+  //    candidate — the directory's slice-id memo — is a host-side cache of
+  //    the Complex Addressing hash with no simulated effect.
+  // So the window commits as: worker stats + phase-1 cycle shares, done.
+  for (const WorkerCtx& ctx : workers_) {
+    hierarchy_.stats_ += ctx.stats;
+  }
+  Cycles window_total = 0;
+  if (track_line_cycles_) {
+    for (std::size_t rel = 0; rel < window_lines_; ++rel) {
+      const Cycles cycles = own_cycles_[rel];
+      window_total += cycles;
+      results_.push_back(cycles);
+    }
+  } else {
+    for (const WorkerCtx& ctx : workers_) {
+      window_total += ctx.own_total;
     }
   }
+  total_cycles_ += window_total;
 }
 
 // ---------------------------------------------------------------------------
@@ -351,11 +469,9 @@ void EpochEngine::Phase1Access(WorkerCtx& ctx, const CapturedOp& op) {
   const PhysAddr line = op.addr;
   const bool is_write = op.is_write;
   const std::uint64_t seq = op.first_seq;
-  const std::uint64_t rel = seq - window_base_;
   const LatencyModel& lat = hierarchy_.spec_.latency;
-  // Pure hash, never the directory memo — reading an entry here would race
-  // with phase 2 of a previous... there is no overlap between phases, but
-  // the memo write is a phase-2 (directory) mutation and must happen there.
+  // Pure hash, never the directory memo — the memo write is a phase-2
+  // (directory) mutation and must happen there.
   const SliceId slice = hierarchy_.llc_.SliceOf(line);
 
   MicroOp micro;
@@ -376,15 +492,19 @@ void EpochEngine::Phase1Access(WorkerCtx& ctx, const CapturedOp& op) {
       micro.flags |= kFlagObservedDirty;
     }
     if (is_write) {
-      own_cycles_[rel] = lat.store_commit;
+      AddOwn(ctx, seq, lat.store_commit);
       l1.MarkDirty(line);
+      // A clean write-hit upgrades through the directory; only dirty-observed
+      // writes (and reads) are fast-commit-safe.
+      ctx.fast_ok = ctx.fast_ok && r1.dirty;
     } else {
-      own_cycles_[rel] = lat.l1_hit;
+      AddOwn(ctx, seq, lat.l1_hit);
     }
     Emit(ctx, slice, micro);
     return;
   }
   ++ctx.stats.l1_misses;
+  ctx.fast_ok = false;
 
   // L2.
   SetAssocCache& l2 = hierarchy_.l2_[core];
@@ -395,7 +515,7 @@ void EpochEngine::Phase1Access(WorkerCtx& ctx, const CapturedOp& op) {
     if (r2.dirty) {
       micro.flags |= kFlagObservedDirty;
     }
-    own_cycles_[rel] = lat.l2_hit;
+    AddOwn(ctx, seq, lat.l2_hit);
     Emit(ctx, slice, micro);
     LocalFillL1(ctx, core, line, /*dirty=*/is_write, seq, /*fill_sub=*/0, /*evict_sub=*/1);
     return;
@@ -444,15 +564,36 @@ void EpochEngine::Phase1Access(WorkerCtx& ctx, const CapturedOp& op) {
 }
 
 void EpochEngine::Phase1Dma(WorkerCtx& ctx, const CapturedOp& op) {
+  ctx.fast_ok = false;
   const bool is_write = op.kind == CapturedOp::Kind::kDmaWrite;
   const PhysAddr first = LineBase(op.addr);
+  // Route the range to slices in 64-line chunks: hash every line (the hash
+  // dominates phase-1 DMA cost, exactly as in the serial two-pass loop),
+  // accumulate a per-slice line mask, then emit ONE block micro-op per
+  // (chunk, slice) — a third of the per-line stream on an MTU-sized packet.
+  SliceId touched[64];
   MicroOp micro;
   micro.kind = is_write ? kOpDmaWrite : kOpDmaRead;
-  for (std::uint32_t i = 0; i < op.lines; ++i) {
-    const PhysAddr line = first + std::uint64_t{i} * kCacheLineSize;
-    micro.key = Key(op.first_seq + i, 0);
-    micro.line = line;
-    Emit(ctx, hierarchy_.llc_.SliceOf(line), micro);
+  for (std::uint32_t chunk = 0; chunk < op.lines; chunk += 64) {
+    const std::uint32_t n = std::min<std::uint32_t>(64, op.lines - chunk);
+    std::size_t num_touched = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const PhysAddr line = first + std::uint64_t{chunk + i} * kCacheLineSize;
+      const SliceId slice = hierarchy_.llc_.SliceOf(line);
+      if (ctx.dma_mask[slice] == 0) {
+        touched[num_touched++] = slice;
+        ctx.dma_first[slice] = i;
+      }
+      ctx.dma_mask[slice] |= std::uint64_t{1} << i;
+    }
+    micro.line = first + std::uint64_t{chunk} * kCacheLineSize;
+    for (std::size_t t = 0; t < num_touched; ++t) {
+      const SliceId slice = touched[t];
+      micro.key = Key(op.first_seq + chunk + ctx.dma_first[slice], 0);
+      micro.mask = ctx.dma_mask[slice];
+      ctx.dma_mask[slice] = 0;
+      Emit(ctx, slice, micro);
+    }
   }
 }
 
@@ -528,8 +669,8 @@ void EpochEngine::LocalFillL2(WorkerCtx& ctx, CoreId core, PhysAddr line, bool d
   if (victim_dirty) {
     // Both inclusion modes charge the same write-back busy cost to the core
     // (hierarchy.cc FillL2); the slice equals the victim's memoized id.
-    own_cycles_[seq - window_base_] +=
-        hierarchy_.spec_.latency.writeback_busy + hierarchy_.SlicePenalty(core, victim_slice);
+    AddOwn(ctx, seq,
+           hierarchy_.spec_.latency.writeback_busy + hierarchy_.SlicePenalty(core, victim_slice));
   }
 }
 
@@ -539,53 +680,125 @@ void EpochEngine::LocalFillL2(WorkerCtx& ctx, CoreId core, PhysAddr line, bool d
 void EpochEngine::Phase2(std::size_t worker) {
   const std::size_t num_workers = pool_.num_threads();
   for (std::size_t s = worker; s < slice_ctx_.size(); s += num_workers) {
-    ReplaySlice(slice_ctx_[s], static_cast<SliceId>(s));
+    ReplaySlice(worker, slice_ctx_[s], static_cast<SliceId>(s));
   }
 }
 
-void EpochEngine::ReplaySlice(SliceCtx& ctx, SliceId slice) {
-  // K-way merge of the (key-ascending) per-worker queues: total order per
-  // slice == the serial execution's op order restricted to this slice.
-  const std::size_t num_workers = workers_.size();
-  std::vector<std::size_t> head(num_workers, 0);
-  while (!ctx.abort) {
-    const MicroOp* best = nullptr;
-    std::size_t best_worker = 0;
-    for (std::size_t w = 0; w < num_workers; ++w) {
-      const std::vector<MicroOp>& queue = workers_[w].queues[slice];
-      if (head[w] < queue.size()) {
-        const MicroOp& cand = queue[head[w]];
-        if (best == nullptr || cand.key < best->key) {
-          best = &cand;
-          best_worker = w;
-        }
+void EpochEngine::ReplaySlice(std::size_t worker, SliceCtx& ctx, SliceId slice) {
+  // Merge of the (key-ascending) per-worker queues: total order per slice ==
+  // the serial execution's op order restricted to this slice. The merged
+  // stream lands in the replaying worker's persistent scratch so the replay
+  // loop can stream it with prefetch lookahead (ReplayRun); the dominant
+  // single-contributor case (always, with one worker) replays the queue's
+  // arrays in place instead, zero copies.
+  WorkerCtx& wctx = workers_[worker];
+  std::vector<MergeCursor>& cur = wctx.merge_cur;
+  cur.clear();
+  for (const WorkerCtx& w : workers_) {
+    const MicroQueue& queue = w.queues[slice];
+    const std::size_t n = queue.SizeIn(window_id_);
+    if (n != 0) {
+      cur.push_back(MergeCursor{queue.ops.data(), queue.ops.data() + n});
+    }
+  }
+  if (cur.empty()) {
+    return;
+  }
+  if (cur.size() == 1) {
+    ReplayRun(ctx, slice, cur[0].p, static_cast<std::size_t>(cur[0].end - cur[0].p));
+    return;
+  }
+  std::vector<MicroOp>& out = wctx.merge_ops;
+  out.clear();
+  if (cur.size() == 2) {
+    TwoWayMerge(cur[0], cur[1], out);
+  } else {
+    LoserTreeMerge(cur, wctx.merge_tree, out);
+  }
+  ReplayRun(ctx, slice, out.data(), out.size());
+}
+
+void EpochEngine::TwoWayMerge(MergeCursor a, MergeCursor b, std::vector<MicroOp>& out) {
+  while (a.p != a.end && b.p != b.end) {
+    // Keys are globally unique, so strict-less is a total tiebreak.
+    MergeCursor& next = a.p->key < b.p->key ? a : b;
+    out.push_back(*next.p++);
+  }
+  for (const MergeCursor* rest : {&a, &b}) {
+    out.insert(out.end(), rest->p, rest->end);
+  }
+}
+
+void EpochEngine::LoserTreeMerge(std::vector<MergeCursor>& cur, std::vector<std::uint32_t>& tree,
+                                 std::vector<MicroOp>& out) {
+  // Loser tree in the classic complete-binary-tree layout: internal nodes
+  // 1..k-1 hold losers, conceptual leaves k..2k-1 hold the k cursors, and
+  // popping the winner replays only its root path — log k comparisons per
+  // op, versus the k-way linear scan the first engine version paid. Keys
+  // are globally unique so ties cannot occur; an exhausted cursor presents
+  // a sentinel that loses to every real key.
+  static constexpr std::uint64_t kDone = ~std::uint64_t{0};
+  const std::size_t k = cur.size();
+  const auto key_of = [&cur](std::uint32_t s) {
+    return cur[s].p != cur[s].end ? cur[s].p->key : kDone;
+  };
+  tree.assign(k, 0);
+  const auto build = [&](auto&& self, std::size_t node) -> std::uint32_t {
+    if (node >= k) {
+      return static_cast<std::uint32_t>(node - k);
+    }
+    const std::uint32_t a = self(self, 2 * node);
+    const std::uint32_t b = self(self, 2 * node + 1);
+    if (key_of(a) <= key_of(b)) {
+      tree[node] = b;
+      return a;
+    }
+    tree[node] = a;
+    return b;
+  };
+  std::uint32_t winner = build(build, std::size_t{1});
+  while (cur[winner].p != cur[winner].end) {
+    out.push_back(*cur[winner].p++);
+    std::uint32_t cand = winner;
+    for (std::size_t node = (k + winner) / 2; node >= 1; node /= 2) {
+      if (key_of(tree[node]) < key_of(cand)) {
+        std::swap(cand, tree[node]);
       }
     }
-    if (best == nullptr) {
-      break;
-    }
-    ++head[best_worker];
-    switch (best->kind) {
+    winner = cand;
+  }
+}
+
+void EpochEngine::ReplayRun(SliceCtx& ctx, SliceId slice, const MicroOp* run, std::size_t count) {
+  ctx.merged_ops += count;
+  // A plain dispatch loop, deliberately with no host prefetching: both an
+  // interleaved one-op lookahead and the serial DMA path's chunked two-pass
+  // shape measured as net losses here — the merged stream revisits metadata
+  // that capture and phase 1 just touched, so it is warm already and the
+  // prefetch pass is pure front-end overhead.
+  for (std::size_t i = 0; i < count && !ctx.abort; ++i) {
+    const MicroOp& op = run[i];
+    switch (op.kind) {
       case kOpHitL1:
-        ReplayHitL1(ctx, slice, *best);
+        ReplayHitL1(ctx, slice, op);
         break;
       case kOpHitL2:
-        ReplayHitL2(ctx, slice, *best);
+        ReplayHitL2(ctx, slice, op);
         break;
       case kOpMiss:
-        ReplayMiss(ctx, slice, *best);
+        ReplayMiss(ctx, slice, op);
         break;
       case kOpL2Evict:
-        ReplayL2Evict(ctx, slice, *best);
+        ReplayL2Evict(ctx, slice, op);
         break;
       case kOpL1Evict:
-        ReplayL1Evict(ctx, slice, *best);
+        ReplayL1Evict(ctx, slice, op);
         break;
       case kOpDmaWrite:
-        ReplayDmaWrite(ctx, slice, *best);
+        ReplayDmaWrite(ctx, slice, op);
         break;
       case kOpDmaRead:
-        ReplayDmaRead(ctx, slice, *best);
+        ReplayDmaRead(ctx, slice, op);
         break;
       default:
         ctx.abort = true;  // unreachable; abort (not throw) — this runs on a worker
@@ -594,13 +807,12 @@ void EpochEngine::ReplaySlice(SliceCtx& ctx, SliceId slice) {
 }
 
 void EpochEngine::ReplayHitL1(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  LineDirectory& directory = hierarchy_.directory_;
   const PhysAddr line = op.line;
   const std::uint64_t self = Bit(op.core);
-  LineDirectoryEntry* entry = directory.Find(line);
+  LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   // Serial access top: the slice memo fills on first touch of the entry.
   if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
-    RecordDir(ctx, line);
+    RecordDirEntry(ctx, line, entry);
     entry->slice_cache = slice;
   }
   // A1: phase 1 claims an L1 hit; the directory mirrors the tag arrays
@@ -618,26 +830,26 @@ void EpochEngine::ReplayHitL1(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
     return;
   }
   const std::uint64_t others = entry->sharers() & ~self;
-  Cycles shared = 0;
   if (!observed_dirty && others != 0) {
     ++ctx.stats.upgrades;
+    // Keeps `entry` alive and in place: self's own L1 bit survives the mask,
+    // so the entry never empties, and nothing is inserted.
     ReplayInvalidateElsewhere(ctx, op.key, op.core, line);
-    shared = hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade;
+    AddShared(ctx, op.key,
+              hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade);
   }
-  RecordDir(ctx, line);
-  directory.GetOrCreate(line).l1_dirty |= self;
-  shared_cycles_[(op.key >> 2) - window_base_] = shared;
+  RecordDirEntry(ctx, line, entry);
+  entry->l1_dirty |= self;
 }
 
 void EpochEngine::ReplayHitL2(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  LineDirectory& directory = hierarchy_.directory_;
   const PhysAddr line = op.line;
   const std::uint64_t self = Bit(op.core);
   const bool is_write = (op.flags & kFlagIsWrite) != 0;
   const bool observed_dirty = (op.flags & kFlagObservedDirty) != 0;
-  LineDirectoryEntry* entry = directory.Find(line);
+  LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
-    RecordDir(ctx, line);
+    RecordDirEntry(ctx, line, entry);
     entry->slice_cache = slice;
   }
   // A1: L1 missed, L2 hit, and (writes) the observed L2 dirty bit agrees.
@@ -647,35 +859,38 @@ void EpochEngine::ReplayHitL2(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
     return;
   }
   if (entry->prefetched) {
-    RecordDir(ctx, line);
+    RecordDirEntry(ctx, line, entry);
     entry->prefetched = false;
     ++ctx.stats.prefetch_hits;
   }
-  Cycles shared = 0;
   const std::uint64_t others = entry->sharers() & ~self;
   if (is_write && !observed_dirty && others != 0) {
     ++ctx.stats.upgrades;
     ReplayInvalidateElsewhere(ctx, op.key, op.core, line);
-    shared = hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade;
+    AddShared(ctx, op.key,
+              hierarchy_.LlcHitLatency(op.core, slice) + hierarchy_.spec_.latency.upgrade);
   }
-  // FillL1's directory half (the tag-array half ran in phase 1).
-  DirFill(ctx, line, op.core, /*to_l1=*/true, /*dirty=*/is_write, slice);
-  shared_cycles_[(op.key >> 2) - window_base_] = shared;
+  // FillL1's directory half (the tag-array half ran in phase 1). `entry`
+  // survives the upgrade above (self's L2 bit is kept), so reuse it.
+  RecordDirEntry(ctx, line, entry);
+  entry->l1_sharers |= self;
+  if (is_write) {
+    entry->l1_dirty |= self;
+  }
+  entry->slice_cache = slice;
 }
 
 void EpochEngine::ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  LineDirectory& directory = hierarchy_.directory_;
   const PhysAddr line = op.line;
   const CoreId core = op.core;
   const std::uint64_t self = Bit(core);
   const bool is_write = (op.flags & kFlagIsWrite) != 0;
   const LatencyModel& lat = hierarchy_.spec_.latency;
-  const std::uint64_t rel = (op.key >> 2) - window_base_;
   SlicedLlc& llc = hierarchy_.llc_;
 
-  LineDirectoryEntry* entry = directory.Find(line);
+  LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   if (entry != nullptr && entry->slice_cache == LineDirectoryEntry::kNoSlice) {
-    RecordDir(ctx, line);
+    RecordDirEntry(ctx, line, entry);
     entry->slice_cache = slice;
   }
   // A1: a full private miss (phase 1's own L1/L2 state is a superset of the
@@ -713,7 +928,7 @@ void EpochEngine::ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
     }
     DirFill(ctx, line, core, /*to_l1=*/false, fill_dirty && !is_write, slice);
     DirFill(ctx, line, core, /*to_l1=*/true, is_write || fill_dirty, slice);
-    shared_cycles_[rel] = shared;
+    AddShared(ctx, op.key, shared);
     return;
   }
 
@@ -750,18 +965,17 @@ void EpochEngine::ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
   }
   DirFill(ctx, line, core, /*to_l1=*/false, fill_dirty, slice);
   DirFill(ctx, line, core, /*to_l1=*/true, /*dirty=*/is_write, slice);
-  shared_cycles_[rel] = shared;
+  AddShared(ctx, op.key, shared);
 }
 
 void EpochEngine::ReplayL2Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  LineDirectory& directory = hierarchy_.directory_;
   const PhysAddr line = op.line;
   const CoreId core = op.core;
   const std::uint64_t self = Bit(core);
   const bool evicted_dirty = (op.flags & kFlagEvictedDirty) != 0;
   const bool l1_present = (op.flags & kFlagCompanionPresent) != 0;
   const bool l1_dirty = (op.flags & kFlagCompanionDirty) != 0;
-  LineDirectoryEntry* entry = directory.Find(line);
+  const LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   // A1: the victim's own L2 dirty bit and its L1 companion state must agree
   // with the directory — they decide where the dirt goes.
   if (entry == nullptr || (entry->l2_sharers & self) == 0 ||
@@ -794,13 +1008,12 @@ void EpochEngine::ReplayL2Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op)
 }
 
 void EpochEngine::ReplayL1Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  LineDirectory& directory = hierarchy_.directory_;
   const PhysAddr line = op.line;
   const CoreId core = op.core;
   const std::uint64_t self = Bit(core);
   const bool evicted_dirty = (op.flags & kFlagEvictedDirty) != 0;
   const bool in_l2 = (op.flags & kFlagCompanionPresent) != 0;
-  LineDirectoryEntry* entry = directory.Find(line);
+  LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   if (entry == nullptr || (entry->l1_sharers & self) == 0 ||
       evicted_dirty != ((entry->l1_dirty & self) != 0) ||
       (evicted_dirty && in_l2 != ((entry->l2_sharers & self) != 0))) {
@@ -813,8 +1026,10 @@ void EpochEngine::ReplayL1Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op)
   }
   if (in_l2) {
     // Phase 1 already set the L2 dirty bit in the tag array; mirror it here.
-    RecordDir(ctx, line);
-    hierarchy_.directory_.GetOrCreate(line).l2_dirty |= self;
+    // `entry` survives the L1 removal — self's L2 bit keeps it non-empty —
+    // and removal never relocates the removed line's own slot.
+    RecordDirEntry(ctx, line, entry);
+    entry->l2_dirty |= self;
   } else {
     JournalLlcRow(ctx, slice, hierarchy_.llc_.slices_[slice].SetIndexOf(line));
     if (!hierarchy_.llc_.MarkDirtyOnSlice(slice, line)) {
@@ -824,25 +1039,40 @@ void EpochEngine::ReplayL1Evict(SliceCtx& ctx, SliceId slice, const MicroOp& op)
 }
 
 void EpochEngine::ReplayDmaWrite(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  const PhysAddr line = op.line;
-  ++ctx.stats.dma_line_writes;
-  ReplayBackInvalidate(ctx, op.key, line);
+  // Block micro-op: replay every masked line of the chunk, ascending bit
+  // order == ascending seq order (the serial order). Per-line keys
+  // reconstruct from the record key, which belongs to the first masked line.
   SlicedLlc& llc = hierarchy_.llc_;
-  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
-  const auto evicted = llc.DmaFillOnSlice(slice, line);
-  ReplayLlcEviction(ctx, op.key, slice, evicted);
-  shared_cycles_[(op.key >> 2) - window_base_] =
+  SetAssocCache& llc_slice = llc.slices_[slice];
+  const std::uint64_t base_seq = (op.key >> 2) - std::countr_zero(op.mask);
+  const Cycles per_line =
       hierarchy_.spec_.latency.llc_base + hierarchy_.SlicePenalty(0, slice);
+  ctx.stats.dma_line_writes += static_cast<std::uint64_t>(std::popcount(op.mask));
+  for (std::uint64_t m = op.mask; m != 0; m &= m - 1) {
+    const auto i = static_cast<std::uint32_t>(std::countr_zero(m));
+    const PhysAddr line = op.line + std::uint64_t{i} * kCacheLineSize;
+    const std::uint64_t key = Key(base_seq + i, 0);
+    ReplayBackInvalidate(ctx, key, line);
+    JournalLlcRow(ctx, slice, llc_slice.SetIndexOf(line));
+    const auto evicted = llc.DmaFillOnSlice(slice, line);
+    ReplayLlcEviction(ctx, key, slice, evicted);
+    AddShared(ctx, key, per_line);
+  }
 }
 
 void EpochEngine::ReplayDmaRead(SliceCtx& ctx, SliceId slice, const MicroOp& op) {
-  const PhysAddr line = op.line;
-  ++ctx.stats.dma_line_reads;
   SlicedLlc& llc = hierarchy_.llc_;
-  JournalLlcRow(ctx, slice, llc.slices_[slice].SetIndexOf(line));
-  const bool hit = llc.LookupAndTouchOnSlice(slice, line);
+  SetAssocCache& llc_slice = llc.slices_[slice];
+  const std::uint64_t base_seq = (op.key >> 2) - std::countr_zero(op.mask);
   const LatencyModel& lat = hierarchy_.spec_.latency;
-  shared_cycles_[(op.key >> 2) - window_base_] = lat.llc_base + (hit ? 0 : lat.dram);
+  ctx.stats.dma_line_reads += static_cast<std::uint64_t>(std::popcount(op.mask));
+  for (std::uint64_t m = op.mask; m != 0; m &= m - 1) {
+    const auto i = static_cast<std::uint32_t>(std::countr_zero(m));
+    const PhysAddr line = op.line + std::uint64_t{i} * kCacheLineSize;
+    JournalLlcRow(ctx, slice, llc_slice.SetIndexOf(line));
+    const bool hit = llc.LookupAndTouchOnSlice(slice, line);
+    AddShared(ctx, Key(base_seq + i, 0), lat.llc_base + (hit ? 0 : lat.dram));
+  }
 }
 
 void EpochEngine::ReplayDirRemove(SliceCtx& ctx, CoreId core, PhysAddr line, bool is_l1) {
@@ -851,7 +1081,7 @@ void EpochEngine::ReplayDirRemove(SliceCtx& ctx, CoreId core, PhysAddr line, boo
   if (entry == nullptr) {
     return;
   }
-  RecordDir(ctx, line);
+  RecordDirEntry(ctx, line, entry);
   const std::uint64_t keep = ~Bit(core);
   if (is_l1) {
     entry->l1_sharers &= keep;
@@ -872,7 +1102,7 @@ void EpochEngine::ReplayInvalidateElsewhere(SliceCtx& ctx, std::uint64_t key, Co
   if (entry == nullptr) {
     return;
   }
-  RecordDir(ctx, line);
+  RecordDirEntry(ctx, line, entry);
   const std::uint64_t self = Bit(core);
   std::uint64_t others = entry->sharers() & ~self;
   // Serial counts cores whose L1 or L2 held a copy; every sharer-mask bit is
@@ -895,12 +1125,11 @@ void EpochEngine::ReplayInvalidateElsewhere(SliceCtx& ctx, std::uint64_t key, Co
 
 void EpochEngine::ReplayDowngradeElsewhere(SliceCtx& ctx, std::uint64_t key, CoreId core,
                                            PhysAddr line) {
-  LineDirectory& directory = hierarchy_.directory_;
-  LineDirectoryEntry* entry = directory.Find(line);
+  LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   if (entry == nullptr) {
     return;
   }
-  RecordDir(ctx, line);
+  RecordDirEntry(ctx, line, entry);
   const std::uint64_t self = Bit(core);
   std::uint64_t targets = entry->dirty() & ~self;
   while (targets != 0) {
@@ -918,7 +1147,7 @@ void EpochEngine::ReplayBackInvalidate(SliceCtx& ctx, std::uint64_t key, PhysAdd
   if (entry == nullptr) {
     return;
   }
-  RecordDir(ctx, line);
+  RecordDirEntry(ctx, line, entry);
   std::uint64_t sharers = entry->sharers();
   while (sharers != 0) {
     const auto c = static_cast<CoreId>(std::countr_zero(sharers));
@@ -946,8 +1175,10 @@ void EpochEngine::ReplayLlcEviction(SliceCtx& ctx, std::uint64_t key, SliceId sl
 
 void EpochEngine::DirFill(SliceCtx& ctx, PhysAddr line, CoreId core, bool to_l1, bool dirty,
                           SliceId slice) {
-  RecordDir(ctx, line);
-  LineDirectoryEntry& entry = hierarchy_.directory_.GetOrCreate(line);
+  LineDirectory& directory = hierarchy_.directory_;
+  LineDirectoryEntry* found = directory.Find(line);
+  RecordDirEntry(ctx, line, found);
+  LineDirectoryEntry& entry = found != nullptr ? *found : directory.GetOrCreate(line);
   const std::uint64_t self = Bit(core);
   if (to_l1) {
     entry.l1_sharers |= self;
@@ -964,9 +1195,12 @@ void EpochEngine::DirFill(SliceCtx& ctx, PhysAddr line, CoreId core, bool to_l1,
 }
 
 void EpochEngine::RecordDir(SliceCtx& ctx, PhysAddr line) {
+  RecordDirEntry(ctx, line, hierarchy_.directory_.Find(line));
+}
+
+void EpochEngine::RecordDirEntry(SliceCtx& ctx, PhysAddr line, const LineDirectoryEntry* entry) {
   DirRecord record;
   record.line = line;
-  const LineDirectoryEntry* entry = hierarchy_.directory_.Find(line);
   if (entry != nullptr) {
     record.existed = true;
     record.entry = *entry;
@@ -1042,28 +1276,40 @@ void EpochEngine::Phase3Commit(std::size_t worker) {
   }
 }
 
-void EpochEngine::CommitWindow() {
+std::uint64_t EpochEngine::CommitWindow() {
   // Fixed merge order: workers' phase-1 blocks, then slices' phase-2 blocks.
   // uint64 counter sums are associative + commutative, so the totals equal
-  // the serial per-access bumps.
+  // the serial per-access bumps — and for the same reason the per-context
+  // cycle accumulators below sum to the serial total regardless of how ops
+  // were partitioned across workers.
+  std::uint64_t window_effects = 0;
   for (const WorkerCtx& ctx : workers_) {
     hierarchy_.stats_ += ctx.stats;
     for (const std::vector<Effect>& merged : ctx.merged_effects) {
-      engine_stats_.effects_applied += merged.size();
+      window_effects += merged.size();
     }
   }
+  engine_stats_.effects_applied += window_effects;
   for (const SliceCtx& ctx : slice_ctx_) {
     hierarchy_.stats_ += ctx.stats;
   }
   Cycles window_total = 0;
-  for (std::size_t rel = 0; rel < window_lines_; ++rel) {
-    const Cycles cycles = own_cycles_[rel] + shared_cycles_[rel];
-    window_total += cycles;
-    if (options_.keep_line_results) {
+  if (track_line_cycles_) {
+    for (std::size_t rel = 0; rel < window_lines_; ++rel) {
+      const Cycles cycles = own_cycles_[rel] + shared_cycles_[rel];
+      window_total += cycles;
       results_.push_back(cycles);
+    }
+  } else {
+    for (const WorkerCtx& ctx : workers_) {
+      window_total += ctx.own_total;
+    }
+    for (const SliceCtx& ctx : slice_ctx_) {
+      window_total += ctx.shared_total;
     }
   }
   total_cycles_ += window_total;
+  return window_effects;
 }
 
 void EpochEngine::RollbackWindow() {
@@ -1147,17 +1393,23 @@ std::size_t EpochEngine::RowWords(const SetAssocCache& cache) {
 
 void EpochEngine::SaveRow(const SetAssocCache& cache, std::size_t set,
                           std::vector<std::uint64_t>& out) {
+  // One resize, then raw stores: this runs once per touched set per window
+  // and was a measurable slice of phase 2 as a chain of insert/push_back
+  // calls, each re-checking capacity.
   const std::size_t base = set * cache.ways_;
-  out.insert(out.end(), cache.tags_.begin() + static_cast<std::ptrdiff_t>(base),
-             cache.tags_.begin() + static_cast<std::ptrdiff_t>(base + cache.ways_));
+  const std::size_t ways = cache.ways_;
+  const bool lru = cache.repl_ == ReplacementKind::kLru;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + ways + 4 + (lru ? ways : 0));
+  std::uint64_t* dst = out.data() + old_size;
+  std::copy_n(cache.tags_.data() + base, ways, dst);
   const auto& scalars = cache.scalars_[set];
-  out.push_back(scalars.valid);
-  out.push_back(scalars.dirty);
-  out.push_back(scalars.ticks);
-  out.push_back(scalars.plru);
-  if (cache.repl_ == ReplacementKind::kLru) {
-    out.insert(out.end(), cache.stamps_.begin() + static_cast<std::ptrdiff_t>(base),
-               cache.stamps_.begin() + static_cast<std::ptrdiff_t>(base + cache.ways_));
+  dst[ways] = scalars.valid;
+  dst[ways + 1] = scalars.dirty;
+  dst[ways + 2] = scalars.ticks;
+  dst[ways + 3] = scalars.plru;
+  if (lru) {
+    std::copy_n(cache.stamps_.data() + base, ways, dst + ways + 4);
   }
 }
 

@@ -55,8 +55,19 @@ struct EpochEngineOptions {
   std::size_t num_threads = 1;
   // Auto-settle budget: a window settles once it holds this many line ops.
   // One captured op always stays whole (a larger DMA range widens its
-  // window) so windows never split a range.
+  // window) so windows never split a range. With adaptive_window this is the
+  // controller's starting budget.
   std::size_t window_line_ops = 4096;
+  // Deterministic adaptive window sizing: the budget is halved after an
+  // aborted window and doubled after a streak of clean low-sharing windows,
+  // within [min_window_line_ops, max_window_line_ops]. The controller reads
+  // only simulated-stream facts (abort verdicts, emitted-effect counts),
+  // never host time, so the window schedule — and, by window-schedule
+  // invariance, every simulated output — is identical across host worker
+  // counts and across reruns (epoch_equivalence_test).
+  bool adaptive_window = true;
+  std::size_t min_window_line_ops = 64;   // clamped to window_line_ops if smaller
+  std::size_t max_window_line_ops = 0;    // 0: 64 * window_line_ops
   // Settle every window through the serial public API instead of the
   // speculative phases — the selectable serial reference.
   bool force_serial = false;
@@ -70,8 +81,15 @@ struct EpochEngineStats {
   std::uint64_t captured_line_ops = 0;
   std::uint64_t windows = 0;             // windows settled, by any path
   std::uint64_t speculative_windows = 0; // settled through the parallel phases
+  std::uint64_t fast_commit_windows = 0; // speculative, no-contention: committed
+                                         // without the phase-2 replay/validation pass
   std::uint64_t aborted_windows = 0;     // speculative windows re-run serially
   std::uint64_t effects_applied = 0;     // cross-core cache ops deferred+committed
+  std::uint64_t merged_micro_ops = 0;    // micro-ops k-way-merged and replayed in phase 2
+  std::uint64_t journal_rows_saved = 0;  // set-row pre-images copied for rollback
+  // Adaptive controller trajectory: the budget after each change, starting
+  // with the initial budget (bounded; growth stops recording once full).
+  std::vector<std::uint32_t> window_size_trajectory;
 };
 
 // One engine drives one MemoryHierarchy; it attaches at construction and
@@ -137,12 +155,41 @@ class EpochEngine final : public HierarchyCaptureSink {
   // orders the whole window totally: (global line seq << 2) | sub, where sub
   // separates an access's primary op (0) from its L2-victim (1) and
   // L1-victim (2) side ops, exactly the serial code's in-access order.
+  // One flat record — a single push per emit, a single pointer per merge
+  // cursor (an SoA split measured as pure overhead here: the merge reads the
+  // payload right after the key either way).
+  //
+  // DMA kinds are *block* micro-ops: one record covers every line of a
+  // 64-line captured-range chunk that hashes to this slice (`mask` bit i =
+  // line at `line + i*kCacheLineSize`, key = the first masked line's key).
+  // A captured range owns a contiguous seq span, so no foreign key can land
+  // between two masked lines and the block replays as an uninterrupted key
+  // run — same total order as per-line emission at a third of the stream.
   struct MicroOp {
     std::uint64_t key = 0;
-    PhysAddr line = 0;
+    PhysAddr line = 0;   // the line; DMA blocks: chunk base line
+    std::uint64_t mask = 0;  // DMA blocks only: this slice's lines in the chunk
     CoreId core = 0;
     std::uint8_t kind = 0;
     std::uint8_t flags = 0;
+  };
+
+  // One per-(worker, slice) micro-op arena with window-tagged recycling: a
+  // stale tag means "logically empty", so windows reuse capacity without a
+  // per-window clear sweep and without steady-state heap allocations
+  // (hotpath_alloc_test probes this).
+  struct MicroQueue {
+    std::vector<MicroOp> ops;  // key-ascending within the queue
+    std::uint32_t tag = 0;
+
+    std::size_t SizeIn(std::uint32_t window) const { return tag == window ? ops.size() : 0; }
+    void Append(std::uint32_t window, const MicroOp& op) {
+      if (tag != window) {
+        tag = window;
+        ops.clear();
+      }
+      ops.push_back(op);
+    }
   };
 
   // MicroOp kinds.
@@ -189,16 +236,34 @@ class EpochEngine final : public HierarchyCaptureSink {
     bool existed = false;
   };
 
+  // A drain cursor over one queue during the phase-2 merge.
+  struct MergeCursor {
+    const MicroOp* p = nullptr;
+    const MicroOp* end = nullptr;
+  };
+
   // Phase-1 context of one worker (owns cores c with c % W == w and DMA ops
   // i with i % W == w).
   struct WorkerCtx {
-    std::vector<std::vector<MicroOp>> queues;  // [slice] -> key-ascending micro-ops
+    std::vector<MicroQueue> queues;  // [slice]
     HierarchyStats stats;
     std::vector<RowRecord> rows;
     std::vector<std::uint64_t> row_words;
     // Phase 3: merged, key-ordered effects for each of this worker's cores
     // (vector index: core / W), reused between the verdict and commit steps.
     std::vector<std::vector<Effect>> merged_effects;
+    // Phase-2 merge scratch (worker w replays slices w, w+W, ...): the
+    // merged stream, contributor cursors, and the loser tree, all persistent
+    // across windows so the merge allocates nothing in steady state.
+    std::vector<MicroOp> merge_ops;
+    std::vector<MergeCursor> merge_cur;
+    std::vector<std::uint32_t> merge_tree;
+    // Phase-1 DMA chunk scratch ([slice]): the per-slice line mask and
+    // first-line index of the chunk being routed (see Phase1Dma).
+    std::vector<std::uint64_t> dma_mask;
+    std::vector<std::uint32_t> dma_first;
+    Cycles own_total = 0;  // phase-1 cycle share when !keep_line_results
+    bool fast_ok = true;   // every op so far is fast-commit-safe (see Settle)
     bool abort = false;
   };
 
@@ -210,6 +275,8 @@ class EpochEngine final : public HierarchyCaptureSink {
     std::vector<DirRecord> dir_records;
     std::vector<std::vector<Effect>> effects;  // [core] -> key-ascending effects
     Rng rng_snapshot{0};                       // kRandom only
+    Cycles shared_total = 0;   // phase-2 cycle share when !keep_line_results
+    std::uint64_t merged_ops = 0;  // micro-ops replayed this window
     bool abort = false;
   };
 
@@ -230,6 +297,7 @@ class EpochEngine final : public HierarchyCaptureSink {
   void Settle();
   void PrepareWindow();
   void ReplaySerial();
+  void AdaptWindowLimit(bool aborted, std::uint64_t window_effects);
 
   // Phase 1.
   void Phase1(std::size_t worker);
@@ -239,12 +307,28 @@ class EpochEngine final : public HierarchyCaptureSink {
                    unsigned fill_sub, unsigned evict_sub);
   void LocalFillL2(WorkerCtx& ctx, CoreId core, PhysAddr line, bool dirty, std::uint64_t seq);
   void Emit(WorkerCtx& ctx, SliceId slice, const MicroOp& op) {
-    ctx.queues[slice].push_back(op);
+    ctx.queues[slice].Append(window_id_, op);
   }
+  void AddOwn(WorkerCtx& ctx, std::uint64_t seq, Cycles cycles) {
+    if (track_line_cycles_) {
+      own_cycles_[seq - window_base_] += cycles;
+    } else {
+      ctx.own_total += cycles;
+    }
+  }
+
+  // Fast commit: every micro-op in the window is an L1 hit that cannot touch
+  // shared state (read, or write that observed its own line already dirty),
+  // so phases 2+3 are skipped entirely (see Settle for the soundness note).
+  void FastCommit();
 
   // Phase 2.
   void Phase2(std::size_t worker);
-  void ReplaySlice(SliceCtx& ctx, SliceId slice);
+  void ReplaySlice(std::size_t worker, SliceCtx& ctx, SliceId slice);
+  static void TwoWayMerge(MergeCursor a, MergeCursor b, std::vector<MicroOp>& out);
+  static void LoserTreeMerge(std::vector<MergeCursor>& cur, std::vector<std::uint32_t>& tree,
+                             std::vector<MicroOp>& out);
+  void ReplayRun(SliceCtx& ctx, SliceId slice, const MicroOp* run, std::size_t count);
   void ReplayHitL1(SliceCtx& ctx, SliceId slice, const MicroOp& op);
   void ReplayHitL2(SliceCtx& ctx, SliceId slice, const MicroOp& op);
   void ReplayMiss(SliceCtx& ctx, SliceId slice, const MicroOp& op);
@@ -259,13 +343,23 @@ class EpochEngine final : public HierarchyCaptureSink {
   void ReplayLlcEviction(SliceCtx& ctx, std::uint64_t key, SliceId slice,
                          const std::optional<EvictedLine>& evicted);
   void DirFill(SliceCtx& ctx, PhysAddr line, CoreId core, bool to_l1, bool dirty, SliceId slice);
+  // Journals `line`'s directory pre-image. The *Entry flavour reuses an
+  // already-found entry pointer instead of a second directory lookup.
   void RecordDir(SliceCtx& ctx, PhysAddr line);
+  void RecordDirEntry(SliceCtx& ctx, PhysAddr line, const LineDirectoryEntry* entry);
+  void AddShared(SliceCtx& ctx, std::uint64_t key, Cycles cycles) {
+    if (track_line_cycles_) {
+      shared_cycles_[(key >> 2) - window_base_] += cycles;
+    } else {
+      ctx.shared_total += cycles;
+    }
+  }
 
   // Phase 3.
   void Phase3Verdict(std::size_t worker);
   void Phase3Commit(std::size_t worker);
   void MergeEffects(std::size_t worker);
-  void CommitWindow();
+  std::uint64_t CommitWindow();  // returns this window's applied-effect count
   void RollbackWindow();
 
   // Journaling.
@@ -289,6 +383,14 @@ class EpochEngine final : public HierarchyCaptureSink {
   std::uint64_t next_seq_ = 0;
   std::uint64_t window_base_ = 0;   // global seq of the window's first line
   std::size_t window_lines_ = 0;
+
+  // Adaptive window controller (deterministic: driven only by abort verdicts
+  // and emitted-effect counts — see EpochEngineOptions::adaptive_window).
+  std::size_t window_limit_ = 0;  // current auto-settle budget
+  std::size_t min_limit_ = 0;
+  std::size_t max_limit_ = 0;
+  std::uint32_t clean_streak_ = 0;
+  const bool track_line_cycles_;  // keep_line_results: per-rel cycle arrays
 
   // Per-window scratch, sized to the window's line count.
   std::vector<Cycles> own_cycles_;     // phase-1 (core-local) cycle share, by rel seq

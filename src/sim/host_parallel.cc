@@ -73,28 +73,27 @@ WorkerPool::~WorkerPool() {
   }
 }
 
-void WorkerPool::Run(const std::function<void(std::size_t)>& fn) {
-  if (num_threads_ == 1) {
-    fn(0);
-    return;
-  }
+void WorkerPool::RunImpl(Trampoline call, void* fn) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    fn_ = &fn;
+    call_ = call;
+    fn_ = fn;
     pending_ = num_threads_ - 1;
     ++generation_;
   }
   work_cv_.notify_all();
-  fn(0);
+  call(fn, 0);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
+  call_ = nullptr;
   fn_ = nullptr;
 }
 
 void WorkerPool::WorkerMain(std::size_t index) {
   std::uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    Trampoline call = nullptr;
+    void* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -103,9 +102,10 @@ void WorkerPool::WorkerMain(std::size_t index) {
         return;
       }
       seen_generation = generation_;
+      call = call_;
       fn = fn_;
     }
-    (*fn)(index);
+    call(fn, index);
     bool last = false;
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -18,8 +18,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cachedir {
@@ -39,6 +41,12 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 // finished (a full barrier, which also sequences the workers' writes before
 // the caller's next read: release/acquire through the pool mutex).
 //
+// Run dispatches through a borrowed (object, trampoline) pair rather than a
+// std::function: the epoch engine launches several phases per settled
+// window, and the hot path must stay free of type-erasure allocations and
+// indirect-copy overhead. The callable only needs to outlive the Run call —
+// a stack lambda is fine.
+//
 // Workers sleep on a condition variable between phases (no spin-waiting):
 // an oversubscribed host — CI runners, the 1-vCPU baseline container — must
 // not burn its only core in a spin loop while the simulation makes progress
@@ -57,9 +65,25 @@ class WorkerPool {
   // Barrier-executes fn(index) for every index in [0, num_threads()).
   // fn must partition its work by index; the pool adds no ordering beyond
   // the final barrier.
-  void Run(const std::function<void(std::size_t)>& fn);
+  template <typename Fn>
+  void Run(Fn&& fn) {
+    if (num_threads_ == 1) {
+      fn(std::size_t{0});
+      return;
+    }
+    using Decayed = std::remove_reference_t<Fn>;
+    RunImpl(&TrampolineFor<Decayed>, const_cast<Decayed*>(std::addressof(fn)));
+  }
 
  private:
+  using Trampoline = void (*)(void*, std::size_t);
+
+  template <typename Fn>
+  static void TrampolineFor(void* fn, std::size_t index) {
+    (*static_cast<Fn*>(fn))(index);
+  }
+
+  void RunImpl(Trampoline call, void* fn);
   void WorkerMain(std::size_t index);
 
   const std::size_t num_threads_;
@@ -68,7 +92,8 @@ class WorkerPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mu_
+  Trampoline call_ = nullptr;                             // guarded by mu_
+  void* fn_ = nullptr;                                    // guarded by mu_
   std::uint64_t generation_ = 0;                          // guarded by mu_
   std::size_t pending_ = 0;                               // guarded by mu_
   bool shutdown_ = false;                                 // guarded by mu_

@@ -45,9 +45,14 @@ class CboCounterBank {
   // read all counters, do the work, read again, subtract.
   std::vector<CboEvents> Snapshot() const { return counters_; }
 
-  // Restores a previously taken Snapshot() of this bank — the epoch engine
+  // Allocation-free flavour for per-window callers (the epoch engine
+  // snapshots before every replayed window): copies into a caller-owned
+  // buffer whose capacity persists across calls.
+  void SnapshotInto(std::vector<CboEvents>& out) const { out = counters_; }
+
+  // Restores a previously taken snapshot of this bank — the epoch engine
   // uses the pair to roll counters back when a speculative window aborts.
-  void Restore(std::vector<CboEvents> counters) { counters_ = std::move(counters); }
+  void Restore(const std::vector<CboEvents>& counters) { counters_ = counters; }
 
   static std::vector<std::uint64_t> LookupDelta(const std::vector<CboEvents>& before,
                                                 const std::vector<CboEvents>& after);

@@ -80,13 +80,14 @@ class EpochEquivalenceTest : public ::testing::TestWithParam<EngineCase> {
     MakeEngine(/*window_line_ops=*/256);
   }
 
-  void MakeEngine(std::size_t window_line_ops) {
+  void MakeEngine(std::size_t window_line_ops, bool adaptive = true) {
     engine_.reset();  // detach before the old subject dies
     reference_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
     subject_ = std::make_unique<MemoryHierarchy>(spec_, hash_, /*seed=*/23);
     EpochEngineOptions options;
     options.num_threads = GetParam().threads;
     options.window_line_ops = window_line_ops;
+    options.adaptive_window = adaptive;
     options.keep_line_results = true;
     engine_ = std::make_unique<EpochEngine>(*subject_, options);
     brackets_.clear();
@@ -320,6 +321,70 @@ TEST_P(EpochEquivalenceTest, WindowBoundariesDoNotChangeResults) {
   RunSharedStream(600, rng);
   ExpectConverged();
   EXPECT_GT(engine_->engine_stats().windows, 10u);
+}
+
+TEST_P(EpochEquivalenceTest, WindowScheduleInvarianceAcrossFixedRandomizedAndAdaptive) {
+  // The strongest form of the window-boundary claim: the SAME randomized
+  // shared stream settled under radically different window schedules —
+  // degenerate one-op windows, odd-sized, medium, huge, randomly flushed,
+  // and the adaptive controller — must each be bit-identical to the serial
+  // reference (and therefore to every other schedule). This is what makes
+  // the deterministic adaptive controller safe: its schedule is just one
+  // more member of an equivalence class the engine must not leave.
+  struct Schedule {
+    std::size_t window_line_ops;
+    bool adaptive;
+    bool random_flush;
+  };
+  constexpr Schedule kSchedules[] = {
+      {1, false, false},   {7, false, false},    {64, false, false},
+      {4096, false, false}, {4096, false, true}, {256, true, false},
+  };
+  for (const Schedule& schedule : kSchedules) {
+    MakeEngine(schedule.window_line_ops, schedule.adaptive);
+    Rng stream_rng(987);   // identical simulated stream every schedule
+    Rng schedule_rng(31);  // boundary placement only, never stream content
+    for (int step = 0; step < 400; ++step) {
+      RunSharedStream(1, stream_rng);
+      if (schedule.random_flush && schedule_rng.Bernoulli(0.125)) {
+        engine_->Flush();  // a window boundary wherever this lands
+      }
+    }
+    ExpectConverged();
+    if (schedule.window_line_ops == 1) {
+      // One line op per window: every captured op settles alone and the
+      // schedule still converges (ranges stay whole, so a DMA window holds
+      // more than one line; flush and eager per-line steps capture nothing).
+      EXPECT_GT(engine_->engine_stats().windows, 200u);
+    }
+    if (schedule.adaptive) {
+      const auto& trajectory = engine_->engine_stats().window_size_trajectory;
+      ASSERT_FALSE(trajectory.empty());
+      EXPECT_EQ(trajectory.front(), 256u);
+    }
+  }
+}
+
+TEST_P(EpochEquivalenceTest, PureHitWindowsTakeFastCommitAndStayBitIdentical) {
+  // Per-core private lines, read over and over: after the fill windows,
+  // every window is pure L1 hits and must commit through the no-contention
+  // fast path — no replay, no validation — while staying bit-identical.
+  MakeEngine(/*window_line_ops=*/256, /*adaptive=*/false);
+  const std::size_t cores = spec_.num_cores;
+  const PhysAddr base = PhysAddr{1} << 26;
+  constexpr std::size_t kLinesPerCore = 4;
+  for (int lap = 0; lap < 200; ++lap) {
+    for (std::size_t c = 0; c < cores; ++c) {
+      for (std::size_t i = 0; i < kLinesPerCore; ++i) {
+        RunScalar(static_cast<CoreId>(c), base + (c * kLinesPerCore + i) * kCacheLineSize,
+                  /*is_write=*/false);
+      }
+    }
+  }
+  ExpectConverged();
+  const EpochEngineStats& es = engine_->engine_stats();
+  EXPECT_GT(es.fast_commit_windows, 0u) << "pure-hit windows never took the fast path";
+  EXPECT_EQ(es.aborted_windows, 0u);
 }
 
 TEST_P(EpochEquivalenceTest, ForceSerialReferencePathStaysSelectable) {

@@ -29,6 +29,7 @@
 #include "src/nfv/chain.h"
 #include "src/nfv/elements.h"
 #include "src/nfv/runtime.h"
+#include "src/sim/epoch_engine.h"
 #include "src/sim/machine.h"
 #include "src/sim/rng.h"
 #include "src/slice/placement.h"
@@ -262,6 +263,94 @@ TEST(SpecializedKernelAllocationProbe, BatchedEvictionStormBothInclusionModes) {
     EXPECT_GT(hierarchy.stats().llc_misses, llc_lines);
     EXPECT_GT(hierarchy.stats().dma_line_writes, ring_lines * 2);
   }
+}
+
+// Epoch-engine steady state (docs/architecture.md §14): once the capture
+// arena, the per-(worker, slice) micro-op queues, the journals and the
+// directory-record scratch have seen their peak window, settling further
+// speculative windows must not allocate — capture appends into recycled
+// arenas, micro-op queues are window-tagged instead of cleared, journal
+// pre-images append into kept-capacity vectors, and the merge tiers reuse
+// persistent cursor/output storage. Fixed-size windows so arena peaks are
+// reached during warm-up (the adaptive controller's doublings are
+// init-phase growth by design, not steady-state work).
+TEST(EpochEngineAllocationProbe, SteadyStateSpeculativeWindowsPerformZeroAllocations) {
+  MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+  MemoryHierarchy hierarchy(spec, HaswellSliceHash(), /*seed=*/7);
+  EpochEngineOptions options;
+  options.num_threads = 1;
+  options.window_line_ops = 2048;
+  options.adaptive_window = false;
+  EpochEngine engine(hierarchy, options);
+
+  const std::size_t llc_lines =
+      spec.num_slices * spec.llc_slice.num_sets() * spec.llc_slice.ways;
+  const std::size_t ring_lines = llc_lines * 4;
+  const PhysAddr ring = 1u << 30;
+  const PhysAddr counters = 1u << 28;
+  constexpr std::size_t kCounterLines = 64;
+
+  Rng rng(24);
+  // Warm-up: two laps of the same eviction storm the serial probes run, now
+  // captured and settled in 2048-op windows. This reaches every peak —
+  // caches, directory shards, capture arena, queues, journals — and ends on
+  // a window boundary so the measured block starts clean.
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  engine.Flush();
+
+  const std::uint64_t windows_before = engine.engine_stats().windows;
+  const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  StormLap(hierarchy, rng, ring, ring_lines, counters, kCounterLines);
+  engine.Flush();
+  const std::uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "steady-state speculative windows must not allocate";
+  // Non-vacuity: the measured block settled many windows through the
+  // speculative phases, and the storm really stormed.
+  const EpochEngineStats& es = engine.engine_stats();
+  EXPECT_GT(es.windows, windows_before + 10);
+  EXPECT_EQ(es.speculative_windows, es.windows);
+  EXPECT_GT(hierarchy.stats().llc_misses, llc_lines * 4);
+  EXPECT_EQ(hierarchy.stats().dma_line_writes, ring_lines * 4);
+}
+
+// The no-contention fast-commit path, isolated: windows made purely of L1
+// read hits commit without the phase-2 replay pass, and in steady state
+// that must also mean without a single heap allocation.
+TEST(EpochEngineAllocationProbe, SteadyStateFastCommitWindowsPerformZeroAllocations) {
+  MachineSpec spec = WithSmallLlc(HaswellXeonE52667V3());
+  MemoryHierarchy hierarchy(spec, HaswellSliceHash(), /*seed=*/7);
+  EpochEngineOptions options;
+  options.num_threads = 1;
+  options.window_line_ops = 1024;
+  options.adaptive_window = false;
+  EpochEngine engine(hierarchy, options);
+
+  const PhysAddr base = 1u << 30;
+  constexpr std::size_t kHotLines = 16;
+  // Warm-up: fault the hot lines in (miss windows, full replay), then one
+  // lap of pure hits so the fast path has seen its peak state too.
+  for (std::size_t lap = 0; lap < 4; ++lap) {
+    for (std::size_t i = 0; i < 4096; ++i) {
+      hierarchy.Read(/*core=*/0, base + (i % kHotLines) * kCacheLineSize);
+    }
+  }
+  engine.Flush();
+
+  const std::uint64_t fast_before = engine.engine_stats().fast_commit_windows;
+  const std::uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < 8192; ++i) {
+    hierarchy.Read(/*core=*/0, base + (i % kHotLines) * kCacheLineSize);
+  }
+  engine.Flush();
+  const std::uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "fast-commit windows must not allocate";
+  const EpochEngineStats& es = engine.engine_stats();
+  EXPECT_GE(es.fast_commit_windows, fast_before + 8) << "the measured block must actually "
+                                                        "take the no-contention fast path";
 }
 
 // The whole NFV dataplane in steady state: once the runtime, pools, NIC

@@ -125,7 +125,8 @@ TEST(ParallelStress, RepeatedOversubscribedRunsAreIdentical) {
 // rollback path all run under contention. Under -DCACHEDIR_SANITIZE=thread
 // this is the TSan stress for the engine's barriers, journals and merge
 // queues; in any build the fold must match the serial engine bit for bit.
-std::uint64_t EngineRun(std::size_t engine_threads, std::uint64_t seed) {
+std::uint64_t EngineRun(std::size_t engine_threads, std::uint64_t seed,
+                        EpochEngineStats* stats_out = nullptr) {
   MemoryHierarchy hierarchy(HaswellXeonE52667V3(), HaswellSliceHash(), seed);
   std::optional<EpochEngine> engine;
   if (engine_threads > 0) {
@@ -153,10 +154,26 @@ std::uint64_t EngineRun(std::size_t engine_threads, std::uint64_t seed) {
       serial_cycles += hierarchy.Read(core, line).cycles;
     }
   }
+  // Pure-hit coda: every core re-reads resident private lines, so whole
+  // windows are L1 hits and the no-contention fast-commit path runs under
+  // the same oversubscribed barriers (and, in the TSan build, under TSan).
+  // Long enough that even at the adaptive controller's largest budget
+  // (64 x 512 ops) at least one window falls wholly inside the hit stream.
+  for (std::size_t lap = 0; lap < 80; ++lap) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        const PhysAddr line = buf + (static_cast<PhysAddr>(c) << 14) + i * kCacheLineSize;
+        serial_cycles += hierarchy.Read(static_cast<CoreId>(c), line).cycles;
+      }
+    }
+  }
   Cycles cycles = serial_cycles;
   if (engine) {
     engine->Flush();
     cycles = engine->total_cycles();  // capture-mode per-op returns were placeholders
+    if (stats_out != nullptr) {
+      *stats_out = engine->engine_stats();
+    }
   }
   std::uint64_t fold = cycles;
   fold = fold * 1315423911u ^ hierarchy.stats().llc_misses;
@@ -168,8 +185,21 @@ std::uint64_t EngineRun(std::size_t engine_threads, std::uint64_t seed) {
 TEST(ParallelStress, OversubscribedEpochEngineMatchesSerialBitForBit) {
   const std::uint64_t serial = EngineRun(/*engine_threads=*/0, /*seed=*/31);
   // Far more engine workers than host cores: maximal barrier interleaving.
-  for (const std::size_t threads : {std::size_t{2}, std::size_t{16}, std::size_t{64}}) {
-    EXPECT_EQ(EngineRun(threads, /*seed=*/31), serial) << "engine_threads=" << threads;
+  // The per-window verdicts — fast-commit, full replay, abort — and the
+  // adaptive controller's trajectory depend only on window content, so the
+  // whole stats block must also be identical at every worker count.
+  EpochEngineStats reference_stats;
+  EXPECT_EQ(EngineRun(/*engine_threads=*/2, /*seed=*/31, &reference_stats), serial);
+  EXPECT_GT(reference_stats.fast_commit_windows, 0u)
+      << "the pure-hit coda never took the fast-commit path";
+  EXPECT_GT(reference_stats.aborted_windows, 0u);
+  for (const std::size_t threads : {std::size_t{16}, std::size_t{64}}) {
+    EpochEngineStats stats;
+    EXPECT_EQ(EngineRun(threads, /*seed=*/31, &stats), serial) << "engine_threads=" << threads;
+    EXPECT_EQ(stats.fast_commit_windows, reference_stats.fast_commit_windows);
+    EXPECT_EQ(stats.aborted_windows, reference_stats.aborted_windows);
+    EXPECT_EQ(stats.windows, reference_stats.windows);
+    EXPECT_EQ(stats.window_size_trajectory, reference_stats.window_size_trajectory);
   }
 }
 

@@ -7,6 +7,12 @@ JSON tagged with its "bench" name:
 
   * sim_throughput_bench  -> {"bench": "sim_throughput", "machine", "configs"}
     where each config carries accesses_per_sec (higher is better);
+  * sim_throughput_bench --engine-threads=N --engine-json=... -> the same
+    shape tagged "sim_throughput_engine" plus "engine_threads" and per-config
+    "engine" counters. When a fresh sim_throughput AND sim_throughput_engine
+    pair is given, the script also reports the engine overhead ratio
+    (engine rate / serial rate, same host, same invocation) — the number the
+    committed sim_throughput_engine history tracks;
   * fig13_forwarding_100g --json=... -> {"bench": "fig13_forwarding_100g",
     "machine", "host_seconds"} (lower is better);
   * fig8_kvs_tps --json=... and fig14_service_chain_100g --json=... follow
@@ -71,6 +77,32 @@ def compare_host_seconds(name, ref, fresh, floor):
     return ratio < floor
 
 
+def report_overhead_ratio(fresh_by_name, benches):
+    """Engine-vs-serial overhead ratio from a paired fresh run (report-only).
+
+    Only a serial + engine pair from the SAME invocation is meaningful: the
+    ratio divides out host speed, which cross-run comparisons cannot. That is
+    why this never flags a regression — the committed sim_throughput_engine
+    history entry records the paired ratio measured on the baseline host.
+    """
+    serial = fresh_by_name.get("sim_throughput")
+    engine = fresh_by_name.get("sim_throughput_engine")
+    if serial is None or engine is None:
+        return
+    threads = engine.get("engine_threads", "?")
+    serial_rates = configs_by_cores(serial)
+    engine_rates = configs_by_cores(engine)
+    ref_ratio = None
+    engine_section = benches.get("sim_throughput_engine")
+    if engine_section:
+        ref_ratio = engine_section["history"][-1].get("overhead_ratio_vs_serial")
+    for cores in sorted(set(serial_rates) & set(engine_rates)):
+        ratio = engine_rates[cores] / serial_rates[cores] if serial_rates[cores] > 0 else 0.0
+        ref = f", baseline point {ref_ratio:.2f}" if ref_ratio is not None else ""
+        print(f"engine@{threads}w overhead ratio cores={cores}: {ratio:.2f} "
+              f"(engine {engine_rates[cores]:.3e} / serial {serial_rates[cores]:.3e}{ref})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, help="committed BENCH_simcore.json")
@@ -105,10 +137,12 @@ def main():
 
     floor = 1.0 - args.tolerance
     regressed = False
+    fresh_by_name = {}
     for path in args.fresh:
         with open(path, encoding="utf-8") as f:
             fresh = json.load(f)
         name = fresh.get("bench")
+        fresh_by_name[name] = fresh
         if name not in benches:
             known = ", ".join(sorted(benches))
             print(f"{path}: fresh run is tagged bench '{name}', which matches no "
@@ -127,6 +161,8 @@ def main():
         else:
             print(f"{path}: unrecognized fresh-run shape (no configs/host_seconds)")
             regressed = True
+
+    report_overhead_ratio(fresh_by_name, benches)
 
     if regressed:
         if args.strict:
